@@ -1,0 +1,161 @@
+//===- bench/BenchCommon.h - Shared benchmark harness -----------*- C++ -*-===//
+//
+// Helpers shared by the per-figure benchmark binaries: compile a module
+// with each of the four evaluated code paths (AKG, vendor-adapted TVM,
+// hand-optimized CCE library, naive CCE) and measure cycles on the
+// simulator in performance mode.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_BENCH_BENCHCOMMON_H
+#define AKG_BENCH_BENCHCOMMON_H
+
+#include "akg/AutoTuner.h"
+#include "akg/Compiler.h"
+#include "baselines/CceLibrary.h"
+#include "baselines/TvmCompiler.h"
+#include "sim/Simulator.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace akg {
+namespace bench {
+
+inline const sim::MachineSpec &machine() {
+  return sim::MachineSpec::ascend910();
+}
+
+inline int64_t simCycles(const cce::Kernel &K) {
+  sim::SimOptions SO;
+  SO.Functional = false;
+  return sim::simulate(K, machine(), nullptr, SO).Cycles;
+}
+
+inline sim::SimResult simFull(const cce::Kernel &K) {
+  sim::SimOptions SO;
+  SO.Functional = false;
+  return sim::simulate(K, machine(), nullptr, SO);
+}
+
+/// AKG: the full pipeline with Auto Tiling (Sec 4.2) selecting tiles.
+inline int64_t cyclesAkg(const ir::Module &M, const char *Name,
+                         CompileResult *Out = nullptr) {
+  CompileResult R = compileWithAkg(M, AkgOptions{}, Name);
+  int64_t C = simCycles(R.Kernel);
+  if (Out)
+    *Out = std::move(R);
+  return C;
+}
+
+/// AKG with its learning-based auto-tuner (Sec 5.3) refining Auto
+/// Tiling's choice - the full Fig 2 pipeline.
+inline int64_t cyclesAkgTuned(const ir::Module &M, const char *Name,
+                              CompileResult *Out = nullptr,
+                              unsigned Budget = 8) {
+  TunerOptions TO;
+  TO.FirstRoundSamples = Budget;
+  TO.RoundSamples = Budget / 2;
+  TO.MaxRounds = 2;
+  TuneResult TR = tuneAkgKernel(M, AkgOptions{}, machine(), TO);
+  if (Out) {
+    ir::PolyProgram P = ir::extractPolyProgram(M);
+    AkgOptions O;
+    transforms::TilingPolicy Pol;
+    transforms::StmtTileSpec Spec;
+    for (int64_t T : TR.BestTiles)
+      Spec.Entries.push_back(transforms::TileSpecEntry{T, "UB"});
+    Pol.PerStmt[P.Stmts.back().Id] = Spec;
+    O.ManualTiles = Pol;
+    *Out = compileWithAkg(M, O, Name);
+  }
+  return TR.BestCycles;
+}
+
+/// Vendor TVM: manual schedule templates, expert default tiles, empirical
+/// sync grouping.
+inline int64_t cyclesTvm(const ir::Module &M, const char *Name,
+                         CompileResult *Out = nullptr) {
+  baselines::TvmOptions O;
+  CompileResult R = baselines::compileWithTvm(M, O, Name);
+  int64_t C = simCycles(R.Kernel);
+  if (Out)
+    *Out = std::move(R);
+  return C;
+}
+
+/// Vendor TVM with its auto-tuner: the paper's manual templates are
+/// "fully tuned by its auto-tuner" (Sec 6); the tuner searches the same
+/// valid-tile space as AKG's.
+inline int64_t cyclesTvmTuned(const ir::Module &M, const char *Name,
+                              CompileResult *Out = nullptr,
+                              unsigned Budget = 10) {
+  ir::PolyProgram P = ir::extractPolyProgram(M);
+  unsigned LiveId = P.Stmts.back().Id;
+  const ir::PolyStmt &Live = P.Stmts[LiveId];
+  unsigned W = static_cast<unsigned>(Live.Op->Axis.size());
+  std::vector<std::vector<int64_t>> Space(W);
+  for (unsigned D = 0; D < W; ++D) {
+    int64_t Ext = Live.Op->Axis[D].Extent;
+    for (int64_t S = 1; S < Ext; S *= 2)
+      Space[D].push_back(S);
+    Space[D].push_back(Ext);
+  }
+  std::vector<int64_t> Start = baselines::tvmExpertDefaultTiles(M);
+  Start.resize(W, 1);
+  MeasureFn Measure = [&](const std::vector<int64_t> &Tiles) -> int64_t {
+    baselines::TvmOptions O;
+    O.ManualTiles = Tiles;
+    CompileResult R = baselines::compileWithTvm(M, O, Name);
+    return simCycles(R.Kernel);
+  };
+  TunerOptions TO;
+  TO.FirstRoundSamples = Budget;
+  TO.RoundSamples = Budget / 2;
+  TO.MaxRounds = 2;
+  TuneResult TR = tuneTiles(Space, Start, Measure, TO);
+  if (Out) {
+    baselines::TvmOptions O;
+    O.ManualTiles = TR.BestTiles;
+    *Out = baselines::compileWithTvm(M, O, Name);
+  }
+  return TR.BestCycles;
+}
+
+/// CCE opt: one hand-tuned library kernel per operator, composed through
+/// global memory.
+inline int64_t cyclesCceOpt(const ir::Module &M, const char *Name) {
+  baselines::LibrarySequence Seq =
+      baselines::buildCceOptLibrary(M, machine(), Name);
+  return baselines::simulateSequence(Seq, machine()).Cycles;
+}
+
+/// CCE naive: scalar, serialized reference.
+inline int64_t cyclesCceNaive(const ir::Module &M, const char *Name) {
+  CompileResult R = baselines::buildCceNaive(M, Name);
+  return simCycles(R.Kernel);
+}
+
+inline double geomean(const std::vector<double> &V) {
+  if (V.empty())
+    return 0;
+  double S = 0;
+  for (double X : V)
+    S += std::log(X);
+  return std::exp(S / double(V.size()));
+}
+
+inline void printHeader(const char *Title) {
+  std::printf("==============================================================="
+              "=\n%s\n"
+              "==============================================================="
+              "=\n",
+              Title);
+}
+
+} // namespace bench
+} // namespace akg
+
+#endif // AKG_BENCH_BENCHCOMMON_H

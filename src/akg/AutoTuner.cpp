@@ -1,0 +1,217 @@
+//===- akg/AutoTuner.cpp - Learning-based tile auto-tuner -----------------===//
+
+#include "akg/AutoTuner.h"
+
+#include "sim/Simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace akg {
+
+namespace {
+
+/// Deterministic xorshift RNG (no global state).
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint32_t Seed) : S(Seed * 2654435761ull + 1) {}
+  uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  }
+  uint64_t below(uint64_t N) { return N ? next() % N : 0; }
+  double unit() { return double(next() % (1ull << 30)) / double(1ull << 30); }
+};
+
+/// The learned model: nearest-neighbour regression over log-tile features
+/// with a finite-difference "derivative" per dimension, used to pick the
+/// forwarding direction of second-round samples.
+struct PerfModel {
+  struct Sample {
+    std::vector<unsigned> Idx; // candidate indices per dim
+    int64_t Cycles;
+  };
+  std::vector<Sample> Samples;
+
+  void add(std::vector<unsigned> Idx, int64_t Cycles) {
+    Samples.push_back({std::move(Idx), Cycles});
+  }
+
+  /// Direction (-1, 0, +1) per dimension that the measurements suggest
+  /// improves performance around \p At.
+  std::vector<int> gradientAt(const std::vector<unsigned> &At) const {
+    std::vector<int> Dir(At.size(), 0);
+    for (unsigned D = 0; D < At.size(); ++D) {
+      // Average cycles of samples with larger vs smaller candidate index
+      // on this dim.
+      double UpSum = 0, DownSum = 0;
+      unsigned UpN = 0, DownN = 0;
+      for (const Sample &S : Samples) {
+        if (S.Idx[D] > At[D]) {
+          UpSum += double(S.Cycles);
+          ++UpN;
+        } else if (S.Idx[D] < At[D]) {
+          DownSum += double(S.Cycles);
+          ++DownN;
+        }
+      }
+      if (UpN && DownN)
+        Dir[D] = (UpSum / UpN < DownSum / DownN) ? 1 : -1;
+      else if (UpN)
+        Dir[D] = 1;
+      else if (DownN)
+        Dir[D] = -1;
+    }
+    return Dir;
+  }
+};
+
+} // namespace
+
+TuneResult tuneTiles(const std::vector<std::vector<int64_t>> &Space,
+                     const std::vector<int64_t> &Start, MeasureFn Measure,
+                     const TunerOptions &Opts) {
+  TuneResult Res;
+  unsigned W = static_cast<unsigned>(Space.size());
+  Rng R(Opts.Seed);
+  PerfModel Model;
+  std::map<std::vector<unsigned>, int64_t> Seen;
+
+  auto TilesOf = [&](const std::vector<unsigned> &Idx) {
+    std::vector<int64_t> T(W);
+    for (unsigned D = 0; D < W; ++D)
+      T[D] = Space[D][Idx[D]];
+    return T;
+  };
+  auto MeasureIdx = [&](const std::vector<unsigned> &Idx) {
+    auto It = Seen.find(Idx);
+    if (It != Seen.end())
+      return It->second;
+    int64_t C = Measure(TilesOf(Idx));
+    ++Res.SamplesMeasured;
+    Seen[Idx] = C;
+    Model.add(Idx, C);
+    return C;
+  };
+
+  // Starting point (Auto Tiling's choice).
+  std::vector<unsigned> StartIdx(W, 0);
+  for (unsigned D = 0; D < W; ++D) {
+    for (unsigned I = 0; I < Space[D].size(); ++I)
+      if (Space[D][I] == Start[D])
+        StartIdx[D] = I;
+  }
+  Res.InitialCycles = MeasureIdx(StartIdx);
+  std::vector<unsigned> BestIdx = StartIdx;
+  int64_t Best = Res.InitialCycles;
+
+  auto Consider = [&](const std::vector<unsigned> &Idx) {
+    int64_t C = MeasureIdx(Idx);
+    if (C < Best) {
+      Best = C;
+      BestIdx = Idx;
+    }
+  };
+
+  // Round 1: random samples.
+  for (unsigned I = 0; I < Opts.FirstRoundSamples; ++I) {
+    std::vector<unsigned> Idx(W);
+    for (unsigned D = 0; D < W; ++D)
+      Idx[D] = static_cast<unsigned>(R.below(Space[D].size()));
+    Consider(Idx);
+  }
+
+  // Follow-up rounds: model-guided steps from the best pool with
+  // probability p, uniform otherwise; p evolves with the pre-defined
+  // parameter and stays within (0, e).
+  for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
+    double P = std::min(std::exp(Opts.PParam * (Round + 1)) - 1.0,
+                        std::exp(1.0)) /
+               std::exp(1.0);
+    int64_t RoundStartBest = Best;
+    // Best pool: the N best samples, copied - measuring new samples
+    // during the round grows Model.Samples and would invalidate pointers
+    // into it.
+    std::vector<PerfModel::Sample> Pool(Model.Samples);
+    std::sort(Pool.begin(), Pool.end(),
+              [](const PerfModel::Sample &A, const PerfModel::Sample &B) {
+                return A.Cycles < B.Cycles;
+              });
+    if (Pool.size() > Opts.BestPool)
+      Pool.resize(Opts.BestPool);
+    for (unsigned I = 0; I < Opts.RoundSamples; ++I) {
+      std::vector<unsigned> Idx(W);
+      if (!Pool.empty() && R.unit() < P) {
+        Idx = Pool[R.below(Pool.size())].Idx;
+        std::vector<int> Dir = Model.gradientAt(Idx);
+        unsigned D = static_cast<unsigned>(R.below(W));
+        int Step = Dir[D] != 0 ? Dir[D] : (R.below(2) ? 1 : -1);
+        int64_t NI = int64_t(Idx[D]) + Step;
+        NI = std::max<int64_t>(
+            0, std::min<int64_t>(NI, int64_t(Space[D].size()) - 1));
+        Idx[D] = static_cast<unsigned>(NI);
+      } else {
+        for (unsigned D = 0; D < W; ++D)
+          Idx[D] = static_cast<unsigned>(R.below(Space[D].size()));
+      }
+      Consider(Idx);
+    }
+    if (Best == RoundStartBest)
+      break; // no performance gain: stop early (paper's criterion)
+  }
+  Res.BestTiles = TilesOf(BestIdx);
+  Res.BestCycles = Best;
+  return Res;
+}
+
+TuneResult tuneAkgKernel(const ir::Module &M, const AkgOptions &Base,
+                         const sim::MachineSpec &Spec,
+                         const TunerOptions &Opts) {
+  // Build the space: per live-out dim, powers of two up to the extent
+  // (the valid tiling parameters of Sec 4.2).
+  ir::PolyProgram P = extractPolyProgram(M);
+  unsigned LiveId = P.Stmts.back().Id;
+  const ir::PolyStmt &Live = P.Stmts[LiveId];
+  unsigned W = Live.Op ? static_cast<unsigned>(Live.Op->Axis.size())
+                       : Live.numIters();
+  std::vector<std::vector<int64_t>> Space(W);
+  for (unsigned D = 0; D < W; ++D) {
+    int64_t Ext = Live.Op->Axis[D].Extent;
+    for (int64_t S = 1; S < Ext; S *= 2)
+      Space[D].push_back(S);
+    Space[D].push_back(Ext);
+  }
+  // Starting point from the default compilation.
+  CompileResult Start = compileWithAkg(M, Base, "tune_seed");
+  std::vector<int64_t> StartTiles = Start.TileSizes;
+  StartTiles.resize(W, 1);
+
+  MeasureFn Measure = [&](const std::vector<int64_t> &Tiles) -> int64_t {
+    if (std::getenv("AKG_STATS")) {
+      std::fprintf(stderr, "tuner probe:");
+      for (int64_t T : Tiles)
+        std::fprintf(stderr, " %lld", (long long)T);
+      std::fprintf(stderr, "\n");
+    }
+    AkgOptions O = Base;
+    transforms::TilingPolicy Pol;
+    transforms::StmtTileSpec Spec2;
+    for (int64_t S : Tiles)
+      Spec2.Entries.push_back(transforms::TileSpecEntry{S, "UB"});
+    Pol.PerStmt[LiveId] = Spec2;
+    O.ManualTiles = Pol;
+    CompileResult C = compileWithAkg(M, O, "tune_probe");
+    sim::SimOptions SO;
+    SO.Functional = false;
+    return sim::simulate(C.Kernel, Spec, nullptr, SO).Cycles;
+  };
+  return tuneTiles(Space, StartTiles, Measure, Opts);
+}
+
+} // namespace akg

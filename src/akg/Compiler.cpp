@@ -1,0 +1,256 @@
+//===- akg/Compiler.cpp - The AKG compiler driver -------------------------===//
+
+#include "akg/Compiler.h"
+
+#include "ir/Passes.h"
+#include "schedule/AstGen.h"
+#include "sim/Simulator.h"
+#include "transforms/Conv.h"
+#include "transforms/Fusion.h"
+#include "transforms/IntraTile.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace akg {
+
+using namespace ir;
+using namespace sched;
+using namespace transforms;
+
+CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
+                             const std::string &Name) {
+  CompileResult Res;
+  // Preparation passes (Sec 3). The prepared module must outlive the
+  // kernel (tensor declarations are shared into it).
+  auto Mod = std::make_shared<Module>(
+      Opts.EnableInlining ? inlineElementwiseOps(MIn) : Module());
+  const Module *M = Opts.EnableInlining ? Mod.get() : &MIn;
+
+  PolyProgram P = extractPolyProgram(*M);
+  std::vector<Dependence> Deps = computeDependences(P);
+
+  // Attempt 0 compiles with the requested options; when even minimal
+  // tiles cannot satisfy the buffer capacities (a fused region keeping
+  // several very wide rows live), attempt 1 rejects the fusion entirely:
+  // clustering is disabled so every statement tiles over its own full
+  // dimensionality and intermediates round-trip global memory.
+  for (unsigned Attempt = 0; Attempt < 2; ++Attempt) {
+  sched::SchedulerOptions SchedOpts = Opts.Scheduler;
+  if (Attempt == 1)
+    SchedOpts.Fusion = sched::FusionStrategy::None;
+  ScheduleResult SR = computeSchedule(P, Deps, SchedOpts);
+  Res.UsedSchedulerFallback = false;
+  for (const ClusterSchedule &CS : SR.Clusters)
+    Res.UsedSchedulerFallback |= CS.UsedFallback;
+
+  // Tile-size selection for the live-out cluster.
+  const ClusterSchedule &Live = SR.Clusters.back();
+  unsigned LiveStmt = Live.Stmts.front();
+  unsigned W =
+      static_cast<unsigned>(Live.Outer.at(LiveStmt).Rows.size());
+
+  AutoTilingOptions ATOpts;
+  ATOpts.FusedFootprint = Opts.EnablePostTilingFusion && Attempt == 0;
+  // Cube constraints: keep conv output rows contiguous (wo untiled),
+  // batch tiles at 1, and never tile a cube op's reduction dimensions at
+  // the band level (the cube pipeline chunks K internally). Positions are
+  // derived from the statement's axis list so the rules hold whether the
+  // band covers the output axes only or, on the no-fusion fallback, the
+  // full iterator vector.
+  bool HasCube = false;
+  for (unsigned S : Live.Stmts)
+    if (auto D = matchCubeOp(P.Stmts[S])) {
+      HasCube = true;
+      unsigned NOut =
+          static_cast<unsigned>(P.Stmts[S].Op->Axis.size());
+      if (D->IsConv && NOut >= 1 && NOut - 1 < W)
+        ATOpts.FullDims.push_back(NOut - 1); // wo
+      if (((D->IsConv && NOut == 4) ||
+           (!D->IsConv && D->Batch > 1 && NOut == 3)) &&
+          W >= 1)
+        ATOpts.UnitDims.push_back(0); // batch
+      for (unsigned K = NOut; K < W; ++K)
+        ATOpts.FullDims.push_back(K); // reduction dims stay whole
+    }
+
+  std::vector<int64_t> Sizes;
+  if (Opts.ManualTiles) {
+    // The policy may name any statement of the live-out cluster (users
+    // typically name the update statement).
+    Sizes.assign(W, 1);
+    for (unsigned S : Live.Stmts)
+      if (Opts.ManualTiles->PerStmt.count(S)) {
+        Sizes = Opts.ManualTiles->sizesFor(S, W);
+        break;
+      }
+    // The fractal constraints hold regardless of who chose the sizes (the
+    // Fig 4 language frees users from validity concerns, Sec 4.2).
+    for (unsigned D : ATOpts.FullDims)
+      if (D < W) {
+        int64_t Ext = 1;
+        for (unsigned K = 0;
+             K < P.Stmts[LiveStmt].Iters.size() && K < W; ++K)
+          if (K == D)
+            Ext = P.Stmts[LiveStmt].Iters[K].Extent;
+        Sizes[D] = Ext;
+      }
+    for (unsigned D : ATOpts.UnitDims)
+      if (D < W)
+        Sizes[D] = 1;
+    Res.TilingPolicyText = printTilingPolicy(*Opts.ManualTiles);
+  } else {
+    AutoTilingResult AT =
+        autoTile(P, SR, Opts.Codegen.Machine, ATOpts);
+    Sizes = AT.Sizes;
+    Res.TilingPolicyText = printTilingPolicy(AT.Policy);
+  }
+
+  bool UseFusion = Opts.EnablePostTilingFusion && Attempt == 0;
+  bool CapacityExhausted = false;
+  for (unsigned Retry = 0;; ++Retry) {
+    ScheduleTree T = buildScheduledTree(P, SR);
+    FusionReport FR;
+    if (UseFusion) {
+      FR = applyPostTilingFusion(T, P, Sizes);
+      // Clusters that could not fuse into the live-out tile (e.g. sibling
+      // outputs) still need their own tiling + on-chip region, or their
+      // footprints are unbounded.
+      std::function<void(TreeNode *)> TileRest = [&](TreeNode *N) {
+        if (N->Kind == NodeKind::Mark &&
+            (N->MarkTag == "on_chip" || N->MarkTag == "skipped"))
+          return;
+        if (N->Kind == NodeKind::Band) {
+          // Already-processed bands carry their on_chip mark beneath.
+          if (findNode(N, [](TreeNode *X) {
+                return X->Kind == NodeKind::Mark &&
+                       (X->MarkTag == "on_chip" || X->MarkTag == "skipped");
+              }))
+            return;
+          std::vector<int64_t> Sz(N->bandWidth(), 1);
+          for (unsigned I = 0; I < Sz.size() && I < Sizes.size(); ++I)
+            Sz[I] = Sizes[I];
+          tileBand(N, Sz);
+          std::unique_ptr<TreeNode> Owned = std::move(N->Children[0]);
+          N->Children.clear();
+          TreeNode *Mk = N->addChild(makeMark("on_chip"));
+          Mk->addChild(std::move(Owned));
+          return;
+        }
+        for (auto &C : N->Children)
+          TileRest(C.get());
+      };
+      TileRest(T.root());
+    } else {
+      // Ablation: classical tiling without the reverse strategy. Every
+      // cluster band is tiled independently and producers round-trip
+      // through global memory.
+      std::vector<TreeNode *> Bands;
+      walkTree(T.root(), [&](TreeNode *N) {
+        if (N->Kind == NodeKind::Band) {
+          Bands.push_back(N);
+          return false; // outer bands only
+        }
+        return true;
+      });
+      for (TreeNode *B : Bands) {
+        std::vector<int64_t> Sz(B->bandWidth(), 1);
+        for (unsigned I = 0; I < Sz.size() && I < Sizes.size(); ++I)
+          Sz[I] = Sizes[I];
+        tileBand(B, Sz);
+        std::unique_ptr<TreeNode> Owned = std::move(B->Children[0]);
+        B->Children.clear();
+        TreeNode *Mk = B->addChild(makeMark("on_chip"));
+        Mk->addChild(std::move(Owned));
+      }
+    }
+    Res.FusedProducers = FR.FusedProducers;
+
+    if (Opts.EnableIntraTile) {
+      applyIntraTileFusion(T, P);
+      sinkVectorizableDims(T, P);
+    } else {
+      // The cube path still requires its mark for fractal lowering.
+      applyIntraTileFusion(T, P);
+    }
+    Res.ScheduleTreeDump = T.str();
+
+    Stmt Ast = generateAst(T, P);
+    cce::Kernel K =
+        cce::lowerToCce(Ast, *M, P, Opts.Codegen, Name);
+    std::string CapErr =
+        cce::checkBufferCapacities(K, Opts.Codegen.Machine);
+    if (!CapErr.empty() && Retry >= Opts.MaxTileRetries) {
+      assert(Attempt == 0 &&
+             "tiles exceed buffer capacity even without fusion");
+      CapacityExhausted = true;
+      break;
+    }
+    if (CapErr.empty()) {
+      Res.Sync = cce::insertSynchronization(K, Opts.Sync);
+      Res.Kernel = std::move(K);
+      Res.TileSizes = Sizes;
+      break;
+    }
+    // Halve the largest tile and retry.
+    if (std::getenv("AKG_STATS"))
+      {
+        std::string Ts;
+        for (int64_t Sz : Sizes)
+          Ts += std::to_string(Sz) + " ";
+        std::fprintf(stderr, "retile(%s): tiles [%s] %s\n", Name.c_str(),
+                     Ts.c_str(), CapErr.c_str());
+      }
+    auto IsPinned = [&](unsigned D) {
+      for (unsigned F : ATOpts.FullDims)
+        if (F == D)
+          return true;
+      for (unsigned U : ATOpts.UnitDims)
+        if (U == D)
+          return true;
+      return false;
+    };
+    int Largest = -1;
+    for (unsigned I = 0; I < Sizes.size(); ++I)
+      if (!IsPinned(I) && (Largest < 0 || Sizes[I] > Sizes[Largest]))
+        Largest = static_cast<int>(I);
+    if (Largest < 0 || Sizes[Largest] <= 1) {
+      // Nothing halvable: behave as capacity-exhausted.
+      assert(Attempt == 0 &&
+             "tiles exceed buffer capacity even without fusion");
+      CapacityExhausted = true;
+      break;
+    }
+    Sizes[Largest] = std::max<int64_t>(1, Sizes[Largest] / 2);
+  }
+  if (!CapacityExhausted)
+    break; // compiled successfully
+  } // attempt loop
+  if (Opts.EnableInlining)
+    Res.Mod = Mod;
+  return Res;
+}
+
+double verifyKernel(const cce::Kernel &K, const Module &M,
+                    const sim::MachineSpec &Spec, uint32_t Seed) {
+  BufferMap In;
+  for (const Tensor &T : M.inputs())
+    In[T->Name] = makeTestData(T->numElements(), Seed + T->numElements());
+  BufferMap Ref = evaluateModule(M, In);
+  BufferMap Got = In;
+  sim::SimOptions SO;
+  SO.Functional = true;
+  sim::simulate(K, Spec, &Got, SO);
+  double MaxErr = 0;
+  for (const Tensor &O : M.outputs()) {
+    const auto &GV = Got.at(O->Name);
+    const auto &RV = Ref.at(O->Name);
+    for (size_t I = 0; I < GV.size(); ++I)
+      MaxErr = std::max(MaxErr, std::fabs(double(GV[I]) - double(RV[I])));
+  }
+  return MaxErr;
+}
+
+} // namespace akg

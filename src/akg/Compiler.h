@@ -1,0 +1,63 @@
+//===- akg/Compiler.h - The AKG compiler driver -----------------*- C++ -*-===//
+//
+// The end-to-end AKG pipeline (paper Fig 2): DSL module -> preparation
+// passes -> polyhedral extraction -> dependence analysis -> Pluto
+// scheduling with clustering -> live-out tiling (Auto Tiling or a manual
+// Fig 4 policy) -> post-tiling fusion via the reverse strategy ->
+// intra-tile fusion/distribution with local_UB / cube_unit dispatch ->
+// AST generation -> CCE lowering with storage management, img2col +
+// fractal GEMM, vectorization and double buffering -> DP-grouped pipeline
+// synchronization.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_AKG_COMPILER_H
+#define AKG_AKG_COMPILER_H
+
+#include "ir/Dsl.h"
+#include "scheduler/Pluto.h"
+#include "target/Codegen.h"
+#include "target/Sync.h"
+#include "transforms/AutoTiling.h"
+
+#include <optional>
+
+namespace akg {
+
+struct AkgOptions {
+  sched::SchedulerOptions Scheduler;
+  cce::CodegenOptions Codegen;
+  cce::SyncStrategy Sync = cce::SyncStrategy::AkgDp;
+  /// Manual tile policy (Fig 4 language); Auto Tiling when unset.
+  std::optional<transforms::TilingPolicy> ManualTiles;
+  bool EnablePostTilingFusion = true;
+  bool EnableIntraTile = true;
+  bool EnableInlining = false; // preparation inlining of trivial producers
+  /// Retries with halved tiles if buffers overflow.
+  unsigned MaxTileRetries = 24;
+};
+
+struct CompileResult {
+  cce::Kernel Kernel;
+  /// The module actually compiled (after preparation passes).
+  std::shared_ptr<ir::Module> Mod;
+  std::string ScheduleTreeDump;
+  std::string TilingPolicyText; // Fig 4 rendering of the chosen sizes
+  std::vector<int64_t> TileSizes;
+  unsigned FusedProducers = 0;
+  bool UsedSchedulerFallback = false;
+  cce::SyncReport Sync;
+};
+
+/// Compiles one fused operator with the full AKG pipeline.
+CompileResult compileWithAkg(const ir::Module &M, const AkgOptions &Opts,
+                             const std::string &Name);
+
+/// Convenience: compile + simulate functionally + compare against the
+/// reference evaluator; returns the max abs error over all outputs.
+double verifyKernel(const cce::Kernel &K, const ir::Module &M,
+                    const sim::MachineSpec &Spec, uint32_t Seed = 1);
+
+} // namespace akg
+
+#endif // AKG_AKG_COMPILER_H

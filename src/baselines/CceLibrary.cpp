@@ -1,0 +1,145 @@
+//===- baselines/CceLibrary.cpp - Hand-written kernel baselines -----------===//
+
+#include "baselines/CceLibrary.h"
+
+#include "baselines/TvmCompiler.h"
+#include "sim/Simulator.h"
+
+#include <cassert>
+
+namespace akg {
+namespace baselines {
+
+using namespace ir;
+
+std::vector<std::shared_ptr<Module>> splitPerOperator(const Module &M) {
+  std::vector<std::shared_ptr<Module>> Result;
+  for (const auto &Op : M.ops()) {
+    auto Single = std::make_shared<Module>();
+    // Placeholders for every tensor the op reads (library calls take all
+    // operands from global memory).
+    std::map<const TensorDecl *, Tensor> Remap;
+    for (const Tensor &R : collectReads(Op->Body))
+      Remap[R.get()] = Single->placeholder(R->Name, R->Shape, R->Type);
+    std::function<Expr(const Expr &)> Rewrite = [&](const Expr &E) -> Expr {
+      if (!E)
+        return E;
+      if (E->Kind == ExprKind::TensorRead) {
+        std::vector<Expr> Idx;
+        for (const Expr &I : E->Operands)
+          Idx.push_back(Rewrite(I));
+        return tensorRead(Remap.at(E->Ref.get()), std::move(Idx));
+      }
+      std::vector<Expr> Ops;
+      bool Changed = false;
+      for (const Expr &O : E->Operands) {
+        Expr N = Rewrite(O);
+        Changed |= (N != O);
+        Ops.push_back(std::move(N));
+      }
+      if (!Changed)
+        return E;
+      auto N = std::make_shared<ExprNode>(*E);
+      N->Operands = std::move(Ops);
+      return N;
+    };
+    Single->computeRaw(Op->Output->Name, Op->Axis, Rewrite(Op->Body),
+                       Op->Output->Type);
+    Result.push_back(std::move(Single));
+  }
+  return Result;
+}
+
+LibrarySequence buildCceOptLibrary(const Module &M,
+                                   const sim::MachineSpec &Spec,
+                                   const std::string &Name) {
+  LibrarySequence Seq;
+  Seq.PerOpModules = splitPerOperator(M);
+  unsigned Idx = 0;
+  for (const auto &Single : Seq.PerOpModules) {
+    // Offline exhaustive tuning: start from the compiler's choice and try
+    // scaled variants, keeping the fastest (the library developers spend
+    // weeks doing exactly this, Sec 6.1 / Fig 10).
+    AkgOptions Base;
+    Base.Sync = cce::SyncStrategy::AkgDp;
+    std::string KName = Name + "_op" + std::to_string(Idx++);
+    CompileResult Best = compileWithAkg(*Single, Base, KName);
+    Best.Kernel.HandPrefetched = true;
+    sim::SimOptions SO;
+    SO.Functional = false;
+    int64_t BestCycles =
+        sim::simulate(Best.Kernel, Spec, nullptr, SO).Cycles;
+    std::vector<int64_t> Seed = Best.TileSizes;
+    ir::PolyProgram P = extractPolyProgram(*Single);
+    unsigned LiveId = P.Stmts.back().Id;
+    for (unsigned D = 0; D < Seed.size(); ++D) {
+      for (int64_t Scale : {2, 4}) {
+        for (int Dir = 0; Dir < 2; ++Dir) {
+          std::vector<int64_t> Cand = Seed;
+          Cand[D] = Dir ? std::max<int64_t>(1, Seed[D] / Scale)
+                        : Seed[D] * Scale;
+          if (Cand[D] == Seed[D])
+            continue;
+          AkgOptions O = Base;
+          transforms::TilingPolicy Pol;
+          transforms::StmtTileSpec Spec2;
+          for (int64_t S : Cand)
+            Spec2.Entries.push_back(transforms::TileSpecEntry{S, "UB"});
+          Pol.PerStmt[LiveId] = Spec2;
+          O.ManualTiles = Pol;
+          CompileResult C = compileWithAkg(*Single, O, KName);
+          C.Kernel.HandPrefetched = true;
+          int64_t Cycles =
+              sim::simulate(C.Kernel, Spec, nullptr, SO).Cycles;
+          if (Cycles < BestCycles) {
+            BestCycles = Cycles;
+            Best = std::move(C);
+          }
+        }
+      }
+    }
+    Seq.Kernels.push_back(std::move(Best.Kernel));
+  }
+  return Seq;
+}
+
+CompileResult buildCceNaive(const Module &M, const std::string &Name) {
+  AkgOptions O;
+  O.EnablePostTilingFusion = false;
+  O.Sync = cce::SyncStrategy::FullSerial;
+  O.Codegen.EnableVectorize = false;
+  O.Codegen.EnableDoubleBuffer = false;
+  // The naive reference tiles just enough to fit the buffers.
+  TvmOptions TO;
+  std::vector<int64_t> Tiles = tvmExpertDefaultTiles(M);
+  transforms::TilingPolicy Pol;
+  transforms::StmtTileSpec Spec;
+  for (int64_t S : Tiles)
+    Spec.Entries.push_back(transforms::TileSpecEntry{S, "UB"});
+  ir::PolyProgram P = extractPolyProgram(M);
+  Pol.PerStmt[P.Stmts.back().Id] = Spec;
+  O.ManualTiles = Pol;
+  return compileWithAkg(M, O, Name);
+}
+
+sim::SimResult simulateSequence(const LibrarySequence &Seq,
+                                const sim::MachineSpec &Spec,
+                                ir::BufferMap *Gm, bool Functional) {
+  sim::SimResult Total;
+  for (const cce::Kernel &K : Seq.Kernels) {
+    sim::SimOptions SO;
+    SO.Functional = Functional;
+    sim::SimResult R = sim::simulate(K, Spec, Gm, SO);
+    Total.Cycles += R.Cycles;
+    Total.DynamicInstrs += R.DynamicInstrs;
+    Total.GmTrafficBytes += R.GmTrafficBytes;
+    Total.SyncStallCycles += R.SyncStallCycles;
+    Total.FlagPairs += R.FlagPairs;
+    for (unsigned P = 0; P < sim::NumPipes; ++P)
+      Total.BusyCycles[P] += R.BusyCycles[P];
+  }
+  return Total;
+}
+
+} // namespace baselines
+} // namespace akg

@@ -1,0 +1,61 @@
+//===- baselines/CceLibrary.h - Hand-written kernel baselines ---*- C++ -*-===//
+//
+// The two expert baselines of the evaluation:
+//
+//  * CCE opt: vendor-library-quality kernels. Each single operator gets an
+//    individually hand-tuned kernel: tile sizes picked by exhaustive
+//    offline search against the machine, optimally grouped flags, double
+//    buffering and manual hardware prefetching (the last is what lets the
+//    library edge out compiler-generated code on some single operators,
+//    Sec 6.1). On subgraphs the library can only be composed op by op, so
+//    every intermediate round-trips through global memory - exactly the
+//    behaviour behind the 5.6x mean gap in Fig 12.
+//
+//  * CCE naive: the unoptimized reference the experts start from - scalar
+//    loops, no vectorization, no double buffering, full pipeline
+//    serialization.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_BASELINES_CCELIBRARY_H
+#define AKG_BASELINES_CCELIBRARY_H
+
+#include "akg/Compiler.h"
+#include "sim/Simulator.h"
+
+namespace akg {
+namespace baselines {
+
+/// A composed sequence of library kernels (one per operator).
+struct LibrarySequence {
+  std::vector<cce::Kernel> Kernels;
+  /// Single-op modules the kernels were built from (kept alive: kernels
+  /// share their tensor declarations).
+  std::vector<std::shared_ptr<ir::Module>> PerOpModules;
+};
+
+/// Builds the hand-optimized library implementation of a module: one tuned
+/// kernel per operator, composed through global memory.
+LibrarySequence buildCceOptLibrary(const ir::Module &M,
+                                   const sim::MachineSpec &Spec,
+                                   const std::string &Name);
+
+/// Builds the naive expert starting point (scalar, serialized).
+CompileResult buildCceNaive(const ir::Module &M, const std::string &Name);
+
+/// Simulates a kernel sequence (performance mode), composing cycles and GM
+/// traffic across the library calls.
+sim::SimResult simulateSequence(const LibrarySequence &Seq,
+                                const sim::MachineSpec &Spec,
+                                ir::BufferMap *Gm = nullptr,
+                                bool Functional = false);
+
+/// Splits a fused module into single-operator modules (each consuming the
+/// previous op's output as a placeholder), mirroring op-by-op library
+/// composition.
+std::vector<std::shared_ptr<ir::Module>> splitPerOperator(const ir::Module &M);
+
+} // namespace baselines
+} // namespace akg
+
+#endif // AKG_BASELINES_CCELIBRARY_H

@@ -1,0 +1,68 @@
+//===- baselines/TvmCompiler.cpp - Manual-schedule baseline ---------------===//
+
+#include "baselines/TvmCompiler.h"
+
+#include "transforms/Conv.h"
+
+namespace akg {
+namespace baselines {
+
+using namespace ir;
+
+std::vector<int64_t> tvmExpertDefaultTiles(const Module &M) {
+  // The classic hand-template rule: split each output axis by 64 (or the
+  // full extent when smaller); batch axes and conv output rows follow the
+  // same constraints AKG must respect (fractal layout).
+  PolyProgram P = extractPolyProgram(M);
+  const ir::PolyStmt *Last = &P.Stmts.back();
+  const ComputeOp *Op = Last->Op;
+  std::vector<int64_t> Tiles;
+  bool IsConv = false;
+  if (auto D = transforms::matchCubeOp(*Last))
+    IsConv = D->IsConv;
+  for (unsigned I = 0; I < Op->Axis.size(); ++I) {
+    int64_t Ext = Op->Axis[I].Extent;
+    int64_t Tile = std::min<int64_t>(Ext, 64);
+    // Round down to a power of two unless taking the whole extent.
+    if (Tile != Ext) {
+      int64_t P2 = 1;
+      while (P2 * 2 <= Tile)
+        P2 *= 2;
+      Tile = P2;
+    }
+    if (Op->Axis.size() == 4 && I == 0)
+      Tile = 1; // batch
+    if (IsConv && I + 1 == Op->Axis.size())
+      Tile = Ext; // conv output rows stay intact for img2col
+    Tiles.push_back(Tile);
+  }
+  return Tiles;
+}
+
+CompileResult compileWithTvm(const Module &M, const TvmOptions &Opts,
+                             const std::string &Name) {
+  AkgOptions A;
+  // Manual templates: no skew/shift; fusion is what compute_at gives
+  // (zero-distance chains), i.e. the conservative clustering, and nothing
+  // across tiling.
+  A.Scheduler.Fusion = sched::FusionStrategy::Conservative;
+  A.Scheduler.AllowSkew = false;
+  A.Scheduler.AllowShift = false;
+  A.EnablePostTilingFusion = false;
+  A.Sync = cce::SyncStrategy::TvmEmpirical;
+  A.Codegen = Opts.Codegen;
+  transforms::TilingPolicy Pol;
+  std::vector<int64_t> Tiles =
+      Opts.ManualTiles.empty() ? tvmExpertDefaultTiles(M) : Opts.ManualTiles;
+  // Attach the sizes to the last statement (the live-out one).
+  PolyProgram P = extractPolyProgram(M);
+  transforms::StmtTileSpec Spec;
+  for (int64_t S : Tiles)
+    Spec.Entries.push_back(transforms::TileSpecEntry{S, "UB"});
+  Pol.PerStmt[P.Stmts.back().Id] = Spec;
+  A.ManualTiles = Pol;
+  return compileWithAkg(M, A, Name);
+}
+
+} // namespace baselines
+} // namespace akg

@@ -1,0 +1,47 @@
+//===- baselines/TvmCompiler.h - Manual-schedule baseline -------*- C++ -*-===//
+//
+// The vendor-adapted-TVM baseline of the evaluation (Sec 6): the Ascend
+// R&D team ported TVM's schedule primitives to the DaVinci architecture,
+// so this path shares the DSL, the CCE backend and the simulator with AKG
+// but is restricted to what manual schedule templates can express, exactly
+// per the paper's analysis:
+//
+//  * no skewing or shifting (split/reorder/fuse/compute_at only),
+//  * pre-tiling fusion only (compute_at of zero-distance producers); the
+//    reverse strategy's overlapped tiles are not expressible, so non-
+//    pointwise producers round-trip through global memory,
+//  * rectangular tiles with expert-chosen default sizes (tunable by its
+//    auto-tuner),
+//  * img2col + fractal GEMM are available (the vendor developers wrote
+//    those templates),
+//  * empirical clustering of pipeline synchronizations rather than the DP
+//    grouping.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_BASELINES_TVMCOMPILER_H
+#define AKG_BASELINES_TVMCOMPILER_H
+
+#include "akg/Compiler.h"
+
+namespace akg {
+namespace baselines {
+
+struct TvmOptions {
+  /// Tile sizes chosen by the schedule author (per live-out band dim);
+  /// empty = the expert default rule (largest power of two <= 64 fitting).
+  std::vector<int64_t> ManualTiles;
+  cce::CodegenOptions Codegen;
+};
+
+/// Compiles one fused operator with the manual-schedule-template pipeline.
+CompileResult compileWithTvm(const ir::Module &M, const TvmOptions &Opts,
+                             const std::string &Name);
+
+/// The expert default tile-size rule used when no explicit sizes are given.
+std::vector<int64_t> tvmExpertDefaultTiles(const ir::Module &M);
+
+} // namespace baselines
+} // namespace akg
+
+#endif // AKG_BASELINES_TVMCOMPILER_H

@@ -1,0 +1,272 @@
+//===- graph/Graph.cpp - Graph engine (lite) ------------------------------===//
+
+#include "graph/Graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace akg {
+namespace graph {
+
+using namespace ir;
+
+unsigned CompGraph::addInput(std::string Name, std::vector<int64_t> Shape) {
+  GraphNode N;
+  N.Id = static_cast<unsigned>(Nodes.size());
+  N.Kind = OpKind::Input;
+  N.Name = Name.empty() ? "in" + std::to_string(N.Id) : std::move(Name);
+  N.Shape = std::move(Shape);
+  Nodes.push_back(std::move(N));
+  return Nodes.back().Id;
+}
+
+unsigned CompGraph::addElementwise(std::string Fn,
+                                   std::vector<unsigned> Inputs,
+                                   std::string Name) {
+  assert(!Inputs.empty());
+  GraphNode N;
+  N.Id = static_cast<unsigned>(Nodes.size());
+  N.Kind = OpKind::Elementwise;
+  N.Fn = std::move(Fn);
+  N.Inputs = std::move(Inputs);
+  N.Shape = Nodes[N.Inputs[0]].Shape;
+  N.Name = Name.empty() ? N.Fn + std::to_string(N.Id) : std::move(Name);
+  Nodes.push_back(std::move(N));
+  return Nodes.back().Id;
+}
+
+unsigned CompGraph::addConv(unsigned Input, int64_t Co, int64_t KH,
+                            int64_t KW, int64_t Stride, int64_t Pad,
+                            std::string Name) {
+  const GraphNode &In = Nodes[Input];
+  assert(In.Shape.size() == 4 && "conv input must be NCHW");
+  GraphNode N;
+  N.Id = static_cast<unsigned>(Nodes.size());
+  N.Kind = OpKind::Conv;
+  N.Inputs = {Input};
+  N.KH = KH;
+  N.KW = KW;
+  N.Stride = Stride;
+  N.Pad = Pad;
+  int64_t Ho = (In.Shape[2] + 2 * Pad - KH) / Stride + 1;
+  int64_t Wo = (In.Shape[3] + 2 * Pad - KW) / Stride + 1;
+  N.Shape = {In.Shape[0], Co, Ho, Wo};
+  N.Name = Name.empty() ? "conv" + std::to_string(N.Id) : std::move(Name);
+  Nodes.push_back(std::move(N));
+  return Nodes.back().Id;
+}
+
+unsigned CompGraph::addMatmul(unsigned A, unsigned B, std::string Name) {
+  const GraphNode &NA = Nodes[A];
+  const GraphNode &NB = Nodes[B];
+  assert(NA.Shape.size() == 2 && NB.Shape.size() == 2 &&
+         NA.Shape[1] == NB.Shape[0] && "matmul shape mismatch");
+  GraphNode N;
+  N.Id = static_cast<unsigned>(Nodes.size());
+  N.Kind = OpKind::Matmul;
+  N.Inputs = {A, B};
+  N.K = NA.Shape[1];
+  N.Shape = {NA.Shape[0], NB.Shape[1]};
+  N.Name = Name.empty() ? "mm" + std::to_string(N.Id) : std::move(Name);
+  Nodes.push_back(std::move(N));
+  return Nodes.back().Id;
+}
+
+unsigned CompGraph::addReduce(unsigned Input, std::string Name) {
+  const GraphNode &In = Nodes[Input];
+  GraphNode N;
+  N.Id = static_cast<unsigned>(Nodes.size());
+  N.Kind = OpKind::Reduce;
+  N.Inputs = {Input};
+  N.Shape = {In.Shape.size() >= 2 ? In.Shape[1] : In.Shape[0]};
+  N.Name = Name.empty() ? "red" + std::to_string(N.Id) : std::move(Name);
+  Nodes.push_back(std::move(N));
+  return Nodes.back().Id;
+}
+
+unsigned CompGraph::consumersOf(unsigned Id) const {
+  unsigned N = 0;
+  for (const GraphNode &G : Nodes)
+    for (unsigned I : G.Inputs)
+      if (I == Id)
+        ++N;
+  return N;
+}
+
+std::vector<FusionGroup> CompGraph::partition() const {
+  std::vector<FusionGroup> Groups;
+  std::vector<bool> Assigned(Nodes.size(), false);
+  for (const GraphNode &N : Nodes)
+    if (N.Kind == OpKind::Input)
+      Assigned[N.Id] = true;
+  // Walk in topological (id) order; start a group at each unassigned node
+  // and absorb single-consumer elementwise successors greedily.
+  for (const GraphNode &N : Nodes) {
+    if (Assigned[N.Id])
+      continue;
+    FusionGroup G;
+    G.Nodes.push_back(N.Id);
+    Assigned[N.Id] = true;
+    G.HasAnchor = N.Kind == OpKind::Conv || N.Kind == OpKind::Matmul;
+    // Absorb the elementwise chain rooted at this node.
+    unsigned Frontier = N.Id;
+    while (true) {
+      int Next = -1;
+      for (const GraphNode &C : Nodes) {
+        if (Assigned[C.Id] || C.Kind != OpKind::Elementwise)
+          continue;
+        bool Consumes = false;
+        for (unsigned I : C.Inputs)
+          if (I == Frontier)
+            Consumes = true;
+        bool AllInputsReady = true;
+        for (unsigned I : C.Inputs)
+          if (!Assigned[I] &&
+              std::find(G.Nodes.begin(), G.Nodes.end(), I) == G.Nodes.end())
+            AllInputsReady = false;
+        if (Consumes && AllInputsReady && consumersOf(Frontier) == 1) {
+          Next = static_cast<int>(C.Id);
+          break;
+        }
+      }
+      if (Next < 0)
+        break;
+      G.Nodes.push_back(static_cast<unsigned>(Next));
+      Assigned[Next] = true;
+      Frontier = static_cast<unsigned>(Next);
+    }
+    Groups.push_back(std::move(G));
+  }
+  return Groups;
+}
+
+std::shared_ptr<Module> CompGraph::emitModule(const FusionGroup &G) const {
+  auto M = std::make_shared<Module>();
+  std::map<unsigned, Tensor> TensorOf;
+  std::set<unsigned> InGroup(G.Nodes.begin(), G.Nodes.end());
+  // Placeholders for everything the group reads from outside.
+  auto Materialize = [&](unsigned Id) -> Tensor {
+    auto It = TensorOf.find(Id);
+    if (It != TensorOf.end())
+      return It->second;
+    const GraphNode &N = Nodes[Id];
+    Tensor T = M->placeholder(N.Name, N.Shape,
+                              N.Kind == OpKind::Matmul ||
+                                      N.Kind == OpKind::Conv
+                                  ? DType::F32
+                                  : DType::F16);
+    TensorOf[Id] = T;
+    return T;
+  };
+  for (unsigned Id : G.Nodes) {
+    const GraphNode &N = Nodes[Id];
+    std::vector<Tensor> Ins;
+    for (unsigned I : N.Inputs)
+      Ins.push_back(Materialize(I));
+    switch (N.Kind) {
+    case OpKind::Elementwise: {
+      Tensor Out = M->compute(N.Name, N.Shape,
+                              [&](const std::vector<Expr> &I) -> Expr {
+                                Expr A = tensorRead(Ins[0], I);
+                                if (N.Fn == "add")
+                                  return Ins.size() > 1
+                                             ? add(A, tensorRead(Ins[1], I))
+                                             : add(A, floatImm(1.0));
+                                if (N.Fn == "mul")
+                                  return Ins.size() > 1
+                                             ? mul(A, tensorRead(Ins[1], I))
+                                             : mul(A, floatImm(0.5));
+                                return call(N.Fn, {A}, DType::F16);
+                              });
+      TensorOf[Id] = Out;
+      break;
+    }
+    case OpKind::Conv: {
+      const GraphNode &In = Nodes[N.Inputs[0]];
+      Tensor Wt = M->placeholder(N.Name + "_w",
+                                 {N.Shape[1], In.Shape[1], N.KH, N.KW});
+      IterVar Rc = M->reduceAxis(In.Shape[1], N.Name + "_rc");
+      IterVar Rh = M->reduceAxis(N.KH, N.Name + "_rh");
+      IterVar Rw = M->reduceAxis(N.KW, N.Name + "_rw");
+      int64_t H = In.Shape[2], W = In.Shape[3];
+      int64_t Stride = N.Stride, Pad = N.Pad;
+      Tensor Out = M->compute(
+          N.Name, N.Shape, [&](const std::vector<Expr> &Ix) {
+            Expr Hh = sub(add(mul(Ix[2], intImm(Stride)),
+                              var(N.Name + "_rh")),
+                          intImm(Pad));
+            Expr Ww = sub(add(mul(Ix[3], intImm(Stride)),
+                              var(N.Name + "_rw")),
+                          intImm(Pad));
+            Expr Read =
+                tensorRead(Ins[0], {Ix[0], var(N.Name + "_rc"), Hh, Ww});
+            if (Pad > 0) {
+              Expr InB = binary(
+                  ExprKind::And,
+                  binary(ExprKind::And,
+                         cmp(ExprKind::CmpLE, intImm(0), Hh),
+                         cmp(ExprKind::CmpLT, Hh, intImm(H))),
+                  binary(ExprKind::And,
+                         cmp(ExprKind::CmpLE, intImm(0), Ww),
+                         cmp(ExprKind::CmpLT, Ww, intImm(W))));
+              Read = select(InB, Read, floatImm(0.0));
+            }
+            return reduce(ReduceKind::Sum,
+                          mul(Read, tensorRead(Wt, {Ix[1],
+                                                    var(N.Name + "_rc"),
+                                                    var(N.Name + "_rh"),
+                                                    var(N.Name + "_rw")})),
+                          {Rc, Rh, Rw});
+          },
+          DType::F32);
+      TensorOf[Id] = Out;
+      break;
+    }
+    case OpKind::Matmul: {
+      IterVar K = M->reduceAxis(N.K, N.Name + "_k");
+      Tensor Out = M->compute(
+          N.Name, N.Shape, [&](const std::vector<Expr> &I) {
+            return reduce(ReduceKind::Sum,
+                          mul(tensorRead(Ins[0], {I[0], var(N.Name + "_k")}),
+                              tensorRead(Ins[1],
+                                         {var(N.Name + "_k"), I[1]})),
+                          {K});
+          },
+          DType::F32);
+      TensorOf[Id] = Out;
+      break;
+    }
+    case OpKind::Reduce: {
+      const GraphNode &In = Nodes[N.Inputs[0]];
+      std::vector<IterVar> Red;
+      std::vector<std::string> RNames;
+      for (unsigned D = 0; D < In.Shape.size(); ++D)
+        if (D != 1) {
+          RNames.push_back(N.Name + "_r" + std::to_string(D));
+          Red.push_back(M->reduceAxis(In.Shape[D], RNames.back()));
+        }
+      Tensor Out = M->compute(
+          N.Name, N.Shape, [&](const std::vector<Expr> &I) {
+            std::vector<Expr> Idx;
+            unsigned R = 0;
+            for (unsigned D = 0; D < In.Shape.size(); ++D)
+              Idx.push_back(D == 1 ? I[0] : var(RNames[R++]));
+            return reduce(ReduceKind::Sum, tensorRead(Ins[0], Idx), Red);
+          },
+          DType::F32);
+      TensorOf[Id] = Out;
+      break;
+    }
+    case OpKind::Input:
+    case OpKind::Transpose:
+      assert(false && "unexpected node kind in group");
+      break;
+    }
+  }
+  return M;
+}
+
+} // namespace graph
+} // namespace akg

@@ -1,0 +1,79 @@
+//===- graph/Graph.h - Graph engine (lite) ----------------------*- C++ -*-===//
+//
+// A small computation-graph layer standing in for the MindSpore/TVM graph
+// engine AKG sits under (Sec 2/3): networks are DAGs of operator nodes;
+// the engine partitions them into fused subgraphs (one kernel each) by
+// greedily grouping elementwise/broadcast operators around compute
+// anchors, then emits one DSL Module per group for the tensor compiler.
+// This reproduces the paper's "ability to fuse any subgraphs into fewer
+// operators" at the granularity the evaluation needs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_GRAPH_GRAPH_H
+#define AKG_GRAPH_GRAPH_H
+
+#include "ir/Dsl.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace akg {
+namespace graph {
+
+enum class OpKind {
+  Input,
+  Conv,      // anchor (Cube)
+  Matmul,    // anchor (Cube)
+  Elementwise, // relu/add/mul/... (fusable)
+  Reduce,      // bn-reduce style (fusable tail)
+  Transpose,   // layout op (own kernel)
+};
+
+struct GraphNode {
+  unsigned Id = 0;
+  OpKind Kind = OpKind::Elementwise;
+  std::string Name;
+  std::string Fn; // intrinsic for elementwise ("relu", "add", "mul", ...)
+  std::vector<unsigned> Inputs;
+  std::vector<int64_t> Shape; // output shape
+  // Conv/Matmul parameters.
+  int64_t KH = 1, KW = 1, Stride = 1, Pad = 0, K = 0;
+};
+
+/// One fused group: the node ids, in topological order.
+struct FusionGroup {
+  std::vector<unsigned> Nodes;
+  bool HasAnchor = false;
+};
+
+class CompGraph {
+public:
+  unsigned addInput(std::string Name, std::vector<int64_t> Shape);
+  unsigned addElementwise(std::string Fn, std::vector<unsigned> Inputs,
+                          std::string Name = "");
+  unsigned addConv(unsigned Input, int64_t Co, int64_t KH, int64_t KW,
+                   int64_t Stride, int64_t Pad, std::string Name = "");
+  unsigned addMatmul(unsigned A, unsigned B, std::string Name = "");
+  unsigned addReduce(unsigned Input, std::string Name = "");
+
+  const std::vector<GraphNode> &nodes() const { return Nodes; }
+
+  /// Greedy anchor-based partitioning: each Cube anchor absorbs its
+  /// elementwise consumers; remaining elementwise chains form vector
+  /// groups.
+  std::vector<FusionGroup> partition() const;
+
+  /// Emits the DSL module of one group (placeholders for group inputs).
+  std::shared_ptr<ir::Module> emitModule(const FusionGroup &G) const;
+
+private:
+  std::vector<GraphNode> Nodes;
+  unsigned consumersOf(unsigned Id) const;
+};
+
+} // namespace graph
+} // namespace akg
+
+#endif // AKG_GRAPH_GRAPH_H

@@ -1,0 +1,152 @@
+//===- graph/Networks.cpp - End-to-end network models ---------------------===//
+
+#include "graph/Networks.h"
+
+namespace akg {
+namespace graph {
+
+namespace {
+
+/// Elementwise block (BN-apply + activation + residual) on an NCHW shape.
+ModulePtr vectorBlock(std::vector<int64_t> S) {
+  auto M = std::make_shared<ir::Module>();
+  using namespace ir;
+  Tensor X = M->placeholder("X", S);
+  Tensor R = M->placeholder("R", S);
+  Tensor Sc = M->placeholder("sc", {S[1]});
+  Tensor T1 = M->compute("bnap", S, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(X, I), tensorRead(Sc, {I[1]}));
+  });
+  Tensor T2 = M->compute("res", S, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(T1, I), tensorRead(R, I));
+  });
+  M->compute("act", S, [&](const std::vector<Expr> &I) {
+    return call("relu", {tensorRead(T2, I)}, DType::F16);
+  });
+  return M;
+}
+
+/// Softmax-style normalization over (Rows, Cols).
+ModulePtr softmaxBlock(int64_t Rows, int64_t Cols) {
+  auto M = std::make_shared<ir::Module>();
+  using namespace ir;
+  Tensor X = M->placeholder("X", {Rows, Cols}, DType::F32);
+  IterVar Rd = M->reduceAxis(Cols, "rd");
+  Tensor Mx = M->compute("mx", {Rows}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Max, tensorRead(X, {I[0], var("rd")}), {Rd});
+  }, DType::F32);
+  Tensor Ex = M->compute("ex", {Rows, Cols},
+                         [&](const std::vector<Expr> &I) {
+                           return call("exp",
+                                       {sub(tensorRead(X, I),
+                                            tensorRead(Mx, {I[0]}))},
+                                       DType::F32);
+                         }, DType::F32);
+  IterVar Rd2 = M->reduceAxis(Cols, "rd2");
+  Tensor Sm = M->compute("sm", {Rows}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum, tensorRead(Ex, {I[0], var("rd2")}),
+                  {Rd2});
+  }, DType::F32);
+  M->compute("pr", {Rows, Cols}, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(Ex, I),
+               call("recip", {tensorRead(Sm, {I[0]})}, DType::F32));
+  }, DType::F32);
+  return M;
+}
+
+} // namespace
+
+NetworkModel buildResNet50() {
+  NetworkModel N;
+  N.Name = "ResNet-50";
+  // Stem + the four stages (spatial extents halved; batch 16).
+  N.Layers.push_back({"stem_conv7x7",
+                      makeConv(16, 3, 112, 112, 64, 7, 7, 2, 3), 1});
+  N.Layers.push_back({"stage1_conv1x1",
+                      makeConv(16, 64, 28, 28, 64, 1, 1, 1, 0), 9});
+  N.Layers.push_back({"stage1_conv3x3",
+                      makeConv(16, 64, 28, 28, 64, 3, 3, 1, 1), 3});
+  N.Layers.push_back({"stage2_conv3x3",
+                      makeConv(16, 128, 14, 14, 128, 3, 3, 1, 1), 4});
+  N.Layers.push_back({"stage2_conv1x1",
+                      makeConv(16, 128, 14, 14, 256, 1, 1, 1, 0), 8});
+  N.Layers.push_back({"stage3_conv3x3",
+                      makeConv(16, 256, 7, 7, 256, 3, 3, 1, 1), 6});
+  N.Layers.push_back({"stage4_conv3x3",
+                      makeConv(16, 512, 4, 4, 512, 3, 3, 1, 1), 3});
+  N.Layers.push_back({"bn_relu_block", vectorBlock({16, 64, 28, 28}), 16});
+  N.Layers.push_back({"bn_relu_deep", vectorBlock({16, 256, 7, 7}), 16});
+  N.Layers.push_back({"fc", makeMatmul(16, 1000, 2048), 1});
+  return N;
+}
+
+NetworkModel buildMobileNetV2() {
+  NetworkModel N;
+  N.Name = "MobileNet-v2";
+  N.Layers.push_back({"expand_1x1",
+                      makeConv(16, 32, 28, 28, 96, 1, 1, 1, 0), 8});
+  N.Layers.push_back({"project_1x1",
+                      makeConv(16, 96, 28, 28, 32, 1, 1, 1, 0), 8});
+  N.Layers.push_back({"dw_approx_3x3",
+                      makeConv(16, 1, 56, 56, 16, 3, 3, 1, 1), 6});
+  N.Layers.push_back({"relu6_block", vectorBlock({16, 96, 28, 28}), 17});
+  N.Layers.push_back({"head_fc", makeMatmul(16, 1000, 1280), 1});
+  return N;
+}
+
+NetworkModel buildAlexNet() {
+  NetworkModel N;
+  N.Name = "AlexNet";
+  N.Layers.push_back({"conv1",
+                      makeConv(16, 3, 56, 56, 64, 11, 11, 4, 2), 1});
+  N.Layers.push_back({"conv2",
+                      makeConv(16, 64, 13, 13, 192, 5, 5, 1, 2), 1});
+  N.Layers.push_back({"conv3",
+                      makeConv(16, 192, 6, 6, 384, 3, 3, 1, 1), 1});
+  N.Layers.push_back({"conv4",
+                      makeConv(16, 384, 6, 6, 256, 3, 3, 1, 1), 1});
+  N.Layers.push_back({"conv5",
+                      makeConv(16, 256, 6, 6, 256, 3, 3, 1, 1), 1});
+  N.Layers.push_back({"relu_block", vectorBlock({16, 192, 6, 6}), 5});
+  N.Layers.push_back({"fc6", makeMatmul(16, 4096, 4608), 1});
+  N.Layers.push_back({"fc7", makeMatmul(16, 4096, 4096), 1});
+  N.Layers.push_back({"fc8", makeMatmul(16, 1000, 4096), 1});
+  return N;
+}
+
+NetworkModel buildBert(int64_t Vocab) {
+  NetworkModel N;
+  N.Name = "BERT-" + std::to_string(Vocab);
+  int64_t Seq = 512, Hid = 1024; // batch*seq rows = 512 (scaled)
+  // Per encoder layer (12 layers, scaled from 24):
+  N.Layers.push_back({"qkv_proj", makeMatmul(Seq, Hid, Hid), 12 * 4});
+  N.Layers.push_back({"attn_bmm", makeBatchMatmul(16, 64, 64, 64), 12 * 2});
+  N.Layers.push_back({"attn_softmax", softmaxBlock(Seq, Seq), 12});
+  N.Layers.push_back({"ffn_in", makeMatmul(Seq, 4 * Hid, Hid), 12});
+  N.Layers.push_back({"ffn_out", makeMatmul(Seq, Hid, 4 * Hid), 12});
+  N.Layers.push_back({"gelu_ln", makeSubgraph4(2), 12});
+  // Vocabulary projection dominates the tail (and differs per version).
+  N.Layers.push_back({"vocab_proj", makeMatmul(Seq, Vocab, Hid), 1});
+  N.Layers.push_back({"vocab_softmax", softmaxBlock(Seq, Vocab), 1});
+  return N;
+}
+
+NetworkModel buildSsd() {
+  NetworkModel N;
+  N.Name = "SSD";
+  // Backbone (VGG-ish, scaled).
+  N.Layers.push_back({"bb_conv3x3_a",
+                      makeConv(16, 64, 38, 38, 64, 3, 3, 1, 1), 4});
+  N.Layers.push_back({"bb_conv3x3_b",
+                      makeConv(16, 128, 19, 19, 128, 3, 3, 1, 1), 4});
+  N.Layers.push_back({"bb_conv1x1",
+                      makeConv(16, 256, 10, 10, 256, 1, 1, 1, 0), 4});
+  // Detection heads: many small divergent vector subgraphs.
+  N.Layers.push_back({"head_decode", makeSubgraph5(), 24});
+  N.Layers.push_back({"head_clip", vectorBlock({16, 24, 19, 19}), 12});
+  N.Layers.push_back({"head_softmax", softmaxBlock(1536, 81), 6});
+  return N;
+}
+
+} // namespace graph
+} // namespace akg

@@ -1,0 +1,43 @@
+//===- graph/Networks.h - End-to-end network models -------------*- C++ -*-===//
+//
+// The five end-to-end workloads of Fig 13 as layer-workload tables: each
+// network is the list of distinct fused subgraphs the graph engine
+// produces, with its occurrence count per training step. Spatial extents
+// are scaled down 2x from the real models to keep the simulator fast on a
+// single host core (documented in DESIGN.md); the mix of cube vs vector
+// work and the fusion structure - which is what the evaluation compares -
+// is preserved. Batch size is 16 throughout, as in the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_GRAPH_NETWORKS_H
+#define AKG_GRAPH_NETWORKS_H
+
+#include "graph/Ops.h"
+
+namespace akg {
+namespace graph {
+
+struct LayerWorkload {
+  std::string Name;
+  ModulePtr Mod;
+  unsigned Count = 1; // occurrences per training step
+};
+
+struct NetworkModel {
+  std::string Name;
+  std::vector<LayerWorkload> Layers;
+};
+
+NetworkModel buildResNet50();
+NetworkModel buildMobileNetV2();
+NetworkModel buildAlexNet();
+/// BERT with the given vocabulary size (the paper evaluates 21128 and
+/// 30522).
+NetworkModel buildBert(int64_t Vocab);
+NetworkModel buildSsd();
+
+} // namespace graph
+} // namespace akg
+
+#endif // AKG_GRAPH_NETWORKS_H

@@ -1,0 +1,387 @@
+//===- graph/Ops.cpp - Operator and subgraph builders ---------------------===//
+
+#include "graph/Ops.h"
+
+#include <cassert>
+
+namespace akg {
+namespace graph {
+
+using namespace ir;
+
+ModulePtr makeConv(int64_t N, int64_t Ci, int64_t H, int64_t W, int64_t Co,
+                   int64_t KH, int64_t KW, int64_t Stride, int64_t Pad) {
+  auto M = std::make_shared<Module>();
+  int64_t Ho = (H + 2 * Pad - KH) / Stride + 1;
+  int64_t Wo = (W + 2 * Pad - KW) / Stride + 1;
+  Tensor I = M->placeholder("I", {N, Ci, H, W});
+  Tensor Wt = M->placeholder("Wt", {Co, Ci, KH, KW});
+  IterVar Rc = M->reduceAxis(Ci, "rc");
+  IterVar Rh = M->reduceAxis(KH, "rh");
+  IterVar Rw = M->reduceAxis(KW, "rw");
+  M->compute("O", {N, Co, Ho, Wo}, [&](const std::vector<Expr> &Ix) {
+    Expr Hh = sub(add(mul(Ix[2], intImm(Stride)), var("rh")), intImm(Pad));
+    Expr Ww = sub(add(mul(Ix[3], intImm(Stride)), var("rw")), intImm(Pad));
+    Expr Read = tensorRead(I, {Ix[0], var("rc"), Hh, Ww});
+    if (Pad > 0) {
+      Expr InB = binary(
+          ExprKind::And,
+          binary(ExprKind::And, cmp(ExprKind::CmpLE, intImm(0), Hh),
+                 cmp(ExprKind::CmpLT, Hh, intImm(H))),
+          binary(ExprKind::And, cmp(ExprKind::CmpLE, intImm(0), Ww),
+                 cmp(ExprKind::CmpLT, Ww, intImm(W))));
+      Read = select(InB, Read, floatImm(0.0));
+    }
+    return reduce(ReduceKind::Sum,
+                  mul(Read, tensorRead(Wt, {Ix[1], var("rc"), var("rh"),
+                                            var("rw")})),
+                  {Rc, Rh, Rw});
+  }, DType::F32);
+  return M;
+}
+
+ModulePtr makeMatmul(int64_t Mm, int64_t N, int64_t K, DType Out) {
+  auto M = std::make_shared<Module>();
+  Tensor A = M->placeholder("A", {Mm, K});
+  Tensor B = M->placeholder("B", {K, N});
+  IterVar Rk = M->reduceAxis(K, "k");
+  M->compute("C", {Mm, N}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum,
+                  mul(tensorRead(A, {I[0], var("k")}),
+                      tensorRead(B, {var("k"), I[1]})),
+                  {Rk});
+  }, Out);
+  return M;
+}
+
+ModulePtr makeRelu(std::vector<int64_t> Shape) {
+  auto M = std::make_shared<Module>();
+  Tensor A = M->placeholder("A", Shape);
+  M->compute("B", Shape, [&](const std::vector<Expr> &I) {
+    return call("relu", {tensorRead(A, I)}, DType::F16);
+  });
+  return M;
+}
+
+ModulePtr makeBatchMatmul(int64_t B, int64_t Mm, int64_t N, int64_t K) {
+  auto M = std::make_shared<Module>();
+  Tensor A = M->placeholder("A", {B, Mm, K});
+  Tensor Bt = M->placeholder("B", {B, K, N});
+  IterVar Rk = M->reduceAxis(K, "k");
+  M->compute("C", {B, Mm, N}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum,
+                  mul(tensorRead(A, {I[0], I[1], var("k")}),
+                      tensorRead(Bt, {I[0], var("k"), I[2]})),
+                  {Rk});
+  }, DType::F32);
+  return M;
+}
+
+ModulePtr makeCast(std::vector<int64_t> Shape) {
+  auto M = std::make_shared<Module>();
+  Tensor A = M->placeholder("A", Shape, DType::F16);
+  M->compute("B", Shape, [&](const std::vector<Expr> &I) {
+    return cast(DType::F32, tensorRead(A, I));
+  }, DType::F32);
+  return M;
+}
+
+ModulePtr makeTranspose(int64_t N, int64_t Mm) {
+  auto M = std::make_shared<Module>();
+  Tensor A = M->placeholder("A", {N, Mm});
+  M->compute("B", {Mm, N}, [&](const std::vector<Expr> &I) {
+    return tensorRead(A, {I[1], I[0]});
+  });
+  return M;
+}
+
+ModulePtr makeOneHot(int64_t N, int64_t Depth) {
+  auto M = std::make_shared<Module>();
+  Tensor Idx = M->placeholder("idx", {N}, DType::I32);
+  M->compute("OH", {N, Depth}, [&](const std::vector<Expr> &I) {
+    return select(cmp(ExprKind::CmpEQ, tensorRead(Idx, {I[0]}),
+                      cast(DType::F32, I[1])),
+                  floatImm(1.0), floatImm(0.0));
+  });
+  return M;
+}
+
+ModulePtr makeTensorAdd(std::vector<int64_t> Shape) {
+  auto M = std::make_shared<Module>();
+  Tensor A = M->placeholder("A", Shape);
+  Tensor B = M->placeholder("B", Shape);
+  M->compute("C", Shape, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(A, I), tensorRead(B, I));
+  });
+  return M;
+}
+
+ModulePtr makeBnReduce(int64_t N, int64_t C, int64_t H, int64_t W) {
+  auto M = std::make_shared<Module>();
+  Tensor X = M->placeholder("X", {N, C, H, W});
+  IterVar Rn = M->reduceAxis(N, "rn");
+  IterVar Rh = M->reduceAxis(H, "rh");
+  IterVar Rw = M->reduceAxis(W, "rw");
+  M->compute("Sum", {C}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum,
+                  tensorRead(X, {var("rn"), I[0], var("rh"), var("rw")}),
+                  {Rn, Rh, Rw});
+  }, DType::F32);
+  IterVar Rn2 = M->reduceAxis(N, "rn2");
+  IterVar Rh2 = M->reduceAxis(H, "rh2");
+  IterVar Rw2 = M->reduceAxis(W, "rw2");
+  M->compute("SqSum", {C}, [&](const std::vector<Expr> &I) {
+    Expr V = tensorRead(X, {var("rn2"), I[0], var("rh2"), var("rw2")});
+    return reduce(ReduceKind::Sum, mul(V, V), {Rn2, Rh2, Rw2});
+  }, DType::F32);
+  return M;
+}
+
+ModulePtr makeBnUpdate(int64_t N, int64_t C, int64_t H, int64_t W) {
+  auto M = std::make_shared<Module>();
+  Tensor X = M->placeholder("X", {N, C, H, W});
+  Tensor Mean = M->placeholder("mean", {C}, DType::F32);
+  Tensor Var = M->placeholder("var", {C}, DType::F32);
+  Tensor Gamma = M->placeholder("gamma", {C}, DType::F32);
+  Tensor Beta = M->placeholder("beta", {C}, DType::F32);
+  Tensor Rstd = M->compute("rstd", {C}, [&](const std::vector<Expr> &I) {
+    return call("rsqrt",
+                {add(tensorRead(Var, {I[0]}), floatImm(1e-5, DType::F32))},
+                DType::F32);
+  }, DType::F32);
+  M->compute("Y", {N, C, H, W}, [&](const std::vector<Expr> &I) {
+    Expr Norm = mul(sub(tensorRead(X, I), tensorRead(Mean, {I[1]})),
+                    tensorRead(Rstd, {I[1]}));
+    return add(mul(Norm, tensorRead(Gamma, {I[1]})),
+               tensorRead(Beta, {I[1]}));
+  });
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Table 1 subgraphs
+//===----------------------------------------------------------------------===//
+
+ModulePtr makeSubgraph1(int64_t Scale) {
+  // 6 elementwise ops on (16,16,512,512) FP16 (ResNet-style BN-apply +
+  // residual + activation fusion).
+  std::vector<int64_t> S = {16, 16, 512 / Scale, 512 / Scale};
+  auto M = std::make_shared<Module>();
+  Tensor A = M->placeholder("A", S);
+  Tensor B = M->placeholder("B", S);
+  Tensor T1 = M->compute("t1", S, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(A, I), floatImm(0.5));
+  });
+  Tensor T2 = M->compute("t2", S, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(T1, I), tensorRead(B, I));
+  });
+  Tensor T3 = M->compute("t3", S, [&](const std::vector<Expr> &I) {
+    return call("abs", {tensorRead(T2, I)}, DType::F16);
+  });
+  Tensor T4 = M->compute("t4", S, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(T3, I), tensorRead(T1, I));
+  });
+  Tensor T5 = M->compute("t5", S, [&](const std::vector<Expr> &I) {
+    return minE(tensorRead(T4, I), floatImm(6.0));
+  });
+  M->compute("out", S, [&](const std::vector<Expr> &I) {
+    return call("relu", {tensorRead(T5, I)}, DType::F16);
+  });
+  return M;
+}
+
+ModulePtr makeSubgraph2(int64_t Scale) {
+  // 21 ops, FP16, (256,512,16,16): a BN-folded residual block tail - a
+  // long fused chain of elementwise ops with broadcast scale/shift.
+  std::vector<int64_t> S = {256 / Scale, 512 / Scale, 16, 16};
+  auto M = std::make_shared<Module>();
+  Tensor X = M->placeholder("X", S);
+  Tensor R = M->placeholder("Res", S);
+  Tensor Sc = M->placeholder("scale", {S[1]});
+  Tensor Sh = M->placeholder("shift", {S[1]});
+  Tensor Cur = X;
+  // 18 alternating elementwise steps.
+  for (int I2 = 0; I2 < 6; ++I2) {
+    Tensor A = M->compute("sc" + std::to_string(I2), S,
+                          [&](const std::vector<Expr> &I) {
+                            return mul(tensorRead(Cur, I),
+                                       tensorRead(Sc, {I[1]}));
+                          });
+    Tensor B = M->compute("sh" + std::to_string(I2), S,
+                          [&](const std::vector<Expr> &I) {
+                            return add(tensorRead(A, I),
+                                       tensorRead(Sh, {I[1]}));
+                          });
+    Cur = M->compute("act" + std::to_string(I2), S,
+                     [&](const std::vector<Expr> &I) {
+                       return call("relu", {tensorRead(B, I)}, DType::F16);
+                     });
+  }
+  Tensor Sum = M->compute("residual", S, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(Cur, I), tensorRead(R, I));
+  });
+  Tensor Clip = M->compute("clip", S, [&](const std::vector<Expr> &I) {
+    return minE(tensorRead(Sum, I), floatImm(65504.0));
+  });
+  M->compute("out", S, [&](const std::vector<Expr> &I) {
+    return call("relu", {tensorRead(Clip, I)}, DType::F16);
+  });
+  return M;
+}
+
+ModulePtr makeSubgraph3(int64_t Scale) {
+  // 15 ops, FP32, (30522,1024): BERT vocab-side normalization (softmax
+  // cross-entropy style): row max, shifted exp, row sum, normalize, log.
+  int64_t V = 30522 / Scale, D = 1024 / Scale;
+  auto M = std::make_shared<Module>();
+  Tensor X0 = M->placeholder("X", {V, D}, DType::F32);
+  Tensor G = M->placeholder("gain", {D}, DType::F32);
+  Tensor Xs = M->compute("prescale", {V, D}, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(X0, I), tensorRead(G, {I[1]}));
+  }, DType::F32);
+  Tensor Xb = M->compute("preshift", {V, D}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(Xs, I), floatImm(0.01, DType::F32));
+  }, DType::F32);
+  Tensor X = M->compute("clipin", {V, D}, [&](const std::vector<Expr> &I) {
+    return minE(tensorRead(Xb, I), floatImm(30.0, DType::F32));
+  }, DType::F32);
+  IterVar Rd = M->reduceAxis(D, "rd");
+  Tensor Mx = M->compute("rowmax", {V}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Max, tensorRead(X, {I[0], var("rd")}), {Rd});
+  }, DType::F32);
+  Tensor Sh = M->compute("shift", {V, D}, [&](const std::vector<Expr> &I) {
+    return sub(tensorRead(X, I), tensorRead(Mx, {I[0]}));
+  }, DType::F32);
+  Tensor Ex = M->compute("expv", {V, D}, [&](const std::vector<Expr> &I) {
+    return call("exp", {tensorRead(Sh, I)}, DType::F32);
+  }, DType::F32);
+  IterVar Rd2 = M->reduceAxis(D, "rd2");
+  Tensor Sm = M->compute("rowsum", {V}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum, tensorRead(Ex, {I[0], var("rd2")}),
+                  {Rd2});
+  }, DType::F32);
+  Tensor Rc = M->compute("recip", {V}, [&](const std::vector<Expr> &I) {
+    return call("recip", {tensorRead(Sm, {I[0]})}, DType::F32);
+  }, DType::F32);
+  Tensor Pr = M->compute("prob", {V, D}, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(Ex, I), tensorRead(Rc, {I[0]}));
+  }, DType::F32);
+  Tensor Lg = M->compute("logp", {V, D}, [&](const std::vector<Expr> &I) {
+    return call("log", {add(tensorRead(Pr, I), floatImm(1e-9, DType::F32))},
+                DType::F32);
+  }, DType::F32);
+  Tensor Nl = M->compute("nll", {V, D}, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(Lg, I), floatImm(-1.0, DType::F32));
+  }, DType::F32);
+  Tensor Cl = M->compute("clipout", {V, D}, [&](const std::vector<Expr> &I) {
+    return minE(tensorRead(Nl, I), floatImm(100.0, DType::F32));
+  }, DType::F32);
+  Tensor Ab = M->compute("absout", {V, D}, [&](const std::vector<Expr> &I) {
+    return call("abs", {tensorRead(Cl, I)}, DType::F32);
+  }, DType::F32);
+  Tensor Scl = M->compute("scaled", {V, D}, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(Ab, I), floatImm(1.0 / 1024.0, DType::F32));
+  }, DType::F32);
+  M->compute("outcast", {V, D}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(Scl, I), floatImm(0.0, DType::F32));
+  }, DType::F32);
+  return M;
+}
+
+ModulePtr makeSubgraph4(int64_t Scale) {
+  // 11 ops, FP32, (1024,1024): dense layer epilogue - matmul + bias + GELU
+  // approximation chain.
+  int64_t D = 1024 / Scale;
+  auto M = std::make_shared<Module>();
+  Tensor A = M->placeholder("A", {D, D});
+  Tensor B = M->placeholder("B", {D, D});
+  Tensor Bias = M->placeholder("bias", {D}, DType::F32);
+  IterVar K = M->reduceAxis(D, "k");
+  Tensor C = M->compute("mm", {D, D}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum,
+                  mul(tensorRead(A, {I[0], var("k")}),
+                      tensorRead(B, {var("k"), I[1]})),
+                  {K});
+  }, DType::F32);
+  Tensor T1 = M->compute("biased", {D, D}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(C, I), tensorRead(Bias, {I[1]}));
+  }, DType::F32);
+  Tensor T2 = M->compute("x3", {D, D}, [&](const std::vector<Expr> &I) {
+    Expr X = tensorRead(T1, I);
+    return mul(mul(X, X), X);
+  }, DType::F32);
+  Tensor T3 = M->compute("inner", {D, D}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(T1, I),
+               mul(tensorRead(T2, I), floatImm(0.044715, DType::F32)));
+  }, DType::F32);
+  Tensor T4 = M->compute("tanhv", {D, D}, [&](const std::vector<Expr> &I) {
+    return call("tanh",
+                {mul(tensorRead(T3, I), floatImm(0.7978845, DType::F32))},
+                DType::F32);
+  }, DType::F32);
+  Tensor T5 = M->compute("half", {D, D}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(T4, I), floatImm(1.0, DType::F32));
+  }, DType::F32);
+  Tensor T6 = M->compute("gelu", {D, D}, [&](const std::vector<Expr> &I) {
+    return mul(mul(tensorRead(T1, I), floatImm(0.5, DType::F32)),
+               tensorRead(T5, I));
+  }, DType::F32);
+  Tensor Res = M->placeholder("residual", {D, D}, DType::F32);
+  Tensor T7 = M->compute("drop", {D, D}, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(T6, I), floatImm(0.9, DType::F32));
+  }, DType::F32);
+  Tensor T8 = M->compute("addres", {D, D}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(T7, I), tensorRead(Res, I));
+  }, DType::F32);
+  Tensor T9 = M->compute("clip", {D, D}, [&](const std::vector<Expr> &I) {
+    return minE(tensorRead(T8, I), floatImm(1e4, DType::F32));
+  }, DType::F32);
+  M->compute("outact", {D, D}, [&](const std::vector<Expr> &I) {
+    return call("relu", {tensorRead(T9, I)}, DType::F32);
+  }, DType::F32);
+  return M;
+}
+
+ModulePtr makeSubgraph5(int64_t Scale) {
+  // 9 ops, FP16, (64,1,16,16): SSD prediction-head style small vector ops.
+  (void)Scale;
+  std::vector<int64_t> S = {64, 1, 16, 16};
+  auto M = std::make_shared<Module>();
+  Tensor X = M->placeholder("X", S);
+  Tensor P = M->placeholder("prior", S);
+  Tensor T0 = M->compute("v0", S, [&](const std::vector<Expr> &I) {
+    return sub(tensorRead(X, I), floatImm(0.5));
+  });
+  Tensor T1 = M->compute("v1", S, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(T0, I), floatImm(0.1));
+  });
+  Tensor T2 = M->compute("v2", S, [&](const std::vector<Expr> &I) {
+    return call("exp", {tensorRead(T1, I)}, DType::F16);
+  });
+  Tensor T3 = M->compute("v3", S, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(T2, I), tensorRead(P, I));
+  });
+  Tensor T4 = M->compute("v4", S, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(T3, I), tensorRead(P, I));
+  });
+  Tensor T5 = M->compute("v5", S, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(T4, I), floatImm(0.5));
+  });
+  Tensor T6 = M->compute("v6", S, [&](const std::vector<Expr> &I) {
+    return maxE(tensorRead(T5, I), floatImm(0.0));
+  });
+  Tensor T7 = M->compute("v7", S, [&](const std::vector<Expr> &I) {
+    return minE(tensorRead(T6, I), floatImm(1.0));
+  });
+  M->compute("out", S, [&](const std::vector<Expr> &I) {
+    return call("sigmoid", {tensorRead(T7, I)}, DType::F16);
+  });
+  return M;
+}
+
+unsigned opCount(const ir::Module &M) {
+  return static_cast<unsigned>(M.ops().size());
+}
+
+} // namespace graph
+} // namespace akg

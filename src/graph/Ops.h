@@ -1,0 +1,66 @@
+//===- graph/Ops.h - Operator and subgraph builders -------------*- C++ -*-===//
+//
+// DSL builders for every workload of the evaluation: the ten single
+// operators of Fig 9, the GEMM family of Fig 11, and the five fused
+// subgraphs of Table 1 / Fig 12. The graph engine and the network models
+// (Fig 13) compose these.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_GRAPH_OPS_H
+#define AKG_GRAPH_OPS_H
+
+#include "ir/Dsl.h"
+
+#include <memory>
+#include <string>
+
+namespace akg {
+namespace graph {
+
+using ModulePtr = std::shared_ptr<ir::Module>;
+
+/// --- Fig 9 single operators ---------------------------------------------
+/// op1: 2D convolution, NCHW.
+ModulePtr makeConv(int64_t N, int64_t Ci, int64_t H, int64_t W, int64_t Co,
+                   int64_t KH, int64_t KW, int64_t Stride = 1,
+                   int64_t Pad = 0);
+/// op2: matrix multiplication.
+ModulePtr makeMatmul(int64_t M, int64_t N, int64_t K,
+                     ir::DType Out = ir::DType::F32);
+/// op3: ReLU.
+ModulePtr makeRelu(std::vector<int64_t> Shape);
+/// op4: batched matrix multiplication.
+ModulePtr makeBatchMatmul(int64_t B, int64_t M, int64_t N, int64_t K);
+/// op5: cast FP16 -> FP32.
+ModulePtr makeCast(std::vector<int64_t> Shape);
+/// op6: 2D transpose.
+ModulePtr makeTranspose(int64_t N, int64_t M);
+/// op7: one-hot.
+ModulePtr makeOneHot(int64_t N, int64_t Depth);
+/// op8: tensor addition.
+ModulePtr makeTensorAdd(std::vector<int64_t> Shape);
+/// op9: BatchNorm training reduction (per-channel sum + square-sum).
+ModulePtr makeBnReduce(int64_t N, int64_t C, int64_t H, int64_t W);
+/// op10: BatchNorm training update (normalize + scale + shift).
+ModulePtr makeBnUpdate(int64_t N, int64_t C, int64_t H, int64_t W);
+
+/// --- Table 1 subgraphs ----------------------------------------------------
+/// subgraph1: 6 elementwise ops, FP16, (16,16,512,512).
+ModulePtr makeSubgraph1(int64_t Scale = 1);
+/// subgraph2: 21 ops (conv + BN-style chain), FP16, (256,512,16,16).
+ModulePtr makeSubgraph2(int64_t Scale = 1);
+/// subgraph3: 15 ops (softmax-style normalization), FP32, (30522,1024).
+ModulePtr makeSubgraph3(int64_t Scale = 1);
+/// subgraph4: 11 ops (matmul + bias + layernorm-style), FP32, (1024,1024).
+ModulePtr makeSubgraph4(int64_t Scale = 1);
+/// subgraph5: 9 small vector ops, FP16, (64,1,16,16).
+ModulePtr makeSubgraph5(int64_t Scale = 1);
+
+/// Number of DSL operators in a module (Table 1's "# of ops").
+unsigned opCount(const ir::Module &M);
+
+} // namespace graph
+} // namespace akg
+
+#endif // AKG_GRAPH_OPS_H

@@ -1,0 +1,361 @@
+//===- ir/Dsl.cpp - Tensor expression DSL ---------------------------------===//
+
+#include "ir/Dsl.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace akg {
+namespace ir {
+
+Tensor Module::placeholder(const std::string &Name,
+                           std::vector<int64_t> Shape, DType Type) {
+  auto T = std::make_shared<TensorDecl>();
+  T->Name = Name;
+  T->Shape = std::move(Shape);
+  T->Type = Type;
+  Inputs.push_back(T);
+  return T;
+}
+
+IterVar Module::reduceAxis(int64_t Extent, const std::string &Name) {
+  assert(Extent > 0 && "reduce axis extent must be positive");
+  return IterVar{Name, Extent, /*IsReduce=*/true};
+}
+
+Tensor Module::compute(
+    const std::string &Name, std::vector<int64_t> Shape,
+    const std::function<Expr(const std::vector<Expr> &)> &Fn, DType Type) {
+  auto Op = std::make_unique<ComputeOp>();
+  Op->Name = Name;
+  std::vector<Expr> AxisVars;
+  for (unsigned I = 0; I < Shape.size(); ++I) {
+    assert(Shape[I] > 0 && "axis extent must be positive");
+    std::string AxName = Name + "_ax" + std::to_string(I);
+    Op->Axis.push_back(IterVar{AxName, Shape[I], /*IsReduce=*/false});
+    AxisVars.push_back(var(AxName));
+  }
+  Op->Body = Fn(AxisVars);
+  assert(Op->Body && "compute body is null");
+  auto T = std::make_shared<TensorDecl>();
+  T->Name = Name;
+  T->Shape = std::move(Shape);
+  T->Type = Type;
+  T->Source = Op.get();
+  Op->Output = T;
+  Ops.push_back(std::move(Op));
+  return T;
+}
+
+Tensor Module::computeRaw(const std::string &Name, std::vector<IterVar> Axis,
+                          Expr Body, DType Type) {
+  auto Op = std::make_unique<ComputeOp>();
+  Op->Name = Name;
+  Op->Axis = std::move(Axis);
+  Op->Body = std::move(Body);
+  assert(Op->Body && "compute body is null");
+  auto T = std::make_shared<TensorDecl>();
+  T->Name = Name;
+  for (const IterVar &IV : Op->Axis)
+    T->Shape.push_back(IV.Extent);
+  T->Type = Type;
+  T->Source = Op.get();
+  Op->Output = T;
+  Ops.push_back(std::move(Op));
+  return T;
+}
+
+std::vector<Tensor> Module::outputs() const {
+  std::vector<Tensor> Outs;
+  for (const auto &Op : Ops) {
+    bool Consumed = false;
+    for (const auto &Other : Ops) {
+      if (Other.get() == Op.get())
+        continue;
+      for (const Tensor &R : collectReads(Other->Body))
+        if (R == Op->Output)
+          Consumed = true;
+    }
+    if (!Consumed)
+      Outs.push_back(Op->Output);
+  }
+  return Outs;
+}
+
+std::vector<Tensor> Module::allTensors() const {
+  std::vector<Tensor> All = Inputs;
+  for (const auto &Op : Ops)
+    All.push_back(Op->Output);
+  return All;
+}
+
+std::string Module::str() const {
+  std::ostringstream OS;
+  for (const Tensor &T : Inputs) {
+    OS << T->Name << " = placeholder((";
+    for (unsigned I = 0; I < T->Shape.size(); ++I)
+      OS << (I ? "," : "") << T->Shape[I];
+    OS << "), " << dtypeName(T->Type) << ")\n";
+  }
+  for (const auto &Op : Ops) {
+    OS << Op->Output->Name << "[";
+    for (unsigned I = 0; I < Op->Axis.size(); ++I)
+      OS << (I ? "," : "") << Op->Axis[I].Name;
+    OS << "] = " << exprToString(Op->Body) << "\n";
+  }
+  return OS.str();
+}
+
+double evalIntrinsic(const std::string &Name,
+                     const std::vector<double> &Args) {
+  assert(!Args.empty() && "intrinsic with no arguments");
+  double X = Args[0];
+  if (Name == "relu")
+    return X > 0 ? X : 0;
+  if (Name == "abs")
+    return std::fabs(X);
+  if (Name == "exp")
+    return std::exp(X);
+  if (Name == "log")
+    return std::log(X);
+  if (Name == "sqrt")
+    return std::sqrt(X);
+  if (Name == "rsqrt")
+    return 1.0 / std::sqrt(X);
+  if (Name == "sigmoid")
+    return 1.0 / (1.0 + std::exp(-X));
+  if (Name == "tanh")
+    return std::tanh(X);
+  if (Name == "recip")
+    return 1.0 / X;
+  assert(false && "unknown intrinsic");
+  return 0;
+}
+
+static int64_t evalIndex(const Expr &E,
+                         const std::map<std::string, int64_t> &Env) {
+  switch (E->Kind) {
+  case ExprKind::IntImm:
+    return E->IntVal;
+  case ExprKind::Var: {
+    auto It = Env.find(E->Name);
+    assert(It != Env.end() && "unbound index variable");
+    return It->second;
+  }
+  case ExprKind::Add:
+    return evalIndex(E->Operands[0], Env) + evalIndex(E->Operands[1], Env);
+  case ExprKind::Sub:
+    return evalIndex(E->Operands[0], Env) - evalIndex(E->Operands[1], Env);
+  case ExprKind::Mul:
+    return evalIndex(E->Operands[0], Env) * evalIndex(E->Operands[1], Env);
+  case ExprKind::FloorDiv: {
+    int64_t A = evalIndex(E->Operands[0], Env);
+    int64_t B = evalIndex(E->Operands[1], Env);
+    int64_t Q = A / B;
+    if (A % B != 0 && ((A < 0) != (B < 0)))
+      --Q;
+    return Q;
+  }
+  case ExprKind::Mod: {
+    int64_t A = evalIndex(E->Operands[0], Env);
+    int64_t B = evalIndex(E->Operands[1], Env);
+    int64_t R = A % B;
+    if (R != 0 && ((R < 0) != (B < 0)))
+      R += B;
+    return R;
+  }
+  case ExprKind::Min:
+    return std::min(evalIndex(E->Operands[0], Env),
+                    evalIndex(E->Operands[1], Env));
+  case ExprKind::Max:
+    return std::max(evalIndex(E->Operands[0], Env),
+                    evalIndex(E->Operands[1], Env));
+  default:
+    assert(false && "non-affine index expression");
+    return 0;
+  }
+}
+
+double evalExpr(const Expr &E, const std::map<std::string, int64_t> &Env,
+                const BufferMap &Buffers) {
+  switch (E->Kind) {
+  case ExprKind::IntImm:
+    return static_cast<double>(E->IntVal);
+  case ExprKind::FloatImm:
+    return E->FloatVal;
+  case ExprKind::Var: {
+    auto It = Env.find(E->Name);
+    assert(It != Env.end() && "unbound variable");
+    return static_cast<double>(It->second);
+  }
+  case ExprKind::Add:
+    return evalExpr(E->Operands[0], Env, Buffers) +
+           evalExpr(E->Operands[1], Env, Buffers);
+  case ExprKind::Sub:
+    return evalExpr(E->Operands[0], Env, Buffers) -
+           evalExpr(E->Operands[1], Env, Buffers);
+  case ExprKind::Mul:
+    return evalExpr(E->Operands[0], Env, Buffers) *
+           evalExpr(E->Operands[1], Env, Buffers);
+  case ExprKind::Div:
+    return evalExpr(E->Operands[0], Env, Buffers) /
+           evalExpr(E->Operands[1], Env, Buffers);
+  case ExprKind::FloorDiv:
+  case ExprKind::Mod:
+    return static_cast<double>(evalIndex(E, Env));
+  case ExprKind::Min:
+    return std::min(evalExpr(E->Operands[0], Env, Buffers),
+                    evalExpr(E->Operands[1], Env, Buffers));
+  case ExprKind::Max:
+    return std::max(evalExpr(E->Operands[0], Env, Buffers),
+                    evalExpr(E->Operands[1], Env, Buffers));
+  case ExprKind::Cast:
+    return evalExpr(E->Operands[0], Env, Buffers);
+  case ExprKind::Select:
+    return evalExpr(E->Operands[0], Env, Buffers) != 0
+               ? evalExpr(E->Operands[1], Env, Buffers)
+               : evalExpr(E->Operands[2], Env, Buffers);
+  case ExprKind::CmpLT:
+    return evalExpr(E->Operands[0], Env, Buffers) <
+                   evalExpr(E->Operands[1], Env, Buffers)
+               ? 1
+               : 0;
+  case ExprKind::CmpLE:
+    return evalExpr(E->Operands[0], Env, Buffers) <=
+                   evalExpr(E->Operands[1], Env, Buffers)
+               ? 1
+               : 0;
+  case ExprKind::CmpEQ:
+    return evalExpr(E->Operands[0], Env, Buffers) ==
+                   evalExpr(E->Operands[1], Env, Buffers)
+               ? 1
+               : 0;
+  case ExprKind::CmpNE:
+    return evalExpr(E->Operands[0], Env, Buffers) !=
+                   evalExpr(E->Operands[1], Env, Buffers)
+               ? 1
+               : 0;
+  case ExprKind::And:
+    return (evalExpr(E->Operands[0], Env, Buffers) != 0 &&
+            evalExpr(E->Operands[1], Env, Buffers) != 0)
+               ? 1
+               : 0;
+  case ExprKind::Or:
+    return (evalExpr(E->Operands[0], Env, Buffers) != 0 ||
+            evalExpr(E->Operands[1], Env, Buffers) != 0)
+               ? 1
+               : 0;
+  case ExprKind::Not:
+    return evalExpr(E->Operands[0], Env, Buffers) == 0 ? 1 : 0;
+  case ExprKind::TensorRead: {
+    auto It = Buffers.find(E->Ref->Name);
+    if (It == Buffers.end()) {
+      std::fprintf(stderr, "read of unmaterialized tensor '%s'\n",
+                   E->Ref->Name.c_str());
+      assert(false && "read of unmaterialized tensor");
+    }
+    int64_t Flat = 0;
+    for (unsigned I = 0; I < E->Operands.size(); ++I) {
+      int64_t Idx = evalIndex(E->Operands[I], Env);
+      if (Idx < 0 || Idx >= E->Ref->Shape[I]) {
+        std::fprintf(stderr,
+                     "read out of bounds: %s dim %u idx %lld (shape %lld), "
+                     "expr %s\n",
+                     E->Ref->Name.c_str(), I, (long long)Idx,
+                     (long long)E->Ref->Shape[I],
+                     exprToString(E->Operands[I]).c_str());
+        for (const auto &[K, V] : Env)
+          std::fprintf(stderr, "  %s = %lld\n", K.c_str(), (long long)V);
+        assert(false && "read index out of bounds");
+      }
+      Flat = Flat * E->Ref->Shape[I] + Idx;
+    }
+    return It->second[Flat];
+  }
+  case ExprKind::Call: {
+    std::vector<double> Args;
+    for (const Expr &Op : E->Operands)
+      Args.push_back(evalExpr(Op, Env, Buffers));
+    return evalIntrinsic(E->Name, Args);
+  }
+  case ExprKind::Reduce:
+    assert(false && "reduce must be handled by the op evaluator");
+    return 0;
+  }
+  return 0;
+}
+
+/// Recursively iterates the cartesian product of the axis extents.
+static void forEachPoint(const std::vector<IterVar> &Axes, unsigned Level,
+                         std::map<std::string, int64_t> &Env,
+                         const std::function<void()> &Fn) {
+  if (Level == Axes.size()) {
+    Fn();
+    return;
+  }
+  for (int64_t V = 0; V < Axes[Level].Extent; ++V) {
+    Env[Axes[Level].Name] = V;
+    forEachPoint(Axes, Level + 1, Env, Fn);
+  }
+}
+
+BufferMap evaluateModule(const Module &M, const BufferMap &Inputs) {
+  BufferMap Buffers = Inputs;
+  for (const Tensor &In : M.inputs())
+    assert(Buffers.count(In->Name) && "missing input buffer");
+  for (const auto &Op : M.ops()) {
+    std::vector<float> Out(Op->Output->numElements(), 0.0f);
+    std::map<std::string, int64_t> Env;
+    auto FlatIndex = [&]() {
+      int64_t Flat = 0;
+      for (unsigned I = 0; I < Op->Axis.size(); ++I)
+        Flat = Flat * Op->Axis[I].Extent + Env[Op->Axis[I].Name];
+      return Flat;
+    };
+    if (!Op->isReduction()) {
+      forEachPoint(Op->Axis, 0, Env, [&]() {
+        Out[FlatIndex()] =
+            static_cast<float>(evalExpr(Op->Body, Env, Buffers));
+      });
+    } else {
+      const ExprNode &Red = *Op->Body;
+      forEachPoint(Op->Axis, 0, Env, [&]() {
+        double Acc =
+            evalExpr(reduceInit(Red.RKind, Red.Type), Env, Buffers);
+        forEachPoint(Red.ReduceAxes, 0, Env, [&]() {
+          double V = evalExpr(Red.Operands[0], Env, Buffers);
+          switch (Red.RKind) {
+          case ReduceKind::Sum:
+            Acc += V;
+            break;
+          case ReduceKind::Max:
+            Acc = std::max(Acc, V);
+            break;
+          case ReduceKind::Min:
+            Acc = std::min(Acc, V);
+            break;
+          }
+        });
+        Out[FlatIndex()] = static_cast<float>(Acc);
+      });
+    }
+    Buffers[Op->Output->Name] = std::move(Out);
+  }
+  return Buffers;
+}
+
+std::vector<float> makeTestData(int64_t N, uint32_t Seed) {
+  std::vector<float> V(N);
+  uint32_t State = Seed * 2654435761u + 12345u;
+  for (int64_t I = 0; I < N; ++I) {
+    State = State * 1664525u + 1013904223u;
+    // Map to [-1, 1) with a coarse grid so FP16-ish rounding is harmless.
+    V[I] = static_cast<float>((State >> 20) & 0xFF) / 128.0f - 1.0f;
+  }
+  return V;
+}
+
+} // namespace ir
+} // namespace akg

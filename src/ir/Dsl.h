@@ -1,0 +1,118 @@
+//===- ir/Dsl.h - Tensor expression DSL -------------------------*- C++ -*-===//
+//
+// The TVM-te-like tensor expression language AKG takes as input (Sec 3).
+// A Module is a list of compute operations in creation (textual) order; the
+// graph engine hands AKG one fused subgraph per Module. The reference
+// evaluator executes a module directly and serves as the correctness oracle
+// for every compiler path in the test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_IR_DSL_H
+#define AKG_IR_DSL_H
+
+#include "ir/Expr.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace akg {
+namespace ir {
+
+struct ComputeOp;
+
+/// A tensor: either a placeholder (input) or the output of a ComputeOp.
+struct TensorDecl {
+  std::string Name;
+  std::vector<int64_t> Shape;
+  DType Type = DType::F32;
+  /// Producing operation; null for placeholders. Non-owning (the Module
+  /// owns all operations).
+  ComputeOp *Source = nullptr;
+
+  int64_t numElements() const {
+    int64_t N = 1;
+    for (int64_t S : Shape)
+      N *= S;
+    return N;
+  }
+  int64_t sizeBytes() const { return numElements() * dtypeBytes(Type); }
+};
+
+/// One DSL statement: out[axis...] = body. When the body is a Reduce node,
+/// the op is a reduction with the given reduce axes (lowered later into an
+/// initialization statement and an update statement, as in Fig 3).
+struct ComputeOp {
+  std::string Name;
+  std::vector<IterVar> Axis;
+  Expr Body;
+  Tensor Output;
+
+  bool isReduction() const {
+    return Body && Body->Kind == ExprKind::Reduce;
+  }
+};
+
+/// A fused operator: the unit AKG compiles to one NPU kernel.
+class Module {
+public:
+  /// Declares an input tensor.
+  Tensor placeholder(const std::string &Name, std::vector<int64_t> Shape,
+                     DType Type = DType::F16);
+
+  /// Creates a reduction axis for use inside a compute body.
+  IterVar reduceAxis(int64_t Extent, const std::string &Name);
+
+  /// Defines out[axes...] = Fn(axes). Fn receives one Var per output axis.
+  Tensor compute(const std::string &Name, std::vector<int64_t> Shape,
+                 const std::function<Expr(const std::vector<Expr> &)> &Fn,
+                 DType Type = DType::F16);
+
+  /// Low-level variant with explicit axes and a prebuilt body; used by
+  /// module-rebuilding passes (inlining) and by operator libraries.
+  Tensor computeRaw(const std::string &Name, std::vector<IterVar> Axis,
+                    Expr Body, DType Type = DType::F16);
+
+  const std::vector<std::unique_ptr<ComputeOp>> &ops() const { return Ops; }
+  const std::vector<Tensor> &inputs() const { return Inputs; }
+  /// Tensors that escape the module (not consumed by any later op).
+  std::vector<Tensor> outputs() const;
+
+  /// All tensors (inputs + op outputs) in creation order.
+  std::vector<Tensor> allTensors() const;
+
+  std::string str() const;
+
+private:
+  std::vector<std::unique_ptr<ComputeOp>> Ops;
+  std::vector<Tensor> Inputs;
+  unsigned NextAxisId = 0;
+};
+
+/// Named buffers of float values (all dtypes are evaluated in float; this is
+/// the shared semantics of the oracle and the functional simulator).
+using BufferMap = std::map<std::string, std::vector<float>>;
+
+/// Evaluates an intrinsic by name (relu, abs, exp, sqrt, rsqrt, sigmoid,
+/// tanh, log).
+double evalIntrinsic(const std::string &Name, const std::vector<double> &Args);
+
+/// Evaluates a scalar expression under the given integer bindings, reading
+/// tensors from \p Buffers.
+double evalExpr(const Expr &E, const std::map<std::string, int64_t> &Env,
+                const BufferMap &Buffers);
+
+/// Executes the module op by op; returns all computed buffers (inputs are
+/// passed through).
+BufferMap evaluateModule(const Module &M, const BufferMap &Inputs);
+
+/// Fills a buffer with a deterministic pseudo-random pattern.
+std::vector<float> makeTestData(int64_t N, uint32_t Seed);
+
+} // namespace ir
+} // namespace akg
+
+#endif // AKG_IR_DSL_H

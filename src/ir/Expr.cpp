@@ -1,0 +1,319 @@
+//===- ir/Expr.cpp - Tensor expression IR ---------------------------------===//
+
+#include "ir/Expr.h"
+#include "ir/Dsl.h"
+
+#include <cassert>
+#include <limits>
+#include <sstream>
+
+namespace akg {
+namespace ir {
+
+const char *dtypeName(DType T) {
+  switch (T) {
+  case DType::F16:
+    return "half";
+  case DType::F32:
+    return "float";
+  case DType::I32:
+    return "int32_t";
+  case DType::Bool:
+    return "bool";
+  }
+  return "?";
+}
+
+unsigned dtypeBytes(DType T) {
+  switch (T) {
+  case DType::F16:
+    return 2;
+  case DType::F32:
+    return 4;
+  case DType::I32:
+    return 4;
+  case DType::Bool:
+    return 1;
+  }
+  return 4;
+}
+
+static Expr makeNode(ExprKind K, DType T) {
+  auto N = std::make_shared<ExprNode>();
+  N->Kind = K;
+  N->Type = T;
+  return N;
+}
+
+Expr intImm(int64_t V, DType T) {
+  auto N = std::make_shared<ExprNode>();
+  N->Kind = ExprKind::IntImm;
+  N->Type = T;
+  N->IntVal = V;
+  return N;
+}
+
+Expr floatImm(double V, DType T) {
+  auto N = std::make_shared<ExprNode>();
+  N->Kind = ExprKind::FloatImm;
+  N->Type = T;
+  N->FloatVal = V;
+  return N;
+}
+
+Expr var(const std::string &Name, DType T) {
+  auto N = std::make_shared<ExprNode>();
+  N->Kind = ExprKind::Var;
+  N->Type = T;
+  N->Name = Name;
+  return N;
+}
+
+Expr binary(ExprKind K, Expr A, Expr B) {
+  assert(A && B && "null operand");
+  auto N = std::make_shared<ExprNode>();
+  N->Kind = K;
+  N->Type = A->Type;
+  if (K == ExprKind::CmpLT || K == ExprKind::CmpLE || K == ExprKind::CmpEQ ||
+      K == ExprKind::CmpNE || K == ExprKind::And || K == ExprKind::Or)
+    N->Type = DType::Bool;
+  N->Operands = {std::move(A), std::move(B)};
+  return N;
+}
+
+Expr add(Expr A, Expr B) { return binary(ExprKind::Add, A, B); }
+Expr sub(Expr A, Expr B) { return binary(ExprKind::Sub, A, B); }
+Expr mul(Expr A, Expr B) { return binary(ExprKind::Mul, A, B); }
+Expr floorDiv(Expr A, Expr B) { return binary(ExprKind::FloorDiv, A, B); }
+Expr mod(Expr A, Expr B) { return binary(ExprKind::Mod, A, B); }
+Expr minE(Expr A, Expr B) { return binary(ExprKind::Min, A, B); }
+Expr maxE(Expr A, Expr B) { return binary(ExprKind::Max, A, B); }
+
+Expr cast(DType T, Expr A) {
+  auto N = makeNode(ExprKind::Cast, T);
+  const_cast<ExprNode *>(N.get())->Operands = {std::move(A)};
+  return N;
+}
+
+Expr select(Expr C, Expr T, Expr F) {
+  auto N = std::make_shared<ExprNode>();
+  N->Kind = ExprKind::Select;
+  N->Type = T->Type;
+  N->Operands = {std::move(C), std::move(T), std::move(F)};
+  return N;
+}
+
+Expr cmp(ExprKind K, Expr A, Expr B) { return binary(K, A, B); }
+
+Expr tensorRead(Tensor T, std::vector<Expr> Indices) {
+  assert(T && "null tensor in read");
+  assert(Indices.size() == T->Shape.size() && "index arity mismatch");
+  auto N = std::make_shared<ExprNode>();
+  N->Kind = ExprKind::TensorRead;
+  N->Type = T->Type;
+  N->Ref = std::move(T);
+  N->Operands = std::move(Indices);
+  return N;
+}
+
+Expr call(const std::string &Fn, std::vector<Expr> Args, DType T) {
+  auto N = std::make_shared<ExprNode>();
+  N->Kind = ExprKind::Call;
+  N->Type = T;
+  N->Name = Fn;
+  N->Operands = std::move(Args);
+  return N;
+}
+
+Expr reduce(ReduceKind K, Expr Body, std::vector<IterVar> Axes) {
+  auto N = std::make_shared<ExprNode>();
+  N->Kind = ExprKind::Reduce;
+  N->Type = Body->Type;
+  N->RKind = K;
+  N->Operands = {std::move(Body)};
+  N->ReduceAxes = std::move(Axes);
+  return N;
+}
+
+Expr reduceInit(ReduceKind K, DType T) {
+  switch (K) {
+  case ReduceKind::Sum:
+    return floatImm(0.0, T);
+  case ReduceKind::Max:
+    return floatImm(-std::numeric_limits<double>::infinity(), T);
+  case ReduceKind::Min:
+    return floatImm(std::numeric_limits<double>::infinity(), T);
+  }
+  return floatImm(0.0, T);
+}
+
+bool isConstInt(const Expr &E, int64_t *Val) {
+  if (!E || E->Kind != ExprKind::IntImm)
+    return false;
+  if (Val)
+    *Val = E->IntVal;
+  return true;
+}
+
+bool exprEquals(const Expr &A, const Expr &B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->Kind != B->Kind || A->Type != B->Type)
+    return false;
+  if (A->IntVal != B->IntVal || A->FloatVal != B->FloatVal ||
+      A->Name != B->Name || A->Ref != B->Ref)
+    return false;
+  if (A->Operands.size() != B->Operands.size())
+    return false;
+  for (unsigned I = 0; I < A->Operands.size(); ++I)
+    if (!exprEquals(A->Operands[I], B->Operands[I]))
+      return false;
+  return true;
+}
+
+static void collectReadsImpl(const Expr &E, std::vector<Tensor> &Out) {
+  if (!E)
+    return;
+  if (E->Kind == ExprKind::TensorRead) {
+    bool Seen = false;
+    for (const Tensor &T : Out)
+      if (T == E->Ref)
+        Seen = true;
+    if (!Seen)
+      Out.push_back(E->Ref);
+  }
+  for (const Expr &Op : E->Operands)
+    collectReadsImpl(Op, Out);
+}
+
+std::vector<Tensor> collectReads(const Expr &E) {
+  std::vector<Tensor> Out;
+  collectReadsImpl(E, Out);
+  return Out;
+}
+
+Expr substitute(const Expr &E,
+                const std::vector<std::pair<std::string, Expr>> &Bindings) {
+  if (!E)
+    return E;
+  if (E->Kind == ExprKind::Var) {
+    for (const auto &[Name, Repl] : Bindings)
+      if (Name == E->Name)
+        return Repl;
+    return E;
+  }
+  bool Changed = false;
+  std::vector<Expr> NewOps;
+  NewOps.reserve(E->Operands.size());
+  for (const Expr &Op : E->Operands) {
+    Expr N = substitute(Op, Bindings);
+    Changed |= (N != Op);
+    NewOps.push_back(std::move(N));
+  }
+  if (!Changed)
+    return E;
+  auto N = std::make_shared<ExprNode>(*E);
+  N->Operands = std::move(NewOps);
+  return N;
+}
+
+static const char *binOpName(ExprKind K) {
+  switch (K) {
+  case ExprKind::Add:
+    return " + ";
+  case ExprKind::Sub:
+    return " - ";
+  case ExprKind::Mul:
+    return " * ";
+  case ExprKind::Div:
+    return " / ";
+  case ExprKind::Mod:
+    return " % ";
+  case ExprKind::CmpLT:
+    return " < ";
+  case ExprKind::CmpLE:
+    return " <= ";
+  case ExprKind::CmpEQ:
+    return " == ";
+  case ExprKind::CmpNE:
+    return " != ";
+  case ExprKind::And:
+    return " && ";
+  case ExprKind::Or:
+    return " || ";
+  default:
+    return " ? ";
+  }
+}
+
+std::string exprToString(const Expr &E) {
+  if (!E)
+    return "<null>";
+  std::ostringstream OS;
+  switch (E->Kind) {
+  case ExprKind::IntImm:
+    OS << E->IntVal;
+    break;
+  case ExprKind::FloatImm:
+    OS << E->FloatVal;
+    break;
+  case ExprKind::Var:
+    OS << E->Name;
+    break;
+  case ExprKind::Cast:
+    OS << "(" << dtypeName(E->Type) << ")" << exprToString(E->Operands[0]);
+    break;
+  case ExprKind::Min:
+    OS << "min(" << exprToString(E->Operands[0]) << ", "
+       << exprToString(E->Operands[1]) << ")";
+    break;
+  case ExprKind::Max:
+    OS << "max(" << exprToString(E->Operands[0]) << ", "
+       << exprToString(E->Operands[1]) << ")";
+    break;
+  case ExprKind::FloorDiv:
+    OS << "floordiv(" << exprToString(E->Operands[0]) << ", "
+       << exprToString(E->Operands[1]) << ")";
+    break;
+  case ExprKind::Select:
+    OS << "select(" << exprToString(E->Operands[0]) << ", "
+       << exprToString(E->Operands[1]) << ", " << exprToString(E->Operands[2])
+       << ")";
+    break;
+  case ExprKind::Not:
+    OS << "!" << exprToString(E->Operands[0]);
+    break;
+  case ExprKind::TensorRead: {
+    OS << E->Ref->Name << "[";
+    for (unsigned I = 0; I < E->Operands.size(); ++I)
+      OS << (I ? ", " : "") << exprToString(E->Operands[I]);
+    OS << "]";
+    break;
+  }
+  case ExprKind::Call: {
+    OS << E->Name << "(";
+    for (unsigned I = 0; I < E->Operands.size(); ++I)
+      OS << (I ? ", " : "") << exprToString(E->Operands[I]);
+    OS << ")";
+    break;
+  }
+  case ExprKind::Reduce: {
+    OS << (E->RKind == ReduceKind::Sum
+               ? "sum"
+               : E->RKind == ReduceKind::Max ? "max" : "min")
+       << "(" << exprToString(E->Operands[0]) << ", axes={";
+    for (unsigned I = 0; I < E->ReduceAxes.size(); ++I)
+      OS << (I ? "," : "") << E->ReduceAxes[I].Name;
+    OS << "})";
+    break;
+  }
+  default:
+    OS << "(" << exprToString(E->Operands[0]) << binOpName(E->Kind)
+       << exprToString(E->Operands[1]) << ")";
+    break;
+  }
+  return OS.str();
+}
+
+} // namespace ir
+} // namespace akg

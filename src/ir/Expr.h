@@ -1,0 +1,127 @@
+//===- ir/Expr.h - Tensor expression IR -------------------------*- C++ -*-===//
+//
+// The expression IR shared by the DSL front end (the role TVM's te plays for
+// AKG), the Halide-like statement IR, and the CCE code generator. Nodes are
+// immutable and shared; a single tagged node type keeps the implementation
+// compact while still covering every operator the paper's workloads need.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_IR_EXPR_H
+#define AKG_IR_EXPR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace akg {
+namespace ir {
+
+/// Element types of the DaVinci target. F16 feeds the Cube unit; F32
+/// accumulation happens in L0C.
+enum class DType { F16, F32, I32, Bool };
+
+const char *dtypeName(DType T);
+/// Size of one element in bytes.
+unsigned dtypeBytes(DType T);
+
+struct ExprNode;
+using Expr = std::shared_ptr<const ExprNode>;
+
+struct TensorDecl;
+using Tensor = std::shared_ptr<TensorDecl>;
+
+/// Expression node kinds.
+enum class ExprKind {
+  IntImm,
+  FloatImm,
+  Var,
+  Add,
+  Sub,
+  Mul,
+  Div,      // exact / truncating integer division of non-negative values
+  FloorDiv,
+  Mod,
+  Min,
+  Max,
+  Cast,
+  Select,   // Operands: cond, then, else
+  CmpLT,
+  CmpLE,
+  CmpEQ,
+  CmpNE,
+  And,
+  Or,
+  Not,
+  TensorRead, // Ref + index operands
+  Call,       // named intrinsic (exp, relu, abs, sqrt, rsqrt, ...)
+  Reduce,     // reduction marker used only at the top of a compute body
+};
+
+/// Kinds of reduction combiners supported by the DSL.
+enum class ReduceKind { Sum, Max, Min };
+
+struct IterVar {
+  std::string Name;
+  int64_t Extent = 0;
+  bool IsReduce = false;
+};
+
+/// A single immutable expression node.
+struct ExprNode {
+  ExprKind Kind;
+  DType Type = DType::F32;
+  int64_t IntVal = 0;    // IntImm
+  double FloatVal = 0;   // FloatImm
+  std::string Name;      // Var name or Call intrinsic name
+  Tensor Ref;            // TensorRead target
+  std::vector<Expr> Operands;
+  // Reduce payload:
+  ReduceKind RKind = ReduceKind::Sum;
+  std::vector<IterVar> ReduceAxes;
+};
+
+/// --- Builders -----------------------------------------------------------
+Expr intImm(int64_t V, DType T = DType::I32);
+Expr floatImm(double V, DType T = DType::F32);
+Expr var(const std::string &Name, DType T = DType::I32);
+Expr binary(ExprKind K, Expr A, Expr B);
+Expr add(Expr A, Expr B);
+Expr sub(Expr A, Expr B);
+Expr mul(Expr A, Expr B);
+Expr floorDiv(Expr A, Expr B);
+Expr mod(Expr A, Expr B);
+Expr minE(Expr A, Expr B);
+Expr maxE(Expr A, Expr B);
+Expr cast(DType T, Expr A);
+Expr select(Expr C, Expr T, Expr F);
+Expr cmp(ExprKind K, Expr A, Expr B);
+Expr tensorRead(Tensor T, std::vector<Expr> Indices);
+Expr call(const std::string &Fn, std::vector<Expr> Args, DType T);
+Expr reduce(ReduceKind K, Expr Body, std::vector<IterVar> Axes);
+
+/// Identity element of a reduction at the given type.
+Expr reduceInit(ReduceKind K, DType T);
+
+/// --- Queries ------------------------------------------------------------
+bool isConstInt(const Expr &E, int64_t *Val = nullptr);
+
+/// Structural equality (deep).
+bool exprEquals(const Expr &A, const Expr &B);
+
+/// Collects the tensors read anywhere inside \p E (deduplicated, in first
+/// occurrence order).
+std::vector<Tensor> collectReads(const Expr &E);
+
+/// Substitutes variables by name.
+Expr substitute(const Expr &E,
+                const std::vector<std::pair<std::string, Expr>> &Bindings);
+
+/// Pretty printer (C-like).
+std::string exprToString(const Expr &E);
+
+} // namespace ir
+} // namespace akg
+
+#endif // AKG_IR_EXPR_H

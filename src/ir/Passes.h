@@ -1,0 +1,46 @@
+//===- ir/Passes.h - Preparation passes -------------------------*- C++ -*-===//
+//
+// The automatic preparation steps AKG runs before lowering to the polyhedral
+// IR (Sec 3): function inlining, common subexpression elimination and
+// algebraic simplification. They establish the static-affine-control form
+// the polyhedral model requires and moderate compilation overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_IR_PASSES_H
+#define AKG_IR_PASSES_H
+
+#include "ir/Dsl.h"
+#include "ir/Stmt.h"
+
+namespace akg {
+namespace ir {
+
+/// Constant folding and algebraic identities (x+0, x*1, x*0, folding of
+/// min/max/select over constants, nested cast collapsing).
+Expr simplifyExpr(const Expr &E);
+
+/// Applies simplifyExpr to every expression in a statement tree and prunes
+/// trivially-dead structures (empty blocks, if(true)).
+Stmt simplifyStmt(const Stmt &S);
+
+/// Substitutes variables by name throughout a statement tree.
+Stmt substituteInStmt(const Stmt &S,
+                      const std::vector<std::pair<std::string, Expr>> &B);
+
+/// Structural hash-consing: returns an equivalent expression where equal
+/// subtrees are shared, and reports how many duplicates were merged.
+Expr cseExpr(const Expr &E, unsigned *MergedCount = nullptr);
+
+/// Counts nodes of an expression tree (shared nodes counted once).
+unsigned exprDagSize(const Expr &E);
+
+/// Rebuilds \p M with elementwise single-consumer producers inlined into
+/// their consumer's body. Reductions and multi-consumer tensors are kept.
+/// This is the "function inlining" preparation step.
+Module inlineElementwiseOps(const Module &M);
+
+} // namespace ir
+} // namespace akg
+
+#endif // AKG_IR_PASSES_H

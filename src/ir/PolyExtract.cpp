@@ -1,0 +1,172 @@
+//===- ir/PolyExtract.cpp - DSL -> polyhedral statements ------------------===//
+
+#include "ir/PolyExtract.h"
+
+#include <cassert>
+
+namespace akg {
+namespace ir {
+
+using poly::BasicMap;
+using poly::BasicSet;
+using poly::Space;
+
+bool exprToAffine(const Expr &E, const std::vector<IterVar> &Iters,
+                  std::vector<int64_t> &Coeffs, int64_t &Const) {
+  Coeffs.assign(Iters.size(), 0);
+  Const = 0;
+  // Recursive accumulation with a scale factor.
+  std::function<bool(const Expr &, int64_t)> Go = [&](const Expr &N,
+                                                      int64_t Scale) -> bool {
+    switch (N->Kind) {
+    case ExprKind::IntImm:
+      Const += Scale * N->IntVal;
+      return true;
+    case ExprKind::Var: {
+      for (unsigned I = 0; I < Iters.size(); ++I)
+        if (Iters[I].Name == N->Name) {
+          Coeffs[I] += Scale;
+          return true;
+        }
+      return false; // unknown variable
+    }
+    case ExprKind::Add:
+      return Go(N->Operands[0], Scale) && Go(N->Operands[1], Scale);
+    case ExprKind::Sub:
+      return Go(N->Operands[0], Scale) && Go(N->Operands[1], -Scale);
+    case ExprKind::Mul: {
+      int64_t C;
+      if (isConstInt(N->Operands[0], &C))
+        return Go(N->Operands[1], Scale * C);
+      if (isConstInt(N->Operands[1], &C))
+        return Go(N->Operands[0], Scale * C);
+      return false;
+    }
+    default:
+      return false;
+    }
+  };
+  return Go(E, 1);
+}
+
+/// Builds the access relation {Iters -> TensorDims : out_d == Idx_d(Iters)}.
+static BasicMap buildAccessMap(const std::vector<IterVar> &Iters,
+                               const Tensor &T,
+                               const std::vector<Expr> &Indices,
+                               const std::string &StmtName) {
+  std::vector<std::string> InNames, OutNames;
+  for (const IterVar &IV : Iters)
+    InNames.push_back(IV.Name);
+  for (unsigned I = 0; I < T->Shape.size(); ++I)
+    OutNames.push_back("d" + std::to_string(I));
+  BasicMap M(Space::forMap(InNames, OutNames, StmtName, T->Name));
+  for (unsigned D = 0; D < Indices.size(); ++D) {
+    std::vector<int64_t> Coeffs;
+    int64_t Const;
+    bool Ok = exprToAffine(Indices[D], Iters, Coeffs, Const);
+    assert(Ok && "non-affine tensor access after preparation passes");
+    (void)Ok;
+    std::vector<int64_t> Row(M.numCols(), 0);
+    for (unsigned I = 0; I < Iters.size(); ++I)
+      Row[M.inCol(I)] = Coeffs[I];
+    Row[M.outCol(D)] = -1;
+    M.addEq(Row, Const);
+  }
+  return M;
+}
+
+/// Collects every TensorRead subexpression with its index list.
+static void collectReadAccesses(const Expr &E,
+                                std::vector<const ExprNode *> &Out) {
+  if (!E)
+    return;
+  if (E->Kind == ExprKind::TensorRead)
+    Out.push_back(E.get());
+  for (const Expr &Op : E->Operands)
+    collectReadAccesses(Op, Out);
+}
+
+static BasicSet buildDomain(const std::vector<IterVar> &Iters,
+                            const std::string &Name) {
+  std::vector<std::string> Names;
+  for (const IterVar &IV : Iters)
+    Names.push_back(IV.Name);
+  BasicSet D(Space::forSet(Names, Name));
+  for (unsigned I = 0; I < Iters.size(); ++I) {
+    std::vector<int64_t> Lo(Iters.size(), 0);
+    Lo[I] = 1;
+    D.addIneq(Lo, 0);
+    std::vector<int64_t> Hi(Iters.size(), 0);
+    Hi[I] = -1;
+    D.addIneq(Hi, Iters[I].Extent - 1);
+  }
+  return D;
+}
+
+PolyProgram extractPolyProgram(const Module &M) {
+  PolyProgram P;
+  P.Mod = &M;
+  unsigned Id = 0;
+  auto AddStmt = [&](const ComputeOp *Op, PolyStmt::Role Role,
+                     std::vector<IterVar> Iters, Expr Rhs,
+                     std::vector<Expr> WriteIdx) {
+    PolyStmt S;
+    S.Id = Id;
+    S.Name = "S" + std::to_string(Id);
+    ++Id;
+    S.Op = Op;
+    S.StmtRole = Role;
+    S.Iters = std::move(Iters);
+    S.Domain = buildDomain(S.Iters, S.Name);
+    S.Rhs = std::move(Rhs);
+    S.Write.Ref = Op->Output;
+    S.Write.Indices = WriteIdx;
+    S.Write.Rel = buildAccessMap(S.Iters, Op->Output, WriteIdx, S.Name);
+    std::vector<const ExprNode *> ReadNodes;
+    collectReadAccesses(S.Rhs, ReadNodes);
+    for (const ExprNode *R : ReadNodes) {
+      PolyAccess A;
+      A.Ref = R->Ref;
+      A.Indices = R->Operands;
+      A.Rel = buildAccessMap(S.Iters, R->Ref, R->Operands, S.Name);
+      S.Reads.push_back(std::move(A));
+    }
+    P.Stmts.push_back(std::move(S));
+  };
+
+  for (const auto &Op : M.ops()) {
+    std::vector<Expr> OutIdx;
+    for (const IterVar &IV : Op->Axis)
+      OutIdx.push_back(var(IV.Name));
+    if (!Op->isReduction()) {
+      AddStmt(Op.get(), PolyStmt::Role::Simple, Op->Axis, Op->Body, OutIdx);
+      continue;
+    }
+    const ExprNode &Red = *Op->Body;
+    // Init statement over the output axes.
+    AddStmt(Op.get(), PolyStmt::Role::Init, Op->Axis,
+            reduceInit(Red.RKind, Red.Type), OutIdx);
+    // Update statement over output + reduce axes.
+    std::vector<IterVar> UpdIters = Op->Axis;
+    for (const IterVar &RV : Red.ReduceAxes)
+      UpdIters.push_back(RV);
+    Expr Prev = tensorRead(Op->Output, OutIdx);
+    Expr Combined;
+    switch (Red.RKind) {
+    case ReduceKind::Sum:
+      Combined = add(Prev, Red.Operands[0]);
+      break;
+    case ReduceKind::Max:
+      Combined = maxE(Prev, Red.Operands[0]);
+      break;
+    case ReduceKind::Min:
+      Combined = minE(Prev, Red.Operands[0]);
+      break;
+    }
+    AddStmt(Op.get(), PolyStmt::Role::Update, UpdIters, Combined, OutIdx);
+  }
+  return P;
+}
+
+} // namespace ir
+} // namespace akg

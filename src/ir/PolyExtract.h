@@ -1,0 +1,70 @@
+//===- ir/PolyExtract.h - DSL -> polyhedral statements ----------*- C++ -*-===//
+//
+// Extraction of the polyhedral representation from a DSL module: one
+// statement per elementwise op, and an initialization + update statement
+// pair per reduction op (matching the S1/S2 decomposition of the paper's
+// running example, Fig 3/Fig 5). Each statement carries its iteration
+// domain, write access relation, read access relations and the stored
+// value expression.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_IR_POLYEXTRACT_H
+#define AKG_IR_POLYEXTRACT_H
+
+#include "ir/Dsl.h"
+#include "poly/Affine.h"
+
+namespace akg {
+namespace ir {
+
+/// An affine tensor access: statement iterations -> tensor elements.
+struct PolyAccess {
+  Tensor Ref;
+  /// In dims = statement iterators, out dims = tensor dims.
+  poly::BasicMap Rel;
+  /// The index expressions (in terms of the statement's iterator names).
+  std::vector<Expr> Indices;
+};
+
+/// One polyhedral statement.
+struct PolyStmt {
+  enum class Role { Simple, Init, Update };
+
+  unsigned Id = 0;       // textual order; defines the initial schedule
+  std::string Name;      // "S0", "S1", ...
+  const ComputeOp *Op = nullptr;
+  Role StmtRole = Role::Simple;
+  std::vector<IterVar> Iters; // axis (+ reduce axes for updates)
+  poly::BasicSet Domain;      // over Iters
+  PolyAccess Write;
+  std::vector<PolyAccess> Reads;
+  /// Full right-hand side (for updates this includes the recurrence read of
+  /// the output tensor).
+  Expr Rhs;
+
+  unsigned numIters() const { return static_cast<unsigned>(Iters.size()); }
+  bool isReduction() const { return StmtRole == Role::Update; }
+};
+
+/// A module lowered to polyhedral form.
+struct PolyProgram {
+  const Module *Mod = nullptr;
+  std::vector<PolyStmt> Stmts;
+
+  const PolyStmt &stmt(unsigned Id) const { return Stmts.at(Id); }
+};
+
+/// Converts affine index expressions over \p Iters into (coeffs, constant);
+/// returns false for non-affine indices.
+bool exprToAffine(const Expr &E, const std::vector<IterVar> &Iters,
+                  std::vector<int64_t> &Coeffs, int64_t &Const);
+
+/// Builds the polyhedral program for a module. Asserts on non-affine
+/// accesses (the preparation passes must have established affine form).
+PolyProgram extractPolyProgram(const Module &M);
+
+} // namespace ir
+} // namespace akg
+
+#endif // AKG_IR_POLYEXTRACT_H

@@ -1,0 +1,242 @@
+//===- ir/Stmt.cpp - Halide-like statement IR -----------------------------===//
+
+#include "ir/Stmt.h"
+#include "ir/Dsl.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace akg {
+namespace ir {
+
+Stmt makeFor(std::string Var, Expr Min, Expr Extent, Stmt Body,
+             ForType FType) {
+  auto N = std::make_shared<StmtNode>();
+  N->Kind = StmtKind::For;
+  N->Var = std::move(Var);
+  N->Min = std::move(Min);
+  N->Extent = std::move(Extent);
+  N->FType = FType;
+  N->Children = {std::move(Body)};
+  return N;
+}
+
+Stmt makeProvide(Tensor Target, std::vector<Expr> Indices, Expr Value) {
+  auto N = std::make_shared<StmtNode>();
+  N->Kind = StmtKind::Provide;
+  N->Target = std::move(Target);
+  N->Indices = std::move(Indices);
+  N->Value = std::move(Value);
+  return N;
+}
+
+Stmt makeBlock(std::vector<Stmt> Stmts) {
+  if (Stmts.size() == 1)
+    return Stmts[0];
+  auto N = std::make_shared<StmtNode>();
+  N->Kind = StmtKind::Block;
+  N->Children = std::move(Stmts);
+  return N;
+}
+
+Stmt makeIf(Expr Cond, Stmt Then, Stmt Else) {
+  auto N = std::make_shared<StmtNode>();
+  N->Kind = StmtKind::IfThenElse;
+  N->Cond = std::move(Cond);
+  N->Children = {std::move(Then)};
+  if (Else)
+    N->Children.push_back(std::move(Else));
+  return N;
+}
+
+Stmt makeAttr(std::string Key, std::string Value, Stmt Body) {
+  auto N = std::make_shared<StmtNode>();
+  N->Kind = StmtKind::Attr;
+  N->Key = std::move(Key);
+  N->StrValue = std::move(Value);
+  N->Children = {std::move(Body)};
+  return N;
+}
+
+Stmt makeAllocate(Tensor Buffer, std::string MemScope, Stmt Body) {
+  auto N = std::make_shared<StmtNode>();
+  N->Kind = StmtKind::Allocate;
+  N->Buffer = std::move(Buffer);
+  N->MemScope = std::move(MemScope);
+  N->Children = {std::move(Body)};
+  return N;
+}
+
+Stmt makeEvaluate(Expr Value) {
+  auto N = std::make_shared<StmtNode>();
+  N->Kind = StmtKind::Evaluate;
+  N->Value = std::move(Value);
+  return N;
+}
+
+std::string stmtToString(const Stmt &S, unsigned Indent) {
+  if (!S)
+    return "";
+  std::string Pad(Indent * 2, ' ');
+  std::ostringstream OS;
+  switch (S->Kind) {
+  case StmtKind::For:
+    OS << Pad << "for (" << S->Var << " = " << exprToString(S->Min) << "; "
+       << S->Var << " < " << exprToString(S->Min) << " + "
+       << exprToString(S->Extent) << "; ++" << S->Var << ")"
+       << (S->FType == ForType::Vectorized
+               ? " /*vectorized*/"
+               : S->FType == ForType::Unrolled ? " /*unrolled*/" : "")
+       << " {\n"
+       << stmtToString(S->Children[0], Indent + 1) << Pad << "}\n";
+    break;
+  case StmtKind::Provide: {
+    OS << Pad << S->Target->Name << "[";
+    for (unsigned I = 0; I < S->Indices.size(); ++I)
+      OS << (I ? ", " : "") << exprToString(S->Indices[I]);
+    OS << "] = " << exprToString(S->Value) << ";\n";
+    break;
+  }
+  case StmtKind::Block:
+    for (const Stmt &C : S->Children)
+      OS << stmtToString(C, Indent);
+    break;
+  case StmtKind::IfThenElse:
+    OS << Pad << "if (" << exprToString(S->Cond) << ") {\n"
+       << stmtToString(S->Children[0], Indent + 1) << Pad << "}\n";
+    if (S->Children.size() > 1)
+      OS << Pad << "else {\n"
+         << stmtToString(S->Children[1], Indent + 1) << Pad << "}\n";
+    break;
+  case StmtKind::Attr:
+    OS << Pad << "// attr " << S->Key << " = " << S->StrValue << "\n"
+       << stmtToString(S->Children[0], Indent);
+    break;
+  case StmtKind::Allocate:
+    OS << Pad << "allocate " << S->Buffer->Name << " in " << S->MemScope
+       << "\n"
+       << stmtToString(S->Children[0], Indent);
+    break;
+  case StmtKind::Evaluate:
+    OS << Pad << exprToString(S->Value) << ";\n";
+    break;
+  }
+  return OS.str();
+}
+
+unsigned countStmtNodes(const Stmt &S, StmtKind K) {
+  if (!S)
+    return 0;
+  unsigned N = S->Kind == K ? 1 : 0;
+  for (const Stmt &C : S->Children)
+    N += countStmtNodes(C, K);
+  return N;
+}
+
+Stmt lowerToLoops(const Module &M) {
+  std::vector<Stmt> Nests;
+  for (const auto &Op : M.ops()) {
+    std::vector<Expr> Idx;
+    for (const IterVar &IV : Op->Axis)
+      Idx.push_back(var(IV.Name));
+    std::vector<Stmt> Body;
+    if (!Op->isReduction()) {
+      Body.push_back(makeProvide(Op->Output, Idx, Op->Body));
+    } else {
+      const ExprNode &Red = *Op->Body;
+      Body.push_back(
+          makeProvide(Op->Output, Idx, reduceInit(Red.RKind, Red.Type)));
+      // Update statement nested under the reduce loops.
+      Expr Prev = tensorRead(Op->Output, Idx);
+      Expr Combined;
+      switch (Red.RKind) {
+      case ReduceKind::Sum:
+        Combined = add(Prev, Red.Operands[0]);
+        break;
+      case ReduceKind::Max:
+        Combined = maxE(Prev, Red.Operands[0]);
+        break;
+      case ReduceKind::Min:
+        Combined = minE(Prev, Red.Operands[0]);
+        break;
+      }
+      Stmt Update = makeProvide(Op->Output, Idx, Combined);
+      for (unsigned I = Red.ReduceAxes.size(); I-- > 0;)
+        Update = makeFor(Red.ReduceAxes[I].Name, intImm(0),
+                         intImm(Red.ReduceAxes[I].Extent), Update);
+      Body.push_back(Update);
+    }
+    Stmt Nest = makeBlock(std::move(Body));
+    for (unsigned I = Op->Axis.size(); I-- > 0;)
+      Nest = makeFor(Op->Axis[I].Name, intImm(0),
+                     intImm(Op->Axis[I].Extent), Nest);
+    Nests.push_back(std::move(Nest));
+  }
+  return makeBlock(std::move(Nests));
+}
+
+namespace {
+
+void execStmtImpl(const Stmt &S, BufferMap &Bufs,
+                  std::map<std::string, int64_t> &Env) {
+  if (!S)
+    return;
+  switch (S->Kind) {
+  case StmtKind::For: {
+    int64_t Min = static_cast<int64_t>(evalExpr(S->Min, Env, Bufs));
+    int64_t Extent = static_cast<int64_t>(evalExpr(S->Extent, Env, Bufs));
+    for (int64_t V = Min; V < Min + Extent; ++V) {
+      Env[S->Var] = V;
+      execStmtImpl(S->Children[0], Bufs, Env);
+    }
+    Env.erase(S->Var);
+    break;
+  }
+  case StmtKind::Provide: {
+    auto &Buf = Bufs[S->Target->Name];
+    if (Buf.empty())
+      Buf.assign(S->Target->numElements(), 0.0f);
+    int64_t Flat = 0;
+    for (unsigned I = 0; I < S->Indices.size(); ++I) {
+      int64_t Idx = static_cast<int64_t>(evalExpr(S->Indices[I], Env, Bufs));
+      assert(Idx >= 0 && Idx < S->Target->Shape[I] &&
+             "store index out of bounds");
+      Flat = Flat * S->Target->Shape[I] + Idx;
+    }
+    Buf[Flat] = static_cast<float>(evalExpr(S->Value, Env, Bufs));
+    break;
+  }
+  case StmtKind::Block:
+    for (const Stmt &C : S->Children)
+      execStmtImpl(C, Bufs, Env);
+    break;
+  case StmtKind::IfThenElse:
+    if (evalExpr(S->Cond, Env, Bufs) != 0)
+      execStmtImpl(S->Children[0], Bufs, Env);
+    else if (S->Children.size() > 1)
+      execStmtImpl(S->Children[1], Bufs, Env);
+    break;
+  case StmtKind::Attr:
+  case StmtKind::Allocate:
+    execStmtImpl(S->Children[0], Bufs, Env);
+    break;
+  case StmtKind::Evaluate:
+    break;
+  }
+}
+
+} // namespace
+
+void execStmt(const Stmt &S, std::map<std::string, std::vector<float>> &Bufs) {
+  std::map<std::string, int64_t> Env;
+  execStmtImpl(S, Bufs, Env);
+}
+
+void execStmtWithEnv(const Stmt &S,
+                     std::map<std::string, std::vector<float>> &Bufs,
+                     std::map<std::string, int64_t> Env) {
+  execStmtImpl(S, Bufs, Env);
+}
+
+} // namespace ir
+} // namespace akg

@@ -1,0 +1,93 @@
+//===- ir/Stmt.h - Halide-like statement IR ---------------------*- C++ -*-===//
+//
+// The loop-nest statement IR AKG lowers the DSL into (the HalideIR role in
+// the paper's Fig 2) and the form the schedule-tree AST generator produces
+// before CCE lowering. Immutable shared nodes, one tagged node type.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_IR_STMT_H
+#define AKG_IR_STMT_H
+
+#include "ir/Expr.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace akg {
+namespace ir {
+
+enum class StmtKind {
+  For,
+  Provide, // Target[Indices...] = Value
+  Block,   // sequence of children
+  IfThenElse,
+  Attr,     // string key/value annotation wrapping a body
+  Allocate, // local buffer in a memory scope wrapping a body
+  Evaluate, // expression for side effect (intrinsic calls)
+};
+
+enum class ForType { Serial, Vectorized, Unrolled };
+
+struct StmtNode;
+using Stmt = std::shared_ptr<const StmtNode>;
+
+struct StmtNode {
+  StmtKind Kind;
+  // For.
+  std::string Var;
+  Expr Min, Extent;
+  ForType FType = ForType::Serial;
+  // Provide.
+  Tensor Target;
+  std::vector<Expr> Indices;
+  Expr Value;
+  // IfThenElse condition.
+  Expr Cond;
+  // Attr / Allocate.
+  std::string Key, StrValue;
+  Tensor Buffer;
+  std::string MemScope;
+  // Children: For/Attr/Allocate body = [0]; IfThenElse = [then, else?];
+  // Block = all.
+  std::vector<Stmt> Children;
+};
+
+Stmt makeFor(std::string Var, Expr Min, Expr Extent, Stmt Body,
+             ForType FType = ForType::Serial);
+Stmt makeProvide(Tensor Target, std::vector<Expr> Indices, Expr Value);
+Stmt makeBlock(std::vector<Stmt> Stmts);
+Stmt makeIf(Expr Cond, Stmt Then, Stmt Else = nullptr);
+Stmt makeAttr(std::string Key, std::string Value, Stmt Body);
+Stmt makeAllocate(Tensor Buffer, std::string MemScope, Stmt Body);
+Stmt makeEvaluate(Expr Value);
+
+/// Pretty printer with indentation; used for golden tests and debugging.
+std::string stmtToString(const Stmt &S, unsigned Indent = 0);
+
+/// Counts statement nodes of each kind (used by the LoC experiment and
+/// tests).
+unsigned countStmtNodes(const Stmt &S, StmtKind K);
+
+/// Lowers a module to a naive loop nest (one nest per op, textual order).
+/// This is the initial "HalideIR" the polyhedral flow starts from.
+class Module;
+Stmt lowerToLoops(const Module &M);
+
+/// Interprets a statement tree against named float buffers (allocating
+/// Provide targets on first store). Used as the correctness oracle between
+/// compilation stages.
+void execStmt(const Stmt &S, std::map<std::string, std::vector<float>> &Bufs);
+
+/// As execStmt, but with pre-bound variables (e.g. enclosing loop
+/// variables when a fragment is executed by the simulator).
+void execStmtWithEnv(const Stmt &S,
+                     std::map<std::string, std::vector<float>> &Bufs,
+                     std::map<std::string, int64_t> Env);
+
+} // namespace ir
+} // namespace akg
+
+#endif // AKG_IR_STMT_H

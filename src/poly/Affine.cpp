@@ -1,0 +1,699 @@
+//===- poly/Affine.cpp - Integer sets and affine maps ---------------------===//
+
+#include "poly/Affine.h"
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace akg {
+namespace poly {
+
+Space Space::forSet(std::vector<std::string> Dims, std::string Tuple,
+                    std::vector<std::string> Params) {
+  Space S;
+  S.In = std::move(Dims);
+  S.InTuple = std::move(Tuple);
+  S.Params = std::move(Params);
+  return S;
+}
+
+Space Space::forMap(std::vector<std::string> In, std::vector<std::string> Out,
+                    std::string InTuple, std::string OutTuple,
+                    std::vector<std::string> Params) {
+  Space S;
+  S.In = std::move(In);
+  S.Out = std::move(Out);
+  S.InTuple = std::move(InTuple);
+  S.OutTuple = std::move(OutTuple);
+  S.Params = std::move(Params);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// BasicSet
+//===----------------------------------------------------------------------===//
+
+/// Divides a constraint by the gcd of its coefficients, tightening the
+/// constant of inequalities (valid over integers).
+static void normalizeConstraint(Constraint &C) {
+  int64_t G = 0;
+  for (int64_t V : C.Coeffs)
+    G = std::gcd(G, std::abs(V));
+  if (G <= 1)
+    return;
+  for (int64_t &V : C.Coeffs)
+    V /= G;
+  if (C.IsEq) {
+    // An equality with non-divisible constant is unsatisfiable; keep it
+    // as-is so emptiness detection sees the contradiction.
+    if (C.Const % G != 0)
+      return;
+    C.Const /= G;
+  } else {
+    // floor division tightens a >= constraint over the integers.
+    int64_t Q = C.Const / G;
+    if (C.Const % G != 0 && C.Const < 0)
+      --Q;
+    C.Const = Q;
+  }
+}
+
+void BasicSet::addConstraint(Constraint C) {
+  assert(C.Coeffs.size() == numCols() && "constraint arity mismatch");
+  normalizeConstraint(C);
+  Cons.push_back(std::move(C));
+}
+
+void BasicSet::addIneq(std::vector<int64_t> Coeffs, int64_t Const) {
+  Coeffs.resize(numCols(), 0);
+  addConstraint({std::move(Coeffs), Const, /*IsEq=*/false});
+}
+
+void BasicSet::addEq(std::vector<int64_t> Coeffs, int64_t Const) {
+  Coeffs.resize(numCols(), 0);
+  addConstraint({std::move(Coeffs), Const, /*IsEq=*/true});
+}
+
+unsigned BasicSet::appendInDim(const std::string &Name) {
+  unsigned Pos = Sp.numParams() + Sp.numIn();
+  Sp.In.push_back(Name);
+  for (Constraint &C : Cons)
+    C.Coeffs.insert(C.Coeffs.begin() + Pos, 0);
+  for (DivDef &D : Divs)
+    D.Coeffs.insert(D.Coeffs.begin() + Pos, 0);
+  return Pos;
+}
+
+unsigned BasicSet::addDiv(std::vector<int64_t> Coeffs, int64_t Const,
+                          int64_t Denom) {
+  assert(Denom > 0 && "div denominator must be positive");
+  unsigned OldCols = numCols();
+  Coeffs.resize(OldCols, 0);
+  DivDef D{Coeffs, Const, Denom};
+  Divs.push_back(D);
+  for (Constraint &C : Cons)
+    C.Coeffs.push_back(0);
+  for (DivDef &DD : Divs)
+    DD.Coeffs.resize(numCols() - 1, 0); // defs never reference themselves
+  unsigned Col = numCols() - 1;
+  // Defining constraints: 0 <= e - Denom*q <= Denom - 1.
+  std::vector<int64_t> Lower(numCols(), 0);
+  for (unsigned I = 0; I < OldCols; ++I)
+    Lower[I] = D.Coeffs[I];
+  Lower[Col] = -Denom;
+  addIneq(Lower, D.Const);
+  std::vector<int64_t> Upper(numCols(), 0);
+  for (unsigned I = 0; I < OldCols; ++I)
+    Upper[I] = -D.Coeffs[I];
+  Upper[Col] = Denom;
+  addIneq(Upper, Denom - 1 - D.Const);
+  return Col;
+}
+
+unsigned BasicSet::addFreeExistential() {
+  Divs.push_back(DivDef{std::vector<int64_t>(numCols(), 0), 0, 0});
+  for (Constraint &C : Cons)
+    C.Coeffs.push_back(0);
+  for (DivDef &DD : Divs)
+    DD.Coeffs.resize(numCols() - 1, 0);
+  return numCols() - 1;
+}
+
+BasicSet BasicSet::intersect(const BasicSet &O) const {
+  assert(Sp.numParams() == O.Sp.numParams() && Sp.numIn() == O.Sp.numIn() &&
+         Sp.numOut() == O.Sp.numOut() && "space mismatch in intersect");
+  BasicSet R = *this;
+  // Append O's divs as new columns of R.
+  unsigned Base = R.numCols();
+  unsigned Shared = Sp.numParams() + Sp.numIn() + Sp.numOut();
+  for (const DivDef &D : O.Divs) {
+    R.Divs.push_back(DivDef{{}, D.Const, D.Denom});
+    for (Constraint &C : R.Cons)
+      C.Coeffs.push_back(0);
+  }
+  // Remap a column index of O into R.
+  auto RemapCol = [&](unsigned Col) {
+    return Col < Shared ? Col : Base + (Col - Shared);
+  };
+  for (unsigned I = 0; I < O.Divs.size(); ++I) {
+    DivDef &D = R.Divs[Base - Shared + I];
+    D.Coeffs.assign(R.numCols(), 0);
+    for (unsigned C = 0; C < O.Divs[I].Coeffs.size(); ++C)
+      if (O.Divs[I].Coeffs[C] != 0)
+        D.Coeffs[RemapCol(C)] = O.Divs[I].Coeffs[C];
+  }
+  for (DivDef &D : R.Divs)
+    D.Coeffs.resize(R.numCols(), 0);
+  for (const Constraint &C : O.Cons) {
+    Constraint NC;
+    NC.Coeffs.assign(R.numCols(), 0);
+    NC.Const = C.Const;
+    NC.IsEq = C.IsEq;
+    for (unsigned I = 0; I < C.Coeffs.size(); ++I)
+      if (C.Coeffs[I] != 0)
+        NC.Coeffs[RemapCol(I)] = C.Coeffs[I];
+    R.Cons.push_back(std::move(NC));
+  }
+  return R;
+}
+
+LpProblem BasicSet::toLp() const {
+  LpProblem P;
+  P.NumVars = numCols();
+  for (const Constraint &C : Cons) {
+    std::vector<Rational> Coeffs(P.NumVars);
+    for (unsigned I = 0; I < P.NumVars; ++I)
+      Coeffs[I] = Rational(C.Coeffs[I]);
+    if (C.IsEq)
+      P.addEq(std::move(Coeffs), Rational(C.Const));
+    else
+      P.addIneq(std::move(Coeffs), Rational(C.Const));
+  }
+  return P;
+}
+
+bool BasicSet::isEmpty(bool CheckInteger) const {
+  // Fast path: a constraint 0 >= c with c < 0 or 0 == c with c != 0.
+  for (const Constraint &C : Cons) {
+    bool AllZero = std::all_of(C.Coeffs.begin(), C.Coeffs.end(),
+                               [](int64_t V) { return V == 0; });
+    if (AllZero && ((C.IsEq && C.Const != 0) || (!C.IsEq && C.Const < 0)))
+      return true;
+  }
+  LpProblem P = toLp();
+  if (!lpIsFeasible(P))
+    return true;
+  if (!CheckInteger)
+    return false;
+  LpResult R = ilpSample(P);
+  if (R.Status == LpStatus::Infeasible)
+    return true;
+  return false; // found a point, or too hard: assume non-empty
+}
+
+void BasicSet::eliminateCol(unsigned Col) {
+  assert(Col < numCols() && "column out of range");
+  // If an equality defines the column with unit coefficient, substitute.
+  int SubstIdx = -1;
+  for (unsigned I = 0; I < Cons.size(); ++I) {
+    if (Cons[I].IsEq && std::abs(Cons[I].Coeffs[Col]) == 1) {
+      SubstIdx = static_cast<int>(I);
+      break;
+    }
+  }
+  std::vector<Constraint> NewCons;
+  if (SubstIdx >= 0) {
+    Constraint Def = Cons[SubstIdx];
+    int64_t S = Def.Coeffs[Col]; // +1 or -1 ; col = -S * (rest + const)
+    for (unsigned I = 0; I < Cons.size(); ++I) {
+      if (static_cast<int>(I) == SubstIdx)
+        continue;
+      Constraint C = Cons[I];
+      int64_t F = C.Coeffs[Col];
+      if (F != 0) {
+        // col = -S * rest ; C + F*col = C - F*S*rest.
+        for (unsigned K = 0; K < C.Coeffs.size(); ++K)
+          if (K != Col)
+            C.Coeffs[K] -= F * S * Def.Coeffs[K];
+        C.Const -= F * S * Def.Const;
+        C.Coeffs[Col] = 0;
+      }
+      NewCons.push_back(std::move(C));
+    }
+  } else {
+    // Split any equality with a nonzero coefficient into two inequalities.
+    std::vector<Constraint> Work;
+    for (const Constraint &C : Cons) {
+      if (C.IsEq && C.Coeffs[Col] != 0) {
+        Constraint A = C, B = C;
+        A.IsEq = false;
+        B.IsEq = false;
+        for (int64_t &V : B.Coeffs)
+          V = -V;
+        B.Const = -B.Const;
+        Work.push_back(A);
+        Work.push_back(B);
+      } else {
+        Work.push_back(C);
+      }
+    }
+    std::vector<const Constraint *> Pos, Neg;
+    for (const Constraint &C : Work) {
+      if (C.Coeffs[Col] > 0)
+        Pos.push_back(&C);
+      else if (C.Coeffs[Col] < 0)
+        Neg.push_back(&C);
+      else
+        NewCons.push_back(C);
+    }
+    for (const Constraint *P : Pos) {
+      for (const Constraint *N : Neg) {
+        int64_t A = P->Coeffs[Col];  // > 0
+        int64_t B = -N->Coeffs[Col]; // > 0
+        int64_t G = std::gcd(A, B);
+        int64_t FA = B / G, FB = A / G;
+        Constraint C;
+        C.Coeffs.assign(numCols(), 0);
+        for (unsigned K = 0; K < numCols(); ++K)
+          C.Coeffs[K] = FA * P->Coeffs[K] + FB * N->Coeffs[K];
+        C.Const = FA * P->Const + FB * N->Const;
+        C.IsEq = false;
+        assert(C.Coeffs[Col] == 0 && "FM combination failed");
+        NewCons.push_back(std::move(C));
+      }
+    }
+  }
+  Cons = std::move(NewCons);
+  // Physically remove the column.
+  for (Constraint &C : Cons)
+    C.Coeffs.erase(C.Coeffs.begin() + Col);
+  unsigned NP = Sp.numParams(), NI = Sp.numIn(), NO = Sp.numOut();
+  if (Col < NP) {
+    Sp.Params.erase(Sp.Params.begin() + Col);
+  } else if (Col < NP + NI) {
+    Sp.In.erase(Sp.In.begin() + (Col - NP));
+  } else if (Col < NP + NI + NO) {
+    Sp.Out.erase(Sp.Out.begin() + (Col - NP - NI));
+  } else {
+    Divs.erase(Divs.begin() + (Col - NP - NI - NO));
+  }
+  for (DivDef &D : Divs) {
+    if (D.Coeffs.size() > Col) {
+      if (D.Coeffs[Col] != 0) {
+        // Definition now unknown: demote to a free existential.
+        D.Coeffs.assign(numCols(), 0);
+        D.Const = 0;
+        D.Denom = 0;
+      } else {
+        D.Coeffs.erase(D.Coeffs.begin() + Col);
+      }
+    }
+    D.Coeffs.resize(numCols(), 0);
+  }
+  // Normalize and drop trivial/duplicate constraints.
+  for (Constraint &C : Cons)
+    normalizeConstraint(C);
+  std::vector<Constraint> Dedup;
+  for (Constraint &C : Cons) {
+    bool AllZero = std::all_of(C.Coeffs.begin(), C.Coeffs.end(),
+                               [](int64_t V) { return V == 0; });
+    if (AllZero && !C.IsEq && C.Const >= 0)
+      continue; // trivially true
+    bool Dup = false;
+    for (const Constraint &D : Dedup)
+      if (D.IsEq == C.IsEq && D.Const == C.Const && D.Coeffs == C.Coeffs) {
+        Dup = true;
+        break;
+      }
+    if (!Dup)
+      Dedup.push_back(std::move(C));
+  }
+  Cons = std::move(Dedup);
+  if (Cons.size() > 48)
+    removeRedundant();
+}
+
+void BasicSet::eliminateAllDivs() {
+  while (numDivs() > 0)
+    eliminateCol(divCol(numDivs() - 1));
+}
+
+BasicSet BasicSet::projectOntoPrefix(unsigned K) const {
+  assert(Sp.isSet() && "projectOntoPrefix expects a set");
+  assert(K <= Sp.numIn() && "prefix longer than dimensionality");
+  BasicSet R = *this;
+  while (R.numDivs() > 0)
+    R.eliminateCol(R.divCol(R.numDivs() - 1));
+  while (R.space().numIn() > K)
+    R.eliminateCol(R.inCol(R.space().numIn() - 1));
+  return R;
+}
+
+void BasicSet::removeRedundant() {
+  ScopedTimer T("affine.removeRedundant");
+  for (unsigned I = 0; I < Cons.size();) {
+    if (Cons[I].IsEq) {
+      ++I;
+      continue;
+    }
+    // Test whether constraint I is implied by the others.
+    LpProblem P;
+    P.NumVars = numCols();
+    for (unsigned J = 0; J < Cons.size(); ++J) {
+      if (J == I)
+        continue;
+      std::vector<Rational> Coeffs(P.NumVars);
+      for (unsigned C = 0; C < P.NumVars; ++C)
+        Coeffs[C] = Rational(Cons[J].Coeffs[C]);
+      if (Cons[J].IsEq)
+        P.addEq(std::move(Coeffs), Rational(Cons[J].Const));
+      else
+        P.addIneq(std::move(Coeffs), Rational(Cons[J].Const));
+    }
+    std::vector<Rational> Obj(P.NumVars);
+    for (unsigned C = 0; C < P.NumVars; ++C)
+      Obj[C] = Rational(Cons[I].Coeffs[C]);
+    LpResult R = lpMinimize(P, Obj);
+    bool Redundant = R.Status == LpStatus::Optimal &&
+                     R.Value + Rational(Cons[I].Const) >= Rational(0);
+    if (Redundant)
+      Cons.erase(Cons.begin() + I);
+    else
+      ++I;
+  }
+}
+
+std::optional<int64_t> BasicSet::minOfCol(unsigned Col) const {
+  LpProblem P = toLp();
+  std::vector<Rational> Obj(P.NumVars);
+  Obj[Col] = Rational(1);
+  LpResult R = lpMinimize(P, Obj);
+  if (R.Status != LpStatus::Optimal)
+    return std::nullopt;
+  return R.Value.ceil().getInt64();
+}
+
+std::optional<int64_t> BasicSet::maxOfCol(unsigned Col) const {
+  LpProblem P = toLp();
+  std::vector<Rational> Obj(P.NumVars);
+  Obj[Col] = Rational(1);
+  LpResult R = lpMaximize(P, Obj);
+  if (R.Status != LpStatus::Optimal)
+    return std::nullopt;
+  return R.Value.floor().getInt64();
+}
+
+std::optional<int64_t> BasicSet::fixedValue(unsigned Col) const {
+  std::optional<int64_t> Lo = minOfCol(Col);
+  if (!Lo)
+    return std::nullopt;
+  std::optional<int64_t> Hi = maxOfCol(Col);
+  if (!Hi || *Lo != *Hi)
+    return std::nullopt;
+  return Lo;
+}
+
+void BasicSet::recastSpace(Space NewSp) {
+  unsigned OldDims = Sp.numParams() + Sp.numIn() + Sp.numOut();
+  unsigned NewDims = NewSp.numParams() + NewSp.numIn() + NewSp.numOut();
+  assert(OldDims == NewDims && "recast must preserve column count");
+  Sp = std::move(NewSp);
+}
+
+std::string BasicSet::str() const {
+  std::ostringstream OS;
+  auto ColName = [&](unsigned C) -> std::string {
+    unsigned NP = Sp.numParams(), NI = Sp.numIn(), NO = Sp.numOut();
+    if (C < NP)
+      return Sp.Params[C];
+    if (C < NP + NI)
+      return Sp.In[C - NP].empty() ? "i" + std::to_string(C - NP)
+                                   : Sp.In[C - NP];
+    if (C < NP + NI + NO)
+      return Sp.Out[C - NP - NI].empty() ? "o" + std::to_string(C - NP - NI)
+                                         : Sp.Out[C - NP - NI];
+    return "e" + std::to_string(C - NP - NI - NO);
+  };
+  OS << "{ ";
+  if (!Sp.InTuple.empty())
+    OS << Sp.InTuple;
+  OS << "[";
+  for (unsigned I = 0; I < Sp.numIn(); ++I)
+    OS << (I ? "," : "") << ColName(Sp.numParams() + I);
+  OS << "]";
+  if (!Sp.isSet()) {
+    OS << " -> " << Sp.OutTuple << "[";
+    for (unsigned I = 0; I < Sp.numOut(); ++I)
+      OS << (I ? "," : "") << ColName(Sp.numParams() + Sp.numIn() + I);
+    OS << "]";
+  }
+  OS << " : ";
+  for (unsigned I = 0; I < Cons.size(); ++I) {
+    if (I)
+      OS << " and ";
+    const Constraint &C = Cons[I];
+    bool First = true;
+    for (unsigned K = 0; K < C.Coeffs.size(); ++K) {
+      if (C.Coeffs[K] == 0)
+        continue;
+      if (!First)
+        OS << " + ";
+      OS << C.Coeffs[K] << "*" << ColName(K);
+      First = false;
+    }
+    if (C.Const != 0 || First)
+      OS << (First ? "" : " + ") << C.Const;
+    OS << (C.IsEq ? " = 0" : " >= 0");
+  }
+  OS << " }";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Set (union)
+//===----------------------------------------------------------------------===//
+
+bool Set::isEmpty(bool CheckInteger) const {
+  for (const BasicSet &BS : Pieces)
+    if (!BS.isEmpty(CheckInteger))
+      return false;
+  return true;
+}
+
+Set Set::intersect(const Set &O) const {
+  Set R(Sp);
+  for (const BasicSet &A : Pieces)
+    for (const BasicSet &B : O.Pieces) {
+      BasicSet C = A.intersect(B);
+      if (!C.isEmpty())
+        R.addPiece(std::move(C));
+    }
+  return R;
+}
+
+Set Set::unionWith(const Set &O) const {
+  Set R = *this;
+  for (const BasicSet &B : O.Pieces)
+    R.addPiece(B);
+  return R;
+}
+
+std::string Set::str() const {
+  std::string S;
+  for (unsigned I = 0; I < Pieces.size(); ++I) {
+    if (I)
+      S += " u ";
+    S += Pieces[I].str();
+  }
+  if (Pieces.empty())
+    S = "{ }";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Free functions
+//===----------------------------------------------------------------------===//
+
+/// Copies constraints and divs of \p Src into \p Dst given a mapping from
+/// Src's [param,in,out] columns to Dst columns; Src's divs are appended as
+/// fresh divs of Dst.
+static void importInto(BasicSet &Dst, const BasicSet &Src,
+                       const std::vector<unsigned> &MainColMap) {
+  unsigned SrcMain = Src.space().numParams() + Src.space().numIn() +
+                     Src.space().numOut();
+  assert(MainColMap.size() == SrcMain && "column map arity mismatch");
+  // Append Src's div columns.
+  std::vector<unsigned> DivMap;
+  for (const DivDef &D : Src.divs()) {
+    (void)D;
+    DivMap.push_back(Dst.addFreeExistential());
+  }
+  auto Remap = [&](unsigned C) {
+    return C < SrcMain ? MainColMap[C] : DivMap[C - SrcMain];
+  };
+  // Re-attach div definitions where representable.
+  // (Definitions are redundant with the constraints added below; skipped.)
+  for (const Constraint &C : Src.constraints()) {
+    Constraint NC;
+    NC.Coeffs.assign(Dst.numCols(), 0);
+    NC.Const = C.Const;
+    NC.IsEq = C.IsEq;
+    for (unsigned I = 0; I < C.Coeffs.size(); ++I)
+      if (C.Coeffs[I] != 0)
+        NC.Coeffs[Remap(I)] = C.Coeffs[I];
+    Dst.addConstraint(std::move(NC));
+  }
+}
+
+BasicSet applyMap(const BasicSet &S, const BasicMap &M) {
+  assert(S.space().isSet() && "applyMap expects a set");
+  assert(S.space().numIn() == M.space().numIn() &&
+         "set dims do not match map input dims");
+  // Work over the map's full space, with the set constraints imported on the
+  // in dims, then project out the in dims.
+  BasicSet R = M;
+  unsigned NP = M.space().numParams();
+  std::vector<unsigned> ColMap;
+  for (unsigned P = 0; P < S.space().numParams(); ++P) {
+    assert(P < NP && "parameter spaces must be aligned");
+    ColMap.push_back(P);
+  }
+  for (unsigned D = 0; D < S.space().numIn(); ++D)
+    ColMap.push_back(NP + D);
+  importInto(R, S, ColMap);
+  // Eliminate all in dims and divs.
+  while (R.numDivs() > 0)
+    R.eliminateCol(R.divCol(R.numDivs() - 1));
+  while (R.space().numIn() > 0)
+    R.eliminateCol(R.inCol(R.space().numIn() - 1));
+  // Result: a set over the out dims.
+  Space OutSp = Space::forSet(R.space().Out, M.space().OutTuple,
+                              R.space().Params);
+  BasicSet Result(OutSp);
+  for (const Constraint &C : R.constraints())
+    Result.addConstraint(C);
+  return Result;
+}
+
+BasicMap composeMaps(const BasicMap &A, const BasicMap &B) {
+  assert(A.space().numOut() == B.space().numIn() &&
+         "composition arity mismatch");
+  unsigned NP = std::max(A.space().numParams(), B.space().numParams());
+  std::vector<std::string> Params =
+      A.space().numParams() >= B.space().numParams() ? A.space().Params
+                                                     : B.space().Params;
+  Space Sp = Space::forMap(A.space().In, B.space().Out, A.space().InTuple,
+                           B.space().OutTuple, Params);
+  BasicMap R = BasicSet::universe(Sp);
+  // Mid dims y become free existentials.
+  std::vector<unsigned> MidCols;
+  for (unsigned I = 0; I < A.space().numOut(); ++I)
+    MidCols.push_back(R.addFreeExistential());
+  // Import A over (params, x, y).
+  std::vector<unsigned> AMap;
+  for (unsigned P = 0; P < A.space().numParams(); ++P)
+    AMap.push_back(P);
+  for (unsigned D = 0; D < A.space().numIn(); ++D)
+    AMap.push_back(R.inCol(D));
+  for (unsigned D = 0; D < A.space().numOut(); ++D)
+    AMap.push_back(MidCols[D]);
+  importInto(R, A, AMap);
+  // Import B over (params, y, z).
+  std::vector<unsigned> BMap;
+  for (unsigned P = 0; P < B.space().numParams(); ++P)
+    BMap.push_back(P);
+  for (unsigned D = 0; D < B.space().numIn(); ++D)
+    BMap.push_back(MidCols[D]);
+  for (unsigned D = 0; D < B.space().numOut(); ++D)
+    BMap.push_back(R.outCol(D));
+  importInto(R, B, BMap);
+  (void)NP;
+  // Project out the mid dims (they are div columns; eliminate highest-first
+  // so recorded indices stay valid).
+  std::sort(MidCols.begin(), MidCols.end(), std::greater<unsigned>());
+  for (unsigned C : MidCols)
+    R.eliminateCol(C);
+  return R;
+}
+
+BasicMap reverseMap(const BasicMap &M) {
+  Space Sp = Space::forMap(M.space().Out, M.space().In, M.space().OutTuple,
+                           M.space().InTuple, M.space().Params);
+  BasicMap R(Sp);
+  unsigned NP = M.space().numParams();
+  unsigned NI = M.space().numIn(), NO = M.space().numOut();
+  for (unsigned I = 0; I < M.numDivs(); ++I)
+    R.addFreeExistential();
+  auto Remap = [&](unsigned C) -> unsigned {
+    if (C < NP)
+      return C;
+    if (C < NP + NI)
+      return NP + NO + (C - NP); // old in -> new out
+    if (C < NP + NI + NO)
+      return NP + (C - NP - NI); // old out -> new in
+    return C;                    // divs keep their tail position
+  };
+  for (const Constraint &C : M.constraints()) {
+    Constraint NC;
+    NC.Coeffs.assign(R.numCols(), 0);
+    NC.Const = C.Const;
+    NC.IsEq = C.IsEq;
+    for (unsigned I = 0; I < C.Coeffs.size(); ++I)
+      if (C.Coeffs[I] != 0)
+        NC.Coeffs[Remap(I)] = C.Coeffs[I];
+    R.addConstraint(std::move(NC));
+  }
+  return R;
+}
+
+BasicSet domainOfMap(const BasicMap &M) {
+  BasicSet R = M;
+  while (R.numDivs() > 0)
+    R.eliminateCol(R.divCol(R.numDivs() - 1));
+  while (R.space().numOut() > 0)
+    R.eliminateCol(R.outCol(R.space().numOut() - 1));
+  Space Sp = Space::forSet(R.space().In, M.space().InTuple, R.space().Params);
+  BasicSet Result(Sp);
+  for (const Constraint &C : R.constraints())
+    Result.addConstraint(C);
+  return Result;
+}
+
+BasicSet rangeOfMap(const BasicMap &M) {
+  return applyMap(domainOfMap(M), M);
+}
+
+BasicMap intersectDomain(const BasicMap &M, const BasicSet &Dom) {
+  assert(Dom.space().numIn() == M.space().numIn() &&
+         "domain dims mismatch");
+  BasicMap R = M;
+  std::vector<unsigned> ColMap;
+  for (unsigned P = 0; P < Dom.space().numParams(); ++P)
+    ColMap.push_back(P);
+  for (unsigned D = 0; D < Dom.space().numIn(); ++D)
+    ColMap.push_back(R.inCol(D));
+  importInto(R, Dom, ColMap);
+  return R;
+}
+
+BasicMap intersectRange(const BasicMap &M, const BasicSet &Rng) {
+  return reverseMap(intersectDomain(reverseMap(M), Rng));
+}
+
+BasicMap crossProduct(const BasicSet &S, const BasicSet &T) {
+  Space Sp = Space::forMap(S.space().In, T.space().In, S.space().InTuple,
+                           T.space().InTuple, S.space().Params);
+  BasicMap R(Sp);
+  std::vector<unsigned> SMap;
+  for (unsigned P = 0; P < S.space().numParams(); ++P)
+    SMap.push_back(P);
+  for (unsigned D = 0; D < S.space().numIn(); ++D)
+    SMap.push_back(R.inCol(D));
+  importInto(R, S, SMap);
+  std::vector<unsigned> TMap;
+  for (unsigned P = 0; P < T.space().numParams(); ++P)
+    TMap.push_back(P);
+  for (unsigned D = 0; D < T.space().numIn(); ++D)
+    TMap.push_back(R.outCol(D));
+  importInto(R, T, TMap);
+  return R;
+}
+
+BasicMap identityMapOn(const BasicSet &S) {
+  BasicMap R = crossProduct(S, S);
+  unsigned N = S.space().numIn();
+  for (unsigned D = 0; D < N; ++D) {
+    std::vector<int64_t> Coeffs(R.numCols(), 0);
+    Coeffs[R.inCol(D)] = 1;
+    Coeffs[R.outCol(D)] = -1;
+    R.addEq(Coeffs, 0);
+  }
+  return R;
+}
+
+} // namespace poly
+} // namespace akg

@@ -1,0 +1,229 @@
+//===- poly/Affine.h - Integer sets and affine maps -------------*- C++ -*-===//
+//
+// The polyhedral substrate: integer sets and affine relations represented as
+// unions of basic (convex) pieces, with the operations AKG's schedule-tree
+// transformations need. This re-implements the subset of isl semantics used
+// by the paper:
+//
+//   * constraints over [params | dims | divs | 1] with int64 coefficients,
+//   * existentially quantified "div" columns modelling floor(e/d),
+//   * intersection, application of affine relations, reversal,
+//   * projection via exact rational Fourier-Motzkin elimination (an integer
+//     over-approximation only when eliminated coefficients exceed 1; the
+//     sets AKG builds keep those cases behind explicit div columns),
+//   * emptiness via the exact LP/ILP solver, redundancy elimination,
+//   * per-dimension bound extraction for AST generation and box hulls for
+//     storage footprints (Sec 4.4 of the paper).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_POLY_AFFINE_H
+#define AKG_POLY_AFFINE_H
+
+#include "poly/Lp.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace akg {
+namespace poly {
+
+/// Identifies the dimensions of a set or map. Sets use only In dims; maps
+/// relate In dims to Out dims. Params are shared symbolic constants.
+struct Space {
+  std::vector<std::string> Params;
+  std::vector<std::string> In;
+  std::vector<std::string> Out;
+  /// Tuple names (e.g. statement or tensor ids); informational.
+  std::string InTuple;
+  std::string OutTuple;
+
+  unsigned numParams() const { return static_cast<unsigned>(Params.size()); }
+  unsigned numIn() const { return static_cast<unsigned>(In.size()); }
+  unsigned numOut() const { return static_cast<unsigned>(Out.size()); }
+  bool isSet() const { return Out.empty(); }
+
+  static Space forSet(std::vector<std::string> Dims, std::string Tuple = "",
+                      std::vector<std::string> Params = {});
+  static Space forMap(std::vector<std::string> In, std::vector<std::string> Out,
+                      std::string InTuple = "", std::string OutTuple = "",
+                      std::vector<std::string> Params = {});
+};
+
+/// A single affine constraint: Coeffs . [params, in, out, divs] + Const,
+/// interpreted as >= 0 (inequality) or == 0 (equality).
+struct Constraint {
+  std::vector<int64_t> Coeffs;
+  int64_t Const = 0;
+  bool IsEq = false;
+};
+
+/// Definition of an existential div column q = floor(Expr / Denom), where
+/// Expr ranges over [params, in, out, earlier divs, 1]. A div may also be a
+/// plain unconstrained existential (Denom == 0).
+struct DivDef {
+  std::vector<int64_t> Coeffs; // over params+in+out+divs (earlier only)
+  int64_t Const = 0;
+  int64_t Denom = 0; // 0 => free existential
+};
+
+/// A convex piece: conjunction of affine constraints over
+/// [params | in dims | out dims | divs].
+class BasicSet {
+public:
+  BasicSet() = default;
+  explicit BasicSet(Space S) : Sp(std::move(S)) {}
+
+  static BasicSet universe(Space S) { return BasicSet(std::move(S)); }
+
+  const Space &space() const { return Sp; }
+  Space &space() { return Sp; }
+
+  unsigned numDivs() const { return static_cast<unsigned>(Divs.size()); }
+  /// Total number of coefficient columns (excluding the constant).
+  unsigned numCols() const {
+    return Sp.numParams() + Sp.numIn() + Sp.numOut() + numDivs();
+  }
+  unsigned paramCol(unsigned P) const { return P; }
+  unsigned inCol(unsigned D) const { return Sp.numParams() + D; }
+  unsigned outCol(unsigned D) const { return Sp.numParams() + Sp.numIn() + D; }
+  unsigned divCol(unsigned D) const {
+    return Sp.numParams() + Sp.numIn() + Sp.numOut() + D;
+  }
+
+  const std::vector<Constraint> &constraints() const { return Cons; }
+  const std::vector<DivDef> &divs() const { return Divs; }
+
+  /// Appends a raw constraint (arity must match numCols()).
+  void addConstraint(Constraint C);
+  /// Convenience: adds Coeffs.x + Const >= 0 / == 0 with zero div coeffs.
+  void addIneq(std::vector<int64_t> Coeffs, int64_t Const);
+  void addEq(std::vector<int64_t> Coeffs, int64_t Const);
+
+  /// Appends a new set ("in") dimension after the existing in dims; returns
+  /// its column index. Existing constraints and divs get a zero
+  /// coefficient.
+  unsigned appendInDim(const std::string &Name);
+
+  /// Adds a div column q = floor((Coeffs . x + Const) / Denom) together with
+  /// its defining constraints; returns the new column index.
+  unsigned addDiv(std::vector<int64_t> Coeffs, int64_t Const, int64_t Denom);
+  /// Adds an unconstrained existential column.
+  unsigned addFreeExistential();
+
+  /// Intersection with another basic set over the same space.
+  BasicSet intersect(const BasicSet &O) const;
+
+  /// True if no rational point satisfies the constraints (or, with
+  /// CheckInteger, no integer point does).
+  bool isEmpty(bool CheckInteger = false) const;
+
+  /// Projects out column \p Col via Fourier-Motzkin (rational-exact).
+  void eliminateCol(unsigned Col);
+
+  /// Removes all div columns via FM elimination.
+  void eliminateAllDivs();
+
+  /// Projects onto the first \p K "in" dims: eliminates out dims, divs and
+  /// in dims >= K.
+  BasicSet projectOntoPrefix(unsigned K) const;
+
+  /// Removes constraints implied by the others (rational test via LP).
+  void removeRedundant();
+
+  /// Per-column constant value if the constraints force one.
+  std::optional<int64_t> fixedValue(unsigned Col) const;
+
+  /// Minimum / maximum of a column over the (integer) points; nullopt when
+  /// unbounded or empty.
+  std::optional<int64_t> minOfCol(unsigned Col) const;
+  std::optional<int64_t> maxOfCol(unsigned Col) const;
+
+  /// Builds the LP relaxation over all columns.
+  LpProblem toLp() const;
+
+  /// Renames/reshapes the space without touching columns; the new space must
+  /// have the same total dim count split differently (e.g. set<->map views).
+  void recastSpace(Space NewSp);
+
+  std::string str() const;
+
+private:
+  Space Sp;
+  std::vector<Constraint> Cons;
+  std::vector<DivDef> Divs;
+};
+
+/// A basic affine relation; same representation as BasicSet but with in and
+/// out dimensions both populated.
+using BasicMap = BasicSet;
+
+/// A finite union of basic sets over a common space.
+class Set {
+public:
+  Set() = default;
+  explicit Set(Space S) : Sp(std::move(S)) {}
+  explicit Set(BasicSet BS) : Sp(BS.space()) { Pieces.push_back(std::move(BS)); }
+
+  static Set empty(Space S) { return Set(std::move(S)); }
+  static Set universe(Space S) {
+    Set R(S);
+    R.Pieces.push_back(BasicSet::universe(std::move(S)));
+    return R;
+  }
+
+  const Space &space() const { return Sp; }
+  const std::vector<BasicSet> &pieces() const { return Pieces; }
+  std::vector<BasicSet> &pieces() { return Pieces; }
+  void addPiece(BasicSet BS) { Pieces.push_back(std::move(BS)); }
+
+  bool isEmpty(bool CheckInteger = false) const;
+  Set intersect(const Set &O) const;
+  Set unionWith(const Set &O) const;
+
+  std::string str() const;
+
+private:
+  Space Sp;
+  std::vector<BasicSet> Pieces;
+};
+
+using Map = Set; // unions of BasicMaps share the representation
+
+/// --- Free functions on basic sets/maps ---------------------------------
+
+/// Applies map \p M (in->out) to set \p S (over M's in dims): returns the
+/// image as a set over M's out dims. Params are concatenated by position and
+/// must match.
+BasicSet applyMap(const BasicSet &S, const BasicMap &M);
+
+/// Composition: (A then B), i.e. {x -> z : exists y. A(x,y) and B(y,z)}.
+BasicMap composeMaps(const BasicMap &A, const BasicMap &B);
+
+/// Swaps in and out dims.
+BasicMap reverseMap(const BasicMap &M);
+
+/// The domain (projection onto in dims) of a basic map.
+BasicSet domainOfMap(const BasicMap &M);
+
+/// The range (projection onto out dims) of a basic map.
+BasicSet rangeOfMap(const BasicMap &M);
+
+/// Restricts a map's domain by a set over its in dims.
+BasicMap intersectDomain(const BasicMap &M, const BasicSet &Dom);
+
+/// Restricts a map's range by a set over its out dims.
+BasicMap intersectRange(const BasicMap &M, const BasicSet &Rng);
+
+/// Builds {x -> y : x in S, y in T} (unconstrained product relation).
+BasicMap crossProduct(const BasicSet &S, const BasicSet &T);
+
+/// Builds the identity-embedding of a set as a map {x -> x : x in S}.
+BasicMap identityMapOn(const BasicSet &S);
+
+} // namespace poly
+} // namespace akg
+
+#endif // AKG_POLY_AFFINE_H

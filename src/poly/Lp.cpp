@@ -1,0 +1,425 @@
+//===- poly/Lp.cpp - Exact LP/ILP solver ----------------------------------===//
+
+#include "poly/Lp.h"
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace akg {
+
+void LpProblem::addIneq(std::vector<Rational> Coeffs, Rational Const) {
+  assert(Coeffs.size() == NumVars && "constraint arity mismatch");
+  Constraints.push_back({std::move(Coeffs), Const, /*IsEq=*/false});
+}
+
+void LpProblem::addEq(std::vector<Rational> Coeffs, Rational Const) {
+  assert(Coeffs.size() == NumVars && "constraint arity mismatch");
+  Constraints.push_back({std::move(Coeffs), Const, /*IsEq=*/true});
+}
+
+namespace {
+
+/// Full-tableau primal simplex over exact rationals with a maintained
+/// reduced-cost row (Bland's rule, so termination is guaranteed).
+///
+/// Internal standard form: minimize Cost . y subject to Tab y = Rhs, y >= 0.
+/// Free user variables are split as x = y+ - y-; inequalities get slacks.
+class Simplex {
+public:
+  LpStatus solve(const LpProblem &P, const std::vector<Rational> &Obj,
+                 Rational &OptValue, std::vector<Rational> &Point);
+
+private:
+  unsigned NumStd = 0;    // structural + slack columns
+  unsigned NumCols = 0;   // + artificials during phase 1
+  std::vector<std::vector<Rational>> Tab; // m x NumCols
+  std::vector<Rational> Rhs;              // m
+  std::vector<int> Basis;                 // basic column per row
+  std::vector<Rational> CostRow;          // maintained reduced costs
+
+  void pivot(unsigned Row, unsigned Col);
+  /// Runs simplex iterations until optimal or unbounded.
+  bool iterate(bool &Unbounded);
+  /// Recomputes the reduced-cost row for objective \p C over columns
+  /// [0, NumCols).
+  void resetCostRow(const std::vector<Rational> &C);
+};
+
+void Simplex::pivot(unsigned Row, unsigned Col) {
+  Rational Piv = Tab[Row][Col];
+  assert(!Piv.isZero() && "pivot on zero element");
+  if (Piv != Rational(1)) {
+    for (unsigned J = 0; J < NumCols; ++J)
+      if (!Tab[Row][J].isZero())
+        Tab[Row][J] /= Piv;
+    Rhs[Row] /= Piv;
+  }
+  for (unsigned I = 0; I < Tab.size(); ++I) {
+    if (I == Row || Tab[I][Col].isZero())
+      continue;
+    Rational F = Tab[I][Col];
+    for (unsigned J = 0; J < NumCols; ++J)
+      if (!Tab[Row][J].isZero())
+        Tab[I][J] -= F * Tab[Row][J];
+    Rhs[I] -= F * Rhs[Row];
+  }
+  if (!CostRow[Col].isZero()) {
+    Rational F = CostRow[Col];
+    for (unsigned J = 0; J < NumCols; ++J)
+      if (!Tab[Row][J].isZero())
+        CostRow[J] -= F * Tab[Row][J];
+  }
+  Basis[Row] = static_cast<int>(Col);
+}
+
+bool Simplex::iterate(bool &Unbounded) {
+  unsigned M = static_cast<unsigned>(Tab.size());
+  while (true) {
+    // Bland: first column with negative reduced cost.
+    int Enter = -1;
+    for (unsigned J = 0; J < NumCols; ++J)
+      if (CostRow[J] < Rational(0)) {
+        Enter = static_cast<int>(J);
+        break;
+      }
+    if (Enter < 0)
+      return true; // optimal
+    int LeaveRow = -1;
+    Rational BestRatio;
+    for (unsigned I = 0; I < M; ++I) {
+      if (Tab[I][Enter] > Rational(0)) {
+        Rational Ratio = Rhs[I] / Tab[I][Enter];
+        if (LeaveRow < 0 || Ratio < BestRatio ||
+            (Ratio == BestRatio && Basis[I] < Basis[LeaveRow])) {
+          LeaveRow = static_cast<int>(I);
+          BestRatio = Ratio;
+        }
+      }
+    }
+    if (LeaveRow < 0) {
+      Unbounded = true;
+      return false;
+    }
+    pivot(static_cast<unsigned>(LeaveRow), static_cast<unsigned>(Enter));
+  }
+}
+
+void Simplex::resetCostRow(const std::vector<Rational> &C) {
+  CostRow.assign(NumCols, Rational(0));
+  for (unsigned J = 0; J < NumCols; ++J)
+    CostRow[J] = J < C.size() ? C[J] : Rational(0);
+  for (unsigned I = 0; I < Tab.size(); ++I) {
+    unsigned B = static_cast<unsigned>(Basis[I]);
+    Rational CB = B < C.size() ? C[B] : Rational(0);
+    if (CB.isZero())
+      continue;
+    for (unsigned J = 0; J < NumCols; ++J)
+      if (!Tab[I][J].isZero())
+        CostRow[J] -= CB * Tab[I][J];
+  }
+}
+
+LpStatus Simplex::solve(const LpProblem &P, const std::vector<Rational> &Obj,
+                        Rational &OptValue, std::vector<Rational> &Point) {
+  unsigned N = P.NumVars;
+  unsigned NumIneq = 0;
+  for (const LpConstraint &C : P.Constraints)
+    if (!C.IsEq)
+      ++NumIneq;
+  unsigned M = static_cast<unsigned>(P.Constraints.size());
+  // Column layout: one column for known-nonnegative vars, a +/- pair for
+  // free vars, then slacks, then artificials.
+  std::vector<unsigned> PosCol(N);
+  std::vector<int> NegCol(N, -1);
+  unsigned Next = 0;
+  for (unsigned K = 0; K < N; ++K) {
+    PosCol[K] = Next++;
+    if (P.NonNeg.empty() || !P.NonNeg[K])
+      NegCol[K] = static_cast<int>(Next++);
+  }
+  NumStd = Next + NumIneq;
+  NumCols = NumStd + M; // artificials at the end
+  Tab.assign(M, std::vector<Rational>(NumCols));
+  Rhs.assign(M, Rational(0));
+  Basis.assign(M, 0);
+
+  unsigned SlackIdx = Next;
+  for (unsigned I = 0; I < M; ++I) {
+    const LpConstraint &C = P.Constraints[I];
+    // a . x + b >= 0  ->  a.x - s = -b ;  a . x + b == 0 -> a.x = -b.
+    for (unsigned K = 0; K < N; ++K) {
+      Tab[I][PosCol[K]] = C.Coeffs[K];
+      if (NegCol[K] >= 0)
+        Tab[I][NegCol[K]] = -C.Coeffs[K];
+    }
+    if (!C.IsEq)
+      Tab[I][SlackIdx++] = Rational(-1);
+    Rhs[I] = -C.Const;
+    if (Rhs[I] < Rational(0)) {
+      for (unsigned J = 0; J < NumStd; ++J)
+        Tab[I][J] = -Tab[I][J];
+      Rhs[I] = -Rhs[I];
+    }
+    Tab[I][NumStd + I] = Rational(1);
+    Basis[I] = static_cast<int>(NumStd + I);
+  }
+
+  // Phase 1: minimize the sum of artificials.
+  std::vector<Rational> Phase1Cost(NumCols);
+  for (unsigned I = 0; I < M; ++I)
+    Phase1Cost[NumStd + I] = Rational(1);
+  resetCostRow(Phase1Cost);
+  bool Unbounded = false;
+  iterate(Unbounded);
+  assert(!Unbounded && "phase 1 cannot be unbounded");
+  Rational Phase1Val;
+  for (unsigned I = 0; I < M; ++I)
+    if (static_cast<unsigned>(Basis[I]) >= NumStd)
+      Phase1Val += Rhs[I];
+  if (!Phase1Val.isZero())
+    return LpStatus::Infeasible;
+
+  // Drive any remaining artificials out of the basis (they are at zero).
+  for (unsigned I = 0; I < M; ++I) {
+    if (static_cast<unsigned>(Basis[I]) < NumStd)
+      continue;
+    int PivCol = -1;
+    for (unsigned J = 0; J < NumStd; ++J)
+      if (!Tab[I][J].isZero()) {
+        PivCol = static_cast<int>(J);
+        break;
+      }
+    if (PivCol >= 0)
+      pivot(I, static_cast<unsigned>(PivCol));
+  }
+  // Drop rows whose basic variable is still artificial (redundant 0 = 0).
+  for (unsigned I = 0; I < Tab.size();) {
+    if (static_cast<unsigned>(Basis[I]) >= NumStd) {
+      assert(Rhs[I].isZero() && "non-zero artificial after phase 1");
+      Tab.erase(Tab.begin() + I);
+      Rhs.erase(Rhs.begin() + I);
+      Basis.erase(Basis.begin() + I);
+    } else {
+      ++I;
+    }
+  }
+
+  // Phase 2: truncate artificial columns so they can never re-enter.
+  NumCols = NumStd;
+  for (auto &Row : Tab)
+    Row.resize(NumCols);
+  std::vector<Rational> Cost(NumCols);
+  for (unsigned K = 0; K < N; ++K) {
+    Cost[PosCol[K]] = Obj[K];
+    if (NegCol[K] >= 0)
+      Cost[NegCol[K]] = -Obj[K];
+  }
+  resetCostRow(Cost);
+  Unbounded = false;
+  iterate(Unbounded);
+  if (Unbounded)
+    return LpStatus::Unbounded;
+
+  std::vector<Rational> Y(NumStd);
+  for (unsigned I = 0; I < Tab.size(); ++I)
+    Y[Basis[I]] = Rhs[I];
+  Point.assign(N, Rational(0));
+  OptValue = Rational(0);
+  for (unsigned K = 0; K < N; ++K) {
+    Point[K] = Y[PosCol[K]];
+    if (NegCol[K] >= 0)
+      Point[K] -= Y[NegCol[K]];
+    OptValue += Obj[K] * Point[K];
+  }
+  return LpStatus::Optimal;
+}
+
+} // namespace
+
+LpResult lpMinimize(const LpProblem &P, const std::vector<Rational> &Obj) {
+  ScopedTimer T("lp.minimize");
+  assert(Obj.size() == P.NumVars && "objective arity mismatch");
+  LpResult R;
+  Simplex S;
+  R.Status = S.solve(P, Obj, R.Value, R.Point);
+  return R;
+}
+
+LpResult lpMaximize(const LpProblem &P, const std::vector<Rational> &Obj) {
+  std::vector<Rational> Neg(Obj.size());
+  for (unsigned I = 0; I < Obj.size(); ++I)
+    Neg[I] = -Obj[I];
+  LpResult R = lpMinimize(P, Neg);
+  if (R.Status == LpStatus::Optimal)
+    R.Value = -R.Value;
+  return R;
+}
+
+bool lpIsFeasible(const LpProblem &P) {
+  std::vector<Rational> Zero(P.NumVars);
+  return lpMinimize(P, Zero).Status != LpStatus::Infeasible;
+}
+
+namespace {
+
+constexpr unsigned BranchNodeLimit = 20000;
+
+/// Depth-first branch-and-bound over the LP relaxation.
+struct BranchState {
+  const std::vector<Rational> &Obj;
+  unsigned Nodes = 0;
+  bool HitLimit = false;
+  bool HasBest = false;
+  bool StopAtFirst = false;
+  bool HasRootBound = false;
+  Rational RootBound; // ceil of the root relaxation: a proven lower bound
+  Rational BestValue;
+  std::vector<Rational> BestPoint;
+
+  explicit BranchState(const std::vector<Rational> &Obj) : Obj(Obj) {}
+
+  bool provenOptimal() const {
+    return HasBest && HasRootBound && BestValue <= RootBound;
+  }
+
+  void search(LpProblem Root);
+};
+
+void BranchState::search(LpProblem Root) {
+  // Explicit DFS worklist: deep branch-and-bound trees must not recurse on
+  // the call stack.
+  std::vector<LpProblem> Work;
+  Work.push_back(std::move(Root));
+  while (!Work.empty()) {
+    if (HitLimit || (StopAtFirst && HasBest) || provenOptimal())
+      return;
+    LpProblem P = std::move(Work.back());
+    Work.pop_back();
+    if (++Nodes > BranchNodeLimit) {
+      HitLimit = true;
+      return;
+    }
+    LpResult Relax = lpMinimize(P, Obj);
+    if (Relax.Status == LpStatus::Infeasible)
+      continue;
+    if (Relax.Status == LpStatus::Unbounded) {
+      HitLimit = true;
+      return;
+    }
+    if (!HasRootBound) {
+      // With an all-integer objective the optimum over integer points is
+      // at least the ceiling of the root relaxation.
+      bool IntObj = true;
+      for (const Rational &C : Obj)
+        if (!C.isInteger())
+          IntObj = false;
+      if (IntObj) {
+        HasRootBound = true;
+        RootBound = Relax.Value.ceil();
+      }
+    }
+    if (HasBest && !StopAtFirst && Relax.Value >= BestValue)
+      continue; // bound
+    // Find a fractional coordinate (most fractional first) among the
+    // variables that must be integral.
+    int FracVar = -1;
+    Rational BestDist;
+    for (unsigned K = 0; K < P.NumVars; ++K) {
+      if (!P.Integer.empty() && !P.Integer[K])
+        continue;
+      const Rational &V = Relax.Point[K];
+      if (V.isInteger())
+        continue;
+      Rational Dist = V - V.floor();
+      if (Dist > Rational(1, 2))
+        Dist = Rational(1) - Dist;
+      if (FracVar < 0 || Dist > BestDist) {
+        FracVar = static_cast<int>(K);
+        BestDist = Dist;
+      }
+    }
+    if (FracVar < 0) {
+      if (!HasBest || Relax.Value < BestValue) {
+        HasBest = true;
+        BestValue = Relax.Value;
+        BestPoint = Relax.Point;
+      }
+      continue;
+    }
+    Rational Floor = Relax.Point[FracVar].floor();
+    // Push "up" first so "down" (x <= floor) is explored first (LIFO).
+    {
+      LpProblem Up = P;
+      std::vector<Rational> C(P.NumVars);
+      C[FracVar] = Rational(1);
+      Up.addIneq(C, -(Floor + Rational(1))); // x >= floor(v) + 1
+      Work.push_back(std::move(Up));
+    }
+    {
+      LpProblem Down = std::move(P);
+      std::vector<Rational> C(Down.NumVars);
+      C[FracVar] = Rational(-1);
+      Down.addIneq(C, Floor); // x <= floor(v)
+      Work.push_back(std::move(Down));
+    }
+  }
+}
+
+} // namespace
+
+LpResult ilpMinimize(const LpProblem &P, const std::vector<Rational> &Obj) {
+  ScopedTimer T("ilp.minimize");
+  LpResult R;
+  BranchState BS(Obj);
+  BS.search(P);
+  if (!BS.HasBest) {
+    R.Status = BS.HitLimit ? LpStatus::TooHard : LpStatus::Infeasible;
+    return R;
+  }
+  // With a solution in hand we report it even if the node limit was hit
+  // (callers use it heuristically).
+  R.Status = LpStatus::Optimal;
+  R.Value = BS.BestValue;
+  R.Point = BS.BestPoint;
+  return R;
+}
+
+LpResult ilpSample(const LpProblem &P) {
+  std::vector<Rational> Zero(P.NumVars);
+  LpResult R;
+  BranchState BS(Zero);
+  BS.StopAtFirst = true;
+  BS.search(P);
+  if (BS.HasBest) {
+    R.Status = LpStatus::Optimal;
+    R.Point = BS.BestPoint;
+    return R;
+  }
+  R.Status = BS.HitLimit ? LpStatus::TooHard : LpStatus::Infeasible;
+  return R;
+}
+
+LpResult ilpLexMin(const LpProblem &P, const std::vector<unsigned> &Order) {
+  LpProblem Work = P;
+  LpResult Last;
+  for (unsigned Var : Order) {
+    std::vector<Rational> Obj(Work.NumVars);
+    Obj[Var] = Rational(1);
+    Last = ilpMinimize(Work, Obj);
+    if (Last.Status != LpStatus::Optimal)
+      return Last;
+    std::vector<Rational> C(Work.NumVars);
+    C[Var] = Rational(1);
+    Work.addEq(C, -Last.Value); // pin and continue
+  }
+  if (Last.Status == LpStatus::Optimal && !Order.empty()) {
+    LpResult Full = ilpSample(Work);
+    if (Full.Status == LpStatus::Optimal)
+      Last.Point = Full.Point;
+  }
+  return Last;
+}
+
+} // namespace akg

@@ -1,0 +1,84 @@
+//===- poly/Lp.h - Exact LP/ILP solver --------------------------*- C++ -*-===//
+//
+// A small exact linear-programming solver (primal simplex over rationals,
+// Bland's rule) with branch-and-bound for integer solutions. This is the
+// workhorse behind polyhedron emptiness tests, redundancy elimination,
+// dependence-satisfaction checks and the Pluto-style scheduling ILPs, i.e.
+// the role isl's ILP core plays in the original AKG.
+//
+// Problems are stated over free (unbounded-sign) rational variables with
+// constraints of the form  coeffs . x + const >= 0  or  == 0.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_POLY_LP_H
+#define AKG_POLY_LP_H
+
+#include "support/Rational.h"
+
+#include <vector>
+
+namespace akg {
+
+/// One linear constraint: Coeffs . x + Const  (>= 0 | == 0).
+struct LpConstraint {
+  std::vector<Rational> Coeffs;
+  Rational Const;
+  bool IsEq = false;
+};
+
+/// A conjunction of linear constraints over NumVars free variables.
+struct LpProblem {
+  unsigned NumVars = 0;
+  std::vector<LpConstraint> Constraints;
+  /// Optional per-variable sign knowledge: variables flagged true are known
+  /// non-negative, which halves their simplex columns. Empty means all
+  /// variables are free.
+  std::vector<bool> NonNeg;
+  /// Optional integrality mask for the ilp* entry points: only flagged
+  /// variables are branched on (mixed-integer). Empty means all variables
+  /// are integer.
+  std::vector<bool> Integer;
+
+  /// Appends an inequality Coeffs . x + Const >= 0.
+  void addIneq(std::vector<Rational> Coeffs, Rational Const);
+  /// Appends an equality Coeffs . x + Const == 0.
+  void addEq(std::vector<Rational> Coeffs, Rational Const);
+};
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, TooHard };
+
+struct LpResult {
+  LpStatus Status = LpStatus::Infeasible;
+  /// Optimal objective value (valid when Status == Optimal).
+  Rational Value;
+  /// A point attaining the optimum (valid when Status == Optimal).
+  std::vector<Rational> Point;
+};
+
+/// Minimizes Obj . x over the rational points of \p P.
+LpResult lpMinimize(const LpProblem &P, const std::vector<Rational> &Obj);
+
+/// Maximizes Obj . x over the rational points of \p P.
+LpResult lpMaximize(const LpProblem &P, const std::vector<Rational> &Obj);
+
+/// True if \p P has a rational solution.
+bool lpIsFeasible(const LpProblem &P);
+
+/// Minimizes Obj . x over the *integer* points of \p P via branch-and-bound.
+/// Returns TooHard if the node limit is exceeded (callers treat this
+/// conservatively).
+LpResult ilpMinimize(const LpProblem &P, const std::vector<Rational> &Obj);
+
+/// Finds any integer point of \p P; Status is Optimal with Point set when one
+/// exists, Infeasible when provably none exists.
+LpResult ilpSample(const LpProblem &P);
+
+/// Lexicographic integer minimum of (x[Order[0]], x[Order[1]], ...) over the
+/// integer points of \p P. Each coordinate must be bounded below on the
+/// feasible set; callers guarantee this by construction.
+LpResult ilpLexMin(const LpProblem &P, const std::vector<unsigned> &Order);
+
+} // namespace akg
+
+#endif // AKG_POLY_LP_H

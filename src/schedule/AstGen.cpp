@@ -1,0 +1,478 @@
+//===- schedule/AstGen.cpp - Schedule tree -> AST generation --------------===//
+
+#include "schedule/AstGen.h"
+
+#include "ir/Passes.h"
+#include "support/Matrix.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace akg {
+namespace sched {
+
+using namespace poly;
+using ir::Expr;
+using ir::Stmt;
+
+namespace {
+
+/// Per-statement code-generation context.
+struct ActiveStmt {
+  unsigned Id = 0;
+  unsigned NumIters = 0;
+  /// Dims: [iters of the statement..., every loop var on the path...].
+  BasicSet Ctx;
+  /// Affine (denominator-1) band rows applied so far, for inversion at the
+  /// leaf: Coeffs over iters, the constant, and the bound loop variable.
+  std::vector<std::vector<int64_t>> AffRows;
+  std::vector<int64_t> AffConsts;
+  std::vector<std::string> AffVars;
+};
+
+/// One affine bound: Value >= / <= (Coeffs . loopvars + Const) / Div.
+struct BoundExpr {
+  std::vector<int64_t> Coeffs; // over loop vars (path order)
+  int64_t Const = 0;
+  int64_t Div = 1; // divide (ceil for lower, floor for upper)
+};
+
+Expr boundToExpr(const BoundExpr &B, const std::vector<std::string> &Vars,
+                 bool IsLower) {
+  Expr E = ir::intImm(B.Const);
+  for (unsigned I = 0; I < B.Coeffs.size(); ++I) {
+    if (B.Coeffs[I] == 0)
+      continue;
+    Expr Term = ir::mul(ir::intImm(B.Coeffs[I]), ir::var(Vars[I]));
+    E = ir::add(E, Term);
+  }
+  if (B.Div != 1) {
+    if (IsLower) // ceil(a/d) = floor((a + d - 1)/d)
+      E = ir::floorDiv(ir::add(E, ir::intImm(B.Div - 1)), ir::intImm(B.Div));
+    else
+      E = ir::floorDiv(E, ir::intImm(B.Div));
+  }
+  return ir::simplifyExpr(E);
+}
+
+class AstGenerator {
+public:
+  AstGenerator(const ir::PolyProgram &P, const AstGenOptions &Opts)
+      : P(P), Opts(Opts) {}
+
+  Stmt run(const TreeNode *Root) {
+    std::vector<ActiveStmt> Active;
+    for (const ir::PolyStmt &S : P.Stmts) {
+      ActiveStmt A;
+      A.Id = S.Id;
+      A.NumIters = S.numIters();
+      A.Ctx = S.Domain;
+      Active.push_back(std::move(A));
+    }
+    std::vector<std::string> LoopVars;
+    BasicSet Emitted(Space::forSet({}, "emitted"));
+    return ir::simplifyStmt(gen(Root, Active, LoopVars, Emitted));
+  }
+
+private:
+  const ir::PolyProgram &P;
+  AstGenOptions Opts;
+  unsigned NextVar = 0;
+
+  Stmt genChildren(const TreeNode *N, const std::vector<ActiveStmt> &Active,
+                   const std::vector<std::string> &LoopVars,
+                   const BasicSet &Emitted) {
+    if (N->Children.empty())
+      return emitLeaf(Active, LoopVars, Emitted);
+    std::vector<Stmt> Parts;
+    for (const auto &C : N->Children) {
+      Stmt S = gen(C.get(), Active, LoopVars, Emitted);
+      if (S)
+        Parts.push_back(std::move(S));
+    }
+    return ir::makeBlock(std::move(Parts));
+  }
+
+  Stmt gen(const TreeNode *N, std::vector<ActiveStmt> Active,
+           std::vector<std::string> LoopVars, BasicSet Emitted) {
+    switch (N->Kind) {
+    case NodeKind::Domain:
+    case NodeKind::Context:
+      return genChildren(N, Active, LoopVars, Emitted);
+    case NodeKind::Filter: {
+      std::vector<ActiveStmt> Kept;
+      for (ActiveStmt &A : Active)
+        for (unsigned Id : N->FilterStmts)
+          if (A.Id == Id)
+            Kept.push_back(std::move(A));
+      if (Kept.empty())
+        return nullptr;
+      return genChildren(N, Kept, LoopVars, Emitted);
+    }
+    case NodeKind::Sequence:
+    case NodeKind::SetNode:
+      return genChildren(N, Active, LoopVars, Emitted);
+    case NodeKind::Mark: {
+      if (N->MarkTag == "skipped")
+        return nullptr; // suppressed producer subtree (Fig 3e)
+      Stmt Body = genChildren(N, Active, LoopVars, Emitted);
+      if (!Body)
+        return nullptr;
+      return ir::makeAttr("mark", N->MarkTag, std::move(Body));
+    }
+    case NodeKind::Extension: {
+      for (const ExtensionDecl &E : N->Extensions) {
+        const ir::PolyStmt &St = P.Stmts[E.StmtId];
+        assert(E.Rel.space().numIn() == LoopVars.size() &&
+               "extension relation arity must match the loop prefix");
+        assert(E.Rel.space().numOut() == St.numIters() &&
+               "extension relation must target the statement iterators");
+        ActiveStmt A;
+        A.Id = E.StmtId;
+        A.NumIters = St.numIters();
+        A.Ctx = St.Domain;
+        // Append all existing loop vars and bind them via the relation.
+        for (const std::string &V : LoopVars)
+          A.Ctx.appendInDim(V);
+        unsigned NIter = St.numIters();
+        for (const Constraint &C : E.Rel.constraints()) {
+          std::vector<int64_t> Row(A.Ctx.numCols(), 0);
+          for (unsigned K = 0; K < E.Rel.space().numIn(); ++K)
+            Row[A.Ctx.inCol(NIter + K)] = C.Coeffs[E.Rel.inCol(K)];
+          for (unsigned K = 0; K < NIter; ++K)
+            Row[A.Ctx.inCol(K)] = C.Coeffs[E.Rel.outCol(K)];
+          if (C.IsEq)
+            A.Ctx.addEq(Row, C.Const);
+          else
+            A.Ctx.addIneq(Row, C.Const);
+        }
+        Active.push_back(std::move(A));
+      }
+      return genChildren(N, Active, LoopVars, Emitted);
+    }
+    case NodeKind::Band:
+      return genBandRow(N, 0, std::move(Active), std::move(LoopVars),
+                        std::move(Emitted));
+    }
+    return nullptr;
+  }
+
+  /// Projects a statement context onto its loop-variable columns (iters and
+  /// divs eliminated), intersected with what the enclosing loops already
+  /// enforce (so integer-tightened loop bounds shake out max(.,0) terms).
+  BasicSet projectToLoopVars(const ActiveStmt &A,
+                             const BasicSet &Emitted) const {
+    BasicSet C = A.Ctx;
+    // Import the emitted loop-bound constraints on the loop-var columns
+    // (they sit after the statement's iterators).
+    for (const Constraint &EC : Emitted.constraints()) {
+      std::vector<int64_t> Row(C.numCols(), 0);
+      for (unsigned K = 0; K < Emitted.space().numIn(); ++K)
+        Row[C.inCol(A.NumIters + K)] = EC.Coeffs[K];
+      if (EC.IsEq)
+        C.addEq(Row, EC.Const);
+      else
+        C.addIneq(Row, EC.Const);
+    }
+    while (C.numDivs() > 0)
+      C.eliminateCol(C.divCol(C.numDivs() - 1));
+    for (unsigned I = A.NumIters; I-- > 0;)
+      C.eliminateCol(C.inCol(I));
+    return C;
+  }
+
+  Stmt genBandRow(const TreeNode *Band, unsigned Row,
+                  std::vector<ActiveStmt> Active,
+                  std::vector<std::string> LoopVars, BasicSet Emitted) {
+    if (Row == Band->bandWidth())
+      return genChildren(Band, Active, LoopVars, Emitted);
+    std::string VarName = "c" + std::to_string(NextVar++);
+
+    // Bind the new loop variable in every active statement.
+    for (ActiveStmt &A : Active) {
+      unsigned Col = A.Ctx.appendInDim(VarName);
+      auto It = Band->Partial.find(A.Id);
+      assert(It != Band->Partial.end() &&
+             "band does not schedule an active statement");
+      const ScheduleRow &SR = It->second.Rows[Row];
+      assert(SR.Coeffs.size() == A.NumIters && "schedule row arity");
+      if (SR.Denom == 1) {
+        std::vector<int64_t> Eq(A.Ctx.numCols(), 0);
+        for (unsigned K = 0; K < A.NumIters; ++K)
+          Eq[A.Ctx.inCol(K)] = SR.Coeffs[K];
+        Eq[Col] = -1;
+        A.Ctx.addEq(Eq, SR.Const);
+        A.AffRows.push_back(SR.Coeffs);
+        A.AffConsts.push_back(SR.Const);
+        A.AffVars.push_back(VarName);
+      } else {
+        // v = floor((coeffs.i + const)/T):  0 <= e - T v <= T - 1.
+        std::vector<int64_t> Lo(A.Ctx.numCols(), 0);
+        for (unsigned K = 0; K < A.NumIters; ++K)
+          Lo[A.Ctx.inCol(K)] = SR.Coeffs[K];
+        Lo[Col] = -SR.Denom;
+        A.Ctx.addIneq(Lo, SR.Const);
+        std::vector<int64_t> Hi(A.Ctx.numCols(), 0);
+        for (unsigned K = 0; K < A.NumIters; ++K)
+          Hi[A.Ctx.inCol(K)] = -SR.Coeffs[K];
+        Hi[Col] = SR.Denom;
+        A.Ctx.addIneq(Hi, SR.Denom - 1 - SR.Const);
+      }
+    }
+    LoopVars.push_back(VarName);
+    unsigned VIdx = static_cast<unsigned>(LoopVars.size()) - 1;
+
+    // Compute per-statement bounds on the new variable.
+    struct StmtBounds {
+      std::vector<BoundExpr> Lower, Upper;
+    };
+    std::vector<StmtBounds> AllBounds;
+    std::vector<ActiveStmt> Kept;
+    for (ActiveStmt &A : Active) {
+      BasicSet Proj = projectToLoopVars(A, Emitted);
+      if (Proj.isEmpty())
+        continue; // statement has no instances in this subtree
+      Proj.removeRedundant();
+      StmtBounds SB;
+      for (const Constraint &C : Proj.constraints()) {
+        // Columns of Proj: loop vars in path order.
+        int64_t VC = C.Coeffs[VIdx];
+        auto MakeBound = [&](int64_t Sign) {
+          BoundExpr B;
+          B.Coeffs.assign(LoopVars.size(), 0);
+          for (unsigned K = 0; K < LoopVars.size(); ++K)
+            if (K != VIdx)
+              B.Coeffs[K] = Sign * C.Coeffs[K];
+          B.Const = Sign * C.Const;
+          return B;
+        };
+        if (VC > 0) { // VC*v + rest >= 0 -> v >= ceil(-rest / VC)
+          BoundExpr B = MakeBound(-1);
+          B.Div = VC;
+          SB.Lower.push_back(B);
+          if (C.IsEq) { // v == -rest/VC: also an upper bound
+            B.Div = VC;
+            SB.Upper.push_back(std::move(B));
+          }
+        } else if (VC < 0) { // v <= floor(rest / -VC)
+          BoundExpr B = MakeBound(1);
+          B.Div = -VC;
+          SB.Upper.push_back(B);
+          if (C.IsEq) { // v == rest/(-VC): also a lower bound
+            B.Div = -VC;
+            SB.Lower.push_back(std::move(B));
+          }
+        }
+      }
+      assert(!SB.Lower.empty() && !SB.Upper.empty() &&
+             "loop variable must be bounded");
+      AllBounds.push_back(std::move(SB));
+      Kept.push_back(std::move(A));
+    }
+    if (Kept.empty())
+      return nullptr;
+
+    // Union bounds across statements: max of lowers within a statement,
+    // min of lowers across statements (loop covers the union).
+    auto FoldStmt = [&](const std::vector<BoundExpr> &Bs, bool IsLower) {
+      Expr E = boundToExpr(Bs[0], LoopVars, IsLower);
+      for (unsigned I = 1; I < Bs.size(); ++I) {
+        Expr N = boundToExpr(Bs[I], LoopVars, IsLower);
+        E = IsLower ? ir::maxE(E, N) : ir::minE(E, N);
+      }
+      return E;
+    };
+    Expr Lb = FoldStmt(AllBounds[0].Lower, true);
+    Expr Ub = FoldStmt(AllBounds[0].Upper, false);
+    bool SameBounds = true;
+    for (unsigned I = 1; I < AllBounds.size(); ++I) {
+      Expr L2 = FoldStmt(AllBounds[I].Lower, true);
+      Expr U2 = FoldStmt(AllBounds[I].Upper, false);
+      if (!ir::exprEquals(L2, Lb)) {
+        Lb = ir::minE(Lb, L2);
+        SameBounds = false;
+      }
+      if (!ir::exprEquals(U2, Ub)) {
+        Ub = ir::maxE(Ub, U2);
+        SameBounds = false;
+      }
+    }
+    Lb = ir::simplifyExpr(Lb);
+    Ub = ir::simplifyExpr(Ub);
+
+    // Track what the emitted loop enforces (affine constraints only, and
+    // only when shared by every statement).
+    Emitted.appendInDim(VarName);
+    {
+      // Constant-folded bounds carry integer tightening (ceil/floor of the
+      // rational bound) that the raw constraints lose.
+      int64_t CB;
+      if (ir::isConstInt(Lb, &CB)) {
+        std::vector<int64_t> Row(Emitted.numCols(), 0);
+        Row[Emitted.inCol(VIdx)] = 1;
+        Emitted.addIneq(Row, -CB);
+      }
+      if (ir::isConstInt(Ub, &CB)) {
+        std::vector<int64_t> Row(Emitted.numCols(), 0);
+        Row[Emitted.inCol(VIdx)] = -1;
+        Emitted.addIneq(Row, CB);
+      }
+    }
+    if (SameBounds) {
+      for (const BoundExpr &B : AllBounds[0].Lower) {
+        // v >= ceil((c.x + k)/d)  <=>  d*v - c.x - k >= 0.
+        std::vector<int64_t> Row(Emitted.numCols(), 0);
+        for (unsigned K = 0; K < LoopVars.size(); ++K)
+          Row[Emitted.inCol(K)] = -B.Coeffs[K];
+        Row[Emitted.inCol(VIdx)] += B.Div;
+        Emitted.addIneq(Row, -B.Const);
+      }
+      for (const BoundExpr &B : AllBounds[0].Upper) {
+        std::vector<int64_t> Row(Emitted.numCols(), 0);
+        for (unsigned K = 0; K < LoopVars.size(); ++K)
+          Row[Emitted.inCol(K)] = B.Coeffs[K];
+        Row[Emitted.inCol(VIdx)] -= B.Div;
+        Emitted.addIneq(Row, B.Const);
+      }
+    }
+
+    Stmt Body = genBandRow(Band, Row + 1, std::move(Kept),
+                           LoopVars, Emitted);
+    if (!Body)
+      return nullptr;
+    Expr Extent = ir::simplifyExpr(
+        ir::add(ir::sub(Ub, Lb), ir::intImm(1)));
+    Stmt Loop = ir::makeFor(VarName, Lb, Extent, std::move(Body));
+    if (Opts.AnnotateVectorLoops && Row < Band->Coincident.size() &&
+        Band->Coincident[Row])
+      return ir::makeAttr("coincident", VarName, std::move(Loop));
+    return Loop;
+  }
+
+  Stmt emitLeaf(const std::vector<ActiveStmt> &Active,
+                const std::vector<std::string> &LoopVars,
+                const BasicSet &Emitted) {
+    std::vector<const ActiveStmt *> Ordered;
+    for (const ActiveStmt &A : Active)
+      Ordered.push_back(&A);
+    std::sort(Ordered.begin(), Ordered.end(),
+              [](const ActiveStmt *A, const ActiveStmt *B) {
+                return A->Id < B->Id;
+              });
+    std::vector<Stmt> Out;
+    for (const ActiveStmt *A : Ordered) {
+      Stmt S = emitStatement(*A, LoopVars, Emitted);
+      if (S)
+        Out.push_back(std::move(S));
+    }
+    if (Out.empty())
+      return nullptr;
+    return ir::makeBlock(std::move(Out));
+  }
+
+  Stmt emitStatement(const ActiveStmt &A,
+                     const std::vector<std::string> &LoopVars,
+                     const BasicSet &Emitted) {
+    const ir::PolyStmt &St = P.Stmts[A.Id];
+    // Solve the iterators from the affine band rows.
+    unsigned N = A.NumIters;
+    // Select N linearly independent rows in application order.
+    std::vector<unsigned> Chosen;
+    {
+      Matrix M(0, N);
+      for (unsigned R = 0; R < A.AffRows.size() && Chosen.size() < N; ++R) {
+        Matrix Try = M;
+        std::vector<Rational> Row(N);
+        for (unsigned C = 0; C < N; ++C)
+          Row[C] = Rational(A.AffRows[R][C]);
+        Try.addRow(Row);
+        if (Try.rank() > M.rank()) {
+          M = Try;
+          Chosen.push_back(R);
+        }
+      }
+      assert(Chosen.size() == N &&
+             "statement iterators not fully determined at leaf");
+    }
+    Matrix Sq(N, N);
+    for (unsigned I = 0; I < N; ++I)
+      for (unsigned C = 0; C < N; ++C)
+        Sq.at(I, C) = Rational(A.AffRows[Chosen[I]][C]);
+    Matrix Inv = Sq.inverse();
+    // Iterator expressions: i = Inv * (v - const).
+    std::vector<std::pair<std::string, Expr>> Bind;
+    for (unsigned K = 0; K < N; ++K) {
+      Expr E = ir::intImm(0);
+      for (unsigned J = 0; J < N; ++J) {
+        Rational C = Inv.at(K, J);
+        if (C.isZero())
+          continue;
+        assert(C.isInteger() &&
+               "non-unimodular schedule at leaf (unsupported stride)");
+        Expr Term = ir::mul(
+            ir::intImm(C.getInt64()),
+            ir::sub(ir::var(A.AffVars[Chosen[J]]),
+                    ir::intImm(A.AffConsts[Chosen[J]])));
+        E = ir::add(E, Term);
+      }
+      Bind.emplace_back(St.Iters[K].Name, ir::simplifyExpr(E));
+    }
+    // Statement body.
+    std::vector<Expr> Idx;
+    for (const Expr &I : St.Write.Indices)
+      Idx.push_back(ir::simplifyExpr(ir::substitute(I, Bind)));
+    Expr Rhs = ir::simplifyExpr(ir::substitute(St.Rhs, Bind));
+    Stmt Body = ir::makeProvide(St.Write.Ref, std::move(Idx), std::move(Rhs));
+
+    // Guards: context constraints over loop vars not implied by the
+    // emitted loop bounds.
+    BasicSet Proj = projectToLoopVars(A, Emitted);
+    Proj.removeRedundant();
+    std::vector<Expr> Guards;
+    for (const Constraint &C : Proj.constraints()) {
+      if (impliedByEmitted(C, Emitted))
+        continue;
+      // Build  coeffs . v + const  (>= 0 or == 0).
+      Expr E = ir::intImm(C.Const);
+      for (unsigned K = 0; K < LoopVars.size() && K < C.Coeffs.size(); ++K) {
+        if (C.Coeffs[K] == 0)
+          continue;
+        E = ir::add(E, ir::mul(ir::intImm(C.Coeffs[K]),
+                               ir::var(LoopVars[K])));
+      }
+      E = ir::simplifyExpr(E);
+      Guards.push_back(C.IsEq ? ir::cmp(ir::ExprKind::CmpEQ, E, ir::intImm(0))
+                              : ir::cmp(ir::ExprKind::CmpLE, ir::intImm(0),
+                                        E));
+    }
+    for (unsigned G = Guards.size(); G-- > 0;)
+      Body = ir::makeIf(Guards[G], std::move(Body));
+    return Body;
+  }
+
+  bool impliedByEmitted(const Constraint &C, const BasicSet &Emitted) const {
+    if (C.IsEq)
+      return false;
+    // Min of C over Emitted >= 0 => implied.
+    if (Emitted.constraints().empty())
+      return false;
+    LpProblem Lp = Emitted.toLp();
+    std::vector<Rational> Obj(Lp.NumVars, Rational(0));
+    for (unsigned K = 0; K < Emitted.numCols() && K < C.Coeffs.size(); ++K)
+      Obj[K] = Rational(C.Coeffs[K]);
+    LpResult R = lpMinimize(Lp, Obj);
+    return R.Status == LpStatus::Optimal &&
+           R.Value + Rational(C.Const) >= Rational(0);
+  }
+};
+
+} // namespace
+
+Stmt generateAst(const ScheduleTree &T, const ir::PolyProgram &P,
+                 const AstGenOptions &Opts) {
+  AstGenerator G(P, Opts);
+  return G.run(T.root());
+}
+
+} // namespace sched
+} // namespace akg

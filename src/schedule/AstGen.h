@@ -1,0 +1,38 @@
+//===- schedule/AstGen.h - Schedule tree -> AST generation ------*- C++ -*-===//
+//
+// Generates an imperative loop-nest AST (ir::Stmt) from a schedule tree, in
+// the spirit of isl's AST generator (Sec 5): band rows become loops whose
+// bounds are derived by Fourier-Motzkin projection of each statement's
+// scheduling context; filters and sequences order statements; extension
+// nodes introduce foreign statement instances whose domains are defined by
+// the outer loop variables (post-tiling fusion, Sec 4.3); mark nodes become
+// attribute annotations (a "skipped" mark suppresses code generation of the
+// original producer subtree, per Fig 3e).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SCHEDULE_ASTGEN_H
+#define AKG_SCHEDULE_ASTGEN_H
+
+#include "ir/PolyExtract.h"
+#include "ir/Stmt.h"
+#include "schedule/ScheduleTree.h"
+
+namespace akg {
+namespace sched {
+
+struct AstGenOptions {
+  /// Label the innermost coincident loop of each statement as vectorizable
+  /// (an attribute the CCE code generator consumes).
+  bool AnnotateVectorLoops = true;
+};
+
+/// Generates the AST for the whole tree. The paper's mark tag "skipped"
+/// suppresses the marked subtree.
+ir::Stmt generateAst(const ScheduleTree &T, const ir::PolyProgram &P,
+                     const AstGenOptions &Opts = AstGenOptions());
+
+} // namespace sched
+} // namespace akg
+
+#endif // AKG_SCHEDULE_ASTGEN_H

@@ -1,0 +1,158 @@
+//===- schedule/ScheduleTree.h - Schedule tree IR ---------------*- C++ -*-===//
+//
+// The schedule-tree polyhedral IR (Grosser et al.) that AKG performs all of
+// its loop transformations on (Sec 4). Node kinds follow the paper:
+//
+//   Domain    - root; the statement instances being scheduled
+//   Band      - per-statement partial schedules (multi-dimensional,
+//               permutable flag, per-row coincidence); rows may be
+//               quasi-affine (floor divisions) to express tile loops
+//   Filter    - restricts the subtree to a subset of statement instances
+//   Sequence  - ordered children (each a Filter)
+//   SetNode   - unordered children
+//   Mark      - attaches a string tag ("local_UB", "skipped", ...)
+//   Extension - introduces foreign statement instances below this point,
+//               related to the outer schedule dims (the paper's post-tiling
+//               fusion device, Sec 4.3)
+//   Context   - parameter constraints (kept for completeness)
+//   Leaf      - implicit; a node without children
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SCHEDULE_SCHEDULETREE_H
+#define AKG_SCHEDULE_SCHEDULETREE_H
+
+#include "poly/Affine.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace akg {
+namespace sched {
+
+enum class NodeKind {
+  Domain,
+  Band,
+  Filter,
+  Sequence,
+  SetNode,
+  Mark,
+  Extension,
+  Context,
+};
+
+/// One row of a per-statement partial schedule: value = (Coeffs . iters +
+/// Const), divided by Denom with floor when Denom > 1 (tile loops).
+struct ScheduleRow {
+  std::vector<int64_t> Coeffs;
+  int64_t Const = 0;
+  int64_t Denom = 1;
+
+  bool isTileRow() const { return Denom > 1; }
+};
+
+/// The partial schedule of one statement inside a band.
+struct StmtSchedule {
+  std::vector<ScheduleRow> Rows;
+};
+
+/// An extension declaration: instances of statement StmtId are introduced,
+/// related to the outer schedule dimensions by Rel (outer dims -> stmt
+/// iters).
+struct ExtensionDecl {
+  unsigned StmtId = 0;
+  poly::BasicMap Rel;
+};
+
+struct TreeNode {
+  NodeKind Kind = NodeKind::Domain;
+
+  /// Filter: the statement ids admitted into the subtree.
+  std::vector<unsigned> FilterStmts;
+
+  /// Band payload.
+  std::map<unsigned, StmtSchedule> Partial; // stmt id -> rows
+  bool Permutable = false;
+  std::vector<bool> Coincident; // per band row
+
+  /// Mark payload.
+  std::string MarkTag;
+
+  /// Extension payload.
+  std::vector<ExtensionDecl> Extensions;
+
+  /// Context payload: constraints over parameters.
+  std::vector<poly::Constraint> ParamConstraints;
+
+  std::vector<std::unique_ptr<TreeNode>> Children;
+  TreeNode *Parent = nullptr;
+
+  unsigned bandWidth() const {
+    if (Partial.empty())
+      return 0;
+    return static_cast<unsigned>(Partial.begin()->second.Rows.size());
+  }
+
+  TreeNode *child(unsigned I) { return Children.at(I).get(); }
+  const TreeNode *child(unsigned I) const { return Children.at(I).get(); }
+
+  /// Appends a child and wires its parent pointer.
+  TreeNode *addChild(std::unique_ptr<TreeNode> C);
+};
+
+/// The schedule tree of one fused operator.
+class ScheduleTree {
+public:
+  ScheduleTree() = default;
+
+  TreeNode *root() { return Root.get(); }
+  const TreeNode *root() const { return Root.get(); }
+  void setRoot(std::unique_ptr<TreeNode> R) { Root = std::move(R); }
+
+  /// Deep copy.
+  ScheduleTree clone() const;
+
+  std::string str() const;
+
+private:
+  std::unique_ptr<TreeNode> Root;
+};
+
+/// --- Node constructors --------------------------------------------------
+std::unique_ptr<TreeNode> makeDomain();
+std::unique_ptr<TreeNode> makeBand(std::map<unsigned, StmtSchedule> Partial,
+                                   bool Permutable,
+                                   std::vector<bool> Coincident = {});
+std::unique_ptr<TreeNode> makeFilter(std::vector<unsigned> Stmts);
+std::unique_ptr<TreeNode> makeSequence();
+std::unique_ptr<TreeNode> makeMark(std::string Tag);
+std::unique_ptr<TreeNode> makeExtension(std::vector<ExtensionDecl> Exts);
+
+/// Deep-copies a subtree.
+std::unique_ptr<TreeNode> cloneSubtree(const TreeNode *N);
+
+/// Builds the identity ScheduleRow set for a statement with \p NumIters
+/// iterators (row k selects iterator k).
+StmtSchedule identitySchedule(unsigned NumIters);
+
+/// Visits nodes pre-order; the callback may return false to prune descent.
+void walkTree(TreeNode *N, const std::function<bool(TreeNode *)> &Fn);
+void walkTree(const TreeNode *N,
+              const std::function<bool(const TreeNode *)> &Fn);
+
+/// Finds the first node matching a predicate (pre-order), or null.
+TreeNode *findNode(TreeNode *Root,
+                   const std::function<bool(TreeNode *)> &Pred);
+
+/// Statement ids active at node \p N (respecting Filters and Extensions on
+/// the path from the root).
+std::vector<unsigned> activeStatements(const TreeNode *N);
+
+} // namespace sched
+} // namespace akg
+
+#endif // AKG_SCHEDULE_SCHEDULETREE_H

@@ -1,0 +1,102 @@
+//===- scheduler/Cluster.cpp - Affine clustering heuristics ---------------===//
+
+#include "scheduler/Cluster.h"
+
+namespace akg {
+namespace sched {
+
+bool isZeroDistance(const Dependence &D, unsigned SharedDims) {
+  for (unsigned K = 0; K < SharedDims; ++K) {
+    std::optional<int64_t> Lo = depDistanceMin(D, K, K);
+    std::optional<int64_t> Hi = depDistanceMax(D, K, K);
+    if (!Lo || !Hi || *Lo != 0 || *Hi != 0)
+      return false;
+  }
+  return true;
+}
+
+Clustering clusterStatements(const ir::PolyProgram &P,
+                             const std::vector<Dependence> &Deps,
+                             FusionStrategy Strategy) {
+  Clustering C;
+  if (Strategy == FusionStrategy::None) {
+    for (unsigned I = 0; I < P.Stmts.size(); ++I)
+      C.Groups.push_back({I});
+    return C;
+  }
+
+  // Scan in units: an init/update pair of one reduction op is always kept
+  // together (it is a single compound operator in the DSL).
+  std::vector<std::vector<unsigned>> Units;
+  for (unsigned S = 0; S < P.Stmts.size(); ++S) {
+    if (P.Stmts[S].StmtRole == ir::PolyStmt::Role::Init) {
+      Units.push_back({S, S + 1});
+      ++S;
+    } else {
+      Units.push_back({S});
+    }
+  }
+
+  std::vector<unsigned> Current;
+  auto Flush = [&]() {
+    if (!Current.empty())
+      C.Groups.push_back(Current);
+    Current.clear();
+  };
+
+  for (const std::vector<unsigned> &Unit : Units) {
+    if (Current.empty()) {
+      Current = Unit;
+      continue;
+    }
+    unsigned SharedDims = UINT32_MAX;
+    for (unsigned M : Current)
+      SharedDims = std::min(SharedDims, P.Stmts[M].numIters());
+    for (unsigned U : Unit)
+      SharedDims = std::min(SharedDims, P.Stmts[U].numIters());
+    bool Connected = false;
+    bool AllFusable = true;
+    for (const Dependence &D : Deps) {
+      bool FromGroup = false, IntoUnit = false;
+      for (unsigned M : Current)
+        if (D.Src == M)
+          FromGroup = true;
+      for (unsigned U : Unit)
+        if (D.Dst == U && D.Src != U)
+          IntoUnit = true;
+      if (!FromGroup || !IntoUnit)
+        continue;
+      Connected = true;
+      if (Strategy == FusionStrategy::Conservative) {
+        if (!isZeroDistance(D, SharedDims))
+          AllFusable = false;
+      } else { // Aggressive: forbid only unbounded distances.
+        for (unsigned K = 0; K < SharedDims && AllFusable; ++K)
+          if (!depDistanceMin(D, K, K))
+            AllFusable = false;
+      }
+    }
+    // Conservative fusion additionally requires matching extents on the
+    // shared outer dimensions, so the fused band has uniform bounds.
+    if (Connected && AllFusable &&
+        Strategy == FusionStrategy::Conservative) {
+      for (unsigned M : Current)
+        for (unsigned K = 0; K < SharedDims; ++K)
+          if (P.Stmts[M].Iters[K].Extent !=
+              P.Stmts[Unit[0]].Iters[K].Extent)
+            AllFusable = false;
+    }
+    if (Connected && AllFusable) {
+      for (unsigned U : Unit)
+        Current.push_back(U);
+    } else {
+      Flush();
+      Current = Unit;
+    }
+  }
+  Flush();
+  return C;
+}
+
+} // namespace sched
+} // namespace akg

@@ -1,0 +1,44 @@
+//===- scheduler/Cluster.h - Affine clustering heuristics -------*- C++ -*-===//
+//
+// The affine clustering step of the isl scheduler (Sec 4.1): groups
+// statements into fusion clusters before per-cluster scheduling. AKG
+// switches between heuristics per compute unit:
+//
+//  * None         - no fusion (pure loop distribution),
+//  * Conservative - fuse only pointwise (zero-distance) producer/consumer
+//                   chains with matching extents; this maximizes tiling
+//                   opportunities and is the pre-tiling strategy the paper
+//                   uses (it produces the {S0}, {S1..S4} split of Fig 3c),
+//  * Aggressive   - fuse any forward-connected statements and let the
+//                   scheduler legalize with shifts/skews.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SCHEDULER_CLUSTER_H
+#define AKG_SCHEDULER_CLUSTER_H
+
+#include "scheduler/Dependence.h"
+
+namespace akg {
+namespace sched {
+
+enum class FusionStrategy { None, Conservative, Aggressive };
+
+struct Clustering {
+  /// Ordered clusters of statement ids (order respects all dependences
+  /// because dependences only point from lower to higher ids).
+  std::vector<std::vector<unsigned>> Groups;
+};
+
+Clustering clusterStatements(const ir::PolyProgram &P,
+                             const std::vector<Dependence> &Deps,
+                             FusionStrategy Strategy);
+
+/// True if every dependence between the two statements is pointwise
+/// (distance exactly 0 on each shared dimension).
+bool isZeroDistance(const Dependence &D, unsigned SharedDims);
+
+} // namespace sched
+} // namespace akg
+
+#endif // AKG_SCHEDULER_CLUSTER_H

@@ -1,0 +1,116 @@
+//===- scheduler/Dependence.cpp - Data dependence analysis ----------------===//
+
+#include "scheduler/Dependence.h"
+
+#include <cassert>
+
+namespace akg {
+namespace sched {
+
+using namespace poly;
+
+/// Builds {i -> j : SrcAcc(i) = DstAcc(j)}, both restricted to their
+/// domains.
+static BasicMap accessPairRelation(const ir::PolyStmt &Src,
+                                   const BasicMap &SrcAcc,
+                                   const ir::PolyStmt &Dst,
+                                   const BasicMap &DstAcc) {
+  BasicMap Rel = composeMaps(SrcAcc, reverseMap(DstAcc));
+  Rel = intersectDomain(Rel, Src.Domain);
+  Rel = intersectRange(Rel, Dst.Domain);
+  return Rel;
+}
+
+/// Splits a self-relation into the lexicographically-forward pieces
+/// (i <lex j) and appends the non-empty ones.
+static void addSelfPieces(std::vector<Dependence> &Out, unsigned Id,
+                          DepKind Kind, const BasicMap &Rel,
+                          unsigned NumDims) {
+  for (unsigned K = 0; K < NumDims; ++K) {
+    BasicMap Piece = Rel;
+    for (unsigned D = 0; D < K; ++D) {
+      std::vector<int64_t> Eq(Piece.numCols(), 0);
+      Eq[Piece.inCol(D)] = 1;
+      Eq[Piece.outCol(D)] = -1;
+      Piece.addEq(Eq, 0);
+    }
+    std::vector<int64_t> Lt(Piece.numCols(), 0);
+    Lt[Piece.outCol(K)] = 1;
+    Lt[Piece.inCol(K)] = -1;
+    Piece.addIneq(Lt, -1); // j_k - i_k - 1 >= 0
+    if (Piece.isEmpty())
+      continue;
+    Dependence D;
+    D.Src = Id;
+    D.Dst = Id;
+    D.Kind = Kind;
+    D.Rel = std::move(Piece);
+    D.IsSelf = true;
+    Out.push_back(std::move(D));
+  }
+}
+
+std::vector<Dependence> computeDependences(const ir::PolyProgram &P) {
+  std::vector<Dependence> Deps;
+  const auto &Stmts = P.Stmts;
+  for (unsigned A = 0; A < Stmts.size(); ++A) {
+    for (unsigned B = A; B < Stmts.size(); ++B) {
+      const ir::PolyStmt &SA = Stmts[A];
+      const ir::PolyStmt &SB = Stmts[B];
+      auto AddCross = [&](DepKind Kind, const BasicMap &AccA,
+                          const BasicMap &AccB) {
+        BasicMap Rel = accessPairRelation(SA, AccA, SB, AccB);
+        if (A == B) {
+          addSelfPieces(Deps, A, Kind, Rel, SA.numIters());
+          return;
+        }
+        if (Rel.isEmpty())
+          return;
+        Dependence D;
+        D.Src = A;
+        D.Dst = B;
+        D.Kind = Kind;
+        D.Rel = std::move(Rel);
+        Deps.push_back(std::move(D));
+      };
+      // RAW: A writes, B reads the same tensor.
+      for (const ir::PolyAccess &R : SB.Reads)
+        if (R.Ref == SA.Write.Ref)
+          AddCross(DepKind::RAW, SA.Write.Rel, R.Rel);
+      // WAW: both write the same tensor.
+      if (SA.Write.Ref == SB.Write.Ref && (A != B))
+        AddCross(DepKind::WAW, SA.Write.Rel, SB.Write.Rel);
+      // WAR: A reads, B writes.
+      for (const ir::PolyAccess &R : SA.Reads)
+        if (R.Ref == SB.Write.Ref && A != B)
+          AddCross(DepKind::WAR, R.Rel, SB.Write.Rel);
+    }
+  }
+  return Deps;
+}
+
+static std::optional<int64_t> distanceBound(const Dependence &D,
+                                            unsigned InDim, unsigned OutDim,
+                                            bool WantMax) {
+  LpProblem P = D.Rel.toLp();
+  std::vector<Rational> Obj(P.NumVars);
+  Obj[D.Rel.outCol(OutDim)] = Rational(1);
+  Obj[D.Rel.inCol(InDim)] += Rational(-1);
+  LpResult R = WantMax ? lpMaximize(P, Obj) : lpMinimize(P, Obj);
+  if (R.Status != LpStatus::Optimal)
+    return std::nullopt;
+  return WantMax ? R.Value.floor().getInt64() : R.Value.ceil().getInt64();
+}
+
+std::optional<int64_t> depDistanceMin(const Dependence &D, unsigned InDim,
+                                      unsigned OutDim) {
+  return distanceBound(D, InDim, OutDim, /*WantMax=*/false);
+}
+
+std::optional<int64_t> depDistanceMax(const Dependence &D, unsigned InDim,
+                                      unsigned OutDim) {
+  return distanceBound(D, InDim, OutDim, /*WantMax=*/true);
+}
+
+} // namespace sched
+} // namespace akg

@@ -1,0 +1,622 @@
+//===- scheduler/Pluto.cpp - Pluto-style affine scheduler -----------------===//
+
+#include "scheduler/Pluto.h"
+
+#include "support/Matrix.h"
+#include "support/Stats.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace akg {
+namespace sched {
+
+using namespace poly;
+
+namespace {
+
+/// Variable layout of the per-cluster scheduling ILP:
+///   [ w | c_{s0,0..} c_{s1,0..} ... | d_{s0} d_{s1} ... ]
+struct VarLayout {
+  std::vector<unsigned> Stmts;             // cluster members
+  std::map<unsigned, unsigned> CoeffBase;  // stmt -> first coeff var
+  std::map<unsigned, unsigned> ShiftVar;   // stmt -> shift var
+  std::map<unsigned, unsigned> Dims;       // stmt -> iterator count
+  unsigned NumVars = 0;
+
+  static constexpr unsigned W = 0;
+
+  VarLayout(const ir::PolyProgram &P, const std::vector<unsigned> &Members) {
+    Stmts = Members;
+    unsigned Next = 1;
+    for (unsigned S : Stmts) {
+      Dims[S] = P.Stmts[S].numIters();
+      CoeffBase[S] = Next;
+      Next += Dims[S];
+    }
+    for (unsigned S : Stmts) {
+      ShiftVar[S] = Next;
+      ++Next;
+    }
+    NumVars = Next;
+  }
+
+  bool contains(unsigned S) const { return Dims.count(S) != 0; }
+};
+
+/// The Farkas constraints of one dependence: either the legality form
+/// (Theta_T(j) - Theta_S(i) >= 0 over Rel) or the bounding form
+/// (w - (Theta_T(j) - Theta_S(i)) >= 0 over Rel). The multipliers are NOT
+/// eliminated; they stay as continuous variables of the mixed-integer
+/// master problem (dims: [master vars | lambda0 | lambda_r...]), which
+/// avoids the Fourier-Motzkin blowup entirely.
+struct FarkasBlock {
+  BasicSet F;
+  /// Sign knowledge per lambda (lambda0 first): multipliers of equality
+  /// rows are free, all others non-negative.
+  std::vector<bool> LambdaNonNeg;
+};
+
+FarkasBlock farkasConstraints(const Dependence &Dep, const VarLayout &L,
+                              bool Bounding) {
+  ScopedTimer T("pluto.farkas");
+  const BasicMap &Rel = Dep.Rel;
+  unsigned NumX = Rel.numCols(); // in + out + divs of the dependence body
+  unsigned NumCons = static_cast<unsigned>(Rel.constraints().size());
+  // Dims: master vars, then lambda0, then one lambda per constraint.
+  std::vector<std::string> DimNames;
+  for (unsigned I = 0; I < L.NumVars + 1 + NumCons; ++I)
+    DimNames.push_back("v" + std::to_string(I));
+  BasicSet F(Space::forSet(DimNames, "farkas"));
+  unsigned Lambda0 = L.NumVars;
+  auto LambdaVar = [&](unsigned R) { return L.NumVars + 1 + R; };
+
+  // Coefficient of the delta form on dependence column X, as a linear form
+  // over master variables: fills Row (master section) in place.
+  unsigned SrcCoeff = L.CoeffBase.at(Dep.Src);
+  unsigned DstCoeff = L.CoeffBase.at(Dep.Dst);
+  unsigned NIn = Rel.space().numIn();
+  unsigned NOut = Rel.space().numOut();
+  int64_t Sign = Bounding ? -1 : 1;
+
+  // One equality per dependence column: sum_r lambda_r * A_r[x] == coeff of
+  // delta on x.
+  for (unsigned X = 0; X < NumX; ++X) {
+    std::vector<int64_t> Row(F.numCols(), 0);
+    for (unsigned R = 0; R < NumCons; ++R)
+      Row[LambdaVar(R)] = Rel.constraints()[R].Coeffs[X];
+    // Subtract delta coefficient (move to LHS).
+    if (X >= Rel.inCol(0) && X < Rel.inCol(0) + NIn)
+      Row[SrcCoeff + (X - Rel.inCol(0))] += Sign; // delta has -c_S on i
+    else if (NOut > 0 && X >= Rel.outCol(0) && X < Rel.outCol(0) + NOut)
+      Row[DstCoeff + (X - Rel.outCol(0))] -= Sign; // delta has +c_T on j
+    // div columns carry no delta coefficient.
+    F.addEq(Row, 0);
+  }
+  // Constant: lambda0 + sum_r lambda_r * b_r == delta constant.
+  {
+    std::vector<int64_t> Row(F.numCols(), 0);
+    Row[Lambda0] = 1;
+    for (unsigned R = 0; R < NumCons; ++R)
+      Row[LambdaVar(R)] = Rel.constraints()[R].Const;
+    // delta constant = d_T - d_S (legality) or w - d_T + d_S (bounding).
+    Row[L.ShiftVar.at(Dep.Dst)] -= Sign;
+    Row[L.ShiftVar.at(Dep.Src)] += Sign;
+    if (Bounding)
+      Row[VarLayout::W] -= 1;
+    F.addEq(Row, 0);
+  }
+  // lambda0 >= 0 and lambda_r >= 0 for inequality rows (free for
+  // equalities).
+  {
+    std::vector<int64_t> Row(F.numCols(), 0);
+    Row[Lambda0] = 1;
+    F.addIneq(Row, 0);
+  }
+  for (unsigned R = 0; R < NumCons; ++R) {
+    if (Rel.constraints()[R].IsEq)
+      continue;
+    std::vector<int64_t> Row(F.numCols(), 0);
+    Row[LambdaVar(R)] = 1;
+    F.addIneq(Row, 0);
+  }
+  FarkasBlock Block;
+  Block.F = std::move(F);
+  Block.LambdaNonNeg.push_back(true); // lambda0
+  for (unsigned R = 0; R < NumCons; ++R)
+    Block.LambdaNonNeg.push_back(!Rel.constraints()[R].IsEq);
+  return Block;
+}
+
+/// Evaluates the schedule delta of a dependence for fixed rows:
+/// delta(i,j) = RowT(j) - RowS(i); returns (min, max) over the relation.
+std::pair<std::optional<int64_t>, std::optional<int64_t>>
+deltaRange(const Dependence &Dep, const ScheduleRow &RowS,
+           const ScheduleRow &RowT) {
+  LpProblem P = Dep.Rel.toLp();
+  std::vector<Rational> Obj(P.NumVars);
+  unsigned NIn = Dep.Rel.space().numIn();
+  unsigned NOut = Dep.Rel.space().numOut();
+  for (unsigned K = 0; K < NIn; ++K)
+    Obj[Dep.Rel.inCol(K)] -= Rational(RowS.Coeffs[K]);
+  for (unsigned K = 0; K < NOut; ++K)
+    Obj[Dep.Rel.outCol(K)] += Rational(RowT.Coeffs[K]);
+  Rational ConstTerm = Rational(RowT.Const - RowS.Const);
+  LpResult Mn = lpMinimize(P, Obj);
+  LpResult Mx = lpMaximize(P, Obj);
+  std::optional<int64_t> Lo, Hi;
+  if (Mn.Status == LpStatus::Optimal)
+    Lo = (Mn.Value + ConstTerm).ceil().getInt64();
+  if (Mx.Status == LpStatus::Optimal)
+    Hi = (Mx.Value + ConstTerm).floor().getInt64();
+  return {Lo, Hi};
+}
+
+/// Returns integer-scaled rows of the orthogonal complement of the row
+/// space of Prev (a RowCount x N matrix of int64 rows).
+std::vector<std::vector<int64_t>>
+orthoComplement(const std::vector<std::vector<int64_t>> &Prev, unsigned N) {
+  if (Prev.empty()) {
+    // Full space: identity basis.
+    std::vector<std::vector<int64_t>> Id;
+    for (unsigned I = 0; I < N; ++I) {
+      std::vector<int64_t> Row(N, 0);
+      Row[I] = 1;
+      Id.push_back(Row);
+    }
+    return Id;
+  }
+  Matrix M(static_cast<unsigned>(Prev.size()), N);
+  for (unsigned R = 0; R < Prev.size(); ++R)
+    for (unsigned C = 0; C < N; ++C)
+      M.at(R, C) = Rational(Prev[R][C]);
+  Matrix H = M.orthogonalComplement();
+  std::vector<std::vector<int64_t>> Rows;
+  for (unsigned R = 0; R < H.rows(); ++R) {
+    // Scale to integers.
+    Int128 Lcm = 1;
+    for (unsigned C = 0; C < N; ++C) {
+      Int128 D = H.at(R, C).den();
+      Lcm = Lcm / gcd128(Lcm, D) * D;
+    }
+    std::vector<int64_t> Row(N);
+    for (unsigned C = 0; C < N; ++C) {
+      Rational V = H.at(R, C) * Rational(Lcm, 1);
+      Row[C] = V.getInt64();
+    }
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+/// Completes a statement's outer rows to full rank with identity rows.
+std::vector<ScheduleRow>
+identityCompletion(const std::vector<std::vector<int64_t>> &OuterRows,
+                   unsigned N) {
+  std::vector<std::vector<int64_t>> Have = OuterRows;
+  std::vector<ScheduleRow> Extra;
+  auto RankOf = [&](const std::vector<std::vector<int64_t>> &Rows) {
+    if (Rows.empty())
+      return 0u;
+    Matrix M(static_cast<unsigned>(Rows.size()), N);
+    for (unsigned R = 0; R < Rows.size(); ++R)
+      for (unsigned C = 0; C < N; ++C)
+        M.at(R, C) = Rational(Rows[R][C]);
+    return M.rank();
+  };
+  unsigned Rank = RankOf(Have);
+  for (unsigned D = 0; D < N && Rank < N; ++D) {
+    std::vector<int64_t> Unit(N, 0);
+    Unit[D] = 1;
+    Have.push_back(Unit);
+    unsigned NewRank = RankOf(Have);
+    if (NewRank > Rank) {
+      Rank = NewRank;
+      ScheduleRow Row;
+      Row.Coeffs = Unit;
+      Extra.push_back(std::move(Row));
+    } else {
+      Have.pop_back();
+    }
+  }
+  return Extra;
+}
+
+/// Schedules one cluster with the Pluto ILP. Returns false when the ILP is
+/// infeasible (caller falls back).
+bool scheduleCluster(const ir::PolyProgram &P,
+                     const std::vector<Dependence> &Deps,
+                     const SchedulerOptions &Opts, ClusterSchedule &CS) {
+  VarLayout L(P, CS.Stmts);
+  // Dependences internal to the cluster.
+  std::vector<const Dependence *> Internal;
+  for (const Dependence &D : Deps)
+    if (L.contains(D.Src) && L.contains(D.Dst))
+      Internal.push_back(&D);
+
+  // Farkas constraint cache per dependence (legality + bounding).
+  std::vector<FarkasBlock> LegalSets, BoundSets;
+  for (const Dependence *D : Internal) {
+    LegalSets.push_back(farkasConstraints(*D, L, /*Bounding=*/false));
+    if (Opts.UseBoundingFunction)
+      BoundSets.push_back(farkasConstraints(*D, L, /*Bounding=*/true));
+  }
+
+  unsigned OuterWidth = P.Stmts[CS.Stmts[0]].numIters();
+  for (unsigned S : CS.Stmts)
+    OuterWidth = std::min(OuterWidth, P.Stmts[S].numIters());
+
+  std::vector<bool> Satisfied(Internal.size(), false);
+  std::map<unsigned, std::vector<std::vector<int64_t>>> PrevRows;
+  for (unsigned S : CS.Stmts) {
+    CS.Outer[S] = StmtSchedule{};
+    PrevRows[S] = {};
+  }
+
+  for (unsigned RowIdx = 0; RowIdx < OuterWidth; ++RowIdx) {
+    // Fast path: the identity hyperplane (row = iterator RowIdx, no
+    // shift) is what the lexmin ILP returns for pointwise clusters; try
+    // it first and only fall back to the ILP when it is illegal or
+    // linearly dependent. This keeps large fused elementwise chains out
+    // of the solver entirely.
+    {
+      std::map<unsigned, ScheduleRow> Cand;
+      bool Ok = true;
+      for (unsigned S : CS.Stmts) {
+        ScheduleRow Row;
+        Row.Coeffs.assign(L.Dims[S], 0);
+        Row.Coeffs[RowIdx] = 1;
+        Cand[S] = Row;
+        // Linear independence with previous rows.
+        auto Have = PrevRows[S];
+        Matrix Mx(0, L.Dims[S]);
+        for (const auto &R2 : Have) {
+          std::vector<Rational> RR(L.Dims[S]);
+          for (unsigned C = 0; C < L.Dims[S]; ++C)
+            RR[C] = Rational(R2[C]);
+          Mx.addRow(RR);
+        }
+        unsigned OldRank = Mx.rows() ? Mx.rank() : 0;
+        std::vector<Rational> RR(L.Dims[S]);
+        RR[RowIdx] = Rational(1);
+        Mx.addRow(RR);
+        if (Mx.rank() == OldRank)
+          Ok = false;
+      }
+      for (unsigned DI = 0; DI < Internal.size() && Ok; ++DI) {
+        if (Satisfied[DI])
+          continue;
+        auto [Lo, Hi] = deltaRange(*Internal[DI],
+                                   Cand[Internal[DI]->Src],
+                                   Cand[Internal[DI]->Dst]);
+        (void)Hi;
+        if (!Lo || *Lo < 0)
+          Ok = false;
+      }
+      if (Ok) {
+        bool Coincident = true;
+        for (unsigned DI = 0; DI < Internal.size(); ++DI) {
+          if (Satisfied[DI])
+            continue;
+          auto [Lo, Hi] = deltaRange(*Internal[DI],
+                                     Cand[Internal[DI]->Src],
+                                     Cand[Internal[DI]->Dst]);
+          if (!Lo || !Hi || *Lo != 0 || *Hi != 0)
+            Coincident = false;
+          if (Lo && *Lo >= 1)
+            Satisfied[DI] = true;
+        }
+        for (unsigned S : CS.Stmts) {
+          PrevRows[S].push_back(Cand[S].Coeffs);
+          CS.Outer[S].Rows.push_back(Cand[S]);
+        }
+        CS.Coincident.push_back(Coincident);
+        continue;
+      }
+    }
+    // Assemble the mixed-integer master problem for this row: integer
+    // schedule variables followed by one continuous lambda block per
+    // active dependence form.
+    struct BlockRef {
+      const FarkasBlock *B;
+      unsigned Offset;
+    };
+    std::vector<BlockRef> Blocks;
+    unsigned NumVars = L.NumVars;
+    for (unsigned DI = 0; DI < Internal.size(); ++DI) {
+      if (Satisfied[DI])
+        continue;
+      Blocks.push_back({&LegalSets[DI], NumVars});
+      NumVars += static_cast<unsigned>(LegalSets[DI].LambdaNonNeg.size());
+      if (Opts.UseBoundingFunction) {
+        Blocks.push_back({&BoundSets[DI], NumVars});
+        NumVars += static_cast<unsigned>(BoundSets[DI].LambdaNonNeg.size());
+      }
+    }
+    LpProblem MasterLp;
+    MasterLp.NumVars = NumVars;
+    MasterLp.NonNeg.assign(NumVars, true);
+    MasterLp.Integer.assign(NumVars, false);
+    for (unsigned I = 0; I < L.NumVars; ++I)
+      MasterLp.Integer[I] = true;
+    for (const BlockRef &BR : Blocks)
+      for (unsigned J = 0; J < BR.B->LambdaNonNeg.size(); ++J)
+        MasterLp.NonNeg[BR.Offset + J] = BR.B->LambdaNonNeg[J];
+
+    auto AddCon = [&](const std::vector<std::pair<unsigned, int64_t>> &Terms,
+                      int64_t Const, bool IsEq) {
+      std::vector<Rational> Row(NumVars);
+      for (const auto &[V, C] : Terms)
+        Row[V] += Rational(C);
+      if (IsEq)
+        MasterLp.addEq(std::move(Row), Rational(Const));
+      else
+        MasterLp.addIneq(std::move(Row), Rational(Const));
+    };
+    for (unsigned S : CS.Stmts) {
+      unsigned N = L.Dims[S];
+      for (unsigned K = 0; K < N; ++K)
+        AddCon({{L.CoeffBase[S] + K, -1}},
+               Opts.AllowSkew ? Opts.CoeffBound : 1, false); // c <= bound
+      AddCon({{L.ShiftVar[S], -1}},
+             Opts.AllowShift ? Opts.ShiftBound : 0, false);
+      // Non-triviality: sum of coeffs >= 1 (== 1 when skewing is off).
+      std::vector<std::pair<unsigned, int64_t>> Sum;
+      for (unsigned K = 0; K < N; ++K)
+        Sum.emplace_back(L.CoeffBase[S] + K, 1);
+      AddCon(Sum, -1, !Opts.AllowSkew);
+      // Linear independence from previous rows.
+      auto H = orthoComplement(PrevRows[S], N);
+      assert(!H.empty() && "statement rank exhausted before band end");
+      std::vector<std::pair<unsigned, int64_t>> HSum;
+      for (const auto &HRow : H) {
+        std::vector<std::pair<unsigned, int64_t>> Con;
+        for (unsigned K = 0; K < N; ++K)
+          if (HRow[K] != 0) {
+            Con.emplace_back(L.CoeffBase[S] + K, HRow[K]);
+            HSum.emplace_back(L.CoeffBase[S] + K, HRow[K]);
+          }
+        AddCon(Con, 0, false); // H_q . c >= 0
+      }
+      AddCon(HSum, -1, false); // sum_q H_q . c >= 1
+    }
+    // Dependence (Farkas) constraints, lambda columns relocated per block.
+    for (const BlockRef &BR : Blocks) {
+      for (const Constraint &C : BR.B->F.constraints()) {
+        std::vector<std::pair<unsigned, int64_t>> Terms;
+        for (unsigned I = 0; I < C.Coeffs.size(); ++I) {
+          if (C.Coeffs[I] == 0)
+            continue;
+          unsigned V = I < L.NumVars ? I : BR.Offset + (I - L.NumVars);
+          Terms.emplace_back(V, C.Coeffs[I]);
+        }
+        AddCon(Terms, C.Const, C.IsEq);
+      }
+    }
+    // Lexicographic objective: w first, then per-statement coefficients
+    // biased towards the identity (later dims minimized first), then
+    // shifts.
+    std::vector<unsigned> Order;
+    Order.push_back(VarLayout::W);
+    for (unsigned S : CS.Stmts)
+      for (unsigned K = L.Dims[S]; K-- > 0;)
+        Order.push_back(L.CoeffBase[S] + K);
+    for (unsigned S : CS.Stmts)
+      Order.push_back(L.ShiftVar[S]);
+    LpResult R = [&]{ ScopedTimer T("pluto.lexmin"); return ilpLexMin(MasterLp, Order); }();
+    if (R.Status != LpStatus::Optimal)
+      return false;
+
+    // Extract the row per statement.
+    std::map<unsigned, ScheduleRow> RowOf;
+    for (unsigned S : CS.Stmts) {
+      ScheduleRow Row;
+      Row.Coeffs.resize(L.Dims[S]);
+      for (unsigned K = 0; K < L.Dims[S]; ++K)
+        Row.Coeffs[K] = R.Point[L.CoeffBase[S] + K].getInt64();
+      Row.Const = R.Point[L.ShiftVar[S]].getInt64();
+      RowOf[S] = Row;
+      PrevRows[S].push_back(Row.Coeffs);
+      CS.Outer[S].Rows.push_back(Row);
+    }
+    // Coincidence: every dependence unsatisfied at row start has delta == 0.
+    bool Coincident = true;
+    for (unsigned DI = 0; DI < Internal.size(); ++DI) {
+      if (Satisfied[DI])
+        continue;
+      auto [Lo, Hi] = deltaRange(*Internal[DI], RowOf[Internal[DI]->Src],
+                                 RowOf[Internal[DI]->Dst]);
+      if (!Lo || !Hi || *Lo != 0 || *Hi != 0)
+        Coincident = false;
+      // Strong satisfaction: delta >= 1 everywhere.
+      if (Lo && *Lo >= 1)
+        Satisfied[DI] = true;
+    }
+    CS.Coincident.push_back(Coincident);
+  }
+
+  // Per-statement completion below the shared band.
+  for (unsigned S : CS.Stmts) {
+    unsigned N = L.Dims[S];
+    std::vector<ScheduleRow> Extra = identityCompletion(PrevRows[S], N);
+    if (!Extra.empty())
+      CS.Inner[S] = StmtSchedule{Extra};
+  }
+  return true;
+}
+
+} // namespace
+
+bool verifyClusterLegality(const ir::PolyProgram &P,
+                           const std::vector<Dependence> &Deps,
+                           const ClusterSchedule &CS) {
+  std::map<unsigned, std::vector<ScheduleRow>> Full;
+  for (unsigned S : CS.Stmts) {
+    Full[S] = CS.Outer.at(S).Rows;
+    auto It = CS.Inner.find(S);
+    if (It != CS.Inner.end())
+      for (const ScheduleRow &R : It->second.Rows)
+        Full[S].push_back(R);
+  }
+  for (const Dependence &D : Deps) {
+    if (!Full.count(D.Src) || !Full.count(D.Dst))
+      continue;
+    // Walk rows lexicographically; a dependence must not become negative
+    // before it is strictly satisfied.
+    BasicMap Rel = D.Rel;
+    unsigned Rows = std::min(Full[D.Src].size(), Full[D.Dst].size());
+    bool Done = false;
+    for (unsigned R = 0; R < Rows && !Done; ++R) {
+      Dependence Tmp = D;
+      Tmp.Rel = Rel;
+      auto [Lo, Hi] = deltaRange(Tmp, Full[D.Src][R], Full[D.Dst][R]);
+      (void)Hi;
+      if (!Lo || *Lo < 0)
+        return false;
+      if (*Lo >= 1) {
+        Done = true;
+        break;
+      }
+      // Restrict to delta == 0 and continue to the next row.
+      const ScheduleRow &RS = Full[D.Src][R];
+      const ScheduleRow &RT = Full[D.Dst][R];
+      std::vector<int64_t> Eq(Rel.numCols(), 0);
+      for (unsigned K = 0; K < Rel.space().numIn(); ++K)
+        Eq[Rel.inCol(K)] -= RS.Coeffs[K];
+      for (unsigned K = 0; K < Rel.space().numOut(); ++K)
+        Eq[Rel.outCol(K)] += RT.Coeffs[K];
+      Rel.addEq(Eq, RT.Const - RS.Const);
+      if (Rel.isEmpty()) {
+        Done = true;
+        break;
+      }
+    }
+    if (!Done && D.Src == D.Dst && !Rel.isEmpty())
+      return false; // self dependence never separated
+  }
+  return true;
+}
+
+ScheduleResult computeSchedule(const ir::PolyProgram &P,
+                               const std::vector<Dependence> &Deps,
+                               const SchedulerOptions &Opts) {
+  Clustering C = clusterStatements(P, Deps, Opts.Fusion);
+  ScheduleResult R;
+  for (const auto &Group : C.Groups) {
+    ClusterSchedule CS;
+    CS.Stmts = Group;
+    if (scheduleCluster(P, Deps, Opts, CS)) {
+      R.Clusters.push_back(std::move(CS));
+      continue;
+    }
+    // Fall back: split the cluster into singleton identity schedules (the
+    // role of the Feautrier fall-back in isl: always-legal sequential
+    // schedules).
+    for (unsigned S : Group) {
+      ClusterSchedule Single;
+      Single.Stmts = {S};
+      Single.UsedFallback = true;
+      unsigned N = P.Stmts[S].numIters();
+      Single.Outer[S] = identitySchedule(N);
+      Single.Coincident.assign(N, false);
+      R.Clusters.push_back(std::move(Single));
+    }
+  }
+  return R;
+}
+
+ScheduleTree buildInitialTree(const ir::PolyProgram &P) {
+  ScheduleTree T;
+  auto Root = makeDomain();
+  TreeNode *Seq = Root->addChild(makeSequence());
+  for (unsigned S = 0; S < P.Stmts.size(); ++S) {
+    const ir::PolyStmt &St = P.Stmts[S];
+    if (St.StmtRole == ir::PolyStmt::Role::Init) {
+      // Pair init with the following update: shared outer band on the
+      // output axes, then a sequence splitting init from the reduction
+      // loops (Fig 3b).
+      assert(S + 1 < P.Stmts.size() &&
+             P.Stmts[S + 1].StmtRole == ir::PolyStmt::Role::Update &&
+             "init statement without update");
+      const ir::PolyStmt &Upd = P.Stmts[S + 1];
+      unsigned NOut = St.numIters();
+      TreeNode *F = Seq->addChild(makeFilter({S, S + 1}));
+      std::map<unsigned, StmtSchedule> Part;
+      Part[S] = identitySchedule(NOut);
+      StmtSchedule UpdOuter;
+      for (unsigned K = 0; K < NOut; ++K) {
+        ScheduleRow Row;
+        Row.Coeffs.assign(Upd.numIters(), 0);
+        Row.Coeffs[K] = 1;
+        UpdOuter.Rows.push_back(Row);
+      }
+      Part[S + 1] = UpdOuter;
+      TreeNode *B = F->addChild(makeBand(std::move(Part), true));
+      TreeNode *Inner = B->addChild(makeSequence());
+      Inner->addChild(makeFilter({S}));
+      TreeNode *FU = Inner->addChild(makeFilter({S + 1}));
+      std::map<unsigned, StmtSchedule> RedPart;
+      StmtSchedule Red;
+      for (unsigned K = NOut; K < Upd.numIters(); ++K) {
+        ScheduleRow Row;
+        Row.Coeffs.assign(Upd.numIters(), 0);
+        Row.Coeffs[K] = 1;
+        Red.Rows.push_back(Row);
+      }
+      RedPart[S + 1] = Red;
+      FU->addChild(makeBand(std::move(RedPart), true));
+      ++S; // consume the update
+      continue;
+    }
+    TreeNode *F = Seq->addChild(makeFilter({S}));
+    std::map<unsigned, StmtSchedule> Part;
+    Part[S] = identitySchedule(St.numIters());
+    F->addChild(makeBand(std::move(Part), true));
+  }
+  T.setRoot(std::move(Root));
+  return T;
+}
+
+ScheduleTree buildScheduledTree(const ir::PolyProgram &P,
+                                const ScheduleResult &R) {
+  ScheduleTree T;
+  auto Root = makeDomain();
+  TreeNode *Parent = Root.get();
+  TreeNode *Seq = nullptr;
+  if (R.Clusters.size() > 1)
+    Seq = Parent->addChild(makeSequence());
+  for (const ClusterSchedule &CS : R.Clusters) {
+    TreeNode *Attach = Seq ? Seq->addChild(makeFilter(CS.Stmts)) : Parent;
+    if (Seq == nullptr && R.Clusters.size() == 1 && CS.Stmts.size() > 1)
+      Attach = Parent->addChild(makeFilter(CS.Stmts));
+    TreeNode *Band =
+        Attach->addChild(makeBand(CS.Outer, true, CS.Coincident));
+    // Intra-cluster order and per-statement completions.
+    bool AnyInner = !CS.Inner.empty();
+    if (CS.Stmts.size() > 1) {
+      TreeNode *InnerSeq = Band->addChild(makeSequence());
+      for (unsigned S : CS.Stmts) {
+        TreeNode *F = InnerSeq->addChild(makeFilter({S}));
+        auto It = CS.Inner.find(S);
+        if (It != CS.Inner.end()) {
+          std::map<unsigned, StmtSchedule> Part;
+          Part[S] = It->second;
+          F->addChild(makeBand(std::move(Part), true));
+        }
+      }
+    } else if (AnyInner) {
+      unsigned S = CS.Stmts[0];
+      auto It = CS.Inner.find(S);
+      if (It != CS.Inner.end()) {
+        std::map<unsigned, StmtSchedule> Part;
+        Part[S] = It->second;
+        Band->addChild(makeBand(std::move(Part), true));
+      }
+    }
+  }
+  T.setRoot(std::move(Root));
+  return T;
+}
+
+} // namespace sched
+} // namespace akg

@@ -1,0 +1,80 @@
+//===- scheduler/Pluto.h - Pluto-style affine scheduler ---------*- C++ -*-===//
+//
+// The versatile polyhedral scheduler of Sec 4.1: computes per-statement
+// affine schedules by solving ILP problems built from Farkas-lemma legality
+// and bounding constraints, exactly in the style of the Pluto algorithm that
+// isl's scheduler (and therefore AKG) uses as its primary strategy. A
+// bounded fallback handles infeasible clusters by splitting them (the role
+// Feautrier's algorithm plays as isl's fall-back).
+//
+// Scheduling options (enable/disable skewing and shifting, coefficient
+// bounds, fusion heuristic) mirror the paper's tunable scheduling process.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SCHEDULER_PLUTO_H
+#define AKG_SCHEDULER_PLUTO_H
+
+#include "schedule/ScheduleTree.h"
+#include "scheduler/Cluster.h"
+
+namespace akg {
+namespace sched {
+
+struct SchedulerOptions {
+  FusionStrategy Fusion = FusionStrategy::Conservative;
+  bool AllowSkew = true;
+  bool AllowShift = true;
+  int64_t CoeffBound = 3;   // bound on hyperplane coefficients
+  int64_t ShiftBound = 1024; // bound on constant shifts
+  /// Adds the Pluto bounding-function constraints (minimize the dependence
+  /// distance bound w). With bounded coefficients and lexmin-minimized
+  /// shifts the bound is usually redundant, so it defaults to off; this is
+  /// one of the "fine-tuned scheduling options" the paper uses to keep ILP
+  /// time down (Sec 8).
+  bool UseBoundingFunction = false;
+};
+
+/// The computed schedule of one fusion cluster.
+struct ClusterSchedule {
+  std::vector<unsigned> Stmts;
+  /// Shared outer band rows (same count for every member).
+  std::map<unsigned, StmtSchedule> Outer;
+  /// Per-statement completion rows below the shared band (reduction dims
+  /// etc.); empty when the statement's rank is already complete.
+  std::map<unsigned, StmtSchedule> Inner;
+  std::vector<bool> Coincident; // per outer row
+  bool Permutable = true;
+  /// True when the ILP path failed and identity schedules were used.
+  bool UsedFallback = false;
+};
+
+struct ScheduleResult {
+  std::vector<ClusterSchedule> Clusters;
+};
+
+/// Runs clustering + per-cluster Pluto scheduling.
+ScheduleResult computeSchedule(const ir::PolyProgram &P,
+                               const std::vector<Dependence> &Deps,
+                               const SchedulerOptions &Opts);
+
+/// Builds the initial schedule tree in textual order (the paper's Fig 3b).
+ScheduleTree buildInitialTree(const ir::PolyProgram &P);
+
+/// Builds the scheduled tree (the paper's Fig 3c): Domain -> Sequence of
+/// cluster Filters, each with its shared Band and per-statement inner
+/// bands.
+ScheduleTree buildScheduledTree(const ir::PolyProgram &P,
+                                const ScheduleResult &R);
+
+/// Checks that a cluster's schedule respects every dependence between its
+/// members (min delta >= 0 per dependence at the first distinguishing row).
+/// Used by tests and by the fallback verifier.
+bool verifyClusterLegality(const ir::PolyProgram &P,
+                           const std::vector<Dependence> &Deps,
+                           const ClusterSchedule &CS);
+
+} // namespace sched
+} // namespace akg
+
+#endif // AKG_SCHEDULER_PLUTO_H

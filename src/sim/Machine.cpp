@@ -1,0 +1,50 @@
+//===- sim/Machine.cpp - DaVinci machine model ----------------------------===//
+
+#include "sim/Machine.h"
+
+namespace akg {
+namespace sim {
+
+const char *bufferName(Buffer B) {
+  switch (B) {
+  case Buffer::GM:
+    return "GM";
+  case Buffer::L1:
+    return "L1";
+  case Buffer::UB:
+    return "UB";
+  case Buffer::L0A:
+    return "L0A";
+  case Buffer::L0B:
+    return "L0B";
+  case Buffer::L0C:
+    return "L0C";
+  }
+  return "?";
+}
+
+const char *pipeName(Pipe P) {
+  switch (P) {
+  case Pipe::S:
+    return "PIPE_S";
+  case Pipe::V:
+    return "PIPE_V";
+  case Pipe::M:
+    return "PIPE_M";
+  case Pipe::MTE1:
+    return "PIPE_MTE1";
+  case Pipe::MTE2:
+    return "PIPE_MTE2";
+  case Pipe::MTE3:
+    return "PIPE_MTE3";
+  }
+  return "?";
+}
+
+const MachineSpec &MachineSpec::ascend910() {
+  static MachineSpec S;
+  return S;
+}
+
+} // namespace sim
+} // namespace akg

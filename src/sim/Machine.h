@@ -1,0 +1,96 @@
+//===- sim/Machine.h - DaVinci machine model --------------------*- C++ -*-===//
+//
+// The machine model of the Ascend 910 DaVinci architecture (paper Fig 1),
+// used by the simulator's cost model, by Auto Tiling's footprint/data-
+// movement model, and by storage management's capacity checks. We do not
+// have the real chip (repro substitution, see DESIGN.md): parameters are
+// set to the publicly described DaVinci configuration — a 16x16x16 Cube
+// unit, a 128-lane FP16 vector unit, explicit L1/UB/L0A/L0B/L0C buffers and
+// decoupled instruction pipelines synchronized by set/wait flags.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SIM_MACHINE_H
+#define AKG_SIM_MACHINE_H
+
+#include <cstdint>
+#include <string>
+
+namespace akg {
+namespace sim {
+
+/// On-chip memories (plus GM = off-chip global memory).
+enum class Buffer { GM, L1, UB, L0A, L0B, L0C };
+
+const char *bufferName(Buffer B);
+
+/// Instruction pipelines of the decoupled access-execute core.
+///   S    - scalar unit
+///   V    - vector unit
+///   M    - cube (matrix) unit
+///   MTE1 - L1 -> L0A/L0B transfers (incl. img2col + fractal layout)
+///   MTE2 - GM -> L1/UB transfers
+///   MTE3 - UB/L0C -> GM transfers
+enum class Pipe { S, V, M, MTE1, MTE2, MTE3 };
+
+constexpr unsigned NumPipes = 6;
+
+const char *pipeName(Pipe P);
+
+struct MachineSpec {
+  // Buffer capacities (bytes).
+  int64_t L1Bytes = 1 << 20;        // 1 MiB
+  int64_t UBBytes = 256 << 10;      // 256 KiB
+  int64_t L0ABytes = 64 << 10;      // 64 KiB
+  int64_t L0BBytes = 64 << 10;      // 64 KiB
+  int64_t L0CBytes = 256 << 10;     // 256 KiB
+
+  // DMA model: cycles = Latency + ceil(bytes/Bandwidth) (+ one extra
+  // latency per non-contiguous burst beyond the first).
+  int64_t GmBandwidth = 64;         // bytes/cycle per MTE2/MTE3 queue
+  int64_t GmLatency = 250;          // warm-up cycles per transfer
+  int64_t OnChipBandwidth = 256;    // bytes/cycle for L1 <-> L0 (MTE1)
+  int64_t OnChipLatency = 32;
+  int64_t BurstLatency = 4;         // extra cost per discontiguous burst
+
+  // Cube unit: one M x K x N fractal MAC block per cycle.
+  int64_t CubeM = 16, CubeN = 16, CubeK = 16;
+  int64_t CubeStartup = 16;         // per MMAD instruction issue cost
+
+  // Vector unit: lanes per cycle (FP16; FP32 halves it), issue cost per
+  // intrinsic.
+  int64_t VectorLanes = 128;
+  int64_t VectorIssue = 8;
+
+  // Scalar unit.
+  int64_t ScalarCost = 2;           // cycles per scalar operation
+
+  // Pipeline synchronization (set_flag/wait_flag pair overhead).
+  int64_t SyncCost = 12;
+
+  int64_t bufferBytes(Buffer B) const {
+    switch (B) {
+    case Buffer::GM:
+      return INT64_MAX;
+    case Buffer::L1:
+      return L1Bytes;
+    case Buffer::UB:
+      return UBBytes;
+    case Buffer::L0A:
+      return L0ABytes;
+    case Buffer::L0B:
+      return L0BBytes;
+    case Buffer::L0C:
+      return L0CBytes;
+    }
+    return 0;
+  }
+
+  /// The configuration used throughout the evaluation.
+  static const MachineSpec &ascend910();
+};
+
+} // namespace sim
+} // namespace akg
+
+#endif // AKG_SIM_MACHINE_H

@@ -1,0 +1,169 @@
+//===- sim/Simulator.cpp - DaVinci cycle-approximate simulator ------------===//
+
+#include "sim/Simulator.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace akg {
+namespace sim {
+
+namespace {
+
+class SimEngine {
+public:
+  SimEngine(const cce::Kernel &K, const MachineSpec &M, ir::BufferMap *Gm,
+            const SimOptions &Opts)
+      : K(K), M(M), Gm(Gm), Opts(Opts) {}
+
+  SimResult run() {
+    // Allocate local buffers.
+    if (Gm && Opts.Functional) {
+      for (const cce::BufferAlloc &B : K.Buffers)
+        (*Gm)[B.Name].assign(B.Decl->numElements(), 0.0f);
+      for (const ir::Tensor &T : K.GmTensors)
+        if (!Gm->count(T->Name))
+          (*Gm)[T->Name].assign(T->numElements(), 0.0f);
+    }
+    std::map<std::string, int64_t> Env;
+    execList(K.Body, Env);
+    for (unsigned P = 0; P < NumPipes; ++P)
+      R.Cycles = std::max(R.Cycles, PipeTime[P]);
+    return R;
+  }
+
+private:
+  const cce::Kernel &K;
+  const MachineSpec &M;
+  ir::BufferMap *Gm;
+  SimOptions Opts;
+  SimResult R;
+  std::array<int64_t, NumPipes> PipeTime{};
+  // Event completion times keyed by (source pipe, event id); the last two
+  // set times are kept so Depth-2 waits can model ping-pong buffering.
+  std::map<std::pair<unsigned, unsigned>, std::pair<int64_t, int64_t>>
+      Events; // (previous, latest); -1 = never set
+  ir::BufferMap EmptyBufs;
+
+  ir::BufferMap &bufs() { return Gm ? *Gm : EmptyBufs; }
+
+  int64_t evalInt(const ir::Expr &E, std::map<std::string, int64_t> &Env) {
+    return static_cast<int64_t>(ir::evalExpr(E, Env, bufs()));
+  }
+
+  /// Cycle cost of one execution of a non-loop instruction.
+  int64_t cost(const cce::Instr &I) const {
+    switch (I.Kind) {
+    case cce::InstrKind::Dma: {
+      int64_t Bw = (I.Pipe == Pipe::MTE1) ? M.OnChipBandwidth : M.GmBandwidth;
+      int64_t Lat = (I.Pipe == Pipe::MTE1) ? M.OnChipLatency : M.GmLatency;
+      if (K.HandPrefetched && I.Pipe == Pipe::MTE2)
+        Lat /= 2; // manual prefetching hides part of the warm-up
+      return Lat + (I.Bytes + Bw - 1) / Bw + (I.Bursts - 1) * M.BurstLatency;
+    }
+    case cce::InstrKind::Img2Col:
+    case cce::InstrKind::LoadFractal: {
+      // MTE1 transfer with fractal/patch reorganization.
+      return M.OnChipLatency + (I.Bytes + M.OnChipBandwidth - 1) /
+                                   M.OnChipBandwidth +
+             (I.Bursts - 1) * (M.BurstLatency / 4);
+    }
+    case cce::InstrKind::Mmad:
+      return M.CubeStartup + I.FractalOps;
+    case cce::InstrKind::VectorOp: {
+      int64_t Lanes = I.Fp32 ? M.VectorLanes / 2 : M.VectorLanes;
+      return M.VectorIssue + (I.Elems + Lanes - 1) / Lanes;
+    }
+    case cce::InstrKind::ScalarOp:
+      return M.ScalarCost * std::max<int64_t>(I.Elems, 1);
+    default:
+      return 0;
+    }
+  }
+
+  void execList(const std::vector<cce::InstrPtr> &L,
+                std::map<std::string, int64_t> &Env) {
+    for (const cce::InstrPtr &I : L) {
+      if (R.Truncated)
+        return;
+      exec(*I, Env);
+    }
+  }
+
+  void exec(const cce::Instr &I, std::map<std::string, int64_t> &Env) {
+    if (++R.DynamicInstrs >= Opts.MaxDynamicInstrs) {
+      // Degenerate configurations (tiny tiles on huge problems) are cut
+      // off; the cycles so far are a lower bound, which is all a tuner
+      // needs to reject them.
+      R.Truncated = true;
+      return;
+    }
+    switch (I.Kind) {
+    case cce::InstrKind::Loop: {
+      int64_t Min = evalInt(I.Min, Env);
+      int64_t Ext = evalInt(I.Extent, Env);
+      for (int64_t V = Min; V < Min + Ext && !R.Truncated; ++V) {
+        Env[I.Var] = V;
+        execList(I.Body, Env);
+      }
+      Env.erase(I.Var);
+      break;
+    }
+    case cce::InstrKind::SetFlag: {
+      // The flag is raised when the source pipe reaches this point.
+      auto Key = std::make_pair(unsigned(I.Pipe), I.EventId);
+      auto It = Events.find(Key);
+      if (It == Events.end())
+        Events[Key] = {-1, PipeTime[size_t(I.Pipe)]};
+      else
+        It->second = {It->second.second, PipeTime[size_t(I.Pipe)]};
+      break;
+    }
+    case cce::InstrKind::WaitFlag: {
+      auto It = Events.find({unsigned(I.WaitSrc), I.EventId});
+      ++R.FlagPairs;
+      int64_t &T = PipeTime[size_t(I.Pipe)];
+      if (It != Events.end()) {
+        int64_t When = I.Depth >= 2 ? It->second.first : It->second.second;
+        if (When > T) {
+          R.SyncStallCycles += When - T;
+          T = When;
+        }
+      }
+      T += M.SyncCost;
+      break;
+    }
+    case cce::InstrKind::Barrier: {
+      int64_t Mx = 0;
+      for (unsigned P = 0; P < NumPipes; ++P)
+        Mx = std::max(Mx, PipeTime[P]);
+      for (unsigned P = 0; P < NumPipes; ++P)
+        PipeTime[P] = Mx;
+      break;
+    }
+    default: {
+      int64_t C = cost(I);
+      PipeTime[size_t(I.Pipe)] += C;
+      R.BusyCycles[size_t(I.Pipe)] += C;
+      if (I.Kind == cce::InstrKind::Dma &&
+          (I.Pipe == Pipe::MTE2 || I.Pipe == Pipe::MTE3))
+        R.GmTrafficBytes += I.Bytes;
+      if (Gm && Opts.Functional && I.Sem)
+        ir::execStmtWithEnv(I.Sem, *Gm, Env);
+      break;
+    }
+    }
+  }
+};
+
+} // namespace
+
+SimResult simulate(const cce::Kernel &K, const MachineSpec &M,
+                   ir::BufferMap *Gm, const SimOptions &Opts) {
+  SimEngine E(K, M, Gm, Opts);
+  return E.run();
+}
+
+} // namespace sim
+} // namespace akg

@@ -1,0 +1,63 @@
+//===- sim/Simulator.h - DaVinci cycle-approximate simulator ----*- C++ -*-===//
+//
+// Executes CCE kernels on the machine model. Two concerns are handled in
+// one walk:
+//
+//  * Functional execution (optional): every instruction's semantic payload
+//    runs against named float buffers, so kernel outputs can be compared
+//    bit-for-bit (FP tolerance) with the DSL reference evaluator.
+//
+//  * Cycle accounting: the six decoupled pipelines (Fig 1) each have their
+//    own timeline; instructions are dispatched in program order to their
+//    pipe and execute in order within it; set_flag/wait_flag pairs transfer
+//    completion times across pipes (the DAE synchronization of Sec 5.2).
+//    Double buffering and latency hiding therefore emerge from the flag
+//    structure the compiler emits, not from simulator special cases.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SIM_SIMULATOR_H
+#define AKG_SIM_SIMULATOR_H
+
+#include "ir/Dsl.h"
+#include "sim/Machine.h"
+#include "target/CceIr.h"
+
+#include <array>
+
+namespace akg {
+namespace sim {
+
+struct SimOptions {
+  /// Execute functional payloads (requires GM buffers). Disable for large
+  /// performance-mode runs.
+  bool Functional = true;
+  /// Abort guard against runaway instruction streams.
+  int64_t MaxDynamicInstrs = 200000000;
+};
+
+struct SimResult {
+  int64_t Cycles = 0;
+  /// True when the run stopped at MaxDynamicInstrs; Cycles is then a lower
+  /// bound (tuners treat such configurations as hopeless).
+  bool Truncated = false;
+  int64_t DynamicInstrs = 0;
+  int64_t GmTrafficBytes = 0;   // DMA bytes to/from global memory
+  int64_t SyncStallCycles = 0;  // cycles pipes spent blocked on flags
+  int64_t FlagPairs = 0;        // dynamic wait_flag count
+  std::array<int64_t, NumPipes> BusyCycles{};
+
+  double utilization(Pipe P) const {
+    return Cycles ? double(BusyCycles[size_t(P)]) / double(Cycles) : 0.0;
+  }
+};
+
+/// Runs \p K on machine \p M. When \p Gm is non-null it must contain every
+/// input tensor buffer; outputs are written into it.
+SimResult simulate(const cce::Kernel &K, const MachineSpec &M,
+                   ir::BufferMap *Gm, const SimOptions &Opts = SimOptions());
+
+} // namespace sim
+} // namespace akg
+
+#endif // AKG_SIM_SIMULATOR_H

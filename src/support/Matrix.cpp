@@ -1,0 +1,142 @@
+//===- support/Matrix.cpp -------------------------------------------------===//
+
+#include "support/Matrix.h"
+
+#include <sstream>
+
+namespace akg {
+
+void Matrix::addRow(const std::vector<Rational> &Row) {
+  if (Rows == 0 && Cols == 0)
+    Cols = static_cast<unsigned>(Row.size());
+  assert(Row.size() == Cols && "row length mismatch");
+  Data.insert(Data.end(), Row.begin(), Row.end());
+  ++Rows;
+}
+
+Matrix Matrix::identity(unsigned N) {
+  Matrix M(N, N);
+  for (unsigned I = 0; I < N; ++I)
+    M.at(I, I) = Rational(1);
+  return M;
+}
+
+/// Row-reduces \p M in place and returns the pivot column of each pivot row.
+static std::vector<unsigned> rowReduce(Matrix &M) {
+  std::vector<unsigned> PivotCols;
+  unsigned PivotRow = 0;
+  for (unsigned C = 0; C < M.cols() && PivotRow < M.rows(); ++C) {
+    // Find a pivot in column C at or below PivotRow.
+    unsigned Sel = PivotRow;
+    while (Sel < M.rows() && M.at(Sel, C).isZero())
+      ++Sel;
+    if (Sel == M.rows())
+      continue;
+    // Swap rows Sel and PivotRow.
+    if (Sel != PivotRow)
+      for (unsigned K = 0; K < M.cols(); ++K)
+        std::swap(M.at(Sel, K), M.at(PivotRow, K));
+    // Normalize pivot row.
+    Rational Piv = M.at(PivotRow, C);
+    for (unsigned K = 0; K < M.cols(); ++K)
+      M.at(PivotRow, K) /= Piv;
+    // Eliminate everywhere else.
+    for (unsigned R = 0; R < M.rows(); ++R) {
+      if (R == PivotRow || M.at(R, C).isZero())
+        continue;
+      Rational F = M.at(R, C);
+      for (unsigned K = 0; K < M.cols(); ++K)
+        M.at(R, K) -= F * M.at(PivotRow, K);
+    }
+    PivotCols.push_back(C);
+    ++PivotRow;
+  }
+  return PivotCols;
+}
+
+unsigned Matrix::rank() const {
+  Matrix Copy = *this;
+  return static_cast<unsigned>(rowReduce(Copy).size());
+}
+
+Matrix Matrix::inverse() const {
+  assert(Rows == Cols && "inverse of non-square matrix");
+  // Augment with the identity and row-reduce.
+  Matrix Aug(Rows, 2 * Cols);
+  for (unsigned R = 0; R < Rows; ++R) {
+    for (unsigned C = 0; C < Cols; ++C)
+      Aug.at(R, C) = at(R, C);
+    Aug.at(R, Cols + R) = Rational(1);
+  }
+  std::vector<unsigned> Pivots = rowReduce(Aug);
+  assert(Pivots.size() == Rows && "matrix is singular");
+  for (unsigned I = 0; I < Pivots.size(); ++I)
+    assert(Pivots[I] == I && "matrix is singular");
+  Matrix Inv(Rows, Cols);
+  for (unsigned R = 0; R < Rows; ++R)
+    for (unsigned C = 0; C < Cols; ++C)
+      Inv.at(R, C) = Aug.at(R, Cols + C);
+  return Inv;
+}
+
+Matrix Matrix::multiply(const Matrix &O) const {
+  assert(Cols == O.Rows && "dimension mismatch in matrix product");
+  Matrix P(Rows, O.Cols);
+  for (unsigned R = 0; R < Rows; ++R)
+    for (unsigned K = 0; K < Cols; ++K) {
+      if (at(R, K).isZero())
+        continue;
+      for (unsigned C = 0; C < O.Cols; ++C)
+        P.at(R, C) += at(R, K) * O.at(K, C);
+    }
+  return P;
+}
+
+std::vector<Rational> Matrix::apply(const std::vector<Rational> &V) const {
+  assert(V.size() == Cols && "dimension mismatch in matrix apply");
+  std::vector<Rational> R(Rows);
+  for (unsigned I = 0; I < Rows; ++I)
+    for (unsigned C = 0; C < Cols; ++C)
+      R[I] += at(I, C) * V[C];
+  return R;
+}
+
+Matrix Matrix::nullSpace() const {
+  Matrix Copy = *this;
+  std::vector<unsigned> Pivots = rowReduce(Copy);
+  std::vector<bool> IsPivot(Cols, false);
+  for (unsigned P : Pivots)
+    IsPivot[P] = true;
+  Matrix Basis;
+  for (unsigned Free = 0; Free < Cols; ++Free) {
+    if (IsPivot[Free])
+      continue;
+    std::vector<Rational> Vec(Cols);
+    Vec[Free] = Rational(1);
+    for (unsigned I = 0; I < Pivots.size(); ++I)
+      Vec[Pivots[I]] = -Copy.at(I, Free);
+    Basis.addRow(Vec);
+  }
+  if (Basis.rows() == 0)
+    Basis = Matrix(0, Cols);
+  return Basis;
+}
+
+Matrix Matrix::orthogonalComplement() const {
+  // h is orthogonal to the row space iff M h^T = 0, i.e. h is in the null
+  // space of M.
+  return nullSpace();
+}
+
+std::string Matrix::str() const {
+  std::ostringstream OS;
+  for (unsigned R = 0; R < Rows; ++R) {
+    OS << "[";
+    for (unsigned C = 0; C < Cols; ++C)
+      OS << (C ? ", " : "") << at(R, C).str();
+    OS << "]\n";
+  }
+  return OS.str();
+}
+
+} // namespace akg

@@ -1,0 +1,77 @@
+//===- support/Matrix.h - Exact rational matrices ---------------*- C++ -*-===//
+//
+// Dense rational matrices with the linear-algebra kernels the scheduler
+// needs: Gaussian elimination, rank, inverse, null space and the orthogonal
+// complement used by Pluto's linear-independence constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SUPPORT_MATRIX_H
+#define AKG_SUPPORT_MATRIX_H
+
+#include "support/Rational.h"
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace akg {
+
+/// A dense matrix of exact rationals.
+class Matrix {
+public:
+  Matrix() : Rows(0), Cols(0) {}
+  Matrix(unsigned Rows, unsigned Cols)
+      : Rows(Rows), Cols(Cols), Data(size_t(Rows) * Cols) {}
+
+  unsigned rows() const { return Rows; }
+  unsigned cols() const { return Cols; }
+
+  Rational &at(unsigned R, unsigned C) {
+    assert(R < Rows && C < Cols && "matrix index out of range");
+    return Data[size_t(R) * Cols + C];
+  }
+  const Rational &at(unsigned R, unsigned C) const {
+    assert(R < Rows && C < Cols && "matrix index out of range");
+    return Data[size_t(R) * Cols + C];
+  }
+
+  /// Appends a row; its length must match the column count (or define it for
+  /// an empty matrix).
+  void addRow(const std::vector<Rational> &Row);
+
+  static Matrix identity(unsigned N);
+
+  /// Rank via Gaussian elimination on a copy.
+  unsigned rank() const;
+
+  /// Inverse of a square full-rank matrix; asserts otherwise.
+  Matrix inverse() const;
+
+  /// Matrix product.
+  Matrix multiply(const Matrix &O) const;
+
+  /// Applies the matrix to a vector.
+  std::vector<Rational> apply(const std::vector<Rational> &V) const;
+
+  /// Returns a basis (as rows) of the space orthogonal to the row space of
+  /// this matrix, i.e. all h with M h^T = 0. Used for Pluto's
+  /// linear-independence constraints: any vector with a nonzero component in
+  /// this subspace is independent of the rows found so far.
+  Matrix orthogonalComplement() const;
+
+  /// Returns a basis (as rows) of the null space {x : M x = 0}.
+  Matrix nullSpace() const;
+
+  std::string str() const;
+
+private:
+  unsigned Rows;
+  unsigned Cols;
+  std::vector<Rational> Data;
+};
+
+} // namespace akg
+
+#endif // AKG_SUPPORT_MATRIX_H

@@ -1,0 +1,34 @@
+//===- support/Rational.cpp -----------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include <algorithm>
+
+namespace akg {
+
+std::string int128ToString(Int128 V) {
+  if (V == 0)
+    return "0";
+  bool Neg = V < 0;
+  // Careful with INT128_MIN: negate digit by digit instead.
+  std::string Digits;
+  while (V != 0) {
+    int D = static_cast<int>(V % 10);
+    if (D < 0)
+      D = -D;
+    Digits.push_back(static_cast<char>('0' + D));
+    V /= 10;
+  }
+  if (Neg)
+    Digits.push_back('-');
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return int128ToString(Num);
+  return int128ToString(Num) + "/" + int128ToString(Den);
+}
+
+} // namespace akg

@@ -1,0 +1,140 @@
+//===- support/Rational.h - Exact rational arithmetic -----------*- C++ -*-===//
+//
+// Part of the AKG-repro project. Exact rationals backed by __int128 used by
+// the LP/ILP solver and all polyhedral computations. Overflow is a
+// programmatic error and asserts; the polyhedral problems AKG generates are
+// small (tens of variables, coefficients within int64).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SUPPORT_RATIONAL_H
+#define AKG_SUPPORT_RATIONAL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace akg {
+
+using Int128 = __int128;
+
+/// Greatest common divisor of two non-negative 128-bit integers.
+inline Int128 gcd128(Int128 A, Int128 B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    Int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+/// An exact rational number with 128-bit numerator and denominator.
+///
+/// The denominator is kept strictly positive and the fraction is always in
+/// lowest terms, so equality is structural.
+class Rational {
+public:
+  Rational() : Num(0), Den(1) {}
+  Rational(int64_t V) : Num(V), Den(1) {}
+  Rational(Int128 N, Int128 D) : Num(N), Den(D) { normalize(); }
+
+  Int128 num() const { return Num; }
+  Int128 den() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  bool isInteger() const { return Den == 1; }
+  bool isNegative() const { return Num < 0; }
+
+  /// Returns the value as int64; the value must be an integer in range.
+  int64_t getInt64() const {
+    assert(isInteger() && "rational is not an integer");
+    assert(Num <= INT64_MAX && Num >= INT64_MIN && "int64 overflow");
+    return static_cast<int64_t>(Num);
+  }
+
+  /// Largest integer <= this.
+  Rational floor() const {
+    Int128 Q = Num / Den;
+    if (Num % Den != 0 && Num < 0)
+      --Q;
+    return Rational(Q, 1);
+  }
+
+  /// Smallest integer >= this.
+  Rational ceil() const {
+    Int128 Q = Num / Den;
+    if (Num % Den != 0 && Num > 0)
+      ++Q;
+    return Rational(Q, 1);
+  }
+
+  Rational operator-() const { return Rational(-Num, Den); }
+  Rational operator+(const Rational &O) const {
+    return Rational(Num * O.Den + O.Num * Den, Den * O.Den);
+  }
+  Rational operator-(const Rational &O) const {
+    return Rational(Num * O.Den - O.Num * Den, Den * O.Den);
+  }
+  Rational operator*(const Rational &O) const {
+    return Rational(Num * O.Num, Den * O.Den);
+  }
+  Rational operator/(const Rational &O) const {
+    assert(O.Num != 0 && "division by zero rational");
+    return Rational(Num * O.Den, Den * O.Num);
+  }
+  Rational &operator+=(const Rational &O) { return *this = *this + O; }
+  Rational &operator-=(const Rational &O) { return *this = *this - O; }
+  Rational &operator*=(const Rational &O) { return *this = *this * O; }
+  Rational &operator/=(const Rational &O) { return *this = *this / O; }
+
+  bool operator==(const Rational &O) const {
+    return Num == O.Num && Den == O.Den;
+  }
+  bool operator!=(const Rational &O) const { return !(*this == O); }
+  bool operator<(const Rational &O) const {
+    return Num * O.Den < O.Num * Den;
+  }
+  bool operator<=(const Rational &O) const {
+    return Num * O.Den <= O.Num * Den;
+  }
+  bool operator>(const Rational &O) const { return O < *this; }
+  bool operator>=(const Rational &O) const { return O <= *this; }
+
+  double toDouble() const {
+    return static_cast<double>(Num) / static_cast<double>(Den);
+  }
+
+  std::string str() const;
+
+private:
+  void normalize() {
+    assert(Den != 0 && "zero denominator");
+    if (Den < 0) {
+      Num = -Num;
+      Den = -Den;
+    }
+    Int128 G = gcd128(Num, Den);
+    if (G > 1) {
+      Num /= G;
+      Den /= G;
+    }
+    // Guard against silent overflow on subsequent multiplies.
+    const Int128 Limit = Int128(1) << 100;
+    assert(Num < Limit && Num > -Limit && Den < Limit &&
+           "rational magnitude overflow");
+  }
+
+  Int128 Num;
+  Int128 Den;
+};
+
+/// Renders a (possibly 128-bit) integer in decimal.
+std::string int128ToString(Int128 V);
+
+} // namespace akg
+
+#endif // AKG_SUPPORT_RATIONAL_H

@@ -1,0 +1,78 @@
+//===- support/Stats.h - Lightweight internal statistics --------*- C++ -*-===//
+//
+// Counters and accumulated timers for compiler-internal diagnostics,
+// printed when AKG_STATS=1 is set in the environment. Used to keep the
+// ILP-heavy scheduling paths honest about where compile time goes (the
+// paper discusses compilation-time budgets in Sec 8).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SUPPORT_STATS_H
+#define AKG_SUPPORT_STATS_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace akg {
+
+class Stats {
+public:
+  static Stats &get() {
+    static Stats S;
+    return S;
+  }
+
+  void add(const std::string &Key, int64_t N = 1) { Counters[Key] += N; }
+  void addTime(const std::string &Key, double Seconds) {
+    Timers[Key] += Seconds;
+  }
+
+  void print() const {
+    std::fprintf(stderr, "--- akg stats ---\n");
+    for (const auto &[K, V] : Counters)
+      std::fprintf(stderr, "%-32s %lld\n", K.c_str(),
+                   static_cast<long long>(V));
+    for (const auto &[K, V] : Timers)
+      std::fprintf(stderr, "%-32s %.3fs\n", K.c_str(), V);
+  }
+
+  static bool enabled() {
+    static bool E = std::getenv("AKG_STATS") != nullptr;
+    return E;
+  }
+
+private:
+  Stats() {
+    if (enabled())
+      std::atexit([] { Stats::get().print(); });
+  }
+  std::map<std::string, int64_t> Counters;
+  std::map<std::string, double> Timers;
+};
+
+/// RAII timer accumulating into a named Stats timer.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(const char *Key)
+      : Key(Key), Start(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (!Stats::enabled())
+      return;
+    auto End = std::chrono::steady_clock::now();
+    Stats::get().addTime(
+        Key, std::chrono::duration<double>(End - Start).count());
+    Stats::get().add(std::string(Key) + ".calls");
+  }
+
+private:
+  const char *Key;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace akg
+
+#endif // AKG_SUPPORT_STATS_H

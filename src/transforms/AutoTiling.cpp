@@ -1,0 +1,271 @@
+//===- transforms/AutoTiling.cpp - Automatic tile-size selection ----------===//
+
+#include "transforms/AutoTiling.h"
+
+#include "transforms/Conv.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace akg {
+namespace transforms {
+
+namespace {
+
+/// Span polynomial of one tensor dimension: constant part plus, per
+/// live-out band dim, the |coefficient| scaling the tile size.
+struct SpanPoly {
+  int64_t Const = 1;     // 1 + contributions of non-band iters (full)
+  int64_t CapConst = 1;  // as Const, but reduction spans chunk-capped
+  std::vector<int64_t> BandCoeff; // per band dim
+
+  int64_t eval(const std::vector<int64_t> &T, bool Capacity) const {
+    int64_t S = Capacity ? CapConst : Const;
+    for (unsigned I = 0; I < BandCoeff.size(); ++I)
+      S += BandCoeff[I] * (T[I] - 1);
+    return S;
+  }
+};
+
+struct TensorFootprint {
+  ir::Tensor T;
+  std::vector<SpanPoly> Dims;
+  bool CubeOperand = false;
+  int64_t CapBytesNow = 0; // scratch: resident bytes at the current pick
+
+
+};
+
+} // namespace
+
+AutoTilingResult autoTile(const ir::PolyProgram &P,
+                          const sched::ScheduleResult &R,
+                          const sim::MachineSpec &M,
+                          const AutoTilingOptions &Opts) {
+  AutoTilingResult Res;
+  assert(!R.Clusters.empty() && "nothing to tile");
+  const sched::ClusterSchedule &Live = R.Clusters.back();
+  // Band dims = the outer rows of the live-out cluster; extents from the
+  // first statement's iterators selected by each row.
+  unsigned LiveStmt = Live.Stmts.front();
+  const auto &Rows = Live.Outer.at(LiveStmt).Rows;
+  unsigned W = static_cast<unsigned>(Rows.size());
+  std::vector<int64_t> Extents(W, 1);
+  for (unsigned Rr = 0; Rr < W; ++Rr) {
+    // Extent along the row: for unit rows, the selected iterator's extent.
+    for (unsigned K = 0; K < Rows[Rr].Coeffs.size(); ++K)
+      if (Rows[Rr].Coeffs[K] != 0)
+        Extents[Rr] = std::max(Extents[Rr],
+                               P.Stmts[LiveStmt].Iters[K].Extent);
+  }
+
+  // Identify which iterator of each statement each band dim selects (unit
+  // rows assumed; non-unit rows contribute via their coefficients).
+  // Footprints: every tensor accessed by any statement, with spans derived
+  // from the access coefficients. Band dims map to the live statements'
+  // first W iterators; producer statements' footprints are approximated by
+  // the consumer-side accesses of the tensors they exchange.
+  std::set<const ir::TensorDecl *> CubeOperands;
+  for (const ir::PolyStmt &St : P.Stmts)
+    if (auto D = matchCubeOp(St)) {
+      CubeOperands.insert(D->A.get());
+      CubeOperands.insert(D->B.get());
+    }
+
+  std::map<const ir::TensorDecl *, TensorFootprint> Foot;
+  // Liveness over the statement chain (first/last statement touching each
+  // tensor): non-overlapping UB intermediates reuse storage.
+  std::map<const ir::TensorDecl *, std::pair<unsigned, unsigned>> LiveRange;
+  auto NoteAccess = [&](const ir::PolyStmt &St, const ir::PolyAccess &A,
+                        bool StmtIsLive) {
+    auto &F = Foot[A.Ref.get()];
+    if (!F.T) {
+      F.T = A.Ref;
+      F.Dims.assign(A.Ref->Shape.size(), SpanPoly{});
+      for (SpanPoly &Sp : F.Dims)
+        Sp.BandCoeff.assign(W, 0);
+      F.CubeOperand = CubeOperands.count(A.Ref.get()) != 0;
+    }
+    for (unsigned D = 0; D < A.Indices.size(); ++D) {
+      std::vector<int64_t> C;
+      int64_t K;
+      if (!ir::exprToAffine(A.Indices[D], St.Iters, C, K))
+        continue;
+      SpanPoly &Sp = F.Dims[D];
+      for (unsigned I = 0; I < C.size(); ++I) {
+        if (C[I] == 0)
+          continue;
+        if (StmtIsLive && I < W) {
+          Sp.BandCoeff[I] =
+              std::max(Sp.BandCoeff[I], std::abs(C[I]));
+        } else {
+          int64_t Span = St.Iters[I].Extent - 1;
+          Sp.Const += std::abs(C[I]) * Span;
+          // Capacity: matmul operands stream through L1 per 128-wide K
+          // chunk, so only a chunk of the reduction dim is resident; the
+          // TRAFFIC still covers the whole reduction (Const above).
+          if (F.CubeOperand && St.Iters[I].IsReduce)
+            Span = std::min<int64_t>(Span, 127);
+          Sp.CapConst += std::abs(C[I]) * Span;
+        }
+      }
+    }
+  };
+  std::set<unsigned> LiveSet(Live.Stmts.begin(), Live.Stmts.end());
+  auto TouchLive = [&](const ir::PolyStmt &St, const ir::Tensor &T) {
+    auto It = LiveRange.find(T.get());
+    if (It == LiveRange.end())
+      LiveRange[T.get()] = {St.Id, St.Id};
+    else
+      It->second.second = St.Id;
+  };
+  // Only the live-out cluster's accesses shape the footprint: fused
+  // producers' outputs are captured by the consumer-side reads (their
+  // boxes are the consumer footprints plus halos, absorbed by Slack), and
+  // sibling clusters that cannot fuse run in their own regions. The
+  // capacity-retry loop in the driver backstops any underestimate.
+  for (const ir::PolyStmt &St : P.Stmts) {
+    bool IsLive = LiveSet.count(St.Id) != 0;
+    if (!IsLive)
+      continue;
+    NoteAccess(St, St.Write, IsLive);
+    TouchLive(St, St.Write.Ref);
+    for (const ir::PolyAccess &A : St.Reads) {
+      NoteAccess(St, A, IsLive);
+      TouchLive(St, A.Ref);
+    }
+  }
+
+  // Candidate sizes per dim.
+  std::vector<std::vector<int64_t>> Cands(W);
+  for (unsigned D = 0; D < W; ++D) {
+    bool Full = std::find(Opts.FullDims.begin(), Opts.FullDims.end(), D) !=
+                Opts.FullDims.end();
+    bool Unit = std::find(Opts.UnitDims.begin(), Opts.UnitDims.end(), D) !=
+                Opts.UnitDims.end();
+    if (Full) {
+      Cands[D] = {Extents[D]};
+      continue;
+    }
+    if (Unit) {
+      Cands[D] = {1};
+      continue;
+    }
+    std::vector<int64_t> C;
+    for (int64_t S = 1; S < Extents[D]; S *= 2)
+      C.push_back(S);
+    C.push_back(Extents[D]);
+    while (C.size() > Opts.MaxCandidatesPerDim)
+      C.erase(C.begin()); // drop the smallest candidates first
+    Cands[D] = std::move(C);
+  }
+
+  // Grid search: minimize modeled data movement per computed point under
+  // the half-capacity constraint.
+  double BestCost = -1;
+  std::vector<int64_t> Pick(W, 1), Best;
+  int64_t BestUb = 0, BestL1 = 0;
+  std::function<void(unsigned)> Search = [&](unsigned D) {
+    if (D == W) {
+      int64_t UbBytes = 0, L1Bytes = 0;   // resident (capacity)
+      int64_t TrafficBytes = 0;            // moved per tile (cost)
+      int64_t Streams = 0, Bursts = 0;
+      for (auto &[Ptr, F] : Foot) {
+        (void)Ptr;
+        int64_t CapElems = 1, Elems = 1;
+        std::vector<int64_t> Span(F.Dims.size());
+        for (unsigned DD = 0; DD < F.Dims.size(); ++DD) {
+          Span[DD] =
+              std::min(F.Dims[DD].eval(Pick, false), F.T->Shape[DD]);
+          Elems *= Span[DD];
+          CapElems *= std::min(F.Dims[DD].eval(Pick, true),
+                               F.T->Shape[DD]);
+        }
+        F.CapBytesNow = CapElems * ir::dtypeBytes(F.T->Type);
+        if (F.CubeOperand)
+          L1Bytes += F.CapBytesNow;
+        TrafficBytes += Elems * ir::dtypeBytes(F.T->Type);
+        ++Streams;
+        // Discontiguous burst estimate: rows before the contiguous suffix.
+        unsigned KDim = Span.empty() ? 0 : unsigned(Span.size()) - 1;
+        while (KDim > 0 && Span[KDim] >= F.T->Shape[KDim])
+          --KDim;
+        int64_t B = 1;
+        for (unsigned DD = 0; DD < KDim; ++DD)
+          B *= Span[DD];
+        Bursts += B;
+      }
+      // UB capacity: peak of simultaneously-live non-cube tensors.
+      for (const auto &[Ptr2, LR] : LiveRange) {
+        auto FIt = Foot.find(Ptr2);
+        if (FIt == Foot.end() || FIt->second.CubeOperand)
+          continue;
+        int64_t Here = 0;
+        for (const auto &[Ptr3, LR2] : LiveRange) {
+          auto FJt = Foot.find(Ptr3);
+          if (FJt == Foot.end() || FJt->second.CubeOperand)
+            continue;
+          bool Overlap =
+              !(LR2.second < LR.first || LR2.first > LR.second);
+          if (Overlap || Ptr3 == Ptr2)
+            Here += FJt->second.CapBytesNow;
+        }
+        UbBytes = std::max(UbBytes, Here);
+      }
+      double Ub = UbBytes * Opts.Slack, L1 = L1Bytes * Opts.Slack;
+      if (Ub > M.UBBytes / 2.0 || L1 > M.L1Bytes / 2.0)
+        return;
+      int64_t Points = 1;
+      for (unsigned DD = 0; DD < W; ++DD)
+        Points *= Pick[DD];
+      // Data movement per point: warm-up latency per stream amortized over
+      // the tile plus bytes over bandwidth per point.
+      double Cost =
+          (double(Streams) * M.GmLatency +
+           double(Bursts) * M.BurstLatency +
+           double(TrafficBytes) / double(M.GmBandwidth)) /
+          double(Points);
+      if (BestCost < 0 || Cost < BestCost ||
+          (Cost == BestCost && Points > 0)) {
+        BestCost = Cost;
+        Best = Pick;
+        BestUb = UbBytes;
+        BestL1 = L1Bytes;
+      }
+      return;
+    }
+    for (int64_t S : Cands[D]) {
+      Pick[D] = S;
+      Search(D + 1);
+    }
+  };
+  Search(0);
+  if (Best.empty()) {
+    // Nothing fits with double buffering: fall back to minimal tiles.
+    Best.assign(W, 1);
+    for (unsigned D = 0; D < W; ++D)
+      if (std::find(Opts.FullDims.begin(), Opts.FullDims.end(), D) !=
+          Opts.FullDims.end())
+        Best[D] = Extents[D];
+  }
+  Res.Sizes = Best;
+  Res.EstimatedUbBytes = BestUb;
+  Res.EstimatedL1Bytes = BestL1;
+  Res.CostPerPoint = BestCost;
+  // Fig 4 policy rendering: every live statement gets the chosen sizes on
+  // its outer dims, placed in UB (or L1 for cube statements).
+  for (unsigned S : Live.Stmts) {
+    StmtTileSpec Spec;
+    bool Cube = isCubeStatement(P.Stmts[S]);
+    for (unsigned D = 0; D < W; ++D)
+      Spec.Entries.push_back(TileSpecEntry{Best[D], Cube ? "L1" : "UB"});
+    Res.Policy.PerStmt[S] = std::move(Spec);
+  }
+  return Res;
+}
+
+} // namespace transforms
+} // namespace akg

@@ -1,0 +1,56 @@
+//===- transforms/AutoTiling.h - Automatic tile-size selection --*- C++ -*-===//
+//
+// Auto Tiling (Sec 4.2): picks tile sizes for the live-out band that
+// minimize data movement per unit of computation, subject to the buffer
+// utilization fitting in HALF of each buffer's capacity (so double
+// buffering / memory latency hiding remains possible, Sec 5.2). Buffer
+// utilization is expressed as a polynomial in the symbolic tile sizes
+// derived from the access relations; a greedy/grid search picks the best
+// sizes. The result is also rendered in the Fig 4 specification language.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_TRANSFORMS_AUTOTILING_H
+#define AKG_TRANSFORMS_AUTOTILING_H
+
+#include "ir/PolyExtract.h"
+#include "scheduler/Pluto.h"
+#include "sim/Machine.h"
+#include "transforms/Tiling.h"
+
+namespace akg {
+namespace transforms {
+
+struct AutoTilingOptions {
+  /// Dims forced to stay untiled (size = full extent); used to keep conv
+  /// output rows contiguous for img2col (wo) and to pin batch tiles to 1.
+  std::vector<unsigned> FullDims;
+  std::vector<unsigned> UnitDims;
+  /// Safety margin multiplier applied to the estimated footprint.
+  double Slack = 1.15;
+  /// When false (fusion disabled), only the live-out cluster's own
+  /// accesses occupy the on-chip region; producer statements run in their
+  /// own regions and do not contribute to this footprint.
+  bool FusedFootprint = true;
+  /// Candidate sizes per dimension cap (grid search width).
+  unsigned MaxCandidatesPerDim = 8;
+};
+
+struct AutoTilingResult {
+  std::vector<int64_t> Sizes; // per live-out band dim
+  int64_t EstimatedUbBytes = 0;
+  int64_t EstimatedL1Bytes = 0;
+  double CostPerPoint = 0.0; // modeled data movement per computed point
+  TilingPolicy Policy;       // Fig 4 rendering
+};
+
+/// Chooses tile sizes for the live-out cluster (the last one in \p R).
+AutoTilingResult autoTile(const ir::PolyProgram &P,
+                          const sched::ScheduleResult &R,
+                          const sim::MachineSpec &M,
+                          const AutoTilingOptions &Opts = AutoTilingOptions());
+
+} // namespace transforms
+} // namespace akg
+
+#endif // AKG_TRANSFORMS_AUTOTILING_H

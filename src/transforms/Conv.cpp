@@ -1,0 +1,328 @@
+//===- transforms/Conv.cpp - img2col + fractal GEMM -----------------------===//
+
+#include "transforms/Conv.h"
+
+#include <cassert>
+
+namespace akg {
+namespace transforms {
+
+using namespace ir;
+
+namespace {
+
+/// Strips cast nodes.
+const Expr &stripCasts(const Expr &E) {
+  const Expr *P = &E;
+  while (*P && (*P)->Kind == ExprKind::Cast)
+    P = &(*P)->Operands[0];
+  return *P;
+}
+
+/// Affine view of one access: per tensor dim, coefficients over the
+/// statement iterators plus a constant.
+struct AffAccess {
+  const ExprNode *Read = nullptr;
+  std::vector<std::vector<int64_t>> Coeffs;
+  std::vector<int64_t> Consts;
+};
+
+bool analyzeAccess(const Expr &E, const std::vector<IterVar> &Iters,
+                   AffAccess &Out) {
+  Expr Stripped = stripCasts(E);
+  // Padded operands appear as select(in_bounds, read, 0): analyze the
+  // in-bounds branch; the padding offsets live in its index constants.
+  if (Stripped && Stripped->Kind == ExprKind::Select)
+    Stripped = stripCasts(Stripped->Operands[1]);
+  const Expr &R = Stripped;
+  if (!R || R->Kind != ExprKind::TensorRead)
+    return false;
+  Out.Read = R.get();
+  Out.Coeffs.clear();
+  Out.Consts.clear();
+  for (const Expr &Idx : R->Operands) {
+    std::vector<int64_t> C;
+    int64_t K;
+    if (!exprToAffine(Idx, Iters, C, K))
+      return false;
+    Out.Coeffs.push_back(std::move(C));
+    Out.Consts.push_back(K);
+  }
+  return true;
+}
+
+/// Recovers the tensor of a (possibly cast- or padding-select-wrapped)
+/// operand.
+Tensor operandTensor(const Expr &E) {
+  Expr S = stripCasts(E);
+  if (S && S->Kind == ExprKind::Select)
+    S = stripCasts(S->Operands[1]);
+  return S && S->Kind == ExprKind::TensorRead ? S->Ref : nullptr;
+}
+
+/// True if dimension D of the access is exactly iterator I (coeff 1, no
+/// other terms, zero constant).
+bool dimIsIter(const AffAccess &A, unsigned D, unsigned I) {
+  if (A.Consts[D] != 0)
+    return false;
+  for (unsigned K = 0; K < A.Coeffs[D].size(); ++K)
+    if (A.Coeffs[D][K] != (K == I ? 1 : 0))
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool isCubeStatement(const ir::PolyStmt &St) {
+  if (St.StmtRole != ir::PolyStmt::Role::Update)
+    return false;
+  return matchCubeOp(St).has_value();
+}
+
+std::optional<CubeOpDesc> matchCubeOp(const ir::PolyStmt &Upd) {
+  if (Upd.StmtRole != ir::PolyStmt::Role::Update || !Upd.Op ||
+      !Upd.Op->isReduction())
+    return std::nullopt;
+  if (Upd.Op->Body->RKind != ReduceKind::Sum)
+    return std::nullopt;
+  // Rhs = C[out] + X * Y.
+  const Expr &Rhs = Upd.Rhs;
+  if (Rhs->Kind != ExprKind::Add)
+    return std::nullopt;
+  const Expr &Prod = stripCasts(Rhs->Operands[1]);
+  if (!Prod || Prod->Kind != ExprKind::Mul)
+    return std::nullopt;
+  AffAccess XA, YA;
+  if (!analyzeAccess(Prod->Operands[0], Upd.Iters, XA) ||
+      !analyzeAccess(Prod->Operands[1], Upd.Iters, YA))
+    return std::nullopt;
+
+  unsigned NOut = static_cast<unsigned>(Upd.Op->Axis.size());
+  unsigned NRed = Upd.numIters() - NOut;
+
+  CubeOpDesc D;
+  D.C = Upd.Write.Ref;
+
+  // --- Matmul / batched matmul: single reduction dimension. ---
+  if (NRed == 1) {
+    unsigned KIdx = NOut; // the reduce iterator
+    unsigned MIdx, NIdx, BIdx = UINT32_MAX;
+    if (NOut == 2) {
+      MIdx = 0;
+      NIdx = 1;
+    } else if (NOut == 3) {
+      BIdx = 0;
+      MIdx = 1;
+      NIdx = 2;
+    } else {
+      return std::nullopt;
+    }
+    // Which operand carries M?
+    auto Uses = [&](const AffAccess &A, unsigned I) {
+      for (unsigned Dd = 0; Dd < A.Coeffs.size(); ++Dd)
+        for (unsigned C = 0; C < A.Coeffs[Dd].size(); ++C)
+          if (C == I && A.Coeffs[Dd][C] != 0)
+            return true;
+      return false;
+    };
+    const AffAccess *AOp = &XA, *BOp = &YA;
+    if (!Uses(XA, MIdx))
+      std::swap(AOp, BOp);
+    if (!Uses(*AOp, MIdx) || !Uses(*AOp, KIdx) || !Uses(*BOp, NIdx) ||
+        !Uses(*BOp, KIdx))
+      return std::nullopt;
+    // Orientation: non-batch dims of A are (m, k) or (k, m).
+    unsigned ABase = Uses(*AOp, BIdx == UINT32_MAX ? MIdx : BIdx) &&
+                             BIdx != UINT32_MAX && Uses(*AOp, BIdx)
+                         ? 1
+                         : 0;
+    unsigned BBase = BIdx != UINT32_MAX && Uses(*BOp, BIdx) ? 1 : 0;
+    if (AOp->Coeffs.size() != ABase + 2 || BOp->Coeffs.size() != BBase + 2)
+      return std::nullopt;
+    if (dimIsIter(*AOp, ABase + 0, MIdx) && dimIsIter(*AOp, ABase + 1, KIdx))
+      D.TransA = false;
+    else if (dimIsIter(*AOp, ABase + 0, KIdx) &&
+             dimIsIter(*AOp, ABase + 1, MIdx))
+      D.TransA = true;
+    else
+      return std::nullopt;
+    if (dimIsIter(*BOp, BBase + 0, KIdx) && dimIsIter(*BOp, BBase + 1, NIdx))
+      D.TransB = false;
+    else if (dimIsIter(*BOp, BBase + 0, NIdx) &&
+             dimIsIter(*BOp, BBase + 1, KIdx))
+      D.TransB = true;
+    else
+      return std::nullopt;
+    D.IsConv = false;
+    D.Batch = BIdx == UINT32_MAX ? 1 : Upd.Iters[BIdx].Extent;
+    D.M = Upd.Iters[MIdx].Extent;
+    D.N = Upd.Iters[NIdx].Extent;
+    D.K = Upd.Iters[KIdx].Extent;
+    // Recover the tensors in A/B order.
+    Tensor LT = operandTensor(Prod->Operands[0]);
+    Tensor RT = operandTensor(Prod->Operands[1]);
+    if (!LT || !RT)
+      return std::nullopt;
+    D.A = (AOp == &XA) ? LT : RT;
+    D.B = (AOp == &XA) ? RT : LT;
+    return D;
+  }
+
+  // --- Convolution: 2 or 3 reduction dims (kh,kw or ci,kh,kw). ---
+  if (NRed != 2 && NRed != 3)
+    return std::nullopt;
+  bool HasChannels = (NRed == 3);
+  // Output axes: [n, co, ho, wo] (4) or [ho, wo] (2, depthless variant).
+  unsigned HoIdx, WoIdx, CoIdx = UINT32_MAX, NbIdx = UINT32_MAX;
+  if (NOut == 4 && HasChannels) {
+    NbIdx = 0;
+    CoIdx = 1;
+    HoIdx = 2;
+    WoIdx = 3;
+  } else if (NOut == 2 && !HasChannels) {
+    HoIdx = 0;
+    WoIdx = 1;
+  } else {
+    return std::nullopt;
+  }
+  unsigned CiIdx = HasChannels ? NOut : UINT32_MAX;
+  unsigned KhIdx = NOut + (HasChannels ? 1 : 0);
+  unsigned KwIdx = KhIdx + 1;
+
+  // The input operand is the one whose indices mix ho with kh.
+  auto MixesSpatial = [&](const AffAccess &A) {
+    for (unsigned Dd = 0; Dd < A.Coeffs.size(); ++Dd)
+      if (A.Coeffs[Dd][HoIdx] != 0 && A.Coeffs[Dd][KhIdx] != 0)
+        return true;
+    return false;
+  };
+  const AffAccess *In = &XA, *Wt = &YA;
+  ir::Tensor InT = operandTensor(Prod->Operands[0]);
+  ir::Tensor WtT = operandTensor(Prod->Operands[1]);
+  if (!InT || !WtT)
+    return std::nullopt;
+  if (!MixesSpatial(XA)) {
+    std::swap(In, Wt);
+    std::swap(InT, WtT);
+  }
+  if (!MixesSpatial(*In))
+    return std::nullopt;
+  // Locate the input's H and W dims: index = s*ho + kh - pad.
+  unsigned HDim = UINT32_MAX, WDim = UINT32_MAX;
+  for (unsigned Dd = 0; Dd < In->Coeffs.size(); ++Dd) {
+    if (In->Coeffs[Dd][HoIdx] != 0 && In->Coeffs[Dd][KhIdx] == 1)
+      HDim = Dd;
+    if (In->Coeffs[Dd][WoIdx] != 0 && In->Coeffs[Dd][KwIdx] == 1)
+      WDim = Dd;
+  }
+  if (HDim == UINT32_MAX || WDim == UINT32_MAX)
+    return std::nullopt;
+  D.IsConv = true;
+  D.A = InT;
+  D.B = WtT;
+  D.StrideH = In->Coeffs[HDim][HoIdx];
+  D.StrideW = In->Coeffs[WDim][WoIdx];
+  D.PadH = -In->Consts[HDim];
+  D.PadW = -In->Consts[WDim];
+  D.KH = Upd.Iters[KhIdx].Extent;
+  D.KW = Upd.Iters[KwIdx].Extent;
+  D.OutH = Upd.Iters[HoIdx].Extent;
+  D.OutW = Upd.Iters[WoIdx].Extent;
+  D.OutC = CoIdx == UINT32_MAX ? 1 : Upd.Iters[CoIdx].Extent;
+  D.InC = HasChannels ? Upd.Iters[CiIdx].Extent : 1;
+  D.Batch = NbIdx == UINT32_MAX ? 1 : Upd.Iters[NbIdx].Extent;
+  D.InH = InT->Shape[HDim];
+  D.InW = InT->Shape[WDim];
+  D.M = D.OutH * D.OutW;
+  D.N = D.OutC;
+  D.K = D.InC * D.KH * D.KW;
+  return D;
+}
+
+ir::Stmt buildImg2ColSem(const CubeOpDesc &D, const ir::Tensor &Input,
+                         const ir::Tensor &L0A, ir::Expr BatchVar,
+                         ir::Expr MBase, int64_t MSize, ir::Expr MInTile,
+                         int64_t MTileRows, ir::Expr KBase, int64_t KSize) {
+  // Loop variables of the transfer.
+  Expr Mi = var("i2c_mi"), Ki = var("i2c_ki");
+  Expr Mm = add(MBase, Mi), Kk = add(KBase, Ki);
+  // Relation (1): decode GEMM coordinates into conv coordinates.
+  Expr KhKw = intImm(D.KH * D.KW);
+  Expr Ci = floorDiv(Kk, KhKw);
+  Expr Rem = mod(Kk, KhKw);
+  Expr Kh = floorDiv(Rem, intImm(D.KW));
+  Expr Kw = mod(Rem, intImm(D.KW));
+  Expr Ho = floorDiv(Mm, intImm(D.OutW));
+  Expr Wo = mod(Mm, intImm(D.OutW));
+  Expr H = sub(add(mul(Ho, intImm(D.StrideH)), Kh), intImm(D.PadH));
+  Expr W = sub(add(mul(Wo, intImm(D.StrideW)), Kw), intImm(D.PadW));
+  // In-bounds guard (padding reads zero; partial tiles read zero).
+  Expr InBounds = binary(
+      ExprKind::And,
+      binary(ExprKind::And, cmp(ExprKind::CmpLE, intImm(0), H),
+             cmp(ExprKind::CmpLT, H, intImm(D.InH))),
+      binary(ExprKind::And, cmp(ExprKind::CmpLE, intImm(0), W),
+             cmp(ExprKind::CmpLT, W, intImm(D.InW))));
+  InBounds = binary(ExprKind::And, InBounds,
+                    binary(ExprKind::And, cmp(ExprKind::CmpLT, Mm,
+                                              intImm(D.M)),
+                           cmp(ExprKind::CmpLT, Kk, intImm(D.K))));
+  // Stay inside the tile-local input box on partial chunks.
+  InBounds = binary(ExprKind::And, InBounds,
+                    cmp(ExprKind::CmpLT, add(MInTile, Mi),
+                        intImm(MTileRows)));
+  std::vector<Expr> InIdx;
+  if (Input->Shape.size() == 4)
+    InIdx = {BatchVar, Ci, H, W};
+  else if (Input->Shape.size() == 3)
+    InIdx = {Ci, H, W};
+  else
+    InIdx = {H, W};
+  Expr Val = select(InBounds, tensorRead(Input, InIdx),
+                    floatImm(0.0, Input->Type));
+  Stmt Body = makeProvide(L0A, {Mi, Ki}, Val);
+  Body = makeFor("i2c_ki", intImm(0), intImm(KSize), Body);
+  Body = makeFor("i2c_mi", intImm(0), intImm(MSize), Body);
+  return Body;
+}
+
+ir::Stmt buildWeightLoadSem(const CubeOpDesc &D, const ir::Tensor &Weights,
+                            const ir::Tensor &L0B, ir::Expr BatchVar,
+                            ir::Expr KBase, int64_t KSize, ir::Expr NBase,
+                            int64_t NSize, ir::Expr NInTile,
+                            int64_t NTileCols) {
+  Expr Ki = var("wl_ki"), Ni = var("wl_ni");
+  Expr Kk = add(KBase, Ki), Nn = add(NBase, Ni);
+  Expr Guard = binary(ExprKind::And, cmp(ExprKind::CmpLT, Kk, intImm(D.K)),
+                      cmp(ExprKind::CmpLT, Nn, intImm(D.N)));
+  Guard = binary(ExprKind::And, Guard,
+                 cmp(ExprKind::CmpLT, add(NInTile, Ni),
+                     intImm(NTileCols)));
+  std::vector<Expr> WIdx;
+  if (D.IsConv) {
+    Expr KhKw = intImm(D.KH * D.KW);
+    Expr Ci = floorDiv(Kk, KhKw);
+    Expr Rem = mod(Kk, KhKw);
+    Expr Kh = floorDiv(Rem, intImm(D.KW));
+    Expr Kw = mod(Rem, intImm(D.KW));
+    if (Weights->Shape.size() == 4)
+      WIdx = {Nn, Ci, Kh, Kw};
+    else if (Weights->Shape.size() == 3)
+      WIdx = {Ci, Kh, Kw}; // OutC == 1 variant
+    else
+      WIdx = {Kh, Kw}; // depthless 2D conv
+  } else {
+    WIdx = D.TransB ? std::vector<Expr>{Nn, Kk} : std::vector<Expr>{Kk, Nn};
+    if (Weights->Shape.size() == 3)
+      WIdx.insert(WIdx.begin(), BatchVar);
+  }
+  Expr Val = select(Guard, tensorRead(Weights, WIdx),
+                    floatImm(0.0, Weights->Type));
+  Stmt Body = makeProvide(L0B, {Ki, Ni}, Val);
+  Body = makeFor("wl_ni", intImm(0), intImm(NSize), Body);
+  Body = makeFor("wl_ki", intImm(0), intImm(KSize), Body);
+  return Body;
+}
+
+} // namespace transforms
+} // namespace akg

@@ -1,0 +1,84 @@
+//===- transforms/Conv.h - img2col + fractal GEMM ----------------*- C++ -*-=//
+//
+// Domain-specific optimization of convolution (Sec 4.5): a convolution is
+// recognized from its polyhedral statement, converted to a GEMM via the
+// img2col transformation (performed by the MTE on the real chip, Fig 6),
+// and the GEMM is decomposed into fractal blocks matching the Cube unit's
+// last-level 16x16x16 tile (Fig 7). The affine relation (1) of the paper
+// maps GEMM coordinates back to the convolution's input coordinates; the
+// builder below materializes exactly that relation as the functional
+// semantics of the Img2Col instruction.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_TRANSFORMS_CONV_H
+#define AKG_TRANSFORMS_CONV_H
+
+#include "ir/PolyExtract.h"
+#include "ir/Stmt.h"
+
+#include <optional>
+
+namespace akg {
+namespace transforms {
+
+/// A recognized Cube-unit operation (matmul or convolution) in a reduction
+/// update statement.
+struct CubeOpDesc {
+  bool IsConv = false;
+
+  // Common GEMM view: C[M, N] += A'[M, K] * B'[K, N] (per batch).
+  int64_t Batch = 1; // leading shared batch dimension (1 = none)
+  int64_t M = 0, N = 0, K = 0;
+
+  // The tensors involved (original layout).
+  ir::Tensor A, B, C;
+
+  // Matmul only: whether A is read transposed (A[k, m]).
+  bool TransA = false;
+  bool TransB = false;
+
+  // Convolution geometry (IsConv): input I[N, C, H, W],
+  // weights Wt[Co, C, KH, KW], output O[N, Co, Ho, Wo].
+  int64_t InC = 0, InH = 0, InW = 0;
+  int64_t KH = 0, KW = 0;
+  int64_t OutC = 0, OutH = 0, OutW = 0;
+  int64_t StrideH = 1, StrideW = 1;
+  int64_t PadH = 0, PadW = 0;
+};
+
+/// Recognizes a matmul / batched-matmul / conv2d update statement. Returns
+/// nullopt when the statement is not a dot-product reduction the Cube unit
+/// can execute (such statements stream to UB per Sec 4.3).
+std::optional<CubeOpDesc> matchCubeOp(const ir::PolyStmt &Upd);
+
+/// True when the statement involves a dot-product reduction (the paper's
+/// hypothesis for dispatch to the Cube unit).
+bool isCubeStatement(const ir::PolyStmt &St);
+
+/// Builds the functional semantics of the img2col transfer for one output
+/// tile: writes L0A[mi][ki] = I[n, c(k), h(m,k), w(m,k)] per relation (1),
+/// reading zero outside the padded input. \p MBase/\p KBase are the tile
+/// origins in GEMM coordinates (expressions over tile loop variables),
+/// \p MSize/\p KSize the tile extents, \p BatchVar the batch index
+/// expression.
+/// \p MInTile is the chunk's offset within the consumer tile (an expression
+/// over the chunk loop variable) and \p MTileRows the tile's total valid
+/// GEMM rows; together they guard accesses to the tile-local input box.
+ir::Stmt buildImg2ColSem(const CubeOpDesc &D, const ir::Tensor &Input,
+                         const ir::Tensor &L0A, ir::Expr BatchVar,
+                         ir::Expr MBase, int64_t MSize, ir::Expr MInTile,
+                         int64_t MTileRows, ir::Expr KBase, int64_t KSize);
+
+/// Builds the fractal-layout weight load semantics:
+/// L0B[ki][ni] = Wt[n(k..), ...] for conv, or B[k, n] for matmul.
+ir::Stmt buildWeightLoadSem(const CubeOpDesc &D, const ir::Tensor &Weights,
+                            const ir::Tensor &L0B, ir::Expr BatchVar,
+                            ir::Expr KBase, int64_t KSize, ir::Expr NBase,
+                            int64_t NSize, ir::Expr NInTile,
+                            int64_t NTileCols);
+
+} // namespace transforms
+} // namespace akg
+
+#endif // AKG_TRANSFORMS_CONV_H

@@ -1,0 +1,297 @@
+//===- transforms/Fusion.cpp - Post-tiling fusion (reverse strategy) ------===//
+
+#include "transforms/Fusion.h"
+
+#include "transforms/Tiling.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace akg {
+namespace transforms {
+
+using namespace sched;
+using namespace poly;
+
+namespace {
+
+/// Builds the per-unit point-loop subtree for a fused producer: either a
+/// single statement band, or the init/update pair sharing their outer axes
+/// with the reduction loops nested under the update filter.
+std::unique_ptr<TreeNode> buildUnitSubtree(const ir::PolyProgram &P,
+                                           const std::vector<unsigned> &Unit) {
+  if (Unit.size() == 1) {
+    unsigned S = Unit[0];
+    auto F = makeFilter({S});
+    std::map<unsigned, StmtSchedule> Part;
+    Part[S] = identitySchedule(P.Stmts[S].numIters());
+    F->addChild(makeBand(std::move(Part), true));
+    return F;
+  }
+  assert(Unit.size() == 2 && "units are single statements or init/update");
+  unsigned Init = Unit[0], Upd = Unit[1];
+  unsigned NOut = P.Stmts[Init].numIters();
+  unsigned NUpd = P.Stmts[Upd].numIters();
+  auto F = makeFilter({Init, Upd});
+  std::map<unsigned, StmtSchedule> Part;
+  Part[Init] = identitySchedule(NOut);
+  StmtSchedule UpdOuter;
+  for (unsigned K = 0; K < NOut; ++K) {
+    ScheduleRow Row;
+    Row.Coeffs.assign(NUpd, 0);
+    Row.Coeffs[K] = 1;
+    UpdOuter.Rows.push_back(Row);
+  }
+  Part[Upd] = UpdOuter;
+  TreeNode *B = F->addChild(makeBand(std::move(Part), true));
+  TreeNode *Seq = B->addChild(makeSequence());
+  Seq->addChild(makeFilter({Init}));
+  TreeNode *FU = Seq->addChild(makeFilter({Upd}));
+  StmtSchedule Red;
+  for (unsigned K = NOut; K < NUpd; ++K) {
+    ScheduleRow Row;
+    Row.Coeffs.assign(NUpd, 0);
+    Row.Coeffs[K] = 1;
+    Red.Rows.push_back(Row);
+  }
+  std::map<unsigned, StmtSchedule> RedPart;
+  RedPart[Upd] = Red;
+  FU->addChild(makeBand(std::move(RedPart), true));
+  return F;
+}
+
+/// Builds the map {tile dims o -> stmt iters i} for a consumer statement
+/// whose outer band rows (Rows, width W) were tiled with Sizes:
+///   Sizes[r]*o_r <= Row_r(i) <= Sizes[r]*o_r + Sizes[r] - 1, i in Domain.
+BasicMap tileToStmtMap(const ir::PolyStmt &St,
+                       const std::vector<ScheduleRow> &Rows,
+                       const std::vector<int64_t> &Sizes) {
+  unsigned W = static_cast<unsigned>(Sizes.size());
+  unsigned N = St.numIters();
+  std::vector<std::string> ONames, INames;
+  for (unsigned R = 0; R < W; ++R)
+    ONames.push_back("o" + std::to_string(R));
+  for (unsigned K = 0; K < N; ++K)
+    INames.push_back(St.Iters[K].Name);
+  BasicMap M(Space::forMap(ONames, INames, "tile", St.Name));
+  for (unsigned R = 0; R < W; ++R) {
+    assert(Rows[R].Denom == 1 && "point rows must be affine");
+    // Row(i) - Sizes[r]*o_r >= 0.
+    std::vector<int64_t> Lo(M.numCols(), 0);
+    for (unsigned K = 0; K < N; ++K)
+      Lo[M.outCol(K)] = Rows[R].Coeffs[K];
+    Lo[M.inCol(R)] = -Sizes[R];
+    M.addIneq(Lo, Rows[R].Const);
+    // Sizes[r]*o_r + Sizes[r]-1 - Row(i) >= 0.
+    std::vector<int64_t> Hi(M.numCols(), 0);
+    for (unsigned K = 0; K < N; ++K)
+      Hi[M.outCol(K)] = -Rows[R].Coeffs[K];
+    Hi[M.inCol(R)] = Sizes[R];
+    M.addIneq(Hi, Sizes[R] - 1 - Rows[R].Const);
+  }
+  return intersectRange(M, St.Domain);
+}
+
+} // namespace
+
+FusionReport applyPostTilingFusion(ScheduleTree &T, const ir::PolyProgram &P,
+                                   const std::vector<int64_t> &TileSizes) {
+  FusionReport Rep;
+  TreeNode *Root = T.root();
+  assert(Root && Root->Kind == NodeKind::Domain && "malformed tree");
+
+  // Locate the cluster filters (or the single top band).
+  std::vector<TreeNode *> ClusterFilters;
+  TreeNode *TopBand = nullptr;
+  if (!Root->Children.empty()) {
+    TreeNode *C = Root->child(0);
+    if (C->Kind == NodeKind::Sequence) {
+      for (auto &F : C->Children)
+        ClusterFilters.push_back(F.get());
+    } else if (C->Kind == NodeKind::Filter) {
+      ClusterFilters.push_back(C);
+    } else if (C->Kind == NodeKind::Band) {
+      TopBand = C;
+    }
+  }
+
+  // Find the band to tile: the last cluster's outer band (the live-out
+  // iteration space), or the single top band.
+  TreeNode *LiveFilter = nullptr;
+  TreeNode *LiveBand = TopBand;
+  if (!ClusterFilters.empty()) {
+    LiveFilter = ClusterFilters.back();
+    assert(!LiveFilter->Children.empty() &&
+           LiveFilter->child(0)->Kind == NodeKind::Band &&
+           "cluster filter must hold a band");
+    LiveBand = LiveFilter->child(0);
+  }
+  if (!LiveBand)
+    return Rep;
+
+  unsigned W = LiveBand->bandWidth();
+  std::vector<int64_t> Sizes = TileSizes;
+  Sizes.resize(W, 1);
+
+  // Keep the pre-tiling outer rows of every live-out statement for the
+  // reverse strategy.
+  std::map<unsigned, std::vector<ScheduleRow>> OuterRows;
+  for (const auto &[Id, SS] : LiveBand->Partial)
+    OuterRows[Id] = SS.Rows;
+
+  TreeNode *PointBand = tileBand(LiveBand, Sizes);
+  TreeNode *TileBandNode = LiveBand; // rows now carry floor denominators
+  Rep.TileBand = TileBandNode;
+  Rep.PointBand = PointBand;
+  Rep.Applied = true;
+
+  // Map from every already-on-chip statement to the tile dims.
+  std::map<unsigned, std::vector<BasicMap>> OnChip; // stmt -> rel pieces
+  std::vector<unsigned> LiveStmts;
+  for (const auto &[Id, Rows] : OuterRows) {
+    OnChip[Id].push_back(tileToStmtMap(P.Stmts[Id], Rows, Sizes));
+    LiveStmts.push_back(Id);
+  }
+
+  // Greedy reverse-order fusion of intermediate clusters.
+  std::vector<ExtensionDecl> Decls;
+  std::vector<std::vector<unsigned>> FusedUnits;
+  std::vector<TreeNode *> SkippedFilters;
+  std::vector<ir::Tensor> Outputs = P.Mod ? P.Mod->outputs()
+                                          : std::vector<ir::Tensor>();
+  auto IsOutput = [&](const ir::Tensor &T2) {
+    for (const ir::Tensor &O : Outputs)
+      if (O == T2)
+        return true;
+    return false;
+  };
+
+  for (unsigned CI = ClusterFilters.size(); CI-- > 1;) {
+    // Candidate producers: statements of cluster CI-1.
+    TreeNode *F = ClusterFilters[CI - 1];
+    const std::vector<unsigned> &Stmts = F->FilterStmts;
+    // Split into units (init/update pairs stay together).
+    std::vector<std::vector<unsigned>> Units;
+    for (unsigned I = 0; I < Stmts.size(); ++I) {
+      if (P.Stmts[Stmts[I]].StmtRole == ir::PolyStmt::Role::Init) {
+        Units.push_back({Stmts[I], Stmts[I + 1]});
+        ++I;
+      } else {
+        Units.push_back({Stmts[I]});
+      }
+    }
+    // The whole cluster fuses or stays: all written tensors must be
+    // consumed exclusively by on-chip statements and must not escape.
+    bool CanFuse = true;
+    for (unsigned S : Stmts) {
+      const ir::Tensor &Out = P.Stmts[S].Write.Ref;
+      if (IsOutput(Out)) {
+        CanFuse = false;
+        break;
+      }
+      for (const ir::PolyStmt &Other : P.Stmts) {
+        if (Other.Id == S)
+          continue;
+        bool ReadsOut = false;
+        for (const ir::PolyAccess &Rd : Other.Reads)
+          if (Rd.Ref == Out)
+            ReadsOut = true;
+        if (ReadsOut && !OnChip.count(Other.Id) &&
+            std::find(Stmts.begin(), Stmts.end(), Other.Id) == Stmts.end()) {
+          CanFuse = false;
+          break;
+        }
+      }
+    }
+    if (!CanFuse)
+      continue;
+    // Compute the reverse-strategy relation for each producer statement,
+    // walking the cluster back to front so intra-cluster consumers are
+    // already on chip when their producers are processed.
+    std::map<unsigned, std::vector<BasicMap>> NewRels;
+    for (unsigned SI = Stmts.size(); SI-- > 0;) {
+      unsigned S = Stmts[SI];
+      const ir::Tensor &Out = P.Stmts[S].Write.Ref;
+      BasicMap WriteInv =
+          reverseMap(intersectDomain(P.Stmts[S].Write.Rel, P.Stmts[S].Domain));
+      for (const auto &[Cons, Pieces] : OnChip) {
+        if (Cons == S)
+          continue; // the recurrence read does not define new instances
+        for (const ir::PolyAccess &Rd : P.Stmts[Cons].Reads) {
+          if (Rd.Ref != Out)
+            continue;
+          BasicMap ReadRel =
+              intersectDomain(Rd.Rel, P.Stmts[Cons].Domain);
+          for (const BasicMap &TileToCons : Pieces) {
+            BasicMap Rel =
+                composeMaps(composeMaps(TileToCons, ReadRel), WriteInv);
+            if (Rel.isEmpty())
+              continue;
+            Rel.removeRedundant();
+            NewRels[S].push_back(std::move(Rel));
+          }
+        }
+      }
+      auto It = NewRels.find(S);
+      if (It != NewRels.end()) {
+        auto &Dst = OnChip[S];
+        Dst.insert(Dst.end(), It->second.begin(), It->second.end());
+      }
+    }
+    if (NewRels.empty())
+      continue;
+    for (auto &[S, Pieces] : NewRels) {
+      for (BasicMap &Rel : Pieces)
+        Decls.push_back(ExtensionDecl{S, Rel});
+      ++Rep.FusedProducers;
+      Rep.LocalizedTensors.push_back(P.Stmts[S].Write.Ref);
+    }
+    for (auto &U : Units)
+      FusedUnits.push_back(U);
+    SkippedFilters.push_back(F);
+  }
+
+  // Deduplicate localized tensors (init/update write the same tensor).
+  {
+    std::vector<ir::Tensor> Uniq;
+    for (const ir::Tensor &T2 : Rep.LocalizedTensors) {
+      bool Seen = false;
+      for (const ir::Tensor &U : Uniq)
+        if (U == T2)
+          Seen = true;
+      if (!Seen)
+        Uniq.push_back(T2);
+    }
+    Rep.LocalizedTensors = std::move(Uniq);
+  }
+
+  // Rewire the tree. Detach the point band from the tile band first.
+  std::unique_ptr<TreeNode> PointOwned = std::move(TileBandNode->Children[0]);
+  TileBandNode->Children.clear();
+  TreeNode *OnChipMark = TileBandNode->addChild(makeMark("on_chip"));
+  if (Decls.empty()) {
+    OnChipMark->addChild(std::move(PointOwned));
+    return Rep;
+  }
+  TreeNode *Ext = OnChipMark->addChild(makeExtension(std::move(Decls)));
+  TreeNode *Seq2 = Ext->addChild(makeSequence());
+  // Producers in original id order.
+  std::sort(FusedUnits.begin(), FusedUnits.end());
+  for (const auto &Unit : FusedUnits)
+    Seq2->addChild(buildUnitSubtree(P, Unit));
+  // Consumer point loops last.
+  TreeNode *FCons = Seq2->addChild(makeFilter(LiveStmts));
+  FCons->addChild(std::move(PointOwned));
+
+  // Suppress the original producer subtrees.
+  for (TreeNode *F : SkippedFilters) {
+    std::unique_ptr<TreeNode> Old = std::move(F->Children[0]);
+    F->Children.clear();
+    TreeNode *Mark = F->addChild(makeMark("skipped"));
+    Mark->addChild(std::move(Old));
+  }
+  return Rep;
+}
+
+} // namespace transforms
+} // namespace akg

@@ -1,0 +1,51 @@
+//===- transforms/Fusion.h - Post-tiling fusion (reverse strategy) *- C++ -*-=//
+//
+// The paper's key scheduling device (Sec 4.3, Fig 3d/3e): the live-out
+// iteration space is tiled first; the reverse strategy then computes, for
+// every intermediate (producer) statement, the exact iteration subregion a
+// consumer tile needs - an arbitrary (overlapped / continuous / scattered)
+// tile shape - as an affine relation from the tile loops to producer
+// iterations. The relation instantiates an extension node beneath the tile
+// band, and the producer's original subtree is marked "skipped" so the
+// code generator does not replicate it.
+//
+// This is what classical polyhedral frameworks cannot express (fusion after
+// tiling) and what enables promoting the producer's output to on-chip
+// buffers, eliminating its global-memory round trip.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_TRANSFORMS_FUSION_H
+#define AKG_TRANSFORMS_FUSION_H
+
+#include "ir/PolyExtract.h"
+#include "schedule/ScheduleTree.h"
+
+namespace akg {
+namespace transforms {
+
+struct FusionReport {
+  bool Applied = false;
+  /// Producer statements re-scheduled under the consumer tile.
+  unsigned FusedProducers = 0;
+  /// Tensors whose global round trip was eliminated (now tile-local).
+  std::vector<ir::Tensor> LocalizedTensors;
+  /// The consumer point band inside the tile (for later passes).
+  sched::TreeNode *PointBand = nullptr;
+  /// The tile band above the on-chip region.
+  sched::TreeNode *TileBand = nullptr;
+};
+
+/// Tiles the live-out (last) cluster of the scheduled tree with
+/// \p TileSizes and fuses every intermediate cluster whose consumers all
+/// land inside the tile. Inserts the "on_chip" mark delimiting a tile's
+/// work for storage management and code generation. When the tree has a
+/// single cluster, only tiling and the mark are applied.
+FusionReport applyPostTilingFusion(sched::ScheduleTree &T,
+                                   const ir::PolyProgram &P,
+                                   const std::vector<int64_t> &TileSizes);
+
+} // namespace transforms
+} // namespace akg
+
+#endif // AKG_TRANSFORMS_FUSION_H

@@ -1,0 +1,221 @@
+//===- transforms/IntraTile.cpp - Intra-tile fusion / rescheduling --------===//
+
+#include "transforms/IntraTile.h"
+
+#include "transforms/Conv.h"
+
+#include <cassert>
+
+namespace akg {
+namespace transforms {
+
+using namespace sched;
+
+namespace {
+
+/// Splits a filter's statements into units (init/update pairs together).
+std::vector<std::vector<unsigned>> unitsOf(const std::vector<unsigned> &Stmts,
+                                           const ir::PolyProgram &P) {
+  std::vector<std::vector<unsigned>> Units;
+  for (unsigned I = 0; I < Stmts.size(); ++I) {
+    if (P.Stmts[Stmts[I]].StmtRole == ir::PolyStmt::Role::Init &&
+        I + 1 < Stmts.size() &&
+        P.Stmts[Stmts[I + 1]].StmtRole == ir::PolyStmt::Role::Update) {
+      Units.push_back({Stmts[I], Stmts[I + 1]});
+      ++I;
+    } else {
+      Units.push_back({Stmts[I]});
+    }
+  }
+  return Units;
+}
+
+std::string markForUnit(const std::vector<unsigned> &Unit,
+                        const ir::PolyProgram &P, IntraTileReport &Rep) {
+  for (unsigned S : Unit)
+    if (P.Stmts[S].StmtRole == ir::PolyStmt::Role::Update &&
+        isCubeStatement(P.Stmts[S])) {
+      ++Rep.CubeSubtrees;
+      return "cube_unit";
+    }
+  ++Rep.LocalUbSubtrees;
+  return "local_UB";
+}
+
+/// Distributes a multi-unit point band into per-unit bands, each wrapped by
+/// its dispatch mark (the Fig 3f shape: local_UB isolation + the grouped
+/// cube unit). \p F is a Filter whose child is the shared point band.
+void distributeAndMark(TreeNode *F, const ir::PolyProgram &P,
+                       IntraTileReport &Rep) {
+  auto Units = unitsOf(F->FilterStmts, P);
+  if (F->Children.empty())
+    return;
+  if (Units.size() == 1) {
+    // Single unit: wrap the whole subtree (band included) with the mark.
+    std::unique_ptr<TreeNode> Old = std::move(F->Children[0]);
+    F->Children.clear();
+    TreeNode *M = F->addChild(makeMark(markForUnit(Units[0], P, Rep)));
+    M->addChild(std::move(Old));
+    return;
+  }
+  TreeNode *B = F->child(0);
+  assert(B->Kind == NodeKind::Band && "expected the shared point band");
+  // Leaf subtrees per statement (from the band's inner sequence).
+  std::map<unsigned, std::unique_ptr<TreeNode>> LeafOf;
+  if (!B->Children.empty() && B->child(0)->Kind == NodeKind::Sequence) {
+    TreeNode *Seq = B->child(0);
+    for (auto &C : Seq->Children) {
+      assert(C->Kind == NodeKind::Filter && C->FilterStmts.size() == 1);
+      LeafOf[C->FilterStmts[0]] = std::move(C);
+    }
+  }
+  auto NewSeq = makeSequence();
+  for (const auto &Unit : Units) {
+    TreeNode *UF = NewSeq->addChild(makeFilter(Unit));
+    TreeNode *M = UF->addChild(makeMark(markForUnit(Unit, P, Rep)));
+    std::map<unsigned, StmtSchedule> Part;
+    for (unsigned S : Unit)
+      Part[S] = B->Partial.at(S);
+    TreeNode *UB2 = M->addChild(makeBand(std::move(Part), B->Permutable,
+                                         B->Coincident));
+    if (Unit.size() == 1) {
+      auto It = LeafOf.find(Unit[0]);
+      if (It != LeafOf.end() && It->second && !It->second->Children.empty())
+        UB2->addChild(std::move(It->second->Children[0]));
+      continue;
+    }
+    // Init/update pair: keep their inner order and reduction band.
+    TreeNode *InnerSeq = UB2->addChild(makeSequence());
+    for (unsigned S : Unit) {
+      TreeNode *LF = InnerSeq->addChild(makeFilter({S}));
+      auto It = LeafOf.find(S);
+      if (It != LeafOf.end() && It->second && !It->second->Children.empty())
+        LF->addChild(std::move(It->second->Children[0]));
+    }
+  }
+  F->Children.clear();
+  F->addChild(std::move(NewSeq));
+}
+
+} // namespace
+
+IntraTileReport applyIntraTileFusion(ScheduleTree &T,
+                                     const ir::PolyProgram &P) {
+  IntraTileReport Rep;
+  // Collect every on-chip region first (the no-fusion ablation has one per
+  // cluster), then process each once.
+  std::vector<TreeNode *> Regions;
+  walkTree(T.root(), [&](TreeNode *N) {
+    if (N->Kind == NodeKind::Mark && N->MarkTag == "on_chip")
+      Regions.push_back(N);
+    return true;
+  });
+  for (TreeNode *OnChip : Regions) {
+    if (OnChip->Children.empty())
+      continue;
+    TreeNode *C = OnChip->child(0);
+    if (C->Kind == NodeKind::Extension) {
+      assert(!C->Children.empty() &&
+             C->child(0)->Kind == NodeKind::Sequence);
+      for (auto &F : C->child(0)->Children)
+        if (F->Kind == NodeKind::Filter)
+          distributeAndMark(F.get(), P, Rep);
+    } else if (C->Kind == NodeKind::Filter) {
+      distributeAndMark(C, P, Rep);
+    } else if (C->Kind == NodeKind::Band) {
+      // Single cluster without extension: synthesize the filter.
+      std::vector<unsigned> Stmts;
+      for (const auto &[Id, SS] : C->Partial) {
+        (void)SS;
+        Stmts.push_back(Id);
+      }
+      std::unique_ptr<TreeNode> Band = std::move(OnChip->Children[0]);
+      OnChip->Children.clear();
+      TreeNode *F = OnChip->addChild(makeFilter(Stmts));
+      F->addChild(std::move(Band));
+      distributeAndMark(F, P, Rep);
+    }
+  }
+  return Rep;
+}
+
+unsigned sinkVectorizableDims(ScheduleTree &T, const ir::PolyProgram &P) {
+  unsigned Changed = 0;
+  walkTree(T.root(), [&](TreeNode *Mk) {
+    if (Mk->Kind != NodeKind::Mark || Mk->MarkTag != "local_UB")
+      return true;
+    walkTree(Mk, [&](TreeNode *N) {
+      if (N->Kind != NodeKind::Band || !N->Permutable || N->bandWidth() < 2)
+        return true;
+      // Only interchange pure unit-row bands (identity permutations).
+      for (const auto &[Id, SS] : N->Partial) {
+        (void)Id;
+        for (const ScheduleRow &R : SS.Rows) {
+          if (R.Denom != 1)
+            return true;
+          int NonZero = 0;
+          for (int64_t C : R.Coeffs)
+            if (C != 0)
+              ++NonZero;
+          if (NonZero != 1)
+            return true;
+        }
+      }
+      unsigned StmtId = N->Partial.begin()->first;
+      const ir::PolyStmt &St = P.Stmts[StmtId];
+      const StmtSchedule &SS = N->Partial.begin()->second;
+      auto RowDim = [&](const ScheduleRow &R) {
+        for (unsigned K = 0; K < R.Coeffs.size(); ++K)
+          if (R.Coeffs[K] != 0)
+            return K;
+        return 0u;
+      };
+      auto StrideOneScore = [&](unsigned Dim) {
+        unsigned Score = 0;
+        auto CheckAccess = [&](const ir::PolyAccess &A) {
+          if (A.Indices.empty())
+            return;
+          std::vector<int64_t> C;
+          int64_t K;
+          if (!ir::exprToAffine(A.Indices.back(), St.Iters, C, K))
+            return;
+          if (Dim < C.size() && C[Dim] == 1)
+            ++Score;
+        };
+        CheckAccess(St.Write);
+        for (const ir::PolyAccess &A : St.Reads)
+          CheckAccess(A);
+        return Score;
+      };
+      unsigned BestRow = 0, BestScore = 0;
+      for (unsigned R = 0; R < SS.Rows.size(); ++R) {
+        unsigned Score = StrideOneScore(RowDim(SS.Rows[R]));
+        if (Score > BestScore) {
+          BestScore = Score;
+          BestRow = R;
+        }
+      }
+      unsigned Last = N->bandWidth() - 1;
+      if (BestScore == 0 || BestRow == Last)
+        return true;
+      for (auto &[Id, SS2] : N->Partial) {
+        (void)Id;
+        ScheduleRow Row = SS2.Rows[BestRow];
+        SS2.Rows.erase(SS2.Rows.begin() + BestRow);
+        SS2.Rows.push_back(Row);
+      }
+      if (BestRow < N->Coincident.size()) {
+        bool C = N->Coincident[BestRow];
+        N->Coincident.erase(N->Coincident.begin() + BestRow);
+        N->Coincident.push_back(C);
+      }
+      ++Changed;
+      return true;
+    });
+    return true;
+  });
+  return Changed;
+}
+
+} // namespace transforms
+} // namespace akg

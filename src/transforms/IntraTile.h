@@ -1,0 +1,43 @@
+//===- transforms/IntraTile.h - Intra-tile fusion / rescheduling -*- C++ -*-=//
+//
+// The architecture-specific intra-tile strategy of Sec 4.3 ("fusion when
+// forking data"): once a tile's data is on chip, statements that do not
+// involve dot-product reductions are marked "local_UB" (their data streams
+// to the Unified Buffer and they execute on the Vector/Scalar units), while
+// dot-product reductions are marked "cube_unit" (init grouped with the
+// reduction, dispatched to the Cube unit). Loop distribution between the
+// vector statements is inherent in the per-statement filters; the
+// fast-varying dimension is sunk innermost for vectorization (the
+// permutable-band interchange of Sec 4.3).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_TRANSFORMS_INTRATILE_H
+#define AKG_TRANSFORMS_INTRATILE_H
+
+#include "ir/PolyExtract.h"
+#include "schedule/ScheduleTree.h"
+
+namespace akg {
+namespace transforms {
+
+struct IntraTileReport {
+  unsigned LocalUbSubtrees = 0;
+  unsigned CubeSubtrees = 0;
+  unsigned SunkDims = 0;
+};
+
+/// Inserts "local_UB" / "cube_unit" / "cube_init" marks over the leaf
+/// statement subtrees inside the on-chip region.
+IntraTileReport applyIntraTileFusion(sched::ScheduleTree &T,
+                                     const ir::PolyProgram &P);
+
+/// For each permutable point band, interchanges rows so the dimension with
+/// unit-stride accesses is innermost. Returns how many bands changed.
+unsigned sinkVectorizableDims(sched::ScheduleTree &T,
+                              const ir::PolyProgram &P);
+
+} // namespace transforms
+} // namespace akg
+
+#endif // AKG_TRANSFORMS_INTRATILE_H

@@ -1,0 +1,271 @@
+//===- transforms/MemHierSpec.cpp - Fig 8 memory-hierarchy language -------===//
+
+#include "transforms/MemHierSpec.h"
+
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace akg {
+namespace transforms {
+
+namespace {
+
+struct Cursor {
+  const std::string &S;
+  size_t Pos = 0;
+
+  void skip() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+  bool atEnd() {
+    skip();
+    return Pos >= S.size();
+  }
+  bool lit(char C) {
+    skip();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  bool ident(std::string &Out) {
+    skip();
+    size_t B = Pos;
+    while (Pos < S.size() && (std::isalnum(static_cast<unsigned char>(S[Pos])) ||
+                              S[Pos] == '_'))
+      ++Pos;
+    if (Pos == B)
+      return false;
+    Out = S.substr(B, Pos - B);
+    return true;
+  }
+  bool integer(int64_t &V) {
+    skip();
+    size_t B = Pos;
+    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+    if (Pos == B)
+      return false;
+    V = std::stoll(S.substr(B, Pos - B));
+    return true;
+  }
+};
+
+const std::set<std::string> KnownBuffers = {"GM",  "L1",  "UB",
+                                            "L0A", "L0B", "L0C"};
+const std::set<std::string> KnownComputeTypes = {"cube", "vector", "scalar"};
+
+/// Legal dataflow edges of the DaVinci architecture (Fig 1).
+bool legalPath(const std::string &From, const std::string &To) {
+  static const std::set<std::pair<std::string, std::string>> Paths = {
+      {"GM", "L1"},  {"GM", "UB"},  {"L1", "L0A"}, {"L1", "L0B"},
+      {"UB", "L1"},  {"L0C", "UB"}, {"UB", "GM"},  {"L0C", "GM"},
+      {"L0A", "L0C"}, {"L0B", "L0C"}, {"UB", "UB"}};
+  return Paths.count({From, To}) != 0;
+}
+
+} // namespace
+
+bool parseNpuSpec(const std::string &Text, NpuSpec &Out, std::string &Error) {
+  Cursor C{Text};
+  Out.Stmts.clear();
+  while (!C.atEnd()) {
+    std::string Word;
+    if (!C.ident(Word)) {
+      Error = "expected statement at offset " + std::to_string(C.Pos);
+      return false;
+    }
+    NpuStmt St;
+    if (Word == "buf") {
+      St.Kind = NpuStmtKind::BufferSpec;
+      if (!C.ident(St.Buffer) || !C.lit('(') || !C.integer(St.BufferSize) ||
+          !C.lit(')')) {
+        Error = "malformed buffer spec";
+        return false;
+      }
+      Out.Stmts.push_back(std::move(St));
+      continue;
+    }
+    St.Kind = Word == "dataflow" ? NpuStmtKind::Dataflow
+                                 : NpuStmtKind::ComputeUnit;
+    St.ComputeType = Word;
+    if (St.Kind == NpuStmtKind::ComputeUnit &&
+        !KnownComputeTypes.count(Word)) {
+      Error = "unknown compute type '" + Word + "'";
+      return false;
+    }
+    if (!C.lit('(')) {
+      Error = "expected '(' after " + Word;
+      return false;
+    }
+    std::string Buf;
+    while (C.ident(Buf))
+      St.InBufs.push_back(Buf);
+    if (!C.lit('-') || !C.lit('>')) {
+      Error = "expected '->' in " + Word + " statement";
+      return false;
+    }
+    while (C.ident(Buf))
+      St.OutBufs.push_back(Buf);
+    if (!C.lit(',') || !C.integer(St.Throughput) || !C.lit(',') ||
+        !C.integer(St.Alignment) || !C.lit(')')) {
+      Error = "expected ', throughput, alignment)' in " + Word;
+      return false;
+    }
+    if (St.InBufs.empty() || St.OutBufs.empty()) {
+      Error = Word + " statement needs input and output buffers";
+      return false;
+    }
+    Out.Stmts.push_back(std::move(St));
+  }
+  if (Out.Stmts.empty()) {
+    Error = "empty npu specification";
+    return false;
+  }
+  return true;
+}
+
+std::string printNpuSpec(const NpuSpec &S) {
+  std::ostringstream OS;
+  for (const NpuStmt &St : S.Stmts) {
+    switch (St.Kind) {
+    case NpuStmtKind::BufferSpec:
+      OS << "buf " << St.Buffer << " (" << St.BufferSize << ")\n";
+      break;
+    case NpuStmtKind::ComputeUnit:
+    case NpuStmtKind::Dataflow: {
+      OS << St.ComputeType << " (";
+      for (unsigned I = 0; I < St.InBufs.size(); ++I)
+        OS << (I ? " " : "") << St.InBufs[I];
+      OS << " -> ";
+      for (unsigned I = 0; I < St.OutBufs.size(); ++I)
+        OS << (I ? " " : "") << St.OutBufs[I];
+      OS << ", " << St.Throughput << ", " << St.Alignment << ")\n";
+      break;
+    }
+    }
+  }
+  return OS.str();
+}
+
+bool validateNpuSpec(const NpuSpec &S, const sim::MachineSpec &M,
+                     std::string &Error) {
+  for (const NpuStmt &St : S.Stmts) {
+    if (St.Kind == NpuStmtKind::BufferSpec) {
+      if (!KnownBuffers.count(St.Buffer)) {
+        Error = "unknown buffer '" + St.Buffer + "'";
+        return false;
+      }
+      sim::Buffer B = St.Buffer == "L1"    ? sim::Buffer::L1
+                      : St.Buffer == "UB"  ? sim::Buffer::UB
+                      : St.Buffer == "L0A" ? sim::Buffer::L0A
+                      : St.Buffer == "L0B" ? sim::Buffer::L0B
+                      : St.Buffer == "L0C" ? sim::Buffer::L0C
+                                           : sim::Buffer::GM;
+      if (B != sim::Buffer::GM && St.BufferSize > M.bufferBytes(B)) {
+        Error = "buffer '" + St.Buffer + "' exceeds machine capacity";
+        return false;
+      }
+      continue;
+    }
+    for (const std::string &B : St.InBufs)
+      if (!KnownBuffers.count(B)) {
+        Error = "unknown buffer '" + B + "'";
+        return false;
+      }
+    for (const std::string &B : St.OutBufs)
+      if (!KnownBuffers.count(B)) {
+        Error = "unknown buffer '" + B + "'";
+        return false;
+      }
+    if (St.Kind == NpuStmtKind::Dataflow) {
+      for (const std::string &From : St.InBufs)
+        for (const std::string &To : St.OutBufs)
+          if (!legalPath(From, To)) {
+            Error = "illegal dataflow path " + From + " -> " + To;
+            return false;
+          }
+    }
+  }
+  return true;
+}
+
+NpuSpec specFromKernel(const cce::Kernel &K, const sim::MachineSpec &M) {
+  NpuSpec S;
+  // Buffer allocations.
+  std::map<std::string, sim::Buffer> LocOf;
+  for (const cce::BufferAlloc &B : K.Buffers) {
+    NpuStmt St;
+    St.Kind = NpuStmtKind::BufferSpec;
+    St.Buffer = sim::bufferName(B.Location);
+    St.BufferSize = B.bytes();
+    S.Stmts.push_back(St);
+    LocOf[B.Name] = B.Location;
+  }
+  auto LocName = [&](const std::string &Buf) -> std::string {
+    auto It = LocOf.find(Buf);
+    return It == LocOf.end() ? "GM" : sim::bufferName(It->second);
+  };
+  // One statement per distinct instruction shape.
+  std::set<std::string> Seen;
+  std::function<void(const std::vector<cce::InstrPtr> &)> Walk =
+      [&](const std::vector<cce::InstrPtr> &L) {
+        for (const cce::InstrPtr &I : L) {
+          if (I->Kind == cce::InstrKind::Loop) {
+            Walk(I->Body);
+            continue;
+          }
+          NpuStmt St;
+          switch (I->Kind) {
+          case cce::InstrKind::Dma:
+          case cce::InstrKind::Img2Col:
+          case cce::InstrKind::LoadFractal:
+            St.Kind = NpuStmtKind::Dataflow;
+            St.ComputeType = "dataflow";
+            St.Throughput = I->Pipe == sim::Pipe::MTE1 ? M.OnChipBandwidth
+                                                       : M.GmBandwidth;
+            St.Alignment = 32;
+            break;
+          case cce::InstrKind::Mmad:
+            St.Kind = NpuStmtKind::ComputeUnit;
+            St.ComputeType = "cube";
+            St.Throughput = M.CubeM * M.CubeN * M.CubeK;
+            St.Alignment = M.CubeM;
+            break;
+          case cce::InstrKind::VectorOp:
+            St.Kind = NpuStmtKind::ComputeUnit;
+            St.ComputeType = "vector";
+            St.Throughput = M.VectorLanes;
+            St.Alignment = 16;
+            break;
+          case cce::InstrKind::ScalarOp:
+            St.Kind = NpuStmtKind::ComputeUnit;
+            St.ComputeType = "scalar";
+            St.Throughput = 1;
+            St.Alignment = 1;
+            break;
+          default:
+            continue;
+          }
+          for (const std::string &B : I->ReadBufs)
+            St.InBufs.push_back(LocName(B));
+          for (const std::string &B : I->WriteBufs)
+            St.OutBufs.push_back(LocName(B));
+          if (St.InBufs.empty() || St.OutBufs.empty())
+            continue;
+          std::string Key = printNpuSpec(NpuSpec{{St}});
+          if (Seen.insert(Key).second)
+            S.Stmts.push_back(std::move(St));
+        }
+      };
+  Walk(K.Body);
+  return S;
+}
+
+} // namespace transforms
+} // namespace akg

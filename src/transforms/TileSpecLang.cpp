@@ -1,0 +1,149 @@
+//===- transforms/TileSpecLang.cpp - Fig 4 tile-size language -------------===//
+//
+// Parser/printer of the tiling policy specification language (paper Fig 4):
+//
+//   stmt_id       :: "S_" integer
+//   tile_size     :: integer
+//   tile_spec     :: tile_size @ buffer
+//   tile_specs    :: tile_spec | tile_specs , tile_spec
+//   stmt_spec     :: stmt_id : tile_specs
+//   tiling_policy :: stmt_spec | tiling_policy stmt_spec
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Tiling.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace akg {
+namespace transforms {
+
+namespace {
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &S) : S(S) {}
+
+  void skipSpace() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+  bool atEnd() {
+    skipSpace();
+    return Pos >= S.size();
+  }
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  bool consumeWord(const char *W) {
+    skipSpace();
+    size_t L = std::string(W).size();
+    if (S.compare(Pos, L, W) == 0) {
+      Pos += L;
+      return true;
+    }
+    return false;
+  }
+  bool parseInt(int64_t &V) {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    V = std::stoll(S.substr(Start, Pos - Start));
+    return true;
+  }
+  bool parseIdent(std::string &Id) {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < S.size() &&
+           (std::isalnum(static_cast<unsigned char>(S[Pos])) || S[Pos] == '_'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Id = S.substr(Start, Pos - Start);
+    return true;
+  }
+  size_t position() const { return Pos; }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+bool isKnownBuffer(const std::string &B) {
+  return B == "L1" || B == "UB" || B == "L0A" || B == "L0B" || B == "L0C" ||
+         B == "GM";
+}
+
+} // namespace
+
+bool parseTilingPolicy(const std::string &Text, TilingPolicy &Out,
+                       std::string &Error) {
+  Lexer L(Text);
+  Out.PerStmt.clear();
+  while (!L.atEnd()) {
+    if (!L.consumeWord("S_")) {
+      Error = "expected statement id 'S_<n>' at offset " +
+              std::to_string(L.position());
+      return false;
+    }
+    int64_t Id;
+    if (!L.parseInt(Id)) {
+      Error = "expected integer after 'S_'";
+      return false;
+    }
+    if (!L.consume(':')) {
+      Error = "expected ':' after statement id";
+      return false;
+    }
+    StmtTileSpec Spec;
+    do {
+      TileSpecEntry E;
+      if (!L.parseInt(E.Size) || E.Size <= 0) {
+        Error = "expected positive tile size";
+        return false;
+      }
+      if (!L.consume('@')) {
+        Error = "expected '@buffer' after tile size";
+        return false;
+      }
+      if (!L.parseIdent(E.BufferName) || !isKnownBuffer(E.BufferName)) {
+        Error = "unknown buffer name in tile spec";
+        return false;
+      }
+      Spec.Entries.push_back(std::move(E));
+    } while (L.consume(','));
+    Out.PerStmt[static_cast<unsigned>(Id)] = std::move(Spec);
+  }
+  if (Out.PerStmt.empty()) {
+    Error = "empty tiling policy";
+    return false;
+  }
+  return true;
+}
+
+std::string printTilingPolicy(const TilingPolicy &P) {
+  std::ostringstream OS;
+  bool FirstStmt = true;
+  for (const auto &[Id, Spec] : P.PerStmt) {
+    if (!FirstStmt)
+      OS << "  ";
+    FirstStmt = false;
+    OS << "S_" << Id << ": ";
+    for (unsigned I = 0; I < Spec.Entries.size(); ++I)
+      OS << (I ? ", " : "") << Spec.Entries[I].Size << "@"
+         << Spec.Entries[I].BufferName;
+  }
+  return OS.str();
+}
+
+} // namespace transforms
+} // namespace akg

@@ -1,0 +1,52 @@
+//===- transforms/Tiling.cpp - Loop tiling on schedule trees --------------===//
+
+#include "transforms/Tiling.h"
+
+#include <cassert>
+
+namespace akg {
+namespace transforms {
+
+using namespace sched;
+
+TreeNode *tileBand(TreeNode *Band, const std::vector<int64_t> &Sizes) {
+  assert(Band->Kind == NodeKind::Band && "tileBand expects a band");
+  unsigned W = Band->bandWidth();
+  assert(Sizes.size() == W && "one tile size per band row");
+
+  // Point band inherits the original payload and children.
+  auto Point = std::make_unique<TreeNode>();
+  Point->Kind = NodeKind::Band;
+  Point->Partial = Band->Partial;
+  Point->Permutable = Band->Permutable;
+  Point->Coincident = Band->Coincident;
+  Point->Children = std::move(Band->Children);
+  for (auto &C : Point->Children)
+    C->Parent = Point.get();
+  Band->Children.clear();
+
+  // Tile band: same rows with floor denominators.
+  for (auto &[Id, SS] : Band->Partial) {
+    (void)Id;
+    for (unsigned R = 0; R < W; ++R) {
+      assert(Sizes[R] >= 1 && "tile size must be positive");
+      SS.Rows[R].Denom = SS.Rows[R].Denom * Sizes[R];
+    }
+  }
+  Band->addChild(std::move(Point));
+  return Band->child(0);
+}
+
+std::vector<int64_t> TilingPolicy::sizesFor(unsigned StmtId,
+                                            unsigned Dims) const {
+  std::vector<int64_t> Sizes(Dims, 1);
+  auto It = PerStmt.find(StmtId);
+  if (It == PerStmt.end())
+    return Sizes;
+  for (unsigned I = 0; I < Dims && I < It->second.Entries.size(); ++I)
+    Sizes[I] = It->second.Entries[I].Size;
+  return Sizes;
+}
+
+} // namespace transforms
+} // namespace akg

@@ -1,0 +1,65 @@
+//===- transforms/Tiling.h - Loop tiling on schedule trees ------*- C++ -*-===//
+//
+// Tiling of band nodes (Sec 4.2): a band's rows are split into tile loops
+// (quasi-affine floor rows) and point loops (the original rows). Tile
+// shapes on intermediate iteration spaces are constructed separately by
+// the reverse strategy (see Fusion.h); this file covers the live-out
+// rectangular tiling, hierarchical (multi-level) tiling for the Cube unit,
+// and the tile-size specification language of Fig 4.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_TRANSFORMS_TILING_H
+#define AKG_TRANSFORMS_TILING_H
+
+#include "ir/PolyExtract.h"
+#include "schedule/ScheduleTree.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace akg {
+namespace transforms {
+
+/// Splits \p Band in place into a tile band (floor rows with the given
+/// sizes) whose single child is the point band carrying the original rows
+/// and children. Size 1 entries leave that dimension untiled at the tile
+/// level (the floor row is still emitted with denominator 1 and is later
+/// simplified away). Returns the point band.
+sched::TreeNode *tileBand(sched::TreeNode *Band,
+                          const std::vector<int64_t> &Sizes);
+
+/// One tile-size entry of the Fig 4 language: "size @ buffer".
+struct TileSpecEntry {
+  int64_t Size = 1;
+  std::string BufferName; // L1, UB, L0A, L0B, L0C
+};
+
+/// Per-statement tiling policy.
+struct StmtTileSpec {
+  std::vector<TileSpecEntry> Entries; // one per tiled loop dimension
+};
+
+/// A full tiling policy: statement id -> specification.
+struct TilingPolicy {
+  std::map<unsigned, StmtTileSpec> PerStmt;
+
+  /// Tile sizes for a statement, defaulting to all-1 (untiled).
+  std::vector<int64_t> sizesFor(unsigned StmtId, unsigned Dims) const;
+};
+
+/// Parses the Fig 4 specification language, e.g.
+///   "S_2: 32@L1, 32@L1  S_4: 64@UB"
+/// Returns false (with an error message) on malformed input; tile shapes
+/// and validity are not the user's burden - the polyhedral construction
+/// guarantees them (Sec 4.2).
+bool parseTilingPolicy(const std::string &Text, TilingPolicy &Out,
+                       std::string &Error);
+
+std::string printTilingPolicy(const TilingPolicy &P);
+
+} // namespace transforms
+} // namespace akg
+
+#endif // AKG_TRANSFORMS_TILING_H

@@ -1,0 +1,185 @@
+//===- tests/AffineTest.cpp - Integer set / affine map unit tests ---------===//
+
+#include "poly/Affine.h"
+
+#include <gtest/gtest.h>
+
+using namespace akg;
+using namespace akg::poly;
+
+namespace {
+
+TEST(BasicSet, RectangleBounds) {
+  BasicSet S(Space::forSet({"i", "j"}, "S"));
+  S.addIneq({1, 0}, 0);   // i >= 0
+  S.addIneq({-1, 0}, 9);  // i <= 9
+  S.addIneq({0, 1}, 0);   // j >= 0
+  S.addIneq({0, -1}, 19); // j <= 19
+  EXPECT_FALSE(S.isEmpty());
+  EXPECT_EQ(S.minOfCol(S.inCol(0)).value(), 0);
+  EXPECT_EQ(S.maxOfCol(S.inCol(0)).value(), 9);
+  EXPECT_EQ(S.maxOfCol(S.inCol(1)).value(), 19);
+}
+
+TEST(BasicSet, EmptyDetection) {
+  BasicSet S(Space::forSet({"i"}, "S"));
+  S.addIneq({1}, -5); // i >= 5
+  S.addIneq({-1}, 3); // i <= 3
+  EXPECT_TRUE(S.isEmpty());
+}
+
+TEST(BasicSet, FixedValue) {
+  BasicSet S(Space::forSet({"i", "j"}, "S"));
+  S.addEq({1, -1}, 0); // i == j
+  S.addEq({1, 0}, -7); // i == 7
+  EXPECT_EQ(S.fixedValue(S.inCol(1)).value(), 7);
+}
+
+TEST(BasicSet, FourierMotzkinProjection) {
+  // { [i,j] : 0 <= i <= 10, i <= j <= i + 2 }; projecting out j gives
+  // 0 <= i <= 10.
+  BasicSet S(Space::forSet({"i", "j"}, "S"));
+  S.addIneq({1, 0}, 0);
+  S.addIneq({-1, 0}, 10);
+  S.addIneq({-1, 1}, 0);  // j >= i
+  S.addIneq({1, -1}, 2);  // j <= i + 2
+  BasicSet P = S.projectOntoPrefix(1);
+  EXPECT_EQ(P.space().numIn(), 1u);
+  EXPECT_EQ(P.minOfCol(P.inCol(0)).value(), 0);
+  EXPECT_EQ(P.maxOfCol(P.inCol(0)).value(), 10);
+}
+
+TEST(BasicSet, DivFloorSemantics) {
+  // { [i] : 0 <= i <= 10, q = floor(i/3), q = 2 } => i in [6,8].
+  BasicSet S(Space::forSet({"i"}, "S"));
+  S.addIneq({1}, 0);
+  S.addIneq({-1}, 10);
+  unsigned Q = S.addDiv({1}, 0, 3);
+  std::vector<int64_t> Pin(S.numCols(), 0);
+  Pin[Q] = 1;
+  S.addEq(Pin, -2);
+  EXPECT_EQ(S.minOfCol(S.inCol(0)).value(), 6);
+  EXPECT_EQ(S.maxOfCol(S.inCol(0)).value(), 8);
+}
+
+TEST(BasicSet, IntegerEmptinessWithDiv) {
+  // { [i] : i = 2q, i = 5 } has no integer points.
+  BasicSet S(Space::forSet({"i"}, "S"));
+  unsigned Q = S.addFreeExistential();
+  std::vector<int64_t> Even(S.numCols(), 0);
+  Even[S.inCol(0)] = 1;
+  Even[Q] = -2;
+  S.addEq(Even, 0);
+  std::vector<int64_t> Five(S.numCols(), 0);
+  Five[S.inCol(0)] = 1;
+  S.addEq(Five, -5);
+  EXPECT_FALSE(S.isEmpty(/*CheckInteger=*/false));
+  EXPECT_TRUE(S.isEmpty(/*CheckInteger=*/true));
+}
+
+TEST(BasicMap, ApplyShiftMap) {
+  // M: [i] -> [i + 3]; S = { [i] : 0 <= i <= 4 }; image = [3, 7].
+  BasicMap M(Space::forMap({"i"}, {"o"}, "S", "T"));
+  M.addEq({1, -1}, 3); // i - o + 3 == 0 => o = i + 3
+  BasicSet S(Space::forSet({"i"}, "S"));
+  S.addIneq({1}, 0);
+  S.addIneq({-1}, 4);
+  BasicSet R = applyMap(S, M);
+  EXPECT_EQ(R.space().numIn(), 1u);
+  EXPECT_EQ(R.minOfCol(R.inCol(0)).value(), 3);
+  EXPECT_EQ(R.maxOfCol(R.inCol(0)).value(), 7);
+}
+
+TEST(BasicMap, ComposeMaps) {
+  // A: [i] -> [2i], B: [j] -> [j + 1]; A.B: [i] -> [2i + 1].
+  BasicMap A(Space::forMap({"i"}, {"j"}));
+  A.addEq({2, -1}, 0);
+  BasicMap B(Space::forMap({"j"}, {"k"}));
+  B.addEq({1, -1}, 1);
+  BasicMap C = composeMaps(A, B);
+  // Apply to { i = 5 }: expect k = 11.
+  BasicSet S(Space::forSet({"i"}));
+  S.addEq({1}, -5);
+  BasicSet R = applyMap(S, C);
+  EXPECT_EQ(R.fixedValue(R.inCol(0)).value(), 11);
+}
+
+TEST(BasicMap, ReverseMap) {
+  BasicMap M(Space::forMap({"i"}, {"o"}));
+  M.addEq({1, -1}, 3); // o = i + 3
+  BasicMap R = reverseMap(M);
+  BasicSet S(Space::forSet({"o"}));
+  S.addEq({1}, -10);
+  BasicSet Img = applyMap(S, R);
+  EXPECT_EQ(Img.fixedValue(Img.inCol(0)).value(), 7);
+}
+
+TEST(BasicMap, DomainAndRange) {
+  // M: [i] -> [o] with 0 <= i <= 5, o = i * 2.
+  BasicMap M(Space::forMap({"i"}, {"o"}));
+  M.addIneq({1, 0}, 0);
+  M.addIneq({-1, 0}, 5);
+  M.addEq({2, -1}, 0);
+  BasicSet D = domainOfMap(M);
+  EXPECT_EQ(D.maxOfCol(D.inCol(0)).value(), 5);
+  BasicSet R = rangeOfMap(M);
+  EXPECT_EQ(R.maxOfCol(R.inCol(0)).value(), 10);
+  EXPECT_EQ(R.minOfCol(R.inCol(0)).value(), 0);
+}
+
+TEST(BasicSet, RedundancyRemoval) {
+  BasicSet S(Space::forSet({"i"}, "S"));
+  S.addIneq({1}, 0);   // i >= 0
+  S.addIneq({1}, 5);   // i >= -5 (redundant)
+  S.addIneq({-1}, 10); // i <= 10
+  S.removeRedundant();
+  EXPECT_EQ(S.constraints().size(), 2u);
+}
+
+TEST(BasicSet, OverlappedTileRelation) {
+  // The Fig. 3 extension-node shape: { [o] -> [h] : 32o <= h < 32o + KH + 31 }
+  // with KH = 3; for o = 1 the h range is [32, 65].
+  BasicMap Ext(Space::forMap({"o"}, {"h"}, "Tile", "S0"));
+  Ext.addIneq({-32, 1}, 0);  // h >= 32 o
+  Ext.addIneq({32, -1}, 34); // h <= 32 o + 34
+  BasicSet O(Space::forSet({"o"}, "Tile"));
+  O.addEq({1}, -1);
+  BasicSet H = applyMap(O, Ext);
+  EXPECT_EQ(H.minOfCol(H.inCol(0)).value(), 32);
+  EXPECT_EQ(H.maxOfCol(H.inCol(0)).value(), 66);
+}
+
+TEST(SetUnion, UnionAndIntersect) {
+  Space Sp = Space::forSet({"i"}, "S");
+  BasicSet A(Sp);
+  A.addIneq({1}, 0);
+  A.addIneq({-1}, 3); // [0,3]
+  BasicSet B(Sp);
+  B.addIneq({1}, -10);
+  B.addIneq({-1}, 13); // [10,13]
+  Set U(Sp);
+  U.addPiece(A);
+  U = U.unionWith(Set(B));
+  EXPECT_EQ(U.pieces().size(), 2u);
+  BasicSet C(Sp);
+  C.addIneq({1}, -2);
+  C.addIneq({-1}, 11); // [2,11]
+  Set I = U.intersect(Set(C));
+  // [0,3] n [2,11] = [2,3]; [10,13] n [2,11] = [10,11].
+  ASSERT_EQ(I.pieces().size(), 2u);
+  EXPECT_EQ(I.pieces()[0].minOfCol(I.pieces()[0].inCol(0)).value(), 2);
+  EXPECT_EQ(I.pieces()[1].maxOfCol(I.pieces()[1].inCol(0)).value(), 11);
+}
+
+TEST(BasicMap, IdentityMapOn) {
+  BasicSet S(Space::forSet({"i"}, "S"));
+  S.addIneq({1}, 0);
+  S.addIneq({-1}, 5);
+  BasicMap Id = identityMapOn(S);
+  BasicSet Pt(Space::forSet({"i"}, "S"));
+  Pt.addEq({1}, -4);
+  BasicSet R = applyMap(Pt, Id);
+  EXPECT_EQ(R.fixedValue(R.inCol(0)).value(), 4);
+}
+
+} // namespace

@@ -1,0 +1,208 @@
+//===- tests/AstGenTest.cpp - Schedule-tree AST generation tests ----------===//
+
+#include "ir/Passes.h"
+#include "schedule/AstGen.h"
+#include "scheduler/Pluto.h"
+
+#include <gtest/gtest.h>
+
+using namespace akg;
+using namespace akg::ir;
+using namespace akg::sched;
+
+namespace {
+
+/// Compiles via extract -> dependences -> Pluto -> tree -> AST, executes the
+/// AST, and compares every output tensor with the reference evaluator.
+void checkModuleRoundTrip(const Module &M, const SchedulerOptions &Opts) {
+  PolyProgram P = extractPolyProgram(M);
+  std::vector<Dependence> Deps = computeDependences(P);
+  ScheduleResult R = computeSchedule(P, Deps, Opts);
+  ScheduleTree T = buildScheduledTree(P, R);
+  Stmt Ast = generateAst(T, P);
+  ASSERT_TRUE(Ast);
+
+  BufferMap In;
+  for (const Tensor &T2 : M.inputs())
+    In[T2->Name] = makeTestData(T2->numElements(), 7 + T2->numElements());
+  BufferMap Ref = evaluateModule(M, In);
+  BufferMap Got = In;
+  execStmt(Ast, Got);
+  for (const Tensor &O : M.outputs()) {
+    ASSERT_TRUE(Got.count(O->Name)) << "missing output " << O->Name;
+    const auto &GV = Got[O->Name];
+    const auto &RV = Ref[O->Name];
+    ASSERT_EQ(GV.size(), RV.size());
+    for (size_t I = 0; I < GV.size(); ++I)
+      ASSERT_NEAR(GV[I], RV[I], 1e-3) << O->Name << "[" << I << "]";
+  }
+}
+
+Module convChain(int64_t H = 12, int64_t W = 12, int64_t KH = 3,
+                 int64_t KW = 3) {
+  Module M;
+  Tensor A = M.placeholder("A", {H, W});
+  Tensor B = M.placeholder("B", {KH, KW});
+  Tensor A2 = M.compute("A2", {H, W}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(A, {I[0], I[1]}), floatImm(0.5));
+  });
+  IterVar Kh = M.reduceAxis(KH, "kh");
+  IterVar Kw = M.reduceAxis(KW, "kw");
+  Tensor C = M.compute("C", {H - KH + 1, W - KW + 1},
+                       [&](const std::vector<Expr> &I) {
+                         Expr Prod =
+                             mul(tensorRead(A2, {add(I[0], var("kh")),
+                                                 add(I[1], var("kw"))}),
+                                 tensorRead(B, {var("kh"), var("kw")}));
+                         return reduce(ReduceKind::Sum, Prod, {Kh, Kw});
+                       });
+  M.compute("D", {H - KH + 1, W - KW + 1},
+            [&](const std::vector<Expr> &I) {
+              return call("relu", {tensorRead(C, {I[0], I[1]})}, DType::F16);
+            });
+  return M;
+}
+
+TEST(AstGen, ElementwiseIdentity) {
+  Module M;
+  Tensor A = M.placeholder("A", {6, 5});
+  M.compute("B", {6, 5}, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(A, {I[0], I[1]}), floatImm(2.0));
+  });
+  checkModuleRoundTrip(M, SchedulerOptions{});
+}
+
+TEST(AstGen, ConvChainConservative) {
+  checkModuleRoundTrip(convChain(), SchedulerOptions{});
+}
+
+TEST(AstGen, ConvChainAggressiveFusion) {
+  SchedulerOptions Opts;
+  Opts.Fusion = FusionStrategy::Aggressive;
+  checkModuleRoundTrip(convChain(10, 10), Opts);
+}
+
+TEST(AstGen, TransposeLike) {
+  Module M;
+  Tensor A = M.placeholder("A", {7, 9});
+  M.compute("B", {9, 7}, [&](const std::vector<Expr> &I) {
+    return tensorRead(A, {I[1], I[0]});
+  });
+  checkModuleRoundTrip(M, SchedulerOptions{});
+}
+
+TEST(AstGen, MatmulReduction) {
+  Module M;
+  Tensor A = M.placeholder("A", {6, 8});
+  Tensor B = M.placeholder("B", {8, 5});
+  IterVar K = M.reduceAxis(8, "k");
+  M.compute("C", {6, 5}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum,
+                  mul(tensorRead(A, {I[0], var("k")}),
+                      tensorRead(B, {var("k"), I[1]})),
+                  {K});
+  }, DType::F32);
+  checkModuleRoundTrip(M, SchedulerOptions{});
+}
+
+TEST(AstGen, ManualTileRowsProduceCorrectCode) {
+  // Manually tile a 2D elementwise statement with 4x4 tiles over 10x10:
+  // exercises quasi-affine (floor) band rows and partial tiles.
+  Module M;
+  Tensor A = M.placeholder("A", {10, 10});
+  M.compute("B", {10, 10}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(A, {I[0], I[1]}), floatImm(1.0));
+  });
+  PolyProgram P = extractPolyProgram(M);
+  ScheduleTree T;
+  auto Root = makeDomain();
+  std::map<unsigned, StmtSchedule> Tile;
+  StmtSchedule SS;
+  SS.Rows.push_back(ScheduleRow{{1, 0}, 0, 4}); // floor(i/4)
+  SS.Rows.push_back(ScheduleRow{{0, 1}, 0, 4}); // floor(j/4)
+  SS.Rows.push_back(ScheduleRow{{1, 0}, 0, 1}); // i
+  SS.Rows.push_back(ScheduleRow{{0, 1}, 0, 1}); // j
+  Tile[0] = SS;
+  Root->addChild(makeBand(std::move(Tile), true));
+  T.setRoot(std::move(Root));
+  Stmt Ast = generateAst(T, P);
+  ASSERT_TRUE(Ast);
+
+  BufferMap In;
+  In["A"] = makeTestData(100, 3);
+  BufferMap Ref = evaluateModule(M, In);
+  BufferMap Got = In;
+  execStmt(Ast, Got);
+  for (int I = 0; I < 100; ++I)
+    ASSERT_NEAR(Got["B"][I], Ref["B"][I], 1e-4);
+}
+
+TEST(AstGen, ExtensionNodeOverlappedTiles) {
+  // Post-tiling fusion by hand: a producer S0 is re-introduced under the
+  // consumer's tile loop via an extension whose relation allows overlapped
+  // ranges (the Fig 3e mechanism).
+  Module M;
+  Tensor A = M.placeholder("A", {12});
+  Tensor B = M.compute("B", {12}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(A, {I[0]}), floatImm(2.0));
+  });
+  IterVar K = M.reduceAxis(3, "k");
+  M.compute("C", {10}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum, tensorRead(B, {add(I[0], var("k"))}),
+                  {K});
+  });
+  PolyProgram P = extractPolyProgram(M);
+
+  // Tree: Domain -> Sequence:
+  //   Filter{S0} under Mark{"skipped"}   (original producer suppressed)
+  //   Filter{S1,S2} -> Band{tile i/5} -> Extension{S0: tile -> [5t, 5t+6]}
+  //     -> Sequence: Filter{S0}->Band{i}, Filter{S1}->Band{i},
+  //                  Filter{S2}->Band{i,k}
+  ScheduleTree T;
+  auto Root = makeDomain();
+  TreeNode *Seq = Root->addChild(makeSequence());
+  TreeNode *F0 = Seq->addChild(makeFilter({0}));
+  TreeNode *Skip = F0->addChild(makeMark("skipped"));
+  std::map<unsigned, StmtSchedule> Id0;
+  Id0[0] = identitySchedule(1);
+  Skip->addChild(makeBand(std::move(Id0), true));
+
+  TreeNode *F12 = Seq->addChild(makeFilter({1, 2}));
+  std::map<unsigned, StmtSchedule> TileSched;
+  TileSched[1] = StmtSchedule{{ScheduleRow{{1}, 0, 5}}};
+  TileSched[2] = StmtSchedule{{ScheduleRow{{1, 0}, 0, 5}}};
+  TreeNode *TileBand = F12->addChild(makeBand(std::move(TileSched), true));
+
+  // Extension: {t -> S0[i] : 5t <= i <= 5t + 6}.
+  poly::BasicMap Rel(poly::Space::forMap({"t"}, {"i"}, "tile", "S0"));
+  Rel.addIneq({-5, 1}, 0); // i - 5t >= 0
+  Rel.addIneq({5, -1}, 6); // 5t + 6 - i >= 0
+  TreeNode *Ext = TileBand->addChild(
+      makeExtension({ExtensionDecl{0, Rel}}));
+  TreeNode *InnerSeq = Ext->addChild(makeSequence());
+  TreeNode *EF0 = InnerSeq->addChild(makeFilter({0}));
+  std::map<unsigned, StmtSchedule> P0;
+  P0[0] = identitySchedule(1);
+  EF0->addChild(makeBand(std::move(P0), true));
+  TreeNode *EF1 = InnerSeq->addChild(makeFilter({1}));
+  std::map<unsigned, StmtSchedule> P1;
+  P1[1] = identitySchedule(1);
+  EF1->addChild(makeBand(std::move(P1), true));
+  TreeNode *EF2 = InnerSeq->addChild(makeFilter({2}));
+  std::map<unsigned, StmtSchedule> P2;
+  P2[2] = identitySchedule(2);
+  EF2->addChild(makeBand(std::move(P2), true));
+  T.setRoot(std::move(Root));
+
+  Stmt Ast = generateAst(T, P);
+  ASSERT_TRUE(Ast);
+  BufferMap In;
+  In["A"] = makeTestData(12, 5);
+  BufferMap Ref = evaluateModule(M, In);
+  BufferMap Got = In;
+  execStmt(Ast, Got);
+  for (int I = 0; I < 10; ++I)
+    ASSERT_NEAR(Got["C"][I], Ref["C"][I], 1e-4) << I;
+}
+
+} // namespace

@@ -1,0 +1,233 @@
+//===- tests/CompilerTest.cpp - End-to-end AKG pipeline tests -------------===//
+//
+// Each test compiles a DSL module with the full AKG pipeline, runs the CCE
+// kernel on the functional simulator and compares every output with the
+// reference evaluator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "akg/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace akg;
+using namespace akg::ir;
+
+namespace {
+
+void compileAndCheck(const Module &M, const AkgOptions &Opts,
+                     double Tol = 1e-3,
+                     CompileResult *OutRes = nullptr) {
+  CompileResult R = compileWithAkg(M, Opts, "test_kernel");
+  double Err = verifyKernel(R.Kernel, M, Opts.Codegen.Machine);
+  EXPECT_LE(Err, Tol) << "kernel output mismatch\n"
+                      << cce::printKernel(R.Kernel);
+  if (OutRes)
+    *OutRes = std::move(R);
+}
+
+Module elementwiseAdd(int64_t N, int64_t Mm) {
+  Module M;
+  Tensor A = M.placeholder("A", {N, Mm});
+  Tensor B = M.placeholder("B", {N, Mm});
+  M.compute("C", {N, Mm}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(A, {I[0], I[1]}), tensorRead(B, {I[0], I[1]}));
+  });
+  return M;
+}
+
+TEST(AkgCompiler, ElementwiseAdd) {
+  Module M = elementwiseAdd(64, 96);
+  CompileResult R;
+  compileAndCheck(M, AkgOptions{}, 1e-3, &R);
+  // Vectorized, DMA in and out, flags inserted.
+  EXPECT_GT(cce::countInstrs(R.Kernel, cce::InstrKind::VectorOp), 0u);
+  EXPECT_GT(cce::countInstrs(R.Kernel, cce::InstrKind::Dma), 0u);
+  EXPECT_GT(R.Sync.FlagsInserted, 0u);
+}
+
+TEST(AkgCompiler, FusedConvChain) {
+  // The paper's running example: bias-add producer + conv + abs + relu.
+  Module M;
+  Tensor A = M.placeholder("A", {20, 20});
+  Tensor B = M.placeholder("B", {3, 3});
+  Tensor A2 = M.compute("A2", {20, 20}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(A, {I[0], I[1]}), floatImm(0.5));
+  });
+  IterVar Kh = M.reduceAxis(3, "kh");
+  IterVar Kw = M.reduceAxis(3, "kw");
+  Tensor C = M.compute("C", {18, 18}, [&](const std::vector<Expr> &I) {
+    Expr Prod = mul(tensorRead(A2, {add(I[0], var("kh")),
+                                    add(I[1], var("kw"))}),
+                    tensorRead(B, {var("kh"), var("kw")}));
+    return reduce(ReduceKind::Sum, Prod, {Kh, Kw});
+  });
+  Tensor C2 = M.compute("C2", {18, 18}, [&](const std::vector<Expr> &I) {
+    return call("abs", {tensorRead(C, {I[0], I[1]})}, DType::F16);
+  });
+  M.compute("C3", {18, 18}, [&](const std::vector<Expr> &I) {
+    return call("relu", {tensorRead(C2, {I[0], I[1]})}, DType::F16);
+  });
+  CompileResult R;
+  compileAndCheck(M, AkgOptions{}, 1e-3, &R);
+  EXPECT_EQ(R.FusedProducers, 1u);       // A2 localized
+  EXPECT_GT(cce::countInstrs(R.Kernel, cce::InstrKind::Mmad), 0u);
+  EXPECT_GT(cce::countInstrs(R.Kernel, cce::InstrKind::Img2Col), 0u);
+}
+
+TEST(AkgCompiler, Matmul) {
+  Module M;
+  Tensor A = M.placeholder("A", {48, 40});
+  Tensor B = M.placeholder("B", {40, 56});
+  IterVar K = M.reduceAxis(40, "k");
+  M.compute("C", {48, 56}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum,
+                  mul(tensorRead(A, {I[0], var("k")}),
+                      tensorRead(B, {var("k"), I[1]})),
+                  {K});
+  }, DType::F32);
+  CompileResult R;
+  compileAndCheck(M, AkgOptions{}, 1e-2, &R);
+  EXPECT_GT(cce::countInstrs(R.Kernel, cce::InstrKind::Mmad), 0u);
+  EXPECT_GT(cce::countInstrs(R.Kernel, cce::InstrKind::LoadFractal), 0u);
+}
+
+TEST(AkgCompiler, MatmulWithBiasRelu) {
+  Module M;
+  Tensor A = M.placeholder("A", {32, 32});
+  Tensor B = M.placeholder("B", {32, 32});
+  Tensor Bias = M.placeholder("bias", {32});
+  IterVar K = M.reduceAxis(32, "k");
+  Tensor C = M.compute("C", {32, 32}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum,
+                  mul(tensorRead(A, {I[0], var("k")}),
+                      tensorRead(B, {var("k"), I[1]})),
+                  {K});
+  }, DType::F32);
+  M.compute("D", {32, 32}, [&](const std::vector<Expr> &I) {
+    return call("relu",
+                {add(tensorRead(C, {I[0], I[1]}),
+                     tensorRead(Bias, {I[1]}))},
+                DType::F32);
+  }, DType::F32);
+  compileAndCheck(M, AkgOptions{}, 1e-2);
+}
+
+TEST(AkgCompiler, Transpose) {
+  Module M;
+  Tensor A = M.placeholder("A", {33, 65});
+  M.compute("B", {65, 33}, [&](const std::vector<Expr> &I) {
+    return tensorRead(A, {I[1], I[0]});
+  });
+  compileAndCheck(M, AkgOptions{});
+}
+
+TEST(AkgCompiler, CastAndScale) {
+  Module M;
+  Tensor A = M.placeholder("A", {40, 50}, DType::F16);
+  M.compute("B", {40, 50}, [&](const std::vector<Expr> &I) {
+    return mul(cast(DType::F32, tensorRead(A, {I[0], I[1]})),
+               floatImm(3.0, DType::F32));
+  }, DType::F32);
+  compileAndCheck(M, AkgOptions{});
+}
+
+TEST(AkgCompiler, OneHot) {
+  Module M;
+  Tensor Idx = M.placeholder("idx", {16}, DType::I32);
+  M.compute("OH", {16, 10}, [&](const std::vector<Expr> &I) {
+    return select(cmp(ExprKind::CmpEQ, tensorRead(Idx, {I[0]}),
+                      cast(DType::F32, I[1])),
+                  floatImm(1.0), floatImm(0.0));
+  });
+  compileAndCheck(M, AkgOptions{});
+}
+
+TEST(AkgCompiler, BatchNormStyleReduction) {
+  // Non-cube reduction: mean over the spatial dims (streams to UB,
+  // vector-reduced).
+  Module M;
+  Tensor A = M.placeholder("A", {8, 64});
+  IterVar J = M.reduceAxis(64, "j");
+  Tensor S = M.compute("S", {8}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum, tensorRead(A, {I[0], var("j")}), {J});
+  }, DType::F32);
+  M.compute("Mean", {8}, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(S, {I[0]}), floatImm(1.0 / 64.0, DType::F32));
+  }, DType::F32);
+  compileAndCheck(M, AkgOptions{}, 1e-2);
+}
+
+TEST(AkgCompiler, ReluOnOddShapes) {
+  Module M;
+  Tensor A = M.placeholder("A", {37, 53});
+  M.compute("B", {37, 53}, [&](const std::vector<Expr> &I) {
+    return call("relu", {tensorRead(A, {I[0], I[1]})}, DType::F16);
+  });
+  compileAndCheck(M, AkgOptions{});
+}
+
+TEST(AkgCompiler, NoFusionAblationStillCorrect) {
+  Module M;
+  Tensor A = M.placeholder("A", {24, 24});
+  Tensor B = M.compute("B", {24, 24}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(A, {I[0], I[1]}), floatImm(1.0));
+  });
+  IterVar K = M.reduceAxis(3, "k");
+  M.compute("C", {22, 24}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum,
+                  tensorRead(B, {add(I[0], var("k")), I[1]}), {K});
+  });
+  AkgOptions Opts;
+  Opts.EnablePostTilingFusion = false;
+  compileAndCheck(M, Opts, 1e-3);
+}
+
+TEST(AkgCompiler, BatchedMatmul) {
+  Module M;
+  Tensor A = M.placeholder("A", {4, 24, 20});
+  Tensor B = M.placeholder("B", {4, 20, 28});
+  IterVar K = M.reduceAxis(20, "k");
+  M.compute("C", {4, 24, 28}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum,
+                  mul(tensorRead(A, {I[0], I[1], var("k")}),
+                      tensorRead(B, {I[0], var("k"), I[2]})),
+                  {K});
+  }, DType::F32);
+  compileAndCheck(M, AkgOptions{}, 1e-2);
+}
+
+TEST(AkgCompiler, Conv2dNchw) {
+  // Full NCHW convolution with stride and padding expressed via guarded
+  // reads (the img2col path must reproduce the padding).
+  int64_t N = 2, Ci = 3, H = 10, W = 10, Co = 4, KH = 3, KW = 3;
+  int64_t Pad = 1, Stride = 1;
+  int64_t Ho = (H + 2 * Pad - KH) / Stride + 1;
+  int64_t Wo = (W + 2 * Pad - KW) / Stride + 1;
+  Module M;
+  Tensor I = M.placeholder("I", {N, Ci, H, W});
+  Tensor Wt = M.placeholder("Wt", {Co, Ci, KH, KW});
+  IterVar Rc = M.reduceAxis(Ci, "rc");
+  IterVar Rh = M.reduceAxis(KH, "rh");
+  IterVar Rw = M.reduceAxis(KW, "rw");
+  M.compute("O", {N, Co, Ho, Wo}, [&](const std::vector<Expr> &Ix) {
+    Expr Hh = sub(add(mul(Ix[2], intImm(Stride)), var("rh")), intImm(Pad));
+    Expr Ww = sub(add(mul(Ix[3], intImm(Stride)), var("rw")), intImm(Pad));
+    Expr InB = binary(ExprKind::And,
+                      binary(ExprKind::And, cmp(ExprKind::CmpLE, intImm(0), Hh),
+                             cmp(ExprKind::CmpLT, Hh, intImm(H))),
+                      binary(ExprKind::And, cmp(ExprKind::CmpLE, intImm(0), Ww),
+                             cmp(ExprKind::CmpLT, Ww, intImm(W))));
+    Expr Read = select(InB, tensorRead(I, {Ix[0], var("rc"), Hh, Ww}),
+                       floatImm(0.0));
+    return reduce(ReduceKind::Sum,
+                  mul(Read, tensorRead(Wt, {Ix[1], var("rc"), var("rh"),
+                                            var("rw")})),
+                  {Rc, Rh, Rw});
+  }, DType::F32);
+  CompileResult R;
+  compileAndCheck(M, AkgOptions{}, 1e-2, &R);
+  EXPECT_GT(cce::countInstrs(R.Kernel, cce::InstrKind::Img2Col), 0u);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+//===- tests/GraphAndSpecTest.cpp - Graph engine + spec language tests ----===//
+
+#include "akg/Compiler.h"
+#include "graph/Graph.h"
+#include "graph/Networks.h"
+#include "graph/Ops.h"
+#include "transforms/MemHierSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace akg;
+using namespace akg::graph;
+
+namespace {
+
+TEST(GraphEngine, PartitionGroupsElementwiseAroundAnchor) {
+  CompGraph G;
+  unsigned In = G.addInput("x", {4, 8, 10, 10});
+  unsigned Conv = G.addConv(In, 8, 3, 3, 1, 1);
+  unsigned R1 = G.addElementwise("relu", {Conv});
+  unsigned R2 = G.addElementwise("abs", {R1});
+  unsigned T = G.addElementwise("sigmoid", {R2});
+  (void)T;
+  auto Groups = G.partition();
+  ASSERT_EQ(Groups.size(), 1u);
+  EXPECT_TRUE(Groups[0].HasAnchor);
+  EXPECT_EQ(Groups[0].Nodes.size(), 4u);
+}
+
+TEST(GraphEngine, EmittedModuleCompilesAndVerifies) {
+  CompGraph G;
+  unsigned In = G.addInput("x", {2, 4, 8, 8});
+  unsigned Conv = G.addConv(In, 4, 3, 3, 1, 1);
+  unsigned R1 = G.addElementwise("relu", {Conv});
+  (void)R1;
+  auto Groups = G.partition();
+  ASSERT_EQ(Groups.size(), 1u);
+  auto M = G.emitModule(Groups[0]);
+  CompileResult R = compileWithAkg(*M, AkgOptions{}, "graph_group");
+  double Err = verifyKernel(R.Kernel, *M, sim::MachineSpec::ascend910());
+  EXPECT_LT(Err, 1e-2);
+}
+
+TEST(GraphEngine, MultiConsumerBreaksFusion) {
+  CompGraph G;
+  unsigned In = G.addInput("x", {16, 16});
+  unsigned A = G.addElementwise("relu", {In});
+  // Two consumers of A: it cannot be absorbed into either chain.
+  G.addElementwise("abs", {A});
+  G.addElementwise("sigmoid", {A});
+  auto Groups = G.partition();
+  EXPECT_EQ(Groups.size(), 3u);
+}
+
+TEST(Table1, SubgraphOpCountsMatchPaper) {
+  EXPECT_EQ(opCount(*makeSubgraph1()), 6u);
+  EXPECT_EQ(opCount(*makeSubgraph2()), 21u);
+  EXPECT_EQ(opCount(*makeSubgraph3()), 15u);
+  EXPECT_EQ(opCount(*makeSubgraph4()), 11u);
+  EXPECT_EQ(opCount(*makeSubgraph5()), 9u);
+}
+
+TEST(Networks, ModelsAreWellFormed) {
+  for (const NetworkModel &N :
+       {buildResNet50(), buildMobileNetV2(), buildAlexNet(),
+        buildBert(21128), buildSsd()}) {
+    EXPECT_FALSE(N.Layers.empty()) << N.Name;
+    for (const LayerWorkload &L : N.Layers) {
+      EXPECT_GT(L.Count, 0u);
+      EXPECT_FALSE(L.Mod->ops().empty());
+    }
+  }
+}
+
+TEST(NpuSpec, ParseValidatePrintRoundTrip) {
+  const char *Text = "buf UB (262144)\n"
+                     "cube (L0A L0B -> L0C, 4096, 16)\n"
+                     "dataflow (GM -> L1, 64, 32)\n";
+  transforms::NpuSpec S;
+  std::string Err;
+  ASSERT_TRUE(transforms::parseNpuSpec(Text, S, Err)) << Err;
+  ASSERT_EQ(S.Stmts.size(), 3u);
+  EXPECT_TRUE(transforms::validateNpuSpec(S, sim::MachineSpec::ascend910(),
+                                          Err))
+      << Err;
+  transforms::NpuSpec S2;
+  ASSERT_TRUE(
+      transforms::parseNpuSpec(transforms::printNpuSpec(S), S2, Err));
+  EXPECT_EQ(S2.Stmts.size(), 3u);
+}
+
+TEST(NpuSpec, RejectsIllegalDataflowAndOversizedBuffers) {
+  transforms::NpuSpec S;
+  std::string Err;
+  // L0A -> GM is not a DaVinci path (Fig 1).
+  ASSERT_TRUE(
+      transforms::parseNpuSpec("dataflow (L0A -> GM, 64, 32)", S, Err));
+  EXPECT_FALSE(
+      transforms::validateNpuSpec(S, sim::MachineSpec::ascend910(), Err));
+  // Oversized UB.
+  ASSERT_TRUE(transforms::parseNpuSpec("buf UB (999999999)", S, Err));
+  EXPECT_FALSE(
+      transforms::validateNpuSpec(S, sim::MachineSpec::ascend910(), Err));
+  // Garbage.
+  EXPECT_FALSE(transforms::parseNpuSpec("cube (L0A ->, 1, 1)", S, Err));
+  EXPECT_FALSE(transforms::parseNpuSpec("", S, Err));
+}
+
+TEST(NpuSpec, SpecFromCompiledKernelValidates) {
+  auto M = makeTensorAdd({32, 64});
+  CompileResult R = compileWithAkg(*M, AkgOptions{}, "spec_src");
+  transforms::NpuSpec S =
+      transforms::specFromKernel(R.Kernel, sim::MachineSpec::ascend910());
+  EXPECT_FALSE(S.Stmts.empty());
+  std::string Err;
+  EXPECT_TRUE(
+      transforms::validateNpuSpec(S, sim::MachineSpec::ascend910(), Err))
+      << Err << "\n"
+      << transforms::printNpuSpec(S);
+}
+
+} // namespace

@@ -1,0 +1,189 @@
+//===- tests/IrTest.cpp - Expr/Stmt/DSL/preparation-pass tests ------------===//
+
+#include "ir/Passes.h"
+#include "ir/PolyExtract.h"
+
+#include <gtest/gtest.h>
+
+using namespace akg;
+using namespace akg::ir;
+
+namespace {
+
+TEST(Expr, SimplifyIdentities) {
+  Expr X = var("x");
+  EXPECT_TRUE(exprEquals(simplifyExpr(add(X, intImm(0))), X));
+  EXPECT_TRUE(exprEquals(simplifyExpr(mul(X, intImm(1))), X));
+  int64_t V;
+  EXPECT_TRUE(isConstInt(simplifyExpr(mul(X, intImm(0))), &V));
+  EXPECT_EQ(V, 0);
+  EXPECT_TRUE(isConstInt(simplifyExpr(sub(X, X)), &V));
+  EXPECT_EQ(V, 0);
+  // (x + 3) - (x + 1) -> 2 via linear normalization.
+  Expr E = sub(add(X, intImm(3)), add(X, intImm(1)));
+  EXPECT_TRUE(isConstInt(simplifyExpr(E), &V));
+  EXPECT_EQ(V, 2);
+}
+
+TEST(Expr, SimplifyMinMaxWithConstantDifference) {
+  Expr X = var("x");
+  // min(x + 2, x) == x, max(x + 2, x) == x + 2.
+  Expr Mn = simplifyExpr(minE(add(X, intImm(2)), X));
+  EXPECT_TRUE(exprEquals(Mn, X));
+  Expr Mx = simplifyExpr(maxE(add(X, intImm(2)), X));
+  int64_t V;
+  EXPECT_TRUE(isConstInt(simplifyExpr(sub(Mx, X)), &V));
+  EXPECT_EQ(V, 2);
+}
+
+TEST(Expr, SimplifyComparisons) {
+  int64_t V;
+  EXPECT_TRUE(isConstInt(
+      simplifyExpr(cmp(ExprKind::CmpLT, intImm(1), intImm(2))), &V));
+  EXPECT_EQ(V, 1);
+  Expr X = var("x");
+  EXPECT_TRUE(
+      isConstInt(simplifyExpr(cmp(ExprKind::CmpEQ, X, X)), &V));
+  EXPECT_EQ(V, 1);
+  // select folding through a constant condition.
+  Expr S = simplifyExpr(select(cmp(ExprKind::CmpLE, intImm(3), intImm(2)),
+                               intImm(10), intImm(20)));
+  EXPECT_TRUE(isConstInt(S, &V));
+  EXPECT_EQ(V, 20);
+}
+
+TEST(Expr, SubstituteAndEquality) {
+  Expr X = var("x"), Y = var("y");
+  Expr E = add(mul(X, intImm(2)), Y);
+  Expr S = substitute(E, {{"x", intImm(5)}});
+  int64_t V;
+  EXPECT_TRUE(isConstInt(simplifyExpr(substitute(S, {{"y", intImm(1)}})),
+                         &V));
+  EXPECT_EQ(V, 11);
+  EXPECT_TRUE(exprEquals(E, add(mul(var("x"), intImm(2)), var("y"))));
+  EXPECT_FALSE(exprEquals(E, add(mul(var("x"), intImm(3)), var("y"))));
+}
+
+TEST(Dsl, EvaluatorMatchesHandComputation) {
+  Module M;
+  Tensor A = M.placeholder("A", {2, 3});
+  IterVar K = M.reduceAxis(3, "k");
+  M.compute("S", {2}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum, tensorRead(A, {I[0], var("k")}), {K});
+  }, DType::F32);
+  BufferMap In;
+  In["A"] = {1, 2, 3, 4, 5, 6};
+  BufferMap Out = evaluateModule(M, In);
+  EXPECT_FLOAT_EQ(Out["S"][0], 6.0f);
+  EXPECT_FLOAT_EQ(Out["S"][1], 15.0f);
+}
+
+TEST(Dsl, MaxReductionAndIntrinsics) {
+  Module M;
+  Tensor A = M.placeholder("A", {4});
+  IterVar K = M.reduceAxis(4, "k");
+  M.compute("Mx", {1}, [&](const std::vector<Expr> &I) {
+    (void)I;
+    return reduce(ReduceKind::Max,
+                  call("abs", {tensorRead(A, {var("k")})}, DType::F32),
+                  {K});
+  }, DType::F32);
+  BufferMap In;
+  In["A"] = {-7, 2, 5, -1};
+  BufferMap Out = evaluateModule(M, In);
+  EXPECT_FLOAT_EQ(Out["Mx"][0], 7.0f);
+}
+
+TEST(Passes, InlineElementwiseOps) {
+  Module M;
+  Tensor A = M.placeholder("A", {8});
+  Tensor B = M.compute("B", {8}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(A, {I[0]}), floatImm(1.0));
+  });
+  M.compute("C", {8}, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(B, {I[0]}), floatImm(2.0));
+  });
+  Module Inlined = inlineElementwiseOps(M);
+  EXPECT_EQ(Inlined.ops().size(), 1u); // B folded into C
+  BufferMap In;
+  In["A"] = makeTestData(8, 5);
+  BufferMap R1 = evaluateModule(M, In);
+  BufferMap R2 = evaluateModule(Inlined, In);
+  for (int I = 0; I < 8; ++I)
+    EXPECT_FLOAT_EQ(R1["C"][I], R2["C"][I]);
+}
+
+TEST(Passes, CseMergesDuplicates) {
+  Expr X = var("x");
+  Expr Dup = add(mul(X, X), mul(X, X));
+  unsigned Merged = 0;
+  Expr C = cseExpr(Dup, &Merged);
+  EXPECT_GT(Merged, 0u);
+  EXPECT_EQ(C->Operands[0].get(), C->Operands[1].get()); // shared subtree
+}
+
+TEST(Stmt, LowerToLoopsAndExecute) {
+  Module M;
+  Tensor A = M.placeholder("A", {3, 4});
+  M.compute("B", {3, 4}, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(A, I), floatImm(3.0));
+  });
+  Stmt S = lowerToLoops(M);
+  EXPECT_EQ(countStmtNodes(S, StmtKind::For), 2u);
+  BufferMap Bufs;
+  Bufs["A"] = makeTestData(12, 2);
+  execStmt(S, Bufs);
+  BufferMap Ref = evaluateModule(M, Bufs);
+  for (int I = 0; I < 12; ++I)
+    EXPECT_FLOAT_EQ(Bufs["B"][I], Ref["B"][I]);
+}
+
+TEST(Stmt, ReductionLoweringHasInitAndUpdate) {
+  Module M;
+  Tensor A = M.placeholder("A", {4, 4});
+  IterVar K = M.reduceAxis(4, "k");
+  M.compute("S", {4}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum, tensorRead(A, {I[0], var("k")}), {K});
+  }, DType::F32);
+  Stmt S = lowerToLoops(M);
+  EXPECT_EQ(countStmtNodes(S, StmtKind::Provide), 2u); // init + update
+  std::string Text = stmtToString(S);
+  EXPECT_NE(Text.find("S[S_ax0] = 0"), std::string::npos);
+}
+
+TEST(PolyExtract, AffineIndexAnalysis) {
+  std::vector<IterVar> Iters = {{"i", 8, false}, {"j", 8, false}};
+  std::vector<int64_t> C;
+  int64_t K;
+  EXPECT_TRUE(exprToAffine(add(mul(intImm(3), var("i")), intImm(5)), Iters,
+                           C, K));
+  EXPECT_EQ(C, (std::vector<int64_t>{3, 0}));
+  EXPECT_EQ(K, 5);
+  EXPECT_TRUE(exprToAffine(sub(var("j"), var("i")), Iters, C, K));
+  EXPECT_EQ(C, (std::vector<int64_t>{-1, 1}));
+  // Non-affine: i*j.
+  EXPECT_FALSE(exprToAffine(mul(var("i"), var("j")), Iters, C, K));
+}
+
+TEST(PolyExtract, DomainsAndAccessRelations) {
+  Module M;
+  Tensor A = M.placeholder("A", {10, 12});
+  M.compute("B", {10, 12}, [&](const std::vector<Expr> &I) {
+    return tensorRead(A, {I[0], I[1]});
+  });
+  PolyProgram P = extractPolyProgram(M);
+  ASSERT_EQ(P.Stmts.size(), 1u);
+  const PolyStmt &S = P.Stmts[0];
+  EXPECT_EQ(S.Domain.maxOfCol(S.Domain.inCol(0)).value(), 9);
+  EXPECT_EQ(S.Domain.maxOfCol(S.Domain.inCol(1)).value(), 11);
+  EXPECT_EQ(S.Reads.size(), 1u);
+  // The write relation maps (3, 4) to element (3, 4).
+  poly::BasicSet Pt(poly::Space::forSet({"i", "j"}, "S0"));
+  Pt.addEq({1, 0}, -3);
+  Pt.addEq({0, 1}, -4);
+  poly::BasicSet Img = poly::applyMap(Pt, S.Write.Rel);
+  EXPECT_EQ(Img.fixedValue(Img.inCol(0)).value(), 3);
+  EXPECT_EQ(Img.fixedValue(Img.inCol(1)).value(), 4);
+}
+
+} // namespace

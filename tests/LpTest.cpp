@@ -1,0 +1,153 @@
+//===- tests/LpTest.cpp - LP/ILP solver unit tests ------------------------===//
+
+#include "poly/Lp.h"
+
+#include <gtest/gtest.h>
+
+using namespace akg;
+
+namespace {
+
+std::vector<Rational> vec(std::initializer_list<int64_t> Vals) {
+  std::vector<Rational> V;
+  for (int64_t X : Vals)
+    V.push_back(Rational(X));
+  return V;
+}
+
+TEST(Lp, SimpleMinimize) {
+  // min x + y s.t. x >= 2, y >= 3.
+  LpProblem P;
+  P.NumVars = 2;
+  P.addIneq(vec({1, 0}), Rational(-2));
+  P.addIneq(vec({0, 1}), Rational(-3));
+  LpResult R = lpMinimize(P, vec({1, 1}));
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_EQ(R.Value, Rational(5));
+  EXPECT_EQ(R.Point[0], Rational(2));
+  EXPECT_EQ(R.Point[1], Rational(3));
+}
+
+TEST(Lp, NegativeVariables) {
+  // min x s.t. x >= -7 (free variables may be negative).
+  LpProblem P;
+  P.NumVars = 1;
+  P.addIneq(vec({1}), Rational(7));
+  LpResult R = lpMinimize(P, vec({1}));
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_EQ(R.Value, Rational(-7));
+}
+
+TEST(Lp, Infeasible) {
+  // x >= 3 and x <= 1.
+  LpProblem P;
+  P.NumVars = 1;
+  P.addIneq(vec({1}), Rational(-3));
+  P.addIneq(vec({-1}), Rational(1));
+  EXPECT_FALSE(lpIsFeasible(P));
+}
+
+TEST(Lp, Unbounded) {
+  LpProblem P;
+  P.NumVars = 1;
+  P.addIneq(vec({1}), Rational(0)); // x >= 0
+  LpResult R = lpMaximize(P, vec({1}));
+  EXPECT_EQ(R.Status, LpStatus::Unbounded);
+}
+
+TEST(Lp, EqualityConstraints) {
+  // min y s.t. x + y == 10, x <= 4.
+  LpProblem P;
+  P.NumVars = 2;
+  P.addEq(vec({1, 1}), Rational(-10));
+  P.addIneq(vec({-1, 0}), Rational(4));
+  LpResult R = lpMinimize(P, vec({0, 1}));
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_EQ(R.Value, Rational(6));
+}
+
+TEST(Lp, FractionalOptimum) {
+  // min x s.t. 2x >= 1  ->  x = 1/2.
+  LpProblem P;
+  P.NumVars = 1;
+  P.addIneq(vec({2}), Rational(-1));
+  LpResult R = lpMinimize(P, vec({1}));
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_EQ(R.Value, Rational(1, 2));
+}
+
+TEST(Ilp, RoundsUpFractionalVertex) {
+  // Integer min of x with 2x >= 1 is 1.
+  LpProblem P;
+  P.NumVars = 1;
+  P.addIneq(vec({2}), Rational(-1));
+  LpResult R = ilpMinimize(P, vec({1}));
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_EQ(R.Value, Rational(1));
+}
+
+TEST(Ilp, InfeasibleIntegerOnly) {
+  // 1/3 <= x <= 2/3 has rational but no integer points.
+  LpProblem P;
+  P.NumVars = 1;
+  P.addIneq(vec({3}), Rational(-1));
+  P.addIneq(vec({-3}), Rational(2));
+  EXPECT_TRUE(lpIsFeasible(P));
+  LpResult R = ilpSample(P);
+  EXPECT_EQ(R.Status, LpStatus::Infeasible);
+}
+
+TEST(Ilp, KnapsackStyle) {
+  // min 3x + 2y s.t. 5x + 4y >= 13, x,y >= 0 integer. Optimum: x=1,y=2 -> 7.
+  LpProblem P;
+  P.NumVars = 2;
+  P.addIneq(vec({5, 4}), Rational(-13));
+  P.addIneq(vec({1, 0}), Rational(0));
+  P.addIneq(vec({0, 1}), Rational(0));
+  LpResult R = ilpMinimize(P, vec({3, 2}));
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_EQ(R.Value, Rational(7));
+}
+
+TEST(Ilp, LexMin) {
+  // Points: x in [2,5], y in [1,4], x + y >= 6. Lexmin (x,y) = (2,4).
+  LpProblem P;
+  P.NumVars = 2;
+  P.addIneq(vec({1, 0}), Rational(-2));
+  P.addIneq(vec({-1, 0}), Rational(5));
+  P.addIneq(vec({0, 1}), Rational(-1));
+  P.addIneq(vec({0, -1}), Rational(4));
+  P.addIneq(vec({1, 1}), Rational(-6));
+  LpResult R = ilpLexMin(P, {0, 1});
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_EQ(R.Point[0], Rational(2));
+  EXPECT_EQ(R.Point[1], Rational(4));
+}
+
+TEST(Ilp, SampleFindsPoint) {
+  LpProblem P;
+  P.NumVars = 2;
+  P.addIneq(vec({1, 0}), Rational(-3));
+  P.addIneq(vec({0, 1}), Rational(-4));
+  P.addIneq(vec({-1, -1}), Rational(9));
+  LpResult R = ilpSample(P);
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_TRUE(R.Point[0] >= Rational(3));
+  EXPECT_TRUE(R.Point[1] >= Rational(4));
+  EXPECT_TRUE(R.Point[0] + R.Point[1] <= Rational(9));
+}
+
+TEST(Lp, DegenerateCycleGuard) {
+  // A classic degenerate LP; Bland's rule must terminate.
+  LpProblem P;
+  P.NumVars = 3;
+  P.addIneq(vec({1, 0, 0}), Rational(0));
+  P.addIneq(vec({0, 1, 0}), Rational(0));
+  P.addIneq(vec({0, 0, 1}), Rational(0));
+  P.addIneq(vec({-1, -1, -1}), Rational(1));
+  LpResult R = lpMinimize(P, vec({-1, -2, -3}));
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_EQ(R.Value, Rational(-3));
+}
+
+} // namespace

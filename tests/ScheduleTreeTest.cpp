@@ -1,0 +1,116 @@
+//===- tests/ScheduleTreeTest.cpp - Schedule-tree utility tests -----------===//
+
+#include "schedule/ScheduleTree.h"
+#include "transforms/IntraTile.h"
+#include "transforms/Tiling.h"
+
+#include <gtest/gtest.h>
+
+using namespace akg;
+using namespace akg::sched;
+
+namespace {
+
+TEST(ScheduleTree, CloneIsDeep) {
+  ScheduleTree T;
+  auto Root = makeDomain();
+  TreeNode *Seq = Root->addChild(makeSequence());
+  TreeNode *F = Seq->addChild(makeFilter({0, 1}));
+  std::map<unsigned, StmtSchedule> Part;
+  Part[0] = identitySchedule(2);
+  Part[1] = identitySchedule(2);
+  F->addChild(makeBand(std::move(Part), true, {true, false}));
+  T.setRoot(std::move(Root));
+
+  ScheduleTree C = T.clone();
+  // Mutating the clone must not affect the original.
+  TreeNode *Band = findNode(C.root(), [](TreeNode *N) {
+    return N->Kind == NodeKind::Band;
+  });
+  ASSERT_NE(Band, nullptr);
+  Band->Partial[0].Rows[0].Const = 42;
+  TreeNode *Orig = findNode(T.root(), [](TreeNode *N) {
+    return N->Kind == NodeKind::Band;
+  });
+  EXPECT_EQ(Orig->Partial[0].Rows[0].Const, 0);
+  EXPECT_EQ(Band->Parent->Kind, NodeKind::Filter); // parents rewired
+}
+
+TEST(ScheduleTree, ActiveStatementsRespectFiltersAndExtensions) {
+  ScheduleTree T;
+  auto Root = makeDomain();
+  TreeNode *Seq = Root->addChild(makeSequence());
+  TreeNode *F = Seq->addChild(makeFilter({2, 3}));
+  poly::BasicMap Rel(poly::Space::forMap({}, {"i"}, "t", "S9"));
+  Rel.addIneq({1}, 0);
+  TreeNode *Ext = F->addChild(makeExtension({ExtensionDecl{9, Rel}}));
+  TreeNode *Leaf = Ext->addChild(makeFilter({3, 9}));
+  T.setRoot(std::move(Root));
+
+  std::vector<unsigned> A = activeStatements(Leaf);
+  // Filter {2,3} then extension adds 9, inner filter keeps {3, 9}.
+  EXPECT_EQ(A, (std::vector<unsigned>{3, 9}));
+}
+
+TEST(ScheduleTree, PrinterShowsPaperNodeShapes) {
+  ScheduleTree T;
+  auto Root = makeDomain();
+  TreeNode *F = Root->addChild(makeFilter({0}));
+  TreeNode *Mk = F->addChild(makeMark("local_UB"));
+  std::map<unsigned, StmtSchedule> Part;
+  StmtSchedule SS;
+  SS.Rows.push_back(ScheduleRow{{1, 0}, 0, 32}); // floor(i0/32)
+  SS.Rows.push_back(ScheduleRow{{1, 1}, 2, 1});  // i0 + i1 + 2 (skewed)
+  Part[0] = SS;
+  Mk->addChild(makeBand(std::move(Part), true));
+  T.setRoot(std::move(Root));
+  std::string S = T.str();
+  EXPECT_NE(S.find("Mark{\"local_UB\"}"), std::string::npos);
+  EXPECT_NE(S.find("floor((i0)/32)"), std::string::npos);
+  EXPECT_NE(S.find("i0+i1+2"), std::string::npos);
+}
+
+TEST(Tiling, TileBandPreservesChildrenAndCoincidence) {
+  auto Band = makeBand(
+      [] {
+        std::map<unsigned, StmtSchedule> P;
+        P[0] = identitySchedule(2);
+        return P;
+      }(),
+      true, {true, true});
+  TreeNode *B = Band.get();
+  TreeNode *Leaf = B->addChild(makeFilter({0}));
+  (void)Leaf;
+  TreeNode *Point = transforms::tileBand(B, {8, 8});
+  ASSERT_EQ(B->Children.size(), 1u);
+  EXPECT_EQ(B->child(0), Point);
+  ASSERT_EQ(Point->Children.size(), 1u);
+  EXPECT_EQ(Point->child(0)->Kind, NodeKind::Filter);
+  EXPECT_TRUE(Point->Coincident[0]);
+  EXPECT_EQ(B->Partial[0].Rows[0].Denom, 8);
+}
+
+TEST(IntraTile, SinkSkipsSkewedBands) {
+  // A skewed band (non-unit rows) must not be interchanged.
+  ir::Module M;
+  ir::Tensor A = M.placeholder("A", {8, 8});
+  M.compute("B", {8, 8}, [&](const std::vector<ir::Expr> &I) {
+    return ir::tensorRead(A, {I[1], I[0]}); // transpose-ish access
+  });
+  ir::PolyProgram P = ir::extractPolyProgram(M);
+  ScheduleTree T;
+  auto Root = makeDomain();
+  TreeNode *Mk = Root->addChild(makeMark("on_chip"));
+  TreeNode *F = Mk->addChild(makeFilter({0}));
+  TreeNode *Mk2 = F->addChild(makeMark("local_UB"));
+  std::map<unsigned, StmtSchedule> Part;
+  StmtSchedule SS;
+  SS.Rows.push_back(ScheduleRow{{1, 1}, 0, 1}); // skewed row
+  SS.Rows.push_back(ScheduleRow{{0, 1}, 0, 1});
+  Part[0] = SS;
+  Mk2->addChild(makeBand(std::move(Part), true));
+  T.setRoot(std::move(Root));
+  EXPECT_EQ(transforms::sinkVectorizableDims(T, P), 0u);
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+//===- tests/SchedulerTest.cpp - Dependence + Pluto scheduler tests -------===//
+
+#include "ir/Passes.h"
+#include "scheduler/Pluto.h"
+
+#include <gtest/gtest.h>
+
+using namespace akg;
+using namespace akg::ir;
+using namespace akg::sched;
+
+namespace {
+
+/// Builds the paper's running example (Fig 3a): bias add, 2D convolution,
+/// abs, ReLU.
+Module runningExample(int64_t H = 16, int64_t W = 16, int64_t KH = 3,
+                      int64_t KW = 3) {
+  Module M;
+  Tensor A = M.placeholder("A", {H, W});
+  Tensor B = M.placeholder("B", {KH, KW});
+  Tensor A2 = M.compute("A2", {H, W}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(A, {I[0], I[1]}), floatImm(0.5));
+  });
+  IterVar Kh = M.reduceAxis(KH, "kh");
+  IterVar Kw = M.reduceAxis(KW, "kw");
+  Tensor C =
+      M.compute("C", {H - KH + 1, W - KW + 1},
+                [&](const std::vector<Expr> &I) {
+                  Expr Prod = mul(tensorRead(A2, {add(I[0], var("kh")),
+                                                  add(I[1], var("kw"))}),
+                                  tensorRead(B, {var("kh"), var("kw")}));
+                  return reduce(ReduceKind::Sum, Prod, {Kh, Kw});
+                });
+  Tensor C2 = M.compute("C2", {H - KH + 1, W - KW + 1},
+                        [&](const std::vector<Expr> &I) {
+                          return call("abs", {tensorRead(C, {I[0], I[1]})},
+                                      DType::F16);
+                        });
+  M.compute("C3", {H - KH + 1, W - KW + 1},
+            [&](const std::vector<Expr> &I) {
+              return call("relu", {tensorRead(C2, {I[0], I[1]})}, DType::F16);
+            });
+  return M;
+}
+
+TEST(PolyExtract, RunningExampleStatements) {
+  Module M = runningExample();
+  PolyProgram P = extractPolyProgram(M);
+  // S0 = bias add, S1 = conv init, S2 = conv update, S3 = abs, S4 = relu.
+  ASSERT_EQ(P.Stmts.size(), 5u);
+  EXPECT_EQ(P.Stmts[0].StmtRole, PolyStmt::Role::Simple);
+  EXPECT_EQ(P.Stmts[1].StmtRole, PolyStmt::Role::Init);
+  EXPECT_EQ(P.Stmts[2].StmtRole, PolyStmt::Role::Update);
+  EXPECT_EQ(P.Stmts[2].numIters(), 4u);
+  EXPECT_EQ(P.Stmts[2].Reads.size(), 3u); // C (recurrence), A2, B
+}
+
+TEST(Dependence, ConvProducerConsumerDistances) {
+  Module M = runningExample();
+  PolyProgram P = extractPolyProgram(M);
+  std::vector<Dependence> Deps = computeDependences(P);
+  // Find the S0 -> S2 RAW dependence.
+  const Dependence *Conv = nullptr;
+  for (const Dependence &D : Deps)
+    if (D.Src == 0 && D.Dst == 2 && D.Kind == DepKind::RAW)
+      Conv = &D;
+  ASSERT_NE(Conv, nullptr);
+  // Distance on h: j_h - i_h where i_h = j_h + kh, kh in [0, 2]:
+  // range [-2, 0].
+  EXPECT_EQ(depDistanceMin(*Conv, 0, 0).value(), -2);
+  EXPECT_EQ(depDistanceMax(*Conv, 0, 0).value(), 0);
+}
+
+TEST(Dependence, ReductionSelfDependence) {
+  Module M = runningExample();
+  PolyProgram P = extractPolyProgram(M);
+  std::vector<Dependence> Deps = computeDependences(P);
+  bool FoundSelf = false;
+  for (const Dependence &D : Deps)
+    if (D.Src == 2 && D.Dst == 2 && D.IsSelf)
+      FoundSelf = true;
+  EXPECT_TRUE(FoundSelf);
+}
+
+TEST(Cluster, ConservativeMatchesPaper) {
+  Module M = runningExample();
+  PolyProgram P = extractPolyProgram(M);
+  std::vector<Dependence> Deps = computeDependences(P);
+  Clustering C =
+      clusterStatements(P, Deps, FusionStrategy::Conservative);
+  // The paper's Fig 3(c): {S0} and {S1, S2, S3, S4}.
+  ASSERT_EQ(C.Groups.size(), 2u);
+  EXPECT_EQ(C.Groups[0], (std::vector<unsigned>{0}));
+  EXPECT_EQ(C.Groups[1], (std::vector<unsigned>{1, 2, 3, 4}));
+}
+
+TEST(Pluto, RunningExampleSchedulesLegally) {
+  Module M = runningExample();
+  PolyProgram P = extractPolyProgram(M);
+  std::vector<Dependence> Deps = computeDependences(P);
+  SchedulerOptions Opts;
+  ScheduleResult R = computeSchedule(P, Deps, Opts);
+  ASSERT_EQ(R.Clusters.size(), 2u);
+  for (const ClusterSchedule &CS : R.Clusters) {
+    EXPECT_FALSE(CS.UsedFallback);
+    EXPECT_TRUE(verifyClusterLegality(P, Deps, CS));
+  }
+  // The fused cluster's outer rows are coincident (h, w parallel).
+  const ClusterSchedule &Fused = R.Clusters[1];
+  ASSERT_EQ(Fused.Coincident.size(), 2u);
+  EXPECT_TRUE(Fused.Coincident[0]);
+  EXPECT_TRUE(Fused.Coincident[1]);
+  // S2 gets inner completion rows for (kh, kw).
+  ASSERT_TRUE(Fused.Inner.count(2));
+  EXPECT_EQ(Fused.Inner.at(2).Rows.size(), 2u);
+}
+
+TEST(Pluto, IdentityForIndependentStatement) {
+  Module M;
+  Tensor A = M.placeholder("A", {8, 8});
+  M.compute("B", {8, 8}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(A, {I[0], I[1]}), floatImm(1.0));
+  });
+  PolyProgram P = extractPolyProgram(M);
+  std::vector<Dependence> Deps = computeDependences(P);
+  EXPECT_TRUE(Deps.empty());
+  ScheduleResult R = computeSchedule(P, Deps, SchedulerOptions{});
+  ASSERT_EQ(R.Clusters.size(), 1u);
+  const StmtSchedule &S = R.Clusters[0].Outer.at(0);
+  ASSERT_EQ(S.Rows.size(), 2u);
+  EXPECT_EQ(S.Rows[0].Coeffs, (std::vector<int64_t>{1, 0}));
+  EXPECT_EQ(S.Rows[1].Coeffs, (std::vector<int64_t>{0, 1}));
+  EXPECT_TRUE(R.Clusters[0].Coincident[0]);
+}
+
+TEST(Pluto, AggressiveFusionShiftsConvConsumer) {
+  // With aggressive fusion the conv consumer must be shifted by KH-1 to
+  // keep the fused schedule legal (skewing/shifting beyond TVM's power).
+  Module M;
+  Tensor A = M.placeholder("A", {16});
+  Tensor B = M.compute("B", {16}, [&](const std::vector<Expr> &I) {
+    return add(tensorRead(A, {I[0]}), floatImm(1.0));
+  });
+  IterVar K = M.reduceAxis(3, "k");
+  M.compute("C", {14}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum,
+                  tensorRead(B, {add(I[0], var("k"))}), {K});
+  });
+  PolyProgram P = extractPolyProgram(M);
+  std::vector<Dependence> Deps = computeDependences(P);
+  SchedulerOptions Opts;
+  Opts.Fusion = FusionStrategy::Aggressive;
+  ScheduleResult R = computeSchedule(P, Deps, Opts);
+  ASSERT_EQ(R.Clusters.size(), 1u);
+  const ClusterSchedule &CS = R.Clusters[0];
+  EXPECT_FALSE(CS.UsedFallback);
+  EXPECT_TRUE(verifyClusterLegality(P, Deps, CS));
+  // The consumer statements must be shifted later than the producer.
+  EXPECT_GE(CS.Outer.at(2).Rows[0].Const - CS.Outer.at(0).Rows[0].Const, 2);
+}
+
+TEST(Pluto, InitialTreeShape) {
+  Module M = runningExample();
+  PolyProgram P = extractPolyProgram(M);
+  ScheduleTree T = buildInitialTree(P);
+  std::string S = T.str();
+  EXPECT_NE(S.find("Domain"), std::string::npos);
+  EXPECT_NE(S.find("Sequence"), std::string::npos);
+  EXPECT_NE(S.find("Filter{S1,S2}"), std::string::npos);
+}
+
+TEST(Pluto, SkewingWhenRequired) {
+  // Classic stencil: B[t][i] depends on B[t-1][i-1..i+1]; tiling both dims
+  // requires skewing, which the ILP must discover (not expressible in
+  // TVM-style schedules, as the paper stresses).
+  Module M;
+  Tensor A = M.placeholder("A", {10, 34});
+  IterVar K = M.reduceAxis(3, "k");
+  M.compute("B", {10, 32}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum,
+                  tensorRead(A, {I[0], add(I[1], var("k"))}), {K});
+  });
+  PolyProgram P = extractPolyProgram(M);
+  std::vector<Dependence> Deps = computeDependences(P);
+  ScheduleResult R = computeSchedule(P, Deps, SchedulerOptions{});
+  for (const ClusterSchedule &CS : R.Clusters)
+    EXPECT_TRUE(verifyClusterLegality(P, Deps, CS));
+}
+
+} // namespace

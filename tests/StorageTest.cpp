@@ -1,0 +1,138 @@
+//===- tests/StorageTest.cpp - Storage management regression tests --------===//
+//
+// Covers the storage-management behaviours of Sec 4.4 as implemented:
+// liveness-based buffer reuse accounting, first-use DMA scheduling,
+// K-chunk streaming of matmul operands through L1, and the
+// fusion-rejection fallback when even minimal tiles cannot satisfy the
+// capacities.
+//
+//===----------------------------------------------------------------------===//
+
+#include "akg/Compiler.h"
+#include "graph/Ops.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace akg;
+using namespace akg::ir;
+
+namespace {
+
+const sim::MachineSpec &machine() { return sim::MachineSpec::ascend910(); }
+
+TEST(Storage, LongChainReusesUbBuffers) {
+  // A 12-op elementwise chain: without liveness reuse the per-tensor
+  // allocations would cap the tile size; with reuse the compiler keeps a
+  // large tile and the kernel still verifies.
+  Module M;
+  Tensor A = M.placeholder("A", {64, 256});
+  Tensor Cur = A;
+  for (int I = 0; I < 12; ++I)
+    Cur = M.compute("t" + std::to_string(I), {64, 256},
+                    [&](const std::vector<Expr> &Ix) {
+                      return add(tensorRead(Cur, Ix), floatImm(1.0));
+                    });
+  CompileResult R = compileWithAkg(M, AkgOptions{}, "chain");
+  // Static sum of UB allocations exceeds UB, yet the liveness-aware check
+  // accepts the kernel.
+  int64_t StaticSum = 0;
+  for (const cce::BufferAlloc &B : R.Kernel.Buffers)
+    if (B.Location == sim::Buffer::UB)
+      StaticSum += B.bytes() * (B.DoubleBuffered ? 2 : 1);
+  EXPECT_TRUE(cce::checkBufferCapacities(R.Kernel, machine()).empty());
+  // The chosen tile is big enough that naive (no-reuse) accounting would
+  // not fit.
+  EXPECT_GT(StaticSum, machine().UBBytes / 2);
+  EXPECT_LT(verifyKernel(R.Kernel, M, machine()), 1e-3);
+}
+
+TEST(Storage, MatmulOperandsStreamKChunks) {
+  // K = 1024 exceeds the chunk size: the A/B boxes must hold only a chunk
+  // (L1 feasible) and the DMA sits inside the cube pipeline.
+  auto M = graph::makeMatmul(128, 128, 1024);
+  CompileResult R = compileWithAkg(*M, AkgOptions{}, "kstream");
+  int64_t L1Bytes = 0;
+  for (const cce::BufferAlloc &B : R.Kernel.Buffers)
+    if (B.Location == sim::Buffer::L1)
+      L1Bytes += B.bytes();
+  // Whole-K residency would need (128 + 128) * 1024 * 2 = 512 KiB; the
+  // chunked boxes are far smaller.
+  EXPECT_LT(L1Bytes, 200 * 1024);
+  EXPECT_LT(verifyKernel(R.Kernel, *M, machine()), 5e-2);
+}
+
+TEST(Storage, FusionRejectedWhenRowsCannotFit) {
+  // A softmax-style normalization over very wide rows: several live
+  // intermediates of 32K floats cannot fit in UB together, so the
+  // compiler must reject the fusion (per-operator regions) and still
+  // produce a working kernel.
+  int64_t Cols = 32768;
+  Module M;
+  Tensor X = M.placeholder("X", {4, Cols}, DType::F32);
+  IterVar Rd = M.reduceAxis(Cols, "rd");
+  Tensor Mx = M.compute("mx", {4}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Max, tensorRead(X, {I[0], var("rd")}), {Rd});
+  }, DType::F32);
+  Tensor Ex = M.compute("ex", {4, Cols}, [&](const std::vector<Expr> &I) {
+    return call("exp", {sub(tensorRead(X, I), tensorRead(Mx, {I[0]}))},
+                DType::F32);
+  }, DType::F32);
+  IterVar Rd2 = M.reduceAxis(Cols, "rd2");
+  Tensor Sm = M.compute("sm", {4}, [&](const std::vector<Expr> &I) {
+    return reduce(ReduceKind::Sum, tensorRead(Ex, {I[0], var("rd2")}),
+                  {Rd2});
+  }, DType::F32);
+  M.compute("pr", {4, Cols}, [&](const std::vector<Expr> &I) {
+    return mul(tensorRead(Ex, I),
+               call("recip", {tensorRead(Sm, {I[0]})}, DType::F32));
+  }, DType::F32);
+  CompileResult R = compileWithAkg(M, AkgOptions{}, "wide_softmax");
+  EXPECT_TRUE(cce::checkBufferCapacities(R.Kernel, machine()).empty());
+  EXPECT_LT(verifyKernel(R.Kernel, M, machine()), 1e-2);
+}
+
+TEST(Storage, SimulatorTruncatesRunawayConfigs) {
+  // A degenerate manual tiling (1 x 16 on a large GEMM) must not hang the
+  // performance simulation: it truncates and reports a lower bound.
+  auto M = graph::makeMatmul(2048, 2048, 2048);
+  ir::PolyProgram P = ir::extractPolyProgram(*M);
+  AkgOptions O;
+  transforms::TilingPolicy Pol;
+  transforms::StmtTileSpec S;
+  S.Entries.push_back({1, "UB"});
+  S.Entries.push_back({16, "UB"});
+  Pol.PerStmt[P.Stmts.back().Id] = S;
+  O.ManualTiles = Pol;
+  CompileResult R = compileWithAkg(*M, O, "degenerate");
+  sim::SimOptions SO;
+  SO.Functional = false;
+  SO.MaxDynamicInstrs = 100000;
+  sim::SimResult Res = sim::simulate(R.Kernel, machine(), nullptr, SO);
+  EXPECT_TRUE(Res.Truncated);
+  EXPECT_GT(Res.Cycles, 0);
+}
+
+TEST(Storage, DmaScheduledAtFirstUse) {
+  // An input consumed at the end of a chain must not be loaded first: its
+  // live interval would otherwise overlap the whole chain and defeat
+  // reuse. We check that the kernel still fits (the behaviour the
+  // scheduling enables) and verifies.
+  Module M;
+  Tensor A = M.placeholder("A", {64, 512});
+  Tensor Late = M.placeholder("Late", {64, 512});
+  Tensor Cur = A;
+  for (int I = 0; I < 8; ++I)
+    Cur = M.compute("s" + std::to_string(I), {64, 512},
+                    [&](const std::vector<Expr> &Ix) {
+                      return mul(tensorRead(Cur, Ix), floatImm(1.01));
+                    });
+  M.compute("out", {64, 512}, [&](const std::vector<Expr> &Ix) {
+    return add(tensorRead(Cur, Ix), tensorRead(Late, Ix));
+  });
+  CompileResult R = compileWithAkg(M, AkgOptions{}, "late_input");
+  EXPECT_TRUE(cce::checkBufferCapacities(R.Kernel, machine()).empty());
+  EXPECT_LT(verifyKernel(R.Kernel, M, machine()), 1e-3);
+}
+
+} // namespace

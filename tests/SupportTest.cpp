@@ -1,0 +1,91 @@
+//===- tests/SupportTest.cpp - Rational / Matrix / Stats tests ------------===//
+
+#include "support/Matrix.h"
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+using namespace akg;
+
+namespace {
+
+TEST(Rational, NormalizationAndArithmetic) {
+  Rational A(6, 4);
+  EXPECT_EQ(A.num(), 3);
+  EXPECT_EQ(A.den(), 2);
+  Rational B(-6, 4);
+  EXPECT_EQ(B.num(), -3);
+  EXPECT_EQ(B.den(), 2);
+  Rational C(1, -2);
+  EXPECT_EQ(C.num(), -1);
+  EXPECT_EQ(C.den(), 2);
+  EXPECT_EQ(A + B, Rational(0));
+  EXPECT_EQ(A * Rational(2, 3), Rational(1));
+  EXPECT_EQ(Rational(7, 2) / Rational(7), Rational(1, 2));
+  EXPECT_EQ((A - Rational(1)).str(), "1/2");
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), Rational(3));
+  EXPECT_EQ(Rational(7, 2).ceil(), Rational(4));
+  EXPECT_EQ(Rational(-7, 2).floor(), Rational(-4));
+  EXPECT_EQ(Rational(-7, 2).ceil(), Rational(-3));
+  EXPECT_EQ(Rational(4).floor(), Rational(4));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_GE(Rational(2, 4), Rational(1, 2));
+  EXPECT_TRUE(Rational(5, 10) == Rational(1, 2));
+}
+
+TEST(Matrix, RankAndInverse) {
+  Matrix M(2, 2);
+  M.at(0, 0) = Rational(1);
+  M.at(0, 1) = Rational(2);
+  M.at(1, 0) = Rational(3);
+  M.at(1, 1) = Rational(4);
+  EXPECT_EQ(M.rank(), 2u);
+  Matrix Inv = M.inverse();
+  Matrix Id = M.multiply(Inv);
+  for (unsigned I = 0; I < 2; ++I)
+    for (unsigned J = 0; J < 2; ++J)
+      EXPECT_EQ(Id.at(I, J), Rational(I == J ? 1 : 0));
+}
+
+TEST(Matrix, RankDeficiency) {
+  Matrix M(2, 3);
+  for (unsigned J = 0; J < 3; ++J) {
+    M.at(0, J) = Rational(int64_t(J + 1));
+    M.at(1, J) = Rational(int64_t(2 * (J + 1))); // 2x row 0
+  }
+  EXPECT_EQ(M.rank(), 1u);
+}
+
+TEST(Matrix, NullSpaceOrthogonality) {
+  // Row space spanned by (1, 1, 0): null space is 2-dimensional and
+  // orthogonal to it.
+  Matrix M(1, 3);
+  M.at(0, 0) = Rational(1);
+  M.at(0, 1) = Rational(1);
+  Matrix N = M.orthogonalComplement();
+  EXPECT_EQ(N.rows(), 2u);
+  for (unsigned R = 0; R < N.rows(); ++R) {
+    Rational Dot;
+    for (unsigned C = 0; C < 3; ++C)
+      Dot += M.at(0, C) * N.at(R, C);
+    EXPECT_EQ(Dot, Rational(0));
+  }
+}
+
+TEST(Matrix, ApplyVector) {
+  Matrix M(2, 2);
+  M.at(0, 0) = Rational(2);
+  M.at(1, 1) = Rational(3);
+  auto R = M.apply({Rational(5), Rational(7)});
+  EXPECT_EQ(R[0], Rational(10));
+  EXPECT_EQ(R[1], Rational(21));
+}
+
+} // namespace
