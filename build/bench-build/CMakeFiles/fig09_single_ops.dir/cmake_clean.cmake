@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_single_ops"
+  "../bench/fig09_single_ops.pdb"
+  "CMakeFiles/fig09_single_ops.dir/fig09_single_ops.cpp.o"
+  "CMakeFiles/fig09_single_ops.dir/fig09_single_ops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_single_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_loc"
+  "../bench/fig10_loc.pdb"
+  "CMakeFiles/fig10_loc.dir/fig10_loc.cpp.o"
+  "CMakeFiles/fig10_loc.dir/fig10_loc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_gemm_shapes"
+  "../bench/fig11_gemm_shapes.pdb"
+  "CMakeFiles/fig11_gemm_shapes.dir/fig11_gemm_shapes.cpp.o"
+  "CMakeFiles/fig11_gemm_shapes.dir/fig11_gemm_shapes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_gemm_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

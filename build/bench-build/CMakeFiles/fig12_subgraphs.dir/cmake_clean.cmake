@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_subgraphs"
+  "../bench/fig12_subgraphs.pdb"
+  "CMakeFiles/fig12_subgraphs.dir/fig12_subgraphs.cpp.o"
+  "CMakeFiles/fig12_subgraphs.dir/fig12_subgraphs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_subgraphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

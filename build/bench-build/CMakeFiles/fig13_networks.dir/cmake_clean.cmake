@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_networks"
+  "../bench/fig13_networks.pdb"
+  "CMakeFiles/fig13_networks.dir/fig13_networks.cpp.o"
+  "CMakeFiles/fig13_networks.dir/fig13_networks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_subgraphs"
+  "../bench/table1_subgraphs.pdb"
+  "CMakeFiles/table1_subgraphs.dir/table1_subgraphs.cpp.o"
+  "CMakeFiles/table1_subgraphs.dir/table1_subgraphs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_subgraphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_conv_fusion.dir/conv_fusion.cpp.o"
+  "CMakeFiles/example_conv_fusion.dir/conv_fusion.cpp.o.d"
+  "example_conv_fusion"
+  "example_conv_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_conv_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gemm_tuning.dir/gemm_tuning.cpp.o"
+  "CMakeFiles/example_gemm_tuning.dir/gemm_tuning.cpp.o.d"
+  "example_gemm_tuning"
+  "example_gemm_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gemm_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

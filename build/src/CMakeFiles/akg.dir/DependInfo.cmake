@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/akg/AutoTuner.cpp" "src/CMakeFiles/akg.dir/akg/AutoTuner.cpp.o" "gcc" "src/CMakeFiles/akg.dir/akg/AutoTuner.cpp.o.d"
+  "/root/repo/src/akg/Compiler.cpp" "src/CMakeFiles/akg.dir/akg/Compiler.cpp.o" "gcc" "src/CMakeFiles/akg.dir/akg/Compiler.cpp.o.d"
+  "/root/repo/src/baselines/CceLibrary.cpp" "src/CMakeFiles/akg.dir/baselines/CceLibrary.cpp.o" "gcc" "src/CMakeFiles/akg.dir/baselines/CceLibrary.cpp.o.d"
+  "/root/repo/src/baselines/TvmCompiler.cpp" "src/CMakeFiles/akg.dir/baselines/TvmCompiler.cpp.o" "gcc" "src/CMakeFiles/akg.dir/baselines/TvmCompiler.cpp.o.d"
+  "/root/repo/src/graph/Graph.cpp" "src/CMakeFiles/akg.dir/graph/Graph.cpp.o" "gcc" "src/CMakeFiles/akg.dir/graph/Graph.cpp.o.d"
+  "/root/repo/src/graph/Networks.cpp" "src/CMakeFiles/akg.dir/graph/Networks.cpp.o" "gcc" "src/CMakeFiles/akg.dir/graph/Networks.cpp.o.d"
+  "/root/repo/src/graph/Ops.cpp" "src/CMakeFiles/akg.dir/graph/Ops.cpp.o" "gcc" "src/CMakeFiles/akg.dir/graph/Ops.cpp.o.d"
+  "/root/repo/src/ir/Dsl.cpp" "src/CMakeFiles/akg.dir/ir/Dsl.cpp.o" "gcc" "src/CMakeFiles/akg.dir/ir/Dsl.cpp.o.d"
+  "/root/repo/src/ir/Expr.cpp" "src/CMakeFiles/akg.dir/ir/Expr.cpp.o" "gcc" "src/CMakeFiles/akg.dir/ir/Expr.cpp.o.d"
+  "/root/repo/src/ir/Passes.cpp" "src/CMakeFiles/akg.dir/ir/Passes.cpp.o" "gcc" "src/CMakeFiles/akg.dir/ir/Passes.cpp.o.d"
+  "/root/repo/src/ir/PolyExtract.cpp" "src/CMakeFiles/akg.dir/ir/PolyExtract.cpp.o" "gcc" "src/CMakeFiles/akg.dir/ir/PolyExtract.cpp.o.d"
+  "/root/repo/src/ir/Stmt.cpp" "src/CMakeFiles/akg.dir/ir/Stmt.cpp.o" "gcc" "src/CMakeFiles/akg.dir/ir/Stmt.cpp.o.d"
+  "/root/repo/src/poly/Affine.cpp" "src/CMakeFiles/akg.dir/poly/Affine.cpp.o" "gcc" "src/CMakeFiles/akg.dir/poly/Affine.cpp.o.d"
+  "/root/repo/src/poly/Lp.cpp" "src/CMakeFiles/akg.dir/poly/Lp.cpp.o" "gcc" "src/CMakeFiles/akg.dir/poly/Lp.cpp.o.d"
+  "/root/repo/src/schedule/AstGen.cpp" "src/CMakeFiles/akg.dir/schedule/AstGen.cpp.o" "gcc" "src/CMakeFiles/akg.dir/schedule/AstGen.cpp.o.d"
+  "/root/repo/src/schedule/ScheduleTree.cpp" "src/CMakeFiles/akg.dir/schedule/ScheduleTree.cpp.o" "gcc" "src/CMakeFiles/akg.dir/schedule/ScheduleTree.cpp.o.d"
+  "/root/repo/src/scheduler/Cluster.cpp" "src/CMakeFiles/akg.dir/scheduler/Cluster.cpp.o" "gcc" "src/CMakeFiles/akg.dir/scheduler/Cluster.cpp.o.d"
+  "/root/repo/src/scheduler/Dependence.cpp" "src/CMakeFiles/akg.dir/scheduler/Dependence.cpp.o" "gcc" "src/CMakeFiles/akg.dir/scheduler/Dependence.cpp.o.d"
+  "/root/repo/src/scheduler/Pluto.cpp" "src/CMakeFiles/akg.dir/scheduler/Pluto.cpp.o" "gcc" "src/CMakeFiles/akg.dir/scheduler/Pluto.cpp.o.d"
+  "/root/repo/src/sim/Machine.cpp" "src/CMakeFiles/akg.dir/sim/Machine.cpp.o" "gcc" "src/CMakeFiles/akg.dir/sim/Machine.cpp.o.d"
+  "/root/repo/src/sim/Simulator.cpp" "src/CMakeFiles/akg.dir/sim/Simulator.cpp.o" "gcc" "src/CMakeFiles/akg.dir/sim/Simulator.cpp.o.d"
+  "/root/repo/src/support/Matrix.cpp" "src/CMakeFiles/akg.dir/support/Matrix.cpp.o" "gcc" "src/CMakeFiles/akg.dir/support/Matrix.cpp.o.d"
+  "/root/repo/src/support/Rational.cpp" "src/CMakeFiles/akg.dir/support/Rational.cpp.o" "gcc" "src/CMakeFiles/akg.dir/support/Rational.cpp.o.d"
+  "/root/repo/src/transforms/AutoTiling.cpp" "src/CMakeFiles/akg.dir/transforms/AutoTiling.cpp.o" "gcc" "src/CMakeFiles/akg.dir/transforms/AutoTiling.cpp.o.d"
+  "/root/repo/src/transforms/Conv.cpp" "src/CMakeFiles/akg.dir/transforms/Conv.cpp.o" "gcc" "src/CMakeFiles/akg.dir/transforms/Conv.cpp.o.d"
+  "/root/repo/src/transforms/Fusion.cpp" "src/CMakeFiles/akg.dir/transforms/Fusion.cpp.o" "gcc" "src/CMakeFiles/akg.dir/transforms/Fusion.cpp.o.d"
+  "/root/repo/src/transforms/IntraTile.cpp" "src/CMakeFiles/akg.dir/transforms/IntraTile.cpp.o" "gcc" "src/CMakeFiles/akg.dir/transforms/IntraTile.cpp.o.d"
+  "/root/repo/src/transforms/MemHierSpec.cpp" "src/CMakeFiles/akg.dir/transforms/MemHierSpec.cpp.o" "gcc" "src/CMakeFiles/akg.dir/transforms/MemHierSpec.cpp.o.d"
+  "/root/repo/src/transforms/TileSpecLang.cpp" "src/CMakeFiles/akg.dir/transforms/TileSpecLang.cpp.o" "gcc" "src/CMakeFiles/akg.dir/transforms/TileSpecLang.cpp.o.d"
+  "/root/repo/src/transforms/Tiling.cpp" "src/CMakeFiles/akg.dir/transforms/Tiling.cpp.o" "gcc" "src/CMakeFiles/akg.dir/transforms/Tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

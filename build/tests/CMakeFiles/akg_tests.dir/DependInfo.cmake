@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AffineTest.cpp" "tests/CMakeFiles/akg_tests.dir/AffineTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/AffineTest.cpp.o.d"
+  "/root/repo/tests/AstGenTest.cpp" "tests/CMakeFiles/akg_tests.dir/AstGenTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/AstGenTest.cpp.o.d"
+  "/root/repo/tests/BaselineAndTunerTest.cpp" "tests/CMakeFiles/akg_tests.dir/BaselineAndTunerTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/BaselineAndTunerTest.cpp.o.d"
+  "/root/repo/tests/CompilerTest.cpp" "tests/CMakeFiles/akg_tests.dir/CompilerTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/CompilerTest.cpp.o.d"
+  "/root/repo/tests/FuzzModuleTest.cpp" "tests/CMakeFiles/akg_tests.dir/FuzzModuleTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/FuzzModuleTest.cpp.o.d"
+  "/root/repo/tests/GraphAndSpecTest.cpp" "tests/CMakeFiles/akg_tests.dir/GraphAndSpecTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/GraphAndSpecTest.cpp.o.d"
+  "/root/repo/tests/IrTest.cpp" "tests/CMakeFiles/akg_tests.dir/IrTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/IrTest.cpp.o.d"
+  "/root/repo/tests/LpTest.cpp" "tests/CMakeFiles/akg_tests.dir/LpTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/LpTest.cpp.o.d"
+  "/root/repo/tests/PolyPropertyTest.cpp" "tests/CMakeFiles/akg_tests.dir/PolyPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/PolyPropertyTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/akg_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/ScheduleTreeTest.cpp" "tests/CMakeFiles/akg_tests.dir/ScheduleTreeTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/ScheduleTreeTest.cpp.o.d"
+  "/root/repo/tests/SchedulerTest.cpp" "tests/CMakeFiles/akg_tests.dir/SchedulerTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/SchedulerTest.cpp.o.d"
+  "/root/repo/tests/StorageTest.cpp" "tests/CMakeFiles/akg_tests.dir/StorageTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/StorageTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/akg_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/TargetTest.cpp" "tests/CMakeFiles/akg_tests.dir/TargetTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/TargetTest.cpp.o.d"
+  "/root/repo/tests/TransformsTest.cpp" "tests/CMakeFiles/akg_tests.dir/TransformsTest.cpp.o" "gcc" "tests/CMakeFiles/akg_tests.dir/TransformsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/akg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
