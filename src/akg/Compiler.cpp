@@ -5,6 +5,7 @@
 #include "ir/Passes.h"
 #include "schedule/AstGen.h"
 #include "sim/Simulator.h"
+#include "support/Rational.h"
 #include "transforms/Conv.h"
 #include "transforms/Fusion.h"
 #include "transforms/IntraTile.h"
@@ -20,8 +21,13 @@ using namespace ir;
 using namespace sched;
 using namespace transforms;
 
-CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
-                             const std::string &Name) {
+namespace {
+
+/// The real pipeline. Recoverable failures degrade in place and are
+/// recorded in Res.Degradation; anything that still escapes is caught by
+/// compileWithAkg and lands on the scalar fallback kernel.
+CompileResult compileImpl(const Module &MIn, const AkgOptions &Opts,
+                          const std::string &Name, Stage Fail) {
   CompileResult Res;
   // Preparation passes (Sec 3). The prepared module must outlive the
   // kernel (tensor declarations are shared into it).
@@ -32,19 +38,76 @@ CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
   PolyProgram P = extractPolyProgram(*M);
   std::vector<Dependence> Deps = computeDependences(P);
 
+  // Budgets + per-stage fault injection resolve into concrete knobs once,
+  // up front; each injected failure is itself a rung of the ladder and is
+  // recorded immediately.
+  Deadline DL(Opts.Budget.DeadlineSeconds);
+  sched::SchedulerOptions BaseSched = Opts.Scheduler;
+  if (BaseSched.IlpNodeBudget == 0)
+    BaseSched.IlpNodeBudget = Opts.Budget.IlpNodeBudget;
+  if (BaseSched.DeadlineSeconds == 0)
+    BaseSched.DeadlineSeconds = Opts.Budget.DeadlineSeconds;
+  if (Fail == Stage::Scheduler)
+    BaseSched.ForceFallback = true;
+
+  cce::CodegenOptions CG = Opts.Codegen;
+  if (Fail == Stage::Vectorize) {
+    CG.EnableVectorize = false;
+    Res.Degradation.record(Stage::Vectorize, "fault injected",
+                           "scalar loop emission for all units");
+  }
+  if (Fail == Stage::DoubleBuffer) {
+    CG.EnableDoubleBuffer = false;
+    Res.Degradation.record(Stage::DoubleBuffer, "fault injected",
+                           "single buffering (no ping-pong overlap)");
+  }
+
+  cce::SyncStrategy SyncS = Opts.Sync;
+  if (Fail == Stage::Sync) {
+    SyncS = cce::SyncStrategy::FullSerial;
+    Res.Degradation.record(Stage::Sync, "fault injected",
+                           "full-serial barriers between instructions");
+  }
+
+  bool PostFusion = Opts.EnablePostTilingFusion;
+  if (Fail == Stage::Fusion) {
+    PostFusion = false;
+    Res.Degradation.record(
+        Stage::Fusion, "fault injected",
+        "post-tiling fusion disabled; producers round-trip global memory");
+  }
+
+  bool SinkDims = Opts.EnableIntraTile;
+  if (Fail == Stage::IntraTile) {
+    SinkDims = false;
+    Res.Degradation.record(Stage::IntraTile, "fault injected",
+                           "kept schedule loop order (no vector-dim sink)");
+  }
+
+  bool InjectStorage = Fail == Stage::Storage;
+  bool Compiled = false;
+  bool TimedOut = false;
+
   // Attempt 0 compiles with the requested options; when even minimal
   // tiles cannot satisfy the buffer capacities (a fused region keeping
   // several very wide rows live), attempt 1 rejects the fusion entirely:
   // clustering is disabled so every statement tiles over its own full
   // dimensionality and intermediates round-trip global memory.
   for (unsigned Attempt = 0; Attempt < 2; ++Attempt) {
-  sched::SchedulerOptions SchedOpts = Opts.Scheduler;
+  sched::SchedulerOptions SchedOpts = BaseSched;
   if (Attempt == 1)
     SchedOpts.Fusion = sched::FusionStrategy::None;
   ScheduleResult SR = computeSchedule(P, Deps, SchedOpts);
   Res.UsedSchedulerFallback = false;
   for (const ClusterSchedule &CS : SR.Clusters)
     Res.UsedSchedulerFallback |= CS.UsedFallback;
+  if (Res.UsedSchedulerFallback &&
+      !Res.Degradation.hasStage(Stage::Scheduler))
+    Res.Degradation.record(
+        Stage::Scheduler,
+        Fail == Stage::Scheduler ? "fault injected"
+                                 : "scheduling ILP unsolved (too hard)",
+        "identity schedules, cluster split into singletons");
 
   // Tile-size selection for the live-out cluster.
   const ClusterSchedule &Live = SR.Clusters.back();
@@ -53,7 +116,7 @@ CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
       static_cast<unsigned>(Live.Outer.at(LiveStmt).Rows.size());
 
   AutoTilingOptions ATOpts;
-  ATOpts.FusedFootprint = Opts.EnablePostTilingFusion && Attempt == 0;
+  ATOpts.FusedFootprint = PostFusion && Attempt == 0;
   // Cube constraints: keep conv output rows contiguous (wo untiled),
   // batch tiles at 1, and never tile a cube op's reduction dimensions at
   // the band level (the cube pipeline chunks K internally). Positions are
@@ -102,15 +165,40 @@ CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
         Sizes[D] = 1;
     Res.TilingPolicyText = printTilingPolicy(*Opts.ManualTiles);
   } else {
-    AutoTilingResult AT =
-        autoTile(P, SR, Opts.Codegen.Machine, ATOpts);
+    AutoTilingResult AT = autoTile(P, SR, CG.Machine, ATOpts);
     Sizes = AT.Sizes;
     Res.TilingPolicyText = printTilingPolicy(AT.Policy);
   }
 
-  bool UseFusion = Opts.EnablePostTilingFusion && Attempt == 0;
+  // Cube-pinned dimensions keep their mandated sizes through every
+  // degradation (halving, injection): the fractal pipeline depends on
+  // them, and shrinking them buys no on-chip memory anyway.
+  auto IsPinned = [&](unsigned D) {
+    for (unsigned F : ATOpts.FullDims)
+      if (F == D)
+        return true;
+    for (unsigned U : ATOpts.UnitDims)
+      if (U == D)
+        return true;
+    return false;
+  };
+
+  if (Fail == Stage::Tiling) {
+    for (unsigned I = 0; I < Sizes.size(); ++I)
+      if (!IsPinned(I))
+        Sizes[I] = 1;
+    if (!Res.Degradation.hasStage(Stage::Tiling))
+      Res.Degradation.record(Stage::Tiling, "fault injected",
+                             "minimal unit tiles on all free dimensions");
+  }
+
+  bool UseFusion = PostFusion && Attempt == 0;
   bool CapacityExhausted = false;
   for (unsigned Retry = 0;; ++Retry) {
+    if (DL.expired()) {
+      TimedOut = true;
+      break;
+    }
     ScheduleTree T = buildScheduledTree(P, SR);
     FusionReport FR;
     if (UseFusion) {
@@ -168,28 +256,31 @@ CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
     }
     Res.FusedProducers = FR.FusedProducers;
 
-    if (Opts.EnableIntraTile) {
-      applyIntraTileFusion(T, P);
+    // The cube path always requires its mark for fractal lowering; the
+    // vector-dim sink is the optional part of the intra-tile stage.
+    applyIntraTileFusion(T, P);
+    if (SinkDims)
       sinkVectorizableDims(T, P);
-    } else {
-      // The cube path still requires its mark for fractal lowering.
-      applyIntraTileFusion(T, P);
-    }
     Res.ScheduleTreeDump = T.str();
 
     Stmt Ast = generateAst(T, P);
-    cce::Kernel K =
-        cce::lowerToCce(Ast, *M, P, Opts.Codegen, Name);
-    std::string CapErr =
-        cce::checkBufferCapacities(K, Opts.Codegen.Machine);
+    cce::Kernel K = cce::lowerToCce(Ast, *M, P, CG, Name);
+    std::string CapErr = cce::checkBufferCapacities(K, CG.Machine);
+    if (InjectStorage) {
+      // One simulated capacity failure; subsequent retries see the real
+      // checker so the halving ladder converges normally.
+      CapErr = "fault injected: storage capacity check failed";
+      InjectStorage = false;
+    }
+    if (!CapErr.empty() && !Res.Degradation.hasStage(Stage::Storage))
+      Res.Degradation.record(Stage::Storage, CapErr,
+                             "halved largest free tile and retried");
     if (!CapErr.empty() && Retry >= Opts.MaxTileRetries) {
-      assert(Attempt == 0 &&
-             "tiles exceed buffer capacity even without fusion");
       CapacityExhausted = true;
       break;
     }
     if (CapErr.empty()) {
-      Res.Sync = cce::insertSynchronization(K, Opts.Sync);
+      Res.Sync = cce::insertSynchronization(K, SyncS);
       Res.Kernel = std::move(K);
       Res.TileSizes = Sizes;
       break;
@@ -203,33 +294,76 @@ CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
         std::fprintf(stderr, "retile(%s): tiles [%s] %s\n", Name.c_str(),
                      Ts.c_str(), CapErr.c_str());
       }
-    auto IsPinned = [&](unsigned D) {
-      for (unsigned F : ATOpts.FullDims)
-        if (F == D)
-          return true;
-      for (unsigned U : ATOpts.UnitDims)
-        if (U == D)
-          return true;
-      return false;
-    };
     int Largest = -1;
     for (unsigned I = 0; I < Sizes.size(); ++I)
       if (!IsPinned(I) && (Largest < 0 || Sizes[I] > Sizes[Largest]))
         Largest = static_cast<int>(I);
     if (Largest < 0 || Sizes[Largest] <= 1) {
       // Nothing halvable: behave as capacity-exhausted.
-      assert(Attempt == 0 &&
-             "tiles exceed buffer capacity even without fusion");
       CapacityExhausted = true;
       break;
     }
     Sizes[Largest] = std::max<int64_t>(1, Sizes[Largest] / 2);
   }
-  if (!CapacityExhausted)
-    break; // compiled successfully
+  if (TimedOut)
+    break;
+  if (!CapacityExhausted) {
+    Compiled = true;
+    break;
+  }
+  if (Attempt == 0)
+    Res.Degradation.record(
+        Stage::Fusion, "minimal tiles still exceed capacity with fusion",
+        "rejected fusion; producers round-trip global memory");
   } // attempt loop
+
+  if (!Compiled) {
+    // Bottom of the ladder: a single scalar instruction evaluating the
+    // whole module on GM. Always fits, always correct, never fast.
+    Res.Degradation.record(
+        Stage::Storage,
+        TimedOut ? "compile deadline expired"
+                 : "minimal tiles exceed buffer capacity on every attempt",
+        "scalar fallback kernel over global memory");
+    Res.Kernel = cce::lowerScalarFallback(*M, Name);
+    Res.Sync =
+        cce::insertSynchronization(Res.Kernel, cce::SyncStrategy::FullSerial);
+    Res.TileSizes.clear();
+  }
   if (Opts.EnableInlining)
     Res.Mod = Mod;
+  return Res;
+}
+
+} // namespace
+
+CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
+                             const std::string &Name) {
+  Stage Fail = Opts.FailStage;
+  if (const char *Env = std::getenv("AKG_FAIL_STAGE")) {
+    Stage S = parseStage(Env);
+    if (S != Stage::None)
+      Fail = S;
+  }
+  Stage Where = Stage::None;
+  std::string Reason;
+  try {
+    return compileImpl(MIn, Opts, Name, Fail);
+  } catch (const RationalOverflow &E) {
+    // Should be absorbed inside the LP layer; if one escapes, the compile
+    // still lands on its feet.
+    Where = Stage::Scheduler;
+    Reason = E.what();
+  } catch (const std::exception &E) {
+    Reason = E.what();
+  } catch (...) {
+    Reason = "unknown exception";
+  }
+  CompileResult Res;
+  Res.Degradation.record(Where, Reason, "scalar fallback kernel");
+  Res.Kernel = cce::lowerScalarFallback(MIn, Name);
+  Res.Sync =
+      cce::insertSynchronization(Res.Kernel, cce::SyncStrategy::FullSerial);
   return Res;
 }
 

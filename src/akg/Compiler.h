@@ -16,6 +16,8 @@
 
 #include "ir/Dsl.h"
 #include "scheduler/Pluto.h"
+#include "support/Diag.h"
+#include "support/Status.h"
 #include "target/Codegen.h"
 #include "target/Sync.h"
 #include "transforms/AutoTiling.h"
@@ -35,6 +37,12 @@ struct AkgOptions {
   bool EnableInlining = false; // preparation inlining of trivial producers
   /// Retries with halved tiles if buffers overflow.
   unsigned MaxTileRetries = 24;
+  /// Wall-clock + solver budgets; exhaustion degrades, never aborts.
+  CompileBudget Budget;
+  /// Fault injection: force this stage's preferred path to fail so the
+  /// degradation ladder runs. The AKG_FAIL_STAGE environment variable
+  /// (stage name, see support/Diag.h) overrides this when set.
+  Stage FailStage = Stage::None;
 };
 
 struct CompileResult {
@@ -47,6 +55,8 @@ struct CompileResult {
   unsigned FusedProducers = 0;
   bool UsedSchedulerFallback = false;
   cce::SyncReport Sync;
+  /// Every rung taken down the fallback ladder (empty = clean compile).
+  DegradationReport Degradation;
 };
 
 /// Compiles one fused operator with the full AKG pipeline.

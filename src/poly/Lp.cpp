@@ -242,8 +242,15 @@ LpResult lpMinimize(const LpProblem &P, const std::vector<Rational> &Obj) {
   ScopedTimer T("lp.minimize");
   assert(Obj.size() == P.NumVars && "objective arity mismatch");
   LpResult R;
-  Simplex S;
-  R.Status = S.solve(P, Obj, R.Value, R.Point);
+  try {
+    Simplex S;
+    R.Status = S.solve(P, Obj, R.Value, R.Point);
+  } catch (const RationalOverflow &) {
+    // Coefficients grew past the exact-arithmetic range: give up on this
+    // problem rather than aborting the compiler.
+    Stats::get().add("lp.overflow");
+    R.Status = LpStatus::TooHard;
+  }
   return R;
 }
 
@@ -259,16 +266,17 @@ LpResult lpMaximize(const LpProblem &P, const std::vector<Rational> &Obj) {
 
 bool lpIsFeasible(const LpProblem &P) {
   std::vector<Rational> Zero(P.NumVars);
+  // TooHard counts as feasible: "cannot prove empty" is the conservative
+  // answer for every caller (dependence tests, redundancy elimination).
   return lpMinimize(P, Zero).Status != LpStatus::Infeasible;
 }
 
 namespace {
 
-constexpr unsigned BranchNodeLimit = 20000;
-
 /// Depth-first branch-and-bound over the LP relaxation.
 struct BranchState {
   const std::vector<Rational> &Obj;
+  unsigned NodeLimit = IlpOptions().NodeLimit;
   unsigned Nodes = 0;
   bool HitLimit = false;
   bool HasBest = false;
@@ -297,14 +305,15 @@ void BranchState::search(LpProblem Root) {
       return;
     LpProblem P = std::move(Work.back());
     Work.pop_back();
-    if (++Nodes > BranchNodeLimit) {
+    if (++Nodes > NodeLimit) {
       HitLimit = true;
       return;
     }
     LpResult Relax = lpMinimize(P, Obj);
     if (Relax.Status == LpStatus::Infeasible)
       continue;
-    if (Relax.Status == LpStatus::Unbounded) {
+    if (Relax.Status == LpStatus::Unbounded ||
+        Relax.Status == LpStatus::TooHard) {
       HitLimit = true;
       return;
     }
@@ -369,13 +378,17 @@ void BranchState::search(LpProblem Root) {
 
 } // namespace
 
-LpResult ilpMinimize(const LpProblem &P, const std::vector<Rational> &Obj) {
+LpResult ilpMinimize(const LpProblem &P, const std::vector<Rational> &Obj,
+                     const IlpOptions &Opts) {
   ScopedTimer T("ilp.minimize");
   LpResult R;
   BranchState BS(Obj);
+  BS.NodeLimit = Opts.NodeLimit;
   BS.search(P);
   if (!BS.HasBest) {
     R.Status = BS.HitLimit ? LpStatus::TooHard : LpStatus::Infeasible;
+    if (R.Status == LpStatus::TooHard)
+      Stats::get().add("ilp.too_hard");
     return R;
   }
   // With a solution in hand we report it even if the node limit was hit
@@ -386,10 +399,11 @@ LpResult ilpMinimize(const LpProblem &P, const std::vector<Rational> &Obj) {
   return R;
 }
 
-LpResult ilpSample(const LpProblem &P) {
+LpResult ilpSample(const LpProblem &P, const IlpOptions &Opts) {
   std::vector<Rational> Zero(P.NumVars);
   LpResult R;
   BranchState BS(Zero);
+  BS.NodeLimit = Opts.NodeLimit;
   BS.StopAtFirst = true;
   BS.search(P);
   if (BS.HasBest) {
@@ -398,16 +412,19 @@ LpResult ilpSample(const LpProblem &P) {
     return R;
   }
   R.Status = BS.HitLimit ? LpStatus::TooHard : LpStatus::Infeasible;
+  if (R.Status == LpStatus::TooHard)
+    Stats::get().add("ilp.too_hard");
   return R;
 }
 
-LpResult ilpLexMin(const LpProblem &P, const std::vector<unsigned> &Order) {
+LpResult ilpLexMin(const LpProblem &P, const std::vector<unsigned> &Order,
+                   const IlpOptions &Opts) {
   LpProblem Work = P;
   LpResult Last;
   for (unsigned Var : Order) {
     std::vector<Rational> Obj(Work.NumVars);
     Obj[Var] = Rational(1);
-    Last = ilpMinimize(Work, Obj);
+    Last = ilpMinimize(Work, Obj, Opts);
     if (Last.Status != LpStatus::Optimal)
       return Last;
     std::vector<Rational> C(Work.NumVars);
@@ -415,7 +432,7 @@ LpResult ilpLexMin(const LpProblem &P, const std::vector<unsigned> &Order) {
     Work.addEq(C, -Last.Value); // pin and continue
   }
   if (Last.Status == LpStatus::Optimal && !Order.empty()) {
-    LpResult Full = ilpSample(Work);
+    LpResult Full = ilpSample(Work, Opts);
     if (Full.Status == LpStatus::Optimal)
       Last.Point = Full.Point;
   }

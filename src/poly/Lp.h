@@ -48,6 +48,14 @@ struct LpProblem {
 
 enum class LpStatus { Optimal, Infeasible, Unbounded, TooHard };
 
+/// Budgets for the integer solver. TooHard results (node limit exhausted,
+/// rational overflow) are recoverable: callers fall back to conservative
+/// answers, and the scheduler degrades to its identity fallback.
+struct IlpOptions {
+  /// Maximum branch-and-bound nodes explored per ilp* call.
+  unsigned NodeLimit = 20000;
+};
+
 struct LpResult {
   LpStatus Status = LpStatus::Infeasible;
   /// Optimal objective value (valid when Status == Optimal).
@@ -68,16 +76,18 @@ bool lpIsFeasible(const LpProblem &P);
 /// Minimizes Obj . x over the *integer* points of \p P via branch-and-bound.
 /// Returns TooHard if the node limit is exceeded (callers treat this
 /// conservatively).
-LpResult ilpMinimize(const LpProblem &P, const std::vector<Rational> &Obj);
+LpResult ilpMinimize(const LpProblem &P, const std::vector<Rational> &Obj,
+                     const IlpOptions &Opts = IlpOptions());
 
 /// Finds any integer point of \p P; Status is Optimal with Point set when one
 /// exists, Infeasible when provably none exists.
-LpResult ilpSample(const LpProblem &P);
+LpResult ilpSample(const LpProblem &P, const IlpOptions &Opts = IlpOptions());
 
 /// Lexicographic integer minimum of (x[Order[0]], x[Order[1]], ...) over the
 /// integer points of \p P. Each coordinate must be bounded below on the
 /// feasible set; callers guarantee this by construction.
-LpResult ilpLexMin(const LpProblem &P, const std::vector<unsigned> &Order);
+LpResult ilpLexMin(const LpProblem &P, const std::vector<unsigned> &Order,
+                   const IlpOptions &Opts = IlpOptions());
 
 } // namespace akg
 

@@ -4,6 +4,7 @@
 
 #include "support/Matrix.h"
 #include "support/Stats.h"
+#include "support/Status.h"
 
 #include <cassert>
 #include <numeric>
@@ -403,7 +404,10 @@ bool scheduleCluster(const ir::PolyProgram &P,
         Order.push_back(L.CoeffBase[S] + K);
     for (unsigned S : CS.Stmts)
       Order.push_back(L.ShiftVar[S]);
-    LpResult R = [&]{ ScopedTimer T("pluto.lexmin"); return ilpLexMin(MasterLp, Order); }();
+    IlpOptions IO;
+    if (Opts.IlpNodeBudget > 0)
+      IO.NodeLimit = static_cast<unsigned>(Opts.IlpNodeBudget);
+    LpResult R = [&]{ ScopedTimer T("pluto.lexmin"); return ilpLexMin(MasterLp, Order, IO); }();
     if (R.Status != LpStatus::Optimal)
       return false;
 
@@ -501,11 +505,15 @@ ScheduleResult computeSchedule(const ir::PolyProgram &P,
                                const std::vector<Dependence> &Deps,
                                const SchedulerOptions &Opts) {
   Clustering C = clusterStatements(P, Deps, Opts.Fusion);
+  Deadline DL(Opts.DeadlineSeconds);
   ScheduleResult R;
   for (const auto &Group : C.Groups) {
     ClusterSchedule CS;
     CS.Stmts = Group;
-    if (scheduleCluster(P, Deps, Opts, CS)) {
+    bool TryIlp = !Opts.ForceFallback && !DL.expired();
+    if (!TryIlp)
+      Stats::get().add("pluto.skipped_cluster");
+    if (TryIlp && scheduleCluster(P, Deps, Opts, CS)) {
       R.Clusters.push_back(std::move(CS));
       continue;
     }

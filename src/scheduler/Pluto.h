@@ -33,6 +33,16 @@ struct SchedulerOptions {
   /// one of the "fine-tuned scheduling options" the paper uses to keep ILP
   /// time down (Sec 8).
   bool UseBoundingFunction = false;
+  /// Branch-and-bound node budget per scheduling ILP; 0 = solver default.
+  /// Exhausting it degrades the cluster to its identity fallback instead
+  /// of failing the compile.
+  int64_t IlpNodeBudget = 0;
+  /// Wall-clock budget for the whole scheduling pass; 0 = unlimited. Once
+  /// expired, remaining clusters take the identity fallback.
+  double DeadlineSeconds = 0;
+  /// Fault injection / ablation: skip the ILP entirely and use the identity
+  /// fallback for every cluster.
+  bool ForceFallback = false;
 };
 
 /// The computed schedule of one fusion cluster.

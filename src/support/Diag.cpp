@@ -1,0 +1,62 @@
+//===- support/Diag.cpp - Pipeline diagnostics --------------------------- ===//
+
+#include "support/Diag.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace akg {
+
+const char *stageName(Stage S) {
+  switch (S) {
+  case Stage::None:
+    return "none";
+  case Stage::Scheduler:
+    return "scheduler";
+  case Stage::Tiling:
+    return "tiling";
+  case Stage::Fusion:
+    return "fusion";
+  case Stage::IntraTile:
+    return "intra_tile";
+  case Stage::Storage:
+    return "storage";
+  case Stage::Vectorize:
+    return "vectorize";
+  case Stage::DoubleBuffer:
+    return "double_buffer";
+  case Stage::Sync:
+    return "sync";
+  }
+  return "?";
+}
+
+Stage parseStage(const std::string &Name) {
+  std::string N = Name;
+  std::transform(N.begin(), N.end(), N.begin(),
+                 [](unsigned char C) { return char(std::tolower(C)); });
+  std::replace(N.begin(), N.end(), '-', '_');
+  static const Stage All[] = {Stage::Scheduler,   Stage::Tiling,
+                              Stage::Fusion,      Stage::IntraTile,
+                              Stage::Storage,     Stage::Vectorize,
+                              Stage::DoubleBuffer, Stage::Sync};
+  for (Stage S : All)
+    if (N == stageName(S))
+      return S;
+  return Stage::None;
+}
+
+std::string DegradationReport::str() const {
+  std::string Out;
+  for (const DegradationStep &St : Steps) {
+    Out += stageName(St.Where);
+    Out += ": ";
+    Out += St.Reason;
+    Out += " -> ";
+    Out += St.Action;
+    Out += "\n";
+  }
+  return Out;
+}
+
+} // namespace akg

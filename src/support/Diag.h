@@ -1,0 +1,70 @@
+//===- support/Diag.h - Pipeline diagnostics + degradation trail ----------===//
+//
+// Every stage of the compile pipeline can degrade gracefully: scheduler
+// TooHard -> identity schedule, tiling overflow -> halved -> minimal tiles,
+// fusion failure -> distribution, vectorize failure -> scalar loops,
+// double-buffer failure -> single buffering, sync failure -> full-serial
+// barriers. Each step taken down that ladder is recorded here so callers
+// can see exactly what quality was traded for robustness.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SUPPORT_DIAG_H
+#define AKG_SUPPORT_DIAG_H
+
+#include <string>
+#include <vector>
+
+namespace akg {
+
+/// Pipeline stages that can fail (and be fault-injected via
+/// AkgOptions::FailStage or the AKG_FAIL_STAGE environment variable).
+enum class Stage {
+  None,
+  Scheduler,
+  Tiling,
+  Fusion,
+  IntraTile,
+  Storage,
+  Vectorize,
+  DoubleBuffer,
+  Sync,
+};
+
+const char *stageName(Stage S);
+
+/// Parse a stage name as accepted by AKG_FAIL_STAGE ("scheduler",
+/// "tiling", "fusion", "intra_tile", "storage", "vectorize",
+/// "double_buffer", "sync"). Unknown names map to Stage::None.
+Stage parseStage(const std::string &Name);
+
+/// One rung taken down the degradation ladder.
+struct DegradationStep {
+  Stage Where = Stage::None;
+  std::string Reason; // why the preferred path failed
+  std::string Action; // what the compiler did instead
+};
+
+/// The full trail of degradations for one compile. Empty means the
+/// preferred path succeeded at every stage.
+struct DegradationReport {
+  std::vector<DegradationStep> Steps;
+
+  bool degraded() const { return !Steps.empty(); }
+  bool hasStage(Stage S) const {
+    for (const DegradationStep &St : Steps)
+      if (St.Where == S)
+        return true;
+    return false;
+  }
+  void record(Stage Where, std::string Reason, std::string Action) {
+    Steps.push_back(
+        DegradationStep{Where, std::move(Reason), std::move(Action)});
+  }
+  /// Human-readable rendering, one "stage: reason -> action" line per step.
+  std::string str() const;
+};
+
+} // namespace akg
+
+#endif // AKG_SUPPORT_DIAG_H

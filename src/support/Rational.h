@@ -1,9 +1,10 @@
 //===- support/Rational.h - Exact rational arithmetic -----------*- C++ -*-===//
 //
 // Part of the AKG-repro project. Exact rationals backed by __int128 used by
-// the LP/ILP solver and all polyhedral computations. Overflow is a
-// programmatic error and asserts; the polyhedral problems AKG generates are
-// small (tens of variables, coefficients within int64).
+// the LP/ILP solver and all polyhedral computations. Magnitude overflow
+// throws RationalOverflow; LP entry points catch it and report the problem
+// as too hard instead of aborting the compiler (the polyhedral problems AKG
+// generates are small, but adversarial or degenerate inputs are not).
 //
 //===----------------------------------------------------------------------===//
 
@@ -12,11 +13,22 @@
 
 #include <cassert>
 #include <cstdint>
+#include <exception>
 #include <string>
 
 namespace akg {
 
 using Int128 = __int128;
+
+/// Thrown when a rational's magnitude leaves the range where subsequent
+/// 128-bit multiplies are guaranteed exact. Recoverable: callers treat the
+/// enclosing LP/ILP problem as infeasible-to-solve ("too hard").
+class RationalOverflow : public std::exception {
+public:
+  const char *what() const noexcept override {
+    return "rational magnitude overflow";
+  }
+};
 
 /// Greatest common divisor of two non-negative 128-bit integers.
 inline Int128 gcd128(Int128 A, Int128 B) {
@@ -122,10 +134,11 @@ private:
       Num /= G;
       Den /= G;
     }
-    // Guard against silent overflow on subsequent multiplies.
+    // Guard against silent overflow on subsequent multiplies; recoverable
+    // (the solver abandons the problem rather than computing garbage).
     const Int128 Limit = Int128(1) << 100;
-    assert(Num < Limit && Num > -Limit && Den < Limit &&
-           "rational magnitude overflow");
+    if (!(Num < Limit && Num > -Limit && Den < Limit))
+      throw RationalOverflow();
   }
 
   Int128 Num;

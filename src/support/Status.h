@@ -1,0 +1,110 @@
+//===- support/Status.h - Recoverable-error plumbing ----------------------===//
+//
+// Structured error codes and budget tracking for the compile pipeline.
+// Recoverable failures travel as Status values (or the narrow exception
+// types below) instead of assert/abort, so the driver can degrade through
+// the fallback ladder and still emit a kernel.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SUPPORT_STATUS_H
+#define AKG_SUPPORT_STATUS_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace akg {
+
+enum class ErrCode {
+  Ok,
+  TooHard,           // solver gave up (node budget, branching explosion)
+  Timeout,           // wall-clock budget exhausted
+  Overflow,          // arithmetic magnitude overflow (see Rational)
+  CapacityExceeded,  // on-chip buffers cannot hold the working set
+  Unsupported,       // pattern outside the lowering's vocabulary
+  FaultInjected,     // testing hook forced this stage to fail
+  Internal,          // anything else; still recoverable at the driver
+};
+
+inline const char *errCodeName(ErrCode C) {
+  switch (C) {
+  case ErrCode::Ok:
+    return "ok";
+  case ErrCode::TooHard:
+    return "too_hard";
+  case ErrCode::Timeout:
+    return "timeout";
+  case ErrCode::Overflow:
+    return "overflow";
+  case ErrCode::CapacityExceeded:
+    return "capacity_exceeded";
+  case ErrCode::Unsupported:
+    return "unsupported";
+  case ErrCode::FaultInjected:
+    return "fault_injected";
+  case ErrCode::Internal:
+    return "internal";
+  }
+  return "?";
+}
+
+class Status {
+public:
+  Status() = default;
+  static Status ok() { return Status(); }
+  static Status error(ErrCode C, std::string Msg) {
+    Status S;
+    S.Code = C;
+    S.Msg = std::move(Msg);
+    return S;
+  }
+  bool isOk() const { return Code == ErrCode::Ok; }
+  explicit operator bool() const { return isOk(); }
+  ErrCode code() const { return Code; }
+  const std::string &message() const { return Msg; }
+  std::string str() const {
+    return isOk() ? std::string("ok")
+                  : std::string(errCodeName(Code)) + ": " + Msg;
+  }
+
+private:
+  ErrCode Code = ErrCode::Ok;
+  std::string Msg;
+};
+
+/// Per-compile resource budgets. Zero means "unlimited / solver default".
+struct CompileBudget {
+  /// Wall-clock deadline for the whole compile; stages that notice the
+  /// deadline expired degrade instead of continuing.
+  double DeadlineSeconds = 0;
+  /// Branch-and-bound node budget threaded into the ILP solver.
+  int64_t IlpNodeBudget = 0;
+};
+
+/// Steady-clock deadline; default-constructed (or zero-second) deadlines
+/// never expire.
+class Deadline {
+public:
+  Deadline() = default;
+  explicit Deadline(double Seconds) {
+    if (Seconds > 0) {
+      Armed = true;
+      End = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(Seconds));
+    }
+  }
+  bool expired() const {
+    return Armed && std::chrono::steady_clock::now() >= End;
+  }
+
+private:
+  bool Armed = false;
+  std::chrono::steady_clock::time_point End;
+};
+
+} // namespace akg
+
+#endif // AKG_SUPPORT_STATUS_H

@@ -1,0 +1,244 @@
+//===- target/CceIr.cpp - CCE instruction-level IR ------------------------===//
+
+#include "target/CceIr.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+namespace akg {
+namespace cce {
+
+InstrPtr makeLoop(std::string Var, ir::Expr Min, ir::Expr Extent) {
+  auto I = std::make_shared<Instr>();
+  I->Kind = InstrKind::Loop;
+  I->Var = std::move(Var);
+  I->Min = std::move(Min);
+  I->Extent = std::move(Extent);
+  return I;
+}
+
+InstrPtr makeDma(sim::Pipe P, ir::Stmt Sem, int64_t Bytes, int64_t Bursts,
+                 std::string Label) {
+  auto I = std::make_shared<Instr>();
+  I->Kind = InstrKind::Dma;
+  I->Pipe = P;
+  I->Sem = std::move(Sem);
+  I->Bytes = Bytes;
+  I->Bursts = std::max<int64_t>(Bursts, 1);
+  I->Label = std::move(Label);
+  return I;
+}
+
+InstrPtr makeCompute(InstrKind Kind, sim::Pipe P, ir::Stmt Sem,
+                     int64_t Elems, std::string Label) {
+  auto I = std::make_shared<Instr>();
+  I->Kind = Kind;
+  I->Pipe = P;
+  I->Sem = std::move(Sem);
+  I->Elems = Elems;
+  I->Label = std::move(Label);
+  return I;
+}
+
+InstrPtr makeSetFlag(sim::Pipe Src, unsigned EventId) {
+  auto I = std::make_shared<Instr>();
+  I->Kind = InstrKind::SetFlag;
+  I->Pipe = Src;
+  I->EventId = EventId;
+  return I;
+}
+
+InstrPtr makeWaitFlag(sim::Pipe Self, sim::Pipe Src, unsigned EventId,
+                      unsigned Depth) {
+  auto I = std::make_shared<Instr>();
+  I->Kind = InstrKind::WaitFlag;
+  I->Pipe = Self;
+  I->WaitSrc = Src;
+  I->EventId = EventId;
+  I->Depth = Depth;
+  return I;
+}
+
+InstrPtr makeBarrier() {
+  auto I = std::make_shared<Instr>();
+  I->Kind = InstrKind::Barrier;
+  return I;
+}
+
+static void countInList(const std::vector<InstrPtr> &L, InstrKind Kind,
+                        unsigned &N) {
+  for (const InstrPtr &I : L) {
+    if (I->Kind == Kind)
+      ++N;
+    countInList(I->Body, Kind, N);
+  }
+}
+
+unsigned countInstrs(const Kernel &K, InstrKind Kind) {
+  unsigned N = 0;
+  countInList(K.Body, Kind, N);
+  return N;
+}
+
+namespace {
+
+void joinNames(std::ostringstream &OS, const std::vector<std::string> &V) {
+  for (unsigned I = 0; I < V.size(); ++I)
+    OS << (I ? "," : "") << V[I];
+}
+
+void printInstr(std::ostringstream &OS, const Instr &I, unsigned Ind) {
+  std::string Pad(Ind * 2, ' ');
+  OS << Pad;
+  switch (I.Kind) {
+  case InstrKind::Loop:
+    OS << "for " << I.Var << " in [" << ir::exprToString(I.Min) << ", +"
+       << ir::exprToString(I.Extent) << ")"
+       << (I.DoubleBuffered ? " /*double_buffer*/" : "") << " {\n";
+    for (const InstrPtr &C : I.Body)
+      printInstr(OS, *C, Ind + 1);
+    OS << Pad << "}\n";
+    return;
+  case InstrKind::Dma:
+    OS << "copy<" << sim::pipeName(I.Pipe) << "> ";
+    break;
+  case InstrKind::Img2Col:
+    OS << "img2col<" << sim::pipeName(I.Pipe) << "> ";
+    break;
+  case InstrKind::LoadFractal:
+    OS << "load2d<" << sim::pipeName(I.Pipe) << "> ";
+    break;
+  case InstrKind::Mmad:
+    OS << "mmad<" << sim::pipeName(I.Pipe) << "> ";
+    break;
+  case InstrKind::VectorOp:
+    OS << "vintr<" << sim::pipeName(I.Pipe) << "> ";
+    break;
+  case InstrKind::ScalarOp:
+    OS << "scalar<" << sim::pipeName(I.Pipe) << "> ";
+    break;
+  case InstrKind::SetFlag:
+    OS << "set_flag(" << sim::pipeName(I.Pipe) << ", ev" << I.EventId
+       << ")\n";
+    return;
+  case InstrKind::WaitFlag:
+    OS << "wait_flag(" << sim::pipeName(I.Pipe) << " <- "
+       << sim::pipeName(I.WaitSrc) << ", ev" << I.EventId
+       << (I.Depth >= 2 ? ", depth=2" : "") << ")\n";
+    return;
+  case InstrKind::Barrier:
+    OS << "pipe_barrier()\n";
+    return;
+  }
+  if (!I.Label.empty())
+    OS << "\"" << I.Label << "\" ";
+  if (I.Bytes)
+    OS << I.Bytes << "B/" << I.Bursts << "bursts ";
+  if (I.Elems)
+    OS << I.Elems << (I.Fp32 ? " f32" : "") << " elems ";
+  if (I.FractalOps)
+    OS << I.FractalOps << " fractals ";
+  OS << "[";
+  joinNames(OS, I.ReadBufs);
+  OS << "] -> [";
+  joinNames(OS, I.WriteBufs);
+  OS << "]\n";
+}
+
+} // namespace
+
+std::string printKernel(const Kernel &K) {
+  std::ostringstream OS;
+  OS << "__aicore__ " << K.Name << "(";
+  for (unsigned I = 0; I < K.GmTensors.size(); ++I)
+    OS << (I ? ", " : "") << "__gm__ " << K.GmTensors[I]->Name;
+  OS << ") {\n";
+  for (const BufferAlloc &B : K.Buffers)
+    OS << "  alloc " << B.Name << " : " << sim::bufferName(B.Location)
+       << " " << B.bytes() << "B" << (B.DoubleBuffered ? " x2 /*db*/" : "")
+       << "\n";
+  for (const InstrPtr &I : K.Body)
+    printInstr(OS, *I, 1);
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string checkBufferCapacities(const Kernel &K,
+                                  const sim::MachineSpec &M) {
+  std::map<std::string, const BufferAlloc *> ByName;
+  for (const BufferAlloc &B : K.Buffers)
+    ByName[B.Name] = &B;
+
+  // Program order with loop bodies inlined once: a buffer's live interval
+  // is [first reference, last reference] over that order. A buffer that is
+  // live across a loop's back edge is referenced both before/inside and
+  // inside/after the loop, so the interval covers the loop either way.
+  std::vector<const Instr *> Flat;
+  std::function<void(const std::vector<InstrPtr> &)> Walk =
+      [&](const std::vector<InstrPtr> &L) {
+        for (const InstrPtr &I : L) {
+          if (I->Kind == InstrKind::Loop) {
+            Walk(I->Body);
+            continue;
+          }
+          Flat.push_back(I.get());
+        }
+      };
+  Walk(K.Body);
+
+  struct Interval {
+    size_t First = 0, Last = 0;
+    bool Seen = false;
+  };
+  std::map<const BufferAlloc *, Interval> Live;
+  for (size_t Idx = 0; Idx < Flat.size(); ++Idx) {
+    auto Touch = [&](const std::vector<std::string> &Names) {
+      for (const std::string &N : Names) {
+        auto It = ByName.find(N);
+        if (It == ByName.end())
+          continue; // GM tensor, not an on-chip allocation
+        Interval &Iv = Live[It->second];
+        if (!Iv.Seen) {
+          Iv.First = Iv.Last = Idx;
+          Iv.Seen = true;
+        } else {
+          Iv.Last = Idx;
+        }
+      }
+    };
+    Touch(Flat[Idx]->ReadBufs);
+    Touch(Flat[Idx]->WriteBufs);
+  }
+
+  // Peak of simultaneously-live bytes per memory.
+  static const sim::Buffer Mems[] = {sim::Buffer::L1, sim::Buffer::UB,
+                                     sim::Buffer::L0A, sim::Buffer::L0B,
+                                     sim::Buffer::L0C};
+  for (sim::Buffer Mem : Mems) {
+    std::vector<int64_t> Delta(Flat.size() + 1, 0);
+    for (const auto &[B, Iv] : Live) {
+      if (B->Location != Mem)
+        continue;
+      int64_t W = B->bytes() * (B->DoubleBuffered ? 2 : 1);
+      Delta[Iv.First] += W;
+      Delta[Iv.Last + 1] -= W;
+    }
+    int64_t Cur = 0, Peak = 0;
+    for (int64_t D : Delta) {
+      Cur += D;
+      Peak = std::max(Peak, Cur);
+    }
+    if (Peak > M.bufferBytes(Mem)) {
+      std::ostringstream OS;
+      OS << sim::bufferName(Mem) << " capacity exceeded: peak live "
+         << Peak << " bytes > " << M.bufferBytes(Mem);
+      return OS.str();
+    }
+  }
+  return "";
+}
+
+} // namespace cce
+} // namespace akg

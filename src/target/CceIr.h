@@ -1,0 +1,126 @@
+//===- target/CceIr.h - CCE instruction-level IR ----------------*- C++ -*-===//
+//
+// The lowest IR level: a kernel is a list of instructions bound to the six
+// DaVinci pipelines (Fig 1), referencing named on-chip buffer allocations
+// in L1/UB/L0A/L0B/L0C. Each instruction optionally carries a functional
+// semantic payload (ir::Stmt over the ORIGINAL global tensor names) so the
+// simulator can execute the kernel bit-for-bit against the DSL evaluator,
+// while ReadBufs/WriteBufs name the LOCAL buffers for synchronization,
+// liveness, and capacity accounting.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_TARGET_CCEIR_H
+#define AKG_TARGET_CCEIR_H
+
+#include "ir/Dsl.h"
+#include "ir/Stmt.h"
+#include "sim/Machine.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace akg {
+namespace cce {
+
+enum class InstrKind {
+  Dma,         // GM <-> L1/UB transfer (MTE2 inbound, MTE3 outbound) or
+               // on-chip move on MTE1
+  Img2Col,     // implicit convolution patch materialization (MTE1)
+  LoadFractal, // fractal-layout load into L0A/L0B (MTE1)
+  Mmad,        // cube-unit matrix multiply-accumulate (M pipe)
+  VectorOp,    // SIMD intrinsic on UB data (V pipe)
+  ScalarOp,    // scalar loop fallback (S pipe)
+  Loop,        // structured loop around a sub-list of instructions
+  SetFlag,     // raise event <Pipe, EventId>
+  WaitFlag,    // block Pipe until event <WaitSrc, EventId> (Depth 2 waits
+               // on the previous set: ping-pong double buffering)
+  Barrier,     // full pipeline barrier
+};
+
+struct Instr;
+using InstrPtr = std::shared_ptr<Instr>;
+
+struct Instr {
+  InstrKind Kind = InstrKind::ScalarOp;
+  sim::Pipe Pipe = sim::Pipe::S;
+  std::string Label;
+
+  // Transfer payload.
+  int64_t Bytes = 0;
+  int64_t Bursts = 1;
+
+  // Compute payload.
+  int64_t Elems = 0;
+  int64_t FractalOps = 0;
+  bool Fp32 = false;
+
+  // Functional payload (may be null for pure transfers).
+  ir::Stmt Sem;
+
+  // Buffer names touched, for sync/liveness/capacity. Local allocation
+  // names for on-chip endpoints, global tensor names for GM endpoints.
+  std::vector<std::string> ReadBufs;
+  std::vector<std::string> WriteBufs;
+
+  // Loop payload.
+  std::string Var;
+  ir::Expr Min, Extent;
+  std::vector<InstrPtr> Body;
+  bool DoubleBuffered = false;
+
+  // Flag payload.
+  unsigned EventId = 0;
+  sim::Pipe WaitSrc = sim::Pipe::S;
+  unsigned Depth = 1;
+};
+
+/// One on-chip buffer allocation.
+struct BufferAlloc {
+  std::string Name;
+  sim::Buffer Location = sim::Buffer::UB;
+  ir::Tensor Decl;
+  bool DoubleBuffered = false;
+
+  int64_t bytes() const { return Decl ? Decl->sizeBytes() : 0; }
+};
+
+struct Kernel {
+  std::string Name;
+  std::vector<BufferAlloc> Buffers;
+  std::vector<ir::Tensor> GmTensors;
+  std::vector<InstrPtr> Body;
+  /// Library kernels hand-tune prefetching; halves MTE2 warm-up latency.
+  bool HandPrefetched = false;
+};
+
+InstrPtr makeLoop(std::string Var, ir::Expr Min, ir::Expr Extent);
+InstrPtr makeDma(sim::Pipe P, ir::Stmt Sem, int64_t Bytes, int64_t Bursts,
+                 std::string Label);
+InstrPtr makeCompute(InstrKind Kind, sim::Pipe P, ir::Stmt Sem,
+                     int64_t Elems, std::string Label);
+InstrPtr makeSetFlag(sim::Pipe Src, unsigned EventId);
+InstrPtr makeWaitFlag(sim::Pipe Self, sim::Pipe Src, unsigned EventId,
+                      unsigned Depth = 1);
+InstrPtr makeBarrier();
+
+/// Counts instructions of \p Kind, recursing into loop bodies (static
+/// count, not dynamic).
+unsigned countInstrs(const Kernel &K, InstrKind Kind);
+
+/// Pretty-prints the kernel in pseudo-CCE form (e.g. "copy<PIPE_MTE2>").
+std::string printKernel(const Kernel &K);
+
+/// Liveness-aware capacity check: for each on-chip memory, the peak of
+/// simultaneously-live allocations (double-buffered ones count twice) must
+/// fit the capacity. Buffers never referenced by any instruction cost
+/// nothing (they are dead storage the compiler may have over-declared).
+/// Returns "" when everything fits, else a diagnostic naming the memory.
+std::string checkBufferCapacities(const Kernel &K,
+                                  const sim::MachineSpec &M);
+
+} // namespace cce
+} // namespace akg
+
+#endif // AKG_TARGET_CCEIR_H

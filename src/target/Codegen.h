@@ -1,0 +1,55 @@
+//===- target/Codegen.h - AST -> CCE instruction lowering -------*- C++ -*-===//
+//
+// Lowers the scheduled AST to the CCE instruction IR (Sec 6): "on_chip"
+// regions become UB/L1-resident working sets with DMA in/out, "local_UB"
+// units become vector (or scalar) intrinsics, and "cube_unit" reductions
+// are decomposed into the img2col / fractal-load / MMAD sequence with the
+// reduction streamed through L1 in K chunks. Storage management (box
+// sizing, buffer reuse by liveness, double buffering) happens here; the
+// result is checked against the machine model by checkBufferCapacities.
+//
+// Every instruction's functional semantics (Instr::Sem) is expressed over
+// the *original global tensors*, so functional simulation is independent
+// of how boxes were sized; ReadBufs/WriteBufs carry the on-chip buffer
+// names used for synchronization, liveness, and capacity checking.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_TARGET_CODEGEN_H
+#define AKG_TARGET_CODEGEN_H
+
+#include "ir/Dsl.h"
+#include "ir/PolyExtract.h"
+#include "sim/Machine.h"
+#include "target/CceIr.h"
+
+#include <string>
+
+namespace akg {
+namespace cce {
+
+struct CodegenOptions {
+  sim::MachineSpec Machine = sim::MachineSpec::ascend910();
+  /// Map vectorizable innermost loops to V-pipe intrinsics (off: scalar).
+  bool EnableVectorize = true;
+  /// Ping-pong buffers for DMA-fed boxes in tile/chunk loops.
+  bool EnableDoubleBuffer = true;
+};
+
+/// Lowers the scheduled AST of module \p M to a CCE kernel. \p P is the
+/// polyhedral program the AST was generated from (used to recognize Cube
+/// statements). Never fails structurally: units the Cube path cannot
+/// express degrade to vector/scalar code.
+Kernel lowerToCce(const ir::Stmt &Ast, const ir::Module &M,
+                  const ir::PolyProgram &P, const CodegenOptions &Opts,
+                  const std::string &Name);
+
+/// Last-resort kernel: the whole module as one scalar instruction running
+/// the naive loop nest. Allocates nothing on-chip, so it can never exceed
+/// a buffer capacity; used as the bottom of the degradation ladder.
+Kernel lowerScalarFallback(const ir::Module &M, const std::string &Name);
+
+} // namespace cce
+} // namespace akg
+
+#endif // AKG_TARGET_CODEGEN_H

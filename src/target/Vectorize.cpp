@@ -1,0 +1,153 @@
+//===- target/Vectorize.cpp - SIMD legality analysis ----------------------===//
+
+#include "target/Vectorize.h"
+
+#include <optional>
+
+namespace akg {
+namespace cce {
+
+using namespace ir;
+
+namespace {
+
+bool containsVar(const Expr &E, const std::string &Var) {
+  if (!E)
+    return false;
+  if (E->Kind == ExprKind::Var)
+    return E->Name == Var;
+  for (const Expr &O : E->Operands)
+    if (containsVar(O, Var))
+      return true;
+  return false;
+}
+
+/// Coefficient of Var in E when E is affine in Var; nullopt otherwise.
+/// Expressions not mentioning Var are affine with coefficient 0 whatever
+/// their shape.
+std::optional<int64_t> varCoeff(const Expr &E, const std::string &Var) {
+  if (!E)
+    return 0;
+  switch (E->Kind) {
+  case ExprKind::IntImm:
+  case ExprKind::FloatImm:
+    return 0;
+  case ExprKind::Var:
+    return E->Name == Var ? 1 : 0;
+  case ExprKind::Add: {
+    auto A = varCoeff(E->Operands[0], Var), B = varCoeff(E->Operands[1], Var);
+    if (A && B)
+      return *A + *B;
+    return std::nullopt;
+  }
+  case ExprKind::Sub: {
+    auto A = varCoeff(E->Operands[0], Var), B = varCoeff(E->Operands[1], Var);
+    if (A && B)
+      return *A - *B;
+    return std::nullopt;
+  }
+  case ExprKind::Mul: {
+    int64_t C;
+    if (isConstInt(E->Operands[0], &C)) {
+      auto B = varCoeff(E->Operands[1], Var);
+      return B ? std::optional<int64_t>(C * *B) : std::nullopt;
+    }
+    if (isConstInt(E->Operands[1], &C)) {
+      auto A = varCoeff(E->Operands[0], Var);
+      return A ? std::optional<int64_t>(C * *A) : std::nullopt;
+    }
+    return containsVar(E, Var) ? std::nullopt : std::optional<int64_t>(0);
+  }
+  case ExprKind::Cast:
+    return varCoeff(E->Operands[0], Var);
+  default:
+    // FloorDiv/Mod/Min/Max/Select/Call/TensorRead/...: affine only if the
+    // variable does not occur at all.
+    return containsVar(E, Var) ? std::nullopt : std::optional<int64_t>(0);
+  }
+}
+
+/// Collects every TensorRead in an expression tree.
+void collectReadExprs(const Expr &E, std::vector<const ExprNode *> &Out) {
+  if (!E)
+    return;
+  if (E->Kind == ExprKind::TensorRead)
+    Out.push_back(E.get());
+  for (const Expr &O : E->Operands)
+    collectReadExprs(O, Out);
+}
+
+bool indicesOk(const std::vector<Expr> &Idx, const std::string &Var,
+               bool IsWrite) {
+  for (unsigned D = 0; D < Idx.size(); ++D) {
+    bool Last = D + 1 == Idx.size();
+    auto C = varCoeff(Idx[D], Var);
+    if (!C)
+      return false;
+    if (!Last && *C != 0)
+      return false; // strided or gathered across rows
+    if (Last && IsWrite && *C != 1)
+      return false; // write must sweep contiguously
+    if (Last && !IsWrite && *C != 0 && *C != 1)
+      return false; // reads: broadcast or contiguous only
+  }
+  return true;
+}
+
+bool bodyVectorizable(const Stmt &S, const std::string &Var) {
+  if (!S)
+    return true;
+  switch (S->Kind) {
+  case StmtKind::Block:
+    for (const Stmt &C : S->Children)
+      if (!bodyVectorizable(C, Var))
+        return false;
+    return true;
+  case StmtKind::Provide: {
+    if (!indicesOk(S->Indices, Var, /*IsWrite=*/true))
+      return false;
+    std::vector<const ExprNode *> Reads;
+    collectReadExprs(S->Value, Reads);
+    for (const ExprNode *R : Reads) {
+      std::vector<Expr> Idx(R->Operands.begin(), R->Operands.end());
+      if (!indicesOk(Idx, Var, /*IsWrite=*/false))
+        return false;
+    }
+    return true;
+  }
+  case StmtKind::IfThenElse:
+    // A guard whose condition is uniform across the lanes (it does not
+    // mention the vector variable) predicates the whole intrinsic; guards
+    // that vary per lane need the scalar pipe.
+    if (containsVar(S->Cond, Var))
+      return false;
+    return bodyVectorizable(S->Children.empty() ? nullptr : S->Children[0],
+                            Var) &&
+           bodyVectorizable(S->Children.size() > 1 ? S->Children[1] : nullptr,
+                            Var);
+  case StmtKind::Attr:
+    return bodyVectorizable(S->Children.empty() ? nullptr : S->Children[0],
+                            Var);
+  default:
+    // Nested loops, allocates, evaluates: a single intrinsic cannot
+    // express them; let the scalar pipe handle it.
+    return false;
+  }
+}
+
+} // namespace
+
+bool isUnitStride(const Expr &E, const std::string &Var) {
+  auto C = varCoeff(E, Var);
+  return C && *C == 1;
+}
+
+bool isVectorizableLoop(const Stmt &S) {
+  if (!S || S->Kind != StmtKind::For)
+    return false;
+  const Stmt &Body = S->Children.empty() ? nullptr : S->Children[0];
+  return bodyVectorizable(Body, S->Var);
+}
+
+} // namespace cce
+} // namespace akg

@@ -1,0 +1,33 @@
+//===- target/Vectorize.h - SIMD legality analysis --------------*- C++ -*-===//
+//
+// Decides whether a loop can be mapped to a single vector intrinsic on
+// the V pipe (Sec 6): the innermost dimension must be unit-stride in every
+// access's last index and absent from the other indices, so the intrinsic
+// reads/writes contiguous UB spans.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_TARGET_VECTORIZE_H
+#define AKG_TARGET_VECTORIZE_H
+
+#include "ir/Stmt.h"
+
+#include <string>
+
+namespace akg {
+namespace cce {
+
+/// True when \p E is affine in \p Var with coefficient exactly 1 (other
+/// variables may appear as symbolic offsets).
+bool isUnitStride(const ir::Expr &E, const std::string &Var);
+
+/// True when \p S is a For loop whose body is straight-line Provides with
+/// unit-stride last-index accesses in the loop variable (invariant reads
+/// allowed) and no occurrence of the variable in non-last indices, nested
+/// loops, or control conditions.
+bool isVectorizableLoop(const ir::Stmt &S);
+
+} // namespace cce
+} // namespace akg
+
+#endif // AKG_TARGET_VECTORIZE_H

@@ -215,8 +215,13 @@ AutoTilingResult autoTile(const ir::PolyProgram &P,
         }
         UbBytes = std::max(UbBytes, Here);
       }
+      // UB budget is the full capacity: the liveness-aware checker in the
+      // driver is the real gate (and halves tiles on overflow), and double
+      // buffering only duplicates small MTE2-loaded boxes, which the Slack
+      // factor absorbs. L1 keeps the half-capacity margin for the cube
+      // pipeline's ping-pong operand buffers.
       double Ub = UbBytes * Opts.Slack, L1 = L1Bytes * Opts.Slack;
-      if (Ub > M.UBBytes / 2.0 || L1 > M.L1Bytes / 2.0)
+      if (Ub > double(M.UBBytes) || L1 > M.L1Bytes / 2.0)
         return;
       int64_t Points = 1;
       for (unsigned DD = 0; DD < W; ++DD)
