@@ -16,9 +16,11 @@
 #include "baselines/TvmCompiler.h"
 #include "sim/Simulator.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace akg {
@@ -154,6 +156,106 @@ inline void printHeader(const char *Title) {
               "=\n",
               Title);
 }
+
+/// Wall-clock seconds of \p Fn (steady clock).
+template <typename Fn> inline double wallSeconds(Fn &&F) {
+  auto T0 = std::chrono::steady_clock::now();
+  F();
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+/// --- Machine-readable benchmark output ------------------------------------
+/// Every bench binary emits a BENCH_<figure>.json next to its stdout table
+/// so the perf trajectory (cycles per code path, compile wall-time, cache
+/// hit rates) is tracked across PRs:
+///   {"figure": "...", "totals": {...}, "records": [{"op": "...", ...}]}
+class BenchJson {
+public:
+  explicit BenchJson(std::string Figure) : Figure(std::move(Figure)) {}
+
+  struct Rec {
+    std::string Op;
+    std::vector<std::pair<std::string, double>> Nums;
+    std::vector<std::pair<std::string, std::string>> Strs;
+
+    Rec &num(const std::string &K, double V) {
+      Nums.emplace_back(K, V);
+      return *this;
+    }
+    Rec &str(const std::string &K, const std::string &V) {
+      Strs.emplace_back(K, V);
+      return *this;
+    }
+  };
+
+  Rec &record(const std::string &Op) {
+    Records.push_back(Rec{Op, {}, {}});
+    return Records.back();
+  }
+  void total(const std::string &K, double V) { Totals.emplace_back(K, V); }
+
+  /// Writes BENCH_<figure>.json into the working directory.
+  void write() const {
+    std::string Path = "BENCH_" + Figure + ".json";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      return;
+    }
+    std::string Out = "{\n  \"figure\": \"" + escape(Figure) + "\",\n";
+    Out += "  \"totals\": {";
+    for (size_t I = 0; I < Totals.size(); ++I)
+      Out += (I ? ", " : "") + quoted(Totals[I].first) + ": " +
+             numText(Totals[I].second);
+    Out += "},\n  \"records\": [\n";
+    for (size_t I = 0; I < Records.size(); ++I) {
+      const Rec &R = Records[I];
+      Out += "    {\"op\": " + quoted(R.Op);
+      for (const auto &[K, V] : R.Nums)
+        Out += ", " + quoted(K) + ": " + numText(V);
+      for (const auto &[K, V] : R.Strs)
+        Out += ", " + quoted(K) + ": " + quoted(V);
+      Out += I + 1 < Records.size() ? "},\n" : "}\n";
+    }
+    Out += "  ]\n}\n";
+    std::fwrite(Out.data(), 1, Out.size(), F);
+    std::fclose(F);
+    std::printf("\nwrote %s\n", Path.c_str());
+  }
+
+private:
+  static std::string escape(const std::string &S) {
+    std::string E;
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        E += '\\';
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof Buf, "\\u%04x", C);
+        E += Buf;
+        continue;
+      }
+      E += C;
+    }
+    return E;
+  }
+  static std::string quoted(const std::string &S) {
+    return "\"" + escape(S) + "\"";
+  }
+  static std::string numText(double V) {
+    char Buf[40];
+    if (V == std::floor(V) && std::fabs(V) < 9e15)
+      std::snprintf(Buf, sizeof Buf, "%lld", static_cast<long long>(V));
+    else
+      std::snprintf(Buf, sizeof Buf, "%.6g", V);
+    return Buf;
+  }
+
+  std::string Figure;
+  std::vector<std::pair<std::string, double>> Totals;
+  std::vector<Rec> Records;
+};
 
 } // namespace bench
 } // namespace akg

@@ -1,0 +1,137 @@
+//===- bench/compile_service.cpp - Compile-throughput benchmark -----------===//
+//
+// Measures the compile service against the strictly sequential pipeline
+// on the Fig 13 workload as a graph engine would present it: one compile
+// request per fused-subgraph *instance* per training step (layer
+// occurrence counts included), across all six networks. The paper (Sec 8)
+// reports per-operator compile times; a whole network multiplies those by
+// hundreds of subgraphs, which is exactly what a serving stack has to
+// swallow.
+//
+// Three configurations over the identical request stream:
+//   sequential  - the pre-service behavior: every request compiled, one
+//                 at a time, no cache;
+//   service     - AKG_THREADS workers (default 4) + a cold content-
+//                 addressed kernel cache: structurally identical requests
+//                 compile once, concurrently where cores allow;
+//   warm        - the same suite again on the now-warm cache.
+//
+// Kernel dumps are asserted bit-identical across all three before any
+// number is reported. Results land in BENCH_compile_service.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "akg/CompileService.h"
+#include "akg/KernelCache.h"
+#include "graph/Networks.h"
+#include "support/Env.h"
+#include "target/CceIr.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace akg;
+using namespace akg::bench;
+using namespace akg::graph;
+
+int main() {
+  printHeader("Compile service: Fig 13 suite, one request per subgraph "
+              "instance (sequential vs parallel+cache vs warm cache)");
+
+  NetworkModel Nets[6] = {buildResNet50(), buildMobileNetV2(),
+                          buildAlexNet(), buildBert(21128),
+                          buildBert(30522), buildSsd()};
+  AkgOptions Base;
+  std::vector<CompileJob> Jobs;
+  size_t DistinctLayers = 0;
+  for (const NetworkModel &N : Nets) {
+    std::vector<CompileJob> J = networkCompileJobs(N, Base,
+                                                   /*PerOccurrence=*/true);
+    DistinctLayers += N.Layers.size();
+    Jobs.insert(Jobs.end(), J.begin(), J.end());
+  }
+  // AKG_THREADS when set, else the 4-worker configuration under test.
+  unsigned Threads =
+      env::isSet("AKG_THREADS") ? compileServiceThreads(0) : 4;
+  std::printf("%zu compile requests (%zu distinct subgraphs), "
+              "%u worker threads\n\n",
+              Jobs.size(), DistinctLayers, Threads);
+
+  // Sequential baseline: the pre-service pipeline, no cache, one core.
+  std::vector<CompileResult> Seq;
+  Seq.reserve(Jobs.size());
+  double SeqSeconds = wallSeconds([&] {
+    for (const CompileJob &J : Jobs)
+      Seq.push_back(compileWithAkg(*J.Mod, J.Opts, J.Name));
+  });
+  std::printf("sequential (no cache):   %8.2fs\n", SeqSeconds);
+
+  // Compile service, cold cache.
+  KernelCache Cache;
+  CompileServiceOptions SO;
+  SO.Threads = Threads;
+  SO.Cache = &Cache;
+  std::vector<CompileResult> Par;
+  double ColdSeconds =
+      wallSeconds([&] { Par = compileModulesParallel(Jobs, SO); });
+  KernelCacheStats Cold = Cache.stats();
+  std::printf("service, cold cache:     %8.2fs  (%lld compiles, %lld "
+              "hits, %lld coalesced)\n",
+              ColdSeconds, (long long)Cold.Misses, (long long)Cold.Hits,
+              (long long)Cold.Coalesced);
+
+  // Same suite again: everything should come out of the cache.
+  std::vector<CompileResult> Warm;
+  double WarmSeconds =
+      wallSeconds([&] { Warm = compileModulesParallel(Jobs, SO); });
+  KernelCacheStats After = Cache.stats();
+  std::printf("service, warm cache:     %8.2fs  (%lld hits)\n", WarmSeconds,
+              (long long)(After.Hits - Cold.Hits));
+
+  // Identical kernels must come out of all three configurations.
+  size_t Mismatches = 0;
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    std::string A = cce::printKernel(Seq[I].Kernel);
+    if (A != cce::printKernel(Par[I].Kernel) ||
+        A != cce::printKernel(Warm[I].Kernel) ||
+        Seq[I].Degradation.str() != Par[I].Degradation.str())
+      ++Mismatches;
+  }
+  if (Mismatches) {
+    std::fprintf(stderr, "FAIL: %zu kernels differ across configurations\n",
+                 Mismatches);
+    return 1;
+  }
+  std::printf("\nall %zu kernels bit-identical across configurations\n",
+              Jobs.size());
+  double ColdSpeedup = ColdSeconds > 0 ? SeqSeconds / ColdSeconds : 0;
+  double WarmSpeedup = WarmSeconds > 0 ? ColdSeconds / WarmSeconds : 0;
+  std::printf("service speedup over sequential: %.2fx\n", ColdSpeedup);
+  std::printf("warm-cache speedup over cold:    %.2fx\n", WarmSpeedup);
+
+  BenchJson J("compile_service");
+  J.total("requests", double(Jobs.size()));
+  J.total("distinct_subgraphs", double(DistinctLayers));
+  J.total("threads", double(SO.Threads));
+  J.total("sequential_seconds", SeqSeconds);
+  J.total("service_cold_seconds", ColdSeconds);
+  J.total("service_warm_seconds", WarmSeconds);
+  J.total("service_speedup", ColdSpeedup);
+  J.total("warm_speedup", WarmSpeedup);
+  J.total("cache_hit_rate", After.hitRate());
+  J.total("cache_misses", double(After.Misses));
+  J.total("kernels_identical", Mismatches == 0 ? 1 : 0);
+  for (const NetworkModel &N : Nets) {
+    int64_t Requests = 0;
+    for (const LayerWorkload &L : N.Layers)
+      Requests += L.Count;
+    J.record(N.Name)
+        .num("distinct_subgraphs", double(N.Layers.size()))
+        .num("requests", double(Requests));
+  }
+  J.write();
+  return 0;
+}

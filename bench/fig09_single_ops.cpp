@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "akg/KernelCache.h"
 #include "graph/Ops.h"
 
 using namespace akg;
@@ -117,22 +118,39 @@ int main() {
               "(geomean over 10 shapes each, batch 16; higher is better)");
   std::printf("%-16s %10s %10s %10s %10s\n", "operator", "CCE naive",
               "CCE opt", "TVM", "AKG");
+  BenchJson J("fig09_single_ops");
   std::vector<double> AllTvm, AllOpt, AllNaive;
+  double TotalSeconds = 0;
   for (const OpFamily &Fam : buildFamilies()) {
     std::vector<double> Naive, Opt, Tvm;
-    for (const ModulePtr &M : Fam.Shapes) {
-      int64_t A = cyclesAkg(*M, Fam.Name);
-      int64_t T = cyclesTvm(*M, Fam.Name);
-      int64_t O = cyclesCceOpt(*M, Fam.Name);
-      int64_t N = cyclesCceNaive(*M, Fam.Name);
-      Naive.push_back(double(A) / double(N));
-      Opt.push_back(double(A) / double(O));
-      Tvm.push_back(double(A) / double(T));
-    }
+    int64_t CycA = 0, CycT = 0, CycO = 0, CycN = 0;
+    double FamSeconds = wallSeconds([&] {
+      for (const ModulePtr &M : Fam.Shapes) {
+        int64_t A = cyclesAkg(*M, Fam.Name);
+        int64_t T = cyclesTvm(*M, Fam.Name);
+        int64_t O = cyclesCceOpt(*M, Fam.Name);
+        int64_t N = cyclesCceNaive(*M, Fam.Name);
+        CycA += A;
+        CycT += T;
+        CycO += O;
+        CycN += N;
+        Naive.push_back(double(A) / double(N));
+        Opt.push_back(double(A) / double(O));
+        Tvm.push_back(double(A) / double(T));
+      }
+    });
+    TotalSeconds += FamSeconds;
     double GN = geomean(Naive), GO = geomean(Opt), GT = geomean(Tvm);
     AllNaive.push_back(GN);
     AllOpt.push_back(GO);
     AllTvm.push_back(GT);
+    J.record(Fam.Name)
+        .num("akg_cycles", double(CycA))
+        .num("tvm_cycles", double(CycT))
+        .num("cce_opt_cycles", double(CycO))
+        .num("cce_naive_cycles", double(CycN))
+        .num("speedup_vs_tvm", 1.0 / GT)
+        .num("compile_wall_seconds", FamSeconds);
     std::printf("%-16s %10.3f %10.3f %10.3f %10.3f\n", Fam.Name, GN, GO, GT,
                 1.0);
   }
@@ -145,5 +163,9 @@ int main() {
               1.0 / geomean(AllTvm),
               geomean(AllOpt) / geomean(AllNaive),
               (1.0 / geomean(AllOpt) - 1.0) * 100.0);
+  J.total("akg_vs_tvm_geomean", 1.0 / geomean(AllTvm));
+  J.total("compile_wall_seconds", TotalSeconds);
+  J.total("cache_hit_rate", KernelCache::global().stats().hitRate());
+  J.write();
   return 0;
 }

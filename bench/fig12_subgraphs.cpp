@@ -23,14 +23,23 @@ int main() {
   ModulePtr Subs[5] = {makeSubgraph1(2), makeSubgraph2(2), makeSubgraph3(2),
                        makeSubgraph4(1), makeSubgraph5(1)};
   std::printf("%-12s %12s %12s %12s\n", "subgraph", "CCE opt", "TVM", "AKG");
+  BenchJson J("fig12_subgraphs");
   std::vector<double> OptR, TvmR;
   for (int I = 0; I < 5; ++I) {
     std::string Name = "subgraph" + std::to_string(I + 1);
-    int64_t A = cyclesAkgTuned(*Subs[I], Name.c_str());
-    int64_t T = cyclesTvmTuned(*Subs[I], Name.c_str(), nullptr, 6);
-    int64_t O = cyclesCceOpt(*Subs[I], Name.c_str());
+    int64_t A = 0, T = 0, O = 0;
+    double Seconds = wallSeconds([&] {
+      A = cyclesAkgTuned(*Subs[I], Name.c_str());
+      T = cyclesTvmTuned(*Subs[I], Name.c_str(), nullptr, 6);
+      O = cyclesCceOpt(*Subs[I], Name.c_str());
+    });
     OptR.push_back(double(A) / double(O));
     TvmR.push_back(double(A) / double(T));
+    J.record(Name)
+        .num("akg_cycles", double(A))
+        .num("tvm_cycles", double(T))
+        .num("cce_opt_cycles", double(O))
+        .num("compile_wall_seconds", Seconds);
     std::printf("%-12s %12.3f %12.3f %12.3f\n", Name.c_str(),
                 double(A) / double(O), double(A) / double(T), 1.0);
   }
@@ -38,5 +47,8 @@ int main() {
               "(paper 5.6x); TVM over CCE opt: %.2fx (paper 4.4x)\n",
               1.0 / geomean(TvmR), 1.0 / geomean(OptR),
               geomean(TvmR) / geomean(OptR));
+  J.total("akg_vs_tvm_geomean", 1.0 / geomean(TvmR));
+  J.total("akg_vs_cce_opt_geomean", 1.0 / geomean(OptR));
+  J.write();
   return 0;
 }

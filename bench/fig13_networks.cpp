@@ -10,7 +10,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "akg/KernelCache.h"
 #include "graph/Networks.h"
+#include "support/Stats.h"
 
 #include <cstdlib>
 #include <functional>
@@ -27,7 +29,7 @@ int64_t networkCycles(const NetworkModel &N,
                           CompileResult *)> &Compile) {
   int64_t Total = 0;
   for (const LayerWorkload &L : N.Layers) {
-    if (std::getenv("AKG_STATS"))
+    if (Stats::enabled())
       std::fprintf(stderr, "[fig13] %s / %s\n", N.Name.c_str(),
                    L.Name.c_str());
     Total += Compile(*L.Mod, L.Name.c_str(), nullptr) * L.Count;
@@ -52,21 +54,30 @@ int main() {
                           buildBert(30522), buildSsd()};
   std::printf("%-14s %14s %14s %10s %10s\n", "network", "AKG cycles",
               "TVM cycles", "TVM", "CCE opt");
+  BenchJson J("fig13_networks");
   std::vector<double> TvmR;
   for (NetworkModel &N : Nets) {
-    int64_t A = networkCycles(N, [](const ir::Module &M,
-                                const char *Nm,
-                                CompileResult *O) {
-      return cyclesAkgTuned(M, Nm, O, 6);
-    });
-    int64_t T = networkCycles(N, [](const ir::Module &M,
-                                const char *Nm,
-                                CompileResult *O) {
-      return cyclesTvmTuned(M, Nm, O, 6);
+    int64_t A = 0, T = 0;
+    double Seconds = wallSeconds([&] {
+      A = networkCycles(N, [](const ir::Module &M,
+                              const char *Nm,
+                              CompileResult *O) {
+        return cyclesAkgTuned(M, Nm, O, 6);
+      });
+      T = networkCycles(N, [](const ir::Module &M,
+                              const char *Nm,
+                              CompileResult *O) {
+        return cyclesTvmTuned(M, Nm, O, 6);
+      });
     });
     TvmR.push_back(double(A) / double(T));
+    BenchJson::Rec &R = J.record(N.Name)
+                            .num("akg_cycles", double(A))
+                            .num("tvm_cycles", double(T))
+                            .num("compile_wall_seconds", Seconds);
     if (N.Name == "ResNet-50") {
       int64_t O = networkCyclesCceOpt(N);
+      R.num("cce_opt_cycles", double(O));
       std::printf("%-14s %14lld %14lld %10.3f %10.3f\n", N.Name.c_str(),
                   (long long)A, (long long)T, double(A) / double(T),
                   double(A) / double(O));
@@ -78,5 +89,8 @@ int main() {
   std::printf("\nOverall AKG improvement over TVM: %.1f%% "
               "(paper: 20.2%%)\n",
               (1.0 / geomean(TvmR) - 1.0) * 100.0);
+  J.total("akg_vs_tvm_improvement_pct", (1.0 / geomean(TvmR) - 1.0) * 100.0);
+  J.total("cache_hit_rate", KernelCache::global().stats().hitRate());
+  J.write();
   return 0;
 }

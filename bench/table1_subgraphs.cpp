@@ -30,11 +30,19 @@ int main() {
   ModulePtr Subs[5] = {makeSubgraph1(), makeSubgraph2(), makeSubgraph3(),
                        makeSubgraph4(), makeSubgraph5()};
   const char *Prec[5] = {"FP16", "FP16", "FP32", "FP32", "FP16"};
+  BenchJson J("table1_subgraphs");
   for (int I = 0; I < 5; ++I) {
     const ir::Module &M = *Subs[I];
+    J.record("subgraph" + std::to_string(I + 1))
+        .num("ops", double(opCount(M)))
+        .num("batch", 16)
+        .str("precision", Prec[I])
+        .str("input_shape", shapeOf(M.inputs().front()))
+        .str("output_shape", shapeOf(M.outputs().front()));
     std::printf("%-4d %-8u %-10s %-11d %-18s %-18s\n", I + 1, opCount(M),
                 Prec[I], 16, shapeOf(M.inputs().front()).c_str(),
                 shapeOf(M.outputs().front()).c_str());
   }
+  J.write();
   return 0;
 }

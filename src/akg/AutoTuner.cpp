@@ -2,7 +2,11 @@
 
 #include "akg/AutoTuner.h"
 
+#include "akg/CompileService.h"
 #include "sim/Simulator.h"
+#include "support/Env.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -10,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 
 namespace akg {
 
@@ -82,6 +87,7 @@ TuneResult tuneTiles(const std::vector<std::vector<int64_t>> &Space,
   Rng R(Opts.Seed);
   PerfModel Model;
   std::map<std::vector<unsigned>, int64_t> Seen;
+  unsigned Threads = compileServiceThreads(Opts.MeasureThreads);
 
   auto TilesOf = [&](const std::vector<unsigned> &Idx) {
     std::vector<int64_t> T(W);
@@ -89,15 +95,57 @@ TuneResult tuneTiles(const std::vector<std::vector<int64_t>> &Space,
       T[D] = Space[D][Idx[D]];
     return T;
   };
-  auto MeasureIdx = [&](const std::vector<unsigned> &Idx) {
-    auto It = Seen.find(Idx);
-    if (It != Seen.end())
-      return It->second;
-    int64_t C = Measure(TilesOf(Idx));
-    ++Res.SamplesMeasured;
-    Seen[Idx] = C;
-    Model.add(Idx, C);
-    return C;
+
+  std::vector<unsigned> BestIdx;
+  int64_t Best = 0;
+  bool HaveBest = false;
+
+  // Measures a batch of distinct, not-yet-seen configurations, fanning
+  // across workers, and folds the results in draw order - so the tuning
+  // trajectory is identical on 1 thread and on N.
+  auto MeasureBatch = [&](const std::vector<std::vector<unsigned>> &Batch) {
+    std::vector<int64_t> Cycles(Batch.size());
+    parallelFor(Threads, Batch.size(),
+                [&](size_t I) { Cycles[I] = Measure(TilesOf(Batch[I])); });
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      Seen.emplace(Batch[I], Cycles[I]);
+      Model.add(Batch[I], Cycles[I]);
+      ++Res.SamplesMeasured;
+      if (!HaveBest || Cycles[I] < Best) {
+        Best = Cycles[I];
+        BestIdx = Batch[I];
+        HaveBest = true;
+      }
+    }
+  };
+
+  // Draws one candidate via \p DrawOne, resampling (bounded) until it is
+  // distinct from everything measured or already drawn this batch: the
+  // sample budget buys distinct points, never a re-measurement.
+  std::set<std::vector<unsigned>> InBatch;
+  auto PushDistinct = [&](std::vector<std::vector<unsigned>> &Batch,
+                          const std::function<std::vector<unsigned>()>
+                              &DrawOne) {
+    for (unsigned Try = 0; Try < 16; ++Try) {
+      std::vector<unsigned> Idx = DrawOne();
+      if (Seen.count(Idx) || InBatch.count(Idx)) {
+        Stats::get().add("tuner.duplicate_draws");
+        continue;
+      }
+      InBatch.insert(Idx);
+      Batch.push_back(std::move(Idx));
+      return;
+    }
+    // Space locally exhausted around this draw; spend the slot nowhere
+    // rather than on a duplicate measurement.
+    Stats::get().add("tuner.exhausted_draws");
+  };
+
+  auto DrawUniform = [&] {
+    std::vector<unsigned> Idx(W);
+    for (unsigned D = 0; D < W; ++D)
+      Idx[D] = static_cast<unsigned>(R.below(Space[D].size()));
+    return Idx;
   };
 
   // Starting point (Auto Tiling's choice).
@@ -107,37 +155,29 @@ TuneResult tuneTiles(const std::vector<std::vector<int64_t>> &Space,
       if (Space[D][I] == Start[D])
         StartIdx[D] = I;
   }
-  Res.InitialCycles = MeasureIdx(StartIdx);
-  std::vector<unsigned> BestIdx = StartIdx;
-  int64_t Best = Res.InitialCycles;
+  MeasureBatch({StartIdx});
+  Res.InitialCycles = Seen.at(StartIdx);
 
-  auto Consider = [&](const std::vector<unsigned> &Idx) {
-    int64_t C = MeasureIdx(Idx);
-    if (C < Best) {
-      Best = C;
-      BestIdx = Idx;
-    }
-  };
-
-  // Round 1: random samples.
-  for (unsigned I = 0; I < Opts.FirstRoundSamples; ++I) {
-    std::vector<unsigned> Idx(W);
-    for (unsigned D = 0; D < W; ++D)
-      Idx[D] = static_cast<unsigned>(R.below(Space[D].size()));
-    Consider(Idx);
+  // Round 1: random samples, drawn up front, measured concurrently.
+  {
+    std::vector<std::vector<unsigned>> Batch;
+    InBatch.clear();
+    for (unsigned I = 0; I < Opts.FirstRoundSamples; ++I)
+      PushDistinct(Batch, DrawUniform);
+    MeasureBatch(Batch);
   }
 
   // Follow-up rounds: model-guided steps from the best pool with
   // probability p, uniform otherwise; p evolves with the pre-defined
-  // parameter and stays within (0, e).
+  // parameter and stays within (0, e). Each round's candidates are drawn
+  // against the model as of the round start, then measured as a batch.
   for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
     double P = std::min(std::exp(Opts.PParam * (Round + 1)) - 1.0,
                         std::exp(1.0)) /
                std::exp(1.0);
     int64_t RoundStartBest = Best;
-    // Best pool: the N best samples, copied - measuring new samples
-    // during the round grows Model.Samples and would invalidate pointers
-    // into it.
+    // Best pool: the N best samples, copied - the batch measurement
+    // below grows Model.Samples and would invalidate pointers into it.
     std::vector<PerfModel::Sample> Pool(Model.Samples);
     std::sort(Pool.begin(), Pool.end(),
               [](const PerfModel::Sample &A, const PerfModel::Sample &B) {
@@ -145,23 +185,24 @@ TuneResult tuneTiles(const std::vector<std::vector<int64_t>> &Space,
               });
     if (Pool.size() > Opts.BestPool)
       Pool.resize(Opts.BestPool);
-    for (unsigned I = 0; I < Opts.RoundSamples; ++I) {
-      std::vector<unsigned> Idx(W);
-      if (!Pool.empty() && R.unit() < P) {
-        Idx = Pool[R.below(Pool.size())].Idx;
-        std::vector<int> Dir = Model.gradientAt(Idx);
-        unsigned D = static_cast<unsigned>(R.below(W));
-        int Step = Dir[D] != 0 ? Dir[D] : (R.below(2) ? 1 : -1);
-        int64_t NI = int64_t(Idx[D]) + Step;
-        NI = std::max<int64_t>(
-            0, std::min<int64_t>(NI, int64_t(Space[D].size()) - 1));
-        Idx[D] = static_cast<unsigned>(NI);
-      } else {
-        for (unsigned D = 0; D < W; ++D)
-          Idx[D] = static_cast<unsigned>(R.below(Space[D].size()));
-      }
-      Consider(Idx);
-    }
+    auto DrawGuided = [&] {
+      if (Pool.empty() || R.unit() >= P)
+        return DrawUniform();
+      std::vector<unsigned> Idx = Pool[R.below(Pool.size())].Idx;
+      std::vector<int> Dir = Model.gradientAt(Idx);
+      unsigned D = static_cast<unsigned>(R.below(W));
+      int Step = Dir[D] != 0 ? Dir[D] : (R.below(2) ? 1 : -1);
+      int64_t NI = int64_t(Idx[D]) + Step;
+      NI = std::max<int64_t>(
+          0, std::min<int64_t>(NI, int64_t(Space[D].size()) - 1));
+      Idx[D] = static_cast<unsigned>(NI);
+      return Idx;
+    };
+    std::vector<std::vector<unsigned>> Batch;
+    InBatch.clear();
+    for (unsigned I = 0; I < Opts.RoundSamples; ++I)
+      PushDistinct(Batch, DrawGuided);
+    MeasureBatch(Batch);
     if (Best == RoundStartBest)
       break; // no performance gain: stop early (paper's criterion)
   }
@@ -192,12 +233,14 @@ TuneResult tuneAkgKernel(const ir::Module &M, const AkgOptions &Base,
   std::vector<int64_t> StartTiles = Start.TileSizes;
   StartTiles.resize(W, 1);
 
+  // Runs on tuner measurement workers: everything it touches is either
+  // captured by value/const-ref or pure (compileWithAkg, the simulator).
   MeasureFn Measure = [&](const std::vector<int64_t> &Tiles) -> int64_t {
-    if (std::getenv("AKG_STATS")) {
-      std::fprintf(stderr, "tuner probe:");
+    if (Stats::enabled()) {
+      std::string Line = "tuner probe:";
       for (int64_t T : Tiles)
-        std::fprintf(stderr, " %lld", (long long)T);
-      std::fprintf(stderr, "\n");
+        Line += " " + std::to_string(T);
+      std::fprintf(stderr, "%s\n", Line.c_str());
     }
     AkgOptions O = Base;
     transforms::TilingPolicy Pol;

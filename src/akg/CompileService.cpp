@@ -1,0 +1,60 @@
+//===- akg/CompileService.cpp - Parallel compile service ------------------===//
+
+#include "akg/CompileService.h"
+
+#include "support/Env.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+namespace akg {
+
+unsigned compileServiceThreads(unsigned Requested) {
+  if (Requested > 0)
+    return Requested;
+  int64_t N = env::getInt("AKG_THREADS", 1);
+  if (N < 1)
+    N = 1;
+  if (N > 256)
+    N = 256; // sanity bound; compile jobs are coarse
+  return static_cast<unsigned>(N);
+}
+
+std::vector<CompileResult>
+compileModulesParallel(const std::vector<CompileJob> &Jobs,
+                       const CompileServiceOptions &Opts) {
+  ScopedTimer Timer("service.compile_batch");
+  unsigned Threads = compileServiceThreads(Opts.Threads);
+  std::vector<CompileResult> Results(Jobs.size());
+  KernelCache *Cache = Opts.Cache;
+  parallelFor(Threads, Jobs.size(), [&](size_t I) {
+    const CompileJob &J = Jobs[I];
+    Results[I] = Cache ? Cache->compileOrGet(*J.Mod, J.Opts, J.Name)
+                       : compileWithAkg(*J.Mod, J.Opts, J.Name);
+  });
+  if (Stats::enabled())
+    Stats::get().add("service.jobs", static_cast<int64_t>(Jobs.size()));
+  return Results;
+}
+
+std::vector<CompileJob> networkCompileJobs(const graph::NetworkModel &N,
+                                           const AkgOptions &Base,
+                                           bool PerOccurrence) {
+  std::vector<CompileJob> Jobs;
+  for (const graph::LayerWorkload &L : N.Layers) {
+    unsigned Copies = PerOccurrence ? std::max(1u, L.Count) : 1u;
+    for (unsigned C = 0; C < Copies; ++C) {
+      CompileJob J;
+      J.Mod = L.Mod.get();
+      J.Opts = Base;
+      J.Name = N.Name + "/" + L.Name;
+      if (PerOccurrence && Copies > 1)
+        J.Name += "#" + std::to_string(C);
+      Jobs.push_back(std::move(J));
+    }
+  }
+  return Jobs;
+}
+
+} // namespace akg

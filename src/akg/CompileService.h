@@ -1,0 +1,69 @@
+//===- akg/CompileService.h - Parallel compile service ----------*- C++ -*-===//
+//
+// Fans independent module compiles across a fixed-size thread pool
+// (support/ThreadPool.h), serving each job through the content-addressed
+// kernel cache. This is the layer a graph engine (or a benchmark suite,
+// or the tuner) talks to when it needs many kernels: the subgraphs of a
+// network are independent compiles, so throughput scales with workers,
+// and structurally identical subgraphs - within one network, across
+// networks, or across repeated requests - compile exactly once.
+//
+// Threading contract (see DESIGN.md 4d): the compile pipeline itself is
+// pure (no shared mutable state beyond the mutex-guarded Stats/Env/cache
+// singletons), each job's Module is read-only during the run, and results
+// land in job order. Output is bit-identical for 1 worker, N workers, or
+// a warm cache.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_AKG_COMPILESERVICE_H
+#define AKG_AKG_COMPILESERVICE_H
+
+#include "akg/KernelCache.h"
+#include "graph/Networks.h"
+
+#include <string>
+#include <vector>
+
+namespace akg {
+
+/// One compile request. The module must stay alive (and unmodified)
+/// until compileModulesParallel returns.
+struct CompileJob {
+  const ir::Module *Mod = nullptr;
+  AkgOptions Opts;
+  std::string Name;
+};
+
+struct CompileServiceOptions {
+  /// Worker threads; 0 resolves AKG_THREADS (unset/invalid -> 1, i.e.
+  /// the sequential pipeline).
+  unsigned Threads = 0;
+  /// Content-addressed cache consulted per job; nullptr compiles every
+  /// job from scratch (the pre-cache behavior).
+  KernelCache *Cache = &KernelCache::global();
+};
+
+/// The effective worker count: \p Requested when nonzero, else the
+/// AKG_THREADS environment variable, else 1.
+unsigned compileServiceThreads(unsigned Requested = 0);
+
+/// Compiles all jobs, fanning across workers, and returns results in job
+/// order. Identical kernels come out whether this runs on 1 thread, N
+/// threads, or entirely from a warm cache.
+std::vector<CompileResult>
+compileModulesParallel(const std::vector<CompileJob> &Jobs,
+                       const CompileServiceOptions &Opts = {});
+
+/// The compile jobs of one network model: one job per fused subgraph the
+/// graph engine produces, "network/layer" names, shared base options.
+/// With \p PerOccurrence each subgraph appears Count times (the serving
+/// workload: the graph engine requests every instance); otherwise each
+/// distinct subgraph appears once.
+std::vector<CompileJob> networkCompileJobs(const graph::NetworkModel &N,
+                                           const AkgOptions &Base,
+                                           bool PerOccurrence = false);
+
+} // namespace akg
+
+#endif // AKG_AKG_COMPILESERVICE_H

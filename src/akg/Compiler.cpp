@@ -5,7 +5,9 @@
 #include "ir/Passes.h"
 #include "schedule/AstGen.h"
 #include "sim/Simulator.h"
+#include "support/Env.h"
 #include "support/Rational.h"
+#include "support/Stats.h"
 #include "transforms/Conv.h"
 #include "transforms/Fusion.h"
 #include "transforms/IntraTile.h"
@@ -31,12 +33,20 @@ CompileResult compileImpl(const Module &MIn, const AkgOptions &Opts,
   CompileResult Res;
   // Preparation passes (Sec 3). The prepared module must outlive the
   // kernel (tensor declarations are shared into it).
-  auto Mod = std::make_shared<Module>(
-      Opts.EnableInlining ? inlineElementwiseOps(MIn) : Module());
+  auto Mod = std::make_shared<Module>([&] {
+    ScopedTimer T("akg.prepare");
+    return Opts.EnableInlining ? inlineElementwiseOps(MIn) : Module();
+  }());
   const Module *M = Opts.EnableInlining ? Mod.get() : &MIn;
 
-  PolyProgram P = extractPolyProgram(*M);
-  std::vector<Dependence> Deps = computeDependences(P);
+  PolyProgram P = [&] {
+    ScopedTimer T("akg.extract_poly");
+    return extractPolyProgram(*M);
+  }();
+  std::vector<Dependence> Deps = [&] {
+    ScopedTimer T("akg.dependences");
+    return computeDependences(P);
+  }();
 
   // Budgets + per-stage fault injection resolve into concrete knobs once,
   // up front; each injected failure is itself a rung of the ladder and is
@@ -97,7 +107,10 @@ CompileResult compileImpl(const Module &MIn, const AkgOptions &Opts,
   sched::SchedulerOptions SchedOpts = BaseSched;
   if (Attempt == 1)
     SchedOpts.Fusion = sched::FusionStrategy::None;
-  ScheduleResult SR = computeSchedule(P, Deps, SchedOpts);
+  ScheduleResult SR = [&] {
+    ScopedTimer T("akg.schedule");
+    return computeSchedule(P, Deps, SchedOpts);
+  }();
   Res.UsedSchedulerFallback = false;
   for (const ClusterSchedule &CS : SR.Clusters)
     Res.UsedSchedulerFallback |= CS.UsedFallback;
@@ -165,6 +178,7 @@ CompileResult compileImpl(const Module &MIn, const AkgOptions &Opts,
         Sizes[D] = 1;
     Res.TilingPolicyText = printTilingPolicy(*Opts.ManualTiles);
   } else {
+    ScopedTimer T("akg.auto_tiling");
     AutoTilingResult AT = autoTile(P, SR, CG.Machine, ATOpts);
     Sizes = AT.Sizes;
     Res.TilingPolicyText = printTilingPolicy(AT.Policy);
@@ -199,7 +213,11 @@ CompileResult compileImpl(const Module &MIn, const AkgOptions &Opts,
       TimedOut = true;
       break;
     }
-    ScheduleTree T = buildScheduledTree(P, SR);
+    ScopedTimer RetryTimer("akg.tile_and_lower");
+    ScheduleTree T = [&] {
+      ScopedTimer ST("akg.build_tree");
+      return buildScheduledTree(P, SR);
+    }();
     FusionReport FR;
     if (UseFusion) {
       FR = applyPostTilingFusion(T, P, Sizes);
@@ -258,13 +276,22 @@ CompileResult compileImpl(const Module &MIn, const AkgOptions &Opts,
 
     // The cube path always requires its mark for fractal lowering; the
     // vector-dim sink is the optional part of the intra-tile stage.
-    applyIntraTileFusion(T, P);
-    if (SinkDims)
-      sinkVectorizableDims(T, P);
+    {
+      ScopedTimer ST("akg.intra_tile");
+      applyIntraTileFusion(T, P);
+      if (SinkDims)
+        sinkVectorizableDims(T, P);
+    }
     Res.ScheduleTreeDump = T.str();
 
-    Stmt Ast = generateAst(T, P);
-    cce::Kernel K = cce::lowerToCce(Ast, *M, P, CG, Name);
+    Stmt Ast = [&] {
+      ScopedTimer ST("akg.ast_gen");
+      return generateAst(T, P);
+    }();
+    cce::Kernel K = [&] {
+      ScopedTimer ST("akg.lower_cce");
+      return cce::lowerToCce(Ast, *M, P, CG, Name);
+    }();
     std::string CapErr = cce::checkBufferCapacities(K, CG.Machine);
     if (InjectStorage) {
       // One simulated capacity failure; subsequent retries see the real
@@ -280,13 +307,15 @@ CompileResult compileImpl(const Module &MIn, const AkgOptions &Opts,
       break;
     }
     if (CapErr.empty()) {
+      ScopedTimer ST("akg.sync");
       Res.Sync = cce::insertSynchronization(K, SyncS);
       Res.Kernel = std::move(K);
       Res.TileSizes = Sizes;
       break;
     }
+    Stats::get().add("akg.tile_retries");
     // Halve the largest tile and retry.
-    if (std::getenv("AKG_STATS"))
+    if (Stats::enabled())
       {
         std::string Ts;
         for (int64_t Sz : Sizes)
@@ -337,14 +366,21 @@ CompileResult compileImpl(const Module &MIn, const AkgOptions &Opts,
 
 } // namespace
 
-CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
-                             const std::string &Name) {
+Stage resolveFailStage(const AkgOptions &Opts) {
   Stage Fail = Opts.FailStage;
-  if (const char *Env = std::getenv("AKG_FAIL_STAGE")) {
-    Stage S = parseStage(Env);
+  if (std::optional<std::string> Env = env::get("AKG_FAIL_STAGE")) {
+    Stage S = parseStage(*Env);
     if (S != Stage::None)
       Fail = S;
   }
+  return Fail;
+}
+
+CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
+                             const std::string &Name) {
+  ScopedTimer Timer("akg.compile");
+  Stats::get().add("akg.compiles");
+  Stage Fail = resolveFailStage(Opts);
   Stage Where = Stage::None;
   std::string Reason;
   try {

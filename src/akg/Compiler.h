@@ -63,6 +63,12 @@ struct CompileResult {
 CompileResult compileWithAkg(const ir::Module &M, const AkgOptions &Opts,
                              const std::string &Name);
 
+/// The fault-injection stage in effect for a compile with these options:
+/// the AKG_FAIL_STAGE environment override when it names a stage, else
+/// Opts.FailStage. Shared by the driver and the kernel cache (the cache
+/// key must reflect the stage that would actually fail).
+Stage resolveFailStage(const AkgOptions &Opts);
+
 /// Convenience: compile + simulate functionally + compare against the
 /// reference evaluator; returns the max abs error over all outputs.
 double verifyKernel(const cce::Kernel &K, const ir::Module &M,

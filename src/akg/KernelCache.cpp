@@ -1,0 +1,362 @@
+//===- akg/KernelCache.cpp - Content-addressed kernel cache ---------------===//
+
+#include "akg/KernelCache.h"
+
+#include "support/Stats.h"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace akg {
+
+using namespace ir;
+
+//===----------------------------------------------------------------------===//
+// Fingerprinting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// splitmix64-style combiner: strong enough that every field flip lands
+/// on a different 64-bit value with overwhelming probability.
+inline void mix(uint64_t &H, uint64_t V) {
+  V += 0x9e3779b97f4a7c15ull;
+  V = (V ^ (V >> 30)) * 0xbf58476d1ce4e5b9ull;
+  V = (V ^ (V >> 27)) * 0x94d049bb133111ebull;
+  V ^= V >> 31;
+  H = (H ^ V) * 1099511628211ull + 0x2545f4914f6cdd1dull;
+}
+
+inline uint64_t bitsOf(double D) {
+  uint64_t U;
+  std::memcpy(&U, &D, sizeof U);
+  return U;
+}
+
+inline void mixString(uint64_t &H, const std::string &S) {
+  mix(H, S.size());
+  for (char C : S)
+    mix(H, static_cast<unsigned char>(C));
+}
+
+/// Hashes expressions with alpha-renaming: tensors hash as their
+/// position in the module (inputs first, then op outputs, in creation
+/// order) and iteration variables hash as their position in the
+/// enclosing op's axis list (or reduce-axis list). Intrinsic names are
+/// semantic and hash as text.
+struct ModuleHasher {
+  std::unordered_map<const TensorDecl *, uint64_t> TensorId;
+  std::unordered_map<std::string, uint64_t> VarId; // reset per op
+
+  void hashExpr(uint64_t &H, const Expr &E) {
+    if (!E) {
+      mix(H, 0x6e756c6cull); // "null"
+      return;
+    }
+    mix(H, static_cast<uint64_t>(E->Kind));
+    mix(H, static_cast<uint64_t>(E->Type));
+    switch (E->Kind) {
+    case ExprKind::IntImm:
+      mix(H, static_cast<uint64_t>(E->IntVal));
+      break;
+    case ExprKind::FloatImm:
+      mix(H, bitsOf(E->FloatVal));
+      break;
+    case ExprKind::Var: {
+      auto It = VarId.find(E->Name);
+      if (It != VarId.end()) {
+        mix(H, It->second);
+      } else {
+        // Free variable (should not happen in a well-formed module):
+        // hash the raw name so distinct frees stay distinct.
+        mix(H, 0x66726565ull); // "free"
+        mixString(H, E->Name);
+      }
+      break;
+    }
+    case ExprKind::Call:
+      mixString(H, E->Name);
+      break;
+    case ExprKind::TensorRead: {
+      auto It = TensorId.find(E->Ref.get());
+      if (It != TensorId.end()) {
+        mix(H, It->second);
+      } else {
+        // Foreign tensor: fall back to its structure.
+        mix(H, 0x666f7265ull); // "fore"
+        if (E->Ref) {
+          mix(H, static_cast<uint64_t>(E->Ref->Type));
+          mix(H, E->Ref->Shape.size());
+          for (int64_t S : E->Ref->Shape)
+            mix(H, static_cast<uint64_t>(S));
+        }
+      }
+      break;
+    }
+    case ExprKind::Reduce: {
+      mix(H, static_cast<uint64_t>(E->RKind));
+      mix(H, E->ReduceAxes.size());
+      for (size_t J = 0; J < E->ReduceAxes.size(); ++J) {
+        mix(H, static_cast<uint64_t>(E->ReduceAxes[J].Extent));
+        VarId[E->ReduceAxes[J].Name] = 0x10000 + J;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+    mix(H, E->Operands.size());
+    for (const Expr &Op : E->Operands)
+      hashExpr(H, Op);
+  }
+};
+
+} // namespace
+
+uint64_t fingerprintModule(const Module &M) {
+  uint64_t H = 0x616b672d6d6f64ull; // "akg-mod"
+  ModuleHasher MH;
+  uint64_t NextId = 1;
+  mix(H, M.inputs().size());
+  for (const Tensor &T : M.inputs()) {
+    MH.TensorId[T.get()] = NextId++;
+    mix(H, static_cast<uint64_t>(T->Type));
+    mix(H, T->Shape.size());
+    for (int64_t S : T->Shape)
+      mix(H, static_cast<uint64_t>(S));
+  }
+  mix(H, M.ops().size());
+  for (const auto &Op : M.ops()) {
+    MH.VarId.clear();
+    mix(H, Op->Axis.size());
+    for (size_t I = 0; I < Op->Axis.size(); ++I) {
+      mix(H, static_cast<uint64_t>(Op->Axis[I].Extent));
+      mix(H, Op->Axis[I].IsReduce ? 1 : 0);
+      MH.VarId[Op->Axis[I].Name] = 0x100 + I;
+    }
+    const Tensor &Out = Op->Output;
+    MH.TensorId[Out.get()] = NextId++;
+    mix(H, static_cast<uint64_t>(Out->Type));
+    mix(H, Out->Shape.size());
+    for (int64_t S : Out->Shape)
+      mix(H, static_cast<uint64_t>(S));
+    MH.hashExpr(H, Op->Body);
+  }
+  return H;
+}
+
+uint64_t fingerprintMachine(const sim::MachineSpec &S) {
+  uint64_t H = 0x616b672d6d6163ull; // "akg-mac"
+  for (int64_t V :
+       {S.L1Bytes, S.UBBytes, S.L0ABytes, S.L0BBytes, S.L0CBytes,
+        S.GmBandwidth, S.GmLatency, S.OnChipBandwidth, S.OnChipLatency,
+        S.BurstLatency, S.CubeM, S.CubeN, S.CubeK, S.CubeStartup,
+        S.VectorLanes, S.VectorIssue, S.ScalarCost, S.SyncCost})
+    mix(H, static_cast<uint64_t>(V));
+  return H;
+}
+
+uint64_t fingerprintOptions(const AkgOptions &O) {
+  uint64_t H = 0x616b672d6f7074ull; // "akg-opt"
+  const sched::SchedulerOptions &S = O.Scheduler;
+  mix(H, static_cast<uint64_t>(S.Fusion));
+  mix(H, S.AllowSkew ? 1 : 0);
+  mix(H, S.AllowShift ? 1 : 0);
+  mix(H, static_cast<uint64_t>(S.CoeffBound));
+  mix(H, static_cast<uint64_t>(S.ShiftBound));
+  mix(H, S.UseBoundingFunction ? 1 : 0);
+  mix(H, static_cast<uint64_t>(S.IlpNodeBudget));
+  mix(H, bitsOf(S.DeadlineSeconds));
+  mix(H, S.ForceFallback ? 1 : 0);
+
+  mix(H, fingerprintMachine(O.Codegen.Machine));
+  mix(H, O.Codegen.EnableVectorize ? 1 : 0);
+  mix(H, O.Codegen.EnableDoubleBuffer ? 1 : 0);
+
+  mix(H, static_cast<uint64_t>(O.Sync));
+
+  mix(H, O.ManualTiles.has_value() ? 1 : 0);
+  if (O.ManualTiles) {
+    mix(H, O.ManualTiles->PerStmt.size());
+    for (const auto &[Id, Spec] : O.ManualTiles->PerStmt) {
+      mix(H, Id);
+      mix(H, Spec.Entries.size());
+      for (const transforms::TileSpecEntry &E : Spec.Entries) {
+        mix(H, static_cast<uint64_t>(E.Size));
+        mixString(H, E.BufferName);
+      }
+    }
+  }
+
+  mix(H, O.EnablePostTilingFusion ? 1 : 0);
+  mix(H, O.EnableIntraTile ? 1 : 0);
+  mix(H, O.EnableInlining ? 1 : 0);
+  mix(H, O.MaxTileRetries);
+  mix(H, bitsOf(O.Budget.DeadlineSeconds));
+  mix(H, static_cast<uint64_t>(O.Budget.IlpNodeBudget));
+  // The stage that will actually fail, with the environment override
+  // applied: two compiles with the same options but different
+  // AKG_FAIL_STAGE must not share a cache line.
+  mix(H, static_cast<uint64_t>(resolveFailStage(O)));
+  return H;
+}
+
+uint64_t bindingFingerprint(const Module &M) {
+  uint64_t H = 0x616b672d626e64ull; // "akg-bnd"
+  for (const Tensor &T : M.allTensors())
+    mixString(H, T->Name);
+  return H;
+}
+
+CacheKey makeCacheKey(const Module &M, const AkgOptions &O) {
+  return CacheKey{fingerprintModule(M), fingerprintOptions(O),
+                  bindingFingerprint(M)};
+}
+
+//===----------------------------------------------------------------------===//
+// KernelCache
+//===----------------------------------------------------------------------===//
+
+KernelCache::KernelCache(size_t MaxEntries) : MaxEntries(MaxEntries) {}
+
+std::shared_ptr<const CompileResult>
+KernelCache::lookupLocked(const CacheKey &K) {
+  auto It = Map.find(K);
+  if (It == Map.end())
+    return nullptr;
+  // Touch: move to the front of the LRU list.
+  Lru.splice(Lru.begin(), Lru, It->second);
+  return It->second->Result;
+}
+
+void KernelCache::insertLocked(const CacheKey &K,
+                               std::shared_ptr<const CompileResult> R) {
+  auto It = Map.find(K);
+  if (It != Map.end()) {
+    It->second->Result = std::move(R);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.push_front(Entry{K, std::move(R)});
+  Map[K] = Lru.begin();
+  while (Map.size() > MaxEntries) {
+    Map.erase(Lru.back().Key);
+    Lru.pop_back();
+    ++Counts.Evictions;
+    if (Stats::enabled())
+      Stats::get().add("kernel_cache.evict");
+  }
+}
+
+std::shared_ptr<const CompileResult> KernelCache::lookup(const CacheKey &K) {
+  std::lock_guard<std::mutex> G(Lock);
+  auto R = lookupLocked(K);
+  if (R) {
+    ++Counts.Hits;
+    if (Stats::enabled())
+      Stats::get().add("kernel_cache.hit");
+  }
+  return R;
+}
+
+void KernelCache::insert(const CacheKey &K, CompileResult R) {
+  std::lock_guard<std::mutex> G(Lock);
+  insertLocked(K, std::make_shared<const CompileResult>(std::move(R)));
+}
+
+CompileResult KernelCache::compileOrGet(const Module &M,
+                                        const AkgOptions &Opts,
+                                        const std::string &Name) {
+  CacheKey K = makeCacheKey(M, Opts);
+  std::shared_ptr<InFlight> Flight;
+  bool Leader = false;
+  {
+    std::lock_guard<std::mutex> G(Lock);
+    if (auto R = lookupLocked(K)) {
+      ++Counts.Hits;
+      if (Stats::enabled())
+        Stats::get().add("kernel_cache.hit");
+      CompileResult Out = *R;
+      Out.Kernel.Name = Name;
+      return Out;
+    }
+    auto It = Pending.find(K);
+    if (It != Pending.end()) {
+      Flight = It->second;
+      ++Counts.Coalesced;
+      if (Stats::enabled())
+        Stats::get().add("kernel_cache.coalesced");
+    } else {
+      Flight = std::make_shared<InFlight>();
+      Pending.emplace(K, Flight);
+      Leader = true;
+      ++Counts.Misses;
+      if (Stats::enabled())
+        Stats::get().add("kernel_cache.miss");
+    }
+  }
+  if (!Leader) {
+    // Another thread is compiling this exact content; wait for it
+    // instead of duplicating the work (single-flight).
+    std::unique_lock<std::mutex> G(Lock);
+    Flight->Ready.wait(G, [&] { return Flight->Done; });
+    CompileResult Out = *Flight->Result;
+    Out.Kernel.Name = Name;
+    return Out;
+  }
+  // compileWithAkg degrades internally and does not throw; the catch-all
+  // below keeps waiters from deadlocking should that contract ever break.
+  std::shared_ptr<const CompileResult> R;
+  try {
+    R = std::make_shared<const CompileResult>(compileWithAkg(M, Opts, Name));
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> G(Lock);
+      auto Fallback = std::make_shared<CompileResult>();
+      Fallback->Kernel = cce::lowerScalarFallback(M, Name);
+      Flight->Result = Fallback;
+      Flight->Done = true;
+      Pending.erase(K);
+    }
+    Flight->Ready.notify_all();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> G(Lock);
+    insertLocked(K, R);
+    Flight->Result = R;
+    Flight->Done = true;
+    Pending.erase(K);
+  }
+  Flight->Ready.notify_all();
+  return *R;
+}
+
+KernelCacheStats KernelCache::stats() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Counts;
+}
+
+size_t KernelCache::size() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Map.size();
+}
+
+void KernelCache::clear() {
+  std::lock_guard<std::mutex> G(Lock);
+  Lru.clear();
+  Map.clear();
+  Counts = KernelCacheStats();
+}
+
+KernelCache &KernelCache::global() {
+  static KernelCache C;
+  return C;
+}
+
+CompileResult compileWithAkgCached(const Module &M, const AkgOptions &Opts,
+                                   const std::string &Name) {
+  return KernelCache::global().compileOrGet(M, Opts, Name);
+}
+
+} // namespace akg

@@ -1,0 +1,155 @@
+//===- akg/KernelCache.h - Content-addressed kernel cache -------*- C++ -*-===//
+//
+// A process-wide cache of CompileResults keyed by *what* is compiled,
+// not by the module object or its names: the key is a canonical
+// structural fingerprint of the prepared ir::Module (tensors and
+// iteration variables alpha-renamed to their positions) combined with a
+// fingerprint of every compilation knob that can change the emitted
+// kernel (AkgOptions, including the machine model and the resolved
+// fault-injection stage). Two structurally identical subgraphs produced
+// by different networks - or the same subgraph requested hundreds of
+// times per training step by the graph engine - therefore compile once.
+//
+// The cache is safe for concurrent use by the compile service. Lookups
+// that race with an in-flight compile of the same key coalesce onto the
+// first compile (single-flight) instead of duplicating the work. Cached
+// results are immutable by contract; a hit returns a copy whose
+// instruction list is shared with the cached entry.
+//
+// Hit/miss/eviction counters are surfaced through Stats
+// ("kernel_cache.*", printed under AKG_STATS=1) and through stats().
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_AKG_KERNELCACHE_H
+#define AKG_AKG_KERNELCACHE_H
+
+#include "akg/Compiler.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace akg {
+
+/// Canonical structural fingerprint of a module: stable under renaming
+/// of tensors, compute ops and iteration variables, sensitive to
+/// structure (op graph, expression trees, shapes, extents, dtypes,
+/// reduction kinds, intrinsic names).
+uint64_t fingerprintModule(const ir::Module &M);
+
+/// Fingerprint of a machine model (every capacity/cost parameter).
+uint64_t fingerprintMachine(const sim::MachineSpec &S);
+
+/// Fingerprint of every option that can change the emitted kernel:
+/// scheduler knobs, codegen knobs + machine model, sync strategy, manual
+/// tiles, budgets, and the fault-injection stage as resolved against the
+/// AKG_FAIL_STAGE environment override.
+uint64_t fingerprintOptions(const AkgOptions &O);
+
+/// Fingerprint of the module's tensor names (inputs + op outputs in
+/// creation order). CCE kernels address global tensors *by name*, so a
+/// cached kernel is only bindable by a module with the same names: the
+/// cache key qualifies the alpha-renamed structural fingerprint with
+/// this binding fingerprint. Structurally identical subgraphs from the
+/// same builders (the graph-engine case) share names and still dedupe.
+uint64_t bindingFingerprint(const ir::Module &M);
+
+/// The content address of one compile.
+struct CacheKey {
+  uint64_t ModuleFp = 0;
+  uint64_t OptionsFp = 0;
+  uint64_t BindingFp = 0;
+  bool operator==(const CacheKey &O) const {
+    return ModuleFp == O.ModuleFp && OptionsFp == O.OptionsFp &&
+           BindingFp == O.BindingFp;
+  }
+};
+
+CacheKey makeCacheKey(const ir::Module &M, const AkgOptions &O);
+
+struct KernelCacheStats {
+  int64_t Hits = 0;      // served from a completed entry
+  int64_t Coalesced = 0; // waited on another thread's in-flight compile
+  int64_t Misses = 0;    // compiled here
+  int64_t Evictions = 0; // LRU entries dropped at capacity
+
+  double hitRate() const {
+    int64_t Total = Hits + Coalesced + Misses;
+    return Total ? double(Hits + Coalesced) / double(Total) : 0.0;
+  }
+};
+
+class KernelCache {
+public:
+  static constexpr size_t kDefaultMaxEntries = 1024;
+
+  explicit KernelCache(size_t MaxEntries = kDefaultMaxEntries);
+
+  KernelCache(const KernelCache &) = delete;
+  KernelCache &operator=(const KernelCache &) = delete;
+
+  /// The cache-through compile: returns the cached result when the
+  /// content address matches, otherwise compiles with compileWithAkg and
+  /// caches. The returned result carries \p Name as its kernel name
+  /// regardless of which name the cached compile ran under.
+  CompileResult compileOrGet(const ir::Module &M, const AkgOptions &Opts,
+                             const std::string &Name);
+
+  /// Raw lookup; null on miss. Counts a hit when found.
+  std::shared_ptr<const CompileResult> lookup(const CacheKey &K);
+
+  /// Inserts (or replaces) an entry, evicting the least recently used
+  /// entry when over capacity.
+  void insert(const CacheKey &K, CompileResult R);
+
+  KernelCacheStats stats() const;
+  size_t size() const;
+  size_t capacity() const { return MaxEntries; }
+  void clear();
+
+  /// The process-wide cache used by compileWithAkgCached and the
+  /// compile service by default.
+  static KernelCache &global();
+
+private:
+  struct KeyHash {
+    size_t operator()(const CacheKey &K) const {
+      return size_t((K.ModuleFp * 0x9e3779b97f4a7c15ull ^ K.OptionsFp) *
+                        0xbf58476d1ce4e5b9ull ^
+                    K.BindingFp);
+    }
+  };
+  struct Entry {
+    CacheKey Key;
+    std::shared_ptr<const CompileResult> Result;
+  };
+  struct InFlight {
+    std::shared_ptr<const CompileResult> Result; // set when Done
+    bool Done = false;
+    std::condition_variable Ready;
+  };
+
+  std::shared_ptr<const CompileResult> lookupLocked(const CacheKey &K);
+  void insertLocked(const CacheKey &K,
+                    std::shared_ptr<const CompileResult> R);
+
+  size_t MaxEntries;
+  mutable std::mutex Lock;
+  std::list<Entry> Lru; // front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> Map;
+  std::unordered_map<CacheKey, std::shared_ptr<InFlight>, KeyHash> Pending;
+  KernelCacheStats Counts;
+};
+
+/// compileWithAkg through the global content-addressed cache.
+CompileResult compileWithAkgCached(const ir::Module &M,
+                                   const AkgOptions &Opts,
+                                   const std::string &Name);
+
+} // namespace akg
+
+#endif // AKG_AKG_KERNELCACHE_H

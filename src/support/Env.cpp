@@ -1,0 +1,50 @@
+//===- support/Env.cpp - Race-free environment access ---------------------===//
+
+#include "support/Env.h"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace akg {
+namespace env {
+
+namespace {
+std::mutex &lock() {
+  static std::mutex M;
+  return M;
+}
+} // namespace
+
+std::optional<std::string> get(const char *Name) {
+  std::lock_guard<std::mutex> G(lock());
+  const char *V = std::getenv(Name);
+  if (!V)
+    return std::nullopt;
+  return std::string(V);
+}
+
+bool isSet(const char *Name) { return get(Name).has_value(); }
+
+int64_t getInt(const char *Name, int64_t Default) {
+  std::optional<std::string> V = get(Name);
+  if (!V || V->empty())
+    return Default;
+  char *End = nullptr;
+  long long N = std::strtoll(V->c_str(), &End, 10);
+  if (End == V->c_str() || (End && *End != '\0'))
+    return Default;
+  return static_cast<int64_t>(N);
+}
+
+void set(const char *Name, const std::string &Value) {
+  std::lock_guard<std::mutex> G(lock());
+  ::setenv(Name, Value.c_str(), /*overwrite=*/1);
+}
+
+void unset(const char *Name) {
+  std::lock_guard<std::mutex> G(lock());
+  ::unsetenv(Name);
+}
+
+} // namespace env
+} // namespace akg

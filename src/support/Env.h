@@ -1,0 +1,41 @@
+//===- support/Env.h - Race-free environment access -------------*- C++ -*-===//
+//
+// The compile pipeline consults a handful of environment knobs
+// (AKG_STATS, AKG_FAIL_STAGE, AKG_THREADS). POSIX getenv/setenv are not
+// safe against each other across threads, and the compile service runs
+// many compiles concurrently while tests flip fault-injection variables
+// between compiles. All reads and writes therefore go through this
+// mutex-guarded accessor; nothing in the library calls ::getenv or
+// ::setenv directly.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SUPPORT_ENV_H
+#define AKG_SUPPORT_ENV_H
+
+#include <optional>
+#include <string>
+
+namespace akg {
+namespace env {
+
+/// Value of \p Name, or nullopt when unset. Copies the value out under
+/// the lock so the caller never holds a pointer into the environment.
+std::optional<std::string> get(const char *Name);
+
+/// True when \p Name is set (to anything, including "").
+bool isSet(const char *Name);
+
+/// Integer value of \p Name, or \p Default when unset/unparsable.
+int64_t getInt(const char *Name, int64_t Default);
+
+/// Mutators for tests and tools. They take the same lock as get(), so a
+/// concurrent reader sees either the old or the new value, never a torn
+/// one. Production code should treat the environment as read-only.
+void set(const char *Name, const std::string &Value);
+void unset(const char *Name);
+
+} // namespace env
+} // namespace akg
+
+#endif // AKG_SUPPORT_ENV_H

@@ -5,43 +5,88 @@
 // ILP-heavy scheduling paths honest about where compile time goes (the
 // paper discusses compilation-time budgets in Sec 8).
 //
+// The singleton is shared by every compile in the process, including the
+// concurrent compiles of the compile service, so all mutation happens
+// under a mutex. ScopedTimer measures unconditionally cheap (two clock
+// reads) and only takes the lock when stats are enabled.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef AKG_SUPPORT_STATS_H
 #define AKG_SUPPORT_STATS_H
 
+#include "support/Env.h"
+
+#include <algorithm>
 #include <chrono>
+#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace akg {
 
 class Stats {
 public:
   static Stats &get() {
-    static Stats S;
-    return S;
+    // Intentionally leaked: the constructor registers an atexit printer,
+    // which would otherwise run after this object's own static
+    // destructor (atexit handlers run in reverse registration order) and
+    // iterate destructed maps.
+    static Stats *S = new Stats();
+    return *S;
   }
 
-  void add(const std::string &Key, int64_t N = 1) { Counters[Key] += N; }
+  void add(const std::string &Key, int64_t N = 1) {
+    std::lock_guard<std::mutex> G(Lock);
+    Counters[Key] += N;
+  }
   void addTime(const std::string &Key, double Seconds) {
+    std::lock_guard<std::mutex> G(Lock);
     Timers[Key] += Seconds;
   }
 
+  /// Current value of a counter (0 when never touched).
+  int64_t counter(const std::string &Key) const {
+    std::lock_guard<std::mutex> G(Lock);
+    auto It = Counters.find(Key);
+    return It == Counters.end() ? 0 : It->second;
+  }
+  /// Accumulated seconds of a timer (0 when never touched).
+  double timer(const std::string &Key) const {
+    std::lock_guard<std::mutex> G(Lock);
+    auto It = Timers.find(Key);
+    return It == Timers.end() ? 0 : It->second;
+  }
+
+  /// Counters print sorted by name; timers print sorted by descending
+  /// accumulated time so the profile reads as a flame-summary.
   void print() const {
+    std::map<std::string, int64_t> C;
+    std::vector<std::pair<std::string, double>> T;
+    {
+      std::lock_guard<std::mutex> G(Lock);
+      C = Counters;
+      T.assign(Timers.begin(), Timers.end());
+    }
+    std::stable_sort(T.begin(), T.end(),
+                     [](const auto &A, const auto &B) {
+                       return A.second > B.second;
+                     });
     std::fprintf(stderr, "--- akg stats ---\n");
-    for (const auto &[K, V] : Counters)
-      std::fprintf(stderr, "%-32s %lld\n", K.c_str(),
-                   static_cast<long long>(V));
-    for (const auto &[K, V] : Timers)
-      std::fprintf(stderr, "%-32s %.3fs\n", K.c_str(), V);
+    for (const auto &[K, V] : C)
+      std::fprintf(stderr, "%-40s %" PRId64 "\n", K.c_str(), V);
+    for (const auto &[K, V] : T)
+      std::fprintf(stderr, "%-40s %10.3fs\n", K.c_str(), V);
   }
 
   static bool enabled() {
-    static bool E = std::getenv("AKG_STATS") != nullptr;
+    static bool E = env::isSet("AKG_STATS");
     return E;
   }
 
@@ -50,6 +95,7 @@ private:
     if (enabled())
       std::atexit([] { Stats::get().print(); });
   }
+  mutable std::mutex Lock;
   std::map<std::string, int64_t> Counters;
   std::map<std::string, double> Timers;
 };

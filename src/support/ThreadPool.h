@@ -1,0 +1,131 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// A minimal fixed-size thread pool for the compile service: a bounded
+// set of workers draining one FIFO queue of tasks. No work stealing, no
+// dynamic resizing - compile jobs are coarse (whole-module compiles or
+// tuner measurements), so a single locked queue is never the bottleneck
+// and keeps the dispatch order deterministic.
+//
+// A pool of size <= 1 degenerates to inline execution on the calling
+// thread: submit() runs the task immediately. This keeps the sequential
+// configuration byte-for-byte identical to the pre-service code path and
+// makes "1 thread vs N threads" comparisons honest.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SUPPORT_THREADPOOL_H
+#define AKG_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace akg {
+
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned Threads) {
+    if (Threads <= 1)
+      return; // inline mode
+    Workers.reserve(Threads);
+    for (unsigned I = 0; I < Threads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> G(Lock);
+      Stopping = true;
+    }
+    Wake.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  /// Number of worker threads (0 = inline execution).
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Fn and returns a future for its result. Exceptions
+  /// propagate through the future. In inline mode the task runs before
+  /// submit() returns.
+  template <typename Fn>
+  std::future<std::invoke_result_t<Fn>> submit(Fn &&F) {
+    using R = std::invoke_result_t<Fn>;
+    auto Task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(F));
+    std::future<R> Fut = Task->get_future();
+    if (Workers.empty()) {
+      (*Task)();
+      return Fut;
+    }
+    {
+      std::lock_guard<std::mutex> G(Lock);
+      Queue.emplace_back([Task] { (*Task)(); });
+    }
+    Wake.notify_one();
+    return Fut;
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> G(Lock);
+        Wake.wait(G, [this] { return Stopping || !Queue.empty(); });
+        if (Queue.empty())
+          return; // Stopping and drained
+        Task = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      Task();
+    }
+  }
+
+  std::vector<std::thread> Workers;
+  std::mutex Lock;
+  std::condition_variable Wake;
+  std::deque<std::function<void()>> Queue;
+  bool Stopping = false;
+};
+
+/// Runs Fn(0..N-1) across \p Threads workers and waits for all of them.
+/// With Threads <= 1 the calls run inline, in index order. Exceptions
+/// from any index are rethrown (first index wins) after all complete.
+template <typename Fn>
+inline void parallelFor(unsigned Threads, size_t N, Fn &&F) {
+  if (Threads <= 1 || N <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      F(I);
+    return;
+  }
+  ThreadPool Pool(Threads);
+  std::vector<std::future<void>> Futs;
+  Futs.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Futs.push_back(Pool.submit([&F, I] { F(I); }));
+  std::exception_ptr First;
+  for (std::future<void> &Fu : Futs) {
+    try {
+      Fu.get();
+    } catch (...) {
+      if (!First)
+        First = std::current_exception();
+    }
+  }
+  if (First)
+    std::rethrow_exception(First);
+}
+
+} // namespace akg
+
+#endif // AKG_SUPPORT_THREADPOOL_H

@@ -1,0 +1,213 @@
+//===- tests/CompileServiceTest.cpp - Parallel compile service ------------===//
+//
+// The compile service's determinism contract: the Fig 13 network set
+// compiled on 1 thread, on 4 threads, and from a warm cache produces
+// bit-identical CCE kernel dumps and identical DegradationReports.
+// Also unit-tests the thread pool, the service's job expansion, and the
+// thread safety of the Stats / env singletons the workers share.
+//
+//===----------------------------------------------------------------------===//
+
+#include "akg/CompileService.h"
+#include "graph/Networks.h"
+#include "support/Env.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+#include "target/CceIr.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+using namespace akg;
+using namespace akg::graph;
+
+namespace {
+
+TEST(ThreadPool, InlineModeRunsOnCallingThread) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.size(), 0u); // no workers: submit() runs inline
+  bool Ran = false;
+  auto Fut = Pool.submit([&] {
+    Ran = true;
+    return 42;
+  });
+  EXPECT_TRUE(Ran); // before get(): inline execution already happened
+  EXPECT_EQ(Fut.get(), 42);
+}
+
+TEST(ThreadPool, WorkersDrainTheQueue) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.size(), 4u);
+  std::atomic<int> Sum{0};
+  std::vector<std::future<void>> Futs;
+  for (int I = 1; I <= 100; ++I)
+    Futs.push_back(Pool.submit([&Sum, I] { Sum += I; }));
+  for (auto &F : Futs)
+    F.get();
+  EXPECT_EQ(Sum.load(), 5050);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool Pool(2);
+  auto Fut = Pool.submit([]() -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(Fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    std::vector<std::atomic<int>> Seen(256);
+    parallelFor(Threads, Seen.size(), [&](size_t I) { Seen[I]++; });
+    for (size_t I = 0; I < Seen.size(); ++I)
+      EXPECT_EQ(Seen[I].load(), 1) << "index " << I << " at " << Threads
+                                   << " threads";
+  }
+}
+
+TEST(ThreadPool, ParallelForRethrowsWorkerExceptions) {
+  EXPECT_THROW(parallelFor(4, 16,
+                           [](size_t I) {
+                             if (I == 7)
+                               throw std::runtime_error("index 7");
+                           }),
+               std::runtime_error);
+}
+
+TEST(StatsConcurrency, CountersSurviveAHammer) {
+  const std::string Key = "test.hammer_counter";
+  int64_t Before = Stats::get().counter(Key);
+  parallelFor(8, 8, [&](size_t) {
+    for (int I = 0; I < 1000; ++I)
+      Stats::get().add(Key);
+  });
+  EXPECT_EQ(Stats::get().counter(Key) - Before, 8000);
+  double TBefore = Stats::get().timer("test.hammer_timer");
+  parallelFor(8, 8, [&](size_t) {
+    for (int I = 0; I < 100; ++I)
+      Stats::get().addTime("test.hammer_timer", 0.001);
+  });
+  EXPECT_NEAR(Stats::get().timer("test.hammer_timer") - TBefore, 0.8, 1e-9);
+}
+
+TEST(EnvConcurrency, GuardedAccessorsSurviveAHammer) {
+  parallelFor(8, 8, [&](size_t I) {
+    std::string Name = "AKG_TEST_ENV_" + std::to_string(I);
+    for (int J = 0; J < 200; ++J) {
+      env::set(Name.c_str(), std::to_string(J));
+      // Interleave reads of a variable other threads are writing.
+      (void)env::get("AKG_TEST_ENV_0");
+      (void)env::isSet("AKG_TEST_ENV_7");
+    }
+  });
+  for (size_t I = 0; I < 8; ++I) {
+    std::string Name = "AKG_TEST_ENV_" + std::to_string(I);
+    auto V = env::get(Name.c_str());
+    ASSERT_TRUE(V.has_value());
+    EXPECT_EQ(*V, "199");
+    env::unset(Name.c_str());
+  }
+}
+
+TEST(CompileService, ThreadCountResolution) {
+  EXPECT_EQ(compileServiceThreads(3), 3u);
+  env::unset("AKG_THREADS");
+  EXPECT_EQ(compileServiceThreads(0), 1u); // unset -> sequential
+  env::set("AKG_THREADS", "6");
+  EXPECT_EQ(compileServiceThreads(0), 6u);
+  EXPECT_EQ(compileServiceThreads(2), 2u); // explicit beats env
+  env::set("AKG_THREADS", "not_a_number");
+  EXPECT_EQ(compileServiceThreads(0), 1u);
+  env::set("AKG_THREADS", "100000");
+  EXPECT_EQ(compileServiceThreads(0), 256u); // clamped
+  env::unset("AKG_THREADS");
+}
+
+TEST(CompileService, NetworkJobsExpandOccurrences) {
+  NetworkModel N = buildAlexNet();
+  AkgOptions Base;
+  std::vector<CompileJob> Distinct = networkCompileJobs(N, Base);
+  EXPECT_EQ(Distinct.size(), N.Layers.size());
+  int64_t Occurrences = 0;
+  for (const LayerWorkload &L : N.Layers)
+    Occurrences += L.Count;
+  std::vector<CompileJob> All =
+      networkCompileJobs(N, Base, /*PerOccurrence=*/true);
+  EXPECT_EQ(All.size(), static_cast<size_t>(Occurrences));
+  // Per-occurrence names stay unique; distinct names carry net/layer.
+  EXPECT_EQ(Distinct.front().Name, N.Name + "/" + N.Layers.front().Name);
+}
+
+/// The satellite contract: the Fig 13 network set compiled at 1 and 4
+/// threads (and again from the warm cache) yields identical CCE kernel
+/// dumps and identical DegradationReports.
+TEST(CompileService, Fig13NetworksDeterministicAcrossThreadCounts) {
+  NetworkModel Nets[6] = {buildResNet50(), buildMobileNetV2(),
+                          buildAlexNet(), buildBert(21128),
+                          buildBert(30522), buildSsd()};
+  AkgOptions Base;
+  std::vector<CompileJob> Jobs;
+  for (const NetworkModel &N : Nets) {
+    std::vector<CompileJob> J = networkCompileJobs(N, Base);
+    Jobs.insert(Jobs.end(), J.begin(), J.end());
+  }
+  ASSERT_GT(Jobs.size(), 30u);
+
+  KernelCache Cache1;
+  CompileServiceOptions One;
+  One.Threads = 1;
+  One.Cache = &Cache1;
+  std::vector<CompileResult> R1 = compileModulesParallel(Jobs, One);
+
+  KernelCache Cache4;
+  CompileServiceOptions Four;
+  Four.Threads = 4;
+  Four.Cache = &Cache4;
+  std::vector<CompileResult> R4 = compileModulesParallel(Jobs, Four);
+  KernelCacheStats Cold = Cache4.stats();
+
+  // Same jobs against the already-warm 4-thread cache.
+  std::vector<CompileResult> RW = compileModulesParallel(Jobs, Four);
+
+  ASSERT_EQ(R1.size(), Jobs.size());
+  ASSERT_EQ(R4.size(), Jobs.size());
+  ASSERT_EQ(RW.size(), Jobs.size());
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    std::string D1 = cce::printKernel(R1[I].Kernel);
+    EXPECT_EQ(D1, cce::printKernel(R4[I].Kernel))
+        << Jobs[I].Name << ": 1-thread vs 4-thread kernels differ";
+    EXPECT_EQ(D1, cce::printKernel(RW[I].Kernel))
+        << Jobs[I].Name << ": cold vs warm kernels differ";
+    EXPECT_EQ(R1[I].Degradation.str(), R4[I].Degradation.str())
+        << Jobs[I].Name << ": degradation reports differ across threads";
+    EXPECT_EQ(R1[I].Degradation.str(), RW[I].Degradation.str())
+        << Jobs[I].Name << ": degradation reports differ cold vs warm";
+    EXPECT_EQ(R1[I].Kernel.Name, Jobs[I].Name); // results in job order
+  }
+  // The warm pass must have been served entirely from the cache: every
+  // job a hit, no new compiles. (The cold pass can record a few hits of
+  // its own - BERT's two vocabularies share most of their layers.)
+  KernelCacheStats S = Cache4.stats();
+  EXPECT_EQ(S.Hits - Cold.Hits, static_cast<int64_t>(Jobs.size()));
+  EXPECT_EQ(S.Misses, Cold.Misses);
+}
+
+TEST(CompileService, NullCacheCompilesEveryJob) {
+  NetworkModel N = buildAlexNet();
+  AkgOptions Base;
+  std::vector<CompileJob> Jobs =
+      networkCompileJobs(N, Base, /*PerOccurrence=*/true);
+  CompileServiceOptions SO;
+  SO.Threads = 2;
+  SO.Cache = nullptr; // pre-cache behavior: compile everything
+  std::vector<CompileResult> R = compileModulesParallel(Jobs, SO);
+  ASSERT_EQ(R.size(), Jobs.size());
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    EXPECT_EQ(R[I].Kernel.Name, Jobs[I].Name);
+}
+
+} // namespace

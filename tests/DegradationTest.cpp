@@ -12,6 +12,7 @@
 #include "akg/Compiler.h"
 #include "graph/Ops.h"
 #include "poly/Lp.h"
+#include "support/Env.h"
 #include "support/Rational.h"
 
 #include <cstdlib>
@@ -86,9 +87,9 @@ TEST(Degradation, InjectedCubePipelineStaysCorrect) {
 
 TEST(Degradation, EnvVarOverridesFailStage) {
   auto M = makeChain();
-  ASSERT_EQ(setenv("AKG_FAIL_STAGE", "double_buffer", 1), 0);
+  env::set("AKG_FAIL_STAGE", "double_buffer");
   CompileResult R = compileWithAkg(*M, AkgOptions{}, "env_inject");
-  unsetenv("AKG_FAIL_STAGE");
+  env::unset("AKG_FAIL_STAGE");
   EXPECT_TRUE(R.Degradation.hasStage(Stage::DoubleBuffer))
       << R.Degradation.str();
   EXPECT_LT(verifyKernel(R.Kernel, *M, machine()), 1e-5);
