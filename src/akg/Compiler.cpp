@@ -4,6 +4,7 @@
 
 #include "ir/Passes.h"
 #include "schedule/AstGen.h"
+#include "sim/Compare.h"
 #include "sim/Simulator.h"
 #include "support/Env.h"
 #include "support/Rational.h"
@@ -405,22 +406,7 @@ CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
 
 double verifyKernel(const cce::Kernel &K, const Module &M,
                     const sim::MachineSpec &Spec, uint32_t Seed) {
-  BufferMap In;
-  for (const Tensor &T : M.inputs())
-    In[T->Name] = makeTestData(T->numElements(), Seed + T->numElements());
-  BufferMap Ref = evaluateModule(M, In);
-  BufferMap Got = In;
-  sim::SimOptions SO;
-  SO.Functional = true;
-  sim::simulate(K, Spec, &Got, SO);
-  double MaxErr = 0;
-  for (const Tensor &O : M.outputs()) {
-    const auto &GV = Got.at(O->Name);
-    const auto &RV = Ref.at(O->Name);
-    for (size_t I = 0; I < GV.size(); ++I)
-      MaxErr = std::max(MaxErr, std::fabs(double(GV[I]) - double(RV[I])));
-  }
-  return MaxErr;
+  return sim::diffKernelAgainstReference(K, M, Spec, Seed).MaxAbsErr;
 }
 
 } // namespace akg

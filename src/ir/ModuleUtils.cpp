@@ -1,0 +1,471 @@
+//===- ir/ModuleUtils.cpp - Module cloning, bounds, C++ emission ----------===//
+
+#include "ir/ModuleUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace akg {
+namespace ir {
+
+Expr mapExpr(const Expr &E, const std::map<const TensorDecl *, Tensor> &Remap,
+             const std::function<int64_t(int64_t)> &ExtentMap) {
+  if (!E)
+    return E;
+  auto N = std::make_shared<ExprNode>(*E);
+  if (E->Ref) {
+    auto It = Remap.find(E->Ref.get());
+    if (It != Remap.end())
+      N->Ref = It->second;
+  }
+  for (Expr &Op : N->Operands)
+    Op = mapExpr(Op, Remap, ExtentMap);
+  if (ExtentMap)
+    for (IterVar &IV : N->ReduceAxes)
+      IV.Extent = ExtentMap(IV.Extent);
+  return N;
+}
+
+Module cloneModule(const Module &M) {
+  Module C;
+  std::map<const TensorDecl *, Tensor> Remap;
+  for (const Tensor &In : M.inputs())
+    Remap[In.get()] = C.placeholder(In->Name, In->Shape, In->Type);
+  for (const auto &Op : M.ops()) {
+    Tensor T = C.computeRaw(Op->Name, Op->Axis, mapExpr(Op->Body, Remap),
+                            Op->Output->Type);
+    Remap[Op->Output.get()] = T;
+  }
+  return C;
+}
+
+namespace {
+
+/// A (possibly unknown) closed integer interval.
+struct Ival {
+  int64_t Lo = 0, Hi = 0;
+  bool Known = false;
+  static Ival of(int64_t L, int64_t H) { return {L, H, true}; }
+  static Ival unknown() { return {}; }
+};
+
+int64_t floorDivI(int64_t A, int64_t B) {
+  int64_t Q = A / B;
+  if (A % B != 0 && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+/// A refinement gathered from an enclosing Select guard: when the index
+/// expression being bounded is structurally equal to \p Sub, its interval
+/// may be intersected with [Lo, Hi].
+struct Guard {
+  Expr Sub;
+  int64_t Lo, Hi;
+};
+
+Ival evalIval(const Expr &E, const std::map<std::string, Ival> &Env,
+              const std::vector<Guard> &Guards);
+
+/// Collects range facts from a conjunction of comparisons against integer
+/// constants (the padding-guard idiom: 0 <= h && h < H && ...).
+void collectGuards(const Expr &Cond, const std::map<std::string, Ival> &Env,
+                   std::vector<Guard> &Out) {
+  if (!Cond)
+    return;
+  if (Cond->Kind == ExprKind::And) {
+    collectGuards(Cond->Operands[0], Env, Out);
+    collectGuards(Cond->Operands[1], Env, Out);
+    return;
+  }
+  if (Cond->Kind != ExprKind::CmpLE && Cond->Kind != ExprKind::CmpLT)
+    return;
+  const Expr &A = Cond->Operands[0], &B = Cond->Operands[1];
+  int64_t C;
+  // c <= e / c < e: lower bound on e.
+  if (isConstInt(A, &C))
+    Out.push_back({B, Cond->Kind == ExprKind::CmpLE ? C : C + 1,
+                   INT64_MAX});
+  // e <= c / e < c: upper bound on e.
+  else if (isConstInt(B, &C))
+    Out.push_back({A, INT64_MIN,
+                   Cond->Kind == ExprKind::CmpLE ? C : C - 1});
+}
+
+Ival refine(Ival V, const Expr &E, const std::vector<Guard> &Guards) {
+  if (!V.Known)
+    return V;
+  for (const Guard &G : Guards)
+    if (exprEquals(G.Sub, E)) {
+      V.Lo = std::max(V.Lo, G.Lo);
+      V.Hi = std::min(V.Hi, G.Hi);
+    }
+  return V;
+}
+
+Ival evalIval(const Expr &E, const std::map<std::string, Ival> &Env,
+              const std::vector<Guard> &Guards) {
+  if (!E)
+    return Ival::unknown();
+  auto Bin = [&](const Expr &X) { return evalIval(X, Env, Guards); };
+  Ival R = Ival::unknown();
+  switch (E->Kind) {
+  case ExprKind::IntImm:
+    R = Ival::of(E->IntVal, E->IntVal);
+    break;
+  case ExprKind::FloatImm:
+    break; // not an index
+  case ExprKind::Var: {
+    auto It = Env.find(E->Name);
+    if (It != Env.end())
+      R = It->second;
+    break;
+  }
+  case ExprKind::Add: {
+    Ival A = Bin(E->Operands[0]), B = Bin(E->Operands[1]);
+    if (A.Known && B.Known)
+      R = Ival::of(A.Lo + B.Lo, A.Hi + B.Hi);
+    break;
+  }
+  case ExprKind::Sub: {
+    Ival A = Bin(E->Operands[0]), B = Bin(E->Operands[1]);
+    if (A.Known && B.Known)
+      R = Ival::of(A.Lo - B.Hi, A.Hi - B.Lo);
+    break;
+  }
+  case ExprKind::Mul: {
+    Ival A = Bin(E->Operands[0]), B = Bin(E->Operands[1]);
+    if (A.Known && B.Known) {
+      int64_t P[4] = {A.Lo * B.Lo, A.Lo * B.Hi, A.Hi * B.Lo, A.Hi * B.Hi};
+      R = Ival::of(*std::min_element(P, P + 4), *std::max_element(P, P + 4));
+    }
+    break;
+  }
+  case ExprKind::Div:
+  case ExprKind::FloorDiv: {
+    Ival A = Bin(E->Operands[0]), B = Bin(E->Operands[1]);
+    if (A.Known && B.Known && B.Lo > 0)
+      R = Ival::of(floorDivI(A.Lo, B.Hi), floorDivI(A.Hi, B.Lo));
+    break;
+  }
+  case ExprKind::Mod: {
+    Ival B = Bin(E->Operands[1]);
+    Ival A = Bin(E->Operands[0]);
+    if (B.Known && B.Lo > 0) {
+      if (A.Known && A.Lo >= 0 && A.Hi < B.Lo)
+        R = A; // already reduced
+      else
+        R = Ival::of(0, B.Hi - 1);
+    }
+    break;
+  }
+  case ExprKind::Min: {
+    Ival A = Bin(E->Operands[0]), B = Bin(E->Operands[1]);
+    if (A.Known && B.Known)
+      R = Ival::of(std::min(A.Lo, B.Lo), std::min(A.Hi, B.Hi));
+    break;
+  }
+  case ExprKind::Max: {
+    Ival A = Bin(E->Operands[0]), B = Bin(E->Operands[1]);
+    if (A.Known && B.Known)
+      R = Ival::of(std::max(A.Lo, B.Lo), std::max(A.Hi, B.Hi));
+    break;
+  }
+  case ExprKind::Cast:
+    R = Bin(E->Operands[0]);
+    break;
+  case ExprKind::Select: {
+    Ival T = Bin(E->Operands[1]), F = Bin(E->Operands[2]);
+    if (T.Known && F.Known)
+      R = Ival::of(std::min(T.Lo, F.Lo), std::max(T.Hi, F.Hi));
+    break;
+  }
+  default:
+    break; // comparisons / calls / reads are not index expressions
+  }
+  return refine(R, E, Guards);
+}
+
+/// Walks \p E checking every TensorRead; guard refinements accumulate
+/// through Select conditions (the taken branch is only evaluated when the
+/// condition holds, matching evalExpr's short-circuit semantics).
+void checkReads(const Expr &E, const std::map<std::string, Ival> &Env,
+                std::vector<Guard> Guards, const std::string &OpName,
+                std::string &Err) {
+  if (!E || !Err.empty())
+    return;
+  if (E->Kind == ExprKind::Select) {
+    checkReads(E->Operands[0], Env, Guards, OpName, Err);
+    std::vector<Guard> ThenGuards = Guards;
+    collectGuards(E->Operands[0], Env, ThenGuards);
+    checkReads(E->Operands[1], Env, ThenGuards, OpName, Err);
+    checkReads(E->Operands[2], Env, Guards, OpName, Err);
+    return;
+  }
+  if (E->Kind == ExprKind::TensorRead) {
+    if (E->Operands.size() != E->Ref->Shape.size()) {
+      Err = "op '" + OpName + "': read of '" + E->Ref->Name + "' has " +
+            std::to_string(E->Operands.size()) + " indices for rank " +
+            std::to_string(E->Ref->Shape.size());
+      return;
+    }
+    for (unsigned I = 0; I < E->Operands.size(); ++I) {
+      Ival V = evalIval(E->Operands[I], Env, Guards);
+      if (!V.Known || V.Lo < 0 || V.Hi >= E->Ref->Shape[I]) {
+        Err = "op '" + OpName + "': read of '" + E->Ref->Name + "' dim " +
+              std::to_string(I) + " (" + exprToString(E->Operands[I]) +
+              ") " +
+              (V.Known ? "ranges [" + std::to_string(V.Lo) + ", " +
+                             std::to_string(V.Hi) + "] outside [0, " +
+                             std::to_string(E->Ref->Shape[I] - 1) + "]"
+                       : "cannot be bounded");
+        return;
+      }
+    }
+  }
+  for (const Expr &Op : E->Operands)
+    checkReads(Op, Env, Guards, OpName, Err);
+}
+
+void collectReduceAxes(const Expr &E, std::vector<IterVar> &Out) {
+  if (!E)
+    return;
+  if (E->Kind == ExprKind::Reduce)
+    for (const IterVar &IV : E->ReduceAxes)
+      Out.push_back(IV);
+  for (const Expr &Op : E->Operands)
+    collectReduceAxes(Op, Out);
+}
+
+} // namespace
+
+std::string checkModuleBounds(const Module &M) {
+  for (const auto &Op : M.ops()) {
+    std::map<std::string, Ival> Env;
+    for (const IterVar &IV : Op->Axis) {
+      if (IV.Extent <= 0)
+        return "op '" + Op->Name + "': axis '" + IV.Name +
+               "' has non-positive extent";
+      Env[IV.Name] = Ival::of(0, IV.Extent - 1);
+    }
+    std::vector<IterVar> RAxes;
+    collectReduceAxes(Op->Body, RAxes);
+    for (const IterVar &IV : RAxes) {
+      if (IV.Extent <= 0)
+        return "op '" + Op->Name + "': reduce axis '" + IV.Name +
+               "' has non-positive extent";
+      Env[IV.Name] = Ival::of(0, IV.Extent - 1);
+    }
+    std::string Err;
+    checkReads(Op->Body, Env, {}, Op->Name, Err);
+    if (!Err.empty())
+      return Err;
+  }
+  return "";
+}
+
+namespace {
+
+std::string cppFloat(double V) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof Buf, "%.17g", V);
+  std::string S = Buf;
+  if (S.find('.') == std::string::npos && S.find('e') == std::string::npos &&
+      S.find("inf") == std::string::npos && S.find("nan") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+const char *dtypeCpp(DType T) {
+  switch (T) {
+  case DType::F16:
+    return "ir::DType::F16";
+  case DType::F32:
+    return "ir::DType::F32";
+  case DType::I32:
+    return "ir::DType::I32";
+  case DType::Bool:
+    return "ir::DType::Bool";
+  }
+  return "ir::DType::F32";
+}
+
+const char *reduceKindCpp(ReduceKind K) {
+  switch (K) {
+  case ReduceKind::Sum:
+    return "ir::ReduceKind::Sum";
+  case ReduceKind::Max:
+    return "ir::ReduceKind::Max";
+  case ReduceKind::Min:
+    return "ir::ReduceKind::Min";
+  }
+  return "ir::ReduceKind::Sum";
+}
+
+std::string shapeList(const std::vector<int64_t> &Shape) {
+  std::string S = "{";
+  for (unsigned I = 0; I < Shape.size(); ++I)
+    S += (I ? ", " : "") + std::to_string(Shape[I]);
+  return S + "}";
+}
+
+struct Emitter {
+  const std::map<const TensorDecl *, std::string> &TensorVars;
+  const std::map<std::string, unsigned> &AxisIndex; // op axis name -> Ix[i]
+  const std::map<std::string, std::string> &ReduceVars; // axis name -> var
+
+  std::string expr(const Expr &E) const {
+    switch (E->Kind) {
+    case ExprKind::IntImm:
+      return E->Type == DType::I32
+                 ? "ir::intImm(" + std::to_string(E->IntVal) + ")"
+                 : "ir::intImm(" + std::to_string(E->IntVal) + ", " +
+                       dtypeCpp(E->Type) + ")";
+    case ExprKind::FloatImm:
+      return E->Type == DType::F32
+                 ? "ir::floatImm(" + cppFloat(E->FloatVal) + ")"
+                 : "ir::floatImm(" + cppFloat(E->FloatVal) + ", " +
+                       dtypeCpp(E->Type) + ")";
+    case ExprKind::Var: {
+      auto AI = AxisIndex.find(E->Name);
+      if (AI != AxisIndex.end())
+        return "Ix[" + std::to_string(AI->second) + "]";
+      return "ir::var(\"" + E->Name + "\")";
+    }
+    case ExprKind::Add:
+      return "ir::add(" + expr(E->Operands[0]) + ", " +
+             expr(E->Operands[1]) + ")";
+    case ExprKind::Sub:
+      return "ir::sub(" + expr(E->Operands[0]) + ", " +
+             expr(E->Operands[1]) + ")";
+    case ExprKind::Mul:
+      return "ir::mul(" + expr(E->Operands[0]) + ", " +
+             expr(E->Operands[1]) + ")";
+    case ExprKind::FloorDiv:
+      return "ir::floorDiv(" + expr(E->Operands[0]) + ", " +
+             expr(E->Operands[1]) + ")";
+    case ExprKind::Mod:
+      return "ir::mod(" + expr(E->Operands[0]) + ", " +
+             expr(E->Operands[1]) + ")";
+    case ExprKind::Min:
+      return "ir::minE(" + expr(E->Operands[0]) + ", " +
+             expr(E->Operands[1]) + ")";
+    case ExprKind::Max:
+      return "ir::maxE(" + expr(E->Operands[0]) + ", " +
+             expr(E->Operands[1]) + ")";
+    case ExprKind::Div:
+    case ExprKind::And:
+    case ExprKind::Or:
+    case ExprKind::Not:
+      return "ir::binary(ir::ExprKind::" + kindName(E->Kind) + ", " +
+             expr(E->Operands[0]) + ", " +
+             expr(E->Operands[E->Operands.size() > 1 ? 1 : 0]) + ")";
+    case ExprKind::CmpLT:
+    case ExprKind::CmpLE:
+    case ExprKind::CmpEQ:
+    case ExprKind::CmpNE:
+      return "ir::cmp(ir::ExprKind::" + kindName(E->Kind) + ", " +
+             expr(E->Operands[0]) + ", " + expr(E->Operands[1]) + ")";
+    case ExprKind::Cast:
+      return "ir::cast(" + std::string(dtypeCpp(E->Type)) + ", " +
+             expr(E->Operands[0]) + ")";
+    case ExprKind::Select:
+      return "ir::select(" + expr(E->Operands[0]) + ", " +
+             expr(E->Operands[1]) + ", " + expr(E->Operands[2]) + ")";
+    case ExprKind::TensorRead: {
+      std::string S =
+          "ir::tensorRead(" + TensorVars.at(E->Ref.get()) + ", {";
+      for (unsigned I = 0; I < E->Operands.size(); ++I)
+        S += (I ? ", " : "") + expr(E->Operands[I]);
+      return S + "})";
+    }
+    case ExprKind::Call: {
+      std::string S = "ir::call(\"" + E->Name + "\", {";
+      for (unsigned I = 0; I < E->Operands.size(); ++I)
+        S += (I ? ", " : "") + expr(E->Operands[I]);
+      return S + "}, " + dtypeCpp(E->Type) + ")";
+    }
+    case ExprKind::Reduce: {
+      std::string S = "ir::reduce(" +
+                      std::string(reduceKindCpp(E->RKind)) + ", " +
+                      expr(E->Operands[0]) + ", {";
+      for (unsigned I = 0; I < E->ReduceAxes.size(); ++I)
+        S += (I ? ", " : "") + ReduceVars.at(E->ReduceAxes[I].Name);
+      return S + "})";
+    }
+    }
+    return "/*?*/";
+  }
+
+  static std::string kindName(ExprKind K) {
+    switch (K) {
+    case ExprKind::Div:
+      return "Div";
+    case ExprKind::And:
+      return "And";
+    case ExprKind::Or:
+      return "Or";
+    case ExprKind::Not:
+      return "Not";
+    case ExprKind::CmpLT:
+      return "CmpLT";
+    case ExprKind::CmpLE:
+      return "CmpLE";
+    case ExprKind::CmpEQ:
+      return "CmpEQ";
+    case ExprKind::CmpNE:
+      return "CmpNE";
+    default:
+      return "?";
+    }
+  }
+};
+
+} // namespace
+
+std::string emitModuleBuilder(const Module &M, const std::string &ModuleVar) {
+  std::ostringstream OS;
+  std::map<const TensorDecl *, std::string> TensorVars;
+  unsigned NextT = 0, NextR = 0;
+  OS << "ir::Module " << ModuleVar << ";\n";
+  for (const Tensor &In : M.inputs()) {
+    std::string V = "t" + std::to_string(NextT++);
+    TensorVars[In.get()] = V;
+    OS << "ir::Tensor " << V << " = " << ModuleVar << ".placeholder(\""
+       << In->Name << "\", " << shapeList(In->Shape) << ", "
+       << dtypeCpp(In->Type) << ");\n";
+  }
+  for (const auto &Op : M.ops()) {
+    std::vector<IterVar> RAxes;
+    collectReduceAxes(Op->Body, RAxes);
+    std::map<std::string, std::string> ReduceVars;
+    for (const IterVar &IV : RAxes) {
+      if (ReduceVars.count(IV.Name))
+        continue;
+      std::string V = "rv" + std::to_string(NextR++);
+      ReduceVars[IV.Name] = V;
+      OS << "ir::IterVar " << V << " = " << ModuleVar << ".reduceAxis("
+         << IV.Extent << ", \"" << IV.Name << "\");\n";
+    }
+    std::map<std::string, unsigned> AxisIndex;
+    std::vector<int64_t> Shape;
+    for (unsigned I = 0; I < Op->Axis.size(); ++I) {
+      AxisIndex[Op->Axis[I].Name] = I;
+      Shape.push_back(Op->Axis[I].Extent);
+    }
+    Emitter Em{TensorVars, AxisIndex, ReduceVars};
+    std::string V = "t" + std::to_string(NextT++);
+    TensorVars[Op->Output.get()] = V;
+    OS << "ir::Tensor " << V << " = " << ModuleVar << ".compute(\""
+       << Op->Name << "\", " << shapeList(Shape)
+       << ", [&](const std::vector<ir::Expr> &Ix) {\n  (void)Ix;\n  return "
+       << Em.expr(Op->Body) << ";\n}, " << dtypeCpp(Op->Output->Type)
+       << ");\n";
+  }
+  return OS.str();
+}
+
+} // namespace ir
+} // namespace akg

@@ -1,0 +1,57 @@
+//===- ir/ModuleUtils.h - Module cloning, bounds, C++ emission --*- C++ -*-===//
+//
+// Helpers for code that manipulates whole modules as data: the differential
+// verification subsystem (src/verify) clones modules, mutates the clones
+// while shrinking failing cases, proves every tensor read stays in bounds
+// without tripping the evaluator's asserts, and renders a module back into
+// ready-to-paste C++ builder code for minimal repro test cases.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_IR_MODULEUTILS_H
+#define AKG_IR_MODULEUTILS_H
+
+#include "ir/Dsl.h"
+
+#include <functional>
+#include <map>
+
+namespace akg {
+namespace ir {
+
+/// Maps tensor references inside \p E through \p Remap (identity for
+/// tensors not in the map) and axis extents inside Reduce nodes through
+/// \p ExtentMap (identity when null). Non-tensor leaves are shared.
+Expr mapExpr(const Expr &E,
+             const std::map<const TensorDecl *, Tensor> &Remap,
+             const std::function<int64_t(int64_t)> &ExtentMap = nullptr);
+
+/// Deep-copies a module: fresh placeholders, fresh ops, fresh tensors.
+/// The clone is structurally identical (same names, shapes, bodies), so
+/// fingerprintModule and the evaluator agree between original and clone.
+Module cloneModule(const Module &M);
+
+/// Statically proves every TensorRead in every op body stays within its
+/// tensor's shape, using interval arithmetic over the op's axis and
+/// reduce-axis ranges. Returns "" when all reads are provably in bounds,
+/// else a diagnostic naming the op, tensor, and offending dimension.
+/// Conservative: an index it cannot bound is reported as a violation.
+/// The verify reducer uses this to discard shrink candidates that would
+/// abort inside evalExpr, and free (unbound) variables are reported too.
+std::string checkModuleBounds(const Module &M);
+
+/// Renders \p M as compilable C++ builder code against the ir:: API, the
+/// body of a test that reconstructs the module:
+///   ir::Module M;
+///   ir::Tensor t0 = M.placeholder("in0", {4, 8}, ir::DType::F16);
+///   ...
+/// Axis variables print as Ix[i]; reduce axes are declared with
+/// M.reduceAxis before the compute that uses them. \p ModuleVar names the
+/// Module variable in the emitted code.
+std::string emitModuleBuilder(const Module &M,
+                              const std::string &ModuleVar = "M");
+
+} // namespace ir
+} // namespace akg
+
+#endif // AKG_IR_MODULEUTILS_H

@@ -1,0 +1,111 @@
+//===- sim/Compare.cpp - Functional comparison plumbing -------------------===//
+
+#include "sim/Compare.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace akg {
+namespace sim {
+
+std::string FunctionalDiff::str() const {
+  if (MissingOutput)
+    return "output '" + Missing + "' missing or short";
+  char Buf[64];
+  std::snprintf(Buf, sizeof Buf, "max abs err %.3g", MaxAbsErr);
+  std::string S = Buf;
+  if (!WorstTensor.empty())
+    S += " at " + WorstTensor + "[" + std::to_string(WorstIndex) + "]";
+  return S;
+}
+
+ir::BufferMap makeModuleInputs(const ir::Module &M, uint32_t Seed) {
+  ir::BufferMap In;
+  for (const ir::Tensor &T : M.inputs())
+    In[T->Name] = ir::makeTestData(
+        T->numElements(), Seed + static_cast<uint32_t>(T->numElements()));
+  return In;
+}
+
+FunctionalDiff compareOutputs(const ir::Module &M, const ir::BufferMap &Got,
+                              const ir::BufferMap &Ref) {
+  FunctionalDiff D;
+  for (const ir::Tensor &O : M.outputs()) {
+    auto GIt = Got.find(O->Name);
+    auto RIt = Ref.find(O->Name);
+    if (GIt == Got.end() || RIt == Ref.end() ||
+        GIt->second.size() < RIt->second.size()) {
+      D.MissingOutput = true;
+      D.Missing = O->Name;
+      D.MaxAbsErr = std::numeric_limits<double>::infinity();
+      return D;
+    }
+    if (D.WorstTensor.empty() && !RIt->second.empty()) {
+      D.WorstTensor = O->Name;
+      D.WorstIndex = 0;
+    }
+    for (size_t I = 0; I < RIt->second.size(); ++I) {
+      double E = std::fabs(double(GIt->second[I]) - double(RIt->second[I]));
+      if (E > D.MaxAbsErr) {
+        D.MaxAbsErr = E;
+        D.WorstTensor = O->Name;
+        D.WorstIndex = static_cast<int64_t>(I);
+      }
+    }
+  }
+  return D;
+}
+
+uint64_t hashOutputBits(const ir::Module &M, const ir::BufferMap &Got) {
+  uint64_t H = 1469598103934665603ull; // FNV offset basis
+  auto Mix = [&H](const void *P, size_t N) {
+    const unsigned char *B = static_cast<const unsigned char *>(P);
+    for (size_t I = 0; I < N; ++I) {
+      H ^= B[I];
+      H *= 1099511628211ull;
+    }
+  };
+  for (const ir::Tensor &O : M.outputs()) {
+    auto It = Got.find(O->Name);
+    if (It == Got.end()) {
+      Mix(O->Name.data(), O->Name.size()); // deterministic "missing" mark
+      continue;
+    }
+    for (float V : It->second) {
+      uint32_t Bits;
+      std::memcpy(&Bits, &V, sizeof Bits);
+      Mix(&Bits, sizeof Bits);
+    }
+  }
+  return H;
+}
+
+FunctionalDiff diffKernelAgainstReference(const cce::Kernel &K,
+                                          const ir::Module &M,
+                                          const MachineSpec &Spec,
+                                          uint32_t Seed, SimResult *SimOut,
+                                          uint64_t *BitsOut) {
+  ir::BufferMap In = makeModuleInputs(M, Seed);
+  ir::BufferMap Ref = ir::evaluateModule(M, In);
+  ir::BufferMap Got = In;
+  SimOptions SO;
+  SO.Functional = true;
+  SimResult SR = simulate(K, Spec, &Got, SO);
+  if (SimOut)
+    *SimOut = SR;
+  if (BitsOut)
+    *BitsOut = hashOutputBits(M, Got);
+  if (SR.Truncated) {
+    FunctionalDiff D;
+    D.MissingOutput = true;
+    D.Missing = "<truncated at " + std::to_string(SR.DynamicInstrs) +
+                " dynamic instrs>";
+    D.MaxAbsErr = std::numeric_limits<double>::infinity();
+    return D;
+  }
+  return compareOutputs(M, Got, Ref);
+}
+
+} // namespace sim
+} // namespace akg

@@ -1,0 +1,64 @@
+//===- sim/Compare.h - Functional comparison plumbing -----------*- C++ -*-===//
+//
+// Shared helpers for differential checks between a kernel's functional
+// simulation and the DSL reference evaluator: deterministic input
+// generation, structured output diffing (worst tensor/element, missing
+// outputs reported instead of crashing), and bit-exact output hashing so
+// determinism sweeps (1 vs N compile threads, cold vs warm cache) can
+// require bit-for-bit identical results. Used by akg::verifyKernel, the
+// verify oracle, and the akg-fuzz driver.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SIM_COMPARE_H
+#define AKG_SIM_COMPARE_H
+
+#include "sim/Simulator.h"
+
+namespace akg {
+namespace sim {
+
+/// Structured result of comparing simulated outputs against the reference.
+struct FunctionalDiff {
+  double MaxAbsErr = 0;
+  std::string WorstTensor; // output with the largest error
+  int64_t WorstIndex = -1; // flat element index of the largest error
+  /// An output tensor the kernel never materialized (e.g. a dropped store);
+  /// MaxAbsErr is then infinity and Missing names the tensor.
+  bool MissingOutput = false;
+  std::string Missing;
+
+  bool within(double Tol) const { return !MissingOutput && MaxAbsErr <= Tol; }
+  std::string str() const;
+};
+
+/// Deterministic pseudo-random input buffers for every placeholder of \p M
+/// (the same scheme verifyKernel has always used: seed + element count).
+ir::BufferMap makeModuleInputs(const ir::Module &M, uint32_t Seed = 1);
+
+/// Compares \p Got against \p Ref over the outputs of \p M. Missing or
+/// short buffers are reported via MissingOutput rather than asserting, so
+/// the oracle can flag a miscompiled kernel that dropped a store.
+FunctionalDiff compareOutputs(const ir::Module &M, const ir::BufferMap &Got,
+                              const ir::BufferMap &Ref);
+
+/// FNV-1a over the raw bit patterns of every output buffer of \p M in
+/// output order. Two runs that produce bit-identical outputs hash equal;
+/// a missing output perturbs the hash deterministically.
+uint64_t hashOutputBits(const ir::Module &M, const ir::BufferMap &Got);
+
+/// Runs \p K functionally on inputs seeded with \p Seed and diffs against
+/// ir::evaluateModule. \p SimOut, when non-null, receives the simulation
+/// result (cycles, Truncated, ...); a truncated run is reported as a diff
+/// with MissingOutput set since its outputs are not trustworthy.
+FunctionalDiff diffKernelAgainstReference(const cce::Kernel &K,
+                                          const ir::Module &M,
+                                          const MachineSpec &Spec,
+                                          uint32_t Seed = 1,
+                                          SimResult *SimOut = nullptr,
+                                          uint64_t *BitsOut = nullptr);
+
+} // namespace sim
+} // namespace akg
+
+#endif // AKG_SIM_COMPARE_H

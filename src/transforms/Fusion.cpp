@@ -92,6 +92,83 @@ BasicMap tileToStmtMap(const ir::PolyStmt &St,
   return intersectRange(M, St.Domain);
 }
 
+/// Extension pieces define statement instances to EXECUTE. Two pieces for
+/// the same statement frequently overlap — a consumer reading a tensor
+/// twice (mul(t,t)), or halo reads t[i] and t[i+k] sharing interior
+/// points — and emitting both would run the overlapped instances twice,
+/// which is fatal for reduction updates (they are not idempotent). isl
+/// coalesces this for free because an extension holds a union map; our
+/// BasicMap pieces must be made disjoint by explicit subtraction.
+///
+/// Returns the pieces of A \ B (mutually disjoint, disjoint from B). Exact
+/// when B is div-free: A \ B = union over B's inequalities c_i of
+/// A /\ c_1 /\ ... /\ c_{i-1} /\ !c_i (the standard polyhedral difference).
+/// When B carries divs its constraints cannot be transplanted into A's
+/// column space, so A is returned whole unless the two systems are
+/// structurally identical (a safe over-approximation: worst case a
+/// duplicate survives for schedules that tile with floor divs before
+/// fusing, which the pipeline does not produce today).
+std::vector<BasicMap> subtractPiece(const BasicMap &A, const BasicMap &B) {
+  const Space &SA = A.space(), &SB = B.space();
+  if (SA.numParams() != SB.numParams() || SA.numIn() != SB.numIn() ||
+      SA.numOut() != SB.numOut())
+    return {A};
+  if (B.numDivs() != 0) {
+    auto SameCons = [](const std::vector<Constraint> &X,
+                       const std::vector<Constraint> &Y) {
+      if (X.size() != Y.size())
+        return false;
+      for (size_t I = 0; I < X.size(); ++I)
+        if (X[I].Coeffs != Y[I].Coeffs || X[I].Const != Y[I].Const ||
+            X[I].IsEq != Y[I].IsEq)
+          return false;
+      return true;
+    };
+    bool Same = A.numDivs() == B.numDivs() &&
+                SameCons(A.constraints(), B.constraints());
+    for (unsigned D = 0; Same && D < A.numDivs(); ++D) {
+      const DivDef &X = A.divs()[D], &Y = B.divs()[D];
+      Same = X.Coeffs == Y.Coeffs && X.Const == Y.Const && X.Denom == Y.Denom;
+    }
+    return Same ? std::vector<BasicMap>{} : std::vector<BasicMap>{A};
+  }
+  unsigned Shared = SB.numParams() + SB.numIn() + SB.numOut();
+  // Expand equalities into inequality pairs so !c is a single halfspace.
+  std::vector<std::pair<std::vector<int64_t>, int64_t>> Ineqs;
+  for (const Constraint &C : B.constraints()) {
+    std::vector<int64_t> Pos(C.Coeffs.begin(), C.Coeffs.begin() + Shared);
+    Ineqs.emplace_back(Pos, C.Const);
+    if (C.IsEq) {
+      std::vector<int64_t> NegC(Shared);
+      for (unsigned K = 0; K < Shared; ++K)
+        NegC[K] = -C.Coeffs[K];
+      Ineqs.emplace_back(std::move(NegC), -C.Const);
+    }
+  }
+  auto Pad = [&](const std::vector<int64_t> &Coeffs, unsigned Cols,
+                 int64_t Sign) {
+    std::vector<int64_t> Row(Cols, 0);
+    for (unsigned K = 0; K < Shared; ++K)
+      Row[K] = Sign * Coeffs[K];
+    return Row;
+  };
+  std::vector<BasicMap> Out;
+  BasicMap Cur = A; // A /\ (B's first i-1 inequalities)
+  for (const auto &[Coeffs, Const] : Ineqs) {
+    BasicMap Piece = Cur;
+    // !(c.x + k >= 0)  <=>  -c.x - k - 1 >= 0 over the integers.
+    Piece.addIneq(Pad(Coeffs, Piece.numCols(), -1), -Const - 1);
+    if (!Piece.isEmpty(/*CheckInteger=*/true)) {
+      Piece.removeRedundant();
+      Out.push_back(std::move(Piece));
+    }
+    Cur.addIneq(Pad(Coeffs, Cur.numCols(), 1), Const);
+    if (Cur.isEmpty(/*CheckInteger=*/true))
+      break;
+  }
+  return Out;
+}
+
 } // namespace
 
 FusionReport applyPostTilingFusion(ScheduleTree &T, const ir::PolyProgram &P,
@@ -173,7 +250,11 @@ FusionReport applyPostTilingFusion(ScheduleTree &T, const ir::PolyProgram &P,
     // Split into units (init/update pairs stay together).
     std::vector<std::vector<unsigned>> Units;
     for (unsigned I = 0; I < Stmts.size(); ++I) {
-      if (P.Stmts[Stmts[I]].StmtRole == ir::PolyStmt::Role::Init) {
+      // A degraded schedule can split an init/update pair across cluster
+      // filters, so an Init may be the last statement here.
+      if (P.Stmts[Stmts[I]].StmtRole == ir::PolyStmt::Role::Init &&
+          I + 1 < Stmts.size() &&
+          P.Stmts[Stmts[I + 1]].StmtRole == ir::PolyStmt::Role::Update) {
         Units.push_back({Stmts[I], Stmts[I + 1]});
         ++I;
       } else {
@@ -228,7 +309,24 @@ FusionReport applyPostTilingFusion(ScheduleTree &T, const ir::PolyProgram &P,
             if (Rel.isEmpty())
               continue;
             Rel.removeRedundant();
-            NewRels[S].push_back(std::move(Rel));
+            // Keep each statement's pieces disjoint: subtract everything
+            // already defined before appending, so overlapping reads never
+            // execute an instance twice.
+            std::vector<BasicMap> Fresh{std::move(Rel)};
+            auto Prior = NewRels.find(S);
+            for (const BasicMap &Old :
+                 Prior == NewRels.end() ? std::vector<BasicMap>{}
+                                        : Prior->second) {
+              std::vector<BasicMap> Next;
+              for (const BasicMap &F : Fresh)
+                for (BasicMap &Piece : subtractPiece(F, Old))
+                  Next.push_back(std::move(Piece));
+              Fresh = std::move(Next);
+              if (Fresh.empty())
+                break;
+            }
+            for (BasicMap &F : Fresh)
+              NewRels[S].push_back(std::move(F));
           }
         }
       }

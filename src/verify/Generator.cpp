@@ -1,0 +1,479 @@
+//===- verify/Generator.cpp - Structured random module generator ----------===//
+
+#include "verify/Generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace akg {
+namespace verify {
+
+using namespace ir;
+
+namespace {
+
+/// xorshift64* - deterministic, process-independent (no std::mt19937 so the
+/// stream is pinned by this file, not the standard library).
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S(Seed * 0x9E3779B97F4A7C15ull + 0xA5A5A5A5ull) {
+    next();
+  }
+  uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S * 0x2545F4914F6CDD1Dull;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) { // inclusive
+    assert(Hi >= Lo);
+    return Lo + int64_t(next() % uint64_t(Hi - Lo + 1));
+  }
+  bool chance(int Pct) { return range(0, 99) < Pct; }
+};
+
+int64_t numElems(const std::vector<int64_t> &Shape) {
+  int64_t N = 1;
+  for (int64_t D : Shape)
+    N *= D;
+  return N;
+}
+
+struct Builder {
+  Module M;
+  Rng R;
+  const GenOptions &O;
+  int64_t TotalElems = 0;
+  std::vector<Tensor> Pool;
+  unsigned NextOp = 0, NextIn = 0;
+
+  Builder(uint64_t Seed, const GenOptions &Opts) : R(Seed), O(Opts) {}
+
+  std::string opName() { return "op" + std::to_string(NextOp++); }
+
+  bool withinBudget(const std::vector<int64_t> &Shape) const {
+    int64_t N = numElems(Shape);
+    return N <= O.MaxTensorElems && TotalElems + N <= O.MaxTotalElems;
+  }
+
+  Tensor input(std::vector<int64_t> Shape, DType T = DType::F16) {
+    // Theme seeders sample dims from fixed ranges; clamp to the per-tensor
+    // budget by halving the largest dim (deterministic, and independent of
+    // pool state so same-shape inputs stay same-shape).
+    while (numElems(Shape) > O.MaxTensorElems) {
+      auto It = std::max_element(Shape.begin(), Shape.end());
+      if (*It <= 1)
+        break;
+      *It = (*It + 1) / 2;
+    }
+    Tensor In =
+        M.placeholder("in" + std::to_string(NextIn++), Shape, T);
+    TotalElems += In->numElements();
+    Pool.push_back(In);
+    return In;
+  }
+
+  Tensor emit(const std::string &Name, std::vector<int64_t> Shape,
+              const std::function<Expr(const std::vector<Expr> &)> &Fn,
+              DType T = DType::F16) {
+    Tensor Out = M.compute(Name, std::move(Shape), Fn, T);
+    TotalElems += Out->numElements();
+    Pool.push_back(Out);
+    return Out;
+  }
+
+  /// A same-shape partner for \p A from the pool (any dtype), or null.
+  Tensor partner(const Tensor &A) {
+    std::vector<Tensor> Cands;
+    for (const Tensor &T : Pool)
+      if (T != A && T->Shape == A->Shape)
+        Cands.push_back(T);
+    if (Cands.empty())
+      return nullptr;
+    return Cands[size_t(R.range(0, int64_t(Cands.size()) - 1))];
+  }
+
+  /// A pool tensor whose shape is a strict suffix of \p A's shape (for
+  /// broadcasting along leading axes), or null.
+  Tensor suffixOperand(const Tensor &A) {
+    std::vector<Tensor> Cands;
+    for (const Tensor &T : Pool) {
+      if (T->Shape.size() >= A->Shape.size() || T->Shape.empty())
+        continue;
+      bool Suffix = true;
+      size_t Off = A->Shape.size() - T->Shape.size();
+      for (size_t I = 0; I < T->Shape.size(); ++I)
+        Suffix &= T->Shape[I] == A->Shape[Off + I];
+      if (Suffix)
+        Cands.push_back(T);
+    }
+    if (Cands.empty())
+      return nullptr;
+    return Cands[size_t(R.range(0, int64_t(Cands.size()) - 1))];
+  }
+
+  Expr binaryOf(Expr A, Expr B) {
+    switch (R.range(0, 4)) {
+    case 0:
+      return add(std::move(A), std::move(B));
+    case 1:
+      return mul(std::move(A), std::move(B));
+    case 2:
+      return sub(std::move(A), std::move(B));
+    case 3:
+      return minE(std::move(A), std::move(B));
+    default:
+      return maxE(std::move(A), std::move(B));
+    }
+  }
+
+  const char *intrinsicOf() {
+    static const char *Fns[] = {"relu", "abs", "sigmoid", "tanh"};
+    return Fns[R.range(0, 3)];
+  }
+
+  /// Appends one random op reading \p A (and possibly other pool
+  /// tensors). Returns the new tensor, or null when no variant fit the
+  /// budget/shape constraints.
+  Tensor randomOp(const Tensor &A) {
+    int Kind = int(R.range(0, 7));
+    const std::vector<int64_t> &S = A->Shape;
+    std::string Name = opName();
+    switch (Kind) {
+    case 0: { // same-shape binary
+      Tensor B = partner(A);
+      if (!B || !withinBudget(S))
+        break;
+      return emit(Name, S, [&](const std::vector<Expr> &Ix) {
+        return binaryOf(tensorRead(A, Ix), tensorRead(B, Ix));
+      });
+    }
+    case 1: { // broadcast a suffix-shaped operand
+      Tensor B = suffixOperand(A);
+      if (!B || !withinBudget(S))
+        break;
+      size_t Off = S.size() - B->Shape.size();
+      return emit(Name, S, [&](const std::vector<Expr> &Ix) {
+        std::vector<Expr> BIx(Ix.begin() + long(Off), Ix.end());
+        return add(tensorRead(A, Ix), tensorRead(B, BIx));
+      });
+    }
+    case 2: { // halo: shifted read along axis 0 into a smaller output
+      if (S.empty() || S[0] <= 4)
+        break;
+      std::vector<int64_t> Sm = S;
+      int64_t Shift = R.range(1, 2);
+      Sm[0] -= Shift;
+      if (!withinBudget(Sm))
+        break;
+      return emit(Name, Sm, [&](const std::vector<Expr> &Ix) {
+        std::vector<Expr> Hi = Ix;
+        Hi[0] = add(Ix[0], intImm(Shift));
+        return add(tensorRead(A, Ix), tensorRead(A, Hi));
+      });
+    }
+    case 3: { // reduce the last axis
+      if (S.size() < 2)
+        break;
+      std::vector<int64_t> Red(S.begin(), S.end() - 1);
+      if (!withinBudget(Red))
+        break;
+      ReduceKind RK = R.chance(60) ? ReduceKind::Sum
+                                   : (R.chance(50) ? ReduceKind::Max
+                                                   : ReduceKind::Min);
+      std::string KName = Name + "_k";
+      IterVar K = M.reduceAxis(S.back(), KName);
+      return emit(
+          Name, Red,
+          [&](const std::vector<Expr> &Ix) {
+            std::vector<Expr> RIx = Ix;
+            RIx.push_back(var(KName));
+            return reduce(RK, tensorRead(A, RIx), {K});
+          },
+          DType::F32);
+    }
+    case 4: { // cast round-trip
+      if (!withinBudget(S))
+        break;
+      DType To = A->Type == DType::F32 ? DType::F16 : DType::F32;
+      return emit(
+          Name, S,
+          [&](const std::vector<Expr> &Ix) {
+            return cast(To, tensorRead(A, Ix));
+          },
+          To);
+    }
+    case 5: { // select guard (clamp negatives via a comparison)
+      if (!withinBudget(S))
+        break;
+      return emit(Name, S, [&](const std::vector<Expr> &Ix) {
+        Expr V = tensorRead(A, Ix);
+        return select(cmp(ExprKind::CmpLT, V, floatImm(0.0)),
+                      mul(V, floatImm(0.5)), V);
+      });
+    }
+    case 6: { // affine scale + shift by immediates
+      if (!withinBudget(S))
+        break;
+      double Scale = double(R.range(-3, 3)) / 2.0;
+      double Shift = double(R.range(-2, 2));
+      return emit(Name, S, [&](const std::vector<Expr> &Ix) {
+        return add(mul(tensorRead(A, Ix), floatImm(Scale)),
+                   floatImm(Shift));
+      });
+    }
+    default: { // unary intrinsic
+      if (!withinBudget(S))
+        break;
+      const char *Fn = intrinsicOf();
+      return emit(Name, S, [&](const std::vector<Expr> &Ix) {
+        return call(Fn, {tensorRead(A, Ix)}, DType::F16);
+      });
+    }
+    }
+    return nullptr;
+  }
+
+  /// Appends \p N random ops, each reading a random pool tensor.
+  void filler(unsigned N) {
+    for (unsigned I = 0; I < N; ++I) {
+      const Tensor &A = Pool[size_t(R.range(0, int64_t(Pool.size()) - 1))];
+      randomOp(A);
+    }
+  }
+
+  Tensor matmul(const Tensor &A, const Tensor &B) {
+    assert(A->Shape.size() == 2 && B->Shape.size() == 2 &&
+           A->Shape[1] == B->Shape[0]);
+    std::string Name = opName();
+    std::string KName = Name + "_k";
+    IterVar K = M.reduceAxis(A->Shape[1], KName);
+    return emit(
+        Name, {A->Shape[0], B->Shape[1]},
+        [&](const std::vector<Expr> &Ix) {
+          return reduce(ReduceKind::Sum,
+                        mul(tensorRead(A, {Ix[0], var(KName)}),
+                            tensorRead(B, {var(KName), Ix[1]})),
+                        {K});
+        },
+        DType::F32);
+  }
+
+  Tensor conv(const Tensor &I, const Tensor &W, int64_t Stride,
+              int64_t Pad) {
+    int64_t N = I->Shape[0], Ci = I->Shape[1], H = I->Shape[2],
+            Wd = I->Shape[3];
+    int64_t Co = W->Shape[0], KH = W->Shape[2], KW = W->Shape[3];
+    int64_t Ho = (H + 2 * Pad - KH) / Stride + 1;
+    int64_t Wo = (Wd + 2 * Pad - KW) / Stride + 1;
+    std::string Name = opName();
+    IterVar Rc = M.reduceAxis(Ci, Name + "_rc");
+    IterVar Rh = M.reduceAxis(KH, Name + "_rh");
+    IterVar Rw = M.reduceAxis(KW, Name + "_rw");
+    return emit(
+        Name, {N, Co, Ho, Wo},
+        [&](const std::vector<Expr> &Ix) {
+          Expr Hh = sub(add(mul(Ix[2], intImm(Stride)), var(Name + "_rh")),
+                        intImm(Pad));
+          Expr Ww = sub(add(mul(Ix[3], intImm(Stride)), var(Name + "_rw")),
+                        intImm(Pad));
+          Expr Read = tensorRead(I, {Ix[0], var(Name + "_rc"), Hh, Ww});
+          if (Pad > 0) {
+            Expr InB = binary(
+                ExprKind::And,
+                binary(ExprKind::And, cmp(ExprKind::CmpLE, intImm(0), Hh),
+                       cmp(ExprKind::CmpLT, Hh, intImm(H))),
+                binary(ExprKind::And, cmp(ExprKind::CmpLE, intImm(0), Ww),
+                       cmp(ExprKind::CmpLT, Ww, intImm(Wd))));
+            Read = select(InB, Read, floatImm(0.0));
+          }
+          return reduce(ReduceKind::Sum,
+                        mul(Read, tensorRead(W, {Ix[1], var(Name + "_rc"),
+                                                 var(Name + "_rh"),
+                                                 var(Name + "_rw")})),
+                        {Rc, Rh, Rw});
+        },
+        DType::F32);
+  }
+};
+
+void seedElementwise2D(Builder &B) {
+  int64_t D0 = B.R.range(3, 24), D1 = B.R.range(4, 40);
+  B.input({D0, D1});
+  B.input({D0, D1});
+  B.input({D1}); // broadcast row
+}
+
+void seedMatmul(Builder &B) {
+  int64_t M = B.R.range(2, 12), K = B.R.range(2, 12), N = B.R.range(2, 12);
+  Tensor A = B.input({M, K});
+  Tensor Bt = B.input({K, N});
+  Tensor C = B.matmul(A, Bt);
+  if (B.R.chance(60)) { // bias epilogue
+    Tensor Bias = B.input({N}, DType::F32);
+    B.emit(B.opName(), {M, N}, [&](const std::vector<Expr> &Ix) {
+      return add(tensorRead(C, Ix), tensorRead(Bias, {Ix[1]}));
+    });
+  }
+}
+
+void seedConv(Builder &B) {
+  int64_t Ci = B.R.range(1, 3), H = B.R.range(4, 9), W = B.R.range(4, 9);
+  int64_t Co = B.R.range(1, 4), KH = B.R.range(1, 3);
+  int64_t Stride = B.R.chance(25) ? 2 : 1;
+  int64_t Pad = B.R.chance(50) ? 1 : 0;
+  if (KH + 2 * Pad > H)
+    KH = 1;
+  Tensor I = B.input({1, Ci, H, W});
+  Tensor Wt = B.input({Co, Ci, KH, KH});
+  Tensor C = B.conv(I, Wt, Stride, Pad);
+  if (B.R.chance(60)) { // relu epilogue
+    B.emit(B.opName(), C->Shape, [&](const std::vector<Expr> &Ix) {
+      return call("relu", {tensorRead(C, Ix)}, DType::F16);
+    });
+  }
+}
+
+void seedReduction3D(Builder &B) {
+  int64_t D0 = B.R.range(2, 8), D1 = B.R.range(2, 10),
+          D2 = B.R.range(2, 12);
+  Tensor A = B.input({D0, D1, D2});
+  B.input({D1, D2}); // broadcast plane
+  Tensor T = B.randomOp(A);
+  // The random op may have reduced the rank; keep a rank >= 2 base so the
+  // forced reduction below never produces a scalar output.
+  const Tensor &Base = (T && T->Shape.size() >= 2) ? T : A;
+  // Force at least one reduction chain on top.
+  std::string Name = B.opName();
+  std::string KName = Name + "_k";
+  IterVar K = B.M.reduceAxis(Base->Shape.back(), KName);
+  ReduceKind RK = B.R.chance(50)
+                      ? ReduceKind::Sum
+                      : (B.R.chance(50) ? ReduceKind::Max : ReduceKind::Min);
+  std::vector<int64_t> Red(Base->Shape.begin(), Base->Shape.end() - 1);
+  B.emit(
+      Name, Red,
+      [&](const std::vector<Expr> &Ix) {
+        std::vector<Expr> RIx = Ix;
+        RIx.push_back(var(KName));
+        return reduce(RK, tensorRead(Base, RIx), {K});
+      },
+      DType::F32);
+}
+
+void seedElementwise4D(Builder &B) {
+  int64_t D0 = B.R.range(1, 3), D1 = B.R.range(2, 4), D2 = B.R.range(3, 8),
+          D3 = B.R.range(3, 8);
+  B.input({D0, D1, D2, D3});
+  B.input({D0, D1, D2, D3});
+  B.input({D2, D3}); // broadcast plane
+}
+
+void seedChain1D(Builder &B) {
+  int64_t N = B.R.range(8, 64);
+  B.input({N});
+  B.input({N});
+}
+
+void seedMultiOutput(Builder &B) {
+  int64_t D0 = B.R.range(3, 12), D1 = B.R.range(4, 16);
+  Tensor A = B.input({D0, D1});
+  Tensor Bt = B.input({D0, D1});
+  // Several sibling branches off the same producers; whatever stays
+  // unconsumed escapes the module, so this reliably yields >= 2 outputs.
+  Tensor S = B.emit(B.opName(), {D0, D1}, [&](const std::vector<Expr> &Ix) {
+    return add(tensorRead(A, Ix), tensorRead(Bt, Ix));
+  });
+  B.emit(B.opName(), {D0, D1}, [&](const std::vector<Expr> &Ix) {
+    return call("relu", {tensorRead(S, Ix)}, DType::F16);
+  });
+  B.emit(B.opName(), {D0, D1}, [&](const std::vector<Expr> &Ix) {
+    return mul(tensorRead(S, Ix), tensorRead(A, Ix));
+  });
+}
+
+} // namespace
+
+const char *themeName(Theme T) {
+  switch (T) {
+  case Theme::Auto:
+    return "auto";
+  case Theme::Elementwise2D:
+    return "elementwise2d";
+  case Theme::Matmul:
+    return "matmul";
+  case Theme::Conv:
+    return "conv";
+  case Theme::Reduction3D:
+    return "reduction3d";
+  case Theme::Elementwise4D:
+    return "elementwise4d";
+  case Theme::Chain1D:
+    return "chain1d";
+  case Theme::MultiOutput:
+    return "multioutput";
+  }
+  return "?";
+}
+
+Theme themeForSeed(uint64_t Seed) {
+  static const Theme Cycle[] = {
+      Theme::Elementwise2D, Theme::Matmul,       Theme::Conv,
+      Theme::Reduction3D,   Theme::Elementwise4D, Theme::Chain1D,
+      Theme::MultiOutput};
+  return Cycle[Seed % (sizeof(Cycle) / sizeof(Cycle[0]))];
+}
+
+ir::Module generateModule(uint64_t Seed, const GenOptions &Opts) {
+  Theme T = Opts.ThemeSel == Theme::Auto ? themeForSeed(Seed) : Opts.ThemeSel;
+  Builder B(Seed, Opts);
+  switch (T) {
+  case Theme::Auto:
+  case Theme::Elementwise2D:
+    seedElementwise2D(B);
+    break;
+  case Theme::Matmul:
+    seedMatmul(B);
+    break;
+  case Theme::Conv:
+    seedConv(B);
+    break;
+  case Theme::Reduction3D:
+    seedReduction3D(B);
+    break;
+  case Theme::Elementwise4D:
+    seedElementwise4D(B);
+    break;
+  case Theme::Chain1D:
+    seedChain1D(B);
+    break;
+  case Theme::MultiOutput:
+    seedMultiOutput(B);
+    break;
+  }
+  unsigned Extra =
+      unsigned(B.R.range(int64_t(Opts.MinOps), int64_t(Opts.MaxOps)));
+  B.filler(Extra);
+  // A module must have at least one op; fall back to a plain copy if every
+  // random variant was rejected (tight budgets).
+  if (B.M.ops().empty()) {
+    const Tensor &A = B.Pool.front();
+    B.emit(B.opName(), A->Shape, [&](const std::vector<Expr> &Ix) {
+      return call("relu", {tensorRead(A, Ix)}, DType::F16);
+    });
+  }
+  return std::move(B.M);
+}
+
+std::string describeModule(uint64_t Seed, const ir::Module &M) {
+  int64_t Elems = 0;
+  for (const Tensor &T : M.allTensors())
+    Elems += T->numElements();
+  return "seed " + std::to_string(Seed) +
+         ": theme=" + themeName(themeForSeed(Seed)) +
+         " ops=" + std::to_string(M.ops().size()) +
+         " elems=" + std::to_string(Elems);
+}
+
+} // namespace verify
+} // namespace akg

@@ -1,0 +1,65 @@
+//===- verify/Generator.h - Structured random module generator --*- C++ -*-===//
+//
+// CSmith/NNSmith-style structured generation of random DSL modules for
+// differential testing (DESIGN.md 4e). Each seed deterministically maps to
+// one module; seeds cycle through themes so a contiguous seed range covers
+// every workload class the compiler supports: 1-4-D elementwise DAGs,
+// broadcasts, shifted (halo) reads, row/column reductions with every
+// combiner, matmul (cube/fractal path), conv with and without padding
+// (img2col path), casts, select guards, and multi-output fused subgraphs.
+// Size budgets keep functional simulation and the reference evaluator fast
+// enough to sweep hundreds of seeds per second.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_VERIFY_GENERATOR_H
+#define AKG_VERIFY_GENERATOR_H
+
+#include "ir/Dsl.h"
+
+#include <string>
+
+namespace akg {
+namespace verify {
+
+/// Workload class a seed expands into. Theme::Auto derives the theme from
+/// the seed so any seed range covers all classes.
+enum class Theme {
+  Auto,
+  Elementwise2D, // binary/unary/broadcast/halo chains (the classic fuzz)
+  Matmul,        // matmul + elementwise epilogue
+  Conv,          // small conv (pad 0/1) + epilogue
+  Reduction3D,   // 3-D tensors, reductions with Sum/Max/Min
+  Elementwise4D, // rank-4 chains with broadcasts
+  Chain1D,       // rank-1 long chains
+  MultiOutput,   // several unconsumed leaves -> multi-output module
+};
+
+const char *themeName(Theme T);
+
+struct GenOptions {
+  Theme ThemeSel = Theme::Auto;
+  /// Extra ops appended after the theme skeleton (random elementwise).
+  unsigned MinOps = 2;
+  unsigned MaxOps = 7;
+  /// Per-tensor element budget; dims are resampled until it holds.
+  int64_t MaxTensorElems = 4096;
+  /// Module-wide element budget; generation stops adding ops beyond it.
+  int64_t MaxTotalElems = 16384;
+};
+
+/// The theme seed \p Seed expands under Theme::Auto.
+Theme themeForSeed(uint64_t Seed);
+
+/// Deterministically generates one module for \p Seed. Same seed + same
+/// options -> structurally identical module (stable across processes).
+ir::Module generateModule(uint64_t Seed, const GenOptions &Opts = {});
+
+/// One-line description ("seed 42: theme=matmul ops=5 elems=1234") for
+/// logs and corpus files.
+std::string describeModule(uint64_t Seed, const ir::Module &M);
+
+} // namespace verify
+} // namespace akg
+
+#endif // AKG_VERIFY_GENERATOR_H

@@ -1,0 +1,186 @@
+//===- verify/Oracle.cpp - Config-matrix differential oracle --------------===//
+
+#include "verify/Oracle.h"
+
+#include "akg/CompileService.h"
+#include "akg/KernelCache.h"
+#include "ir/PolyExtract.h"
+#include "target/Codegen.h"
+
+#include <cstdio>
+
+namespace akg {
+namespace verify {
+
+using namespace ir;
+
+std::string OracleReport::firstFailure() const {
+  for (const ConfigOutcome &O : Outcomes)
+    if (!O.Pass)
+      return O.Config + ": " + O.Detail;
+  return "";
+}
+
+std::string OracleReport::str() const {
+  std::string S;
+  for (const ConfigOutcome &O : Outcomes) {
+    char Buf[160];
+    std::snprintf(Buf, sizeof Buf, "%-18s %s  err=%.3g  bits=%016llx  %s\n",
+                  O.Config.c_str(), O.Pass ? "PASS" : "FAIL", O.MaxErr,
+                  static_cast<unsigned long long>(O.OutputBits),
+                  O.Detail.c_str());
+    S += Buf;
+  }
+  return S;
+}
+
+namespace {
+
+/// Uniform manual tile policy: tile every axis of the live-out statement
+/// with min(extent, Size) at UB (the same shape BenchCommon and the tuner
+/// use for manual specs).
+AkgOptions tiledOptions(const ir::Module &M, int64_t Size) {
+  AkgOptions O;
+  ir::PolyProgram P = ir::extractPolyProgram(M);
+  if (P.Stmts.empty())
+    return O;
+  const ir::PolyStmt &Live = P.Stmts.back();
+  transforms::StmtTileSpec Spec;
+  for (const IterVar &IV : Live.Op->Axis)
+    Spec.Entries.push_back(
+        transforms::TileSpecEntry{std::min(IV.Extent, Size), "UB"});
+  transforms::TilingPolicy Pol;
+  Pol.PerStmt[Live.Id] = Spec;
+  O.ManualTiles = Pol;
+  return O;
+}
+
+} // namespace
+
+std::vector<std::pair<std::string, AkgOptions>>
+oracleConfigs(const ir::Module &M, MatrixLevel Level) {
+  std::vector<std::pair<std::string, AkgOptions>> Cfgs;
+  Cfgs.emplace_back("default", AkgOptions{});
+  {
+    AkgOptions O;
+    O.EnablePostTilingFusion = false;
+    Cfgs.emplace_back("nofuse", O);
+  }
+  Cfgs.emplace_back("tile4", tiledOptions(M, 4));
+  {
+    AkgOptions O;
+    O.FailStage = Stage::Storage;
+    Cfgs.emplace_back("fail_storage", O);
+  }
+  if (Level == MatrixLevel::Quick)
+    return Cfgs;
+  {
+    AkgOptions O;
+    O.EnableIntraTile = false;
+    Cfgs.emplace_back("nointratile", O);
+  }
+  {
+    AkgOptions O;
+    O.EnableInlining = true;
+    Cfgs.emplace_back("inline", O);
+  }
+  Cfgs.emplace_back("tile8", tiledOptions(M, 8));
+  static const Stage Rungs[] = {Stage::Scheduler,    Stage::Tiling,
+                                Stage::Fusion,       Stage::IntraTile,
+                                Stage::Vectorize,    Stage::DoubleBuffer,
+                                Stage::Sync};
+  for (Stage S : Rungs) {
+    AkgOptions O;
+    O.FailStage = S;
+    Cfgs.emplace_back(std::string("fail_") + stageName(S), O);
+  }
+  return Cfgs;
+}
+
+OracleReport runOracle(const ir::Module &M, const OracleOptions &Opts) {
+  const sim::MachineSpec &Spec =
+      Opts.Machine ? *Opts.Machine : sim::MachineSpec::ascend910();
+  OracleReport Rep;
+
+  auto Check = [&](const std::string &Name, CompileResult R) {
+    ConfigOutcome Out;
+    Out.Config = Name;
+    if (Opts.MutateKernel)
+      Opts.MutateKernel(M, Name, R.Kernel);
+    std::string Cap = cce::checkBufferCapacities(R.Kernel, Spec);
+    sim::FunctionalDiff D = [&] {
+      sim::SimResult SR;
+      return sim::diffKernelAgainstReference(R.Kernel, M, Spec,
+                                             Opts.DataSeed, &SR,
+                                             &Out.OutputBits);
+    }();
+    Out.MaxErr = D.MaxAbsErr;
+    if (!Cap.empty()) {
+      Out.Pass = false;
+      Out.Detail = "buffer capacity: " + Cap;
+    } else if (!D.within(Opts.Tolerance)) {
+      Out.Pass = false;
+      Out.Detail = D.str();
+    } else {
+      Out.Pass = true;
+    }
+    Rep.Pass &= Out.Pass;
+    Rep.Outcomes.push_back(Out);
+    return Out;
+  };
+
+  // --- Functional matrix: every config vs the reference evaluator -------
+  for (const auto &[Name, O] : oracleConfigs(M, Opts.Level))
+    Check(Name, compileWithAkg(M, O, "oracle_" + Name));
+
+  // --- Determinism sweep: 1 vs N threads, cold vs warm cache ------------
+  // The three passes must produce byte-identical kernel text and
+  // bit-identical functional outputs.
+  KernelCache ColdCache1, ColdCacheN;
+  AkgOptions Base;
+  std::vector<CompileJob> Jobs(3, CompileJob{&M, Base, "oracle_det"});
+  CompileServiceOptions S1{1, &ColdCache1};
+  CompileServiceOptions SN{Opts.Threads, &ColdCacheN};
+  std::vector<CompileResult> A = compileModulesParallel(Jobs, S1);
+  std::vector<CompileResult> B = compileModulesParallel(Jobs, SN);
+  std::vector<CompileResult> C = compileModulesParallel(Jobs, SN); // warm
+
+  std::string RefText = cce::printKernel(A.front().Kernel);
+  ConfigOutcome Det1 = Check("threads1", A.front());
+  uint64_t RefBits = Det1.OutputBits;
+  struct Pass {
+    const char *Name;
+    std::vector<CompileResult> *Results;
+  } Passes[] = {{"threadsN_cold", &B}, {"threadsN_warm", &C}};
+  for (const Pass &P : Passes) {
+    ConfigOutcome Out;
+    Out.Config = P.Name;
+    Out.Pass = true;
+    for (const CompileResult &R : *P.Results) {
+      if (cce::printKernel(R.Kernel) != RefText) {
+        Out.Pass = false;
+        Out.Detail = "kernel text differs from 1-thread compile";
+        break;
+      }
+    }
+    if (Out.Pass) {
+      sim::FunctionalDiff D = sim::diffKernelAgainstReference(
+          P.Results->front().Kernel, M, Spec, Opts.DataSeed, nullptr,
+          &Out.OutputBits);
+      Out.MaxErr = D.MaxAbsErr;
+      if (Out.OutputBits != RefBits) {
+        Out.Pass = false;
+        Out.Detail = "output bits differ from 1-thread compile";
+      } else if (!D.within(Opts.Tolerance)) {
+        Out.Pass = false;
+        Out.Detail = D.str();
+      }
+    }
+    Rep.Pass &= Out.Pass;
+    Rep.Outcomes.push_back(Out);
+  }
+  return Rep;
+}
+
+} // namespace verify
+} // namespace akg

@@ -1,0 +1,79 @@
+//===- verify/Oracle.h - Config-matrix differential oracle ------*- C++ -*-===//
+//
+// The differential-testing oracle (DESIGN.md 4e): one module is compiled
+// under a sweep of every compilation knob that must not change semantics -
+// post-tiling fusion on/off, intra-tile on/off, preparation inlining,
+// several manual tile specs, every degradation rung via
+// AkgOptions::FailStage, and a determinism sweep through the compile
+// service (1 vs N worker threads, cold vs warm KernelCache). Every kernel
+// is simulated functionally; each must match ir::evaluateModule within FP
+// tolerance, and the determinism sweep must additionally be bit-for-bit
+// identical (same kernel text, same output bits) across thread counts and
+// cache temperature. Config sweeps that legitimately reassociate float
+// reductions (different tile sizes) are held to the FP tolerance, not to
+// bit equality.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_VERIFY_ORACLE_H
+#define AKG_VERIFY_ORACLE_H
+
+#include "akg/Compiler.h"
+#include "sim/Compare.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace akg {
+namespace verify {
+
+/// Quick runs a PR-smoke subset (default, fusion off, one tile spec, one
+/// degradation rung, determinism); Full runs the whole matrix.
+enum class MatrixLevel { Quick, Full };
+
+struct OracleOptions {
+  MatrixLevel Level = MatrixLevel::Full;
+  double Tolerance = 2e-2; // F16-grade functional tolerance
+  unsigned Threads = 4;    // the N of the 1-vs-N determinism sweep
+  uint32_t DataSeed = 1;
+  /// Machine model; null selects ascend910.
+  const sim::MachineSpec *Machine = nullptr;
+  /// Post-compile hook applied to each functional config's kernel before
+  /// simulation. This is the seam the harness's own self-tests use to
+  /// inject deliberate miscompiles and prove the oracle catches them.
+  std::function<void(const ir::Module &M, const std::string &Config,
+                     cce::Kernel &K)>
+      MutateKernel;
+};
+
+struct ConfigOutcome {
+  std::string Config;
+  bool Pass = false;
+  double MaxErr = 0;
+  uint64_t OutputBits = 0; // FNV over output float bit patterns
+  std::string Detail;      // failure explanation
+};
+
+struct OracleReport {
+  bool Pass = true;
+  std::vector<ConfigOutcome> Outcomes;
+
+  /// "config: detail" of the first failing outcome ("" when passing).
+  std::string firstFailure() const;
+  /// Multi-line human-readable table.
+  std::string str() const;
+};
+
+/// The named option configurations the oracle sweeps for \p M (functional
+/// matrix only; the determinism sweep is built into runOracle).
+std::vector<std::pair<std::string, AkgOptions>>
+oracleConfigs(const ir::Module &M, MatrixLevel Level);
+
+/// Runs the full differential matrix on one module.
+OracleReport runOracle(const ir::Module &M, const OracleOptions &Opts = {});
+
+} // namespace verify
+} // namespace akg
+
+#endif // AKG_VERIFY_ORACLE_H

@@ -1,0 +1,262 @@
+//===- verify/Reducer.cpp - Automatic failing-module reducer --------------===//
+
+#include "verify/Reducer.h"
+
+#include "ir/ModuleUtils.h"
+
+#include <optional>
+#include <set>
+
+namespace akg {
+namespace verify {
+
+using namespace ir;
+
+namespace {
+
+void collectVarNames(const Expr &E, std::set<std::string> &Out) {
+  if (!E)
+    return;
+  if (E->Kind == ExprKind::Var)
+    Out.insert(E->Name);
+  for (const Expr &Op : E->Operands)
+    collectVarNames(Op, Out);
+}
+
+void collectReduceAxisNames(const Expr &E, std::set<std::string> &Out) {
+  if (!E)
+    return;
+  if (E->Kind == ExprKind::Reduce)
+    for (const IterVar &IV : E->ReduceAxes)
+      Out.insert(IV.Name);
+  for (const Expr &Op : E->Operands)
+    collectReduceAxisNames(Op, Out);
+}
+
+/// Every Var in every body must be an op axis or a reduce axis declared in
+/// that body; a mutation that strands a variable would abort evalExpr.
+bool freeVarsOk(const Module &M) {
+  for (const auto &Op : M.ops()) {
+    std::set<std::string> Bound, Used;
+    for (const IterVar &IV : Op->Axis)
+      Bound.insert(IV.Name);
+    collectReduceAxisNames(Op->Body, Bound);
+    collectVarNames(Op->Body, Used);
+    for (const std::string &V : Used)
+      if (!Bound.count(V))
+        return false;
+  }
+  return true;
+}
+
+/// Rebuilds \p Old with an optional dropped op (consumers rewired to
+/// \p DropRepl), an optional extent remap, and an optional body edit.
+/// Unused placeholders are pruned (the first is kept if all would go).
+std::optional<Module> rebuild(const Module &Old, const ComputeOp *Drop,
+                              const TensorDecl *DropRepl,
+                              const std::function<int64_t(int64_t)> &ExtMap,
+                              const ComputeOp *EditOp, const Expr &NewBody) {
+  auto MapExt = [&](int64_t E) { return ExtMap ? ExtMap(E) : E; };
+  // Which tensors are still read by surviving bodies?
+  std::set<const TensorDecl *> Used;
+  for (const auto &Op : Old.ops()) {
+    if (Op.get() == Drop)
+      continue;
+    const Expr &Body = Op.get() == EditOp ? NewBody : Op->Body;
+    for (const Tensor &T : collectReads(Body))
+      Used.insert(T.get());
+  }
+  if (DropRepl)
+    Used.insert(DropRepl);
+
+  Module New;
+  std::map<const TensorDecl *, Tensor> Remap;
+  bool KeptAny = false;
+  for (const Tensor &In : Old.inputs())
+    if (Used.count(In.get())) {
+      std::vector<int64_t> Shape;
+      for (int64_t D : In->Shape)
+        Shape.push_back(MapExt(D));
+      Remap[In.get()] = New.placeholder(In->Name, Shape, In->Type);
+      KeptAny = true;
+    }
+  if (!KeptAny && !Old.inputs().empty()) {
+    const Tensor &In = Old.inputs().front();
+    std::vector<int64_t> Shape;
+    for (int64_t D : In->Shape)
+      Shape.push_back(MapExt(D));
+    Remap[In.get()] = New.placeholder(In->Name, Shape, In->Type);
+  }
+  for (const auto &Op : Old.ops()) {
+    if (Op.get() == Drop) {
+      if (DropRepl) {
+        auto It = Remap.find(DropRepl);
+        if (It == Remap.end())
+          return std::nullopt; // replacement did not precede the drop
+        Remap[Op->Output.get()] = It->second;
+      }
+      continue;
+    }
+    std::vector<IterVar> Axis = Op->Axis;
+    for (IterVar &IV : Axis)
+      IV.Extent = MapExt(IV.Extent);
+    Expr Body = Op.get() == EditOp ? NewBody : Op->Body;
+    Body = mapExpr(Body, Remap, ExtMap ? MapExt
+                                       : std::function<int64_t(int64_t)>());
+    Remap[Op->Output.get()] =
+        New.computeRaw(Op->Name, std::move(Axis), Body, Op->Output->Type);
+  }
+  if (New.ops().empty())
+    return std::nullopt;
+  return New;
+}
+
+std::optional<Module> tryDropOp(const Module &M, size_t Idx) {
+  const ComputeOp *Op = M.ops()[Idx].get();
+  bool Consumed = false;
+  for (const auto &Other : M.ops())
+    if (Other.get() != Op)
+      for (const Tensor &T : collectReads(Other->Body))
+        if (T.get() == Op->Output.get())
+          Consumed = true;
+  const TensorDecl *Repl = nullptr;
+  if (Consumed) {
+    // Prefer one of the dropped op's own same-shape operands, then any
+    // earlier same-shape tensor.
+    for (const Tensor &T : collectReads(Op->Body))
+      if (T->Shape == Op->Output->Shape) {
+        Repl = T.get();
+        break;
+      }
+    if (!Repl) {
+      for (const Tensor &In : M.inputs())
+        if (In->Shape == Op->Output->Shape)
+          Repl = In.get();
+      for (size_t I = 0; !Repl && I < Idx; ++I)
+        if (M.ops()[I]->Output->Shape == Op->Output->Shape)
+          Repl = M.ops()[I]->Output.get();
+    }
+    if (!Repl)
+      return std::nullopt;
+  }
+  return rebuild(M, Op, Repl, nullptr, nullptr, nullptr);
+}
+
+std::optional<Module> tryShrinkExtent(const Module &M, int64_t From,
+                                      int64_t To) {
+  auto ExtMap = [From, To](int64_t E) { return E == From ? To : E; };
+  return rebuild(M, nullptr, nullptr, ExtMap, nullptr, nullptr);
+}
+
+/// Body-simplification candidates: peel the top node (or the node just
+/// under a Reduce) down to one of its operands.
+std::vector<Expr> simplifyCandidates(const Expr &Body) {
+  std::vector<Expr> Out;
+  auto Peel = [&Out](const Expr &E) {
+    switch (E->Kind) {
+    case ExprKind::Add:
+    case ExprKind::Sub:
+    case ExprKind::Mul:
+    case ExprKind::Div:
+    case ExprKind::FloorDiv:
+    case ExprKind::Mod:
+    case ExprKind::Min:
+    case ExprKind::Max:
+      Out.push_back(E->Operands[0]);
+      Out.push_back(E->Operands[1]);
+      break;
+    case ExprKind::Call:
+    case ExprKind::Cast:
+      if (!E->Operands.empty())
+        Out.push_back(E->Operands[0]);
+      break;
+    case ExprKind::Select:
+      Out.push_back(E->Operands[1]);
+      Out.push_back(E->Operands[2]);
+      break;
+    default:
+      break;
+    }
+  };
+  if (Body->Kind == ExprKind::Reduce) {
+    size_t Before = Out.size();
+    Peel(Body->Operands[0]);
+    // Re-wrap each candidate in the original Reduce node.
+    for (size_t I = Before; I < Out.size(); ++I)
+      Out[I] = reduce(Body->RKind, Out[I], Body->ReduceAxes);
+  } else {
+    Peel(Body);
+  }
+  return Out;
+}
+
+} // namespace
+
+ReduceResult reduceModule(const ir::Module &M, const FailPredicate &StillFails,
+                          const ReduceOptions &Opts) {
+  ReduceResult Res;
+  Module Cur = cloneModule(M);
+  unsigned Checks = 0, Kept = 0;
+
+  auto Accept = [&](std::optional<Module> Cand) -> bool {
+    if (!Cand || Cand->ops().empty())
+      return false;
+    if (!checkModuleBounds(*Cand).empty() || !freeVarsOk(*Cand))
+      return false;
+    if (Checks >= Opts.MaxChecks)
+      return false;
+    ++Checks;
+    if (!StillFails(*Cand))
+      return false;
+    Cur = std::move(*Cand);
+    ++Kept;
+    return true;
+  };
+
+  bool Progress = true;
+  while (Progress && Checks < Opts.MaxChecks) {
+    Progress = false;
+    // 1. Drop ops, last to first (later ops are cheapest to rewire).
+    for (size_t I = Cur.ops().size(); I-- > 0 && !Progress;)
+      Progress = Accept(tryDropOp(Cur, I));
+    if (Progress)
+      continue;
+    // 2. Shrink every occurrence of one extent value.
+    std::set<int64_t> Extents;
+    for (const Tensor &T : Cur.allTensors())
+      for (int64_t D : T->Shape)
+        if (D > 1)
+          Extents.insert(D);
+    for (auto It = Extents.rbegin(); It != Extents.rend() && !Progress;
+         ++It) {
+      int64_t From = *It;
+      int64_t To = From >= 4 ? From / 2 : From - 1;
+      Progress = Accept(tryShrinkExtent(Cur, From, To));
+    }
+    if (Progress)
+      continue;
+    // 3. Peel op bodies down to an operand.
+    for (size_t I = 0; I < Cur.ops().size() && !Progress; ++I) {
+      for (const Expr &Cand : simplifyCandidates(Cur.ops()[I]->Body)) {
+        if (Accept(rebuild(Cur, nullptr, nullptr, nullptr,
+                           Cur.ops()[I].get(), Cand))) {
+          Progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  Res.ChecksUsed = Checks;
+  Res.MutationsKept = Kept;
+  Res.CppTestCase = emitModuleBuilder(Cur);
+  Res.Reduced = std::move(Cur);
+  return Res;
+}
+
+std::string corpusLine(uint64_t Seed, const std::string &Description) {
+  return std::to_string(Seed) + " # " + Description;
+}
+
+} // namespace verify
+} // namespace akg

@@ -1,0 +1,55 @@
+//===- verify/Reducer.h - Automatic failing-module reducer ------*- C++ -*-===//
+//
+// Greedy delta-debugging over DSL modules (DESIGN.md 4e): given a module
+// on which a failure predicate holds (typically "the oracle still flags a
+// mismatch"), repeatedly tries semantics-shrinking mutations - drop an op
+// (rewiring its consumers), shrink every occurrence of one extent value,
+// simplify an op body - keeping a mutation only when the module still
+// builds, provably stays in bounds (ir::checkModuleBounds), and still
+// fails the predicate. The fixpoint is emitted as a ready-to-paste C++
+// test case (ir::emitModuleBuilder) plus a one-line corpus entry.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_VERIFY_REDUCER_H
+#define AKG_VERIFY_REDUCER_H
+
+#include "ir/Dsl.h"
+
+#include <functional>
+#include <string>
+
+namespace akg {
+namespace verify {
+
+/// Returns true when the failure still reproduces on \p M. The reducer
+/// only ever calls this with structurally valid, bounds-checked modules.
+using FailPredicate = std::function<bool(const ir::Module &)>;
+
+struct ReduceOptions {
+  /// Cap on predicate evaluations (each typically runs the oracle).
+  unsigned MaxChecks = 400;
+};
+
+struct ReduceResult {
+  ir::Module Reduced;
+  unsigned ChecksUsed = 0;     // predicate evaluations spent
+  unsigned MutationsKept = 0;  // successful shrink steps
+  std::string CppTestCase;     // ir::emitModuleBuilder of the fixpoint
+};
+
+/// Shrinks \p M to a (locally) minimal module still failing \p StillFails.
+/// \p M itself must fail the predicate; the result is a deep clone and
+/// never aliases \p M.
+ReduceResult reduceModule(const ir::Module &M, const FailPredicate &StillFails,
+                          const ReduceOptions &Opts = {});
+
+/// One corpus line for a failing seed: "<seed> # <description>", the
+/// format tools/akg-fuzz appends to its corpus file and the fixed seed
+/// lists in tests consume.
+std::string corpusLine(uint64_t Seed, const std::string &Description);
+
+} // namespace verify
+} // namespace akg
+
+#endif // AKG_VERIFY_REDUCER_H

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare freshly generated BENCH_*.json files against committed baselines.
+
+Usage: bench_diff.py <baseline_dir> <current_dir> [--max-regression PCT]
+
+Structural checks are hard failures (exit 1): a baseline figure whose fresh
+counterpart is missing, a record (op) that disappeared, or a tracked cycle
+metric that vanished from a record. Performance checks compare every
+"*_cycles" metric: a regression beyond --max-regression percent (default
+25) fails; wall-clock metrics ("*_seconds", "*_rate") are reported but
+never gate, since CI machines vary too much for wall time to be a signal.
+
+The simulated cycle counts are deterministic for a given compiler, so the
+default threshold only exists to absorb intentional schedule changes; a PR
+that regresses cycles on purpose should refresh bench/baselines/ in the
+same commit and say so.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def index_records(doc):
+    return {r.get("op", f"#{i}"): r for i, r in enumerate(doc.get("records", []))}
+
+
+def cycle_keys(rec):
+    return [k for k, v in rec.items() if k.endswith("_cycles") and isinstance(v, (int, float))]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline_dir")
+    ap.add_argument("current_dir")
+    ap.add_argument("--max-regression", type=float, default=25.0,
+                    help="max allowed cycle regression in percent")
+    args = ap.parse_args()
+
+    baselines = sorted(
+        f for f in os.listdir(args.baseline_dir)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baselines:
+        print(f"no BENCH_*.json baselines in {args.baseline_dir}", file=sys.stderr)
+        return 1
+
+    failures = []
+    for name in baselines:
+        base = load(os.path.join(args.baseline_dir, name))
+        cur_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(cur_path):
+            failures.append(f"{name}: missing from {args.current_dir}")
+            continue
+        cur = load(cur_path)
+        base_recs, cur_recs = index_records(base), index_records(cur)
+        for op, brec in base_recs.items():
+            crec = cur_recs.get(op)
+            if crec is None:
+                failures.append(f"{name}: record '{op}' disappeared")
+                continue
+            for key in cycle_keys(brec):
+                bval = brec[key]
+                cval = crec.get(key)
+                if not isinstance(cval, (int, float)):
+                    failures.append(f"{name}: {op}.{key} vanished")
+                    continue
+                if bval <= 0:
+                    continue
+                delta = 100.0 * (cval - bval) / bval
+                marker = ""
+                if delta > args.max_regression:
+                    failures.append(
+                        f"{name}: {op}.{key} regressed {delta:+.1f}% "
+                        f"({bval:.0f} -> {cval:.0f})")
+                    marker = "  <-- FAIL"
+                if abs(delta) >= 1.0 or marker:
+                    print(f"{name} {op}.{key}: {bval:.0f} -> {cval:.0f} "
+                          f"({delta:+.1f}%){marker}")
+
+    if failures:
+        print(f"\nbench_diff: {len(failures)} failure(s)", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"bench_diff: {len(baselines)} figure(s) within "
+          f"{args.max_regression:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
