@@ -10,6 +10,7 @@
 #include "BenchCommon.h"
 #include "akg/KernelCache.h"
 #include "graph/Ops.h"
+#include "support/Stats.h"
 
 using namespace akg;
 using namespace akg::bench;
@@ -166,6 +167,13 @@ int main() {
   J.total("akg_vs_tvm_geomean", 1.0 / geomean(AllTvm));
   J.total("compile_wall_seconds", TotalSeconds);
   J.total("cache_hit_rate", KernelCache::global().stats().hitRate());
+  // Polyhedral-core fast-path counters: nonzero hits here prove the int64
+  // simplex / sample cache / prefilter actually fired on this workload.
+  for (const char *K : {"lp.int64_fastpath", "lp.rational_fallback",
+                        "lp.solves_avoided_sample",
+                        "affine.redundant_prefiltered",
+                        "pluto.master_dedup", "affine.dup_constraint"})
+    J.total(K, double(Stats::get().counter(K)));
   J.write();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cassert>
 #include <numeric>
 #include <sstream>
+#include <unordered_map>
 
 namespace akg {
 namespace poly {
@@ -45,13 +46,14 @@ static void normalizeConstraint(Constraint &C) {
     G = std::gcd(G, std::abs(V));
   if (G <= 1)
     return;
+  // An equality with non-divisible constant is unsatisfiable; keep it
+  // fully as-is (coefficients included) so emptiness detection sees the
+  // contradiction rather than a rescaled, satisfiable equality.
+  if (C.IsEq && C.Const % G != 0)
+    return;
   for (int64_t &V : C.Coeffs)
     V /= G;
   if (C.IsEq) {
-    // An equality with non-divisible constant is unsatisfiable; keep it
-    // as-is so emptiness detection sees the contradiction.
-    if (C.Const % G != 0)
-      return;
     C.Const /= G;
   } else {
     // floor division tightens a >= constraint over the integers.
@@ -62,10 +64,60 @@ static void normalizeConstraint(Constraint &C) {
   }
 }
 
+static uint64_t hashMix(uint64_t H, uint64_t V) {
+  return H ^ (V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2));
+}
+
+/// Hash over the nonzero (column, coefficient) pairs plus constant and
+/// kind. Ignoring zero coefficients keeps hashes stable when zero columns
+/// are appended (addDiv / addFreeExistential).
+static uint64_t hashConstraint(const Constraint &C) {
+  uint64_t H = C.IsEq ? 0x9e37u : 0x79b9u;
+  H = hashMix(H, static_cast<uint64_t>(C.Const));
+  for (unsigned I = 0; I < C.Coeffs.size(); ++I)
+    if (C.Coeffs[I] != 0) {
+      H = hashMix(H, I);
+      H = hashMix(H, static_cast<uint64_t>(C.Coeffs[I]));
+    }
+  return H;
+}
+
+/// Hash over the nonzero coefficient pairs and kind only (no constant):
+/// the grouping key for syntactic-dominance prefiltering.
+static uint64_t hashCoeffs(const Constraint &C) {
+  uint64_t H = C.IsEq ? 0x517cu : 0xc2b2u;
+  for (unsigned I = 0; I < C.Coeffs.size(); ++I)
+    if (C.Coeffs[I] != 0) {
+      H = hashMix(H, I);
+      H = hashMix(H, static_cast<uint64_t>(C.Coeffs[I]));
+    }
+  return H;
+}
+
+void BasicSet::rebuildConHashes() {
+  ConHashes.resize(Cons.size());
+  for (unsigned I = 0; I < Cons.size(); ++I)
+    ConHashes[I] = hashConstraint(Cons[I]);
+}
+
 void BasicSet::addConstraint(Constraint C) {
   assert(C.Coeffs.size() == numCols() && "constraint arity mismatch");
   normalizeConstraint(C);
+  // Exact-duplicate dedup: hash scan first, deep compare on hits. Dropping
+  // a duplicate leaves the set unchanged.
+  uint64_t H = hashConstraint(C);
+  assert(ConHashes.size() == Cons.size() && "constraint hash index stale");
+  for (unsigned I = 0; I < Cons.size(); ++I) {
+    if (ConHashes[I] != H)
+      continue;
+    const Constraint &D = Cons[I];
+    if (D.IsEq == C.IsEq && D.Const == C.Const && D.Coeffs == C.Coeffs) {
+      Stats::get().add("affine.dup_constraint");
+      return;
+    }
+  }
   Cons.push_back(std::move(C));
+  ConHashes.push_back(H);
 }
 
 void BasicSet::addIneq(std::vector<int64_t> Coeffs, int64_t Const) {
@@ -85,6 +137,7 @@ unsigned BasicSet::appendInDim(const std::string &Name) {
     C.Coeffs.insert(C.Coeffs.begin() + Pos, 0);
   for (DivDef &D : Divs)
     D.Coeffs.insert(D.Coeffs.begin() + Pos, 0);
+  rebuildConHashes(); // column indices shifted
   return Pos;
 }
 
@@ -156,6 +209,9 @@ BasicSet BasicSet::intersect(const BasicSet &O) const {
     for (unsigned I = 0; I < C.Coeffs.size(); ++I)
       if (C.Coeffs[I] != 0)
         NC.Coeffs[RemapCol(I)] = C.Coeffs[I];
+    // Imported raw (no re-normalization, matching the historical
+    // behaviour); keep the hash index in sync by hand.
+    R.ConHashes.push_back(hashConstraint(NC));
     R.Cons.push_back(std::move(NC));
   }
   return R;
@@ -176,7 +232,30 @@ LpProblem BasicSet::toLp() const {
   return P;
 }
 
+bool BasicSet::sampleStillValid(bool NeedInteger) const {
+  if (Sample.size() != numCols())
+    return false;
+  try {
+    if (NeedInteger)
+      for (const Rational &V : Sample)
+        if (!V.isInteger())
+          return false;
+    for (const Constraint &C : Cons) {
+      Rational Acc(C.Const);
+      for (unsigned I = 0; I < C.Coeffs.size(); ++I)
+        if (C.Coeffs[I] != 0)
+          Acc += Rational(C.Coeffs[I]) * Sample[I];
+      if (C.IsEq ? !Acc.isZero() : Acc.isNegative())
+        return false;
+    }
+  } catch (const RationalOverflow &) {
+    return false; // cannot evaluate: fall back to the LP
+  }
+  return true;
+}
+
 bool BasicSet::isEmpty(bool CheckInteger) const {
+  ScopedTimer TT("affine.isEmpty");
   // Fast path: a constraint 0 >= c with c < 0 or 0 == c with c != 0.
   for (const Constraint &C : Cons) {
     bool AllZero = std::all_of(C.Coeffs.begin(), C.Coeffs.end(),
@@ -184,14 +263,59 @@ bool BasicSet::isEmpty(bool CheckInteger) const {
     if (AllZero && ((C.IsEq && C.Const != 0) || (!C.IsEq && C.Const < 0)))
       return true;
   }
+  // Sample-point cache (isl-style): a remembered point that satisfies the
+  // current constraints proves non-emptiness without any solve.
+  if (sampleStillValid(CheckInteger)) {
+    Stats::get().add("lp.solves_avoided_sample");
+    return false;
+  }
+  // Origin membership: evaluated at zero every constraint reduces to its
+  // constant, so boxes and access relations (lower bounds with constant 0,
+  // upper bounds with positive constant, homogeneous equalities) prove
+  // non-emptiness for free. The origin is integral, so this settles the
+  // CheckInteger case too.
+  {
+    bool OriginOk = true;
+    for (const Constraint &C : Cons)
+      if (C.IsEq ? C.Const != 0 : C.Const < 0) {
+        OriginOk = false;
+        break;
+      }
+    if (OriginOk) {
+      Sample.assign(numCols(), Rational());
+      Stats::get().add("lp.solves_avoided_sample");
+      return false;
+    }
+  }
   LpProblem P = toLp();
-  if (!lpIsFeasible(P))
-    return true;
+  bool HaveRationalPoint = false;
+  if (CheckInteger && sampleStillValid(/*NeedInteger=*/false)) {
+    // A valid rational (but fractional) sample: the rational LP cannot
+    // prove emptiness, skip straight to the integer search.
+    Stats::get().add("lp.solves_avoided_sample");
+    HaveRationalPoint = true;
+  }
+  if (!HaveRationalPoint) {
+    std::vector<Rational> Zero(P.NumVars);
+    LpResult R = lpMinimize(P, Zero);
+    if (R.Status == LpStatus::Infeasible)
+      return true;
+    if (R.Status == LpStatus::Optimal)
+      Sample = R.Point;
+  }
   if (!CheckInteger)
     return false;
+  // The rational vertex is frequently already integral; it is then an
+  // integer point of the set and the branch-and-bound is unnecessary.
+  if (sampleStillValid(/*NeedInteger=*/true)) {
+    Stats::get().add("lp.solves_avoided_sample");
+    return false;
+  }
   LpResult R = ilpSample(P);
   if (R.Status == LpStatus::Infeasible)
     return true;
+  if (R.Status == LpStatus::Optimal)
+    Sample = R.Point;
   return false; // found a point, or too hard: assume non-empty
 }
 
@@ -313,6 +437,7 @@ void BasicSet::eliminateCol(unsigned Col) {
       Dedup.push_back(std::move(C));
   }
   Cons = std::move(Dedup);
+  rebuildConHashes();
   if (Cons.size() > 48)
     removeRedundant();
 }
@@ -333,11 +458,145 @@ BasicSet BasicSet::projectOntoPrefix(unsigned K) const {
   return R;
 }
 
-void BasicSet::removeRedundant() {
+void BasicSet::removeRedundant(bool Prefilter) {
   ScopedTimer T("affine.removeRedundant");
+  // Every syntactic shortcut below is gated on a validated member point.
+  // That gate is what makes the prefiltered result provably identical to
+  // the pure-LP loop: with a member point the set is non-empty, so an LP
+  // over "all constraints but I" is feasible, and whenever a shortcut
+  // bounds constraint I from below by 0 the LP is also bounded and must
+  // reach the same "redundant" verdict. On an empty set the pure-LP loop
+  // keeps everything (every probe is infeasible) - the gate makes the
+  // prefiltered loop keep everything too.
+  bool HaveMember = false;
+  if (Prefilter) {
+    HaveMember = sampleStillValid(/*NeedInteger=*/false);
+    if (!HaveMember) {
+      bool OriginOk = true;
+      for (const Constraint &C : Cons)
+        if (C.IsEq ? C.Const != 0 : C.Const < 0) {
+          OriginOk = false;
+          break;
+        }
+      if (OriginOk) {
+        Sample.assign(numCols(), Rational());
+        HaveMember = true;
+      }
+    }
+  }
+  if (Prefilter && HaveMember && Cons.size() > 1) {
+    // Syntactic dominance: among inequalities sharing a coefficient
+    // vector, only the tightest (smallest constant) can survive the LP
+    // loop; every weaker one is provably implied by it. Dropping them
+    // here skips one LP solve each. The pure-LP loop keeps the *last*
+    // copy attaining the minimum (an earlier equal copy is implied by the
+    // later one and removed first), so dominance resolves in favour of
+    // the later constraint on ties. Equalities are left alone - the LP
+    // loop below never removes them either.
+    std::unordered_map<uint64_t, std::vector<unsigned>> Groups;
+    std::vector<bool> Drop(Cons.size(), false);
+    int64_t Dropped = 0;
+    for (unsigned I = 0; I < Cons.size(); ++I) {
+      if (Cons[I].IsEq)
+        continue;
+      uint64_t H = hashCoeffs(Cons[I]);
+      auto &Bucket = Groups[H];
+      for (unsigned J : Bucket) {
+        if (Drop[J] || Cons[J].Coeffs != Cons[I].Coeffs)
+          continue;
+        if (Cons[I].Const <= Cons[J].Const) {
+          Drop[J] = true; // later, at-least-as-tight copy wins
+          ++Dropped;
+        } else {
+          Drop[I] = true;
+          ++Dropped;
+          break;
+        }
+      }
+      if (!Drop[I])
+        Bucket.push_back(I);
+    }
+    if (Dropped > 0) {
+      std::vector<Constraint> Kept;
+      Kept.reserve(Cons.size() - Dropped);
+      for (unsigned I = 0; I < Cons.size(); ++I)
+        if (!Drop[I])
+          Kept.push_back(std::move(Cons[I]));
+      Cons = std::move(Kept);
+      Stats::get().add("affine.redundant_prefiltered", Dropped);
+    }
+  }
+  // Interval implication: bound constraint I from below over the box
+  // spanned by the single-column constraints among the others. The box is
+  // a relaxation of the LP's feasible region, so a non-negative minimum
+  // over the box proves the LP would report "redundant"; combined with
+  // the member-point gate above this can only short-circuit solves whose
+  // outcome is already determined, never change the surviving set.
+  auto BoxImplied = [&](unsigned I) -> bool {
+    const Constraint &CI = Cons[I];
+    unsigned D = numCols();
+    std::vector<Rational> Lb(D), Ub(D);
+    std::vector<char> HasLb(D, 0), HasUb(D, 0);
+    try {
+      for (unsigned J = 0; J < Cons.size(); ++J) {
+        if (J == I)
+          continue;
+        const Constraint &CJ = Cons[J];
+        int Col = -1;
+        bool Single = true;
+        for (unsigned L = 0; L < CJ.Coeffs.size(); ++L)
+          if (CJ.Coeffs[L] != 0) {
+            if (Col >= 0) {
+              Single = false;
+              break;
+            }
+            Col = static_cast<int>(L);
+          }
+        if (!Single || Col < 0)
+          continue;
+        int64_t B = CJ.Coeffs[Col];
+        // B*x + c >= 0 (or == 0): x >= -c/B when B > 0, x <= -c/B when
+        // B < 0; an equality pins both sides.
+        Rational V = -(Rational(CJ.Const) / Rational(B));
+        if (CJ.IsEq || B > 0)
+          if (!HasLb[Col] || V > Lb[Col]) {
+            Lb[Col] = V;
+            HasLb[Col] = 1;
+          }
+        if (CJ.IsEq || B < 0)
+          if (!HasUb[Col] || V < Ub[Col]) {
+            Ub[Col] = V;
+            HasUb[Col] = 1;
+          }
+      }
+      Rational Min(CI.Const);
+      for (unsigned K = 0; K < CI.Coeffs.size(); ++K) {
+        int64_t A = CI.Coeffs[K];
+        if (A == 0)
+          continue;
+        if (A > 0) {
+          if (!HasLb[K])
+            return false;
+          Min += Rational(A) * Lb[K];
+        } else {
+          if (!HasUb[K])
+            return false;
+          Min += Rational(A) * Ub[K];
+        }
+      }
+      return !Min.isNegative();
+    } catch (const RationalOverflow &) {
+      return false; // cannot evaluate cheaply: let the LP decide
+    }
+  };
   for (unsigned I = 0; I < Cons.size();) {
     if (Cons[I].IsEq) {
       ++I;
+      continue;
+    }
+    if (Prefilter && HaveMember && BoxImplied(I)) {
+      Stats::get().add("affine.redundant_prefiltered");
+      Cons.erase(Cons.begin() + I);
       continue;
     }
     // Test whether constraint I is implied by the others.
@@ -360,11 +619,14 @@ void BasicSet::removeRedundant() {
     LpResult R = lpMinimize(P, Obj);
     bool Redundant = R.Status == LpStatus::Optimal &&
                      R.Value + Rational(Cons[I].Const) >= Rational(0);
-    if (Redundant)
+    if (Redundant) {
+      Stats::get().add("affine.redundant_lp_removed");
       Cons.erase(Cons.begin() + I);
-    else
+    } else {
       ++I;
+    }
   }
+  rebuildConHashes();
 }
 
 std::optional<int64_t> BasicSet::minOfCol(unsigned Col) const {
@@ -374,6 +636,7 @@ std::optional<int64_t> BasicSet::minOfCol(unsigned Col) const {
   LpResult R = lpMinimize(P, Obj);
   if (R.Status != LpStatus::Optimal)
     return std::nullopt;
+  Sample = R.Point; // the optimum is a point of the set: seed the cache
   return R.Value.ceil().getInt64();
 }
 
@@ -384,6 +647,7 @@ std::optional<int64_t> BasicSet::maxOfCol(unsigned Col) const {
   LpResult R = lpMaximize(P, Obj);
   if (R.Status != LpStatus::Optimal)
     return std::nullopt;
+  Sample = R.Point;
   return R.Value.floor().getInt64();
 }
 

@@ -71,6 +71,15 @@ struct DivDef {
 
 /// A convex piece: conjunction of affine constraints over
 /// [params | in dims | out dims | divs].
+///
+/// Caching: a BasicSet remembers the last sample point a feasibility test
+/// produced (isl-style) and re-validates it against the current constraints
+/// before paying for an LP solve, and addConstraint hash-dedups exact
+/// duplicate constraints. Both caches are semantically invisible - they only
+/// change *whether* an LP runs, never its answer. The sample cache lives in
+/// mutable members, so const methods are NOT safe to call concurrently on
+/// the same object; the parallel dependence analysis only ever queries
+/// thread-local copies.
 class BasicSet {
 public:
   BasicSet() = default;
@@ -131,7 +140,16 @@ public:
   BasicSet projectOntoPrefix(unsigned K) const;
 
   /// Removes constraints implied by the others (rational test via LP).
-  void removeRedundant();
+  /// With \p Prefilter (the default), two syntactic shortcuts skip LP
+  /// solves whose verdict is already determined: dominated inequalities
+  /// (same coefficient vector, weaker constant) are dropped up front, and
+  /// inequalities provably bounded below by 0 over the box spanned by the
+  /// single-column constraints are dropped in-loop. Both shortcuts are
+  /// gated on a validated member point (cached sample or the origin), so
+  /// the surviving constraint set is always identical to what the pure-LP
+  /// pass computes - including on empty sets, where the LP loop keeps
+  /// everything. Prefilter=false exists for differential testing.
+  void removeRedundant(bool Prefilter = true);
 
   /// Per-column constant value if the constraints force one.
   std::optional<int64_t> fixedValue(unsigned Col) const;
@@ -154,6 +172,24 @@ private:
   Space Sp;
   std::vector<Constraint> Cons;
   std::vector<DivDef> Divs;
+
+  /// Hash per constraint, parallel to Cons; used by addConstraint to skip
+  /// exact duplicates without a full scan. Rebuilt after wholesale
+  /// rewrites (eliminateCol).
+  std::vector<uint64_t> ConHashes;
+
+  /// Last known point satisfying the constraints (over the current column
+  /// layout), produced by a prior isEmpty. Re-validated against the full
+  /// constraint list before use, so it can never produce a wrong answer:
+  /// adding constraints simply makes the validation fail, and column-layout
+  /// changes are caught by the size check. It only ever avoids the LP solve
+  /// that would prove "non-empty" again.
+  mutable std::vector<Rational> Sample;
+
+  void rebuildConHashes();
+  /// True when the cached sample exists and satisfies all constraints (and
+  /// is integral, if \p NeedInteger).
+  bool sampleStillValid(bool NeedInteger) const;
 };
 
 /// A basic affine relation; same representation as BasicSet but with in and

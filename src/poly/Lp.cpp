@@ -21,12 +21,153 @@ void LpProblem::addEq(std::vector<Rational> Coeffs, Rational Const) {
 
 namespace {
 
-/// Full-tableau primal simplex over exact rationals with a maintained
+/// Thrown when an int64 tableau entry would overflow; recoverable, the
+/// solver re-runs the problem on the Rational (__int128) tableau.
+struct Int64Overflow {};
+
+inline int64_t chkNeg(int64_t A) {
+  if (A == INT64_MIN)
+    throw Int64Overflow();
+  return -A;
+}
+inline int64_t chkAdd(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_add_overflow(A, B, &R))
+    throw Int64Overflow();
+  return R;
+}
+inline int64_t chkSub(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_sub_overflow(A, B, &R))
+    throw Int64Overflow();
+  return R;
+}
+inline int64_t chkMul(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_mul_overflow(A, B, &R))
+    throw Int64Overflow();
+  return R;
+}
+
+inline uint64_t ugcd(uint64_t A, uint64_t B) {
+  while (B != 0) {
+    uint64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+/// Exact rational over machine int64 with overflow-checked arithmetic.
+/// Same invariants as Rational (Den > 0, lowest terms), so a simplex run
+/// over Rat64 follows the exact same pivot trajectory as one over Rational
+/// and produces bit-identical results - unless an intermediate overflows,
+/// which throws Int64Overflow and triggers the Rational re-run.
+struct Rat64 {
+  int64_t Num = 0;
+  int64_t Den = 1;
+
+  Rat64() = default;
+  Rat64(int64_t V) : Num(V) {}
+  Rat64(int64_t N, int64_t D) : Num(N), Den(D) { normalize(); }
+
+  /// Builds from already-normalized parts (Den > 0, coprime).
+  static Rat64 raw(int64_t N, int64_t D) {
+    Rat64 R;
+    R.Num = N;
+    R.Den = D;
+    return R;
+  }
+
+  bool isZero() const { return Num == 0; }
+
+  void normalize() {
+    assert(Den != 0 && "zero denominator");
+    if (Den < 0) {
+      Num = chkNeg(Num);
+      Den = chkNeg(Den);
+    }
+    if (Num == 0) {
+      Den = 1;
+      return;
+    }
+    if (Den == 1)
+      return;
+    uint64_t A = Num < 0 ? 0 - static_cast<uint64_t>(Num)
+                         : static_cast<uint64_t>(Num);
+    uint64_t G = ugcd(A, static_cast<uint64_t>(Den));
+    if (G > 1) {
+      Num /= static_cast<int64_t>(G);
+      Den /= static_cast<int64_t>(G);
+    }
+  }
+
+  Rat64 operator-() const { return raw(chkNeg(Num), Den); }
+  Rat64 operator+(const Rat64 &O) const {
+    if (Den == 1 && O.Den == 1)
+      return Rat64(chkAdd(Num, O.Num));
+    return Rat64(chkAdd(chkMul(Num, O.Den), chkMul(O.Num, Den)),
+                 chkMul(Den, O.Den));
+  }
+  Rat64 operator-(const Rat64 &O) const {
+    if (Den == 1 && O.Den == 1)
+      return Rat64(chkSub(Num, O.Num));
+    return Rat64(chkSub(chkMul(Num, O.Den), chkMul(O.Num, Den)),
+                 chkMul(Den, O.Den));
+  }
+  Rat64 operator*(const Rat64 &O) const {
+    if (Den == 1 && O.Den == 1)
+      return Rat64(chkMul(Num, O.Num));
+    return Rat64(chkMul(Num, O.Num), chkMul(Den, O.Den));
+  }
+  Rat64 operator/(const Rat64 &O) const {
+    assert(O.Num != 0 && "division by zero rational");
+    return Rat64(chkMul(Num, O.Den), chkMul(Den, O.Num));
+  }
+  Rat64 &operator+=(const Rat64 &O) { return *this = *this + O; }
+  Rat64 &operator-=(const Rat64 &O) { return *this = *this - O; }
+  Rat64 &operator/=(const Rat64 &O) { return *this = *this / O; }
+
+  bool operator==(const Rat64 &O) const {
+    return Num == O.Num && Den == O.Den;
+  }
+  bool operator!=(const Rat64 &O) const { return !(*this == O); }
+  bool operator<(const Rat64 &O) const {
+    if (Den == 1 && O.Den == 1)
+      return Num < O.Num;
+    return chkMul(Num, O.Den) < chkMul(O.Num, Den);
+  }
+  bool operator<=(const Rat64 &O) const {
+    if (Den == 1 && O.Den == 1)
+      return Num <= O.Num;
+    return chkMul(Num, O.Den) <= chkMul(O.Num, Den);
+  }
+  bool operator>(const Rat64 &O) const { return O < *this; }
+  bool operator>=(const Rat64 &O) const { return O <= *this; }
+};
+
+/// Conversion between a tableau scalar type and the public Rational API.
+template <typename T> struct LpScalar;
+template <> struct LpScalar<Rational> {
+  static const Rational &from(const Rational &R) { return R; }
+  static const Rational &to(const Rational &R) { return R; }
+};
+template <> struct LpScalar<Rat64> {
+  static Rat64 from(const Rational &R) {
+    Int128 N = R.num(), D = R.den();
+    if (N > INT64_MAX || N < INT64_MIN || D > INT64_MAX)
+      throw Int64Overflow();
+    return Rat64::raw(static_cast<int64_t>(N), static_cast<int64_t>(D));
+  }
+  static Rational to(const Rat64 &R) { return Rational(R.Num, R.Den); }
+};
+
+/// Full-tableau primal simplex over an exact scalar type T with a maintained
 /// reduced-cost row (Bland's rule, so termination is guaranteed).
 ///
 /// Internal standard form: minimize Cost . y subject to Tab y = Rhs, y >= 0.
 /// Free user variables are split as x = y+ - y-; inequalities get slacks.
-class Simplex {
+template <typename T> class Simplex {
 public:
   LpStatus solve(const LpProblem &P, const std::vector<Rational> &Obj,
                  Rational &OptValue, std::vector<Rational> &Point);
@@ -34,23 +175,23 @@ public:
 private:
   unsigned NumStd = 0;    // structural + slack columns
   unsigned NumCols = 0;   // + artificials during phase 1
-  std::vector<std::vector<Rational>> Tab; // m x NumCols
-  std::vector<Rational> Rhs;              // m
-  std::vector<int> Basis;                 // basic column per row
-  std::vector<Rational> CostRow;          // maintained reduced costs
+  std::vector<std::vector<T>> Tab; // m x NumCols
+  std::vector<T> Rhs;              // m
+  std::vector<int> Basis;          // basic column per row
+  std::vector<T> CostRow;          // maintained reduced costs
 
   void pivot(unsigned Row, unsigned Col);
   /// Runs simplex iterations until optimal or unbounded.
   bool iterate(bool &Unbounded);
   /// Recomputes the reduced-cost row for objective \p C over columns
   /// [0, NumCols).
-  void resetCostRow(const std::vector<Rational> &C);
+  void resetCostRow(const std::vector<T> &C);
 };
 
-void Simplex::pivot(unsigned Row, unsigned Col) {
-  Rational Piv = Tab[Row][Col];
+template <typename T> void Simplex<T>::pivot(unsigned Row, unsigned Col) {
+  T Piv = Tab[Row][Col];
   assert(!Piv.isZero() && "pivot on zero element");
-  if (Piv != Rational(1)) {
+  if (Piv != T(1)) {
     for (unsigned J = 0; J < NumCols; ++J)
       if (!Tab[Row][J].isZero())
         Tab[Row][J] /= Piv;
@@ -59,14 +200,14 @@ void Simplex::pivot(unsigned Row, unsigned Col) {
   for (unsigned I = 0; I < Tab.size(); ++I) {
     if (I == Row || Tab[I][Col].isZero())
       continue;
-    Rational F = Tab[I][Col];
+    T F = Tab[I][Col];
     for (unsigned J = 0; J < NumCols; ++J)
       if (!Tab[Row][J].isZero())
         Tab[I][J] -= F * Tab[Row][J];
     Rhs[I] -= F * Rhs[Row];
   }
   if (!CostRow[Col].isZero()) {
-    Rational F = CostRow[Col];
+    T F = CostRow[Col];
     for (unsigned J = 0; J < NumCols; ++J)
       if (!Tab[Row][J].isZero())
         CostRow[J] -= F * Tab[Row][J];
@@ -74,23 +215,23 @@ void Simplex::pivot(unsigned Row, unsigned Col) {
   Basis[Row] = static_cast<int>(Col);
 }
 
-bool Simplex::iterate(bool &Unbounded) {
+template <typename T> bool Simplex<T>::iterate(bool &Unbounded) {
   unsigned M = static_cast<unsigned>(Tab.size());
   while (true) {
     // Bland: first column with negative reduced cost.
     int Enter = -1;
     for (unsigned J = 0; J < NumCols; ++J)
-      if (CostRow[J] < Rational(0)) {
+      if (CostRow[J] < T(0)) {
         Enter = static_cast<int>(J);
         break;
       }
     if (Enter < 0)
       return true; // optimal
     int LeaveRow = -1;
-    Rational BestRatio;
+    T BestRatio;
     for (unsigned I = 0; I < M; ++I) {
-      if (Tab[I][Enter] > Rational(0)) {
-        Rational Ratio = Rhs[I] / Tab[I][Enter];
+      if (Tab[I][Enter] > T(0)) {
+        T Ratio = Rhs[I] / Tab[I][Enter];
         if (LeaveRow < 0 || Ratio < BestRatio ||
             (Ratio == BestRatio && Basis[I] < Basis[LeaveRow])) {
           LeaveRow = static_cast<int>(I);
@@ -106,13 +247,13 @@ bool Simplex::iterate(bool &Unbounded) {
   }
 }
 
-void Simplex::resetCostRow(const std::vector<Rational> &C) {
-  CostRow.assign(NumCols, Rational(0));
+template <typename T> void Simplex<T>::resetCostRow(const std::vector<T> &C) {
+  CostRow.assign(NumCols, T(0));
   for (unsigned J = 0; J < NumCols; ++J)
-    CostRow[J] = J < C.size() ? C[J] : Rational(0);
+    CostRow[J] = J < C.size() ? C[J] : T(0);
   for (unsigned I = 0; I < Tab.size(); ++I) {
     unsigned B = static_cast<unsigned>(Basis[I]);
-    Rational CB = B < C.size() ? C[B] : Rational(0);
+    T CB = B < C.size() ? C[B] : T(0);
     if (CB.isZero())
       continue;
     for (unsigned J = 0; J < NumCols; ++J)
@@ -121,8 +262,10 @@ void Simplex::resetCostRow(const std::vector<Rational> &C) {
   }
 }
 
-LpStatus Simplex::solve(const LpProblem &P, const std::vector<Rational> &Obj,
-                        Rational &OptValue, std::vector<Rational> &Point) {
+template <typename T>
+LpStatus Simplex<T>::solve(const LpProblem &P,
+                           const std::vector<Rational> &Obj,
+                           Rational &OptValue, std::vector<Rational> &Point) {
   unsigned N = P.NumVars;
   unsigned NumIneq = 0;
   for (const LpConstraint &C : P.Constraints)
@@ -141,8 +284,8 @@ LpStatus Simplex::solve(const LpProblem &P, const std::vector<Rational> &Obj,
   }
   NumStd = Next + NumIneq;
   NumCols = NumStd + M; // artificials at the end
-  Tab.assign(M, std::vector<Rational>(NumCols));
-  Rhs.assign(M, Rational(0));
+  Tab.assign(M, std::vector<T>(NumCols));
+  Rhs.assign(M, T(0));
   Basis.assign(M, 0);
 
   unsigned SlackIdx = Next;
@@ -150,31 +293,31 @@ LpStatus Simplex::solve(const LpProblem &P, const std::vector<Rational> &Obj,
     const LpConstraint &C = P.Constraints[I];
     // a . x + b >= 0  ->  a.x - s = -b ;  a . x + b == 0 -> a.x = -b.
     for (unsigned K = 0; K < N; ++K) {
-      Tab[I][PosCol[K]] = C.Coeffs[K];
+      Tab[I][PosCol[K]] = LpScalar<T>::from(C.Coeffs[K]);
       if (NegCol[K] >= 0)
-        Tab[I][NegCol[K]] = -C.Coeffs[K];
+        Tab[I][NegCol[K]] = -Tab[I][PosCol[K]];
     }
     if (!C.IsEq)
-      Tab[I][SlackIdx++] = Rational(-1);
-    Rhs[I] = -C.Const;
-    if (Rhs[I] < Rational(0)) {
+      Tab[I][SlackIdx++] = T(-1);
+    Rhs[I] = -LpScalar<T>::from(C.Const);
+    if (Rhs[I] < T(0)) {
       for (unsigned J = 0; J < NumStd; ++J)
         Tab[I][J] = -Tab[I][J];
       Rhs[I] = -Rhs[I];
     }
-    Tab[I][NumStd + I] = Rational(1);
+    Tab[I][NumStd + I] = T(1);
     Basis[I] = static_cast<int>(NumStd + I);
   }
 
   // Phase 1: minimize the sum of artificials.
-  std::vector<Rational> Phase1Cost(NumCols);
+  std::vector<T> Phase1Cost(NumCols);
   for (unsigned I = 0; I < M; ++I)
-    Phase1Cost[NumStd + I] = Rational(1);
+    Phase1Cost[NumStd + I] = T(1);
   resetCostRow(Phase1Cost);
   bool Unbounded = false;
   iterate(Unbounded);
   assert(!Unbounded && "phase 1 cannot be unbounded");
-  Rational Phase1Val;
+  T Phase1Val;
   for (unsigned I = 0; I < M; ++I)
     if (static_cast<unsigned>(Basis[I]) >= NumStd)
       Phase1Val += Rhs[I];
@@ -210,11 +353,11 @@ LpStatus Simplex::solve(const LpProblem &P, const std::vector<Rational> &Obj,
   NumCols = NumStd;
   for (auto &Row : Tab)
     Row.resize(NumCols);
-  std::vector<Rational> Cost(NumCols);
+  std::vector<T> Cost(NumCols);
   for (unsigned K = 0; K < N; ++K) {
-    Cost[PosCol[K]] = Obj[K];
+    Cost[PosCol[K]] = LpScalar<T>::from(Obj[K]);
     if (NegCol[K] >= 0)
-      Cost[NegCol[K]] = -Obj[K];
+      Cost[NegCol[K]] = -Cost[PosCol[K]];
   }
   resetCostRow(Cost);
   Unbounded = false;
@@ -222,36 +365,63 @@ LpStatus Simplex::solve(const LpProblem &P, const std::vector<Rational> &Obj,
   if (Unbounded)
     return LpStatus::Unbounded;
 
-  std::vector<Rational> Y(NumStd);
+  std::vector<T> Y(NumStd);
   for (unsigned I = 0; I < Tab.size(); ++I)
     Y[Basis[I]] = Rhs[I];
-  Point.assign(N, Rational(0));
-  OptValue = Rational(0);
+  std::vector<T> Pt(N, T(0));
+  T Val(0);
   for (unsigned K = 0; K < N; ++K) {
-    Point[K] = Y[PosCol[K]];
+    Pt[K] = Y[PosCol[K]];
     if (NegCol[K] >= 0)
-      Point[K] -= Y[NegCol[K]];
-    OptValue += Obj[K] * Point[K];
+      Pt[K] -= Y[NegCol[K]];
+    Val += LpScalar<T>::from(Obj[K]) * Pt[K];
   }
+  Point.assign(N, Rational(0));
+  for (unsigned K = 0; K < N; ++K)
+    Point[K] = LpScalar<T>::to(Pt[K]);
+  OptValue = LpScalar<T>::to(Val);
   return LpStatus::Optimal;
 }
 
 } // namespace
 
-LpResult lpMinimize(const LpProblem &P, const std::vector<Rational> &Obj) {
+LpResult lpMinimizeEngine(const LpProblem &P, const std::vector<Rational> &Obj,
+                          LpEngine Engine) {
   ScopedTimer T("lp.minimize");
   assert(Obj.size() == P.NumVars && "objective arity mismatch");
   LpResult R;
+  if (Engine != LpEngine::Rational) {
+    try {
+      Simplex<Rat64> S;
+      R.Status = S.solve(P, Obj, R.Value, R.Point);
+      Stats::get().add("lp.int64_fastpath");
+      return R;
+    } catch (const Int64Overflow &) {
+      // Tableau left the machine-word range; redo on the wide tableau.
+      Stats::get().add("lp.rational_fallback");
+      if (Engine == LpEngine::Int64) {
+        R = LpResult();
+        R.Status = LpStatus::TooHard;
+        return R;
+      }
+    }
+  }
   try {
-    Simplex S;
+    Simplex<Rational> S;
+    R = LpResult();
     R.Status = S.solve(P, Obj, R.Value, R.Point);
   } catch (const RationalOverflow &) {
     // Coefficients grew past the exact-arithmetic range: give up on this
     // problem rather than aborting the compiler.
     Stats::get().add("lp.overflow");
+    R = LpResult();
     R.Status = LpStatus::TooHard;
   }
   return R;
+}
+
+LpResult lpMinimize(const LpProblem &P, const std::vector<Rational> &Obj) {
+  return lpMinimizeEngine(P, Obj, LpEngine::Auto);
 }
 
 LpResult lpMaximize(const LpProblem &P, const std::vector<Rational> &Obj) {

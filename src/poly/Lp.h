@@ -65,7 +65,23 @@ struct LpResult {
 };
 
 /// Minimizes Obj . x over the rational points of \p P.
+///
+/// Internally runs an int64-tableau simplex first (identical pivot rule over
+/// exact machine-word fractions, so the result is bit-identical) and falls
+/// back to the __int128 Rational tableau when any intermediate value would
+/// overflow. Stats counters: "lp.int64_fastpath" counts solves completed on
+/// the fast tableau, "lp.rational_fallback" counts overflow fallbacks.
 LpResult lpMinimize(const LpProblem &P, const std::vector<Rational> &Obj);
+
+/// Which simplex tableau lpMinimize runs on. Auto (the default) tries the
+/// int64 tableau and falls back to Rational on overflow; the forced modes
+/// exist for differential testing. A forced Int64 solve that overflows
+/// reports TooHard.
+enum class LpEngine { Auto, Int64, Rational };
+
+/// lpMinimize with an explicit engine choice (testing hook).
+LpResult lpMinimizeEngine(const LpProblem &P, const std::vector<Rational> &Obj,
+                          LpEngine Engine);
 
 /// Maximizes Obj . x over the rational points of \p P.
 LpResult lpMaximize(const LpProblem &P, const std::vector<Rational> &Obj);

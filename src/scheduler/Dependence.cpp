@@ -2,6 +2,10 @@
 
 #include "scheduler/Dependence.h"
 
+#include "support/Env.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 #include <cassert>
 
 namespace akg {
@@ -50,42 +54,72 @@ static void addSelfPieces(std::vector<Dependence> &Out, unsigned Id,
   }
 }
 
-std::vector<Dependence> computeDependences(const ir::PolyProgram &P) {
+/// Dependences of one (A, B) statement pair, in the canonical intra-pair
+/// order (RAW per read, then WAW, then WAR). Pure function of the pair:
+/// touches only its own copies of the relations, so pairs can run on
+/// worker threads concurrently.
+static std::vector<Dependence> pairDependences(const ir::PolyProgram &P,
+                                               unsigned A, unsigned B) {
   std::vector<Dependence> Deps;
-  const auto &Stmts = P.Stmts;
-  for (unsigned A = 0; A < Stmts.size(); ++A) {
-    for (unsigned B = A; B < Stmts.size(); ++B) {
-      const ir::PolyStmt &SA = Stmts[A];
-      const ir::PolyStmt &SB = Stmts[B];
-      auto AddCross = [&](DepKind Kind, const BasicMap &AccA,
-                          const BasicMap &AccB) {
-        BasicMap Rel = accessPairRelation(SA, AccA, SB, AccB);
-        if (A == B) {
-          addSelfPieces(Deps, A, Kind, Rel, SA.numIters());
-          return;
-        }
-        if (Rel.isEmpty())
-          return;
-        Dependence D;
-        D.Src = A;
-        D.Dst = B;
-        D.Kind = Kind;
-        D.Rel = std::move(Rel);
-        Deps.push_back(std::move(D));
-      };
-      // RAW: A writes, B reads the same tensor.
-      for (const ir::PolyAccess &R : SB.Reads)
-        if (R.Ref == SA.Write.Ref)
-          AddCross(DepKind::RAW, SA.Write.Rel, R.Rel);
-      // WAW: both write the same tensor.
-      if (SA.Write.Ref == SB.Write.Ref && (A != B))
-        AddCross(DepKind::WAW, SA.Write.Rel, SB.Write.Rel);
-      // WAR: A reads, B writes.
-      for (const ir::PolyAccess &R : SA.Reads)
-        if (R.Ref == SB.Write.Ref && A != B)
-          AddCross(DepKind::WAR, R.Rel, SB.Write.Rel);
+  const ir::PolyStmt &SA = P.Stmts[A];
+  const ir::PolyStmt &SB = P.Stmts[B];
+  auto AddCross = [&](DepKind Kind, const BasicMap &AccA,
+                      const BasicMap &AccB) {
+    BasicMap Rel = accessPairRelation(SA, AccA, SB, AccB);
+    if (A == B) {
+      addSelfPieces(Deps, A, Kind, Rel, SA.numIters());
+      return;
     }
+    if (Rel.isEmpty())
+      return;
+    Dependence D;
+    D.Src = A;
+    D.Dst = B;
+    D.Kind = Kind;
+    D.Rel = std::move(Rel);
+    Deps.push_back(std::move(D));
+  };
+  // RAW: A writes, B reads the same tensor.
+  for (const ir::PolyAccess &R : SB.Reads)
+    if (R.Ref == SA.Write.Ref)
+      AddCross(DepKind::RAW, SA.Write.Rel, R.Rel);
+  // WAW: both write the same tensor.
+  if (SA.Write.Ref == SB.Write.Ref && (A != B))
+    AddCross(DepKind::WAW, SA.Write.Rel, SB.Write.Rel);
+  // WAR: A reads, B writes.
+  for (const ir::PolyAccess &R : SA.Reads)
+    if (R.Ref == SB.Write.Ref && A != B)
+      AddCross(DepKind::WAR, R.Rel, SB.Write.Rel);
+  return Deps;
+}
+
+std::vector<Dependence> computeDependences(const ir::PolyProgram &P,
+                                           unsigned Threads) {
+  const auto &Stmts = P.Stmts;
+  std::vector<std::pair<unsigned, unsigned>> Pairs;
+  for (unsigned A = 0; A < Stmts.size(); ++A)
+    for (unsigned B = A; B < Stmts.size(); ++B)
+      Pairs.emplace_back(A, B);
+
+  if (Threads == 0) {
+    int64_t N = env::getInt("AKG_THREADS", 1);
+    Threads = static_cast<unsigned>(std::min<int64_t>(std::max<int64_t>(N, 1),
+                                                      256));
   }
+  if (Pairs.size() < 2)
+    Threads = 1; // not worth spinning up workers
+
+  // Pair-indexed result slots keep the output order identical at any
+  // thread count: the flattening below follows the sequential pair order.
+  std::vector<std::vector<Dependence>> PerPair(Pairs.size());
+  parallelFor(Threads, Pairs.size(), [&](size_t I) {
+    PerPair[I] = pairDependences(P, Pairs[I].first, Pairs[I].second);
+  });
+
+  std::vector<Dependence> Deps;
+  for (std::vector<Dependence> &PP : PerPair)
+    for (Dependence &D : PP)
+      Deps.push_back(std::move(D));
   return Deps;
 }
 

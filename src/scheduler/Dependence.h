@@ -42,7 +42,14 @@ struct Dependence {
 };
 
 /// Computes all pairwise dependences of the program.
-std::vector<Dependence> computeDependences(const ir::PolyProgram &P);
+///
+/// Statement pairs are analysed independently, fanned out over a thread
+/// pool (\p Threads workers; 0 resolves the AKG_THREADS environment
+/// variable, unset meaning sequential). The result is deterministic and
+/// identical at any thread count: per-pair results are collected into
+/// pair-indexed slots and concatenated in the sequential pair order.
+std::vector<Dependence> computeDependences(const ir::PolyProgram &P,
+                                           unsigned Threads = 0);
 
 /// Minimum / maximum of (dst iterator \p OutDim - src iterator \p InDim)
 /// over the dependence relation; nullopt when unbounded.

@@ -7,7 +7,9 @@
 #include "support/Status.h"
 
 #include <cassert>
+#include <map>
 #include <numeric>
+#include <set>
 
 namespace akg {
 namespace sched {
@@ -344,8 +346,28 @@ bool scheduleCluster(const ir::PolyProgram &P,
       for (unsigned J = 0; J < BR.B->LambdaNonNeg.size(); ++J)
         MasterLp.NonNeg[BR.Offset + J] = BR.B->LambdaNonNeg[J];
 
+    // Farkas elimination emits many textually identical rows (one per
+    // dependence form sharing a face); dedup them before they reach the
+    // master ILP. Key: canonical (merged, zero-free) terms + Const + kind.
+    std::set<std::vector<int64_t>> SeenCons;
     auto AddCon = [&](const std::vector<std::pair<unsigned, int64_t>> &Terms,
                       int64_t Const, bool IsEq) {
+      std::map<unsigned, int64_t> Merged;
+      for (const auto &[V, C] : Terms)
+        Merged[V] += C;
+      std::vector<int64_t> Key;
+      Key.reserve(2 * Merged.size() + 2);
+      Key.push_back(IsEq ? 1 : 0);
+      Key.push_back(Const);
+      for (const auto &[V, C] : Merged)
+        if (C != 0) {
+          Key.push_back(static_cast<int64_t>(V));
+          Key.push_back(C);
+        }
+      if (!SeenCons.insert(std::move(Key)).second) {
+        Stats::get().add("pluto.master_dedup");
+        return;
+      }
       std::vector<Rational> Row(NumVars);
       for (const auto &[V, C] : Terms)
         Row[V] += Rational(C);

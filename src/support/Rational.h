@@ -108,9 +108,13 @@ public:
   }
   bool operator!=(const Rational &O) const { return !(*this == O); }
   bool operator<(const Rational &O) const {
+    if (Den == 1 && O.Den == 1)
+      return Num < O.Num;
     return Num * O.Den < O.Num * Den;
   }
   bool operator<=(const Rational &O) const {
+    if (Den == 1 && O.Den == 1)
+      return Num <= O.Num;
     return Num * O.Den <= O.Num * Den;
   }
   bool operator>(const Rational &O) const { return O < *this; }
@@ -129,14 +133,22 @@ private:
       Num = -Num;
       Den = -Den;
     }
-    Int128 G = gcd128(Num, Den);
-    if (G > 1) {
-      Num /= G;
-      Den /= G;
-    }
     // Guard against silent overflow on subsequent multiplies; recoverable
     // (the solver abandons the problem rather than computing garbage).
     const Int128 Limit = Int128(1) << 100;
+    if (Num == 0) {
+      Den = 1;
+      return;
+    }
+    // Integers need no gcd pass; every arithmetic op funnels through here,
+    // and integer-by-integer is by far the most common case.
+    if (Den != 1) {
+      Int128 G = gcd128(Num, Den);
+      if (G > 1) {
+        Num /= G;
+        Den /= G;
+      }
+    }
     if (!(Num < Limit && Num > -Limit && Den < Limit))
       throw RationalOverflow();
   }

@@ -1,6 +1,7 @@
 //===- tests/AffineTest.cpp - Integer set / affine map unit tests ---------===//
 
 #include "poly/Affine.h"
+#include "support/Stats.h"
 
 #include <gtest/gtest.h>
 
@@ -169,6 +170,161 @@ TEST(SetUnion, UnionAndIntersect) {
   ASSERT_EQ(I.pieces().size(), 2u);
   EXPECT_EQ(I.pieces()[0].minOfCol(I.pieces()[0].inCol(0)).value(), 2);
   EXPECT_EQ(I.pieces()[1].maxOfCol(I.pieces()[1].inCol(0)).value(), 11);
+}
+
+TEST(BasicSet, SampleCacheAvoidsRepeatSolves) {
+  BasicSet S(Space::forSet({"i", "j"}, "S"));
+  S.addIneq({1, 0}, 0);
+  S.addIneq({-1, 0}, 9);
+  S.addIneq({0, 1}, 0);
+  S.addIneq({0, -1}, 9);
+  EXPECT_FALSE(S.isEmpty()); // first call solves and caches a point
+  int64_t Before = Stats::get().counter("lp.solves_avoided_sample");
+  EXPECT_FALSE(S.isEmpty());
+  EXPECT_FALSE(S.isEmpty(/*CheckInteger=*/true));
+  EXPECT_GE(Stats::get().counter("lp.solves_avoided_sample"), Before + 2);
+}
+
+TEST(BasicSet, SampleCacheInvalidatesOnAddIneq) {
+  BasicSet S(Space::forSet({"i"}, "S"));
+  S.addIneq({1}, 0);  // i >= 0
+  S.addIneq({-1}, 9); // i <= 9
+  EXPECT_FALSE(S.isEmpty());
+  // Cut away everything: the cached point no longer satisfies the set and
+  // must not leak a stale "non-empty" answer.
+  S.addIneq({1}, -100); // i >= 100
+  EXPECT_TRUE(S.isEmpty());
+}
+
+TEST(BasicSet, SampleCacheInvalidatesOnAddEq) {
+  BasicSet S(Space::forSet({"i"}, "S"));
+  S.addIneq({1}, 0);
+  S.addIneq({-1}, 9);
+  EXPECT_FALSE(S.isEmpty());
+  S.addEq({2}, -5); // 2i == 5: rational point exists, integer does not
+  EXPECT_FALSE(S.isEmpty());
+  EXPECT_TRUE(S.isEmpty(/*CheckInteger=*/true));
+}
+
+TEST(BasicSet, SampleCacheSurvivesEliminateCol) {
+  // eliminateCol changes the column layout; the cache must not apply a
+  // stale point to the new layout.
+  BasicSet S(Space::forSet({"i", "j"}, "S"));
+  S.addIneq({1, 0}, 0);
+  S.addIneq({-1, 0}, 9);
+  S.addIneq({-1, 1}, 0); // j >= i
+  S.addIneq({1, -1}, 2); // j <= i + 2
+  EXPECT_FALSE(S.isEmpty());
+  S.eliminateCol(S.inCol(1));
+  EXPECT_FALSE(S.isEmpty());
+  S.addIneq({-1}, -20); // over remaining column: i <= -20, contradiction
+  EXPECT_TRUE(S.isEmpty());
+}
+
+TEST(BasicSet, DuplicateConstraintsDeduped) {
+  BasicSet S(Space::forSet({"i"}, "S"));
+  S.addIneq({1}, 0);
+  S.addIneq({1}, 0); // exact duplicate: dropped on insert
+  S.addEq({1}, -3);
+  S.addEq({1}, -3); // duplicate equality too
+  EXPECT_EQ(S.constraints().size(), 2u);
+  EXPECT_FALSE(S.isEmpty(true));
+}
+
+TEST(BasicSet, RemoveRedundantPrefilterMatchesPureLp) {
+  auto Build = [] {
+    BasicSet S(Space::forSet({"i", "j"}, "S"));
+    S.addIneq({1, 0}, 0);    // i >= 0 (tightest of the i-group)
+    S.addIneq({1, 0}, 5);    // i >= -5 dominated
+    S.addIneq({1, 0}, 100);  // i >= -100 dominated
+    S.addIneq({0, -1}, 20);  // j <= 20 dominated by j <= 7
+    S.addIneq({0, -1}, 7);
+    S.addIneq({1, 1}, 3);    // not dominated: distinct coefficients
+    S.addEq({1, -1}, 0);     // equalities are never prefiltered
+    return S;
+  };
+  BasicSet Fast = Build();
+  Fast.removeRedundant(/*Prefilter=*/true);
+  BasicSet Slow = Build();
+  Slow.removeRedundant(/*Prefilter=*/false);
+  ASSERT_EQ(Fast.constraints().size(), Slow.constraints().size());
+  for (size_t I = 0; I < Fast.constraints().size(); ++I) {
+    EXPECT_EQ(Fast.constraints()[I].Coeffs, Slow.constraints()[I].Coeffs);
+    EXPECT_EQ(Fast.constraints()[I].Const, Slow.constraints()[I].Const);
+    EXPECT_EQ(Fast.constraints()[I].IsEq, Slow.constraints()[I].IsEq);
+  }
+}
+
+TEST(BasicSet, RemoveRedundantPrefilterEmptySetKeepsAll) {
+  // On an empty set every redundancy probe is infeasible, so the pure-LP
+  // loop keeps all constraints; the prefilter's member-point gate must
+  // close so the shortcut path keeps them too - including the dominated
+  // pair, which an ungated dominance pass would have dropped.
+  auto Build = [] {
+    BasicSet S(Space::forSet({"i"}, "S"));
+    S.addIneq({1}, -10); // i >= 10
+    S.addIneq({1}, -3);  // i >= 3, dominated
+    S.addIneq({-1}, 1);  // i <= 1: empty
+    return S;
+  };
+  BasicSet Fast = Build();
+  Fast.removeRedundant(/*Prefilter=*/true);
+  BasicSet Slow = Build();
+  Slow.removeRedundant(/*Prefilter=*/false);
+  EXPECT_TRUE(Build().isEmpty());
+  ASSERT_EQ(Fast.constraints().size(), Slow.constraints().size());
+  for (size_t I = 0; I < Fast.constraints().size(); ++I) {
+    EXPECT_EQ(Fast.constraints()[I].Coeffs, Slow.constraints()[I].Coeffs);
+    EXPECT_EQ(Fast.constraints()[I].Const, Slow.constraints()[I].Const);
+  }
+}
+
+TEST(BasicSet, RemoveRedundantPrefilterRandomized) {
+  // Random box-ish sets: prefiltered and pure-LP redundancy removal must
+  // agree on the exact surviving constraint list.
+  uint64_t S0 = 0x9E3779B97F4A7C15ull;
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    auto Next = [&S0] {
+      S0 ^= S0 << 13;
+      S0 ^= S0 >> 7;
+      S0 ^= S0 << 17;
+      return S0 * 0x2545F4914F6CDD1Dull;
+    };
+    auto Build = [&] {
+      BasicSet S(Space::forSet({"i", "j"}, "S"));
+      unsigned N = 3 + unsigned(Next() % 6);
+      for (unsigned C = 0; C < N; ++C) {
+        int64_t A = int64_t(Next() % 5) - 2;
+        int64_t B = int64_t(Next() % 5) - 2;
+        // Nonnegative constants keep the origin inside so the prefilter's
+        // member-point gate opens and the shortcuts actually engage (on an
+        // empty set the gate closes and both loops trivially agree).
+        int64_t K = int64_t(Next() % 17);
+        if (A == 0 && B == 0)
+          A = 1;
+        S.addIneq({A, B}, K);
+      }
+      // Keep it bounded-ish so the LP loop has work to do.
+      S.addIneq({1, 0}, 8);
+      S.addIneq({-1, 0}, 8);
+      S.addIneq({0, 1}, 8);
+      S.addIneq({0, -1}, 8);
+      return S;
+    };
+    uint64_t Saved = S0;
+    BasicSet Fast = Build();
+    S0 = Saved; // identical constraint stream for both copies
+    BasicSet Slow = Build();
+    Fast.removeRedundant(true);
+    Slow.removeRedundant(false);
+    ASSERT_EQ(Fast.constraints().size(), Slow.constraints().size())
+        << "iteration " << Iter;
+    for (size_t I = 0; I < Fast.constraints().size(); ++I) {
+      EXPECT_EQ(Fast.constraints()[I].Coeffs, Slow.constraints()[I].Coeffs);
+      EXPECT_EQ(Fast.constraints()[I].Const, Slow.constraints()[I].Const);
+      EXPECT_EQ(Fast.constraints()[I].IsEq, Slow.constraints()[I].IsEq);
+    }
+  }
 }
 
 TEST(BasicMap, IdentityMapOn) {

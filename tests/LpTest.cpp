@@ -1,6 +1,7 @@
 //===- tests/LpTest.cpp - LP/ILP solver unit tests ------------------------===//
 
 #include "poly/Lp.h"
+#include "support/Stats.h"
 
 #include <gtest/gtest.h>
 
@@ -135,6 +136,113 @@ TEST(Ilp, SampleFindsPoint) {
   EXPECT_TRUE(R.Point[0] >= Rational(3));
   EXPECT_TRUE(R.Point[1] >= Rational(4));
   EXPECT_TRUE(R.Point[0] + R.Point[1] <= Rational(9));
+}
+
+/// xorshift64* - same deterministic stream as verify/Generator.cpp so the
+/// differential suite reproduces independently of the standard library.
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S(Seed * 0x9E3779B97F4A7C15ull + 0xA5A5A5A5ull) {
+    next();
+  }
+  uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S * 0x2545F4914F6CDD1Dull;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) { // inclusive
+    return Lo + int64_t(next() % uint64_t(Hi - Lo + 1));
+  }
+  bool chance(int Pct) { return range(0, 99) < Pct; }
+};
+
+void expectSameResult(const LpResult &A, const LpResult &B,
+                      const char *What, uint64_t Seed) {
+  ASSERT_EQ(A.Status, B.Status) << What << " status diverged, seed " << Seed;
+  if (A.Status != LpStatus::Optimal)
+    return;
+  EXPECT_EQ(A.Value, B.Value) << What << " value diverged, seed " << Seed;
+  ASSERT_EQ(A.Point.size(), B.Point.size());
+  for (size_t I = 0; I < A.Point.size(); ++I)
+    EXPECT_EQ(A.Point[I], B.Point[I])
+        << What << " point[" << I << "] diverged, seed " << Seed;
+}
+
+TEST(Lp, DifferentialInt64VsRational) {
+  // The int64 tableau must be bit-identical to the Rational tableau on
+  // every problem it accepts: same pivot rule, exact arithmetic in both.
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    Rng R(Seed);
+    LpProblem P;
+    P.NumVars = static_cast<unsigned>(R.range(1, 4));
+    if (R.chance(50)) {
+      P.NonNeg.assign(P.NumVars, false);
+      for (unsigned V = 0; V < P.NumVars; ++V)
+        P.NonNeg[V] = R.chance(50);
+    }
+    unsigned NumCons = static_cast<unsigned>(R.range(1, 6));
+    for (unsigned C = 0; C < NumCons; ++C) {
+      std::vector<Rational> Coeffs;
+      for (unsigned V = 0; V < P.NumVars; ++V)
+        Coeffs.push_back(Rational(R.range(-9, 9)));
+      Rational Const(R.range(-15, 15));
+      if (R.chance(20))
+        P.addEq(std::move(Coeffs), Const);
+      else
+        P.addIneq(std::move(Coeffs), Const);
+    }
+    std::vector<Rational> Obj;
+    for (unsigned V = 0; V < P.NumVars; ++V)
+      Obj.push_back(Rational(R.range(-5, 5)));
+
+    LpResult RI = lpMinimizeEngine(P, Obj, LpEngine::Int64);
+    LpResult RR = lpMinimizeEngine(P, Obj, LpEngine::Rational);
+    LpResult RA = lpMinimize(P, Obj);
+    ASSERT_NE(RI.Status, LpStatus::TooHard)
+        << "small-coefficient problem overflowed int64, seed " << Seed;
+    expectSameResult(RI, RR, "int64 vs rational", Seed);
+    expectSameResult(RA, RR, "auto vs rational", Seed);
+  }
+}
+
+TEST(Lp, OverflowFallsBackToRational) {
+  // Constants near INT64_MAX/2: each fits the int64 tableau, but the
+  // optimum x + y = 1e19 exceeds int64, so the fast path must overflow
+  // mid-solve and fall back; __int128 handles it trivially.
+  const int64_t Big = 5000000000000000000; // 5e18
+  LpProblem P;
+  P.NumVars = 2;
+  P.addIneq(vec({1, 0}), Rational(-Big)); // x >= 5e18
+  P.addIneq(vec({0, 1}), Rational(-Big)); // y >= 5e18
+  std::vector<Rational> Obj = vec({1, 1});
+
+  LpResult Forced = lpMinimizeEngine(P, Obj, LpEngine::Int64);
+  EXPECT_EQ(Forced.Status, LpStatus::TooHard);
+
+  int64_t Before = Stats::get().counter("lp.rational_fallback");
+  LpResult Auto = lpMinimize(P, Obj);
+  LpResult Exact = lpMinimizeEngine(P, Obj, LpEngine::Rational);
+  EXPECT_GT(Stats::get().counter("lp.rational_fallback"), Before);
+  expectSameResult(Auto, Exact, "auto vs rational (overflow)", 0);
+  ASSERT_EQ(Exact.Status, LpStatus::Optimal);
+  EXPECT_EQ(Exact.Value, Rational(Big) + Rational(Big));
+}
+
+TEST(Lp, OversizedInputFallsBackToRational) {
+  // A constant that does not even fit the int64 tableau's input range: the
+  // fallback must trigger during conversion, before any pivoting.
+  LpProblem P;
+  P.NumVars = 1;
+  Rational Huge = Rational(INT64_MAX) * Rational(16);
+  P.addIneq({Rational(1)}, -Huge); // x >= 16 * INT64_MAX
+  std::vector<Rational> Obj = vec({1});
+
+  LpResult Forced = lpMinimizeEngine(P, Obj, LpEngine::Int64);
+  EXPECT_EQ(Forced.Status, LpStatus::TooHard);
+  LpResult Auto = lpMinimize(P, Obj);
+  ASSERT_EQ(Auto.Status, LpStatus::Optimal);
+  EXPECT_EQ(Auto.Value, Huge);
 }
 
 TEST(Lp, DegenerateCycleGuard) {

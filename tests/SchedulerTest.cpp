@@ -187,4 +187,26 @@ TEST(Pluto, SkewingWhenRequired) {
     EXPECT_TRUE(verifyClusterLegality(P, Deps, CS));
 }
 
+TEST(DependenceParallel, DeterministicAcrossThreadCounts) {
+  // The parallel fan-out must produce byte-identical dependence lists at
+  // any worker count: pair-indexed slots, concatenated in sequential pair
+  // order.
+  Module M = runningExample();
+  PolyProgram P = extractPolyProgram(M);
+  std::vector<Dependence> Seq = computeDependences(P, 1);
+  ASSERT_FALSE(Seq.empty());
+  for (unsigned Threads : {2u, 4u, 8u}) {
+    std::vector<Dependence> Par = computeDependences(P, Threads);
+    ASSERT_EQ(Par.size(), Seq.size()) << Threads << " threads";
+    for (size_t I = 0; I < Seq.size(); ++I) {
+      EXPECT_EQ(Par[I].Src, Seq[I].Src);
+      EXPECT_EQ(Par[I].Dst, Seq[I].Dst);
+      EXPECT_EQ(Par[I].Kind, Seq[I].Kind);
+      EXPECT_EQ(Par[I].IsSelf, Seq[I].IsSelf);
+      EXPECT_EQ(Par[I].Rel.str(), Seq[I].Rel.str())
+          << "relation " << I << " diverged at " << Threads << " threads";
+    }
+  }
+}
+
 } // namespace

@@ -2,18 +2,23 @@
 """Compare freshly generated BENCH_*.json files against committed baselines.
 
 Usage: bench_diff.py <baseline_dir> <current_dir> [--max-regression PCT]
+                     [--wall-tolerance X]
 
 Structural checks are hard failures (exit 1): a baseline figure whose fresh
 counterpart is missing, a record (op) that disappeared, or a tracked cycle
 metric that vanished from a record. Performance checks compare every
 "*_cycles" metric: a regression beyond --max-regression percent (default
-25) fails; wall-clock metrics ("*_seconds", "*_rate") are reported but
-never gate, since CI machines vary too much for wall time to be a signal.
+25) fails. "compile_wall_seconds" (records and totals) gates too, but with
+the much looser --wall-tolerance multiplier (default 1.5x) since CI
+machines are noisy; other wall-clock metrics ("*_seconds", "*_rate") are
+reported but never gate.
 
 The simulated cycle counts are deterministic for a given compiler, so the
 default threshold only exists to absorb intentional schedule changes; a PR
 that regresses cycles on purpose should refresh bench/baselines/ in the
-same commit and say so.
+same commit and say so. The wall gate exists so a compile-time optimization
+cannot silently rot: refresh the baselines whenever compile time moves on
+purpose (in either direction).
 """
 
 import argparse
@@ -35,12 +40,18 @@ def cycle_keys(rec):
     return [k for k, v in rec.items() if k.endswith("_cycles") and isinstance(v, (int, float))]
 
 
+WALL_KEY = "compile_wall_seconds"
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline_dir")
     ap.add_argument("current_dir")
     ap.add_argument("--max-regression", type=float, default=25.0,
                     help="max allowed cycle regression in percent")
+    ap.add_argument("--wall-tolerance", type=float, default=1.5,
+                    help="max allowed compile_wall_seconds as a multiple "
+                         "of baseline (noise allowance)")
     args = ap.parse_args()
 
     baselines = sorted(
@@ -51,6 +62,27 @@ def main():
         return 1
 
     failures = []
+
+    def check_wall(name, label, bval, cval, gate):
+        # Per-record wall times are fractions of a second and too noisy to
+        # gate individually; only figure totals gate (gate=True).
+        if not isinstance(bval, (int, float)) or bval <= 0:
+            return
+        if not isinstance(cval, (int, float)):
+            failures.append(f"{name}: {label}.{WALL_KEY} vanished")
+            return
+        ratio = cval / bval
+        marker = ""
+        if gate and ratio > args.wall_tolerance:
+            failures.append(
+                f"{name}: {label}.{WALL_KEY} regressed {ratio:.2f}x "
+                f"({bval:.3f}s -> {cval:.3f}s, tolerance "
+                f"{args.wall_tolerance:.2f}x)")
+            marker = "  <-- FAIL"
+        if abs(ratio - 1.0) >= 0.05 or marker:
+            print(f"{name} {label}.{WALL_KEY}: {bval:.3f}s -> {cval:.3f}s "
+                  f"({ratio:.2f}x){marker}")
+
     for name in baselines:
         base = load(os.path.join(args.baseline_dir, name))
         cur_path = os.path.join(args.current_dir, name)
@@ -82,6 +114,12 @@ def main():
                 if abs(delta) >= 1.0 or marker:
                     print(f"{name} {op}.{key}: {bval:.0f} -> {cval:.0f} "
                           f"({delta:+.1f}%){marker}")
+            if WALL_KEY in brec:
+                check_wall(name, op, brec[WALL_KEY], crec.get(WALL_KEY),
+                           gate=False)
+        if WALL_KEY in base.get("totals", {}):
+            check_wall(name, "totals", base["totals"][WALL_KEY],
+                       cur.get("totals", {}).get(WALL_KEY), gate=True)
 
     if failures:
         print(f"\nbench_diff: {len(failures)} failure(s)", file=sys.stderr)
@@ -89,7 +127,8 @@ def main():
             print(f"  {f}", file=sys.stderr)
         return 1
     print(f"bench_diff: {len(baselines)} figure(s) within "
-          f"{args.max_regression:.0f}% of baseline")
+          f"{args.max_regression:.0f}% of baseline "
+          f"(wall tolerance {args.wall_tolerance:.2f}x)")
     return 0
 
 
