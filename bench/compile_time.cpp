@@ -13,6 +13,8 @@
 #include "graph/Ops.h"
 #include "support/Stats.h"
 
+#include <map>
+
 using namespace akg;
 using namespace akg::bench;
 using namespace akg::graph;
@@ -80,12 +82,19 @@ int main() {
   // only; the (deterministic) simulation runs outside the timer purely to
   // expose code changes as a cycle diff.
   constexpr int Reps = 10;
+  // Per-pass wall-time breakdown aggregated from every compile's trace:
+  // reported as stage_wall.* totals so bench_diff.py can localize a
+  // compile-time regression to its pipeline stage (informational, not
+  // gated - the gate stays on compile_wall_seconds).
+  std::map<std::string, double> StageWall;
   for (const OpFamily &Fam : buildFamilies()) {
     std::vector<CompileResult> Results;
     double FamSeconds = wallSeconds([&] {
       for (int R = 0; R < Reps; ++R)
         for (const ModulePtr &M : Fam.Shapes) {
           CompileResult CR = compileWithAkg(*M, AkgOptions{}, Fam.Name);
+          for (const TraceEvent &E : CR.Trace.Events)
+            StageWall[E.Pass] += E.WallSeconds;
           if (R == 0)
             Results.push_back(std::move(CR));
         }
@@ -102,6 +111,10 @@ int main() {
   }
   std::printf("total compile wall: %.3fs\n", TotalSeconds);
   J.total("compile_wall_seconds", TotalSeconds);
+  for (const auto &[Pass, Seconds] : StageWall) {
+    J.total("stage_wall." + Pass, Seconds);
+    std::printf("stage_wall.%-24s %10.3fs\n", Pass.c_str(), Seconds);
+  }
   // Fast-path effectiveness counters; a silent fall-back-to-slow-path
   // regression shows up here (and in the gated wall time) before it shows
   // up anywhere else.

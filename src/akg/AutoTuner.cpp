@@ -245,11 +245,16 @@ TuneResult tuneAkgKernel(const ir::Module &M, const AkgOptions &Base,
     AkgOptions O = Base;
     transforms::TilingPolicy Pol;
     transforms::StmtTileSpec Spec2;
-    for (int64_t S : Tiles)
+    // Name each probe after its tile vector so AKG_TRACE dumps carry one
+    // distinguishable trace per tuner configuration.
+    std::string ProbeName = "tune_probe";
+    for (int64_t S : Tiles) {
       Spec2.Entries.push_back(transforms::TileSpecEntry{S, "UB"});
+      ProbeName += "_" + std::to_string(S);
+    }
     Pol.PerStmt[LiveId] = Spec2;
     O.ManualTiles = Pol;
-    CompileResult C = compileWithAkg(M, O, "tune_probe");
+    CompileResult C = compileWithAkg(M, O, ProbeName);
     sim::SimOptions SO;
     SO.Functional = false;
     return sim::simulate(C.Kernel, Spec, nullptr, SO).Cycles;

@@ -2,370 +2,16 @@
 
 #include "akg/Compiler.h"
 
-#include "ir/Passes.h"
-#include "schedule/AstGen.h"
+#include "akg/Pipeline.h"
 #include "sim/Compare.h"
 #include "sim/Simulator.h"
 #include "support/Env.h"
 #include "support/Rational.h"
 #include "support/Stats.h"
-#include "transforms/Conv.h"
-#include "transforms/Fusion.h"
-#include "transforms/IntraTile.h"
-
-#include <cassert>
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
 
 namespace akg {
 
 using namespace ir;
-using namespace sched;
-using namespace transforms;
-
-namespace {
-
-/// The real pipeline. Recoverable failures degrade in place and are
-/// recorded in Res.Degradation; anything that still escapes is caught by
-/// compileWithAkg and lands on the scalar fallback kernel.
-CompileResult compileImpl(const Module &MIn, const AkgOptions &Opts,
-                          const std::string &Name, Stage Fail) {
-  CompileResult Res;
-  // Preparation passes (Sec 3). The prepared module must outlive the
-  // kernel (tensor declarations are shared into it).
-  auto Mod = std::make_shared<Module>([&] {
-    ScopedTimer T("akg.prepare");
-    return Opts.EnableInlining ? inlineElementwiseOps(MIn) : Module();
-  }());
-  const Module *M = Opts.EnableInlining ? Mod.get() : &MIn;
-
-  PolyProgram P = [&] {
-    ScopedTimer T("akg.extract_poly");
-    return extractPolyProgram(*M);
-  }();
-  std::vector<Dependence> Deps = [&] {
-    ScopedTimer T("akg.dependences");
-    return computeDependences(P);
-  }();
-
-  // Budgets + per-stage fault injection resolve into concrete knobs once,
-  // up front; each injected failure is itself a rung of the ladder and is
-  // recorded immediately.
-  Deadline DL(Opts.Budget.DeadlineSeconds);
-  sched::SchedulerOptions BaseSched = Opts.Scheduler;
-  if (BaseSched.IlpNodeBudget == 0)
-    BaseSched.IlpNodeBudget = Opts.Budget.IlpNodeBudget;
-  if (BaseSched.DeadlineSeconds == 0)
-    BaseSched.DeadlineSeconds = Opts.Budget.DeadlineSeconds;
-  if (Fail == Stage::Scheduler)
-    BaseSched.ForceFallback = true;
-
-  cce::CodegenOptions CG = Opts.Codegen;
-  if (Fail == Stage::Vectorize) {
-    CG.EnableVectorize = false;
-    Res.Degradation.record(Stage::Vectorize, "fault injected",
-                           "scalar loop emission for all units");
-  }
-  if (Fail == Stage::DoubleBuffer) {
-    CG.EnableDoubleBuffer = false;
-    Res.Degradation.record(Stage::DoubleBuffer, "fault injected",
-                           "single buffering (no ping-pong overlap)");
-  }
-
-  cce::SyncStrategy SyncS = Opts.Sync;
-  if (Fail == Stage::Sync) {
-    SyncS = cce::SyncStrategy::FullSerial;
-    Res.Degradation.record(Stage::Sync, "fault injected",
-                           "full-serial barriers between instructions");
-  }
-
-  bool PostFusion = Opts.EnablePostTilingFusion;
-  if (Fail == Stage::Fusion) {
-    PostFusion = false;
-    Res.Degradation.record(
-        Stage::Fusion, "fault injected",
-        "post-tiling fusion disabled; producers round-trip global memory");
-  }
-
-  bool SinkDims = Opts.EnableIntraTile;
-  if (Fail == Stage::IntraTile) {
-    SinkDims = false;
-    Res.Degradation.record(Stage::IntraTile, "fault injected",
-                           "kept schedule loop order (no vector-dim sink)");
-  }
-
-  bool InjectStorage = Fail == Stage::Storage;
-  bool Compiled = false;
-  bool TimedOut = false;
-
-  // Attempt 0 compiles with the requested options; when even minimal
-  // tiles cannot satisfy the buffer capacities (a fused region keeping
-  // several very wide rows live), attempt 1 rejects the fusion entirely:
-  // clustering is disabled so every statement tiles over its own full
-  // dimensionality and intermediates round-trip global memory.
-  for (unsigned Attempt = 0; Attempt < 2; ++Attempt) {
-  sched::SchedulerOptions SchedOpts = BaseSched;
-  if (Attempt == 1)
-    SchedOpts.Fusion = sched::FusionStrategy::None;
-  ScheduleResult SR = [&] {
-    ScopedTimer T("akg.schedule");
-    return computeSchedule(P, Deps, SchedOpts);
-  }();
-  Res.UsedSchedulerFallback = false;
-  for (const ClusterSchedule &CS : SR.Clusters)
-    Res.UsedSchedulerFallback |= CS.UsedFallback;
-  if (Res.UsedSchedulerFallback &&
-      !Res.Degradation.hasStage(Stage::Scheduler))
-    Res.Degradation.record(
-        Stage::Scheduler,
-        Fail == Stage::Scheduler ? "fault injected"
-                                 : "scheduling ILP unsolved (too hard)",
-        "identity schedules, cluster split into singletons");
-
-  // Tile-size selection for the live-out cluster.
-  const ClusterSchedule &Live = SR.Clusters.back();
-  unsigned LiveStmt = Live.Stmts.front();
-  unsigned W =
-      static_cast<unsigned>(Live.Outer.at(LiveStmt).Rows.size());
-
-  AutoTilingOptions ATOpts;
-  ATOpts.FusedFootprint = PostFusion && Attempt == 0;
-  // Cube constraints: keep conv output rows contiguous (wo untiled),
-  // batch tiles at 1, and never tile a cube op's reduction dimensions at
-  // the band level (the cube pipeline chunks K internally). Positions are
-  // derived from the statement's axis list so the rules hold whether the
-  // band covers the output axes only or, on the no-fusion fallback, the
-  // full iterator vector.
-  bool HasCube = false;
-  for (unsigned S : Live.Stmts)
-    if (auto D = matchCubeOp(P.Stmts[S])) {
-      HasCube = true;
-      unsigned NOut =
-          static_cast<unsigned>(P.Stmts[S].Op->Axis.size());
-      if (D->IsConv && NOut >= 1 && NOut - 1 < W)
-        ATOpts.FullDims.push_back(NOut - 1); // wo
-      if (((D->IsConv && NOut == 4) ||
-           (!D->IsConv && D->Batch > 1 && NOut == 3)) &&
-          W >= 1)
-        ATOpts.UnitDims.push_back(0); // batch
-      for (unsigned K = NOut; K < W; ++K)
-        ATOpts.FullDims.push_back(K); // reduction dims stay whole
-    }
-
-  std::vector<int64_t> Sizes;
-  if (Opts.ManualTiles) {
-    // The policy may name any statement of the live-out cluster (users
-    // typically name the update statement).
-    Sizes.assign(W, 1);
-    for (unsigned S : Live.Stmts)
-      if (Opts.ManualTiles->PerStmt.count(S)) {
-        Sizes = Opts.ManualTiles->sizesFor(S, W);
-        break;
-      }
-    // The fractal constraints hold regardless of who chose the sizes (the
-    // Fig 4 language frees users from validity concerns, Sec 4.2).
-    for (unsigned D : ATOpts.FullDims)
-      if (D < W) {
-        int64_t Ext = 1;
-        for (unsigned K = 0;
-             K < P.Stmts[LiveStmt].Iters.size() && K < W; ++K)
-          if (K == D)
-            Ext = P.Stmts[LiveStmt].Iters[K].Extent;
-        Sizes[D] = Ext;
-      }
-    for (unsigned D : ATOpts.UnitDims)
-      if (D < W)
-        Sizes[D] = 1;
-    Res.TilingPolicyText = printTilingPolicy(*Opts.ManualTiles);
-  } else {
-    ScopedTimer T("akg.auto_tiling");
-    AutoTilingResult AT = autoTile(P, SR, CG.Machine, ATOpts);
-    Sizes = AT.Sizes;
-    Res.TilingPolicyText = printTilingPolicy(AT.Policy);
-  }
-
-  // Cube-pinned dimensions keep their mandated sizes through every
-  // degradation (halving, injection): the fractal pipeline depends on
-  // them, and shrinking them buys no on-chip memory anyway.
-  auto IsPinned = [&](unsigned D) {
-    for (unsigned F : ATOpts.FullDims)
-      if (F == D)
-        return true;
-    for (unsigned U : ATOpts.UnitDims)
-      if (U == D)
-        return true;
-    return false;
-  };
-
-  if (Fail == Stage::Tiling) {
-    for (unsigned I = 0; I < Sizes.size(); ++I)
-      if (!IsPinned(I))
-        Sizes[I] = 1;
-    if (!Res.Degradation.hasStage(Stage::Tiling))
-      Res.Degradation.record(Stage::Tiling, "fault injected",
-                             "minimal unit tiles on all free dimensions");
-  }
-
-  bool UseFusion = PostFusion && Attempt == 0;
-  bool CapacityExhausted = false;
-  for (unsigned Retry = 0;; ++Retry) {
-    if (DL.expired()) {
-      TimedOut = true;
-      break;
-    }
-    ScopedTimer RetryTimer("akg.tile_and_lower");
-    ScheduleTree T = [&] {
-      ScopedTimer ST("akg.build_tree");
-      return buildScheduledTree(P, SR);
-    }();
-    FusionReport FR;
-    if (UseFusion) {
-      FR = applyPostTilingFusion(T, P, Sizes);
-      // Clusters that could not fuse into the live-out tile (e.g. sibling
-      // outputs) still need their own tiling + on-chip region, or their
-      // footprints are unbounded.
-      std::function<void(TreeNode *)> TileRest = [&](TreeNode *N) {
-        if (N->Kind == NodeKind::Mark &&
-            (N->MarkTag == "on_chip" || N->MarkTag == "skipped"))
-          return;
-        if (N->Kind == NodeKind::Band) {
-          // Already-processed bands carry their on_chip mark beneath.
-          if (findNode(N, [](TreeNode *X) {
-                return X->Kind == NodeKind::Mark &&
-                       (X->MarkTag == "on_chip" || X->MarkTag == "skipped");
-              }))
-            return;
-          std::vector<int64_t> Sz(N->bandWidth(), 1);
-          for (unsigned I = 0; I < Sz.size() && I < Sizes.size(); ++I)
-            Sz[I] = Sizes[I];
-          tileBand(N, Sz);
-          std::unique_ptr<TreeNode> Owned = std::move(N->Children[0]);
-          N->Children.clear();
-          TreeNode *Mk = N->addChild(makeMark("on_chip"));
-          Mk->addChild(std::move(Owned));
-          return;
-        }
-        for (auto &C : N->Children)
-          TileRest(C.get());
-      };
-      TileRest(T.root());
-    } else {
-      // Ablation: classical tiling without the reverse strategy. Every
-      // cluster band is tiled independently and producers round-trip
-      // through global memory.
-      std::vector<TreeNode *> Bands;
-      walkTree(T.root(), [&](TreeNode *N) {
-        if (N->Kind == NodeKind::Band) {
-          Bands.push_back(N);
-          return false; // outer bands only
-        }
-        return true;
-      });
-      for (TreeNode *B : Bands) {
-        std::vector<int64_t> Sz(B->bandWidth(), 1);
-        for (unsigned I = 0; I < Sz.size() && I < Sizes.size(); ++I)
-          Sz[I] = Sizes[I];
-        tileBand(B, Sz);
-        std::unique_ptr<TreeNode> Owned = std::move(B->Children[0]);
-        B->Children.clear();
-        TreeNode *Mk = B->addChild(makeMark("on_chip"));
-        Mk->addChild(std::move(Owned));
-      }
-    }
-    Res.FusedProducers = FR.FusedProducers;
-
-    // The cube path always requires its mark for fractal lowering; the
-    // vector-dim sink is the optional part of the intra-tile stage.
-    {
-      ScopedTimer ST("akg.intra_tile");
-      applyIntraTileFusion(T, P);
-      if (SinkDims)
-        sinkVectorizableDims(T, P);
-    }
-    Res.ScheduleTreeDump = T.str();
-
-    Stmt Ast = [&] {
-      ScopedTimer ST("akg.ast_gen");
-      return generateAst(T, P);
-    }();
-    cce::Kernel K = [&] {
-      ScopedTimer ST("akg.lower_cce");
-      return cce::lowerToCce(Ast, *M, P, CG, Name);
-    }();
-    std::string CapErr = cce::checkBufferCapacities(K, CG.Machine);
-    if (InjectStorage) {
-      // One simulated capacity failure; subsequent retries see the real
-      // checker so the halving ladder converges normally.
-      CapErr = "fault injected: storage capacity check failed";
-      InjectStorage = false;
-    }
-    if (!CapErr.empty() && !Res.Degradation.hasStage(Stage::Storage))
-      Res.Degradation.record(Stage::Storage, CapErr,
-                             "halved largest free tile and retried");
-    if (!CapErr.empty() && Retry >= Opts.MaxTileRetries) {
-      CapacityExhausted = true;
-      break;
-    }
-    if (CapErr.empty()) {
-      ScopedTimer ST("akg.sync");
-      Res.Sync = cce::insertSynchronization(K, SyncS);
-      Res.Kernel = std::move(K);
-      Res.TileSizes = Sizes;
-      break;
-    }
-    Stats::get().add("akg.tile_retries");
-    // Halve the largest tile and retry.
-    if (Stats::enabled())
-      {
-        std::string Ts;
-        for (int64_t Sz : Sizes)
-          Ts += std::to_string(Sz) + " ";
-        std::fprintf(stderr, "retile(%s): tiles [%s] %s\n", Name.c_str(),
-                     Ts.c_str(), CapErr.c_str());
-      }
-    int Largest = -1;
-    for (unsigned I = 0; I < Sizes.size(); ++I)
-      if (!IsPinned(I) && (Largest < 0 || Sizes[I] > Sizes[Largest]))
-        Largest = static_cast<int>(I);
-    if (Largest < 0 || Sizes[Largest] <= 1) {
-      // Nothing halvable: behave as capacity-exhausted.
-      CapacityExhausted = true;
-      break;
-    }
-    Sizes[Largest] = std::max<int64_t>(1, Sizes[Largest] / 2);
-  }
-  if (TimedOut)
-    break;
-  if (!CapacityExhausted) {
-    Compiled = true;
-    break;
-  }
-  if (Attempt == 0)
-    Res.Degradation.record(
-        Stage::Fusion, "minimal tiles still exceed capacity with fusion",
-        "rejected fusion; producers round-trip global memory");
-  } // attempt loop
-
-  if (!Compiled) {
-    // Bottom of the ladder: a single scalar instruction evaluating the
-    // whole module on GM. Always fits, always correct, never fast.
-    Res.Degradation.record(
-        Stage::Storage,
-        TimedOut ? "compile deadline expired"
-                 : "minimal tiles exceed buffer capacity on every attempt",
-        "scalar fallback kernel over global memory");
-    Res.Kernel = cce::lowerScalarFallback(*M, Name);
-    Res.Sync =
-        cce::insertSynchronization(Res.Kernel, cce::SyncStrategy::FullSerial);
-    Res.TileSizes.clear();
-  }
-  if (Opts.EnableInlining)
-    Res.Mod = Mod;
-  return Res;
-}
-
-} // namespace
 
 Stage resolveFailStage(const AkgOptions &Opts) {
   Stage Fail = Opts.FailStage;
@@ -385,7 +31,12 @@ CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
   Stage Where = Stage::None;
   std::string Reason;
   try {
-    return compileImpl(MIn, Opts, Name, Fail);
+    // The real pipeline (akg/Pipeline.cpp). Recoverable failures degrade
+    // in place and are recorded in Res.Degradation; anything that still
+    // escapes is caught below and lands on the scalar fallback kernel.
+    CompileResult Res = runPassPipeline(MIn, Opts, Name, Fail);
+    trace::maybeDump(Res.Trace);
+    return Res;
   } catch (const RationalOverflow &E) {
     // Should be absorbed inside the LP layer; if one escapes, the compile
     // still lands on its feet.
@@ -401,6 +52,14 @@ CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
   Res.Kernel = cce::lowerScalarFallback(MIn, Name);
   Res.Sync =
       cce::insertSynchronization(Res.Kernel, cce::SyncStrategy::FullSerial);
+  Res.Trace.Kernel = Name;
+  TraceEvent E;
+  E.Pass = "exception_fallback";
+  E.Id = Where;
+  E.Note = Reason;
+  E.Degradations.push_back(Res.Degradation.Steps.back());
+  Res.Trace.Events.push_back(std::move(E));
+  trace::maybeDump(Res.Trace);
   return Res;
 }
 

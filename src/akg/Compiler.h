@@ -18,6 +18,7 @@
 #include "scheduler/Pluto.h"
 #include "support/Diag.h"
 #include "support/Status.h"
+#include "support/Trace.h"
 #include "target/Codegen.h"
 #include "target/Sync.h"
 #include "transforms/AutoTiling.h"
@@ -57,6 +58,10 @@ struct CompileResult {
   cce::SyncReport Sync;
   /// Every rung taken down the fallback ladder (empty = clean compile).
   DegradationReport Degradation;
+  /// What the pass pipeline did: one event per executed pass, plus the
+  /// controller decisions (retiles, fusion rejection) and cache hits.
+  /// Dumpable via AKG_TRACE (support/Trace.h, DESIGN.md 4g).
+  CompileTrace Trace;
 };
 
 /// Compiles one fused operator with the full AKG pipeline.

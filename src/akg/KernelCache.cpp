@@ -11,6 +11,27 @@ namespace akg {
 
 using namespace ir;
 
+namespace {
+
+/// A cache-served result keeps the original compile's trace but leads
+/// with a synthetic event marking how this request was satisfied, so
+/// AKG_TRACE dumps distinguish real compiles from cache service.
+CompileResult serveCached(const CompileResult &R, const std::string &Name,
+                          const char *Event) {
+  CompileResult Out = R;
+  Out.Kernel.Name = Name;
+  Out.Trace.Kernel = Name;
+  Out.Trace.CacheHit = true;
+  TraceEvent E;
+  E.Pass = Event;
+  E.Note = "served by kernel cache; events below are the original compile";
+  Out.Trace.Events.insert(Out.Trace.Events.begin(), std::move(E));
+  trace::maybeDump(Out.Trace);
+  return Out;
+}
+
+} // namespace
+
 //===----------------------------------------------------------------------===//
 // Fingerprinting
 //===----------------------------------------------------------------------===//
@@ -276,9 +297,7 @@ CompileResult KernelCache::compileOrGet(const Module &M,
       ++Counts.Hits;
       if (Stats::enabled())
         Stats::get().add("kernel_cache.hit");
-      CompileResult Out = *R;
-      Out.Kernel.Name = Name;
-      return Out;
+      return serveCached(*R, Name, "cache_hit");
     }
     auto It = Pending.find(K);
     if (It != Pending.end()) {
@@ -300,9 +319,7 @@ CompileResult KernelCache::compileOrGet(const Module &M,
     // instead of duplicating the work (single-flight).
     std::unique_lock<std::mutex> G(Lock);
     Flight->Ready.wait(G, [&] { return Flight->Done; });
-    CompileResult Out = *Flight->Result;
-    Out.Kernel.Name = Name;
-    return Out;
+    return serveCached(*Flight->Result, Name, "cache_coalesced");
   }
   // compileWithAkg degrades internally and does not throw; the catch-all
   // below keeps waiters from deadlocking should that contract ever break.

@@ -4,6 +4,7 @@
 
 #include "ir/Passes.h"
 #include "support/Matrix.h"
+#include "support/Stats.h"
 
 #include <algorithm>
 #include <cassert>
@@ -471,6 +472,8 @@ private:
 Stmt generateAst(const ScheduleTree &T, const ir::PolyProgram &P,
                  const AstGenOptions &Opts) {
   AstGenerator G(P, Opts);
+  // Unconditional counter for the compile trace's per-pass deltas.
+  Stats::get().add("astgen.runs");
   return G.run(T.root());
 }
 

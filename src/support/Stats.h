@@ -64,6 +64,30 @@ public:
     return It == Timers.end() ? 0 : It->second;
   }
 
+  /// Point-in-time copy of every counter, for before/after diffing around
+  /// a pipeline pass (the compile trace records the deltas). Counters are
+  /// process-global, so deltas taken while other compiles run concurrently
+  /// include their activity too - best-effort attribution by design.
+  std::map<std::string, int64_t> snapshotCounters() const {
+    std::lock_guard<std::mutex> G(Lock);
+    return Counters;
+  }
+
+  /// The counters that moved between two snapshots, sorted by name:
+  /// (key, after - before) pairs, omitting unchanged keys.
+  static std::vector<std::pair<std::string, int64_t>>
+  diffCounters(const std::map<std::string, int64_t> &Before,
+               const std::map<std::string, int64_t> &After) {
+    std::vector<std::pair<std::string, int64_t>> Delta;
+    for (const auto &[K, V] : After) {
+      auto It = Before.find(K);
+      int64_t D = V - (It == Before.end() ? 0 : It->second);
+      if (D != 0)
+        Delta.emplace_back(K, D);
+    }
+    return Delta;
+  }
+
   /// Counters print sorted by name; timers print sorted by descending
   /// accumulated time so the profile reads as a flame-summary.
   void print() const {

@@ -2,6 +2,7 @@
 
 #include "target/Codegen.h"
 
+#include "support/Stats.h"
 #include "target/Vectorize.h"
 #include "transforms/Conv.h"
 
@@ -1104,7 +1105,12 @@ private:
 Kernel lowerToCce(const Stmt &Ast, const Module &M, const PolyProgram &P,
                   const CodegenOptions &Opts, const std::string &Name) {
   Lowering L(M, P, Opts);
-  return L.run(Ast, Name);
+  Kernel K = L.run(Ast, Name);
+  // Unconditional counters for the compile trace's per-pass deltas.
+  Stats::get().add("cce.lowered_kernels");
+  if (!K.Buffers.empty())
+    Stats::get().add("cce.buffers", static_cast<int64_t>(K.Buffers.size()));
+  return K;
 }
 
 Kernel lowerScalarFallback(const Module &M, const std::string &Name) {

@@ -2,6 +2,8 @@
 
 #include "target/Sync.h"
 
+#include "support/Stats.h"
+
 #include <algorithm>
 #include <array>
 #include <map>
@@ -222,6 +224,11 @@ private:
 SyncReport insertSynchronization(Kernel &K, SyncStrategy Strategy) {
   SyncInserter S(Strategy);
   S.process(K.Body, /*IsLoopBody=*/false, /*LoopDb=*/false);
+  // Unconditional counters for the compile trace's per-pass deltas.
+  if (S.Report.FlagsInserted)
+    Stats::get().add("sync.flags", S.Report.FlagsInserted);
+  if (S.Report.BarriersInserted)
+    Stats::get().add("sync.barriers", S.Report.BarriersInserted);
   return S.Report;
 }
 

@@ -2,6 +2,7 @@
 
 #include "transforms/AutoTiling.h"
 
+#include "support/Stats.h"
 #include "transforms/Conv.h"
 
 #include <algorithm>
@@ -269,6 +270,8 @@ AutoTilingResult autoTile(const ir::PolyProgram &P,
       Spec.Entries.push_back(TileSpecEntry{Best[D], Cube ? "L1" : "UB"});
     Res.Policy.PerStmt[S] = std::move(Spec);
   }
+  // Unconditional counter for the compile trace's per-pass deltas.
+  Stats::get().add("autotile.runs");
   return Res;
 }
 

@@ -2,6 +2,7 @@
 
 #include "transforms/Fusion.h"
 
+#include "support/Stats.h"
 #include "transforms/Tiling.h"
 
 #include <algorithm>
@@ -171,8 +172,11 @@ std::vector<BasicMap> subtractPiece(const BasicMap &A, const BasicMap &B) {
 
 } // namespace
 
-FusionReport applyPostTilingFusion(ScheduleTree &T, const ir::PolyProgram &P,
-                                   const std::vector<int64_t> &TileSizes) {
+namespace {
+
+FusionReport applyPostTilingFusionImpl(ScheduleTree &T,
+                                       const ir::PolyProgram &P,
+                                       const std::vector<int64_t> &TileSizes) {
   FusionReport Rep;
   TreeNode *Root = T.root();
   assert(Root && Root->Kind == NodeKind::Domain && "malformed tree");
@@ -388,6 +392,22 @@ FusionReport applyPostTilingFusion(ScheduleTree &T, const ir::PolyProgram &P,
     TreeNode *Mark = F->addChild(makeMark("skipped"));
     Mark->addChild(std::move(Old));
   }
+  return Rep;
+}
+
+} // namespace
+
+FusionReport applyPostTilingFusion(ScheduleTree &T, const ir::PolyProgram &P,
+                                   const std::vector<int64_t> &TileSizes) {
+  FusionReport Rep = applyPostTilingFusionImpl(T, P, TileSizes);
+  // Unconditional counters (not gated on AKG_STATS): the compile trace
+  // diffs these around the fusion pass.
+  Stats::get().add("fusion.runs");
+  if (Rep.FusedProducers)
+    Stats::get().add("fusion.fused_producers", Rep.FusedProducers);
+  if (!Rep.LocalizedTensors.empty())
+    Stats::get().add("fusion.localized_tensors",
+                     static_cast<int64_t>(Rep.LocalizedTensors.size()));
   return Rep;
 }
 

@@ -1,0 +1,314 @@
+//===- tests/PipelineTest.cpp - Pass pipeline + compile traces ------------===//
+//
+// The pass-pipeline contract: every executed pass leaves exactly one
+// TraceEvent in CompileResult::Trace (in pipeline order), controller
+// decisions (retile, fusion rejection, fault injection) appear as
+// synthetic events, the JSON rendering matches the documented schema,
+// AKG_TRACE dumps land on disk, cache-served results are marked, and
+// resolveFailStage arbitrates between AKG_FAIL_STAGE and the option.
+//
+//===----------------------------------------------------------------------===//
+
+#include "akg/Compiler.h"
+#include "akg/KernelCache.h"
+#include "akg/Pipeline.h"
+#include "graph/Ops.h"
+#include "support/Env.h"
+#include "support/Stats.h"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace akg;
+using namespace akg::ir;
+
+namespace {
+
+const sim::MachineSpec &machine() { return sim::MachineSpec::ascend910(); }
+
+/// Executed passes of a clean single-attempt compile, in pipeline order.
+const char *const CleanPasses[] = {
+    "prepare",  "extract_poly", "dependences", "schedule",
+    "tiling",   "build_tree",   "fusion",      "intra_tile",
+    "ast_gen",  "lower_cce",    "storage_check", "sync",
+};
+
+std::vector<std::string> passNames(const CompileTrace &T) {
+  std::vector<std::string> N;
+  for (const TraceEvent &E : T.Events)
+    N.push_back(E.Pass);
+  return N;
+}
+
+AkgOptions wideRowManualTiles() {
+  transforms::TilingPolicy TP;
+  transforms::StmtTileSpec Spec;
+  Spec.Entries.push_back(transforms::TileSpecEntry{64, "UB"});
+  Spec.Entries.push_back(transforms::TileSpecEntry{8192, "UB"});
+  TP.PerStmt[0] = Spec;
+  AkgOptions O;
+  O.ManualTiles = TP;
+  return O;
+}
+
+TEST(Pipeline, CleanCompileTracesEveryPassInOrder) {
+  auto M = graph::makeMatmul(64, 64, 64);
+  CompileResult R = compileWithAkg(*M, AkgOptions(), "clean");
+  ASSERT_TRUE(R.Degradation.Steps.empty()) << R.Degradation.str();
+  std::vector<std::string> Names = passNames(R.Trace);
+  std::vector<std::string> Want(std::begin(CleanPasses),
+                                std::end(CleanPasses));
+  EXPECT_EQ(Names, Want) << R.Trace.str();
+  EXPECT_EQ(R.Trace.Kernel, "clean");
+  EXPECT_FALSE(R.Trace.CacheHit);
+  EXPECT_GT(R.Trace.TotalSeconds, 0);
+  for (const TraceEvent &E : R.Trace.Events) {
+    EXPECT_EQ(E.Attempt, 0u);
+    EXPECT_EQ(E.Retry, 0u);
+    EXPECT_TRUE(E.Degradations.empty()) << E.Pass;
+    EXPECT_GE(E.WallSeconds, 0);
+  }
+}
+
+TEST(Pipeline, PassEventsCarryCounterDeltas) {
+  auto M = graph::makeMatmul(64, 64, 64);
+  CompileResult R = compileWithAkg(*M, AkgOptions(), "counters");
+  // The tiling/fusion/ast_gen/lower_cce/sync stages bump unconditional
+  // counters; each delta must land on its own pass's event.
+  auto hasCounter = [&](const char *Pass, const char *Key) {
+    const TraceEvent *E = R.Trace.find(Pass);
+    if (!E)
+      return false;
+    for (const auto &[K, V] : E->Counters)
+      if (K == Key && V > 0)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(hasCounter("tiling", "autotile.runs")) << R.Trace.str();
+  EXPECT_TRUE(hasCounter("fusion", "fusion.runs")) << R.Trace.str();
+  EXPECT_TRUE(hasCounter("ast_gen", "astgen.runs")) << R.Trace.str();
+  EXPECT_TRUE(hasCounter("lower_cce", "cce.lowered_kernels"))
+      << R.Trace.str();
+  EXPECT_TRUE(hasCounter("sync", "sync.flags")) << R.Trace.str();
+}
+
+TEST(Pipeline, InjectedStorageFailureTracesTheLadder) {
+  auto M = graph::makeMatmul(64, 64, 64);
+  AkgOptions O;
+  O.FailStage = Stage::Storage;
+  CompileResult R = compileWithAkg(*M, O, "degraded");
+  // The fault-injection setup event leads the trace.
+  ASSERT_FALSE(R.Trace.Events.empty());
+  EXPECT_EQ(R.Trace.Events.front().Pass, "fault_injection");
+  EXPECT_EQ(R.Trace.Events.front().Id, Stage::Storage);
+  // The injected failure shows up on the storage_check event (with the
+  // degradation step attached) and forces at least one retile + a second
+  // walk of the tile-and-lower section.
+  const TraceEvent *SC = R.Trace.find("storage_check");
+  ASSERT_NE(SC, nullptr);
+  ASSERT_EQ(SC->Degradations.size(), 1u);
+  EXPECT_EQ(SC->Degradations[0].Where, Stage::Storage);
+  EXPECT_NE(R.Trace.find("retile"), nullptr) << R.Trace.str();
+  bool SawRetry1 = false;
+  for (const TraceEvent &E : R.Trace.Events)
+    SawRetry1 |= E.Retry == 1;
+  EXPECT_TRUE(SawRetry1) << R.Trace.str();
+  EXPECT_LT(verifyKernel(R.Kernel, *M, machine()), 1e-5);
+}
+
+TEST(Pipeline, KnobStagesEmitNoExecutionEvents) {
+  // vectorize/double_buffer parameterize the CCE lowering; even when
+  // their fault hooks fire they must not appear as executed passes.
+  auto M = graph::makeMatmul(64, 64, 64);
+  AkgOptions O;
+  O.FailStage = Stage::Vectorize;
+  CompileResult R = compileWithAkg(*M, O, "knob");
+  for (const TraceEvent &E : R.Trace.Events) {
+    EXPECT_NE(E.Pass, "vectorize");
+    EXPECT_NE(E.Pass, "double_buffer");
+  }
+  // The knob flip is still visible: on the fault_injection event.
+  ASSERT_FALSE(R.Trace.Events.empty());
+  EXPECT_EQ(R.Trace.Events.front().Pass, "fault_injection");
+  ASSERT_EQ(R.Trace.Events.front().Degradations.size(), 1u);
+  EXPECT_EQ(R.Trace.Events.front().Degradations[0].Where, Stage::Vectorize);
+}
+
+TEST(Pipeline, RetryLadderEmitsOneRetileEventPerHalving) {
+  auto M = graph::makeTensorAdd({64, 8192});
+  CompileResult R = compileWithAkg(*M, wideRowManualTiles(), "halving");
+  ASSERT_TRUE(R.Degradation.hasStage(Stage::Storage)) << R.Degradation.str();
+  unsigned Retiles = 0, MaxRetry = 0;
+  for (const TraceEvent &E : R.Trace.Events) {
+    if (E.Pass == "retile") {
+      ++Retiles;
+      EXPECT_NE(E.Note.find("halved dim"), std::string::npos) << E.Note;
+    }
+    MaxRetry = std::max(MaxRetry, E.Retry);
+  }
+  // Retry numbering matches the halvings: N retiles -> retries 0..N.
+  EXPECT_GE(Retiles, 1u) << R.Trace.str();
+  EXPECT_EQ(MaxRetry, Retiles) << R.Trace.str();
+  // The ladder converged: the final section reached sync.
+  EXPECT_NE(R.Trace.find("sync"), nullptr);
+  EXPECT_EQ(R.Trace.find("scalar_fallback"), nullptr);
+}
+
+TEST(Pipeline, ScalarFallbackAndFusionRejectionAreTraced) {
+  auto M = graph::makeTensorAdd({64, 8192});
+  AkgOptions O = wideRowManualTiles();
+  O.MaxTileRetries = 0; // no halving: both attempts exhaust immediately
+  CompileResult R = compileWithAkg(*M, O, "no_retries");
+  EXPECT_TRUE(R.TileSizes.empty());
+  // Attempt 0 exhausts -> reject_fusion -> attempt 1 exhausts -> fallback.
+  const TraceEvent *RF = R.Trace.find("reject_fusion");
+  ASSERT_NE(RF, nullptr) << R.Trace.str();
+  EXPECT_EQ(RF->Id, Stage::Fusion);
+  ASSERT_EQ(RF->Degradations.size(), 1u);
+  EXPECT_EQ(RF->Degradations[0].Where, Stage::Fusion);
+  bool SawAttempt1 = false;
+  for (const TraceEvent &E : R.Trace.Events)
+    SawAttempt1 |= E.Attempt == 1;
+  EXPECT_TRUE(SawAttempt1) << R.Trace.str();
+  const TraceEvent *SF = R.Trace.find("scalar_fallback");
+  ASSERT_NE(SF, nullptr) << R.Trace.str();
+  ASSERT_FALSE(SF->Degradations.empty());
+  EXPECT_EQ(SF->Degradations[0].Where, Stage::Storage);
+}
+
+TEST(Pipeline, JsonRenderingMatchesSchema) {
+  auto M = graph::makeMatmul(64, 64, 64);
+  CompileResult R = compileWithAkg(*M, AkgOptions(), "json_kernel");
+  std::string J = R.Trace.json();
+  EXPECT_NE(J.find("{\"kernel\": \"json_kernel\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"total_seconds\": "), std::string::npos);
+  EXPECT_NE(J.find("\"cache_hit\": false"), std::string::npos);
+  EXPECT_NE(J.find("\"events\": [{"), std::string::npos);
+  for (const char *P : CleanPasses)
+    EXPECT_NE(J.find(std::string("\"pass\": \"") + P + "\""),
+              std::string::npos)
+        << P;
+  EXPECT_NE(J.find("\"stage\": \"scheduler\""), std::string::npos);
+  EXPECT_NE(J.find("\"counters\": {"), std::string::npos);
+  EXPECT_NE(J.find("\"degradations\": []"), std::string::npos);
+  EXPECT_EQ(J.find('\n'), std::string::npos); // one line per compile
+}
+
+TEST(Pipeline, JsonEscapesSpecialCharacters) {
+  CompileTrace T;
+  T.Kernel = "quote\"back\\slash\nnewline";
+  TraceEvent E;
+  E.Pass = "p";
+  E.Note = "tab\there";
+  T.Events.push_back(E);
+  std::string J = T.json();
+  EXPECT_NE(J.find("quote\\\"back\\\\slash\\u000anewline"),
+            std::string::npos)
+      << J;
+  EXPECT_NE(J.find("tab\\u0009here"), std::string::npos) << J;
+}
+
+TEST(Pipeline, AkgTraceDumpsJsonlToFile) {
+  std::string Path = testing::TempDir() + "akg_trace_test.jsonl";
+  std::remove(Path.c_str());
+  env::set("AKG_TRACE", Path);
+  auto M = graph::makeMatmul(64, 64, 64);
+  compileWithAkg(*M, AkgOptions(), "dump_a");
+  compileWithAkg(*M, AkgOptions(), "dump_b");
+  env::unset("AKG_TRACE");
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << Path;
+  std::string L1, L2, Extra;
+  ASSERT_TRUE(std::getline(In, L1));
+  ASSERT_TRUE(std::getline(In, L2));
+  EXPECT_FALSE(std::getline(In, Extra)); // exactly one line per compile
+  EXPECT_NE(L1.find("\"kernel\": \"dump_a\""), std::string::npos);
+  EXPECT_NE(L2.find("\"kernel\": \"dump_b\""), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(Pipeline, CacheHitPrependsSyntheticEvent) {
+  KernelCache Cache;
+  auto M = graph::makeMatmul(64, 64, 64);
+  CompileResult Miss = Cache.compileOrGet(*M, AkgOptions(), "first");
+  EXPECT_FALSE(Miss.Trace.CacheHit);
+  EXPECT_EQ(Miss.Trace.find("cache_hit"), nullptr);
+
+  CompileResult Hit = Cache.compileOrGet(*M, AkgOptions(), "second");
+  EXPECT_TRUE(Hit.Trace.CacheHit);
+  EXPECT_EQ(Hit.Trace.Kernel, "second");
+  ASSERT_FALSE(Hit.Trace.Events.empty());
+  EXPECT_EQ(Hit.Trace.Events.front().Pass, "cache_hit");
+  // The original compile's events ride along after the marker.
+  EXPECT_NE(Hit.Trace.find("schedule"), nullptr);
+}
+
+TEST(Pipeline, PassSecondsSumsAcrossRetries) {
+  auto M = graph::makeTensorAdd({64, 8192});
+  CompileResult R = compileWithAkg(*M, wideRowManualTiles(), "sum");
+  unsigned Lowerings = 0;
+  for (const TraceEvent &E : R.Trace.Events)
+    if (E.Pass == "lower_cce")
+      ++Lowerings;
+  ASSERT_GE(Lowerings, 2u); // at least one retry happened
+  double Sum = 0;
+  for (const TraceEvent &E : R.Trace.Events)
+    if (E.Pass == "lower_cce")
+      Sum += E.WallSeconds;
+  EXPECT_DOUBLE_EQ(R.Trace.passSeconds("lower_cce"), Sum);
+}
+
+TEST(Pipeline, StatsSnapshotDiffReportsOnlyMovedCounters) {
+  auto Before = Stats::get().snapshotCounters();
+  Stats::get().add("pipeline_test.counter_a", 3);
+  Stats::get().add("pipeline_test.counter_b", 0); // touched but unmoved
+  auto After = Stats::get().snapshotCounters();
+  auto Delta = Stats::diffCounters(Before, After);
+  bool SawA = false;
+  for (const auto &[K, V] : Delta) {
+    EXPECT_NE(K, "pipeline_test.counter_b");
+    if (K == "pipeline_test.counter_a") {
+      SawA = true;
+      EXPECT_EQ(V, 3);
+    }
+  }
+  EXPECT_TRUE(SawA);
+  // Identical snapshots diff to nothing.
+  EXPECT_TRUE(Stats::diffCounters(After, After).empty());
+}
+
+// --- resolveFailStage arbitration (satellite: AKG_FAIL_STAGE precedence) --
+
+TEST(Pipeline, ResolveFailStageUsesOptionWhenEnvUnset) {
+  env::unset("AKG_FAIL_STAGE");
+  AkgOptions O;
+  EXPECT_EQ(resolveFailStage(O), Stage::None);
+  O.FailStage = Stage::Tiling;
+  EXPECT_EQ(resolveFailStage(O), Stage::Tiling);
+}
+
+TEST(Pipeline, ResolveFailStageEnvOverridesOption) {
+  AkgOptions O;
+  O.FailStage = Stage::Tiling;
+  env::set("AKG_FAIL_STAGE", "double-buffer"); // dash form parses too
+  EXPECT_EQ(resolveFailStage(O), Stage::DoubleBuffer);
+  env::set("AKG_FAIL_STAGE", "storage");
+  EXPECT_EQ(resolveFailStage(O), Stage::Storage);
+  env::unset("AKG_FAIL_STAGE");
+  EXPECT_EQ(resolveFailStage(O), Stage::Tiling);
+}
+
+TEST(Pipeline, ResolveFailStageUnparseableEnvFallsBackToOption) {
+  AkgOptions O;
+  O.FailStage = Stage::Sync;
+  env::set("AKG_FAIL_STAGE", "not-a-stage");
+  EXPECT_EQ(resolveFailStage(O), Stage::Sync);
+  env::set("AKG_FAIL_STAGE", "");
+  EXPECT_EQ(resolveFailStage(O), Stage::Sync);
+  env::unset("AKG_FAIL_STAGE");
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+//===- tools/akg-compile.cpp - One-shot compile CLI -----------------------===//
+//
+// Compiles a single named operator through the full AKG pipeline and
+// prints what happened: tile sizes, degradation ladder, and the per-pass
+// compile trace summary. The library honors AKG_TRACE / AKG_FAIL_STAGE /
+// AKG_STATS as usual, which makes this the driver for the CI trace-schema
+// check (tools/check_trace.py):
+//
+//   AKG_TRACE=trace.jsonl akg-compile --op matmul
+//   AKG_FAIL_STAGE=storage AKG_TRACE=trace.jsonl akg-compile --op conv
+//
+//===----------------------------------------------------------------------===//
+
+#include "akg/Compiler.h"
+#include "graph/Ops.h"
+#include "sim/Simulator.h"
+#include "target/CceIr.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace akg;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: akg-compile [--op matmul|conv|add|bn] [--dump-kernel]\n"
+               "\n"
+               "Compiles one Fig 9 operator with the AKG pipeline and prints\n"
+               "the degradation report and compile trace. Environment:\n"
+               "  AKG_TRACE=<path|->   dump the trace (JSONL / stderr text)\n"
+               "  AKG_FAIL_STAGE=<s>   force stage <s> onto its fallback\n");
+}
+
+graph::ModulePtr makeOp(const std::string &Op) {
+  if (Op == "matmul")
+    return graph::makeMatmul(512, 512, 512);
+  if (Op == "conv")
+    return graph::makeConv(16, 32, 14, 14, 32, 3, 3, 1, 1);
+  if (Op == "add")
+    return graph::makeTensorAdd({16, 48, 24, 24});
+  if (Op == "bn")
+    return graph::makeBnReduce(16, 32, 14, 14);
+  return nullptr;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Op = "matmul";
+  bool DumpKernel = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--op") && I + 1 < Argc) {
+      Op = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--dump-kernel")) {
+      DumpKernel = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  graph::ModulePtr M = makeOp(Op);
+  if (!M) {
+    std::fprintf(stderr, "akg-compile: unknown op '%s'\n", Op.c_str());
+    usage();
+    return 2;
+  }
+
+  CompileResult R = compileWithAkg(*M, AkgOptions(), Op);
+
+  std::string Tiles;
+  for (int64_t T : R.TileSizes)
+    Tiles += (Tiles.empty() ? "" : " ") + std::to_string(T);
+  std::printf("akg-compile: op=%s tiles=[%s] fused_producers=%u\n", Op.c_str(),
+              Tiles.c_str(), R.FusedProducers);
+  if (R.Degradation.Steps.empty())
+    std::printf("degradation: clean compile\n");
+  else
+    std::printf("%s", R.Degradation.str().c_str());
+  std::printf("%s", R.Trace.str().c_str());
+  if (DumpKernel)
+    std::printf("%s", cce::printKernel(R.Kernel).c_str());
+  return 0;
+}

@@ -201,6 +201,14 @@ int main(int Argc, char **Argv) {
     ++Failures;
     std::printf("FAIL %s\n  %s\n", verify::describeModule(Seed, M).c_str(),
                 Rep.firstFailure().c_str());
+    // Show what the pipeline did for this module under default options:
+    // the per-pass compile trace is usually enough to localize the stage
+    // that went wrong before reaching for the reducer output.
+    {
+      CompileResult TraceRun =
+          compileWithAkg(M, AkgOptions(), "fuzz_seed_" + std::to_string(Seed));
+      std::printf("%s", TraceRun.Trace.str().c_str());
+    }
     // Shrink with the same oracle configuration as the failing run.
     verify::ReduceResult Red = verify::reduceModule(
         M,

@@ -120,6 +120,24 @@ def main():
         if WALL_KEY in base.get("totals", {}):
             check_wall(name, "totals", base["totals"][WALL_KEY],
                        cur.get("totals", {}).get(WALL_KEY), gate=True)
+        # Per-stage wall breakdown (stage_wall.<pass>, from the compile
+        # traces): purely informational. The gate stays on the figure's
+        # compile_wall_seconds total - individual stages are too small and
+        # too noisy to gate, but a big shift localizes a wall regression.
+        btotals, ctotals = base.get("totals", {}), cur.get("totals", {})
+        for key in sorted(btotals):
+            if not key.startswith("stage_wall."):
+                continue
+            bval, cval = btotals[key], ctotals.get(key)
+            if not isinstance(bval, (int, float)) or bval <= 0:
+                continue
+            if not isinstance(cval, (int, float)):
+                print(f"{name} totals.{key}: {bval:.3f}s -> (missing)")
+                continue
+            ratio = cval / bval
+            if abs(ratio - 1.0) >= 0.05:
+                print(f"{name} totals.{key}: {bval:.3f}s -> {cval:.3f}s "
+                      f"({ratio:.2f}x) [informational]")
 
     if failures:
         print(f"\nbench_diff: {len(failures)} failure(s)", file=sys.stderr)

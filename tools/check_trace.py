@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate an AKG_TRACE JSONL dump against the documented schema.
+
+Each line of the file is one compile's trace (DESIGN.md 4g):
+
+  {"kernel": str, "total_seconds": num, "cache_hit": bool,
+   "events": [{"pass": str, "stage": str, "attempt": int, "retry": int,
+               "wall_seconds": num, "counters": {str: int},
+               "degradations": [{"stage": str, "reason": str,
+                                 "action": str}],
+               "note"?: str, "snapshot"?: str}]}
+
+Usage:
+  check_trace.py trace.jsonl                       # schema only
+  check_trace.py trace.jsonl --expect-clean        # + no degradations
+  check_trace.py trace.jsonl --expect-degraded storage
+                                                   # + a degradation at
+                                                   #   that stage occurs
+
+Exit code 0 when every line validates (and expectations hold), 1 with a
+diagnostic otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+STAGES = {
+    "none", "scheduler", "tiling", "fusion", "intra_tile",
+    "storage", "vectorize", "double_buffer", "sync",
+}
+
+# Executed passes of a full clean compile, in pipeline order.
+CLEAN_PASSES = [
+    "prepare", "extract_poly", "dependences", "schedule", "tiling",
+    "build_tree", "fusion", "intra_tile", "ast_gen", "lower_cce",
+    "storage_check", "sync",
+]
+
+
+def fail(msg):
+    print(f"check_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def want(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_event(where, ev):
+    want(isinstance(ev, dict), f"{where}: event is not an object")
+    for key, typ in (("pass", str), ("stage", str), ("attempt", int),
+                     ("retry", int), ("wall_seconds", (int, float)),
+                     ("counters", dict), ("degradations", list)):
+        want(key in ev, f"{where}: missing event key '{key}'")
+        want(isinstance(ev[key], typ), f"{where}: '{key}' has wrong type")
+    want(ev["stage"] in STAGES, f"{where}: unknown stage '{ev['stage']}'")
+    want(ev["attempt"] >= 0 and ev["retry"] >= 0,
+         f"{where}: negative attempt/retry")
+    want(ev["wall_seconds"] >= 0, f"{where}: negative wall_seconds")
+    for k, v in ev["counters"].items():
+        want(isinstance(k, str) and isinstance(v, int),
+             f"{where}: counters must map str -> int")
+    for j, d in enumerate(ev["degradations"]):
+        dwhere = f"{where} degradation {j}"
+        want(isinstance(d, dict), f"{dwhere}: not an object")
+        for key in ("stage", "reason", "action"):
+            want(isinstance(d.get(key), str), f"{dwhere}: bad '{key}'")
+        want(d["stage"] in STAGES, f"{dwhere}: unknown stage '{d['stage']}'")
+    for key in ("note", "snapshot"):
+        if key in ev:
+            want(isinstance(ev[key], str), f"{where}: '{key}' must be a string")
+
+
+def check_trace(where, tr):
+    want(isinstance(tr, dict), f"{where}: trace is not an object")
+    for key, typ in (("kernel", str), ("total_seconds", (int, float)),
+                     ("cache_hit", bool), ("events", list)):
+        want(key in tr, f"{where}: missing key '{key}'")
+        want(isinstance(tr[key], typ), f"{where}: '{key}' has wrong type")
+    want(tr["events"], f"{where}: empty event list")
+    for i, ev in enumerate(tr["events"]):
+        check_event(f"{where} event {i}", ev)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace", help="JSONL file written via AKG_TRACE=<path>")
+    ap.add_argument("--expect-clean", action="store_true",
+                    help="require a clean compile: no degradations and the "
+                         "full pass sequence on some line")
+    ap.add_argument("--expect-degraded", metavar="STAGE",
+                    help="require a degradation at STAGE on some line")
+    args = ap.parse_args()
+
+    if args.expect_degraded and args.expect_degraded not in STAGES:
+        fail(f"--expect-degraded: unknown stage '{args.expect_degraded}'")
+
+    traces = []
+    with open(args.trace) as f:
+        for n, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                tr = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"line {n}: invalid JSON: {e}")
+            check_trace(f"line {n}", tr)
+            traces.append((n, tr))
+    if not traces:
+        fail("no traces in file")
+
+    if args.expect_clean:
+        ok = False
+        for _, tr in traces:
+            degraded = any(ev["degradations"] for ev in tr["events"])
+            executed = [ev["pass"] for ev in tr["events"]
+                        if ev["pass"] in CLEAN_PASSES]
+            if not degraded and executed == CLEAN_PASSES:
+                ok = True
+        want(ok, "--expect-clean: no line shows a clean full-pipeline compile")
+
+    if args.expect_degraded:
+        ok = any(d["stage"] == args.expect_degraded
+                 for _, tr in traces
+                 for ev in tr["events"]
+                 for d in ev["degradations"])
+        want(ok, f"--expect-degraded: no degradation at stage "
+                 f"'{args.expect_degraded}' found")
+
+    print(f"check_trace: {len(traces)} trace(s) OK")
+
+
+if __name__ == "__main__":
+    main()
