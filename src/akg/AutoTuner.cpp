@@ -7,6 +7,7 @@
 #include "support/Env.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -240,7 +241,9 @@ TuneResult tuneAkgKernel(const ir::Module &M, const AkgOptions &Base,
       std::string Line = "tuner probe:";
       for (int64_t T : Tiles)
         Line += " " + std::to_string(T);
-      std::fprintf(stderr, "%s\n", Line.c_str());
+      // Measurement workers run concurrently: serialize through the
+      // shared diagnostic sink so probe lines never interleave.
+      trace::debugEcho(Line);
     }
     AkgOptions O = Base;
     transforms::TilingPolicy Pol;

@@ -7,6 +7,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace akg {
 
@@ -36,6 +37,253 @@ compileModulesParallel(const std::vector<CompileJob> &Jobs,
   if (Stats::enabled())
     Stats::get().add("service.jobs", static_cast<int64_t>(Jobs.size()));
   return Results;
+}
+
+//===----------------------------------------------------------------------===//
+// CompileService
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A service-fabricated result (shed, quarantined, chaos fault, cancel):
+/// carries a valid scalar fallback kernel unless \p WithKernel is off,
+/// one terminal trace event, and the outcome; dumped like a real compile
+/// so chaos-run JSONL logs are complete.
+CompileResult serviceResult(const ir::Module &M, const std::string &Name,
+                            ErrCode Code, const char *Event,
+                            const std::string &Note, bool WithKernel = true) {
+  CompileResult Res;
+  Res.Trace.Kernel = Name;
+  if (Code != ErrCode::Ok) {
+    Res.Outcome = Status::error(Code, Note);
+    Res.Trace.Outcome = errCodeName(Code);
+  }
+  Res.Degradation.record(Stage::None, Note,
+                         WithKernel ? "scalar fallback kernel"
+                                    : "request failed fast (no kernel)");
+  TraceEvent E;
+  E.Pass = Event;
+  E.Note = Note;
+  E.Degradations.push_back(Res.Degradation.Steps.back());
+  Res.Trace.Events.push_back(std::move(E));
+  if (WithKernel) {
+    Res.Kernel = cce::lowerScalarFallback(M, Name);
+    Res.Sync = cce::insertSynchronization(Res.Kernel,
+                                          cce::SyncStrategy::FullSerial);
+  }
+  trace::maybeDump(Res.Trace);
+  return Res;
+}
+
+} // namespace
+
+CompileService::CompileService() : CompileService(Options()) {}
+
+CompileService::CompileService(Options Opts)
+    : Opt(std::move(Opts)), Quar(Opt.QuarantineOpts) {
+  NumThreads = compileServiceThreads(Opt.Threads);
+  Depth = Opt.QueueDepth > 0
+              ? Opt.QueueDepth
+              : static_cast<unsigned>(std::max<int64_t>(
+                    1, env::getInt("AKG_QUEUE_DEPTH", 256)));
+  if (Opt.Shed) {
+    Policy = *Opt.Shed;
+  } else {
+    std::optional<std::string> P = env::get("AKG_SHED_POLICY");
+    Policy = (P && *P == "degrade") ? ShedPolicy::Degrade
+                                    : ShedPolicy::Reject;
+  }
+  Chaos = Opt.Chaos ? Opt.Chaos : ChaosSpec::fromEnv();
+  Pool = std::make_unique<ThreadPool>(NumThreads);
+}
+
+CompileService::~CompileService() { Pool->shutdown(/*Drain=*/true); }
+
+std::future<CompileResult> CompileService::submit(const ir::Module &M,
+                                                  const AkgOptions &Opts,
+                                                  const std::string &Name) {
+  ++NSubmitted;
+  if (Stats::enabled())
+    Stats::get().add("service.submitted");
+
+  // Admission control: jobs admitted but not yet picked up by a worker
+  // count against the bounded queue. Inline pools (<= 1 thread) run the
+  // job inside Pool->submit, so Queued drops before the next admission
+  // and nothing ever sheds - matching the sequential pipeline exactly.
+  if (Queued.load(std::memory_order_acquire) >=
+      static_cast<int64_t>(Depth)) {
+    std::promise<CompileResult> P;
+    if (Policy == ShedPolicy::Reject) {
+      ++NShed;
+      if (Stats::enabled())
+        Stats::get().add("service.shed");
+      P.set_value(serviceResult(M, Name, ErrCode::Overloaded, "shed",
+                                "queue full (depth " + std::to_string(Depth) +
+                                    "); policy reject",
+                                /*WithKernel=*/false));
+    } else {
+      // Degrade: the caller still gets a valid kernel - the bottom rung
+      // of the PR 1 ladder, compiled inline without touching the queue.
+      ++NDegraded;
+      if (Stats::enabled())
+        Stats::get().add("service.degraded");
+      P.set_value(serviceResult(M, Name, ErrCode::Ok, "shed",
+                                "queue full (depth " + std::to_string(Depth) +
+                                    "); policy degrade: scalar rung"));
+    }
+    return P.get_future();
+  }
+
+  // Deadline inheritance: the request's own deadline wins, else the
+  // service default, else AKG_DEADLINE_MS. Armed here - at admission -
+  // so time spent queued counts against it.
+  double Ms = Opts.RequestDeadlineMs > 0 ? Opts.RequestDeadlineMs
+              : Opt.DefaultDeadlineMs > 0
+                  ? Opt.DefaultDeadlineMs
+                  : static_cast<double>(env::getInt("AKG_DEADLINE_MS", 0));
+  auto Ctx = std::make_shared<cancel::Context>();
+  Ctx->DL = Deadline(Ms / 1000.0);
+  Ctx->Token = Opts.Cancel.get();
+
+  Queued.fetch_add(1, std::memory_order_acq_rel);
+  AkgOptions JobOpts = Opts;
+  auto Admit = std::chrono::steady_clock::now();
+  return Pool->submit(
+      [this, &M, JobOpts = std::move(JobOpts), Name, Ctx, Admit] {
+        Queued.fetch_sub(1, std::memory_order_acq_rel);
+        CompileResult R = runOne(M, JobOpts, Name, Ctx);
+        R.ServiceSeconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - Admit)
+                               .count();
+        return R;
+      });
+}
+
+CompileResult CompileService::runOne(const ir::Module &M, AkgOptions Opts,
+                                     const std::string &Name,
+                                     std::shared_ptr<cancel::Context> Ctx) {
+  // Install the request's termination constraints for everything below:
+  // the quarantine check, chaos sleeps, the cache wait, and the compile
+  // pipeline itself all observe this context (or chain under it).
+  cancel::Scope RequestScope(Ctx.get());
+  struct Count {
+    std::atomic<int64_t> &C;
+    ~Count() { ++C; }
+  } Completed{NCompleted};
+
+  try {
+    cancel::checkPoint("service_queue"); // expired while queued?
+
+    CacheKey K = makeCacheKey(M, Opts);
+    if (std::optional<std::string> Why = Quar.check(K)) {
+      ++NQuarantined;
+      return serviceResult(M, Name, ErrCode::Quarantined, "quarantined",
+                           "poison-pill fingerprint: " + *Why);
+    }
+
+    for (unsigned Attempt = 0;; ++Attempt) {
+      if (Chaos) {
+        ChaosAction A = chaosDecide(*Chaos, Name, Attempt);
+        switch (A.K) {
+        case ChaosAction::Kind::Hang:
+          ++NHangs;
+          if (Stats::enabled())
+            Stats::get().add("service.chaos_hang");
+          // Interruptible: a deadline or cancel rescues the "hang".
+          if (!cancel::sleepFor(A.Ms))
+            cancel::checkPoint("chaos_hang");
+          break;
+        case ChaosAction::Kind::Delay:
+          ++NDelays;
+          if (Stats::enabled())
+            Stats::get().add("service.chaos_delay");
+          if (!cancel::sleepFor(A.Ms))
+            cancel::checkPoint("chaos_delay");
+          break;
+        case ChaosAction::Kind::Fault: {
+          ++NFaults;
+          if (Stats::enabled())
+            Stats::get().add("service.chaos_fault");
+          if (A.Transient && Attempt < Opt.MaxRetries) {
+            // Transient fault: retry with exponential backoff. The next
+            // attempt redraws its chaos decision, so the fault clears
+            // with probability (1 - FaultP * TransientP...).
+            ++NRetries;
+            if (Stats::enabled())
+              Stats::get().add("service.retries");
+            if (!cancel::sleepFor(Opt.RetryBackoffMs *
+                                  double(1u << Attempt)))
+              cancel::checkPoint("retry_backoff");
+            continue;
+          }
+          ErrCode Code = A.Transient ? ErrCode::Unavailable
+                                     : ErrCode::FaultInjected;
+          Quar.recordFailure(K, Code, "chaos-injected fault");
+          return serviceResult(M, Name, Code, "chaos_fault",
+                               A.Transient
+                                   ? "transient fault; retries exhausted"
+                                   : "deterministic chaos fault");
+        }
+        case ChaosAction::Kind::None:
+          break;
+        }
+      }
+
+      CompileResult Res = Opt.Cache
+                              ? Opt.Cache->compileOrGet(M, Opts, Name)
+                              : compileWithAkg(M, Opts, Name);
+      if (Res.Outcome.isOk()) {
+        Quar.recordSuccess(K);
+        return Res;
+      }
+      if (Res.Outcome.code() == ErrCode::Unavailable &&
+          Attempt < Opt.MaxRetries) {
+        ++NRetries;
+        if (Stats::enabled())
+          Stats::get().add("service.retries");
+        if (!cancel::sleepFor(Opt.RetryBackoffMs * double(1u << Attempt)))
+          cancel::checkPoint("retry_backoff");
+        continue;
+      }
+      Quar.recordFailure(K, Res.Outcome.code(), Res.Outcome.message());
+      return Res;
+    }
+  } catch (const CancelledError &E) {
+    // Tripped outside the pipeline (queue wait, chaos sleep, cache wait):
+    // the pipeline's own unwinding never lets CancelledError escape.
+    return serviceResult(M, Name, E.code(), errCodeName(E.code()),
+                         std::string(E.what()) + " in '" + E.where() + "'");
+  }
+}
+
+std::vector<CompileResult>
+CompileService::compileAll(const std::vector<CompileJob> &Jobs) {
+  ScopedTimer Timer("service.compile_batch");
+  std::vector<std::future<CompileResult>> Futs;
+  Futs.reserve(Jobs.size());
+  for (const CompileJob &J : Jobs)
+    Futs.push_back(submit(*J.Mod, J.Opts, J.Name));
+  std::vector<CompileResult> Results;
+  Results.reserve(Jobs.size());
+  for (std::future<CompileResult> &F : Futs)
+    Results.push_back(F.get());
+  if (Stats::enabled())
+    Stats::get().add("service.jobs", static_cast<int64_t>(Jobs.size()));
+  return Results;
+}
+
+ServiceStats CompileService::stats() const {
+  ServiceStats S;
+  S.Submitted = NSubmitted.load();
+  S.Completed = NCompleted.load();
+  S.Shed = NShed.load();
+  S.Degraded = NDegraded.load();
+  S.Quarantined = NQuarantined.load();
+  S.Retries = NRetries.load();
+  S.FaultsInjected = NFaults.load();
+  S.DelaysInjected = NDelays.load();
+  S.HangsInjected = NHangs.load();
+  return S;
 }
 
 std::vector<CompileJob> networkCompileJobs(const graph::NetworkModel &N,

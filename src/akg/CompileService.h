@@ -19,9 +19,16 @@
 #ifndef AKG_AKG_COMPILESERVICE_H
 #define AKG_AKG_COMPILESERVICE_H
 
+#include "akg/Chaos.h"
 #include "akg/KernelCache.h"
+#include "akg/Quarantine.h"
 #include "graph/Networks.h"
+#include "support/ThreadPool.h"
 
+#include <atomic>
+#include <future>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,6 +70,100 @@ compileModulesParallel(const std::vector<CompileJob> &Jobs,
 std::vector<CompileJob> networkCompileJobs(const graph::NetworkModel &N,
                                            const AkgOptions &Base,
                                            bool PerOccurrence = false);
+
+//===----------------------------------------------------------------------===//
+// CompileService: the production-hardened serving layer (DESIGN.md 4h)
+//===----------------------------------------------------------------------===//
+
+/// What to do with a request arriving at a full queue.
+enum class ShedPolicy {
+  Reject,  // fail fast with Outcome = Overloaded (no kernel compiled)
+  Degrade, // serve the scalar-fallback rung inline (valid, slow kernel)
+};
+
+struct ServiceStats {
+  int64_t Submitted = 0;
+  int64_t Completed = 0;   // worker-path results delivered (any outcome)
+  int64_t Shed = 0;        // rejected at admission (policy Reject)
+  int64_t Degraded = 0;    // scalar-rung service at admission (Degrade)
+  int64_t Quarantined = 0; // fast-failed by the poison-pill quarantine
+  int64_t Retries = 0;     // transient-fault retries taken
+  int64_t FaultsInjected = 0;
+  int64_t DelaysInjected = 0;
+  int64_t HangsInjected = 0;
+};
+
+/// The hardened compile front end: a fixed worker pool behind a bounded
+/// admission queue, per-request deadline/cancel inheritance, transient
+/// retry with exponential backoff, poison-pill quarantine, and seeded
+/// chaos injection. compileModulesParallel above remains the plain
+/// unbounded fan-out for callers that want none of this.
+class CompileService {
+public:
+  struct Options {
+    /// Worker threads; 0 resolves AKG_THREADS (unset -> 1 = inline).
+    unsigned Threads = 0;
+    /// Admission bound: jobs admitted but not yet running. 0 resolves
+    /// AKG_QUEUE_DEPTH (default 256). Inline mode never queues.
+    unsigned QueueDepth = 0;
+    /// Load-shedding policy; unset resolves AKG_SHED_POLICY
+    /// ("reject" / "degrade", default reject).
+    std::optional<ShedPolicy> Shed;
+    /// Retries for transient faults (Outcome = Unavailable), with
+    /// exponential backoff starting at RetryBackoffMs.
+    unsigned MaxRetries = 2;
+    double RetryBackoffMs = 1.0;
+    /// Deadline for requests that do not carry their own
+    /// AkgOptions::RequestDeadlineMs; 0 resolves AKG_DEADLINE_MS. The
+    /// clock starts at admission, so queue wait counts against it.
+    double DefaultDeadlineMs = 0;
+    /// Content-addressed cache; nullptr compiles every job from scratch.
+    KernelCache *Cache = &KernelCache::global();
+    QuarantineOptions QuarantineOpts;
+    /// Chaos spec; unset resolves AKG_CHAOS (unset/invalid -> no chaos).
+    std::optional<ChaosSpec> Chaos;
+  };
+
+  CompileService(); // all-default options
+  explicit CompileService(Options Opts);
+  ~CompileService(); // drains in-flight and queued work
+
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+
+  /// Admits one request. Returns a future that is already ready when the
+  /// request was shed (Reject: Outcome = Overloaded; Degrade: an inline
+  /// scalar-rung kernel). The module must outlive the future's result.
+  std::future<CompileResult> submit(const ir::Module &M,
+                                    const AkgOptions &Opts,
+                                    const std::string &Name);
+
+  /// Submits every job and waits; results in job order.
+  std::vector<CompileResult> compileAll(const std::vector<CompileJob> &Jobs);
+
+  ServiceStats stats() const;
+  Quarantine &quarantine() { return Quar; }
+  unsigned threads() const { return NumThreads; }
+  unsigned queueDepth() const { return Depth; }
+  ShedPolicy shedPolicy() const { return Policy; }
+
+private:
+  CompileResult runOne(const ir::Module &M, AkgOptions Opts,
+                       const std::string &Name,
+                       std::shared_ptr<cancel::Context> Ctx);
+
+  Options Opt;
+  unsigned NumThreads = 1;
+  unsigned Depth = 256;
+  ShedPolicy Policy = ShedPolicy::Reject;
+  std::optional<ChaosSpec> Chaos;
+  Quarantine Quar;
+  std::unique_ptr<ThreadPool> Pool;
+  std::atomic<int64_t> Queued{0}; // admitted, not yet running
+
+  std::atomic<int64_t> NSubmitted{0}, NCompleted{0}, NShed{0}, NDegraded{0},
+      NQuarantined{0}, NRetries{0}, NFaults{0}, NDelays{0}, NHangs{0};
+};
 
 } // namespace akg
 

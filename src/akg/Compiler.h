@@ -16,6 +16,7 @@
 
 #include "ir/Dsl.h"
 #include "scheduler/Pluto.h"
+#include "support/Cancel.h"
 #include "support/Diag.h"
 #include "support/Status.h"
 #include "support/Trace.h"
@@ -23,6 +24,7 @@
 #include "target/Sync.h"
 #include "transforms/AutoTiling.h"
 
+#include <memory>
 #include <optional>
 
 namespace akg {
@@ -44,6 +46,17 @@ struct AkgOptions {
   /// degradation ladder runs. The AKG_FAIL_STAGE environment variable
   /// (stage name, see support/Diag.h) overrides this when set.
   Stage FailStage = Stage::None;
+  /// Hard wall-clock deadline for this request, in milliseconds. Unlike
+  /// Budget.DeadlineSeconds (a soft budget stages degrade under), hitting
+  /// this deadline unwinds the compile with Outcome = DeadlineExceeded.
+  /// Zero consults the AKG_DEADLINE_MS environment variable (0 = none).
+  /// Excluded from the cache fingerprint: failed results never enter the
+  /// cache, so the deadline cannot change what a cached kernel looks like.
+  double RequestDeadlineMs = 0;
+  /// Cooperative cancellation: the requester may flip this token from any
+  /// thread; the pipeline notices at the next checkpoint and unwinds with
+  /// Outcome = Cancelled. Also excluded from the cache fingerprint.
+  std::shared_ptr<CancelToken> Cancel;
 };
 
 struct CompileResult {
@@ -62,6 +75,16 @@ struct CompileResult {
   /// controller decisions (retiles, fusion rejection) and cache hits.
   /// Dumpable via AKG_TRACE (support/Trace.h, DESIGN.md 4g).
   CompileTrace Trace;
+  /// How the request terminated. ok = the pipeline ran to completion
+  /// (possibly degraded). DeadlineExceeded/Cancelled = the compile was
+  /// unwound early and Kernel holds the scalar fallback. The service layer
+  /// also produces Overloaded/Quarantined/Unavailable outcomes. Results
+  /// with a non-ok Outcome are never inserted into the kernel cache.
+  Status Outcome;
+  /// End-to-end request latency through CompileService (admission to
+  /// completion: queue wait + chaos sleeps + retries + compile). Zero for
+  /// compiles that did not go through the service.
+  double ServiceSeconds = 0;
 };
 
 /// Compiles one fused operator with the full AKG pipeline.

@@ -4,6 +4,7 @@
 
 #include "support/Stats.h"
 
+#include <chrono>
 #include <cstring>
 #include <unordered_map>
 
@@ -219,6 +220,10 @@ uint64_t fingerprintOptions(const AkgOptions &O) {
   // applied: two compiles with the same options but different
   // AKG_FAIL_STAGE must not share a cache line.
   mix(H, static_cast<uint64_t>(resolveFailStage(O)));
+  // Deliberately NOT mixed: RequestDeadlineMs and Cancel. They change
+  // only whether a compile finishes, never what kernel a finished compile
+  // emits - and results with a non-ok Outcome are never inserted - so
+  // requests differing only in deadline/token must share a cache line.
   return H;
 }
 
@@ -288,65 +293,114 @@ void KernelCache::insert(const CacheKey &K, CompileResult R) {
 CompileResult KernelCache::compileOrGet(const Module &M,
                                         const AkgOptions &Opts,
                                         const std::string &Name) {
+  return compileOrGet(M, Opts, Name,
+                      [](const Module &Mod, const AkgOptions &O,
+                         const std::string &N) {
+                        return compileWithAkg(Mod, O, N);
+                      });
+}
+
+CompileResult KernelCache::compileOrGet(const Module &M,
+                                        const AkgOptions &Opts,
+                                        const std::string &Name,
+                                        const CompileFn &Fn) {
   CacheKey K = makeCacheKey(M, Opts);
-  std::shared_ptr<InFlight> Flight;
-  bool Leader = false;
-  {
-    std::lock_guard<std::mutex> G(Lock);
-    if (auto R = lookupLocked(K)) {
-      ++Counts.Hits;
-      if (Stats::enabled())
-        Stats::get().add("kernel_cache.hit");
-      return serveCached(*R, Name, "cache_hit");
-    }
-    auto It = Pending.find(K);
-    if (It != Pending.end()) {
-      Flight = It->second;
-      ++Counts.Coalesced;
-      if (Stats::enabled())
-        Stats::get().add("kernel_cache.coalesced");
-    } else {
-      Flight = std::make_shared<InFlight>();
-      Pending.emplace(K, Flight);
-      Leader = true;
-      ++Counts.Misses;
-      if (Stats::enabled())
-        Stats::get().add("kernel_cache.miss");
-    }
-  }
-  if (!Leader) {
-    // Another thread is compiling this exact content; wait for it
-    // instead of duplicating the work (single-flight).
-    std::unique_lock<std::mutex> G(Lock);
-    Flight->Ready.wait(G, [&] { return Flight->Done; });
-    return serveCached(*Flight->Result, Name, "cache_coalesced");
-  }
-  // compileWithAkg degrades internally and does not throw; the catch-all
-  // below keeps waiters from deadlocking should that contract ever break.
-  std::shared_ptr<const CompileResult> R;
-  try {
-    R = std::make_shared<const CompileResult>(compileWithAkg(M, Opts, Name));
-  } catch (...) {
+  // The retry loop only repeats after a failed leader: waiters woken
+  // with Failed re-enter the lookup under their own deadline/token and
+  // may find a completed entry, coalesce onto a new leader, or become
+  // the leader themselves.
+  for (;;) {
+    std::shared_ptr<InFlight> Flight;
+    bool Leader = false;
     {
       std::lock_guard<std::mutex> G(Lock);
-      auto Fallback = std::make_shared<CompileResult>();
-      Fallback->Kernel = cce::lowerScalarFallback(M, Name);
-      Flight->Result = Fallback;
+      if (auto R = lookupLocked(K)) {
+        ++Counts.Hits;
+        if (Stats::enabled())
+          Stats::get().add("kernel_cache.hit");
+        return serveCached(*R, Name, "cache_hit");
+      }
+      auto It = Pending.find(K);
+      if (It != Pending.end()) {
+        Flight = It->second;
+        ++Counts.Coalesced;
+        if (Stats::enabled())
+          Stats::get().add("kernel_cache.coalesced");
+      } else {
+        Flight = std::make_shared<InFlight>();
+        Pending.emplace(K, Flight);
+        Leader = true;
+        ++Counts.Misses;
+        if (Stats::enabled())
+          Stats::get().add("kernel_cache.miss");
+      }
+    }
+    if (!Leader) {
+      // Another thread is compiling this exact content; wait for it
+      // instead of duplicating the work (single-flight). The bounded
+      // wait_for only paces the cancel poll - a notify still wakes the
+      // waiter immediately - so a coalesced waiter honors its own
+      // deadline/token even while the leader runs.
+      {
+        std::unique_lock<std::mutex> G(Lock);
+        while (!Flight->Done) {
+          Flight->Ready.wait_for(G, std::chrono::milliseconds(2));
+          if (!Flight->Done && cancel::interrupted() != ErrCode::Ok) {
+            G.unlock();
+            cancel::checkPoint("cache_wait"); // throws
+          }
+        }
+      }
+      if (!Flight->Failed)
+        return serveCached(*Flight->Result, Name, "cache_coalesced");
+      trace::debugEcho("kernel_cache: leader failed (" + Flight->Err.str() +
+                       ") for '" + Name + "'; waiter retrying");
+      continue;
+    }
+    // Leader: compile outside the lock.
+    std::shared_ptr<const CompileResult> R;
+    try {
+      R = std::make_shared<const CompileResult>(Fn(M, Opts, Name));
+    } catch (...) {
+      // compileWithAkg degrades internally and does not throw; injected
+      // compile functions (tests, chaos) and a CancelledError from a
+      // nested coalesced wait can. Waiters must never inherit the
+      // exception or time out: mark the flight failed and wake them all.
+      {
+        std::lock_guard<std::mutex> G(Lock);
+        ++Counts.LeaderFailed;
+        if (Stats::enabled())
+          Stats::get().add("cache.leader_failed");
+        Flight->Err =
+            Status::error(ErrCode::Internal, "leader compile threw");
+        Flight->Failed = true;
+        Flight->Done = true;
+        Pending.erase(K);
+      }
+      Flight->Ready.notify_all();
+      throw;
+    }
+    {
+      std::lock_guard<std::mutex> G(Lock);
+      if (R->Outcome.isOk()) {
+        insertLocked(K, R);
+      } else {
+        // A deadline-exceeded / cancelled / faulted compile must never
+        // poison the cache (its kernel is the scalar unwind stub), and
+        // its waiters retry rather than inherit this request's fate.
+        ++Counts.LeaderFailed;
+        if (Stats::enabled())
+          Stats::get().add("cache.leader_failed");
+        Flight->Err = R->Outcome;
+        Flight->Failed = true;
+      }
+      Flight->Result = R;
       Flight->Done = true;
       Pending.erase(K);
     }
     Flight->Ready.notify_all();
-    throw;
+    return *R;
   }
-  {
-    std::lock_guard<std::mutex> G(Lock);
-    insertLocked(K, R);
-    Flight->Result = R;
-    Flight->Done = true;
-    Pending.erase(K);
-  }
-  Flight->Ready.notify_all();
-  return *R;
 }
 
 KernelCacheStats KernelCache::stats() const {

@@ -28,6 +28,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -71,11 +72,24 @@ struct CacheKey {
 
 CacheKey makeCacheKey(const ir::Module &M, const AkgOptions &O);
 
+/// Hash for CacheKey-keyed maps (the cache itself, the quarantine).
+struct CacheKeyHash {
+  size_t operator()(const CacheKey &K) const {
+    return size_t((K.ModuleFp * 0x9e3779b97f4a7c15ull ^ K.OptionsFp) *
+                      0xbf58476d1ce4e5b9ull ^
+                  K.BindingFp);
+  }
+};
+
 struct KernelCacheStats {
   int64_t Hits = 0;      // served from a completed entry
   int64_t Coalesced = 0; // waited on another thread's in-flight compile
   int64_t Misses = 0;    // compiled here
   int64_t Evictions = 0; // LRU entries dropped at capacity
+  /// Single-flight leaders whose compile failed or was cancelled: their
+  /// result is not cached and coalesced waiters retried under their own
+  /// deadlines instead of inheriting the failure ("cache.leader_failed").
+  int64_t LeaderFailed = 0;
 
   double hitRate() const {
     int64_t Total = Hits + Coalesced + Misses;
@@ -92,12 +106,27 @@ public:
   KernelCache(const KernelCache &) = delete;
   KernelCache &operator=(const KernelCache &) = delete;
 
+  /// The compile function a cache miss runs; injectable for tests and
+  /// the service's chaos layer. Defaults to compileWithAkg.
+  using CompileFn = std::function<CompileResult(
+      const ir::Module &, const AkgOptions &, const std::string &)>;
+
   /// The cache-through compile: returns the cached result when the
   /// content address matches, otherwise compiles with compileWithAkg and
   /// caches. The returned result carries \p Name as its kernel name
   /// regardless of which name the cached compile ran under.
+  ///
+  /// Failure semantics (DESIGN.md 4h): a result with a non-ok Outcome is
+  /// returned to the requester but never inserted into the cache, and a
+  /// single-flight leader that fails or is cancelled wakes its coalesced
+  /// waiters immediately - they retry under their own deadline/token
+  /// (possibly becoming the next leader) instead of inheriting the
+  /// leader's failure or timing out. A waiter whose own cancel context
+  /// trips while coalesced throws CancelledError.
   CompileResult compileOrGet(const ir::Module &M, const AkgOptions &Opts,
                              const std::string &Name);
+  CompileResult compileOrGet(const ir::Module &M, const AkgOptions &Opts,
+                             const std::string &Name, const CompileFn &Fn);
 
   /// Raw lookup; null on miss. Counts a hit when found.
   std::shared_ptr<const CompileResult> lookup(const CacheKey &K);
@@ -116,13 +145,7 @@ public:
   static KernelCache &global();
 
 private:
-  struct KeyHash {
-    size_t operator()(const CacheKey &K) const {
-      return size_t((K.ModuleFp * 0x9e3779b97f4a7c15ull ^ K.OptionsFp) *
-                        0xbf58476d1ce4e5b9ull ^
-                    K.BindingFp);
-    }
-  };
+  using KeyHash = CacheKeyHash;
   struct Entry {
     CacheKey Key;
     std::shared_ptr<const CompileResult> Result;
@@ -130,6 +153,10 @@ private:
   struct InFlight {
     std::shared_ptr<const CompileResult> Result; // set when Done
     bool Done = false;
+    /// Leader failed or was cancelled: Result is not cache-worthy (null
+    /// on an escaped exception); waiters consult Err and retry.
+    bool Failed = false;
+    Status Err;
     std::condition_variable Ready;
   };
 

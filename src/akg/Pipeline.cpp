@@ -4,6 +4,7 @@
 
 #include "ir/Passes.h"
 #include "schedule/AstGen.h"
+#include "support/Env.h"
 #include "support/Stats.h"
 #include "transforms/Conv.h"
 #include "transforms/Fusion.h"
@@ -52,11 +53,25 @@ void Pipeline::applyFaultInjection(CompileState &S) const {
 }
 
 void Pipeline::runPass(CompileState &S, const Pass &P) const {
+  // Pass-boundary checkpoint: an expired deadline or flipped token stops
+  // the compile before the next pass starts. A checkpoint tripped deeper
+  // inside the pass (Pluto rows, dependence pairs, AST recursion) may not
+  // know its pass name, so it is attributed here on the way out. Either
+  // way no TraceEvent is pushed for the aborted pass - the pipeline
+  // driver emits the single terminal event instead, so the trace never
+  // holds a half-measured entry.
+  cancel::checkPoint(P.Name.c_str());
   size_t DegBefore = S.Res.Degradation.Steps.size();
   std::map<std::string, int64_t> Before = Stats::get().snapshotCounters();
   auto T0 = std::chrono::steady_clock::now();
   S.PassNote.clear();
-  P.Run(S);
+  try {
+    P.Run(S);
+  } catch (CancelledError &E) {
+    if (E.where().empty())
+      E.setWhere(P.Name);
+    throw;
+  }
   double Wall = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - T0)
                     .count();
@@ -491,17 +506,56 @@ CompileResult runPassPipeline(const Module &M, const AkgOptions &Opts,
   S.SinkDims = Opts.EnableIntraTile;
 
   const Pipeline &PL = akgPipeline();
-  PL.applyFaultInjection(S);
 
-  PL.runSection(S, "prepare", "dependences");
-  // The compile deadline covers scheduling and lowering; the frontend
-  // section is not on the clock (matching the pre-pipeline driver, which
-  // armed the deadline after dependence analysis).
-  S.DL = Deadline(Opts.Budget.DeadlineSeconds);
+  // Hard request deadline + cooperative cancellation (DESIGN.md 4h).
+  // Unlike the soft Budget.DeadlineSeconds (stages degrade and continue),
+  // tripping either constraint unwinds the compile via CancelledError.
+  // The scope chains to any context already active on this thread (a
+  // service worker's request context), so the tightest constraint wins.
+  double HardMs = Opts.RequestDeadlineMs > 0
+                      ? Opts.RequestDeadlineMs
+                      : static_cast<double>(env::getInt("AKG_DEADLINE_MS", 0));
+  cancel::Context Ctx;
+  Ctx.DL = Deadline(HardMs / 1000.0);
+  Ctx.Token = Opts.Cancel.get();
+  cancel::Scope RequestScope(&Ctx);
 
-  FusionRejectionController().run(S, PL);
-  if (!S.Compiled)
-    PL.runOne(S, "scalar_fallback");
+  try {
+    PL.applyFaultInjection(S);
+
+    PL.runSection(S, "prepare", "dependences");
+    // The compile deadline covers scheduling and lowering; the frontend
+    // section is not on the clock (matching the pre-pipeline driver, which
+    // armed the deadline after dependence analysis).
+    S.DL = Deadline(Opts.Budget.DeadlineSeconds);
+
+    FusionRejectionController().run(S, PL);
+    if (!S.Compiled)
+      PL.runOne(S, "scalar_fallback");
+  } catch (const CancelledError &E) {
+    // Terminal event: the one trace entry for an unwound compile, naming
+    // the pass (or loop's pass) the request stopped in. The result still
+    // carries a valid scalar fallback kernel so downstream consumers
+    // holding a CompileResult never dereference an empty kernel, but the
+    // non-ok Outcome keeps it out of the kernel cache.
+    S.Res.Outcome = Status::error(
+        E.code(), std::string(E.what()) + " in pass '" + E.where() + "'");
+    S.Res.Trace.Outcome = errCodeName(E.code());
+    S.Res.Degradation.record(Stage::None, E.what(),
+                             "compile unwound; scalar fallback kernel");
+    TraceEvent T;
+    T.Pass = errCodeName(E.code()); // "deadline_exceeded" / "cancelled"
+    T.Attempt = S.Attempt;
+    T.Retry = S.Retry;
+    T.Note = "stopped in pass '" + E.where() + "'";
+    T.Degradations.push_back(S.Res.Degradation.Steps.back());
+    S.Res.Trace.Events.push_back(std::move(T));
+    const Module *FM = S.M ? S.M : S.Input;
+    S.Res.Kernel = cce::lowerScalarFallback(*FM, S.Name);
+    S.Res.Sync = cce::insertSynchronization(S.Res.Kernel,
+                                            cce::SyncStrategy::FullSerial);
+    S.Res.TileSizes.clear();
+  }
 
   if (Opts.EnableInlining)
     S.Res.Mod = S.PreparedMod;

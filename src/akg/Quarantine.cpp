@@ -1,0 +1,61 @@
+//===- akg/Quarantine.cpp - Poison-pill negative cache --------------------===//
+
+#include "akg/Quarantine.h"
+
+#include "support/Stats.h"
+
+namespace akg {
+
+std::optional<std::string> Quarantine::check(const CacheKey &K) {
+  std::lock_guard<std::mutex> G(Lock);
+  auto It = Map.find(K);
+  if (It == Map.end() || !It->second.Active)
+    return std::nullopt;
+  if (std::chrono::steady_clock::now() >= It->second.Until) {
+    // TTL lapsed: fresh start, failure count included.
+    Map.erase(It);
+    return std::nullopt;
+  }
+  ++Counts.FastFails;
+  if (Stats::enabled())
+    Stats::get().add("quarantine.fast_fail");
+  return It->second.Reason;
+}
+
+void Quarantine::recordFailure(const CacheKey &K, ErrCode Code,
+                               const std::string &Why) {
+  if (!isDeterministic(Code))
+    return;
+  std::lock_guard<std::mutex> G(Lock);
+  Entry &E = Map[K];
+  if (E.Active)
+    return; // already armed; the TTL clock keeps running
+  if (++E.Failures < Opts.FailureThreshold)
+    return;
+  E.Active = true;
+  E.Until = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(Opts.TtlSeconds));
+  E.Reason = std::string(errCodeName(Code)) + ": " + Why + " (" +
+             std::to_string(E.Failures) + " deterministic failures)";
+  ++Counts.Armed;
+  if (Stats::enabled())
+    Stats::get().add("quarantine.armed");
+}
+
+void Quarantine::recordSuccess(const CacheKey &K) {
+  std::lock_guard<std::mutex> G(Lock);
+  Map.erase(K);
+}
+
+QuarantineStats Quarantine::stats() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Counts;
+}
+
+size_t Quarantine::size() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Map.size();
+}
+
+} // namespace akg

@@ -1,0 +1,102 @@
+//===- akg/Quarantine.h - Poison-pill negative cache ------------*- C++ -*-===//
+//
+// A poison module - one that fails deterministically on every retry, like
+// the adversarial subgraphs the fuzzer generates - must not burn a worker
+// per request once the service has seen it fail K times. The quarantine
+// is a negative cache keyed on the same content address as the kernel
+// cache: after FailureThreshold deterministic failures a fingerprint is
+// quarantined for TtlSeconds, and repeat requests fail fast with
+// Outcome = Quarantined instead of recompiling.
+//
+// Only deterministic failures arm it. Cancellation, deadline expiry,
+// load-shedding and transient faults say nothing about the module itself
+// - the same fingerprint may compile fine on the next, less constrained
+// request - so they never count. A success clears the entry, and an
+// expired TTL gives the fingerprint a completely fresh start (the failure
+// count does not survive the TTL: a flaky-then-fixed toolchain fault
+// should not leave a hair trigger behind).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_AKG_QUARANTINE_H
+#define AKG_AKG_QUARANTINE_H
+
+#include "akg/KernelCache.h"
+
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace akg {
+
+struct QuarantineOptions {
+  /// Deterministic failures of one fingerprint before it is quarantined.
+  unsigned FailureThreshold = 3;
+  /// How long a quarantined fingerprint fails fast before retrying.
+  double TtlSeconds = 30.0;
+};
+
+struct QuarantineStats {
+  int64_t Armed = 0;     // fingerprints that crossed the threshold
+  int64_t FastFails = 0; // requests rejected by an active entry
+};
+
+class Quarantine {
+public:
+  explicit Quarantine(QuarantineOptions Opts = QuarantineOptions())
+      : Opts(Opts) {}
+
+  Quarantine(const Quarantine &) = delete;
+  Quarantine &operator=(const Quarantine &) = delete;
+
+  /// The reason string of an active quarantine entry for \p K, or nullopt
+  /// when the request should proceed. Counts a fast-fail when active;
+  /// erases (and does not report) entries whose TTL has lapsed.
+  std::optional<std::string> check(const CacheKey &K);
+
+  /// True when \p Code speaks about the module itself rather than about
+  /// this particular request's constraints or the service's health.
+  static bool isDeterministic(ErrCode Code) {
+    switch (Code) {
+    case ErrCode::Cancelled:
+    case ErrCode::DeadlineExceeded:
+    case ErrCode::Overloaded:
+    case ErrCode::Quarantined:
+    case ErrCode::Unavailable:
+    case ErrCode::Ok:
+      return false;
+    default:
+      return true;
+    }
+  }
+
+  /// Records a failed compile of \p K. Non-deterministic codes (see
+  /// isDeterministic) are ignored; crossing the threshold arms the entry
+  /// for TtlSeconds with \p Why as its reason.
+  void recordFailure(const CacheKey &K, ErrCode Code, const std::string &Why);
+
+  /// A clean compile clears any accumulated failures for \p K.
+  void recordSuccess(const CacheKey &K);
+
+  QuarantineStats stats() const;
+  size_t size() const; // tracked fingerprints (armed or counting)
+
+private:
+  struct Entry {
+    unsigned Failures = 0;
+    bool Active = false;
+    std::chrono::steady_clock::time_point Until;
+    std::string Reason;
+  };
+
+  QuarantineOptions Opts;
+  mutable std::mutex Lock;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> Map;
+  QuarantineStats Counts;
+};
+
+} // namespace akg
+
+#endif // AKG_AKG_QUARANTINE_H

@@ -3,6 +3,7 @@
 #include "schedule/AstGen.h"
 
 #include "ir/Passes.h"
+#include "support/Cancel.h"
 #include "support/Matrix.h"
 #include "support/Stats.h"
 
@@ -185,6 +186,10 @@ private:
   Stmt genBandRow(const TreeNode *Band, unsigned Row,
                   std::vector<ActiveStmt> Active,
                   std::vector<std::string> LoopVars, BasicSet Emitted) {
+    // Band-row recursion multiplies per separated subtree; one of the
+    // three instrumented long-running loops (support/Cancel.h). The pass
+    // wrapper attributes a tripped checkpoint to "ast_gen".
+    cancel::checkPoint();
     if (Row == Band->bandWidth())
       return genChildren(Band, Active, LoopVars, Emitted);
     std::string VarName = "c" + std::to_string(NextVar++);

@@ -2,6 +2,7 @@
 
 #include "scheduler/Dependence.h"
 
+#include "support/Cancel.h"
 #include "support/Env.h"
 #include "support/ThreadPool.h"
 
@@ -111,8 +112,15 @@ std::vector<Dependence> computeDependences(const ir::PolyProgram &P,
 
   // Pair-indexed result slots keep the output order identical at any
   // thread count: the flattening below follows the sequential pair order.
+  // The request's cancel context is thread-local, so it is re-installed
+  // explicitly on each pool worker; a tripped checkpoint rethrows out of
+  // parallelFor after every worker finishes (one of the three
+  // instrumented long-running loops, support/Cancel.h).
+  const cancel::Context *Req = cancel::current();
   std::vector<std::vector<Dependence>> PerPair(Pairs.size());
   parallelFor(Threads, Pairs.size(), [&](size_t I) {
+    cancel::Scope Propagated(Req);
+    cancel::checkPoint();
     PerPair[I] = pairDependences(P, Pairs[I].first, Pairs[I].second);
   });
 

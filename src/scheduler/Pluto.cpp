@@ -2,6 +2,7 @@
 
 #include "scheduler/Pluto.h"
 
+#include "support/Cancel.h"
 #include "support/Matrix.h"
 #include "support/Stats.h"
 #include "support/Status.h"
@@ -257,6 +258,11 @@ bool scheduleCluster(const ir::PolyProgram &P,
   }
 
   for (unsigned RowIdx = 0; RowIdx < OuterWidth; ++RowIdx) {
+    // One master-LP row per iteration can run for seconds on adversarial
+    // clusters; this is one of the three instrumented long-running loops
+    // (support/Cancel.h). The pass wrapper attributes the throw to
+    // "schedule".
+    cancel::checkPoint();
     // Fast path: the identity hyperplane (row = iterator RowIdx, no
     // shift) is what the lexmin ILP returns for pointwise clusters; try
     // it first and only fall back to the ILP when it is illegal or

@@ -1,0 +1,65 @@
+//===- support/Cancel.cpp - Deadlines + cooperative cancellation ----------===//
+
+#include "support/Cancel.h"
+
+#include <chrono>
+#include <thread>
+
+namespace akg {
+namespace cancel {
+
+namespace {
+thread_local const Context *Active = nullptr;
+} // namespace
+
+const Context *current() { return Active; }
+
+Scope::Scope(Context *Ctx) : Saved(Active) {
+  if (Ctx) {
+    Ctx->Parent = Active;
+    Active = Ctx;
+  }
+}
+
+Scope::Scope(const Context *Existing) : Saved(Active) {
+  // Re-installing a context from another thread: its Parent chain was
+  // fixed when it was first installed, so no re-chaining here.
+  if (Existing)
+    Active = Existing;
+}
+
+Scope::~Scope() { Active = Saved; }
+
+ErrCode interrupted() {
+  ErrCode Hit = ErrCode::Ok;
+  for (const Context *C = Active; C; C = C->Parent) {
+    if (C->Token && C->Token->cancelled())
+      return ErrCode::Cancelled; // explicit cancel wins
+    if (Hit == ErrCode::Ok && C->DL.expired())
+      Hit = ErrCode::DeadlineExceeded;
+  }
+  return Hit;
+}
+
+void checkPoint(const char *Where) {
+  ErrCode C = interrupted();
+  if (C != ErrCode::Ok)
+    throw CancelledError(C, Where);
+}
+
+bool sleepFor(double Ms) {
+  using namespace std::chrono;
+  auto End = steady_clock::now() + duration_cast<steady_clock::duration>(
+                                       duration<double, std::milli>(Ms));
+  while (steady_clock::now() < End) {
+    if (interrupted() != ErrCode::Ok)
+      return false;
+    auto Left = End - steady_clock::now();
+    std::this_thread::sleep_for(std::min<steady_clock::duration>(
+        Left, milliseconds(1)));
+  }
+  return interrupted() == ErrCode::Ok;
+}
+
+} // namespace cancel
+} // namespace akg

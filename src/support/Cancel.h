@@ -1,0 +1,121 @@
+//===- support/Cancel.h - Deadlines + cooperative cancellation --*- C++ -*-===//
+//
+// The request-termination substrate of the compile service: a CancelToken
+// a requester can flip from any thread, a per-compile cancel::Context
+// pairing that token with a hard wall-clock Deadline, and checkpoints the
+// pipeline calls at pass boundaries and inside its long-running loops
+// (Pluto's master-LP rows, dependence pair analysis, AST generation).
+//
+// A tripped checkpoint throws CancelledError, which unwinds the compile
+// cleanly: the pipeline driver catches it, emits a terminal TraceEvent
+// naming the pass it stopped in, and returns a CompileResult whose
+// Outcome is DeadlineExceeded or Cancelled (with a scalar fallback kernel
+// so downstream consumers still hold a valid, if slow, kernel).
+//
+// The active Context is installed per thread with cancel::Scope (RAII).
+// Contexts chain: a nested scope - the kernel-cache leader compiling
+// under a service worker's request context - honors every deadline and
+// token up the chain, so the tightest constraint always wins. Worker
+// threads spawned mid-compile (parallel dependence analysis) re-install
+// the parent context explicitly, since thread_local state does not cross
+// pool threads.
+//
+// Unarmed checkpoints (no scope, or a scope with no deadline and no
+// token) cost one thread-local read - compiles outside the service are
+// unaffected.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SUPPORT_CANCEL_H
+#define AKG_SUPPORT_CANCEL_H
+
+#include "support/Status.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace akg {
+
+/// One-way cooperative cancellation flag. Share via shared_ptr between
+/// the requester (any thread) and the compile that should observe it.
+class CancelToken {
+public:
+  void requestCancel() { Flag.store(true, std::memory_order_release); }
+  bool cancelled() const { return Flag.load(std::memory_order_acquire); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// Thrown by a tripped checkpoint. `code()` is DeadlineExceeded or
+/// Cancelled; `where()` names the pass the compile stopped in (filled by
+/// the pipeline's pass wrapper when the throw came from deeper inside).
+class CancelledError : public std::runtime_error {
+public:
+  CancelledError(ErrCode C, std::string Where)
+      : std::runtime_error(C == ErrCode::DeadlineExceeded
+                               ? "compile deadline exceeded"
+                               : "compile cancelled"),
+        Code(C), WherePass(std::move(Where)) {}
+
+  ErrCode code() const { return Code; }
+  const std::string &where() const { return WherePass; }
+  void setWhere(std::string W) { WherePass = std::move(W); }
+
+private:
+  ErrCode Code;
+  std::string WherePass;
+};
+
+namespace cancel {
+
+/// The termination constraints of one compile request. Immutable while
+/// installed; checkpoints walk the Parent chain so nested scopes only
+/// ever tighten the constraint.
+struct Context {
+  Deadline DL;
+  const CancelToken *Token = nullptr;
+  const Context *Parent = nullptr;
+};
+
+/// The context active on this thread (null outside any Scope).
+const Context *current();
+
+/// Installs \p Ctx as this thread's active context for the lifetime of
+/// the scope, chaining to the previously active one. Passing null
+/// re-installs the given parent explicitly (used to propagate a request
+/// context onto pool worker threads).
+class Scope {
+public:
+  explicit Scope(Context *Ctx);
+  /// Re-installs an already-chained context (e.g. the parent thread's
+  /// current()) on this thread. Null is a no-op scope.
+  explicit Scope(const Context *Existing);
+  ~Scope();
+  Scope(const Scope &) = delete;
+  Scope &operator=(const Scope &) = delete;
+
+private:
+  const Context *Saved;
+};
+
+/// Ok, or the reason this thread's compile should stop: Cancelled wins
+/// over DeadlineExceeded when both hold (the requester explicitly asked).
+ErrCode interrupted();
+
+/// Throws CancelledError when interrupted. \p Where names the calling
+/// pass or loop for the terminal trace event; deep loops pass "" and the
+/// pipeline's pass wrapper fills in the pass name on the way out.
+void checkPoint(const char *Where = "");
+
+/// Sleeps ~\p Ms milliseconds in small slices, returning early with
+/// false when a checkpoint would trip (true = slept the full duration).
+/// The chaos layer uses this for injected delays and hangs so a deadline
+/// or cancellation always rescues a "hung" request.
+bool sleepFor(double Ms);
+
+} // namespace cancel
+} // namespace akg
+
+#endif // AKG_SUPPORT_CANCEL_H

@@ -26,6 +26,11 @@ enum class ErrCode {
   Unsupported,       // pattern outside the lowering's vocabulary
   FaultInjected,     // testing hook forced this stage to fail
   Internal,          // anything else; still recoverable at the driver
+  DeadlineExceeded,  // hard request deadline expired mid-compile
+  Cancelled,         // requester cancelled the compile cooperatively
+  Overloaded,        // admission control shed the request (queue full)
+  Quarantined,       // poison-pill fingerprint failing fast (negative cache)
+  Unavailable,       // transient service fault; safe to retry with backoff
 };
 
 inline const char *errCodeName(ErrCode C) {
@@ -46,6 +51,16 @@ inline const char *errCodeName(ErrCode C) {
     return "fault_injected";
   case ErrCode::Internal:
     return "internal";
+  case ErrCode::DeadlineExceeded:
+    return "deadline_exceeded";
+  case ErrCode::Cancelled:
+    return "cancelled";
+  case ErrCode::Overloaded:
+    return "overloaded";
+  case ErrCode::Quarantined:
+    return "quarantined";
+  case ErrCode::Unavailable:
+    return "unavailable";
   }
   return "?";
 }

@@ -41,38 +41,76 @@ public:
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  ~ThreadPool() {
+  ~ThreadPool() { shutdown(/*Drain=*/true); }
+
+  /// Stops the pool and joins the workers. Drain=true runs every queued
+  /// job first (the destructor's behavior); Drain=false abandons queued
+  /// jobs - the futures of abandoned submit()s report broken_promise.
+  /// Idempotent, and safe against concurrent submit()/post(): work
+  /// arriving after shutdown started runs inline on the caller.
+  void shutdown(bool Drain = true) {
     {
       std::lock_guard<std::mutex> G(Lock);
       Stopping = true;
+      if (!Drain)
+        Queue.clear();
     }
     Wake.notify_all();
+    std::lock_guard<std::mutex> J(JoinLock);
     for (std::thread &W : Workers)
-      W.join();
+      if (W.joinable())
+        W.join();
   }
 
   /// Number of worker threads (0 = inline execution).
   unsigned size() const { return static_cast<unsigned>(Workers.size()); }
 
   /// Enqueues \p Fn and returns a future for its result. Exceptions
-  /// propagate through the future. In inline mode the task runs before
-  /// submit() returns.
+  /// propagate through the future. In inline mode (and after shutdown)
+  /// the task runs before submit() returns.
   template <typename Fn>
   std::future<std::invoke_result_t<Fn>> submit(Fn &&F) {
     using R = std::invoke_result_t<Fn>;
     auto Task =
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(F));
     std::future<R> Fut = Task->get_future();
-    if (Workers.empty()) {
+    bool Inline = Workers.empty();
+    if (!Inline) {
+      std::lock_guard<std::mutex> G(Lock);
+      if (Stopping)
+        Inline = true; // shut down: run on the caller instead of dropping
+      else
+        Queue.emplace_back([Task] { (*Task)(); });
+    }
+    if (Inline) {
       (*Task)();
       return Fut;
     }
-    {
-      std::lock_guard<std::mutex> G(Lock);
-      Queue.emplace_back([Task] { (*Task)(); });
-    }
     Wake.notify_one();
     return Fut;
+  }
+
+  /// Fire-and-forget: enqueues \p Fn with no future. A throw from a
+  /// posted job is swallowed by the worker loop (there is no future to
+  /// carry it), never killing the worker. Inline mode (and a shut-down
+  /// pool) runs the job on the caller.
+  void post(std::function<void()> Fn) {
+    bool Inline = Workers.empty();
+    if (!Inline) {
+      std::lock_guard<std::mutex> G(Lock);
+      if (Stopping)
+        Inline = true;
+      else
+        Queue.emplace_back(std::move(Fn));
+    }
+    if (Inline) {
+      try {
+        Fn();
+      } catch (...) {
+      }
+      return;
+    }
+    Wake.notify_one();
   }
 
 private:
@@ -87,12 +125,20 @@ private:
         Task = std::move(Queue.front());
         Queue.pop_front();
       }
-      Task();
+      // Exception-safe worker: submit() jobs trap exceptions in their
+      // packaged_task, but a throwing post() job must not terminate the
+      // process (an escaped exception on a thread calls std::terminate)
+      // or kill this worker.
+      try {
+        Task();
+      } catch (...) {
+      }
     }
   }
 
   std::vector<std::thread> Workers;
   std::mutex Lock;
+  std::mutex JoinLock; // serializes concurrent shutdown() calls
   std::condition_variable Wake;
   std::deque<std::function<void()>> Queue;
   bool Stopping = false;

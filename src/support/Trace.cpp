@@ -60,8 +60,10 @@ std::string numText(double V) {
 std::string CompileTrace::json() const {
   std::string Out = "{\"kernel\": " + quoted(Kernel) +
                     ", \"total_seconds\": " + numText(TotalSeconds) +
-                    ", \"cache_hit\": " + (CacheHit ? "true" : "false") +
-                    ", \"events\": [";
+                    ", \"cache_hit\": " + (CacheHit ? "true" : "false");
+  if (!Outcome.empty())
+    Out += ", \"outcome\": " + quoted(Outcome);
+  Out += ", \"events\": [";
   for (size_t I = 0; I < Events.size(); ++I) {
     const TraceEvent &E = Events[I];
     if (I)
@@ -96,9 +98,11 @@ std::string CompileTrace::json() const {
 std::string CompileTrace::str() const {
   char Buf[160];
   std::snprintf(Buf, sizeof Buf,
-                "compile trace: kernel=%s total=%.3fms events=%zu%s\n",
+                "compile trace: kernel=%s total=%.3fms events=%zu%s%s%s\n",
                 Kernel.c_str(), TotalSeconds * 1e3, Events.size(),
-                CacheHit ? " (cache hit)" : "");
+                CacheHit ? " (cache hit)" : "",
+                Outcome.empty() ? "" : " outcome=",
+                Outcome.empty() ? "" : Outcome.c_str());
   std::string Out = Buf;
   for (const TraceEvent &E : Events) {
     std::snprintf(Buf, sizeof Buf, "  a%u r%-2u %-16s %9.3fms", E.Attempt,
@@ -126,14 +130,20 @@ namespace trace {
 
 bool snapshotsEnabled() { return env::isSet("AKG_TRACE_SNAPSHOTS"); }
 
+namespace {
+// One mutex for every diagnostic sink - trace dumps and debugEcho lines -
+// so chaos-run logs interleave as whole lines, never torn ones.
+std::mutex &dumpLock() {
+  static std::mutex M;
+  return M;
+}
+} // namespace
+
 void maybeDump(const CompileTrace &T) {
   std::optional<std::string> Dest = env::get("AKG_TRACE");
   if (!Dest || Dest->empty())
     return;
-  // One mutex for both sinks: traces from concurrent compiles interleave
-  // as whole lines / whole renderings, never torn ones.
-  static std::mutex DumpLock;
-  std::lock_guard<std::mutex> G(DumpLock);
+  std::lock_guard<std::mutex> G(dumpLock());
   if (*Dest == "-") {
     std::string S = T.str();
     std::fwrite(S.data(), 1, S.size(), stderr);
@@ -150,8 +160,10 @@ void maybeDump(const CompileTrace &T) {
 }
 
 void debugEcho(const std::string &Line) {
-  if (Stats::enabled())
-    std::fprintf(stderr, "%s\n", Line.c_str());
+  if (!Stats::enabled())
+    return;
+  std::lock_guard<std::mutex> G(dumpLock());
+  std::fprintf(stderr, "%s\n", Line.c_str());
 }
 
 } // namespace trace

@@ -52,6 +52,10 @@ struct CompileTrace {
   std::string Kernel;  // kernel name the compile ran under
   double TotalSeconds = 0;
   bool CacheHit = false;  // served from the kernel cache
+  /// Terminal outcome code ("ok" implied when empty): "deadline_exceeded",
+  /// "cancelled", "overloaded", "quarantined", "unavailable". Emitted
+  /// into the JSONL line so chaos-run logs can be audited offline.
+  std::string Outcome;
   std::vector<TraceEvent> Events;
 
   /// Sum of WallSeconds over events named \p Pass.

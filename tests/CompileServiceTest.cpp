@@ -10,16 +10,21 @@
 
 #include "akg/CompileService.h"
 #include "graph/Networks.h"
+#include "graph/Ops.h"
+#include "support/Cancel.h"
 #include "support/Env.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 #include "target/CceIr.h"
 
 #include <atomic>
+#include <chrono>
 #include <gtest/gtest.h>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace akg;
@@ -194,6 +199,325 @@ TEST(CompileService, Fig13NetworksDeterministicAcrossThreadCounts) {
   KernelCacheStats S = Cache4.stats();
   EXPECT_EQ(S.Hits - Cold.Hits, static_cast<int64_t>(Jobs.size()));
   EXPECT_EQ(S.Misses, Cold.Misses);
+}
+
+// --- Chaos spec: grammar + seeded determinism (DESIGN.md 4h) -------------
+
+TEST(ChaosSpec, ParsesTheFullGrammar) {
+  std::string Err;
+  auto S = ChaosSpec::parse(
+      "seed=42,fault=0.1,transient=0.25,delay=0.2:15,hang=0.01:500", &Err);
+  ASSERT_TRUE(S.has_value()) << Err;
+  EXPECT_EQ(S->Seed, 42u);
+  EXPECT_DOUBLE_EQ(S->FaultP, 0.1);
+  EXPECT_DOUBLE_EQ(S->TransientP, 0.25);
+  EXPECT_DOUBLE_EQ(S->DelayP, 0.2);
+  EXPECT_DOUBLE_EQ(S->DelayMs, 15);
+  EXPECT_DOUBLE_EQ(S->HangP, 0.01);
+  EXPECT_DOUBLE_EQ(S->HangMs, 500);
+  EXPECT_TRUE(S->enabled());
+  // Defaults: empty spec parses but is disabled.
+  auto Empty = ChaosSpec::parse("");
+  ASSERT_TRUE(Empty.has_value());
+  EXPECT_FALSE(Empty->enabled());
+}
+
+TEST(ChaosSpec, RejectsMalformedSpecs) {
+  for (const char *Bad : {"fault", "fault=", "fault=x", "fault=1.5",
+                          "bogus=1", "delay=0.1:abc", "fault=0.1:5",
+                          "seed=nope"}) {
+    std::string Err;
+    EXPECT_FALSE(ChaosSpec::parse(Bad, &Err).has_value()) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+  }
+}
+
+TEST(ChaosSpec, DecisionsAreAPureFunctionOfSeedNameAttempt) {
+  ChaosSpec S;
+  S.Seed = 7;
+  S.FaultP = 0.5;
+  S.DelayP = 0.3;
+  for (int I = 0; I < 32; ++I) {
+    std::string Name = "net/layer#" + std::to_string(I);
+    ChaosAction A = chaosDecide(S, Name, 0);
+    ChaosAction B = chaosDecide(S, Name, 0);
+    EXPECT_EQ(static_cast<int>(A.K), static_cast<int>(B.K)) << Name;
+    EXPECT_EQ(A.Transient, B.Transient);
+    EXPECT_DOUBLE_EQ(A.Ms, B.Ms);
+  }
+  // A different seed or attempt redraws the whole run.
+  ChaosSpec S2 = S;
+  S2.Seed = 8;
+  bool AnyDiffer = false;
+  for (int I = 0; I < 64 && !AnyDiffer; ++I) {
+    std::string Name = "net/layer#" + std::to_string(I);
+    AnyDiffer |= static_cast<int>(chaosDecide(S, Name, 0).K) !=
+                 static_cast<int>(chaosDecide(S2, Name, 0).K);
+    AnyDiffer |= static_cast<int>(chaosDecide(S, Name, 0).K) !=
+                 static_cast<int>(chaosDecide(S, Name, 1).K);
+  }
+  EXPECT_TRUE(AnyDiffer);
+}
+
+// --- Quarantine: poison-pill negative cache ------------------------------
+
+TEST(Quarantine, ArmsAtThresholdAndOnlyOnDeterministicFailures) {
+  auto M = graph::makeMatmul(32, 32, 32);
+  CacheKey K = makeCacheKey(*M, AkgOptions());
+  QuarantineOptions QO;
+  QO.FailureThreshold = 3;
+  Quarantine Q(QO);
+  // Non-deterministic codes never count, no matter how many.
+  for (int I = 0; I < 10; ++I) {
+    Q.recordFailure(K, ErrCode::DeadlineExceeded, "slow");
+    Q.recordFailure(K, ErrCode::Cancelled, "cancelled");
+    Q.recordFailure(K, ErrCode::Unavailable, "transient");
+    Q.recordFailure(K, ErrCode::Overloaded, "shed");
+  }
+  EXPECT_FALSE(Q.check(K).has_value());
+  // Deterministic failures arm at the threshold.
+  Q.recordFailure(K, ErrCode::Internal, "boom");
+  Q.recordFailure(K, ErrCode::FaultInjected, "boom");
+  EXPECT_FALSE(Q.check(K).has_value()); // 2 of 3: still compiling
+  Q.recordFailure(K, ErrCode::Internal, "boom");
+  auto Why = Q.check(K);
+  ASSERT_TRUE(Why.has_value());
+  EXPECT_NE(Why->find("boom"), std::string::npos);
+  QuarantineStats S = Q.stats();
+  EXPECT_EQ(S.Armed, 1);
+  EXPECT_EQ(S.FastFails, 1);
+}
+
+TEST(Quarantine, SuccessClearsAndTtlGivesAFreshStart) {
+  auto M = graph::makeMatmul(32, 32, 32);
+  CacheKey K = makeCacheKey(*M, AkgOptions());
+  QuarantineOptions QO;
+  QO.FailureThreshold = 1;
+  QO.TtlSeconds = 0.05;
+  Quarantine Q(QO);
+  Q.recordFailure(K, ErrCode::Internal, "dies");
+  EXPECT_TRUE(Q.check(K).has_value());
+  // The TTL lapses: the fingerprint gets a completely fresh start (the
+  // accumulated failure count does not survive).
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_FALSE(Q.check(K).has_value());
+  EXPECT_EQ(Q.size(), 0u);
+  // And a success wipes a counting entry before it arms.
+  QuarantineOptions QO2;
+  QO2.FailureThreshold = 2;
+  Quarantine Q2(QO2);
+  Q2.recordFailure(K, ErrCode::Internal, "dies");
+  Q2.recordSuccess(K);
+  Q2.recordFailure(K, ErrCode::Internal, "dies");
+  EXPECT_FALSE(Q2.check(K).has_value()); // 1 of 2 after the clear
+}
+
+// --- CompileService: admission, deadlines, retries, quarantine -----------
+
+TEST(CompileService, CleanRequestCompilesWithServiceLatency) {
+  auto M = graph::makeMatmul(32, 32, 32);
+  KernelCache Cache;
+  CompileService::Options SO;
+  SO.Threads = 1; // inline: deterministic
+  SO.Cache = &Cache;
+  CompileService Svc(SO);
+  CompileResult R = Svc.submit(*M, AkgOptions(), "clean").get();
+  EXPECT_TRUE(R.Outcome.isOk());
+  EXPECT_GT(R.ServiceSeconds, 0);
+  EXPECT_FALSE(cce::printKernel(R.Kernel).empty());
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Submitted, 1);
+  EXPECT_EQ(S.Completed, 1);
+  EXPECT_EQ(S.Shed + S.Degraded + S.Quarantined, 0);
+}
+
+TEST(CompileService, PreCancelledRequestFailsFastWithCancelled) {
+  auto M = graph::makeMatmul(32, 32, 32);
+  CompileService::Options SO;
+  SO.Threads = 1;
+  SO.Cache = nullptr;
+  CompileService Svc(SO);
+  AkgOptions O;
+  O.Cancel = std::make_shared<CancelToken>();
+  O.Cancel->requestCancel();
+  CompileResult R = Svc.submit(*M, O, "cancelled").get();
+  EXPECT_EQ(R.Outcome.code(), ErrCode::Cancelled);
+  EXPECT_EQ(R.Trace.Outcome, "cancelled");
+  EXPECT_FALSE(cce::printKernel(R.Kernel).empty()); // scalar fallback
+}
+
+TEST(CompileService, ServiceDefaultDeadlineInherited) {
+  auto M = graph::makeMatmul(96, 96, 96);
+  CompileService::Options SO;
+  SO.Threads = 1;
+  SO.Cache = nullptr;
+  SO.DefaultDeadlineMs = 1e-3; // expires in the queue
+  CompileService Svc(SO);
+  CompileResult R = Svc.submit(*M, AkgOptions(), "svc_deadline").get();
+  EXPECT_EQ(R.Outcome.code(), ErrCode::DeadlineExceeded);
+  // The request's own (generous) deadline beats the service default.
+  AkgOptions O;
+  O.RequestDeadlineMs = 60000;
+  CompileResult R2 = Svc.submit(*M, O, "own_deadline").get();
+  EXPECT_TRUE(R2.Outcome.isOk());
+}
+
+TEST(CompileService, RejectPolicyShedsWithOverloaded) {
+  auto M = graph::makeMatmul(32, 32, 32);
+  ChaosSpec Delay;            // park every worker 80ms per request
+  Delay.DelayP = 1.0;
+  Delay.DelayMs = 80;
+  KernelCache Cache;
+  CompileService::Options SO;
+  SO.Threads = 2;
+  SO.QueueDepth = 1;
+  SO.Shed = ShedPolicy::Reject;
+  SO.Cache = &Cache;
+  SO.Chaos = Delay;
+  CompileService Svc(SO);
+  std::vector<std::future<CompileResult>> Futs;
+  for (int I = 0; I < 12; ++I)
+    Futs.push_back(Svc.submit(*M, AkgOptions(), "r" + std::to_string(I)));
+  size_t Shed = 0, Ok = 0;
+  for (auto &F : Futs) {
+    CompileResult R = F.get();
+    if (R.Outcome.code() == ErrCode::Overloaded) {
+      ++Shed;
+      // Reject sheds carry no kernel and a terminal "shed" event.
+      EXPECT_NE(R.Trace.find("shed"), nullptr);
+    } else if (R.Outcome.isOk()) {
+      ++Ok;
+    }
+  }
+  EXPECT_GE(Shed, 1u); // 2 workers + depth 1 cannot absorb 12 at once
+  EXPECT_GE(Ok, 1u);
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Shed, static_cast<int64_t>(Shed));
+  EXPECT_EQ(S.Completed + S.Shed, S.Submitted); // nothing hung
+}
+
+TEST(CompileService, DegradePolicyServesTheScalarRung) {
+  auto M = graph::makeMatmul(32, 32, 32);
+  ChaosSpec Delay;
+  Delay.DelayP = 1.0;
+  Delay.DelayMs = 80;
+  KernelCache Cache;
+  CompileService::Options SO;
+  SO.Threads = 2;
+  SO.QueueDepth = 1;
+  SO.Shed = ShedPolicy::Degrade;
+  SO.Cache = &Cache;
+  SO.Chaos = Delay;
+  CompileService Svc(SO);
+  std::vector<std::future<CompileResult>> Futs;
+  for (int I = 0; I < 12; ++I)
+    Futs.push_back(Svc.submit(*M, AkgOptions(), "d" + std::to_string(I)));
+  size_t Degraded = 0;
+  for (auto &F : Futs) {
+    CompileResult R = F.get();
+    // Every request succeeds under Degrade; shed ones get the scalar rung.
+    EXPECT_TRUE(R.Outcome.isOk());
+    EXPECT_FALSE(cce::printKernel(R.Kernel).empty());
+    if (R.Trace.find("shed"))
+      ++Degraded;
+  }
+  EXPECT_GE(Degraded, 1u);
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Degraded, static_cast<int64_t>(Degraded));
+  EXPECT_EQ(S.Shed, 0);
+}
+
+TEST(CompileService, TransientFaultsRetryThenReportUnavailable) {
+  auto M = graph::makeMatmul(32, 32, 32);
+  ChaosSpec AllTransient; // every attempt faults transiently
+  AllTransient.FaultP = 1.0;
+  AllTransient.TransientP = 1.0;
+  CompileService::Options SO;
+  SO.Threads = 1;
+  SO.Cache = nullptr;
+  SO.MaxRetries = 2;
+  SO.RetryBackoffMs = 0.1;
+  SO.Chaos = AllTransient;
+  CompileService Svc(SO);
+  CompileResult R = Svc.submit(*M, AkgOptions(), "transient").get();
+  EXPECT_EQ(R.Outcome.code(), ErrCode::Unavailable);
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Retries, 2);        // both retry budget slots spent
+  EXPECT_EQ(S.FaultsInjected, 3); // initial attempt + 2 retries
+  // Transient faults never arm the quarantine.
+  EXPECT_EQ(Svc.quarantine().stats().Armed, 0);
+}
+
+TEST(CompileService, DeterministicFaultsArmTheQuarantine) {
+  auto M = graph::makeMatmul(32, 32, 32);
+  ChaosSpec AllFault; // every attempt faults deterministically
+  AllFault.FaultP = 1.0;
+  AllFault.TransientP = 0.0;
+  KernelCache Cache;
+  CompileService::Options SO;
+  SO.Threads = 1;
+  SO.Cache = &Cache;
+  SO.Chaos = AllFault;
+  SO.QuarantineOpts.FailureThreshold = 2;
+  CompileService Svc(SO);
+  std::vector<ErrCode> Codes;
+  for (int I = 0; I < 4; ++I)
+    Codes.push_back(
+        Svc.submit(*M, AkgOptions(), "poison").get().Outcome.code());
+  // Two injected failures arm the entry; the rest fail fast.
+  EXPECT_EQ(Codes[0], ErrCode::FaultInjected);
+  EXPECT_EQ(Codes[1], ErrCode::FaultInjected);
+  EXPECT_EQ(Codes[2], ErrCode::Quarantined);
+  EXPECT_EQ(Codes[3], ErrCode::Quarantined);
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Quarantined, 2);
+  EXPECT_EQ(Svc.quarantine().stats().Armed, 1);
+  EXPECT_EQ(Svc.quarantine().stats().FastFails, 2);
+}
+
+TEST(CompileService, ChaosRunMatchesChaosFreeKernels) {
+  // The acceptance bar in miniature: a seeded fault+delay run over the
+  // AlexNet stream returns bit-identical kernels for every request chaos
+  // did not shed or fault, and strands nothing.
+  NetworkModel N = buildAlexNet();
+  AkgOptions Base;
+  Base.RequestDeadlineMs = 60000;
+  std::vector<CompileJob> Jobs =
+      networkCompileJobs(N, Base, /*PerOccurrence=*/true);
+
+  KernelCache RefCache;
+  CompileServiceOptions RO;
+  RO.Threads = 2;
+  RO.Cache = &RefCache;
+  std::vector<CompileResult> Ref = compileModulesParallel(Jobs, RO);
+
+  ChaosSpec Spec;
+  Spec.Seed = 42;
+  Spec.FaultP = 0.15;
+  Spec.TransientP = 0.0;
+  Spec.DelayP = 0.1;
+  Spec.DelayMs = 5;
+  KernelCache Cache;
+  CompileService::Options SO;
+  SO.Threads = 2;
+  SO.Cache = &Cache;
+  SO.Chaos = Spec;
+  CompileService Svc(SO);
+  std::vector<CompileResult> Res = Svc.compileAll(Jobs);
+
+  ASSERT_EQ(Res.size(), Jobs.size());
+  size_t Clean = 0;
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    if (!Res[I].Outcome.isOk() || Res[I].Trace.find("shed"))
+      continue;
+    ++Clean;
+    EXPECT_EQ(cce::printKernel(Res[I].Kernel),
+              cce::printKernel(Ref[I].Kernel))
+        << Jobs[I].Name;
+  }
+  EXPECT_GT(Clean, 0u);
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Completed + S.Shed + S.Degraded, S.Submitted);
 }
 
 TEST(CompileService, NullCacheCompilesEveryJob) {

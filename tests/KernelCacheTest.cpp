@@ -10,13 +10,17 @@
 
 #include "akg/KernelCache.h"
 #include "graph/Ops.h"
+#include "support/Cancel.h"
 #include "support/Env.h"
 #include "target/CceIr.h"
 
+#include <atomic>
+#include <chrono>
 #include <gtest/gtest.h>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 
 using namespace akg;
 using namespace akg::ir;
@@ -305,6 +309,98 @@ TEST(KernelCache, LruEvictionAtCapacity) {
   EXPECT_NE(Cache.lookup(makeCacheKey(*MA, O)), nullptr);
   EXPECT_EQ(Cache.lookup(makeCacheKey(*MB, O)), nullptr); // evicted
   EXPECT_NE(Cache.lookup(makeCacheKey(*MC, O)), nullptr);
+}
+
+// --- Single-flight failure semantics (DESIGN.md 4h) ----------------------
+
+TEST(KernelCache, FailedCompileIsReturnedButNotCached) {
+  auto M = makeNamedChain("fail");
+  KernelCache Cache;
+  std::atomic<int> Calls{0};
+  auto FailFn = [&](const Module &Mod, const AkgOptions &O,
+                    const std::string &N) {
+    ++Calls;
+    CompileResult R = compileWithAkg(Mod, O, N);
+    R.Outcome = Status::error(ErrCode::Internal, "injected failure");
+    return R;
+  };
+  CompileResult R = Cache.compileOrGet(*M, AkgOptions(), "k", FailFn);
+  EXPECT_EQ(R.Outcome.code(), ErrCode::Internal);
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_EQ(Cache.stats().LeaderFailed, 1);
+  // A later request with a healthy compile starts from scratch: the
+  // failure left no entry to poison it.
+  CompileResult Ok = Cache.compileOrGet(*M, AkgOptions(), "k");
+  EXPECT_TRUE(Ok.Outcome.isOk());
+  EXPECT_EQ(Calls.load(), 1);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(KernelCache, FailedLeaderWakesWaitersWhoRetry) {
+  // Leader fails slowly; the coalesced waiter must not inherit the
+  // failure or strand - it wakes, retries, becomes the next leader,
+  // and compiles successfully.
+  auto M = makeNamedChain("leader");
+  KernelCache Cache;
+  std::atomic<int> Calls{0};
+  auto FlakyFn = [&](const Module &Mod, const AkgOptions &O,
+                     const std::string &N) {
+    int C = ++Calls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    CompileResult R = compileWithAkg(Mod, O, N);
+    if (C == 1)
+      R.Outcome = Status::error(ErrCode::Internal, "first compile dies");
+    return R;
+  };
+  CompileResult RA, RB;
+  std::thread A([&] { RA = Cache.compileOrGet(*M, AkgOptions(), "a",
+                                              FlakyFn); });
+  std::thread B([&] { RB = Cache.compileOrGet(*M, AkgOptions(), "b",
+                                              FlakyFn); });
+  A.join();
+  B.join();
+  // Exactly one request saw the injected failure; the other succeeded
+  // (either by retrying after the leader died, or by arriving later).
+  EXPECT_EQ(Calls.load(), 2);
+  EXPECT_NE(RA.Outcome.isOk(), RB.Outcome.isOk());
+  const CompileResult &Ok = RA.Outcome.isOk() ? RA : RB;
+  EXPECT_FALSE(cce::printKernel(Ok.Kernel).empty());
+  EXPECT_EQ(Cache.stats().LeaderFailed, 1);
+  EXPECT_EQ(Cache.size(), 1u); // only the good result was inserted
+}
+
+TEST(KernelCache, CoalescedWaiterHonorsItsOwnCancel) {
+  // A waiter parked on another request's in-flight compile observes its
+  // own token: cancelling the waiter must not wait out the leader.
+  auto M = makeNamedChain("waiter");
+  KernelCache Cache;
+  std::atomic<bool> LeaderIn{false};
+  auto SlowFn = [&](const Module &Mod, const AkgOptions &O,
+                    const std::string &N) {
+    LeaderIn = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return compileWithAkg(Mod, O, N);
+  };
+  std::thread Leader([&] {
+    (void)Cache.compileOrGet(*M, AkgOptions(), "leader", SlowFn);
+  });
+  while (!LeaderIn)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  CancelToken Tok;
+  cancel::Context Ctx;
+  Ctx.Token = &Tok;
+  Tok.requestCancel();
+  auto T0 = std::chrono::steady_clock::now();
+  {
+    cancel::Scope S(&Ctx);
+    EXPECT_THROW(Cache.compileOrGet(*M, AkgOptions(), "w", SlowFn),
+                 CancelledError);
+  }
+  double Waited = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+  EXPECT_LT(Waited, 0.15); // bailed before the 200ms leader finished
+  Leader.join();
 }
 
 TEST(KernelCache, ClearResetsEntriesAndCounters) {

@@ -13,13 +13,22 @@
 #include "akg/KernelCache.h"
 #include "akg/Pipeline.h"
 #include "graph/Ops.h"
+#include "ir/PolyExtract.h"
+#include "schedule/AstGen.h"
+#include "scheduler/Dependence.h"
+#include "scheduler/Pluto.h"
+#include "support/Cancel.h"
 #include "support/Env.h"
 #include "support/Stats.h"
+#include "target/CceIr.h"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 using namespace akg;
 using namespace akg::ir;
@@ -299,6 +308,150 @@ TEST(Pipeline, ResolveFailStageEnvOverridesOption) {
   EXPECT_EQ(resolveFailStage(O), Stage::Storage);
   env::unset("AKG_FAIL_STAGE");
   EXPECT_EQ(resolveFailStage(O), Stage::Tiling);
+}
+
+// --- Deadlines + cooperative cancellation (DESIGN.md 4h) -----------------
+
+/// An already-expired cancel::Context for driving checkpoints directly.
+cancel::Context expiredContext() {
+  cancel::Context Ctx;
+  Ctx.DL = Deadline(1e-9);
+  return Ctx;
+}
+
+TEST(PipelineCancel, PreCancelledTokenUnwindsNamingThePass) {
+  auto M = graph::makeMatmul(64, 64, 64);
+  AkgOptions O;
+  O.Cancel = std::make_shared<CancelToken>();
+  O.Cancel->requestCancel();
+  CompileResult R = compileWithAkg(*M, O, "pre_cancelled");
+  EXPECT_EQ(R.Outcome.code(), ErrCode::Cancelled);
+  EXPECT_EQ(R.Trace.Outcome, "cancelled");
+  // The terminal event names the pass the compile stopped in - with the
+  // token flipped before submission, that is the very first pass.
+  ASSERT_FALSE(R.Trace.Events.empty());
+  const TraceEvent &Last = R.Trace.Events.back();
+  EXPECT_EQ(Last.Pass, "cancelled");
+  EXPECT_NE(Last.Note.find("stopped in pass 'prepare'"), std::string::npos)
+      << Last.Note;
+  ASSERT_EQ(Last.Degradations.size(), 1u);
+  // The caller still holds a valid (scalar fallback) kernel.
+  EXPECT_FALSE(cce::printKernel(R.Kernel).empty());
+  EXPECT_TRUE(R.TileSizes.empty());
+  // And the JSON rendering carries the outcome field.
+  EXPECT_NE(R.Trace.json().find("\"outcome\": \"cancelled\""),
+            std::string::npos);
+}
+
+TEST(PipelineCancel, HardDeadlineReturnsDeadlineExceeded) {
+  auto M = graph::makeMatmul(96, 96, 96);
+  AkgOptions O;
+  O.RequestDeadlineMs = 1e-3; // expires before the first pass boundary
+  CompileResult R = compileWithAkg(*M, O, "hard_deadline");
+  EXPECT_EQ(R.Outcome.code(), ErrCode::DeadlineExceeded);
+  EXPECT_EQ(R.Trace.Outcome, "deadline_exceeded");
+  ASSERT_FALSE(R.Trace.Events.empty());
+  EXPECT_EQ(R.Trace.Events.back().Pass, "deadline_exceeded");
+  EXPECT_NE(R.Trace.Events.back().Note.find("stopped in pass"),
+            std::string::npos);
+  EXPECT_FALSE(cce::printKernel(R.Kernel).empty());
+}
+
+TEST(PipelineCancel, EnvDeadlineAppliesWhenOptionUnset) {
+  auto M = graph::makeMatmul(128, 128, 128);
+  env::set("AKG_DEADLINE_MS", "1"); // integer grammar, like production
+  CompileResult R = compileWithAkg(*M, AkgOptions(), "env_deadline");
+  env::unset("AKG_DEADLINE_MS");
+  EXPECT_EQ(R.Outcome.code(), ErrCode::DeadlineExceeded);
+  // The env override is per-request, not sticky: the next compile with
+  // no deadline runs clean.
+  CompileResult Clean = compileWithAkg(*M, AkgOptions(), "after_env");
+  EXPECT_TRUE(Clean.Outcome.isOk());
+  EXPECT_TRUE(Clean.Degradation.Steps.empty()) << Clean.Degradation.str();
+}
+
+TEST(PipelineCancel, UnwoundCompileLeavesNoCorruptionBehind) {
+  // A deadline-unwound compile must not poison the thread-local cancel
+  // state, the Stats singleton, or the next compile's trace.
+  auto M = graph::makeMatmul(64, 64, 64);
+  AkgOptions O;
+  O.RequestDeadlineMs = 1e-3;
+  for (int I = 0; I < 3; ++I) {
+    CompileResult R = compileWithAkg(*M, O, "unwound");
+    EXPECT_EQ(R.Outcome.code(), ErrCode::DeadlineExceeded);
+  }
+  EXPECT_EQ(cancel::current(), nullptr); // scope fully unwound
+  CompileResult Clean = compileWithAkg(*M, AkgOptions(), "clean_after");
+  EXPECT_TRUE(Clean.Outcome.isOk());
+  EXPECT_TRUE(Clean.Degradation.Steps.empty()) << Clean.Degradation.str();
+  std::vector<std::string> Names = passNames(Clean.Trace);
+  std::vector<std::string> Want(std::begin(CleanPasses),
+                                std::end(CleanPasses));
+  EXPECT_EQ(Names, Want) << Clean.Trace.str();
+}
+
+// The three long-running loops each observe checkpoints directly, so an
+// expired deadline unwinds from inside the loop, not just at the next
+// pass boundary.
+
+TEST(PipelineCancel, DependenceLoopObservesCheckpoints) {
+  auto M = graph::makeMatmul(64, 64, 64);
+  ir::PolyProgram P = ir::extractPolyProgram(*M);
+  cancel::Context Ctx = expiredContext();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  cancel::Scope S(&Ctx);
+  EXPECT_THROW(sched::computeDependences(P), CancelledError);
+  // The parallel fan-out propagates the context onto pool workers too.
+  EXPECT_THROW(sched::computeDependences(P, 4), CancelledError);
+}
+
+TEST(PipelineCancel, PlutoMasterLoopObservesCheckpoints) {
+  auto M = graph::makeMatmul(64, 64, 64);
+  ir::PolyProgram P = ir::extractPolyProgram(*M);
+  std::vector<sched::Dependence> Deps = sched::computeDependences(P);
+  cancel::Context Ctx = expiredContext();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  cancel::Scope S(&Ctx);
+  EXPECT_THROW(sched::computeSchedule(P, Deps, sched::SchedulerOptions()),
+               CancelledError);
+}
+
+TEST(PipelineCancel, AstGenLoopObservesCheckpoints) {
+  auto M = graph::makeMatmul(64, 64, 64);
+  ir::PolyProgram P = ir::extractPolyProgram(*M);
+  std::vector<sched::Dependence> Deps = sched::computeDependences(P);
+  sched::ScheduleResult SR =
+      sched::computeSchedule(P, Deps, sched::SchedulerOptions());
+  sched::ScheduleTree T = sched::buildScheduledTree(P, SR);
+  cancel::Context Ctx = expiredContext();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  cancel::Scope S(&Ctx);
+  EXPECT_THROW(sched::generateAst(T, P), CancelledError);
+}
+
+TEST(PipelineCancel, DeadlineIsExcludedFromTheCacheKey) {
+  // Two requests differing only in deadline/token must share a cache
+  // line: a non-ok outcome is never inserted, so the fingerprint stays
+  // honest without mixing per-request constraints into it.
+  AkgOptions A;
+  AkgOptions B;
+  B.RequestDeadlineMs = 5000;
+  B.Cancel = std::make_shared<CancelToken>();
+  EXPECT_EQ(fingerprintOptions(A), fingerprintOptions(B));
+}
+
+TEST(PipelineCancel, FailedOutcomesAreNeverCached) {
+  KernelCache Cache;
+  auto M = graph::makeMatmul(64, 64, 64);
+  AkgOptions O;
+  O.RequestDeadlineMs = 1e-3;
+  CompileResult R = Cache.compileOrGet(*M, O, "dl");
+  EXPECT_EQ(R.Outcome.code(), ErrCode::DeadlineExceeded);
+  EXPECT_EQ(Cache.size(), 0u); // the unwound result was not inserted
+  // The same module without the deadline compiles and caches cleanly.
+  CompileResult Ok = Cache.compileOrGet(*M, AkgOptions(), "ok");
+  EXPECT_TRUE(Ok.Outcome.isOk());
+  EXPECT_EQ(Cache.size(), 1u);
 }
 
 TEST(Pipeline, ResolveFailStageUnparseableEnvFallsBackToOption) {

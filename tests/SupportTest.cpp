@@ -1,9 +1,16 @@
-//===- tests/SupportTest.cpp - Rational / Matrix / Stats tests ------------===//
+//===- tests/SupportTest.cpp - Rational / Matrix / Cancel / pool tests ----===//
 
+#include "support/Cancel.h"
 #include "support/Matrix.h"
 #include "support/Rational.h"
+#include "support/ThreadPool.h"
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <gtest/gtest.h>
+#include <stdexcept>
+#include <thread>
 
 using namespace akg;
 
@@ -86,6 +93,215 @@ TEST(Matrix, ApplyVector) {
   auto R = M.apply({Rational(5), Rational(7)});
   EXPECT_EQ(R[0], Rational(10));
   EXPECT_EQ(R[1], Rational(21));
+}
+
+// --- Cancellation primitives (DESIGN.md 4h) ------------------------------
+
+TEST(Cancel, UnarmedCheckpointsAreNoOps) {
+  // No scope installed: nothing to trip.
+  EXPECT_EQ(cancel::current(), nullptr);
+  EXPECT_EQ(cancel::interrupted(), ErrCode::Ok);
+  EXPECT_NO_THROW(cancel::checkPoint("anywhere"));
+  // A scope with neither deadline nor token is equally inert.
+  cancel::Context Ctx;
+  cancel::Scope S(&Ctx);
+  EXPECT_EQ(cancel::interrupted(), ErrCode::Ok);
+  EXPECT_NO_THROW(cancel::checkPoint());
+}
+
+TEST(Cancel, TokenTripsCheckpointWithWhere) {
+  CancelToken Tok;
+  cancel::Context Ctx;
+  Ctx.Token = &Tok;
+  cancel::Scope S(&Ctx);
+  EXPECT_EQ(cancel::interrupted(), ErrCode::Ok);
+  Tok.requestCancel();
+  EXPECT_EQ(cancel::interrupted(), ErrCode::Cancelled);
+  try {
+    cancel::checkPoint("unit_test_loop");
+    FAIL() << "checkpoint did not throw";
+  } catch (const CancelledError &E) {
+    EXPECT_EQ(E.code(), ErrCode::Cancelled);
+    EXPECT_EQ(E.where(), "unit_test_loop");
+  }
+}
+
+TEST(Cancel, ExpiredDeadlineTripsAndCancelWins) {
+  cancel::Context Ctx;
+  Ctx.DL = Deadline(1e-9);
+  cancel::Scope S(&Ctx);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(cancel::interrupted(), ErrCode::DeadlineExceeded);
+  EXPECT_THROW(cancel::checkPoint(), CancelledError);
+  // When the requester also cancelled, the explicit ask wins the code.
+  CancelToken Tok;
+  Tok.requestCancel();
+  cancel::Context Both;
+  Both.DL = Deadline(1e-9);
+  Both.Token = &Tok;
+  cancel::Scope S2(&Both);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(cancel::interrupted(), ErrCode::Cancelled);
+}
+
+TEST(Cancel, NestedScopesHonorTheParentConstraint) {
+  CancelToken Tok;
+  cancel::Context Outer;
+  Outer.Token = &Tok;
+  cancel::Scope SO(&Outer);
+  {
+    // Inner scope has no constraints of its own; the chain walk still
+    // observes the outer token (the tightest constraint wins).
+    cancel::Context Inner;
+    cancel::Scope SI(&Inner);
+    EXPECT_EQ(cancel::interrupted(), ErrCode::Ok);
+    Tok.requestCancel();
+    EXPECT_EQ(cancel::interrupted(), ErrCode::Cancelled);
+  }
+  // Unwinding restores the outer scope, still cancelled.
+  EXPECT_EQ(cancel::interrupted(), ErrCode::Cancelled);
+}
+
+TEST(Cancel, ScopePropagatesAcrossThreads) {
+  CancelToken Tok;
+  cancel::Context Ctx;
+  Ctx.Token = &Tok;
+  cancel::Scope S(&Ctx);
+  Tok.requestCancel();
+  ErrCode OnWorker = ErrCode::Ok;
+  const cancel::Context *Req = cancel::current();
+  std::thread T([&] {
+    // thread_local state does not cross threads: re-install explicitly,
+    // the way the parallel dependence analysis does.
+    EXPECT_EQ(cancel::interrupted(), ErrCode::Ok);
+    cancel::Scope Propagated(Req);
+    OnWorker = cancel::interrupted();
+  });
+  T.join();
+  EXPECT_EQ(OnWorker, ErrCode::Cancelled);
+}
+
+TEST(Cancel, SleepForReturnsEarlyWhenTripped) {
+  {
+    CancelToken Tok;
+    cancel::Context Ctx;
+    Ctx.Token = &Tok;
+    cancel::Scope S(&Ctx);
+    Tok.requestCancel();
+    auto T0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(cancel::sleepFor(10000)); // would be 10s if not rescued
+    double Waited = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - T0)
+                        .count();
+    EXPECT_LT(Waited, 5.0); // rescued promptly, nowhere near 10s
+  }
+  // An uninterrupted sleep (fresh scope, nothing cancelled) completes.
+  CancelToken Fresh;
+  cancel::Context Ctx2;
+  Ctx2.Token = &Fresh;
+  cancel::Scope S2(&Ctx2);
+  EXPECT_TRUE(cancel::sleepFor(2));
+}
+
+// --- ThreadPool hardening (exception-safe workers, clean shutdown) -------
+
+TEST(ThreadPool, ThrowingPostedJobDoesNotKillWorkers) {
+  ThreadPool Pool(2);
+  for (int I = 0; I < 4; ++I)
+    Pool.post([] { throw std::runtime_error("posted boom"); });
+  // Both workers must still be alive and draining the queue.
+  std::atomic<int> Ran{0};
+  std::vector<std::future<void>> Futs;
+  for (int I = 0; I < 50; ++I)
+    Futs.push_back(Pool.submit([&Ran] { ++Ran; }));
+  for (auto &F : Futs)
+    F.get();
+  EXPECT_EQ(Ran.load(), 50);
+}
+
+TEST(ThreadPool, ThrowingPostedJobRunsInlineSafely) {
+  ThreadPool Pool(1); // inline mode: post() runs on the caller
+  EXPECT_NO_THROW(Pool.post([] { throw std::runtime_error("inline boom"); }));
+  bool Ran = false;
+  Pool.post([&] { Ran = true; });
+  EXPECT_TRUE(Ran);
+}
+
+TEST(ThreadPool, ShutdownDrainRunsEveryQueuedJob) {
+  std::atomic<int> Ran{0};
+  std::vector<std::future<void>> Futs;
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I < 32; ++I)
+      Futs.push_back(Pool.submit([&Ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++Ran;
+      }));
+    Pool.shutdown(/*Drain=*/true);
+    EXPECT_EQ(Ran.load(), 32); // drained before shutdown returned
+  }
+  for (auto &F : Futs)
+    EXPECT_NO_THROW(F.get());
+}
+
+TEST(ThreadPool, ShutdownAbandonDropsQueuedJobs) {
+  std::atomic<bool> Release{false};
+  std::atomic<int> Started{0};
+  std::atomic<int> Ran{0};
+  ThreadPool Pool(2);
+  // Park both workers so the counting jobs stay queued; wait until both
+  // blockers are actually running so neither can itself be abandoned.
+  std::vector<std::future<void>> Blockers;
+  for (int I = 0; I < 2; ++I)
+    Blockers.push_back(Pool.submit([&Release, &Started] {
+      ++Started;
+      while (!Release.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }));
+  while (Started.load() < 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::vector<std::future<void>> Abandoned;
+  for (int I = 0; I < 10; ++I)
+    Abandoned.push_back(Pool.submit([&Ran] { ++Ran; }));
+  // shutdown(false) clears the queue immediately, then joins; release the
+  // blockers from the side so the join can finish.
+  std::thread Unblock([&Release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Release = true;
+  });
+  Pool.shutdown(/*Drain=*/false);
+  Unblock.join();
+  EXPECT_EQ(Ran.load(), 0); // none of the queued jobs ran
+  for (auto &F : Abandoned)
+    EXPECT_THROW(F.get(), std::future_error); // broken promise
+  for (auto &F : Blockers)
+    EXPECT_NO_THROW(F.get());
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndLateWorkRunsInline) {
+  ThreadPool Pool(2);
+  Pool.shutdown();
+  Pool.shutdown(); // second call must be a no-op, not a crash
+  bool Ran = false;
+  auto Fut = Pool.submit([&Ran] {
+    Ran = true;
+    return 7;
+  });
+  EXPECT_TRUE(Ran); // ran inline on the caller
+  EXPECT_EQ(Fut.get(), 7);
+  Pool.post([] {}); // post after shutdown is equally safe
+}
+
+TEST(ThreadPool, ConcurrentShutdownIsSafe) {
+  ThreadPool Pool(4);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 64; ++I)
+    Pool.post([&Ran] { ++Ran; });
+  std::thread A([&Pool] { Pool.shutdown(true); });
+  std::thread B([&Pool] { Pool.shutdown(true); });
+  A.join();
+  B.join();
+  EXPECT_EQ(Ran.load(), 64);
 }
 
 } // namespace

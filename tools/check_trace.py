@@ -4,11 +4,17 @@
 Each line of the file is one compile's trace (DESIGN.md 4g):
 
   {"kernel": str, "total_seconds": num, "cache_hit": bool,
+   "outcome"?: str,
    "events": [{"pass": str, "stage": str, "attempt": int, "retry": int,
                "wall_seconds": num, "counters": {str: int},
                "degradations": [{"stage": str, "reason": str,
                                  "action": str}],
                "note"?: str, "snapshot"?: str}]}
+
+The optional top-level "outcome" names a non-ok terminal code (DESIGN.md
+4h): deadline_exceeded, cancelled, overloaded, quarantined, unavailable,
+or fault_injected. Terminal/service events carry the same vocabulary as
+their "pass" (plus "shed", "quarantined" and "chaos_fault").
 
 Usage:
   check_trace.py trace.jsonl                       # schema only
@@ -16,6 +22,9 @@ Usage:
   check_trace.py trace.jsonl --expect-degraded storage
                                                    # + a degradation at
                                                    #   that stage occurs
+  check_trace.py trace.jsonl --expect-outcome deadline_exceeded
+                                                   # + some line ended
+                                                   #   with that outcome
 
 Exit code 0 when every line validates (and expectations hold), 1 with a
 diagnostic otherwise.
@@ -36,6 +45,12 @@ CLEAN_PASSES = [
     "build_tree", "fusion", "intra_tile", "ast_gen", "lower_cce",
     "storage_check", "sync",
 ]
+
+# Non-ok terminal outcomes the service / pipeline can stamp (DESIGN.md 4h).
+OUTCOMES = {
+    "deadline_exceeded", "cancelled", "overloaded", "quarantined",
+    "unavailable", "fault_injected",
+}
 
 
 def fail(msg):
@@ -80,6 +95,11 @@ def check_trace(where, tr):
         want(key in tr, f"{where}: missing key '{key}'")
         want(isinstance(tr[key], typ), f"{where}: '{key}' has wrong type")
     want(tr["events"], f"{where}: empty event list")
+    if "outcome" in tr:
+        want(isinstance(tr["outcome"], str),
+             f"{where}: 'outcome' must be a string")
+        want(tr["outcome"] in OUTCOMES,
+             f"{where}: unknown outcome '{tr['outcome']}'")
     for i, ev in enumerate(tr["events"]):
         check_event(f"{where} event {i}", ev)
 
@@ -92,10 +112,14 @@ def main():
                          "full pass sequence on some line")
     ap.add_argument("--expect-degraded", metavar="STAGE",
                     help="require a degradation at STAGE on some line")
+    ap.add_argument("--expect-outcome", metavar="CODE",
+                    help="require some line's terminal outcome to be CODE")
     args = ap.parse_args()
 
     if args.expect_degraded and args.expect_degraded not in STAGES:
         fail(f"--expect-degraded: unknown stage '{args.expect_degraded}'")
+    if args.expect_outcome and args.expect_outcome not in OUTCOMES:
+        fail(f"--expect-outcome: unknown outcome '{args.expect_outcome}'")
 
     traces = []
     with open(args.trace) as f:
@@ -129,6 +153,12 @@ def main():
                  for d in ev["degradations"])
         want(ok, f"--expect-degraded: no degradation at stage "
                  f"'{args.expect_degraded}' found")
+
+    if args.expect_outcome:
+        ok = any(tr.get("outcome") == args.expect_outcome
+                 for _, tr in traces)
+        want(ok, f"--expect-outcome: no line ended with outcome "
+                 f"'{args.expect_outcome}'")
 
     print(f"check_trace: {len(traces)} trace(s) OK")
 
