@@ -10,7 +10,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "akg/KernelCache.h"
+#include "akg/KernelStore.h"
 #include "graph/Ops.h"
+#include "support/Env.h"
 #include "support/Stats.h"
 
 #include <map>
@@ -77,6 +80,15 @@ int main() {
   std::printf("%-16s %14s %14s\n", "operator", "compile [s]", "akg cycles");
   BenchJson J("compile_time");
   double TotalSeconds = 0;
+  // Cached mode (CI cold-process -> warm-disk -> warm-memory job): when
+  // AKG_CACHE_DIR is set, compile through the tiered kernel cache so a
+  // first run populates the disk store and a second process serves every
+  // first request from disk. The committed baseline is always recorded
+  // WITHOUT a cache dir, so the gated numbers measure real compiles.
+  const bool Cached = env::get("AKG_CACHE_DIR").has_value();
+  if (Cached)
+    std::printf("cache mode: AKG_CACHE_DIR=%s (tiered memory -> disk)\n",
+                env::get("AKG_CACHE_DIR")->c_str());
   // One AKG compile of these shapes is a few ms; repeat so the gated wall
   // total sits well above timer/scheduler noise. The wall covers compiles
   // only; the (deterministic) simulation runs outside the timer purely to
@@ -89,12 +101,18 @@ int main() {
   std::map<std::string, double> StageWall;
   for (const OpFamily &Fam : buildFamilies()) {
     std::vector<CompileResult> Results;
+    // Per-family breakdown too, so a per-op ast_gen regression is visible
+    // in the record instead of being averaged into the figure total.
+    std::map<std::string, double> FamStageWall;
     double FamSeconds = wallSeconds([&] {
       for (int R = 0; R < Reps; ++R)
         for (const ModulePtr &M : Fam.Shapes) {
-          CompileResult CR = compileWithAkg(*M, AkgOptions{}, Fam.Name);
+          CompileResult CR = Cached
+                                 ? compileWithAkgCached(*M, AkgOptions{},
+                                                        Fam.Name)
+                                 : compileWithAkg(*M, AkgOptions{}, Fam.Name);
           for (const TraceEvent &E : CR.Trace.Events)
-            StageWall[E.Pass] += E.WallSeconds;
+            FamStageWall[E.Pass] += E.WallSeconds;
           if (R == 0)
             Results.push_back(std::move(CR));
         }
@@ -103,9 +121,13 @@ int main() {
     for (const CompileResult &CR : Results)
       Cycles += simCycles(CR.Kernel);
     TotalSeconds += FamSeconds;
-    J.record(Fam.Name)
-        .num("compile_wall_seconds", FamSeconds)
-        .num("akg_cycles", double(Cycles));
+    auto &Rec = J.record(Fam.Name)
+                    .num("compile_wall_seconds", FamSeconds)
+                    .num("akg_cycles", double(Cycles));
+    for (const auto &[Pass, Seconds] : FamStageWall) {
+      Rec.num("stage_wall." + Pass, Seconds);
+      StageWall[Pass] += Seconds;
+    }
     std::printf("%-16s %14.3f %14lld\n", Fam.Name, FamSeconds,
                 static_cast<long long>(Cycles));
   }
@@ -121,11 +143,32 @@ int main() {
   const char *Counters[] = {"lp.int64_fastpath", "lp.rational_fallback",
                             "lp.solves_avoided_sample",
                             "affine.redundant_prefiltered",
-                            "pluto.master_dedup", "affine.dup_constraint"};
+                            "affine.implied_eq", "affine.empty_syntactic",
+                            "pluto.master_dedup", "affine.dup_constraint",
+                            "astgen.proj_memo_hit", "astgen.proj_memo_miss",
+                            "astgen.implied_memo_hit",
+                            "astgen.implied_syntactic", "astgen.implied_lp",
+                            "astgen.lp_avoided",
+                            "astgen.incremental_refinements"};
   for (const char *K : Counters) {
     J.total(K, double(Stats::get().counter(K)));
     std::printf("%-36s %lld\n", K,
                 static_cast<long long>(Stats::get().counter(K)));
+  }
+  if (Cached) {
+    // Where the requests were actually served from (the CI cold -> warm
+    // job asserts hit_disk > 0 on the second process).
+    KernelCacheStats CS = KernelCache::global().stats();
+    J.total("cache.hit_memory", double(CS.Hits));
+    J.total("cache.hit_disk", double(CS.DiskHits));
+    J.total("cache.hit_coalesced", double(CS.Coalesced));
+    J.total("cache.miss", double(CS.Misses - CS.DiskHits));
+    std::printf("cache.hit_memory %lld  cache.hit_disk %lld  "
+                "cache.hit_coalesced %lld  cache.miss %lld\n",
+                static_cast<long long>(CS.Hits),
+                static_cast<long long>(CS.DiskHits),
+                static_cast<long long>(CS.Coalesced),
+                static_cast<long long>(CS.Misses - CS.DiskHits));
   }
   J.write();
   return 0;

@@ -2,6 +2,7 @@
 
 #include "akg/KernelCache.h"
 
+#include "akg/KernelStore.h"
 #include "support/Stats.h"
 
 #include <chrono>
@@ -18,14 +19,16 @@ namespace {
 /// with a synthetic event marking how this request was satisfied, so
 /// AKG_TRACE dumps distinguish real compiles from cache service.
 CompileResult serveCached(const CompileResult &R, const std::string &Name,
-                          const char *Event) {
+                          const char *Event,
+                          const char *Tier = "kernel cache") {
   CompileResult Out = R;
   Out.Kernel.Name = Name;
   Out.Trace.Kernel = Name;
   Out.Trace.CacheHit = true;
   TraceEvent E;
   E.Pass = Event;
-  E.Note = "served by kernel cache; events below are the original compile";
+  E.Note = std::string("served by ") + Tier +
+           "; events below are the original compile";
   Out.Trace.Events.insert(Out.Trace.Events.begin(), std::move(E));
   trace::maybeDump(Out.Trace);
   return Out;
@@ -279,8 +282,10 @@ std::shared_ptr<const CompileResult> KernelCache::lookup(const CacheKey &K) {
   auto R = lookupLocked(K);
   if (R) {
     ++Counts.Hits;
-    if (Stats::enabled())
+    if (Stats::enabled()) {
       Stats::get().add("kernel_cache.hit");
+      Stats::get().add("cache.hit_memory");
+    }
   }
   return R;
 }
@@ -316,16 +321,20 @@ CompileResult KernelCache::compileOrGet(const Module &M,
       std::lock_guard<std::mutex> G(Lock);
       if (auto R = lookupLocked(K)) {
         ++Counts.Hits;
-        if (Stats::enabled())
+        if (Stats::enabled()) {
           Stats::get().add("kernel_cache.hit");
+          Stats::get().add("cache.hit_memory");
+        }
         return serveCached(*R, Name, "cache_hit");
       }
       auto It = Pending.find(K);
       if (It != Pending.end()) {
         Flight = It->second;
         ++Counts.Coalesced;
-        if (Stats::enabled())
+        if (Stats::enabled()) {
           Stats::get().add("kernel_cache.coalesced");
+          Stats::get().add("cache.hit_coalesced");
+        }
       } else {
         Flight = std::make_shared<InFlight>();
         Pending.emplace(K, Flight);
@@ -357,8 +366,17 @@ CompileResult KernelCache::compileOrGet(const Module &M,
                        ") for '" + Name + "'; waiter retrying");
       continue;
     }
-    // Leader: compile outside the lock.
+    // Leader: memory missed. Consult the on-disk store first, then
+    // compile - both outside the lock, so coalesced waiters share one
+    // disk load exactly like they share one compile.
     std::shared_ptr<const CompileResult> R;
+    bool FromDisk = false;
+    if (DiskKernelStore *DS = DiskKernelStore::global())
+      if (auto D = DS->load(K)) {
+        R = std::move(D);
+        FromDisk = true;
+      }
+    if (!R)
     try {
       R = std::make_shared<const CompileResult>(Fn(M, Opts, Name));
     } catch (...) {
@@ -384,6 +402,11 @@ CompileResult KernelCache::compileOrGet(const Module &M,
       std::lock_guard<std::mutex> G(Lock);
       if (R->Outcome.isOk()) {
         insertLocked(K, R);
+        if (FromDisk) {
+          ++Counts.DiskHits;
+          if (Stats::enabled())
+            Stats::get().add("cache.hit_disk");
+        }
       } else {
         // A deadline-exceeded / cancelled / faulted compile must never
         // poison the cache (its kernel is the scalar unwind stub), and
@@ -399,6 +422,13 @@ CompileResult KernelCache::compileOrGet(const Module &M,
       Pending.erase(K);
     }
     Flight->Ready.notify_all();
+    if (FromDisk)
+      return serveCached(*R, Name, "cache_hit", "on-disk kernel store");
+    // Persist fresh successful compiles so a restarted service (or a
+    // second process sharing AKG_CACHE_DIR) skips this compile forever.
+    if (R->Outcome.isOk())
+      if (DiskKernelStore *DS = DiskKernelStore::global())
+        DS->store(K, *R);
     return *R;
   }
 }

@@ -16,8 +16,16 @@
 // results are immutable by contract; a hit returns a copy whose
 // instruction list is shared with the cached entry.
 //
+// When AKG_CACHE_DIR is set, the cache is tiered: memory -> on-disk
+// content-addressed store (akg/KernelStore.h) -> compile. A memory miss
+// consults the disk store before compiling (inside the single-flight
+// leader, so coalesced waiters share one disk load too), and successful
+// compiles are persisted for future processes.
+//
 // Hit/miss/eviction counters are surfaced through Stats
 // ("kernel_cache.*", printed under AKG_STATS=1) and through stats().
+// The warm path additionally splits where a request was served from:
+// "cache.hit_memory" / "cache.hit_disk" / "cache.hit_coalesced".
 //
 //===----------------------------------------------------------------------===//
 
@@ -82,9 +90,10 @@ struct CacheKeyHash {
 };
 
 struct KernelCacheStats {
-  int64_t Hits = 0;      // served from a completed entry
+  int64_t Hits = 0;      // served from a completed in-memory entry
   int64_t Coalesced = 0; // waited on another thread's in-flight compile
-  int64_t Misses = 0;    // compiled here
+  int64_t Misses = 0;    // not in memory: went to the disk tier / compile
+  int64_t DiskHits = 0;  // memory miss served by the on-disk store
   int64_t Evictions = 0; // LRU entries dropped at capacity
   /// Single-flight leaders whose compile failed or was cancelled: their
   /// result is not cached and coalesced waiters retried under their own
@@ -93,7 +102,7 @@ struct KernelCacheStats {
 
   double hitRate() const {
     int64_t Total = Hits + Coalesced + Misses;
-    return Total ? double(Hits + Coalesced) / double(Total) : 0.0;
+    return Total ? double(Hits + Coalesced + DiskHits) / double(Total) : 0.0;
   }
 };
 

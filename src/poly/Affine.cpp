@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
 
@@ -285,6 +286,56 @@ bool BasicSet::isEmpty(bool CheckInteger) const {
       Sample.assign(numCols(), Rational());
       Stats::get().add("lp.solves_avoided_sample");
       return false;
+    }
+  }
+  // Single-column interval contradiction: constraints touching exactly
+  // one column carve rational intervals out of that column; a crossed
+  // pair (tightest lower bound above tightest upper bound) proves the
+  // LP below would report Infeasible without building it. The check is
+  // exact - it fires only on rational infeasibility, the same verdict
+  // the simplex reaches, so the answer (and every kernel downstream) is
+  // unchanged. Rational emptiness implies integer emptiness, settling
+  // the CheckInteger case too.
+  {
+    unsigned D = numCols();
+    std::vector<int64_t> LbN(D), LbD(D, 0), UbN(D), UbD(D, 0); // Den 0: unset
+    // N1/D1 > N2/D2 with positive denominators, overflow-free.
+    auto Gt = [](int64_t N1, int64_t D1, int64_t N2, int64_t D2) {
+      return static_cast<__int128>(N1) * D2 > static_cast<__int128>(N2) * D1;
+    };
+    for (const Constraint &C : Cons) {
+      int Col = -1;
+      bool Single = true;
+      for (unsigned K = 0; K < C.Coeffs.size(); ++K)
+        if (C.Coeffs[K] != 0) {
+          if (Col >= 0) {
+            Single = false;
+            break;
+          }
+          Col = static_cast<int>(K);
+        }
+      if (!Single || Col < 0)
+        continue;
+      int64_t A = C.Coeffs[Col];
+      // A*x + c >= 0 (or == 0) bounds x by -c/A; express the bound with a
+      // positive denominator. An equality pins both sides.
+      int64_t Dn = A > 0 ? A : -A;
+      int64_t N = A > 0 ? -C.Const : C.Const;
+      if (C.IsEq || A > 0)
+        if (!LbD[Col] || Gt(N, Dn, LbN[Col], LbD[Col])) {
+          LbN[Col] = N;
+          LbD[Col] = Dn;
+        }
+      if (C.IsEq || A < 0)
+        if (!UbD[Col] || Gt(UbN[Col], UbD[Col], N, Dn)) {
+          UbN[Col] = N;
+          UbD[Col] = Dn;
+        }
+      if (LbD[Col] && UbD[Col] &&
+          Gt(LbN[Col], LbD[Col], UbN[Col], UbD[Col])) {
+        Stats::get().add("affine.empty_syntactic");
+        return true;
+      }
     }
   }
   LpProblem P = toLp();
@@ -589,15 +640,63 @@ void BasicSet::removeRedundant(bool Prefilter) {
       return false; // cannot evaluate cheaply: let the LP decide
     }
   };
+  // Implied-by-equality: an inequality whose coefficient vector equals an
+  // equality's (up to sign) evaluates to the *constant* C.Const -/+
+  // E.Const everywhere on the set, so the LP's objective is constant over
+  // the feasible region and its verdict is determined syntactically - in
+  // both directions. With the member point the region is non-empty, so
+  // the LP would be Optimal at exactly that constant: value >= 0 means it
+  // would remove the constraint, value < 0 means it would keep it. Either
+  // way one solve is skipped without changing the surviving set.
+  auto EqDecided = [&](unsigned I) -> std::optional<bool> {
+    const Constraint &CI = Cons[I];
+    bool AllZero = std::all_of(CI.Coeffs.begin(), CI.Coeffs.end(),
+                               [](int64_t V) { return V == 0; });
+    if (AllZero)
+      return std::nullopt; // degenerate; let the LP decide
+    for (unsigned J = 0; J < Cons.size(); ++J) {
+      if (J == I || !Cons[J].IsEq)
+        continue;
+      const Constraint &E = Cons[J];
+      if (E.Coeffs.size() != CI.Coeffs.size())
+        continue;
+      bool Same = true, Neg = true;
+      for (unsigned K = 0; K < CI.Coeffs.size() && (Same || Neg); ++K) {
+        Same = Same && CI.Coeffs[K] == E.Coeffs[K];
+        Neg = Neg && CI.Coeffs[K] == -E.Coeffs[K];
+      }
+      if (!Same && !Neg)
+        continue;
+      // e.x = -E.Const on the set, so CI's value is CI.Const - E.Const
+      // (same sign) or CI.Const + E.Const (opposite sign).
+      __int128 V = Same
+                       ? static_cast<__int128>(CI.Const) - E.Const
+                       : static_cast<__int128>(CI.Const) + E.Const;
+      return V >= 0;
+    }
+    return std::nullopt;
+  };
   for (unsigned I = 0; I < Cons.size();) {
     if (Cons[I].IsEq) {
       ++I;
       continue;
     }
-    if (Prefilter && HaveMember && BoxImplied(I)) {
-      Stats::get().add("affine.redundant_prefiltered");
-      Cons.erase(Cons.begin() + I);
-      continue;
+    if (Prefilter && HaveMember) {
+      if (std::optional<bool> Red = EqDecided(I)) {
+        Stats::get().add("affine.implied_eq");
+        if (*Red) {
+          Stats::get().add("affine.redundant_prefiltered");
+          Cons.erase(Cons.begin() + I);
+        } else {
+          ++I;
+        }
+        continue;
+      }
+      if (BoxImplied(I)) {
+        Stats::get().add("affine.redundant_prefiltered");
+        Cons.erase(Cons.begin() + I);
+        continue;
+      }
     }
     // Test whether constraint I is implied by the others.
     LpProblem P;

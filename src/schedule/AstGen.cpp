@@ -1,14 +1,46 @@
 //===- schedule/AstGen.cpp - Schedule tree -> AST generation --------------===//
+//
+// AST generation is the compile pipeline's dominant cold-path cost (the
+// per-statement Fourier-Motzkin projections and the removeRedundant /
+// impliedByEmitted LP storms), so the generator layers three exact
+// fast paths over the naive recursion (DESIGN.md 4i):
+//
+//   * a process-wide content-addressed memo for the per-statement
+//     "project context onto loop vars + removeRedundant" subproblem and
+//     for the impliedByEmitted separation checks. Keys serialize the
+//     full numeric content (constraints, divs, dimension split, emitted
+//     set), so a hit replays a pure function of the key and the emitted
+//     AST is bit-identical with the memo on or off (AKG_ASTGEN_MEMO=0
+//     disables it for differential testing);
+//   * syntactic implication shortcuts (trivial constants, per-constraint
+//     dominance by an emitted bound) that fire only when a member point
+//     of the emitted set is known, which makes their verdict provably
+//     equal to the LP's;
+//   * an arena/interning pool for leaf expression nodes (integer
+//     constants, loop variables), which collapses the allocation storm
+//     of bound/guard expression construction.
+//
+// Effectiveness is observable through the astgen.* Stats counters
+// (astgen.proj_memo_hit, astgen.implied_syntactic, astgen.lp_avoided,
+// astgen.incremental_refinements, ...), surfaced per-pass in compile
+// traces and in bench/compile_time's JSON totals.
+//
+//===----------------------------------------------------------------------===//
 
 #include "schedule/AstGen.h"
 
 #include "ir/Passes.h"
+#include "support/Arena.h"
 #include "support/Cancel.h"
+#include "support/Env.h"
 #include "support/Matrix.h"
 #include "support/Stats.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
 
 namespace akg {
 namespace sched {
@@ -39,28 +71,101 @@ struct BoundExpr {
   int64_t Div = 1; // divide (ceil for lower, floor for upper)
 };
 
-Expr boundToExpr(const BoundExpr &B, const std::vector<std::string> &Vars,
-                 bool IsLower) {
-  Expr E = ir::intImm(B.Const);
-  for (unsigned I = 0; I < B.Coeffs.size(); ++I) {
-    if (B.Coeffs[I] == 0)
-      continue;
-    Expr Term = ir::mul(ir::intImm(B.Coeffs[I]), ir::var(Vars[I]));
-    E = ir::add(E, Term);
-  }
-  if (B.Div != 1) {
-    if (IsLower) // ceil(a/d) = floor((a + d - 1)/d)
-      E = ir::floorDiv(ir::add(E, ir::intImm(B.Div - 1)), ir::intImm(B.Div));
-    else
-      E = ir::floorDiv(E, ir::intImm(B.Div));
-  }
-  return ir::simplifyExpr(E);
+//===----------------------------------------------------------------------===//
+// Content-addressed memoization (DESIGN.md 4i)
+//===----------------------------------------------------------------------===//
+
+void putI64(std::string &S, int64_t V) {
+  char B[sizeof V];
+  std::memcpy(B, &V, sizeof V);
+  S.append(B, sizeof V);
 }
+
+void putConstraints(std::string &S, const std::vector<Constraint> &Cons) {
+  putI64(S, static_cast<int64_t>(Cons.size()));
+  for (const Constraint &C : Cons) {
+    putI64(S, C.IsEq ? 1 : 0);
+    putI64(S, C.Const);
+    putI64(S, static_cast<int64_t>(C.Coeffs.size()));
+    for (int64_t V : C.Coeffs)
+      putI64(S, V);
+  }
+}
+
+/// Serialized numeric content of the emitted loop-bound set: the shared
+/// suffix of every projection key at a node, and the first component of
+/// every impliedByEmitted key. Changing the emitted set changes these
+/// bytes, which is what invalidates the memo entries built under the old
+/// emitted set (KernelStoreTest exercises this).
+std::string serializeEmitted(const BasicSet &E) {
+  std::string S;
+  putI64(S, E.space().numIn());
+  putConstraints(S, E.constraints());
+  return S;
+}
+
+/// Process-wide memo shared by every compile (the compile service runs
+/// many concurrently). Values are pure functions of their keys, so the
+/// table never changes an answer - only whether the LPs re-run. Bounded
+/// by wholesale reset: the workloads that refill it are exactly the ones
+/// that benefit, and a reset only costs the saved time once.
+struct AstGenMemo {
+  struct ProjEntry {
+    bool Empty = false;
+    std::vector<Constraint> Cons; // surviving set after removeRedundant
+    uint32_t LpEstimate = 0;      // LP solves the original run performed
+  };
+  static constexpr size_t kMaxEntries = 1u << 15;
+
+  std::mutex Lock;
+  std::unordered_map<std::string, ProjEntry> Proj;
+  std::unordered_map<std::string, bool> Implied;
+
+  static AstGenMemo &get() {
+    // Leaked: outlives every static-destructor-ordered consumer.
+    static AstGenMemo *M = new AstGenMemo();
+    return *M;
+  }
+
+  static bool enabled() {
+    std::optional<std::string> V = env::get("AKG_ASTGEN_MEMO");
+    return !V || *V != "0";
+  }
+
+  template <class MapT, class ValT>
+  void insertBounded(MapT &Map, const std::string &Key, ValT &&Val) {
+    std::lock_guard<std::mutex> G(Lock);
+    if (Map.size() >= kMaxEntries) {
+      Map.clear();
+      Stats::get().add("astgen.memo_reset");
+    }
+    Map.emplace(Key, std::forward<ValT>(Val));
+  }
+};
+
+/// True when the origin satisfies every constraint - the cheap member
+/// point that gates the syntactic implication shortcuts (same discipline
+/// as the removeRedundant prefilter in poly/Affine.cpp).
+bool originSatisfies(const BasicSet &S) {
+  for (const Constraint &C : S.constraints())
+    if (C.IsEq ? C.Const != 0 : C.Const < 0)
+      return false;
+  return true;
+}
+
+/// Per-leaf view of the emitted set: the set itself plus the serialized
+/// memo key component and the member-point gate, computed once instead of
+/// per guard constraint.
+struct EmittedCtx {
+  const BasicSet &Set;
+  std::string Key;  // empty when the memo is disabled
+  bool HasMember = false;
+};
 
 class AstGenerator {
 public:
   AstGenerator(const ir::PolyProgram &P, const AstGenOptions &Opts)
-      : P(P), Opts(Opts) {}
+      : P(P), Opts(Opts), Arena(std::make_shared<NodeArena>()) {}
 
   Stmt run(const TreeNode *Root) {
     std::vector<ActiveStmt> Active;
@@ -73,13 +178,69 @@ public:
     }
     std::vector<std::string> LoopVars;
     BasicSet Emitted(Space::forSet({}, "emitted"));
-    return ir::simplifyStmt(gen(Root, Active, LoopVars, Emitted));
+    Stmt Out = ir::simplifyStmt(gen(Root, Active, LoopVars, Emitted));
+    Stats::get().add("astgen.arena_nodes",
+                     static_cast<int64_t>(Arena->numAllocations()));
+    return Out;
   }
 
 private:
   const ir::PolyProgram &P;
   AstGenOptions Opts;
   unsigned NextVar = 0;
+  /// Leaf-node pool: integer immediates and loop-variable reads recur in
+  /// every bound, guard and iterator expression; they are interned here
+  /// and bump-allocated from a refcounted arena that stays alive as long
+  /// as any node built from it.
+  std::shared_ptr<NodeArena> Arena;
+  std::unordered_map<int64_t, Expr> IntPool;
+  std::unordered_map<std::string, Expr> VarPool;
+
+  Expr cInt(int64_t V) {
+    auto It = IntPool.find(V);
+    if (It != IntPool.end())
+      return It->second;
+    auto N = std::allocate_shared<ir::ExprNode>(
+        ArenaAllocator<ir::ExprNode>(Arena));
+    N->Kind = ir::ExprKind::IntImm;
+    N->Type = ir::DType::I32;
+    N->IntVal = V;
+    Expr E = N;
+    IntPool.emplace(V, E);
+    return E;
+  }
+
+  Expr cVar(const std::string &Name) {
+    auto It = VarPool.find(Name);
+    if (It != VarPool.end())
+      return It->second;
+    auto N = std::allocate_shared<ir::ExprNode>(
+        ArenaAllocator<ir::ExprNode>(Arena));
+    N->Kind = ir::ExprKind::Var;
+    N->Type = ir::DType::I32;
+    N->Name = Name;
+    Expr E = N;
+    VarPool.emplace(Name, E);
+    return E;
+  }
+
+  Expr boundToExpr(const BoundExpr &B, const std::vector<std::string> &Vars,
+                   bool IsLower) {
+    Expr E = cInt(B.Const);
+    for (unsigned I = 0; I < B.Coeffs.size(); ++I) {
+      if (B.Coeffs[I] == 0)
+        continue;
+      Expr Term = ir::mul(cInt(B.Coeffs[I]), cVar(Vars[I]));
+      E = ir::add(E, Term);
+    }
+    if (B.Div != 1) {
+      if (IsLower) // ceil(a/d) = floor((a + d - 1)/d)
+        E = ir::floorDiv(ir::add(E, cInt(B.Div - 1)), cInt(B.Div));
+      else
+        E = ir::floorDiv(E, cInt(B.Div));
+    }
+    return ir::simplifyExpr(E);
+  }
 
   Stmt genChildren(const TreeNode *N, const std::vector<ActiveStmt> &Active,
                    const std::vector<std::string> &LoopVars,
@@ -95,18 +256,21 @@ private:
     return ir::makeBlock(std::move(Parts));
   }
 
-  Stmt gen(const TreeNode *N, std::vector<ActiveStmt> Active,
-           std::vector<std::string> LoopVars, BasicSet Emitted) {
+  /// Contexts flow down the tree by reference; only the nodes that
+  /// actually refine them (filters, extensions, band rows) materialize a
+  /// copy. The refinement itself happens in place on that copy.
+  Stmt gen(const TreeNode *N, const std::vector<ActiveStmt> &Active,
+           const std::vector<std::string> &LoopVars, const BasicSet &Emitted) {
     switch (N->Kind) {
     case NodeKind::Domain:
     case NodeKind::Context:
       return genChildren(N, Active, LoopVars, Emitted);
     case NodeKind::Filter: {
       std::vector<ActiveStmt> Kept;
-      for (ActiveStmt &A : Active)
+      for (const ActiveStmt &A : Active)
         for (unsigned Id : N->FilterStmts)
           if (A.Id == Id)
-            Kept.push_back(std::move(A));
+            Kept.push_back(A);
       if (Kept.empty())
         return nullptr;
       return genChildren(N, Kept, LoopVars, Emitted);
@@ -123,6 +287,7 @@ private:
       return ir::makeAttr("mark", N->MarkTag, std::move(Body));
     }
     case NodeKind::Extension: {
+      std::vector<ActiveStmt> Ext = Active;
       for (const ExtensionDecl &E : N->Extensions) {
         const ir::PolyStmt &St = P.Stmts[E.StmtId];
         assert(E.Rel.space().numIn() == LoopVars.size() &&
@@ -148,22 +313,62 @@ private:
           else
             A.Ctx.addIneq(Row, C.Const);
         }
-        Active.push_back(std::move(A));
+        Ext.push_back(std::move(A));
       }
-      return genChildren(N, Active, LoopVars, Emitted);
+      return genChildren(N, Ext, LoopVars, Emitted);
     }
     case NodeKind::Band:
-      return genBandRow(N, 0, std::move(Active), std::move(LoopVars),
-                        std::move(Emitted));
+      return genBandRow(N, 0, Active, LoopVars, Emitted);
     }
     return nullptr;
   }
 
-  /// Projects a statement context onto its loop-variable columns (iters and
-  /// divs eliminated), intersected with what the enclosing loops already
-  /// enforce (so integer-tightened loop bounds shake out max(.,0) terms).
-  BasicSet projectToLoopVars(const ActiveStmt &A,
-                             const BasicSet &Emitted) const {
+  /// Projects a statement context onto its loop-variable columns (iters
+  /// and divs eliminated), intersected with what the enclosing loops
+  /// already enforce, then runs removeRedundant on the survivors. The
+  /// whole subproblem is a pure function of the numeric content of
+  /// (context, emitted set, iterator count), so it is served from the
+  /// process-wide memo when AKG_ASTGEN_MEMO allows; the miss path below
+  /// is byte-for-byte the historical computation.
+  struct ProjResult {
+    bool Empty = false;
+    BasicSet Proj;
+  };
+
+  ProjResult reducedProjection(const ActiveStmt &A, const BasicSet &Emitted,
+                               const std::string &EmittedKey) const {
+    const bool UseMemo = !EmittedKey.empty();
+    std::string Key;
+    if (UseMemo) {
+      const BasicSet &Ctx = A.Ctx;
+      Key.reserve(64 + EmittedKey.size() +
+                  Ctx.constraints().size() * (Ctx.numCols() + 3) * 8);
+      Key += 'P';
+      putI64(Key, A.NumIters);
+      putI64(Key, Ctx.space().numParams());
+      putI64(Key, Ctx.space().numIn());
+      putI64(Key, Ctx.space().numOut());
+      putI64(Key, static_cast<int64_t>(Ctx.divs().size()));
+      for (const DivDef &D : Ctx.divs()) {
+        putI64(Key, D.Denom);
+        putI64(Key, D.Const);
+        putI64(Key, static_cast<int64_t>(D.Coeffs.size()));
+        for (int64_t V : D.Coeffs)
+          putI64(Key, V);
+      }
+      putConstraints(Key, Ctx.constraints());
+      Key += EmittedKey;
+      AstGenMemo &M = AstGenMemo::get();
+      std::lock_guard<std::mutex> G(M.Lock);
+      auto It = M.Proj.find(Key);
+      if (It != M.Proj.end()) {
+        Stats::get().add("astgen.proj_memo_hit");
+        Stats::get().add("astgen.lp_avoided", It->second.LpEstimate);
+        return rebuildProjection(A, It->second);
+      }
+    }
+    Stats::get().add("astgen.proj_memo_miss");
+
     BasicSet C = A.Ctx;
     // Import the emitted loop-bound constraints on the loop-var columns
     // (they sit after the statement's iterators).
@@ -180,7 +385,45 @@ private:
       C.eliminateCol(C.divCol(C.numDivs() - 1));
     for (unsigned I = A.NumIters; I-- > 0;)
       C.eliminateCol(C.inCol(I));
-    return C;
+
+    bool Empty = C.isEmpty();
+    uint32_t LpEstimate = 1; // the emptiness probe
+    if (!Empty) {
+      // On an empty set removeRedundant keeps every constraint (each LP
+      // probe is infeasible), so skipping it preserves the historical
+      // result of both call sites - including the leaf path, which used
+      // to run removeRedundant unconditionally.
+      for (const Constraint &Cn : C.constraints())
+        if (!Cn.IsEq)
+          ++LpEstimate;
+      C.removeRedundant();
+    }
+    if (UseMemo) {
+      AstGenMemo::ProjEntry E;
+      E.Empty = Empty;
+      E.Cons = C.constraints();
+      E.LpEstimate = LpEstimate;
+      AstGenMemo &M = AstGenMemo::get();
+      M.insertBounded(M.Proj, Key, std::move(E));
+    }
+    return ProjResult{Empty, std::move(C)};
+  }
+
+  /// Rebuilds the projected set from a memo entry: the space is the
+  /// context's loop-var suffix (exactly what column elimination leaves
+  /// behind); the constraints are the cached survivors, re-added through
+  /// addConstraint (idempotent on an already-normalized, deduped list).
+  static ProjResult rebuildProjection(const ActiveStmt &A,
+                                      const AstGenMemo::ProjEntry &E) {
+    Space Sp;
+    Sp.Params = A.Ctx.space().Params;
+    Sp.In.assign(A.Ctx.space().In.begin() + A.NumIters,
+                 A.Ctx.space().In.end());
+    Sp.InTuple = A.Ctx.space().InTuple;
+    BasicSet R{std::move(Sp)};
+    for (const Constraint &C : E.Cons)
+      R.addConstraint(C);
+    return ProjResult{E.Empty, std::move(R)};
   }
 
   Stmt genBandRow(const TreeNode *Band, unsigned Row,
@@ -194,7 +437,11 @@ private:
       return genChildren(Band, Active, LoopVars, Emitted);
     std::string VarName = "c" + std::to_string(NextVar++);
 
-    // Bind the new loop variable in every active statement.
+    // Bind the new loop variable in every active statement: the contexts
+    // are refined in place down the schedule tree (one equality or
+    // floor-pair per band row) rather than rebuilt per node.
+    Stats::get().add("astgen.incremental_refinements",
+                     static_cast<int64_t>(Active.size()));
     for (ActiveStmt &A : Active) {
       unsigned Col = A.Ctx.appendInDim(VarName);
       auto It = Band->Partial.find(A.Id);
@@ -232,13 +479,15 @@ private:
     struct StmtBounds {
       std::vector<BoundExpr> Lower, Upper;
     };
+    std::string EmittedKey =
+        AstGenMemo::enabled() ? serializeEmitted(Emitted) : std::string();
     std::vector<StmtBounds> AllBounds;
     std::vector<ActiveStmt> Kept;
     for (ActiveStmt &A : Active) {
-      BasicSet Proj = projectToLoopVars(A, Emitted);
-      if (Proj.isEmpty())
+      ProjResult PR = reducedProjection(A, Emitted, EmittedKey);
+      if (PR.Empty)
         continue; // statement has no instances in this subtree
-      Proj.removeRedundant();
+      const BasicSet &Proj = PR.Proj;
       StmtBounds SB;
       for (const Constraint &C : Proj.constraints()) {
         // Columns of Proj: loop vars in path order.
@@ -347,7 +596,7 @@ private:
     if (!Body)
       return nullptr;
     Expr Extent = ir::simplifyExpr(
-        ir::add(ir::sub(Ub, Lb), ir::intImm(1)));
+        ir::add(ir::sub(Ub, Lb), cInt(1)));
     Stmt Loop = ir::makeFor(VarName, Lb, Extent, std::move(Body));
     if (Opts.AnnotateVectorLoops && Row < Band->Coincident.size() &&
         Band->Coincident[Row])
@@ -365,9 +614,13 @@ private:
               [](const ActiveStmt *A, const ActiveStmt *B) {
                 return A->Id < B->Id;
               });
+    EmittedCtx EC{Emitted,
+                  AstGenMemo::enabled() ? serializeEmitted(Emitted)
+                                        : std::string(),
+                  originSatisfies(Emitted)};
     std::vector<Stmt> Out;
     for (const ActiveStmt *A : Ordered) {
-      Stmt S = emitStatement(*A, LoopVars, Emitted);
+      Stmt S = emitStatement(*A, LoopVars, EC);
       if (S)
         Out.push_back(std::move(S));
     }
@@ -378,7 +631,7 @@ private:
 
   Stmt emitStatement(const ActiveStmt &A,
                      const std::vector<std::string> &LoopVars,
-                     const BasicSet &Emitted) {
+                     const EmittedCtx &EC) {
     const ir::PolyStmt &St = P.Stmts[A.Id];
     // Solve the iterators from the affine band rows.
     unsigned N = A.NumIters;
@@ -408,7 +661,7 @@ private:
     // Iterator expressions: i = Inv * (v - const).
     std::vector<std::pair<std::string, Expr>> Bind;
     for (unsigned K = 0; K < N; ++K) {
-      Expr E = ir::intImm(0);
+      Expr E = cInt(0);
       for (unsigned J = 0; J < N; ++J) {
         Rational C = Inv.at(K, J);
         if (C.isZero())
@@ -416,9 +669,9 @@ private:
         assert(C.isInteger() &&
                "non-unimodular schedule at leaf (unsupported stride)");
         Expr Term = ir::mul(
-            ir::intImm(C.getInt64()),
-            ir::sub(ir::var(A.AffVars[Chosen[J]]),
-                    ir::intImm(A.AffConsts[Chosen[J]])));
+            cInt(C.getInt64()),
+            ir::sub(cVar(A.AffVars[Chosen[J]]),
+                    cInt(A.AffConsts[Chosen[J]])));
         E = ir::add(E, Term);
       }
       Bind.emplace_back(St.Iters[K].Name, ir::simplifyExpr(E));
@@ -432,23 +685,23 @@ private:
 
     // Guards: context constraints over loop vars not implied by the
     // emitted loop bounds.
-    BasicSet Proj = projectToLoopVars(A, Emitted);
-    Proj.removeRedundant();
+    ProjResult PR = reducedProjection(A, EC.Set, EC.Key);
+    const BasicSet &Proj = PR.Proj;
     std::vector<Expr> Guards;
     for (const Constraint &C : Proj.constraints()) {
-      if (impliedByEmitted(C, Emitted))
+      if (impliedByEmitted(C, EC))
         continue;
       // Build  coeffs . v + const  (>= 0 or == 0).
-      Expr E = ir::intImm(C.Const);
+      Expr E = cInt(C.Const);
       for (unsigned K = 0; K < LoopVars.size() && K < C.Coeffs.size(); ++K) {
         if (C.Coeffs[K] == 0)
           continue;
-        E = ir::add(E, ir::mul(ir::intImm(C.Coeffs[K]),
-                               ir::var(LoopVars[K])));
+        E = ir::add(E, ir::mul(cInt(C.Coeffs[K]),
+                               cVar(LoopVars[K])));
       }
       E = ir::simplifyExpr(E);
-      Guards.push_back(C.IsEq ? ir::cmp(ir::ExprKind::CmpEQ, E, ir::intImm(0))
-                              : ir::cmp(ir::ExprKind::CmpLE, ir::intImm(0),
+      Guards.push_back(C.IsEq ? ir::cmp(ir::ExprKind::CmpEQ, E, cInt(0))
+                              : ir::cmp(ir::ExprKind::CmpLE, cInt(0),
                                         E));
     }
     for (unsigned G = Guards.size(); G-- > 0;)
@@ -456,19 +709,101 @@ private:
     return Body;
   }
 
-  bool impliedByEmitted(const Constraint &C, const BasicSet &Emitted) const {
+  /// Separation check: is constraint \p C implied by the emitted loop
+  /// bounds? Decided, in order, by the memo, by syntactic shortcuts
+  /// (exact only because a member point of the emitted set is known),
+  /// and finally by the historical LP. All three produce the same
+  /// verdict; only the cost differs.
+  bool impliedByEmitted(const Constraint &C, const EmittedCtx &EC) const {
     if (C.IsEq)
       return false;
+    const BasicSet &Emitted = EC.Set;
+    const std::vector<Constraint> &ECons = Emitted.constraints();
     // Min of C over Emitted >= 0 => implied.
-    if (Emitted.constraints().empty())
+    if (ECons.empty())
       return false;
-    LpProblem Lp = Emitted.toLp();
-    std::vector<Rational> Obj(Lp.NumVars, Rational(0));
-    for (unsigned K = 0; K < Emitted.numCols() && K < C.Coeffs.size(); ++K)
-      Obj[K] = Rational(C.Coeffs[K]);
-    LpResult R = lpMinimize(Lp, Obj);
-    return R.Status == LpStatus::Optimal &&
-           R.Value + Rational(C.Const) >= Rational(0);
+    // The LP truncates/pads C to the emitted set's columns; every check
+    // below must see exactly the coefficients the LP would.
+    unsigned W = std::min<size_t>(Emitted.numCols(), C.Coeffs.size());
+    std::string Key;
+    const bool UseMemo = !EC.Key.empty();
+    if (UseMemo) {
+      Key.reserve(EC.Key.size() + (W + 3) * 8);
+      Key += 'I';
+      putI64(Key, C.Const);
+      putI64(Key, W);
+      for (unsigned K = 0; K < W; ++K)
+        putI64(Key, C.Coeffs[K]);
+      Key += EC.Key;
+      AstGenMemo &M = AstGenMemo::get();
+      std::lock_guard<std::mutex> G(M.Lock);
+      auto It = M.Implied.find(Key);
+      if (It != M.Implied.end()) {
+        Stats::get().add("astgen.implied_memo_hit");
+        Stats::get().add("astgen.lp_avoided");
+        return It->second;
+      }
+    }
+
+    bool Result = false;
+    bool Decided = false;
+    if (EC.HasMember) {
+      // Trivial constant: min over a non-empty set of a constant
+      // objective is that constant.
+      bool AllZero = true;
+      for (unsigned K = 0; K < W; ++K)
+        if (C.Coeffs[K] != 0) {
+          AllZero = false;
+          break;
+        }
+      if (AllZero) {
+        Result = C.Const >= 0;
+        Decided = true;
+      }
+      // Dominance by one emitted constraint with the same coefficient
+      // vector: E.x + E.c >= 0 pointwise bounds C.x + C.c from below by
+      // C.c - E.c; an equality pins the objective's value exactly.
+      for (unsigned I = 0; !Decided && I < ECons.size(); ++I) {
+        const Constraint &E = ECons[I];
+        bool SameCoeffs = true;
+        for (unsigned K = 0; K < E.Coeffs.size(); ++K) {
+          int64_t CK = K < W ? C.Coeffs[K] : 0;
+          if (E.Coeffs[K] != CK) {
+            SameCoeffs = false;
+            break;
+          }
+        }
+        if (!SameCoeffs)
+          continue;
+        if (E.IsEq) {
+          // C.x is the constant -E.c over the whole set.
+          Result = C.Const - E.Const >= 0;
+          Decided = true;
+        } else if (C.Const >= E.Const) {
+          Result = true;
+          Decided = true;
+        }
+      }
+      if (Decided) {
+        Stats::get().add("astgen.implied_syntactic");
+        Stats::get().add("astgen.lp_avoided");
+      }
+    }
+    if (!Decided) {
+      Stats::get().add("astgen.implied_lp");
+      LpProblem Lp = Emitted.toLp();
+      std::vector<Rational> Obj(Lp.NumVars, Rational(0));
+      for (unsigned K = 0; K < Emitted.numCols() && K < C.Coeffs.size(); ++K)
+        Obj[K] = Rational(C.Coeffs[K]);
+      LpResult R = lpMinimize(Lp, Obj);
+      Result = R.Status == LpStatus::Optimal &&
+               R.Value + Rational(C.Const) >= Rational(0);
+    }
+    if (UseMemo) {
+      AstGenMemo &M = AstGenMemo::get();
+      M.insertBounded(M.Implied, Key, Result);
+    }
+    return Result;
   }
 };
 

@@ -1,0 +1,89 @@
+//===- support/Arena.h - Bump-pointer node arena ----------------*- C++ -*-===//
+//
+// A refcounted bump-pointer arena for allocating many small immutable
+// nodes (AST expression/statement nodes) without one malloc per node.
+// Pair it with ArenaAllocator and std::allocate_shared: every shared_ptr
+// control block + node pair is carved out of the arena's blocks, and the
+// allocator keeps a shared_ptr to the arena, so the arena's memory stays
+// alive exactly as long as any node allocated from it - handing an AST
+// built in an arena to a caller (or another thread) is safe.
+//
+// Deallocation is a no-op (bump pointers only move forward); destructors
+// still run normally when the last shared_ptr drops. The arena itself is
+// not thread-safe for concurrent allocation - each compile uses its own.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SUPPORT_ARENA_H
+#define AKG_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace akg {
+
+class NodeArena {
+public:
+  static constexpr size_t kBlockBytes = 1 << 16;
+
+  void *allocate(size_t Bytes, size_t Align) {
+    size_t Cur = reinterpret_cast<uintptr_t>(Next);
+    size_t Aligned = (Cur + Align - 1) & ~(Align - 1);
+    if (!Next || Aligned + Bytes > reinterpret_cast<uintptr_t>(End)) {
+      size_t BlockSize = Bytes + Align > kBlockBytes ? Bytes + Align
+                                                     : kBlockBytes;
+      Blocks.emplace_back(new char[BlockSize]);
+      Next = Blocks.back().get();
+      End = Next + BlockSize;
+      Cur = reinterpret_cast<uintptr_t>(Next);
+      Aligned = (Cur + Align - 1) & ~(Align - 1);
+    }
+    Next = reinterpret_cast<char *>(Aligned + Bytes);
+    ++Allocs;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  size_t numAllocations() const { return Allocs; }
+  size_t numBlocks() const { return Blocks.size(); }
+
+private:
+  std::vector<std::unique_ptr<char[]>> Blocks;
+  char *Next = nullptr;
+  char *End = nullptr;
+  size_t Allocs = 0;
+};
+
+/// Standard-allocator adapter over a refcounted NodeArena. deallocate is
+/// a no-op; the arena lives until the last object allocated through any
+/// copy of this allocator is destroyed.
+template <class T> class ArenaAllocator {
+public:
+  using value_type = T;
+
+  explicit ArenaAllocator(std::shared_ptr<NodeArena> A) : Arena(std::move(A)) {}
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U> &O) : Arena(O.arena()) {}
+
+  T *allocate(size_t N) {
+    return static_cast<T *>(Arena->allocate(N * sizeof(T), alignof(T)));
+  }
+  void deallocate(T *, size_t) noexcept {} // bulk-freed with the arena
+
+  const std::shared_ptr<NodeArena> &arena() const { return Arena; }
+
+  template <class U> bool operator==(const ArenaAllocator<U> &O) const {
+    return Arena == O.arena();
+  }
+  template <class U> bool operator!=(const ArenaAllocator<U> &O) const {
+    return Arena != O.arena();
+  }
+
+private:
+  std::shared_ptr<NodeArena> Arena;
+};
+
+} // namespace akg
+
+#endif // AKG_SUPPORT_ARENA_H

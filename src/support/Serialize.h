@@ -1,0 +1,130 @@
+//===- support/Serialize.h - Bounds-checked byte (de)serialization -*- C++ -*-//
+//
+// Little-endian fixed-width byte streams for the on-disk kernel store
+// (akg/KernelStore). The writer appends to a std::string; the reader is
+// strictly bounds-checked and never throws: any out-of-range read flips
+// a sticky failure bit and returns zero values, so a truncated or
+// corrupted entry degrades to "deserialization failed" instead of UB.
+// Check ok() once at the end rather than after every field.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SUPPORT_SERIALIZE_H
+#define AKG_SUPPORT_SERIALIZE_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace akg {
+
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) { raw(&V, sizeof V); }
+  void u64(uint64_t V) { raw(&V, sizeof V); }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void f64(double V) {
+    uint64_t U;
+    std::memcpy(&U, &V, sizeof U);
+    u64(U);
+  }
+  void b(bool V) { u8(V ? 1 : 0); }
+  void str(const std::string &S) {
+    u64(S.size());
+    Buf.append(S);
+  }
+
+  const std::string &bytes() const { return Buf; }
+  std::string take() { return std::move(Buf); }
+
+private:
+  void raw(const void *P, size_t N) {
+    Buf.append(reinterpret_cast<const char *>(P), N);
+  }
+  std::string Buf;
+};
+
+class ByteReader {
+public:
+  ByteReader(const char *Data, size_t Size) : P(Data), End(Data + Size) {}
+  explicit ByteReader(const std::string &S) : ByteReader(S.data(), S.size()) {}
+
+  uint8_t u8() {
+    uint8_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  double f64() {
+    uint64_t U = u64();
+    double V = 0;
+    std::memcpy(&V, &U, sizeof V);
+    return V;
+  }
+  bool b() { return u8() != 0; }
+  std::string str() {
+    uint64_t N = u64();
+    if (!Good || N > static_cast<size_t>(End - P)) {
+      Good = false;
+      return std::string();
+    }
+    std::string S(P, N);
+    P += N;
+    return S;
+  }
+
+  /// An enum read with range validation: values past \p MaxInclusive
+  /// poison the stream (a corrupted entry must not materialize an
+  /// out-of-range enum).
+  template <class E> E enumOf(uint8_t MaxInclusive) {
+    uint8_t V = u8();
+    if (V > MaxInclusive) {
+      Good = false;
+      V = 0;
+    }
+    return static_cast<E>(V);
+  }
+
+  /// Guard for loop counts read from the stream: a hostile or torn
+  /// length must not drive a multi-gigabyte allocation. Every element
+  /// costs at least \p MinBytesPer bytes of remaining payload.
+  bool fits(uint64_t Count, size_t MinBytesPer) {
+    if (!Good || Count > static_cast<size_t>(End - P) / MinBytesPer) {
+      Good = false;
+      return false;
+    }
+    return true;
+  }
+
+  bool ok() const { return Good; }
+  bool atEnd() const { return P == End; }
+  size_t remaining() const { return static_cast<size_t>(End - P); }
+
+private:
+  void raw(void *V, size_t N) {
+    if (!Good || N > static_cast<size_t>(End - P)) {
+      Good = false;
+      return;
+    }
+    std::memcpy(V, P, N);
+    P += N;
+  }
+  const char *P;
+  const char *End;
+  bool Good = true;
+};
+
+} // namespace akg
+
+#endif // AKG_SUPPORT_SERIALIZE_H

@@ -121,23 +121,39 @@ def main():
             check_wall(name, "totals", base["totals"][WALL_KEY],
                        cur.get("totals", {}).get(WALL_KEY), gate=True)
         # Per-stage wall breakdown (stage_wall.<pass>, from the compile
-        # traces): purely informational. The gate stays on the figure's
-        # compile_wall_seconds total - individual stages are too small and
-        # too noisy to gate, but a big shift localizes a wall regression.
+        # traces). Most stages are too small and too noisy to gate and are
+        # reported informationally, but stage_wall.ast_gen gates at the
+        # wall tolerance: AST generation was the dominant cold-path cost
+        # (ISSUE 7) and its fast paths must not silently rot back into the
+        # per-statement LP storm.
+        GATED_STAGES = {"stage_wall.ast_gen"}
         btotals, ctotals = base.get("totals", {}), cur.get("totals", {})
         for key in sorted(btotals):
             if not key.startswith("stage_wall."):
                 continue
+            gated = key in GATED_STAGES
             bval, cval = btotals[key], ctotals.get(key)
             if not isinstance(bval, (int, float)) or bval <= 0:
                 continue
             if not isinstance(cval, (int, float)):
-                print(f"{name} totals.{key}: {bval:.3f}s -> (missing)")
+                if gated:
+                    failures.append(f"{name}: totals.{key} vanished")
+                else:
+                    print(f"{name} totals.{key}: {bval:.3f}s -> (missing)")
                 continue
             ratio = cval / bval
-            if abs(ratio - 1.0) >= 0.05:
+            marker = " [informational]"
+            if gated:
+                marker = ""
+                if ratio > args.wall_tolerance:
+                    failures.append(
+                        f"{name}: totals.{key} regressed {ratio:.2f}x "
+                        f"({bval:.3f}s -> {cval:.3f}s, tolerance "
+                        f"{args.wall_tolerance:.2f}x)")
+                    marker = "  <-- FAIL"
+            if abs(ratio - 1.0) >= 0.05 or marker.endswith("FAIL"):
                 print(f"{name} totals.{key}: {bval:.3f}s -> {cval:.3f}s "
-                      f"({ratio:.2f}x) [informational]")
+                      f"({ratio:.2f}x){marker}")
 
     if failures:
         print(f"\nbench_diff: {len(failures)} failure(s)", file=sys.stderr)
