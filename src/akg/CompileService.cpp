@@ -2,6 +2,7 @@
 
 #include "akg/CompileService.h"
 
+#include "composite/Composite.h"
 #include "support/Env.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
@@ -102,6 +103,41 @@ CompileService::~CompileService() { Pool->shutdown(/*Drain=*/true); }
 std::future<CompileResult> CompileService::submit(const ir::Module &M,
                                                   const AkgOptions &Opts,
                                                   const std::string &Name) {
+  // Non-owning alias: the caller guarantees M outlives the result.
+  return submitShared(
+      std::shared_ptr<const ir::Module>(&M, [](const ir::Module *) {}), Opts,
+      Name);
+}
+
+std::future<CompileResult>
+CompileService::submitJson(const std::string &JsonText,
+                           const AkgOptions &Opts) {
+  composite::FrontendResult F = composite::loadComposite(JsonText);
+  if (!F.ok()) {
+    ++NSubmitted;
+    if (Stats::enabled())
+      Stats::get().add("service.invalid_json");
+    // Nothing was compiled, so no scalar fallback and no trace dump: the
+    // caller gets the structured diagnostics and nothing else.
+    CompileResult R;
+    std::string Msg = F.Outcome.message();
+    unsigned Extra = 0;
+    for (size_t I = 1; I < F.Diags.size() && Extra < 2; ++I, ++Extra)
+      Msg += "; " + F.Diags[I].str();
+    if (F.Diags.size() > 3)
+      Msg += "; (+" + std::to_string(F.Diags.size() - 3) + " more)";
+    R.Outcome = Status::error(F.Outcome.code(), Msg);
+    std::promise<CompileResult> P;
+    P.set_value(std::move(R));
+    return P.get_future();
+  }
+  return submitShared(F.Mod, Opts, F.KernelName);
+}
+
+std::future<CompileResult>
+CompileService::submitShared(std::shared_ptr<const ir::Module> M,
+                             const AkgOptions &Opts,
+                             const std::string &Name) {
   ++NSubmitted;
   if (Stats::enabled())
     Stats::get().add("service.submitted");
@@ -117,7 +153,7 @@ std::future<CompileResult> CompileService::submit(const ir::Module &M,
       ++NShed;
       if (Stats::enabled())
         Stats::get().add("service.shed");
-      P.set_value(serviceResult(M, Name, ErrCode::Overloaded, "shed",
+      P.set_value(serviceResult(*M, Name, ErrCode::Overloaded, "shed",
                                 "queue full (depth " + std::to_string(Depth) +
                                     "); policy reject",
                                 /*WithKernel=*/false));
@@ -127,7 +163,7 @@ std::future<CompileResult> CompileService::submit(const ir::Module &M,
       ++NDegraded;
       if (Stats::enabled())
         Stats::get().add("service.degraded");
-      P.set_value(serviceResult(M, Name, ErrCode::Ok, "shed",
+      P.set_value(serviceResult(*M, Name, ErrCode::Ok, "shed",
                                 "queue full (depth " + std::to_string(Depth) +
                                     "); policy degrade: scalar rung"));
     }
@@ -149,9 +185,9 @@ std::future<CompileResult> CompileService::submit(const ir::Module &M,
   AkgOptions JobOpts = Opts;
   auto Admit = std::chrono::steady_clock::now();
   return Pool->submit(
-      [this, &M, JobOpts = std::move(JobOpts), Name, Ctx, Admit] {
+      [this, M, JobOpts = std::move(JobOpts), Name, Ctx, Admit] {
         Queued.fetch_sub(1, std::memory_order_acq_rel);
-        CompileResult R = runOne(M, JobOpts, Name, Ctx);
+        CompileResult R = runOne(*M, JobOpts, Name, Ctx);
         R.ServiceSeconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - Admit)
                                .count();

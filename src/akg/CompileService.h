@@ -138,6 +138,18 @@ public:
                                     const AkgOptions &Opts,
                                     const std::string &Name);
 
+  /// The network front door: parses one composite-subgraph JSON payload
+  /// (src/composite), normalizes away its transform ops, and admits the
+  /// lowered module. The job owns the parsed module, so neither the
+  /// payload string nor anything else must outlive the future. A payload
+  /// the frontend rejects returns an already-ready future with Outcome =
+  /// InvalidArgument (or Unsupported) carrying the structured diagnostics
+  /// in the message; nothing is compiled and no trace is dumped. Because
+  /// lowering canonicalizes the payload, textual variants of the same
+  /// subgraph land on the same kernel-cache fingerprint triple.
+  std::future<CompileResult> submitJson(const std::string &JsonText,
+                                        const AkgOptions &Opts);
+
   /// Submits every job and waits; results in job order.
   std::vector<CompileResult> compileAll(const std::vector<CompileJob> &Jobs);
 
@@ -148,6 +160,12 @@ public:
   ShedPolicy shedPolicy() const { return Policy; }
 
 private:
+  /// Common admission path. \p M may own the module (submitJson) or be a
+  /// non-owning alias of caller-owned storage (submit).
+  std::future<CompileResult> submitShared(std::shared_ptr<const ir::Module> M,
+                                          const AkgOptions &Opts,
+                                          const std::string &Name);
+
   CompileResult runOne(const ir::Module &M, AkgOptions Opts,
                        const std::string &Name,
                        std::shared_ptr<cancel::Context> Ctx);

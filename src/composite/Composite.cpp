@@ -1,0 +1,1464 @@
+//===- composite/Composite.cpp - Schema parse/validate/serialize ----------===//
+
+#include "composite/Composite.h"
+
+#include "ir/ModuleUtils.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace akg {
+namespace composite {
+
+//===----------------------------------------------------------------------===//
+// Small helpers
+//===----------------------------------------------------------------------===//
+
+const char *dtypeText(ir::DType T) {
+  switch (T) {
+  case ir::DType::F16:
+    return "float16";
+  case ir::DType::F32:
+    return "float32";
+  case ir::DType::I32:
+    return "int32";
+  case ir::DType::Bool:
+    return "bool";
+  }
+  return "float32";
+}
+
+bool dtypeFromText(const std::string &S, ir::DType &Out) {
+  if (S == "float16" || S == "half" || S == "fp16") {
+    Out = ir::DType::F16;
+    return true;
+  }
+  if (S == "float32" || S == "float" || S == "fp32") {
+    Out = ir::DType::F32;
+    return true;
+  }
+  if (S == "int32" || S == "int32_t" || S == "int") {
+    Out = ir::DType::I32;
+    return true;
+  }
+  if (S == "bool") {
+    Out = ir::DType::Bool;
+    return true;
+  }
+  return false;
+}
+
+void CompositeOp::setAttr(const std::string &Name, Json V) {
+  for (Attr &A : Attrs)
+    if (A.Name == Name) {
+      A.Value = std::move(V);
+      return;
+    }
+  Attrs.push_back(Attr{Name, std::move(V)});
+}
+
+namespace {
+
+void diag(std::vector<Diag> &D, const std::string &Path,
+          const std::string &Msg) {
+  D.push_back(Diag{Path, Msg});
+}
+
+bool isIdent(const std::string &S) {
+  if (S.empty() || S.size() > 128)
+    return false;
+  unsigned char C0 = static_cast<unsigned char>(S[0]);
+  if (!std::isalpha(C0) && S[0] != '_')
+    return false;
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    if (!std::isalnum(U) && C != '_')
+      return false;
+  }
+  return true;
+}
+
+std::string sanitizeKernelName(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    Out += (std::isalnum(U) || C == '_') ? C : '_';
+    if (Out.size() >= 128)
+      break;
+  }
+  if (Out.empty())
+    Out = "composite_kernel";
+  if (std::isdigit(static_cast<unsigned char>(Out[0])))
+    Out = "_" + Out;
+  return Out;
+}
+
+/// Multiplies out a shape with overflow/cap checking.
+bool shapeElems(const std::vector<int64_t> &Shape, int64_t &N) {
+  N = 1;
+  for (int64_t S : Shape) {
+    if (S <= 0 || S > kMaxDimExtent)
+      return false;
+    if (N > kMaxTensorElems / S)
+      return false;
+    N *= S;
+  }
+  return true;
+}
+
+bool sameShape(const std::vector<int64_t> &A, const std::vector<int64_t> &B) {
+  return A == B;
+}
+
+std::string shapeText(const std::vector<int64_t> &S) {
+  std::string T = "[";
+  for (size_t I = 0; I < S.size(); ++I)
+    T += (I ? "," : "") + std::to_string(S[I]);
+  return T + "]";
+}
+
+/// Numpy-style right-aligned broadcast of two shapes.
+bool broadcast2(const std::vector<int64_t> &A, const std::vector<int64_t> &B,
+                std::vector<int64_t> &Out) {
+  size_t R = std::max(A.size(), B.size());
+  Out.assign(R, 1);
+  for (size_t I = 0; I < R; ++I) {
+    int64_t DA = I < R - A.size() ? 1 : A[I - (R - A.size())];
+    int64_t DB = I < R - B.size() ? 1 : B[I - (R - B.size())];
+    if (DA != DB && DA != 1 && DB != 1)
+      return false;
+    Out[I] = std::max(DA, DB);
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Op vocabulary classification
+//===----------------------------------------------------------------------===//
+
+bool isElementwiseOp(const std::string &T) {
+  static const char *Names[] = {
+      "Add",  "Sub",  "Mul",   "Div",     "Maximum", "Minimum", "Less",
+      "LessEqual", "Equal", "Select", "Neg", "Exp", "Log", "Sqrt", "Rsqrt",
+      "Abs",  "Relu", "Sigmoid", "Tanh",  "Gelu",    "Cast"};
+  for (const char *N : Names)
+    if (T == N)
+      return true;
+  return false;
+}
+
+bool isTransformOp(const std::string &T) {
+  return T == "Reshape" || T == "Transpose" || T == "Cast" ||
+         T == "BroadcastTo";
+}
+
+bool isKnownOp(const std::string &T) {
+  return isElementwiseOp(T) || isTransformOp(T) || T == "BiasAdd" ||
+         T == "MatMul" || T == "ReduceSum" || T == "ReduceMax" ||
+         T == "ReduceMin" || T == "Compute";
+}
+
+//===----------------------------------------------------------------------===//
+// Expression (de)serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *exprKindText(ir::ExprKind K) {
+  switch (K) {
+  case ir::ExprKind::IntImm:
+    return "int";
+  case ir::ExprKind::FloatImm:
+    return "float";
+  case ir::ExprKind::Var:
+    return "var";
+  case ir::ExprKind::Add:
+    return "add";
+  case ir::ExprKind::Sub:
+    return "sub";
+  case ir::ExprKind::Mul:
+    return "mul";
+  case ir::ExprKind::Div:
+    return "div";
+  case ir::ExprKind::FloorDiv:
+    return "floordiv";
+  case ir::ExprKind::Mod:
+    return "mod";
+  case ir::ExprKind::Min:
+    return "min";
+  case ir::ExprKind::Max:
+    return "max";
+  case ir::ExprKind::Cast:
+    return "cast";
+  case ir::ExprKind::Select:
+    return "select";
+  case ir::ExprKind::CmpLT:
+    return "lt";
+  case ir::ExprKind::CmpLE:
+    return "le";
+  case ir::ExprKind::CmpEQ:
+    return "eq";
+  case ir::ExprKind::CmpNE:
+    return "ne";
+  case ir::ExprKind::And:
+    return "and";
+  case ir::ExprKind::Or:
+    return "or";
+  case ir::ExprKind::Not:
+    return "not";
+  case ir::ExprKind::TensorRead:
+    return "read";
+  case ir::ExprKind::Call:
+    return "call";
+  case ir::ExprKind::Reduce:
+    return "reduce";
+  }
+  return "?";
+}
+
+bool exprKindFromText(const std::string &S, ir::ExprKind &K) {
+  static const std::pair<const char *, ir::ExprKind> Table[] = {
+      {"int", ir::ExprKind::IntImm},    {"float", ir::ExprKind::FloatImm},
+      {"var", ir::ExprKind::Var},       {"add", ir::ExprKind::Add},
+      {"sub", ir::ExprKind::Sub},       {"mul", ir::ExprKind::Mul},
+      {"div", ir::ExprKind::Div},       {"floordiv", ir::ExprKind::FloorDiv},
+      {"mod", ir::ExprKind::Mod},       {"min", ir::ExprKind::Min},
+      {"max", ir::ExprKind::Max},       {"cast", ir::ExprKind::Cast},
+      {"select", ir::ExprKind::Select}, {"lt", ir::ExprKind::CmpLT},
+      {"le", ir::ExprKind::CmpLE},      {"eq", ir::ExprKind::CmpEQ},
+      {"ne", ir::ExprKind::CmpNE},      {"and", ir::ExprKind::And},
+      {"or", ir::ExprKind::Or},         {"not", ir::ExprKind::Not},
+      {"read", ir::ExprKind::TensorRead}, {"call", ir::ExprKind::Call},
+      {"reduce", ir::ExprKind::Reduce}};
+  for (const auto &E : Table)
+    if (S == E.first) {
+      K = E.second;
+      return true;
+    }
+  return false;
+}
+
+const char *reduceKindText(ir::ReduceKind K) {
+  switch (K) {
+  case ir::ReduceKind::Sum:
+    return "sum";
+  case ir::ReduceKind::Max:
+    return "max";
+  case ir::ReduceKind::Min:
+    return "min";
+  }
+  return "sum";
+}
+
+bool reduceKindFromText(const std::string &S, ir::ReduceKind &K) {
+  if (S == "sum")
+    K = ir::ReduceKind::Sum;
+  else if (S == "max")
+    K = ir::ReduceKind::Max;
+  else if (S == "min")
+    K = ir::ReduceKind::Min;
+  else
+    return false;
+  return true;
+}
+
+/// Expected operand count per kind; -1 means variable (checked separately).
+int exprArity(ir::ExprKind K) {
+  switch (K) {
+  case ir::ExprKind::IntImm:
+  case ir::ExprKind::FloatImm:
+  case ir::ExprKind::Var:
+    return 0;
+  case ir::ExprKind::Not:
+  case ir::ExprKind::Cast:
+    return 1;
+  case ir::ExprKind::Select:
+    return 3;
+  case ir::ExprKind::TensorRead:
+  case ir::ExprKind::Call:
+    return -1;
+  case ir::ExprKind::Reduce:
+    return 1;
+  default:
+    return 2;
+  }
+}
+
+struct ExprReader {
+  const std::map<std::string, ir::Tensor> &Tensors;
+  std::vector<Diag> &D;
+  size_t Nodes = 0;
+
+  ir::Expr fail(const std::string &Path, const std::string &Msg) {
+    diag(D, Path, Msg);
+    return nullptr;
+  }
+
+  ir::Expr read(const Json &J, unsigned Depth, const std::string &Path) {
+    if (Depth > kMaxExprDepth)
+      return fail(Path, "expression nesting exceeds depth cap");
+    if (++Nodes > kMaxExprNodes)
+      return fail(Path, "expression exceeds node-count cap");
+    if (!J.isObject())
+      return fail(Path, "expression node must be an object");
+    const Json *KJ = J.find("k");
+    if (!KJ || !KJ->isString())
+      return fail(Path, "missing string field 'k' (expr kind)");
+    ir::ExprKind K;
+    if (!exprKindFromText(KJ->stringValue(), K))
+      return fail(Path, "unknown expr kind '" + KJ->stringValue() + "'");
+    const Json *TJ = J.find("t");
+    ir::DType T = ir::DType::F32;
+    if (!TJ || !TJ->isString() || !dtypeFromText(TJ->stringValue(), T))
+      return fail(Path, "missing or invalid dtype field 't'");
+
+    auto N = std::make_shared<ir::ExprNode>();
+    N->Kind = K;
+    N->Type = T;
+
+    switch (K) {
+    case ir::ExprKind::IntImm: {
+      const Json *V = J.find("v");
+      if (!V || !V->isInt())
+        return fail(Path, "'int' node needs an integer field 'v'");
+      N->IntVal = V->intValue();
+      break;
+    }
+    case ir::ExprKind::FloatImm: {
+      const Json *V = J.find("v");
+      if (!V || !V->isNumber())
+        return fail(Path, "'float' node needs a numeric field 'v'");
+      N->FloatVal = V->numberValue();
+      break;
+    }
+    case ir::ExprKind::Var: {
+      const Json *Name = J.find("n");
+      if (!Name || !Name->isString() || !isIdent(Name->stringValue()))
+        return fail(Path, "'var' node needs an identifier field 'n'");
+      N->Name = Name->stringValue();
+      break;
+    }
+    case ir::ExprKind::Call: {
+      const Json *Name = J.find("n");
+      if (!Name || !Name->isString() || !isIdent(Name->stringValue()))
+        return fail(Path, "'call' node needs an identifier field 'n'");
+      N->Name = Name->stringValue();
+      break;
+    }
+    case ir::ExprKind::TensorRead: {
+      const Json *Ref = J.find("ref");
+      if (!Ref || !Ref->isString())
+        return fail(Path, "'read' node needs a string field 'ref'");
+      auto It = Tensors.find(Ref->stringValue());
+      if (It == Tensors.end())
+        return fail(Path, "expr reads undeclared tensor '" +
+                              Ref->stringValue() + "'");
+      N->Ref = It->second;
+      break;
+    }
+    case ir::ExprKind::Reduce: {
+      const Json *RK = J.find("rk");
+      if (!RK || !RK->isString() ||
+          !reduceKindFromText(RK->stringValue(), N->RKind))
+        return fail(Path, "'reduce' node needs field 'rk' (sum/max/min)");
+      const Json *Axes = J.find("axes");
+      if (!Axes || !Axes->isArray() || Axes->items().empty() ||
+          Axes->items().size() > kMaxRank)
+        return fail(Path, "'reduce' node needs a non-empty 'axes' array");
+      for (size_t I = 0; I < Axes->items().size(); ++I) {
+        const Json &A = Axes->items()[I];
+        std::string APath = Path + ".axes[" + std::to_string(I) + "]";
+        if (!A.isObject())
+          return fail(APath, "reduce axis must be an object");
+        const Json *AN = A.find("n");
+        const Json *AE = A.find("e");
+        if (!AN || !AN->isString() || !isIdent(AN->stringValue()))
+          return fail(APath, "reduce axis needs an identifier field 'n'");
+        if (!AE || !AE->isInt() || AE->intValue() <= 0 ||
+            AE->intValue() > kMaxDimExtent)
+          return fail(APath, "reduce axis needs a positive integer 'e'");
+        bool IsRed = true;
+        if (const Json *AR = A.find("r")) {
+          if (!AR->isBool())
+            return fail(APath, "reduce axis field 'r' must be a bool");
+          IsRed = AR->boolValue();
+        }
+        N->ReduceAxes.push_back(
+            ir::IterVar{AN->stringValue(), AE->intValue(), IsRed});
+      }
+      break;
+    }
+    default:
+      break;
+    }
+
+    const Json *Ops = J.find("o");
+    size_t NumOps = 0;
+    if (Ops) {
+      if (!Ops->isArray())
+        return fail(Path, "field 'o' (operands) must be an array");
+      NumOps = Ops->items().size();
+    }
+    int Want = exprArity(K);
+    if (Want >= 0 && NumOps != static_cast<size_t>(Want))
+      return fail(Path, std::string("kind '") + exprKindText(K) +
+                            "' expects " + std::to_string(Want) +
+                            " operands, got " + std::to_string(NumOps));
+    if (K == ir::ExprKind::Call && NumOps == 0)
+      return fail(Path, "'call' node needs at least one operand");
+    if (K == ir::ExprKind::TensorRead &&
+        NumOps != N->Ref->Shape.size())
+      return fail(Path, "'read' of rank-" +
+                            std::to_string(N->Ref->Shape.size()) +
+                            " tensor '" + N->Ref->Name + "' has " +
+                            std::to_string(NumOps) + " indices");
+    for (size_t I = 0; I < NumOps; ++I) {
+      ir::Expr Child = read(Ops->items()[I], Depth + 1,
+                            Path + ".o[" + std::to_string(I) + "]");
+      if (!Child)
+        return nullptr;
+      N->Operands.push_back(std::move(Child));
+    }
+    return N;
+  }
+};
+
+} // namespace
+
+Json exprToJson(const ir::Expr &E) {
+  Json J = Json::object();
+  if (!E)
+    return J;
+  J.set("k", Json::str(exprKindText(E->Kind)));
+  J.set("t", Json::str(dtypeText(E->Type)));
+  switch (E->Kind) {
+  case ir::ExprKind::IntImm:
+    J.set("v", Json::integer(E->IntVal));
+    break;
+  case ir::ExprKind::FloatImm:
+    J.set("v", Json::number(E->FloatVal));
+    break;
+  case ir::ExprKind::Var:
+  case ir::ExprKind::Call:
+    J.set("n", Json::str(E->Name));
+    break;
+  case ir::ExprKind::TensorRead:
+    J.set("ref", Json::str(E->Ref ? E->Ref->Name : ""));
+    break;
+  case ir::ExprKind::Reduce: {
+    J.set("rk", Json::str(reduceKindText(E->RKind)));
+    Json Axes = Json::array();
+    for (const ir::IterVar &IV : E->ReduceAxes) {
+      Json A = Json::object();
+      A.set("n", Json::str(IV.Name));
+      A.set("e", Json::integer(IV.Extent));
+      A.set("r", Json::boolean(IV.IsReduce));
+      Axes.push(std::move(A));
+    }
+    J.set("axes", std::move(Axes));
+    break;
+  }
+  default:
+    break;
+  }
+  if (!E->Operands.empty()) {
+    Json Ops = Json::array();
+    for (const ir::Expr &O : E->Operands)
+      Ops.push(exprToJson(O));
+    J.set("o", std::move(Ops));
+  }
+  return J;
+}
+
+ir::Expr exprFromJson(const Json &J,
+                      const std::map<std::string, ir::Tensor> &Tensors,
+                      std::vector<Diag> &Diags, const std::string &Path) {
+  ExprReader R{Tensors, Diags};
+  return R.read(J, 0, Path);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-op semantic validation (shared by parse and lowering)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Checks that all vars inside \p E are axis names in scope (compute axes
+/// or enclosing reduce axes).
+void checkVarScope(const ir::Expr &E, std::set<std::string> &Scope,
+                   std::vector<Diag> &D, const std::string &Path) {
+  if (!E)
+    return;
+  if (E->Kind == ir::ExprKind::Var && !Scope.count(E->Name)) {
+    diag(D, Path, "expr references unbound variable '" + E->Name + "'");
+    return;
+  }
+  if (E->Kind == ir::ExprKind::Reduce) {
+    std::vector<std::string> Added;
+    for (const ir::IterVar &IV : E->ReduceAxes)
+      if (Scope.insert(IV.Name).second)
+        Added.push_back(IV.Name);
+    for (const ir::Expr &O : E->Operands)
+      checkVarScope(O, Scope, D, Path);
+    for (const std::string &N : Added)
+      Scope.erase(N);
+    return;
+  }
+  for (const ir::Expr &O : E->Operands)
+    checkVarScope(O, Scope, D, Path);
+}
+
+/// Fetches a required integer-array attr (e.g. perm, shape, axis).
+bool intArrayAttr(const Json &V, std::vector<int64_t> &Out) {
+  if (!V.isArray())
+    return false;
+  Out.clear();
+  for (const Json &I : V.items()) {
+    if (!I.isInt())
+      return false;
+    Out.push_back(I.intValue());
+  }
+  return true;
+}
+
+/// Validates one op's arity, attrs, and inferred output desc against the
+/// declared one. Inputs must already carry resolved descs.
+void checkOp(const CompositeOp &Op, const std::string &Path,
+             std::vector<Diag> &D) {
+  size_t Before = D.size();
+  const std::string &T = Op.Type;
+  if (!isKnownOp(T)) {
+    diag(D, Path, "unknown op '" + T + "'");
+    return;
+  }
+
+  auto tensorInputs = [&]() {
+    std::vector<const InputRef *> Refs;
+    for (const InputRef &R : Op.Inputs)
+      if (!R.IsScalar)
+        Refs.push_back(&R);
+    return Refs;
+  };
+  auto wantInputs = [&](size_t N) {
+    if (Op.Inputs.size() != N)
+      diag(D, Path, T + " expects " + std::to_string(N) + " inputs, got " +
+                        std::to_string(Op.Inputs.size()));
+    return Op.Inputs.size() == N;
+  };
+
+  // Generic ReadPerm checks: only elementwise consumers, full rank, and a
+  // valid permutation mapping input dims onto the consumer's axes.
+  for (size_t I = 0; I < Op.Inputs.size(); ++I) {
+    const InputRef &R = Op.Inputs[I];
+    if (R.ReadPerm.empty())
+      continue;
+    std::string P = Path + ".input[" + std::to_string(I) + "].read_perm";
+    if (R.IsScalar || !isElementwiseOp(T)) {
+      diag(D, P, "read_perm only allowed on tensor inputs of elementwise ops");
+      continue;
+    }
+    size_t Rank = Op.Output.Shape.size();
+    if (R.ReadPerm.size() != Rank || R.Desc.Shape.size() != Rank) {
+      diag(D, P, "read_perm rank mismatch");
+      continue;
+    }
+    std::vector<bool> Seen(Rank, false);
+    bool Bad = false;
+    for (size_t K = 0; K < Rank; ++K) {
+      unsigned A = R.ReadPerm[K];
+      if (A >= Rank || Seen[A]) {
+        Bad = true;
+        break;
+      }
+      Seen[A] = true;
+      if (R.Desc.Shape[K] != Op.Output.Shape[A])
+        Bad = true;
+    }
+    if (Bad)
+      diag(D, P, "read_perm is not a shape-preserving permutation");
+  }
+  if (D.size() != Before)
+    return;
+
+  // Effective shape of a tensor input for broadcast purposes (a folded
+  // permutation reads across the consumer's full axis space).
+  auto effShape = [&](const InputRef &R) {
+    return R.ReadPerm.empty() ? R.Desc.Shape : Op.Output.Shape;
+  };
+
+  std::vector<int64_t> Want;      // inferred output shape
+  ir::DType WantT = ir::DType::F32;
+  bool HaveWant = false;
+
+  auto inferElementwise = [&](ir::DType OutT, bool CheckOutT) {
+    auto Refs = tensorInputs();
+    if (Refs.empty()) {
+      diag(D, Path, T + " needs at least one tensor input");
+      return;
+    }
+    Want = effShape(*Refs[0]);
+    for (const InputRef *R : Refs) {
+      std::vector<int64_t> B;
+      if (!broadcast2(Want, effShape(*R), B)) {
+        diag(D, Path, T + " inputs do not broadcast: " + shapeText(Want) +
+                          " vs " + shapeText(R->Desc.Shape));
+        return;
+      }
+      Want = std::move(B);
+    }
+    WantT = CheckOutT ? OutT : Refs[0]->Desc.Type;
+    HaveWant = true;
+  };
+
+  if (T == "Add" || T == "Sub" || T == "Mul" || T == "Div" ||
+      T == "Maximum" || T == "Minimum") {
+    if (!wantInputs(2))
+      return;
+    auto Refs = tensorInputs();
+    for (size_t I = 1; I < Refs.size(); ++I)
+      if (Refs[I]->Desc.Type != Refs[0]->Desc.Type)
+        diag(D, Path, T + " input dtypes differ");
+    inferElementwise(ir::DType::F32, false);
+  } else if (T == "Less" || T == "LessEqual" || T == "Equal") {
+    if (!wantInputs(2))
+      return;
+    inferElementwise(ir::DType::Bool, true);
+  } else if (T == "Select") {
+    if (!wantInputs(3))
+      return;
+    if (!Op.Inputs[0].IsScalar && Op.Inputs[0].Desc.Type != ir::DType::Bool)
+      diag(D, Path, "Select condition must be bool");
+    inferElementwise(ir::DType::F32, false);
+    if (HaveWant) {
+      const InputRef &Then = Op.Inputs[1];
+      WantT = Then.IsScalar ? Op.Output.Type : Then.Desc.Type;
+    }
+  } else if (T == "Neg" || T == "Exp" || T == "Log" || T == "Sqrt" ||
+             T == "Rsqrt" || T == "Abs" || T == "Relu" || T == "Sigmoid" ||
+             T == "Tanh" || T == "Gelu") {
+    if (!wantInputs(1))
+      return;
+    if (Op.Inputs[0].IsScalar) {
+      diag(D, Path, T + " input must be a tensor");
+      return;
+    }
+    inferElementwise(ir::DType::F32, false);
+  } else if (T == "Cast") {
+    if (!wantInputs(1))
+      return;
+    if (Op.Inputs[0].IsScalar) {
+      diag(D, Path, "Cast input must be a tensor");
+      return;
+    }
+    const Json *DT = Op.attr("dst_type");
+    ir::DType Dst;
+    if (!DT || !DT->isString() || !dtypeFromText(DT->stringValue(), Dst)) {
+      diag(D, Path, "Cast needs a string attr 'dst_type'");
+      return;
+    }
+    Want = effShape(Op.Inputs[0]);
+    WantT = Dst;
+    HaveWant = true;
+  } else if (T == "Transpose") {
+    if (!wantInputs(1) || Op.Inputs[0].IsScalar) {
+      if (Op.Inputs.size() == 1 && Op.Inputs[0].IsScalar)
+        diag(D, Path, "Transpose input must be a tensor");
+      return;
+    }
+    const std::vector<int64_t> &In = Op.Inputs[0].Desc.Shape;
+    const Json *PJ = Op.attr("perm");
+    std::vector<int64_t> Perm;
+    if (!PJ || !intArrayAttr(*PJ, Perm) || Perm.size() != In.size()) {
+      diag(D, Path, "Transpose needs an int-array attr 'perm' of input rank");
+      return;
+    }
+    std::vector<bool> Seen(In.size(), false);
+    for (int64_t P : Perm) {
+      if (P < 0 || P >= static_cast<int64_t>(In.size()) || Seen[P]) {
+        diag(D, Path, "Transpose 'perm' is not a permutation");
+        return;
+      }
+      Seen[P] = true;
+    }
+    for (int64_t P : Perm)
+      Want.push_back(In[P]);
+    WantT = Op.Inputs[0].Desc.Type;
+    HaveWant = true;
+  } else if (T == "Reshape") {
+    if (!wantInputs(1) || Op.Inputs[0].IsScalar) {
+      if (Op.Inputs.size() == 1 && Op.Inputs[0].IsScalar)
+        diag(D, Path, "Reshape input must be a tensor");
+      return;
+    }
+    const Json *SJ = Op.attr("shape");
+    std::vector<int64_t> NewShape;
+    if (!SJ || !intArrayAttr(*SJ, NewShape) || NewShape.empty()) {
+      diag(D, Path, "Reshape needs a non-empty int-array attr 'shape'");
+      return;
+    }
+    int64_t InN, OutN;
+    if (!shapeElems(Op.Inputs[0].Desc.Shape, InN) ||
+        !shapeElems(NewShape, OutN)) {
+      diag(D, Path, "Reshape shape has non-positive or oversized dims");
+      return;
+    }
+    if (InN != OutN) {
+      diag(D, Path, "Reshape changes element count (" + std::to_string(InN) +
+                        " -> " + std::to_string(OutN) + ")");
+      return;
+    }
+    Want = std::move(NewShape);
+    WantT = Op.Inputs[0].Desc.Type;
+    HaveWant = true;
+  } else if (T == "BroadcastTo") {
+    if (!wantInputs(1) || Op.Inputs[0].IsScalar) {
+      if (Op.Inputs.size() == 1 && Op.Inputs[0].IsScalar)
+        diag(D, Path, "BroadcastTo input must be a tensor");
+      return;
+    }
+    const Json *SJ = Op.attr("shape");
+    std::vector<int64_t> NewShape;
+    if (!SJ || !intArrayAttr(*SJ, NewShape) || NewShape.empty()) {
+      diag(D, Path, "BroadcastTo needs a non-empty int-array attr 'shape'");
+      return;
+    }
+    const std::vector<int64_t> &In = Op.Inputs[0].Desc.Shape;
+    if (In.size() > NewShape.size()) {
+      diag(D, Path, "BroadcastTo target rank below input rank");
+      return;
+    }
+    for (size_t I = 0; I < In.size(); ++I) {
+      int64_t DI = In[In.size() - 1 - I];
+      int64_t DO = NewShape[NewShape.size() - 1 - I];
+      if (DI != DO && DI != 1) {
+        diag(D, Path, "BroadcastTo shapes incompatible: " + shapeText(In) +
+                          " -> " + shapeText(NewShape));
+        return;
+      }
+    }
+    Want = std::move(NewShape);
+    WantT = Op.Inputs[0].Desc.Type;
+    HaveWant = true;
+  } else if (T == "BiasAdd") {
+    if (!wantInputs(2))
+      return;
+    if (Op.Inputs[0].IsScalar || Op.Inputs[1].IsScalar) {
+      diag(D, Path, "BiasAdd inputs must be tensors");
+      return;
+    }
+    const TensorDesc &X = Op.Inputs[0].Desc;
+    const TensorDesc &B = Op.Inputs[1].Desc;
+    if (X.Shape.size() < 2 || B.Shape.size() != 1 ||
+        B.Shape[0] != X.Shape.back()) {
+      diag(D, Path, "BiasAdd needs x rank>=2 and bias [last_dim(x)]");
+      return;
+    }
+    if (X.Type != B.Type)
+      diag(D, Path, "BiasAdd input dtypes differ");
+    Want = X.Shape;
+    WantT = X.Type;
+    HaveWant = true;
+  } else if (T == "MatMul") {
+    if (!wantInputs(2))
+      return;
+    if (Op.Inputs[0].IsScalar || Op.Inputs[1].IsScalar) {
+      diag(D, Path, "MatMul inputs must be tensors");
+      return;
+    }
+    const TensorDesc &A = Op.Inputs[0].Desc;
+    const TensorDesc &B = Op.Inputs[1].Desc;
+    if (A.Shape.size() != 2 || B.Shape.size() != 2) {
+      diag(D, Path, "MatMul inputs must be rank 2");
+      return;
+    }
+    bool TA = false, TB = false;
+    if (const Json *V = Op.attr("transpose_a")) {
+      if (!V->isBool()) {
+        diag(D, Path, "MatMul attr 'transpose_a' must be a bool");
+        return;
+      }
+      TA = V->boolValue();
+    }
+    if (const Json *V = Op.attr("transpose_b")) {
+      if (!V->isBool()) {
+        diag(D, Path, "MatMul attr 'transpose_b' must be a bool");
+        return;
+      }
+      TB = V->boolValue();
+    }
+    int64_t M = TA ? A.Shape[1] : A.Shape[0];
+    int64_t KA = TA ? A.Shape[0] : A.Shape[1];
+    int64_t KB = TB ? B.Shape[1] : B.Shape[0];
+    int64_t N = TB ? B.Shape[0] : B.Shape[1];
+    if (KA != KB) {
+      diag(D, Path, "MatMul contraction dims differ: " + std::to_string(KA) +
+                        " vs " + std::to_string(KB));
+      return;
+    }
+    if (A.Type != B.Type)
+      diag(D, Path, "MatMul input dtypes differ");
+    Want = {M, N};
+    WantT = Op.Output.Type; // F32 accumulate from F16 inputs is allowed
+    if (Op.Output.Type != A.Type &&
+        !(A.Type == ir::DType::F16 && Op.Output.Type == ir::DType::F32))
+      diag(D, Path, "MatMul output dtype must match inputs (or F32 from F16)");
+    HaveWant = true;
+  } else if (T == "ReduceSum" || T == "ReduceMax" || T == "ReduceMin") {
+    if (!wantInputs(1) || Op.Inputs[0].IsScalar) {
+      if (Op.Inputs.size() == 1 && Op.Inputs[0].IsScalar)
+        diag(D, Path, T + " input must be a tensor");
+      return;
+    }
+    const std::vector<int64_t> &In = Op.Inputs[0].Desc.Shape;
+    const Json *AJ = Op.attr("axis");
+    std::vector<int64_t> Axes;
+    if (AJ && AJ->isInt())
+      Axes.push_back(AJ->intValue());
+    else if (!AJ || !intArrayAttr(*AJ, Axes) || Axes.empty()) {
+      diag(D, Path, T + " needs an int or int-array attr 'axis'");
+      return;
+    }
+    bool KeepDims = false;
+    if (const Json *V = Op.attr("keep_dims")) {
+      if (!V->isBool()) {
+        diag(D, Path, T + " attr 'keep_dims' must be a bool");
+        return;
+      }
+      KeepDims = V->boolValue();
+    }
+    std::vector<bool> Red(In.size(), false);
+    for (int64_t &A : Axes) {
+      if (A < 0)
+        A += static_cast<int64_t>(In.size());
+      if (A < 0 || A >= static_cast<int64_t>(In.size()) || Red[A]) {
+        diag(D, Path, T + " attr 'axis' out of range or repeated");
+        return;
+      }
+      Red[A] = true;
+    }
+    for (size_t I = 0; I < In.size(); ++I) {
+      if (!Red[I])
+        Want.push_back(In[I]);
+      else if (KeepDims)
+        Want.push_back(1);
+    }
+    if (Want.empty()) {
+      diag(D, Path, T + " over all axes requires keep_dims=true");
+      return;
+    }
+    WantT = Op.Inputs[0].Desc.Type;
+    HaveWant = true;
+  } else if (T == "Compute") {
+    const Json *AxesJ = Op.attr("axes");
+    const Json *ExprJ = Op.attr("expr");
+    if (!AxesJ || !AxesJ->isArray() || AxesJ->items().empty() ||
+        AxesJ->items().size() > kMaxRank) {
+      diag(D, Path, "Compute needs a non-empty array attr 'axes'");
+      return;
+    }
+    if (!ExprJ) {
+      diag(D, Path, "Compute needs an attr 'expr'");
+      return;
+    }
+    std::set<std::string> AxisNames;
+    for (size_t I = 0; I < AxesJ->items().size(); ++I) {
+      const Json &A = AxesJ->items()[I];
+      std::string P = Path + ".axes[" + std::to_string(I) + "]";
+      const Json *AN = A.isObject() ? A.find("n") : nullptr;
+      const Json *AE = A.isObject() ? A.find("e") : nullptr;
+      if (!AN || !AN->isString() || !isIdent(AN->stringValue()) || !AE ||
+          !AE->isInt() || AE->intValue() <= 0 ||
+          AE->intValue() > kMaxDimExtent) {
+        diag(D, P, "axis must be {n: identifier, e: positive int}");
+        return;
+      }
+      if (!AxisNames.insert(AN->stringValue()).second) {
+        diag(D, P, "duplicate axis name '" + AN->stringValue() + "'");
+        return;
+      }
+      Want.push_back(AE->intValue());
+    }
+    for (size_t I = 0; I < Op.Inputs.size(); ++I)
+      if (Op.Inputs[I].IsScalar) {
+        diag(D, Path, "Compute inputs must be tensors");
+        return;
+      }
+    // Build temporary tensors so the expression can be structurally
+    // checked (kinds, arity, read ranks, var scoping).
+    std::map<std::string, ir::Tensor> Tmp;
+    for (const InputRef &R : Op.Inputs) {
+      auto TD = std::make_shared<ir::TensorDecl>();
+      TD->Name = R.Desc.Name;
+      TD->Shape = R.Desc.Shape;
+      TD->Type = R.Desc.Type;
+      Tmp[TD->Name] = TD;
+    }
+    ir::Expr E = exprFromJson(*ExprJ, Tmp, D, Path + ".expr");
+    if (!E)
+      return;
+    checkVarScope(E, AxisNames, D, Path + ".expr");
+    WantT = Op.Output.Type;
+    HaveWant = true;
+  }
+
+  if (D.size() != Before || !HaveWant)
+    return;
+  if (!sameShape(Want, Op.Output.Shape))
+    diag(D, Path, T + " output shape mismatch: declared " +
+                      shapeText(Op.Output.Shape) + ", inferred " +
+                      shapeText(Want));
+  else if (WantT != Op.Output.Type)
+    diag(D, Path,
+         T + " output dtype mismatch: declared " +
+             std::string(dtypeText(Op.Output.Type)) + ", inferred " +
+             dtypeText(WantT));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Graph validation (caps, edges, topo sort, outputs rule, op semantics)
+//===----------------------------------------------------------------------===//
+
+Status validateGraph(CompositeGraph &G, std::vector<Diag> &Diags) {
+  size_t Before = Diags.size();
+  auto finish = [&]() {
+    if (Diags.size() == Before)
+      return Status::ok();
+    return Status::error(ErrCode::InvalidArgument, Diags[Before].str());
+  };
+
+  if (G.Ops.empty())
+    diag(Diags, "$.op_desc", "composite graph has no ops");
+  if (G.Ops.size() > kMaxOps)
+    diag(Diags, "$.op_desc", "op count exceeds cap");
+  if (G.Inputs.size() + G.Ops.size() > kMaxTensors)
+    diag(Diags, "$", "tensor count exceeds cap");
+  if (Diags.size() != Before)
+    return finish();
+
+  G.Name = sanitizeKernelName(G.Name);
+
+  // Tensor table: graph inputs + op outputs, names unique and well-formed.
+  std::map<std::string, TensorDesc> Table;
+  std::map<std::string, size_t> Producer; // output name -> op index
+  auto declare = [&](const TensorDesc &TD, const std::string &Path) {
+    if (!isIdent(TD.Name)) {
+      diag(Diags, Path, "tensor name '" + TD.Name +
+                            "' is not a valid identifier");
+      return;
+    }
+    int64_t N;
+    if (TD.Shape.empty() || TD.Shape.size() > kMaxRank ||
+        !shapeElems(TD.Shape, N)) {
+      diag(Diags, Path, "tensor '" + TD.Name +
+                            "' has an empty, oversized, or non-positive shape");
+      return;
+    }
+    if (!Table.emplace(TD.Name, TD).second)
+      diag(Diags, Path, "duplicate tensor name '" + TD.Name + "'");
+  };
+  for (size_t I = 0; I < G.Inputs.size(); ++I)
+    declare(G.Inputs[I], "$.input_desc[" + std::to_string(I) + "]");
+  for (size_t I = 0; I < G.Ops.size(); ++I) {
+    declare(G.Ops[I].Output, "$.op_desc[" + std::to_string(I) + "].output");
+    Producer[G.Ops[I].Output.Name] = I;
+  }
+  if (Diags.size() != Before)
+    return finish();
+
+  // Resolve edges: every tensor input must name a declared tensor with a
+  // consistent desc.
+  for (size_t I = 0; I < G.Ops.size(); ++I) {
+    CompositeOp &Op = G.Ops[I];
+    for (size_t J = 0; J < Op.Inputs.size(); ++J) {
+      InputRef &R = Op.Inputs[J];
+      std::string Path =
+          "$.op_desc[" + std::to_string(I) + "].input_desc[" +
+          std::to_string(J) + "]";
+      if (R.IsScalar)
+        continue;
+      auto It = Table.find(R.Desc.Name);
+      if (It == Table.end()) {
+        diag(Diags, Path, "input references undefined tensor '" +
+                              R.Desc.Name + "'");
+        continue;
+      }
+      if (!R.Desc.Shape.empty() && !sameShape(R.Desc.Shape, It->second.Shape))
+        diag(Diags, Path, "edge shape mismatch for '" + R.Desc.Name +
+                              "': declared " + shapeText(R.Desc.Shape) +
+                              ", producer has " +
+                              shapeText(It->second.Shape));
+      else if (!R.Desc.Shape.empty() && R.Desc.Type != It->second.Type)
+        diag(Diags, Path, "edge dtype mismatch for '" + R.Desc.Name + "'");
+      R.Desc = It->second; // canonicalize the reference
+    }
+  }
+  if (Diags.size() != Before)
+    return finish();
+
+  // Kahn topological sort, stable by original index; leftovers = cycle.
+  std::vector<size_t> Order;
+  std::vector<bool> Placed(G.Ops.size(), false);
+  std::set<std::string> Ready;
+  for (const TensorDesc &TD : G.Inputs)
+    Ready.insert(TD.Name);
+  bool Progress = true;
+  while (Order.size() < G.Ops.size() && Progress) {
+    Progress = false;
+    for (size_t I = 0; I < G.Ops.size(); ++I) {
+      if (Placed[I])
+        continue;
+      bool Deps = true;
+      for (const InputRef &R : G.Ops[I].Inputs)
+        if (!R.IsScalar && !Ready.count(R.Desc.Name))
+          Deps = false;
+      if (!Deps)
+        continue;
+      Placed[I] = true;
+      Ready.insert(G.Ops[I].Output.Name);
+      Order.push_back(I);
+      Progress = true;
+    }
+  }
+  if (Order.size() < G.Ops.size()) {
+    for (size_t I = 0; I < G.Ops.size(); ++I)
+      if (!Placed[I]) {
+        diag(Diags, "$.op_desc[" + std::to_string(I) + "]",
+             "op '" + G.Ops[I].Output.Name +
+                 "' is part of a dependency cycle");
+        break;
+      }
+    return finish();
+  }
+  std::vector<CompositeOp> Sorted;
+  Sorted.reserve(G.Ops.size());
+  for (size_t I : Order)
+    Sorted.push_back(std::move(G.Ops[I]));
+  G.Ops = std::move(Sorted);
+  // Producer indices moved; rebuild for the outputs rule.
+  Producer.clear();
+  for (size_t I = 0; I < G.Ops.size(); ++I)
+    Producer[G.Ops[I].Output.Name] = I;
+
+  // Outputs rule: declared outputs == exactly the unconsumed op outputs
+  // (that is what ir::Module::outputs() will report after lowering).
+  std::set<std::string> Consumed;
+  for (const CompositeOp &Op : G.Ops)
+    for (const InputRef &R : Op.Inputs)
+      if (!R.IsScalar)
+        Consumed.insert(R.Desc.Name);
+  std::set<std::string> Declared;
+  for (size_t I = 0; I < G.Outputs.size(); ++I) {
+    const std::string &Name = G.Outputs[I];
+    std::string Path = "$.output_desc[" + std::to_string(I) + "]";
+    if (!Declared.insert(Name).second)
+      diag(Diags, Path, "duplicate output '" + Name + "'");
+    else if (!Producer.count(Name))
+      diag(Diags, Path, "output '" + Name + "' is not produced by any op");
+    else if (Consumed.count(Name))
+      diag(Diags, Path, "output '" + Name +
+                            "' is also consumed inside the graph "
+                            "(unsupported: it would not escape the module)");
+  }
+  if (G.Outputs.empty())
+    diag(Diags, "$.output_desc", "composite graph declares no outputs");
+  for (const CompositeOp &Op : G.Ops)
+    if (!Consumed.count(Op.Output.Name) && !Declared.count(Op.Output.Name))
+      diag(Diags, "$.output_desc",
+           "op output '" + Op.Output.Name +
+               "' escapes the graph but is not declared as an output");
+  if (Diags.size() != Before)
+    return finish();
+
+  // Per-op semantics (arity, attrs, shape/dtype inference).
+  for (size_t I = 0; I < G.Ops.size(); ++I)
+    checkOp(G.Ops[I], "$.op_desc[" + std::to_string(I) + "]", Diags);
+  return finish();
+}
+
+//===----------------------------------------------------------------------===//
+// Payload parsing (JSON -> CompositeGraph)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Parses one tensor descriptor object. Shape/dtype are required when
+/// \p Full (graph inputs, op outputs) and optional on references.
+bool parseDesc(const Json &J, bool Full, TensorDesc &Out,
+               std::vector<Diag> &D, const std::string &Path) {
+  size_t Before = D.size();
+  if (!J.isObject()) {
+    diag(D, Path, "tensor descriptor must be an object");
+    return false;
+  }
+  const Json *Name = J.find("tensor_name");
+  if (!Name || !Name->isString())
+    diag(D, Path, "missing string field 'tensor_name'");
+  else
+    Out.Name = Name->stringValue();
+  const Json *Shape = J.find("shape");
+  if (Shape) {
+    std::vector<int64_t> S;
+    if (!intArrayAttr(*Shape, S))
+      diag(D, Path, "'shape' must be an array of integers");
+    else
+      Out.Shape = std::move(S);
+  } else if (Full)
+    diag(D, Path, "missing field 'shape'");
+  const Json *DT = J.find("data_type");
+  if (DT) {
+    if (!DT->isString() || !dtypeFromText(DT->stringValue(), Out.Type))
+      diag(D, Path, "invalid 'data_type'");
+  } else if (Full)
+    diag(D, Path, "missing field 'data_type'");
+  return D.size() == Before;
+}
+
+/// Unwraps the MindSpore-style [[{...}]] nesting: an input_desc entry may
+/// be the descriptor object itself or a single-element array holding it.
+const Json *unwrapEntry(const Json &J, std::vector<Diag> &D,
+                        const std::string &Path) {
+  if (J.isObject())
+    return &J;
+  if (J.isArray() && J.items().size() == 1 && J.items()[0].isObject())
+    return &J.items()[0];
+  diag(D, Path, "input entry must be an object (or a one-element array)");
+  return nullptr;
+}
+
+bool parseInputRef(const Json &Entry, InputRef &Out, std::vector<Diag> &D,
+                   const std::string &Path) {
+  size_t Before = D.size();
+  if (const Json *V = Entry.find("value")) {
+    Out.IsScalar = true;
+    if (V->isNumber())
+      Out.Scalar = V->numberValue();
+    else if (V->isBool())
+      Out.Scalar = V->boolValue() ? 1.0 : 0.0;
+    else {
+      diag(D, Path, "scalar 'value' must be a number or bool");
+      return false;
+    }
+    Out.Desc.Type = V->isBool() ? ir::DType::Bool
+                    : V->isInt() ? ir::DType::I32
+                                 : ir::DType::F32;
+    if (const Json *DT = Entry.find("data_type")) {
+      if (!DT->isString() || !dtypeFromText(DT->stringValue(), Out.Desc.Type))
+        diag(D, Path, "invalid scalar 'data_type'");
+    }
+    return D.size() == Before;
+  }
+  if (!parseDesc(Entry, /*Full=*/false, Out.Desc, D, Path))
+    return false;
+  if (const Json *RP = Entry.find("read_perm")) {
+    std::vector<int64_t> P;
+    if (!intArrayAttr(*RP, P)) {
+      diag(D, Path, "'read_perm' must be an array of integers");
+      return false;
+    }
+    for (int64_t V : P) {
+      if (V < 0 || V >= static_cast<int64_t>(kMaxRank)) {
+        diag(D, Path, "'read_perm' entry out of range");
+        return false;
+      }
+      Out.ReadPerm.push_back(static_cast<unsigned>(V));
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+ParseResult parseComposite(const std::string &JsonText) {
+  ParseResult R;
+  std::vector<Diag> &D = R.Diags;
+  auto finish = [&]() -> ParseResult & {
+    R.Outcome = D.empty() ? Status::ok()
+                          : Status::error(ErrCode::InvalidArgument,
+                                          D.front().str());
+    return R;
+  };
+
+  Json Root;
+  JsonError JE;
+  if (!parseJson(JsonText, Root, JE)) {
+    diag(D, "$", "malformed JSON: " + JE.str());
+    return finish();
+  }
+  if (!Root.isObject()) {
+    diag(D, "$", "top-level value must be an object");
+    return finish();
+  }
+
+  CompositeGraph &G = R.Graph;
+  if (const Json *Name = Root.find("op")) {
+    if (!Name->isString()) {
+      diag(D, "$.op", "'op' must be a string");
+      return finish();
+    }
+    G.Name = Name->stringValue();
+  }
+
+  if (const Json *In = Root.find("input_desc")) {
+    if (!In->isArray()) {
+      diag(D, "$.input_desc", "'input_desc' must be an array");
+      return finish();
+    }
+    for (size_t I = 0; I < In->items().size(); ++I) {
+      std::string Path = "$.input_desc[" + std::to_string(I) + "]";
+      const Json *Entry = unwrapEntry(In->items()[I], D, Path);
+      if (!Entry)
+        continue;
+      TensorDesc TD;
+      if (parseDesc(*Entry, /*Full=*/true, TD, D, Path))
+        G.Inputs.push_back(std::move(TD));
+    }
+  }
+
+  const Json *OpsJ = Root.find("op_desc");
+  if (!OpsJ || !OpsJ->isArray() || OpsJ->items().empty()) {
+    diag(D, "$.op_desc", "missing or empty 'op_desc' array");
+    return finish();
+  }
+  if (OpsJ->items().size() > kMaxOps) {
+    diag(D, "$.op_desc", "op count exceeds cap");
+    return finish();
+  }
+  for (size_t I = 0; I < OpsJ->items().size(); ++I) {
+    const Json &OJ = OpsJ->items()[I];
+    std::string Path = "$.op_desc[" + std::to_string(I) + "]";
+    if (!OJ.isObject()) {
+      diag(D, Path, "op entry must be an object");
+      continue;
+    }
+    CompositeOp Op;
+    const Json *Name = OJ.find("name");
+    if (!Name || !Name->isString()) {
+      diag(D, Path, "missing string field 'name' (op type)");
+      continue;
+    }
+    Op.Type = Name->stringValue();
+    if (const Json *AJ = OJ.find("attr")) {
+      if (AJ->isArray()) {
+        for (size_t K = 0; K < AJ->items().size(); ++K) {
+          const Json &A = AJ->items()[K];
+          std::string APath = Path + ".attr[" + std::to_string(K) + "]";
+          const Json *AN = A.isObject() ? A.find("name") : nullptr;
+          const Json *AV = A.isObject() ? A.find("value") : nullptr;
+          if (!AN || !AN->isString() || !AV)
+            diag(D, APath, "attr must be {name: string, value: ...}");
+          else
+            Op.Attrs.push_back(Attr{AN->stringValue(), *AV});
+        }
+      } else if (!AJ->isNull()) {
+        diag(D, Path + ".attr", "'attr' must be an array (or null)");
+      }
+    }
+    if (const Json *In = OJ.find("input_desc")) {
+      if (!In->isArray()) {
+        diag(D, Path + ".input_desc", "'input_desc' must be an array");
+      } else {
+        for (size_t K = 0; K < In->items().size(); ++K) {
+          std::string IPath =
+              Path + ".input_desc[" + std::to_string(K) + "]";
+          const Json *Entry = unwrapEntry(In->items()[K], D, IPath);
+          if (!Entry)
+            continue;
+          InputRef Ref;
+          if (parseInputRef(*Entry, Ref, D, IPath))
+            Op.Inputs.push_back(std::move(Ref));
+        }
+      }
+    }
+    const Json *OutJ = OJ.find("output_desc");
+    if (!OutJ || !OutJ->isArray() || OutJ->items().size() != 1) {
+      diag(D, Path + ".output_desc",
+           "op needs an 'output_desc' array with exactly one entry");
+      continue;
+    }
+    if (!parseDesc(OutJ->items()[0], /*Full=*/true, Op.Output, D,
+                   Path + ".output_desc[0]"))
+      continue;
+    G.Ops.push_back(std::move(Op));
+  }
+
+  const Json *OutsJ = Root.find("output_desc");
+  if (!OutsJ || !OutsJ->isArray() || OutsJ->items().empty()) {
+    diag(D, "$.output_desc", "missing or empty 'output_desc' array");
+    return finish();
+  }
+  std::map<std::string, const CompositeOp *> ByName;
+  for (const CompositeOp &Op : G.Ops)
+    ByName[Op.Output.Name] = &Op;
+  for (size_t I = 0; I < OutsJ->items().size(); ++I) {
+    std::string Path = "$.output_desc[" + std::to_string(I) + "]";
+    const Json *Entry = unwrapEntry(OutsJ->items()[I], D, Path);
+    if (!Entry)
+      continue;
+    TensorDesc TD;
+    if (!parseDesc(*Entry, /*Full=*/true, TD, D, Path))
+      continue;
+    auto It = ByName.find(TD.Name);
+    if (It != ByName.end() &&
+        (!sameShape(TD.Shape, It->second->Output.Shape) ||
+         TD.Type != It->second->Output.Type))
+      diag(D, Path, "output desc for '" + TD.Name +
+                        "' does not match its producing op");
+    G.Outputs.push_back(TD.Name);
+  }
+
+  if (!D.empty())
+    return finish();
+  validateGraph(G, D);
+  return finish();
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization (CompositeGraph -> JSON)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Json descJson(const TensorDesc &TD) {
+  Json J = Json::object();
+  J.set("tensor_name", Json::str(TD.Name));
+  Json Shape = Json::array();
+  for (int64_t S : TD.Shape)
+    Shape.push(Json::integer(S));
+  J.set("shape", std::move(Shape));
+  J.set("data_type", Json::str(dtypeText(TD.Type)));
+  return J;
+}
+
+} // namespace
+
+std::string serializeComposite(const CompositeGraph &G, bool Pretty) {
+  Json Root = Json::object();
+  Root.set("composite", Json::boolean(true));
+  Root.set("op", Json::str(G.Name));
+  Root.set("platform", Json::str("AKG"));
+
+  Json Ins = Json::array();
+  for (const TensorDesc &TD : G.Inputs)
+    Ins.push(descJson(TD));
+  Root.set("input_desc", std::move(Ins));
+
+  Json Ops = Json::array();
+  for (const CompositeOp &Op : G.Ops) {
+    Json OJ = Json::object();
+    OJ.set("name", Json::str(Op.Type));
+    if (!Op.Attrs.empty()) {
+      std::vector<const Attr *> Sorted;
+      for (const Attr &A : Op.Attrs)
+        Sorted.push_back(&A);
+      std::sort(Sorted.begin(), Sorted.end(),
+                [](const Attr *A, const Attr *B) { return A->Name < B->Name; });
+      Json AJ = Json::array();
+      for (const Attr *A : Sorted) {
+        Json E = Json::object();
+        E.set("name", Json::str(A->Name));
+        E.set("value", A->Value);
+        AJ.push(std::move(E));
+      }
+      OJ.set("attr", std::move(AJ));
+    }
+    Json InJ = Json::array();
+    for (const InputRef &R : Op.Inputs) {
+      if (R.IsScalar) {
+        Json E = Json::object();
+        if (R.Desc.Type == ir::DType::I32)
+          E.set("value", Json::integer(static_cast<int64_t>(R.Scalar)));
+        else if (R.Desc.Type == ir::DType::Bool)
+          E.set("value", Json::boolean(R.Scalar != 0));
+        else
+          E.set("value", Json::number(R.Scalar));
+        E.set("data_type", Json::str(dtypeText(R.Desc.Type)));
+        InJ.push(std::move(E));
+      } else {
+        Json E = descJson(R.Desc);
+        if (!R.ReadPerm.empty()) {
+          Json P = Json::array();
+          for (unsigned V : R.ReadPerm)
+            P.push(Json::integer(V));
+          E.set("read_perm", std::move(P));
+        }
+        InJ.push(std::move(E));
+      }
+    }
+    OJ.set("input_desc", std::move(InJ));
+    Json OutJ = Json::array();
+    OutJ.push(descJson(Op.Output));
+    OJ.set("output_desc", std::move(OutJ));
+    Ops.push(std::move(OJ));
+  }
+  Root.set("op_desc", std::move(Ops));
+
+  Json Outs = Json::array();
+  for (const std::string &Name : G.Outputs) {
+    bool Found = false;
+    for (const CompositeOp &Op : G.Ops)
+      if (Op.Output.Name == Name) {
+        Outs.push(descJson(Op.Output));
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      Json E = Json::object();
+      E.set("tensor_name", Json::str(Name));
+      Outs.push(std::move(E));
+    }
+  }
+  Root.set("output_desc", std::move(Outs));
+  return dumpJson(Root, Pretty);
+}
+
+//===----------------------------------------------------------------------===//
+// Module -> composite (the "Compute" encoding; exact round-trip)
+//===----------------------------------------------------------------------===//
+
+CompositeGraph moduleToComposite(const ir::Module &M,
+                                 const std::string &Name) {
+  CompositeGraph G;
+  G.Name = sanitizeKernelName(Name);
+  for (const ir::Tensor &T : M.inputs())
+    G.Inputs.push_back(TensorDesc{T->Name, T->Shape, T->Type});
+  for (const auto &Op : M.ops()) {
+    CompositeOp C;
+    C.Type = "Compute";
+    for (const ir::Tensor &Rd : ir::collectReads(Op->Body)) {
+      InputRef Ref;
+      Ref.Desc = TensorDesc{Rd->Name, Rd->Shape, Rd->Type};
+      C.Inputs.push_back(std::move(Ref));
+    }
+    C.Output =
+        TensorDesc{Op->Output->Name, Op->Output->Shape, Op->Output->Type};
+    Json Axes = Json::array();
+    for (const ir::IterVar &IV : Op->Axis) {
+      Json A = Json::object();
+      A.set("n", Json::str(IV.Name));
+      A.set("e", Json::integer(IV.Extent));
+      if (IV.IsReduce)
+        A.set("r", Json::boolean(true));
+      Axes.push(std::move(A));
+    }
+    C.setAttr("axes", std::move(Axes));
+    C.setAttr("expr", exprToJson(Op->Body));
+    G.Ops.push_back(std::move(C));
+  }
+  for (const ir::Tensor &T : M.outputs())
+    G.Outputs.push_back(T->Name);
+  return G;
+}
+
+std::string moduleToCompositeJson(const ir::Module &M,
+                                  const std::string &Name, bool Pretty) {
+  return serializeComposite(moduleToComposite(M, Name), Pretty);
+}
+
+} // namespace composite
+} // namespace akg

@@ -1,0 +1,196 @@
+//===- composite/Composite.h - Composite-subgraph JSON frontend -*- C++ -*-===//
+//
+// The production front door of the compile service (DESIGN.md 4j): a
+// graph-kernel engine hands AKG fused subgraphs as JSON documents modeled
+// on the MindSpore GraphKernel payloads ("Fused_Cast_BiasAdd_Gelu"-style:
+// tensor descriptors, a topologically sortable op list with attributes,
+// declared outputs). This layer parses and validates those payloads with
+// structured Diags (never crashes on malformed input), normalizes them
+// (composite/ElimTransform.h eliminates Reshape/Transpose/Cast chains
+// before the polyhedral core), and lowers the survivors onto the ir::
+// DSL, where the existing kernel-cache fingerprint triple deduplicates
+// structurally identical requests.
+//
+// Two op encodings share the schema:
+//   - a named vocabulary (Add, Cast, MatMul, ReduceSum, Gelu, ...) - the
+//     form a graph engine emits, and the one the normalization pass
+//     understands;
+//   - a "Compute" escape hatch carrying an exact expression tree, which
+//     makes *every* DSL module serializable. The verify oracle's
+//     json_roundtrip config differentially tests parse(serialize(M))
+//     against M across the whole fuzz corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_COMPOSITE_COMPOSITE_H
+#define AKG_COMPOSITE_COMPOSITE_H
+
+#include "composite/Json.h"
+#include "ir/Dsl.h"
+#include "support/Status.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace akg {
+namespace composite {
+
+/// One structured diagnostic: where in the payload ("op_desc[3].attr.perm")
+/// and what went wrong. Malformed input produces these - never a throw,
+/// never UB.
+struct Diag {
+  std::string Path;
+  std::string Message;
+  std::string str() const { return Path + ": " + Message; }
+};
+
+/// A tensor descriptor as declared in the payload.
+struct TensorDesc {
+  std::string Name;
+  std::vector<int64_t> Shape;
+  ir::DType Type = ir::DType::F16;
+
+  int64_t numElements() const {
+    int64_t N = 1;
+    for (int64_t S : Shape)
+      N *= S;
+    return N;
+  }
+};
+
+/// One op input: a tensor reference or an inline scalar constant
+/// ({"value": 0.5} entries, as in real GraphKernel payloads). After
+/// transform elimination a tensor reference may carry a folded layout
+/// permutation: the lowering then reads tensor Desc.Name with index k
+/// taken from the consumer's axis ReadPerm[k] instead of materializing
+/// the Transpose op.
+struct InputRef {
+  bool IsScalar = false;
+  TensorDesc Desc;   // tensor reference (also carries the scalar's dtype)
+  double Scalar = 0; // scalar constant value
+  std::vector<unsigned> ReadPerm; // empty = identity access
+};
+
+struct Attr {
+  std::string Name;
+  Json Value;
+};
+
+struct CompositeOp {
+  std::string Type; // "Add", "Cast", "MatMul", ..., "Compute"
+  std::vector<InputRef> Inputs;
+  TensorDesc Output;
+  std::vector<Attr> Attrs;
+
+  const Json *attr(const std::string &Name) const {
+    for (const Attr &A : Attrs)
+      if (A.Name == Name)
+        return &A.Value;
+    return nullptr;
+  }
+  void setAttr(const std::string &Name, Json V);
+};
+
+/// A validated composite subgraph: ops are in topological order, every
+/// edge resolves, and every declared output is exactly one of the
+/// unconsumed op outputs.
+struct CompositeGraph {
+  std::string Name = "composite_kernel";
+  std::vector<TensorDesc> Inputs;
+  std::vector<std::string> Outputs; // names of escaping op outputs
+  std::vector<CompositeOp> Ops;
+};
+
+/// Payload safety caps (exceeding them is a clean Diag, not an OOM).
+constexpr size_t kMaxOps = 512;
+constexpr size_t kMaxTensors = 2048;
+constexpr unsigned kMaxRank = 8;
+constexpr int64_t kMaxDimExtent = int64_t(1) << 31;
+constexpr int64_t kMaxTensorElems = int64_t(1) << 40;
+constexpr unsigned kMaxExprDepth = 200;
+constexpr size_t kMaxExprNodes = 1u << 16;
+
+struct ParseResult {
+  Status Outcome; // ok, or InvalidArgument carrying the first diagnostic
+  std::vector<Diag> Diags;
+  CompositeGraph Graph; // meaningful only when ok()
+  bool ok() const { return Outcome.isOk(); }
+};
+
+/// Parses + validates one composite-subgraph JSON payload. All failure
+/// modes - malformed JSON, wrong-typed fields, unknown ops, shape/edge
+/// mismatches, cyclic graphs, cap violations - land in Diags.
+ParseResult parseComposite(const std::string &JsonText);
+
+/// Re-validates a hand-built (or pass-rewritten) graph in place,
+/// topologically sorting Ops. Used by tests and by the lowering entry.
+Status validateGraph(CompositeGraph &G, std::vector<Diag> &Diags);
+
+/// Canonical serialization: fixed field order, canonical dtype names,
+/// attrs sorted by name, ops in topological order. Two payloads with the
+/// same canonical form lower to identical modules and therefore hit the
+/// same kernel-cache fingerprint triple.
+std::string serializeComposite(const CompositeGraph &G, bool Pretty = true);
+
+/// --- Exact expression (de)serialization (the "Compute" encoding) -------
+/// Every ExprNode field round-trips (kind, dtype, immediates, names,
+/// reduce axes), so parse(serialize(M)) rebuilds a structurally identical
+/// module: same fingerprint, same kernel bits.
+Json exprToJson(const ir::Expr &E);
+ir::Expr exprFromJson(const Json &J,
+                      const std::map<std::string, ir::Tensor> &Tensors,
+                      std::vector<Diag> &Diags, const std::string &Path);
+
+/// Serializes any DSL module as a composite payload of Compute ops.
+CompositeGraph moduleToComposite(const ir::Module &M,
+                                 const std::string &Name);
+std::string moduleToCompositeJson(const ir::Module &M,
+                                  const std::string &Name,
+                                  bool Pretty = false);
+
+struct LowerResult {
+  Status Outcome;
+  std::vector<Diag> Diags;
+  std::shared_ptr<ir::Module> Mod; // set when ok
+  std::string KernelName;
+  bool ok() const { return Outcome.isOk(); }
+};
+
+/// Lowers a composite graph onto the ir:: DSL. Validates first; any op
+/// the vocabulary cannot express affinely (e.g. a dimension-merging
+/// Reshape that survived normalization) is a clean Unsupported Diag.
+LowerResult lowerToModule(const CompositeGraph &G);
+
+/// The one-call front door: parse -> validate -> eliminate transform ops
+/// -> lower. This is what CompileService::submitJson and the akg-compile
+/// --json mode run.
+struct FrontendResult {
+  Status Outcome;
+  std::vector<Diag> Diags;
+  std::shared_ptr<ir::Module> Mod;
+  std::string KernelName;
+  CompositeGraph Normalized; // canonical post-normalization graph
+  unsigned TransformOpsEliminated = 0;
+  bool ok() const { return Outcome.isOk(); }
+};
+FrontendResult loadComposite(const std::string &JsonText);
+
+/// Op-vocabulary classification shared by validation, normalization, and
+/// lowering. "Elementwise" ops are lane-wise maps (legal targets for a
+/// folded read permutation); "transform" ops are the data-movement noise
+/// the normalization pass eliminates.
+bool isElementwiseOp(const std::string &OpType);
+bool isTransformOp(const std::string &OpType);
+bool isKnownOp(const std::string &OpType);
+
+/// Canonical dtype spelling ("float16" / "float32" / "int32" / "bool").
+const char *dtypeText(ir::DType T);
+/// Accepts the canonical spellings plus common aliases ("half", "fp32",
+/// "float", "int32_t"); false on anything else.
+bool dtypeFromText(const std::string &S, ir::DType &Out);
+
+} // namespace composite
+} // namespace akg
+
+#endif // AKG_COMPOSITE_COMPOSITE_H

@@ -1,0 +1,229 @@
+//===- composite/ElimTransform.cpp - Transform-op elimination -------------===//
+
+#include "composite/ElimTransform.h"
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace akg {
+namespace composite {
+
+namespace {
+
+/// True when every value of \p Narrow is exactly representable in \p Wide,
+/// so Cast(Narrow -> Wide -> X) equals Cast(Narrow -> X).
+bool exactlyRepresentable(ir::DType Wide, ir::DType Narrow) {
+  if (Wide == Narrow)
+    return true;
+  if (Wide == ir::DType::F32 && Narrow == ir::DType::F16)
+    return true;
+  if (Narrow == ir::DType::Bool)
+    return true;
+  return false;
+}
+
+bool identityPerm(const std::vector<int64_t> &P) {
+  for (size_t I = 0; I < P.size(); ++I)
+    if (P[I] != static_cast<int64_t>(I))
+      return false;
+  return true;
+}
+
+bool permAttr(const CompositeOp &Op, std::vector<int64_t> &P) {
+  const Json *J = Op.attr("perm");
+  if (!J || !J->isArray())
+    return false;
+  P.clear();
+  for (const Json &V : J->items()) {
+    if (!V.isInt())
+      return false;
+    P.push_back(V.intValue());
+  }
+  return true;
+}
+
+Json permJson(const std::vector<int64_t> &P) {
+  Json J = Json::array();
+  for (int64_t V : P)
+    J.push(Json::integer(V));
+  return J;
+}
+
+struct Use {
+  size_t OpIdx;
+  size_t InputIdx;
+};
+
+struct GraphIndex {
+  std::map<std::string, size_t> Producer;          // tensor -> op index
+  std::map<std::string, std::vector<Use>> Uses;    // tensor -> consumers
+  std::set<std::string> DeclaredOutputs;
+
+  explicit GraphIndex(const CompositeGraph &G) {
+    for (size_t I = 0; I < G.Ops.size(); ++I) {
+      Producer[G.Ops[I].Output.Name] = I;
+      for (size_t J = 0; J < G.Ops[I].Inputs.size(); ++J)
+        if (!G.Ops[I].Inputs[J].IsScalar)
+          Uses[G.Ops[I].Inputs[J].Desc.Name].push_back(Use{I, J});
+    }
+    DeclaredOutputs.insert(G.Outputs.begin(), G.Outputs.end());
+  }
+};
+
+/// Redirects every consumer of \p From to read \p To instead (descriptor
+/// swap; any folded ReadPerm on the consumer side is kept - the rewire is
+/// only legal for identity transforms, where both layouts agree).
+void rewire(CompositeGraph &G, const GraphIndex &Idx, const std::string &From,
+            const TensorDesc &To) {
+  auto It = Idx.Uses.find(From);
+  if (It == Idx.Uses.end())
+    return;
+  for (const Use &U : It->second)
+    G.Ops[U.OpIdx].Inputs[U.InputIdx].Desc = To;
+}
+
+/// One rewrite round; returns true when anything changed.
+bool rewriteOnce(CompositeGraph &G) {
+  GraphIndex Idx(G);
+  for (size_t I = 0; I < G.Ops.size(); ++I) {
+    CompositeOp &Op = G.Ops[I];
+    if (!isTransformOp(Op.Type) || Op.Inputs.size() != 1 ||
+        Op.Inputs[0].IsScalar)
+      continue;
+    const InputRef &In = Op.Inputs[0];
+    bool IsDeclared = Idx.DeclaredOutputs.count(Op.Output.Name) != 0;
+
+    // --- identity transforms -------------------------------------------
+    bool Identity = false;
+    if (Op.Type == "Cast")
+      Identity = In.Desc.Type == Op.Output.Type;
+    else if (Op.Type == "Reshape" || Op.Type == "BroadcastTo")
+      Identity = In.Desc.Shape == Op.Output.Shape;
+    else if (Op.Type == "Transpose") {
+      std::vector<int64_t> P;
+      Identity = permAttr(Op, P) && identityPerm(P);
+    }
+    if (Identity && !IsDeclared) {
+      auto UIt = Idx.Uses.find(Op.Output.Name);
+      if (UIt != Idx.Uses.end() && !UIt->second.empty()) {
+        rewire(G, Idx, Op.Output.Name, In.Desc);
+        return true;
+      }
+      continue; // already dead; the sweep collects it
+    }
+
+    // --- pair composition ----------------------------------------------
+    auto PIt = Idx.Producer.find(In.Desc.Name);
+    if (PIt != Idx.Producer.end()) {
+      CompositeOp &Inner = G.Ops[PIt->second];
+      if (Inner.Type == Op.Type && Inner.Inputs.size() == 1 &&
+          !Inner.Inputs[0].IsScalar) {
+        if (Op.Type == "Transpose") {
+          std::vector<int64_t> P1, P2;
+          if (permAttr(Inner, P1) && permAttr(Op, P2) &&
+              P1.size() == P2.size()) {
+            std::vector<int64_t> Composed(P2.size());
+            for (size_t D = 0; D < P2.size(); ++D)
+              Composed[D] = P1[P2[D]];
+            Op.Inputs[0] = Inner.Inputs[0];
+            Op.setAttr("perm", permJson(Composed));
+            return true;
+          }
+        } else if (Op.Type == "Reshape" || Op.Type == "BroadcastTo") {
+          Op.Inputs[0] = Inner.Inputs[0];
+          return true;
+        } else if (Op.Type == "Cast" &&
+                   exactlyRepresentable(Inner.Output.Type,
+                                        Inner.Inputs[0].Desc.Type)) {
+          Op.Inputs[0] = Inner.Inputs[0];
+          return true;
+        }
+      }
+    }
+
+    // --- fold Transpose into elementwise consumers ---------------------
+    if (Op.Type == "Transpose" && !IsDeclared) {
+      std::vector<int64_t> P;
+      if (!permAttr(Op, P) || P.empty())
+        continue;
+      auto UIt = Idx.Uses.find(Op.Output.Name);
+      if (UIt == Idx.Uses.end() || UIt->second.empty())
+        continue;
+      size_t Rank = Op.Output.Shape.size();
+      bool AllFoldable = true;
+      for (const Use &U : UIt->second) {
+        const CompositeOp &C = G.Ops[U.OpIdx];
+        if (!isElementwiseOp(C.Type) || C.Output.Shape.size() != Rank ||
+            C.Output.Shape != Op.Output.Shape) {
+          AllFoldable = false;
+          break;
+        }
+      }
+      if (!AllFoldable)
+        continue;
+      // inv[P[d]] = d: reading the transpose input at dim k uses the
+      // consumer's axis inv[k] (composed through any existing ReadPerm).
+      std::vector<unsigned> Inv(Rank);
+      for (size_t D = 0; D < Rank; ++D)
+        Inv[P[D]] = static_cast<unsigned>(D);
+      for (const Use &U : UIt->second) {
+        InputRef &R = G.Ops[U.OpIdx].Inputs[U.InputIdx];
+        std::vector<unsigned> NewPerm(Rank);
+        for (size_t K = 0; K < Rank; ++K)
+          NewPerm[K] = R.ReadPerm.empty() ? Inv[K] : R.ReadPerm[Inv[K]];
+        R.Desc = In.Desc;
+        R.ReadPerm = identityPerm(std::vector<int64_t>(NewPerm.begin(),
+                                                       NewPerm.end()))
+                         ? std::vector<unsigned>()
+                         : std::move(NewPerm);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Sweeps ops whose outputs are neither consumed nor declared; returns the
+/// number of *transform* ops removed.
+unsigned sweepDead(CompositeGraph &G) {
+  unsigned Removed = 0;
+  bool Again = true;
+  while (Again) {
+    Again = false;
+    std::set<std::string> Live(G.Outputs.begin(), G.Outputs.end());
+    for (const CompositeOp &Op : G.Ops)
+      for (const InputRef &R : Op.Inputs)
+        if (!R.IsScalar)
+          Live.insert(R.Desc.Name);
+    for (size_t I = 0; I < G.Ops.size(); ++I) {
+      if (Live.count(G.Ops[I].Output.Name))
+        continue;
+      if (isTransformOp(G.Ops[I].Type))
+        ++Removed;
+      G.Ops.erase(G.Ops.begin() + static_cast<long>(I));
+      Again = true;
+      break;
+    }
+  }
+  return Removed;
+}
+
+} // namespace
+
+unsigned eliminateTransformOps(CompositeGraph &G) {
+  // Each successful rewrite strictly shrinks the graph or shortens a
+  // transform chain, so a generous guard bounds the fixpoint loop.
+  size_t Guard = 4 * G.Ops.size() + 8;
+  while (Guard-- && rewriteOnce(G))
+    ;
+  unsigned N = sweepDead(G);
+  if (N)
+    Stats::get().add("composite.transform_ops_eliminated", N);
+  return N;
+}
+
+} // namespace composite
+} // namespace akg

@@ -1,0 +1,45 @@
+//===- composite/ElimTransform.h - Transform-op elimination -----*- C++ -*-===//
+//
+// The normalization pass between parsing and polyhedral lowering: graph
+// engines pad fused subgraphs with data-movement noise - Reshape /
+// Transpose / Cast / BroadcastTo chains - that would otherwise turn into
+// real loop nests and pollute the scheduler's search space. This pass
+// rewrites a validated CompositeGraph so that noise never reaches
+// PolyExtract:
+//
+//   - identity transforms (same-shape Reshape/BroadcastTo, identity-perm
+//     Transpose, same-dtype Cast) are erased and their consumers rewired;
+//   - adjacent pairs compose (Transpose o Transpose into one composed
+//     perm, Reshape o Reshape into the final shape, Cast o Cast into a
+//     single cast whenever the intermediate dtype represents the source
+//     exactly - F32 holds F16, anything holds Bool);
+//   - a surviving Transpose whose consumers are all full-rank elementwise
+//     ops folds into their access maps (InputRef::ReadPerm) instead of
+//     materializing a permuted copy;
+//   - dead transform ops are swept, each sweep incrementing the
+//     composite.transform_ops_eliminated Stats counter.
+//
+// Ops producing declared graph outputs are never eliminated. The rewrite
+// is semantics-preserving under the reference evaluator (casts evaluate
+// value-preserving; permutations only relabel access order).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_COMPOSITE_ELIMTRANSFORM_H
+#define AKG_COMPOSITE_ELIMTRANSFORM_H
+
+#include "composite/Composite.h"
+
+namespace akg {
+namespace composite {
+
+/// Normalizes \p G in place; expects a graph validateGraph() accepted
+/// (topo-sorted, resolved edges). Returns the number of transform ops
+/// removed (also added to the composite.transform_ops_eliminated counter).
+/// The caller should re-run validateGraph afterwards as a safety net.
+unsigned eliminateTransformOps(CompositeGraph &G);
+
+} // namespace composite
+} // namespace akg
+
+#endif // AKG_COMPOSITE_ELIMTRANSFORM_H

@@ -1,0 +1,473 @@
+//===- composite/Json.cpp - Bounds-checked JSON parser + writer -----------===//
+
+#include "composite/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace akg {
+namespace composite {
+
+std::string JsonError::str() const {
+  char Buf[64];
+  std::snprintf(Buf, sizeof Buf, "line %zu col %zu: ", Line, Col);
+  return Buf + Message;
+}
+
+namespace {
+
+class JsonReader {
+public:
+  JsonReader(const std::string &Text, JsonError &Err)
+      : Text(Text), Err(Err) {}
+
+  bool run(Json &Out) {
+    if (Text.size() > kJsonMaxBytes)
+      return fail(0, "payload exceeds size limit");
+    skipWs();
+    if (!parseValue(Out, 0))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail(Pos, "trailing characters after JSON value");
+    return true;
+  }
+
+private:
+  bool eof() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  bool fail(size_t At, const std::string &Msg) {
+    Err.Line = 1;
+    Err.Col = 1;
+    for (size_t I = 0; I < At && I < Text.size(); ++I) {
+      if (Text[I] == '\n') {
+        ++Err.Line;
+        Err.Col = 1;
+      } else {
+        ++Err.Col;
+      }
+    }
+    Err.Message = Msg;
+    return false;
+  }
+
+  void skipWs() {
+    while (!eof()) {
+      char C = peek();
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool literal(const char *Word) {
+    size_t N = std::strlen(Word);
+    if (Pos + N > Text.size() || Text.compare(Pos, N, Word) != 0)
+      return fail(Pos, std::string("invalid literal (expected '") + Word +
+                           "')");
+    Pos += N;
+    return true;
+  }
+
+  bool countNode() {
+    if (++Nodes > kJsonMaxNodes)
+      return fail(Pos, "payload exceeds value-count limit");
+    return true;
+  }
+
+  bool parseValue(Json &Out, unsigned Depth) {
+    if (Depth > kJsonMaxDepth)
+      return fail(Pos, "nesting exceeds depth limit");
+    if (!countNode())
+      return false;
+    if (eof())
+      return fail(Pos, "unexpected end of input (expected a value)");
+    switch (peek()) {
+    case 'n':
+      Out = Json::null();
+      return literal("null");
+    case 't':
+      Out = Json::boolean(true);
+      return literal("true");
+    case 'f':
+      Out = Json::boolean(false);
+      return literal("false");
+    case '"':
+      return parseString(Out);
+    case '[':
+      return parseArray(Out, Depth);
+    case '{':
+      return parseObject(Out, Depth);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseHex4(uint32_t &V) {
+    if (Pos + 4 > Text.size())
+      return fail(Pos, "truncated \\u escape");
+    V = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos++];
+      V <<= 4;
+      if (C >= '0' && C <= '9')
+        V |= static_cast<uint32_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        V |= static_cast<uint32_t>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        V |= static_cast<uint32_t>(C - 'A' + 10);
+      else
+        return fail(Pos - 1, "invalid hex digit in \\u escape");
+    }
+    return true;
+  }
+
+  static void appendUtf8(std::string &S, uint32_t CP) {
+    if (CP < 0x80) {
+      S += static_cast<char>(CP);
+    } else if (CP < 0x800) {
+      S += static_cast<char>(0xC0 | (CP >> 6));
+      S += static_cast<char>(0x80 | (CP & 0x3F));
+    } else if (CP < 0x10000) {
+      S += static_cast<char>(0xE0 | (CP >> 12));
+      S += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+      S += static_cast<char>(0x80 | (CP & 0x3F));
+    } else {
+      S += static_cast<char>(0xF0 | (CP >> 18));
+      S += static_cast<char>(0x80 | ((CP >> 12) & 0x3F));
+      S += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+      S += static_cast<char>(0x80 | (CP & 0x3F));
+    }
+  }
+
+  bool parseString(Json &Out) {
+    ++Pos; // opening quote
+    std::string S;
+    while (true) {
+      if (eof())
+        return fail(Pos, "unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        break;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail(Pos - 1, "unescaped control character in string");
+      if (C != '\\') {
+        S += C;
+        continue;
+      }
+      if (eof())
+        return fail(Pos, "truncated escape sequence");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        S += '"';
+        break;
+      case '\\':
+        S += '\\';
+        break;
+      case '/':
+        S += '/';
+        break;
+      case 'b':
+        S += '\b';
+        break;
+      case 'f':
+        S += '\f';
+        break;
+      case 'n':
+        S += '\n';
+        break;
+      case 'r':
+        S += '\r';
+        break;
+      case 't':
+        S += '\t';
+        break;
+      case 'u': {
+        uint32_t CP = 0;
+        if (!parseHex4(CP))
+          return false;
+        if (CP >= 0xD800 && CP <= 0xDBFF) {
+          // High surrogate: a low surrogate must follow.
+          if (Pos + 1 >= Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return fail(Pos, "high surrogate without low surrogate");
+          Pos += 2;
+          uint32_t Lo = 0;
+          if (!parseHex4(Lo))
+            return false;
+          if (Lo < 0xDC00 || Lo > 0xDFFF)
+            return fail(Pos - 4, "invalid low surrogate");
+          CP = 0x10000 + ((CP - 0xD800) << 10) + (Lo - 0xDC00);
+        } else if (CP >= 0xDC00 && CP <= 0xDFFF) {
+          return fail(Pos - 4, "lone low surrogate");
+        }
+        appendUtf8(S, CP);
+        break;
+      }
+      default:
+        return fail(Pos - 1, "invalid escape character");
+      }
+    }
+    Out = Json::str(std::move(S));
+    return true;
+  }
+
+  bool parseNumber(Json &Out) {
+    size_t Start = Pos;
+    if (!eof() && peek() == '-')
+      ++Pos;
+    bool Digits = false;
+    while (!eof() && peek() >= '0' && peek() <= '9') {
+      ++Pos;
+      Digits = true;
+    }
+    bool Integral = true;
+    if (!eof() && peek() == '.') {
+      Integral = false;
+      ++Pos;
+      bool Frac = false;
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++Pos;
+        Frac = true;
+      }
+      if (!Frac)
+        return fail(Pos, "digit expected after decimal point");
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      Integral = false;
+      ++Pos;
+      if (!eof() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      bool Exp = false;
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++Pos;
+        Exp = true;
+      }
+      if (!Exp)
+        return fail(Pos, "digit expected in exponent");
+    }
+    if (!Digits)
+      return fail(Start, "invalid character (expected a value)");
+    std::string Tok = Text.substr(Start, Pos - Start);
+    if (Integral) {
+      errno = 0;
+      char *End = nullptr;
+      long long V = std::strtoll(Tok.c_str(), &End, 10);
+      if (errno == 0 && End && *End == '\0') {
+        Out = Json::integer(static_cast<int64_t>(V));
+        return true;
+      }
+      // Out-of-range integers fall through to double.
+    }
+    errno = 0;
+    char *End = nullptr;
+    double D = std::strtod(Tok.c_str(), &End);
+    if (!End || *End != '\0')
+      return fail(Start, "malformed number");
+    if (!std::isfinite(D))
+      return fail(Start, "number out of range");
+    Out = Json::number(D);
+    return true;
+  }
+
+  bool parseArray(Json &Out, unsigned Depth) {
+    ++Pos; // '['
+    Out = Json::array();
+    skipWs();
+    if (!eof() && peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      Json V;
+      skipWs();
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.push(std::move(V));
+      skipWs();
+      if (eof())
+        return fail(Pos, "unterminated array");
+      char C = Text[Pos++];
+      if (C == ']')
+        return true;
+      if (C != ',')
+        return fail(Pos - 1, "expected ',' or ']' in array");
+    }
+  }
+
+  bool parseObject(Json &Out, unsigned Depth) {
+    ++Pos; // '{'
+    Out = Json::object();
+    skipWs();
+    if (!eof() && peek() == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (eof() || peek() != '"')
+        return fail(Pos, "expected string key in object");
+      Json Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (eof() || Text[Pos] != ':')
+        return fail(Pos, "expected ':' after object key");
+      ++Pos;
+      skipWs();
+      Json V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.set(Key.stringValue(), std::move(V));
+      skipWs();
+      if (eof())
+        return fail(Pos, "unterminated object");
+      char C = Text[Pos++];
+      if (C == '}')
+        return true;
+      if (C != ',')
+        return fail(Pos - 1, "expected ',' or '}' in object");
+    }
+  }
+
+  const std::string &Text;
+  JsonError &Err;
+  size_t Pos = 0;
+  size_t Nodes = 0;
+};
+
+/// Shortest decimal form of \p V that strtod parses back to the same
+/// bits. %.17g always round-trips; try shorter forms first so golden
+/// files stay readable.
+std::string doubleText(double V) {
+  char Buf[40];
+  for (int Prec = 15; Prec <= 17; ++Prec) {
+    std::snprintf(Buf, sizeof Buf, "%.*g", Prec, V);
+    if (std::strtod(Buf, nullptr) == V)
+      break;
+  }
+  // JSON has no inf/nan; clamp to the largest finite literal (the
+  // composite layer never emits non-finite values, this is a backstop).
+  if (!std::isfinite(V))
+    std::snprintf(Buf, sizeof Buf, "%s1e308", V < 0 ? "-" : "");
+  std::string S = Buf;
+  // Ensure a double stays a double on re-parse.
+  if (S.find_first_of(".eE") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+void escapeInto(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof Buf, "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void dumpInto(std::string &Out, const Json &V, bool Pretty, unsigned Indent) {
+  auto Newline = [&](unsigned Level) {
+    if (!Pretty)
+      return;
+    Out += '\n';
+    Out.append(2 * Level, ' ');
+  };
+  switch (V.kind()) {
+  case Json::Kind::Null:
+    Out += "null";
+    break;
+  case Json::Kind::Bool:
+    Out += V.boolValue() ? "true" : "false";
+    break;
+  case Json::Kind::Number:
+    if (V.isInt()) {
+      char Buf[24];
+      std::snprintf(Buf, sizeof Buf, "%lld",
+                    static_cast<long long>(V.intValue()));
+      Out += Buf;
+    } else {
+      Out += doubleText(V.numberValue());
+    }
+    break;
+  case Json::Kind::String:
+    escapeInto(Out, V.stringValue());
+    break;
+  case Json::Kind::Array: {
+    if (V.items().empty()) {
+      Out += "[]";
+      break;
+    }
+    Out += '[';
+    for (size_t I = 0; I < V.items().size(); ++I) {
+      if (I)
+        Out += Pretty ? "," : ",";
+      Newline(Indent + 1);
+      dumpInto(Out, V.items()[I], Pretty, Indent + 1);
+    }
+    Newline(Indent);
+    Out += ']';
+    break;
+  }
+  case Json::Kind::Object: {
+    if (V.members().empty()) {
+      Out += "{}";
+      break;
+    }
+    Out += '{';
+    for (size_t I = 0; I < V.members().size(); ++I) {
+      if (I)
+        Out += ",";
+      Newline(Indent + 1);
+      escapeInto(Out, V.members()[I].first);
+      Out += Pretty ? ": " : ":";
+      dumpInto(Out, V.members()[I].second, Pretty, Indent + 1);
+    }
+    Newline(Indent);
+    Out += '}';
+    break;
+  }
+  }
+}
+
+} // namespace
+
+bool parseJson(const std::string &Text, Json &Out, JsonError &Err) {
+  return JsonReader(Text, Err).run(Out);
+}
+
+std::string dumpJson(const Json &V, bool Pretty) {
+  std::string Out;
+  dumpInto(Out, V, Pretty, 0);
+  return Out;
+}
+
+} // namespace composite
+} // namespace akg

@@ -1,0 +1,150 @@
+//===- composite/Json.h - Bounds-checked JSON for the frontend --*- C++ -*-===//
+//
+// A small, dependency-free JSON value + recursive-descent parser for the
+// composite-subgraph ingress (DESIGN.md 4j). The parser is the first thing
+// untrusted network payloads hit, so it is written to *reject*, never to
+// crash: every read is bounds-checked, nesting depth and total node count
+// are capped, and any malformed byte produces a JsonError with line/column
+// instead of an exception or UB. The writer round-trips doubles exactly
+// (shortest representation that parses back to the same bits), which the
+// composite round-trip differential in src/verify depends on.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_COMPOSITE_JSON_H
+#define AKG_COMPOSITE_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace akg {
+namespace composite {
+
+/// One JSON value. Arrays and objects own their children by value;
+/// object member order is preserved (canonical serialization depends on
+/// it). Numbers remember whether they were written as integers so shapes
+/// and extents survive exactly.
+class Json {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  using Member = std::pair<std::string, Json>;
+
+  Json() = default;
+
+  static Json null() { return Json(); }
+  static Json boolean(bool V) {
+    Json J;
+    J.K = Kind::Bool;
+    J.BoolVal = V;
+    return J;
+  }
+  static Json number(double V) {
+    Json J;
+    J.K = Kind::Number;
+    J.Num = V;
+    return J;
+  }
+  static Json integer(int64_t V) {
+    Json J;
+    J.K = Kind::Number;
+    J.Num = static_cast<double>(V);
+    J.Int = V;
+    J.IsInt = true;
+    return J;
+  }
+  static Json str(std::string V) {
+    Json J;
+    J.K = Kind::String;
+    J.Str = std::move(V);
+    return J;
+  }
+  static Json array() {
+    Json J;
+    J.K = Kind::Array;
+    return J;
+  }
+  static Json object() {
+    Json J;
+    J.K = Kind::Object;
+    return J;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  /// Written as an integer literal and representable in int64.
+  bool isInt() const { return K == Kind::Number && IsInt; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolValue() const { return BoolVal; }
+  double numberValue() const { return Num; }
+  int64_t intValue() const { return Int; }
+  const std::string &stringValue() const { return Str; }
+
+  const std::vector<Json> &items() const { return Items; }
+  const std::vector<Member> &members() const { return Members; }
+
+  /// First member named \p Key, or null when absent / not an object.
+  const Json *find(const std::string &Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    for (const Member &M : Members)
+      if (M.first == Key)
+        return &M.second;
+    return nullptr;
+  }
+
+  Json &push(Json V) {
+    Items.push_back(std::move(V));
+    return Items.back();
+  }
+  Json &set(std::string Key, Json V) {
+    Members.emplace_back(std::move(Key), std::move(V));
+    return Members.back().second;
+  }
+
+private:
+  friend class JsonParser;
+  Kind K = Kind::Null;
+  bool BoolVal = false;
+  double Num = 0;
+  int64_t Int = 0;
+  bool IsInt = false;
+  std::string Str;
+  std::vector<Json> Items;
+  std::vector<Member> Members;
+};
+
+/// Where and why a parse failed (1-based line/column of the offending
+/// byte).
+struct JsonError {
+  size_t Line = 0;
+  size_t Col = 0;
+  std::string Message;
+  std::string str() const;
+};
+
+/// Hard limits the parser enforces (a payload exceeding them is rejected,
+/// not truncated): nesting depth, total value count, and input size.
+constexpr unsigned kJsonMaxDepth = 64;
+constexpr size_t kJsonMaxNodes = 1u << 20;
+constexpr size_t kJsonMaxBytes = 64u << 20;
+
+/// Parses \p Text into \p Out. Returns false and fills \p Err on any
+/// malformed input; never throws, never reads out of bounds.
+bool parseJson(const std::string &Text, Json &Out, JsonError &Err);
+
+/// Serializes \p V. Pretty mode indents with two spaces (the golden-file
+/// format); compact mode has no whitespace. Doubles print with the
+/// shortest decimal form that parses back bit-identically.
+std::string dumpJson(const Json &V, bool Pretty = false);
+
+} // namespace composite
+} // namespace akg
+
+#endif // AKG_COMPOSITE_JSON_H

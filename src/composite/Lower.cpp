@@ -1,0 +1,398 @@
+//===- composite/Lower.cpp - CompositeGraph -> ir::Module lowering --------===//
+//
+// Lowers a validated composite graph onto the tensor-expression DSL. Every
+// named op becomes one ComputeOp; accesses stay affine (PolyExtract asserts
+// on anything else), which is why dimension-merging Reshapes that survive
+// normalization are rejected with a clean Unsupported Diag instead of being
+// lowered: only split-type reshapes (each input dim = a consecutive run of
+// output dims) have linear read indices.
+//
+//===----------------------------------------------------------------------===//
+
+#include "composite/Composite.h"
+#include "composite/ElimTransform.h"
+
+#include "ir/ModuleUtils.h"
+
+#include <cctype>
+#include <map>
+
+namespace akg {
+namespace composite {
+
+namespace {
+
+ir::Expr scalarLiteral(const InputRef &R) {
+  if (R.Desc.Type == ir::DType::I32 || R.Desc.Type == ir::DType::Bool)
+    return ir::intImm(static_cast<int64_t>(R.Scalar), R.Desc.Type);
+  return ir::floatImm(R.Scalar, R.Desc.Type);
+}
+
+ir::Expr zeroOf(ir::DType T) {
+  if (T == ir::DType::I32 || T == ir::DType::Bool)
+    return ir::intImm(0, T);
+  return ir::floatImm(0, T);
+}
+
+/// Builds the read of one op input at the consumer's axis vars \p Ix
+/// (consumer output shape \p Out): scalar literal, folded-permutation
+/// access, or right-aligned broadcast access.
+ir::Expr readInput(const InputRef &R,
+                   const std::map<std::string, ir::Tensor> &T,
+                   const std::vector<ir::Expr> &Ix,
+                   const std::vector<int64_t> &Out) {
+  if (R.IsScalar)
+    return scalarLiteral(R);
+  const ir::Tensor &Ten = T.at(R.Desc.Name);
+  std::vector<ir::Expr> Idx;
+  if (!R.ReadPerm.empty()) {
+    for (unsigned A : R.ReadPerm)
+      Idx.push_back(Ix[A]);
+    return ir::tensorRead(Ten, std::move(Idx));
+  }
+  size_t Off = Out.size() - Ten->Shape.size();
+  for (size_t K = 0; K < Ten->Shape.size(); ++K) {
+    if (Ten->Shape[K] == 1 && Out[Off + K] != 1)
+      Idx.push_back(ir::intImm(0));
+    else
+      Idx.push_back(Ix[Off + K]);
+  }
+  return ir::tensorRead(Ten, std::move(Idx));
+}
+
+/// gelu(x) = 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
+ir::Expr geluExpand(ir::Expr X, ir::DType T) {
+  ir::Expr X3 = ir::mul(ir::mul(X, X), X);
+  ir::Expr Inner =
+      ir::add(X, ir::mul(ir::floatImm(0.044715, T), X3));
+  ir::Expr Tanh = ir::call(
+      "tanh", {ir::mul(ir::floatImm(0.7978845608028654, T), Inner)}, T);
+  return ir::mul(ir::mul(ir::floatImm(0.5, T), X),
+                 ir::add(ir::floatImm(1.0, T), Tanh));
+}
+
+/// Split-type reshape decomposition: maps each input dim onto a
+/// consecutive run [RunBegin, RunEnd) of output dims whose extents
+/// multiply to it. Returns false for merge-type reshapes (non-affine).
+bool splitRuns(const std::vector<int64_t> &In, const std::vector<int64_t> &Out,
+               std::vector<std::pair<size_t, size_t>> &Runs) {
+  size_t Cursor = 0;
+  for (int64_t E : In) {
+    size_t Begin = Cursor;
+    int64_t Prod = 1;
+    while (Prod < E && Cursor < Out.size())
+      Prod *= Out[Cursor++];
+    if (Prod != E)
+      return false;
+    Runs.emplace_back(Begin, Cursor);
+  }
+  for (; Cursor < Out.size(); ++Cursor)
+    if (Out[Cursor] != 1)
+      return false;
+  return true;
+}
+
+struct Lowerer {
+  const CompositeGraph &G;
+  std::shared_ptr<ir::Module> M;
+  std::map<std::string, ir::Tensor> T;
+  std::vector<Diag> &D;
+  Status Err;
+
+  Lowerer(const CompositeGraph &G, std::vector<Diag> &D)
+      : G(G), M(std::make_shared<ir::Module>()), D(D) {}
+
+  void fail(const std::string &Path, ErrCode C, const std::string &Msg) {
+    D.push_back(Diag{Path, Msg});
+    if (Err.isOk())
+      Err = Status::error(C, Path + ": " + Msg);
+  }
+
+  void lowerOp(const CompositeOp &Op, const std::string &Path) {
+    const std::string &Ty = Op.Type;
+    const std::vector<int64_t> &OS = Op.Output.Shape;
+    auto In = [&](size_t I, const std::vector<ir::Expr> &Ix) {
+      return readInput(Op.Inputs[I], T, Ix, OS);
+    };
+    ir::Tensor Result;
+
+    if (Ty == "Compute") {
+      const Json *AxesJ = Op.attr("axes");
+      const Json *ExprJ = Op.attr("expr");
+      std::vector<ir::IterVar> Axes;
+      for (const Json &A : AxesJ->items()) {
+        bool IsRed = A.find("r") && A.find("r")->isBool() &&
+                     A.find("r")->boolValue();
+        Axes.push_back(ir::IterVar{A.find("n")->stringValue(),
+                                   A.find("e")->intValue(), IsRed});
+      }
+      ir::Expr Body = exprFromJson(*ExprJ, T, D, Path + ".expr");
+      if (!Body) {
+        if (Err.isOk())
+          Err = Status::error(ErrCode::InvalidArgument,
+                              Path + ": invalid Compute expr");
+        return;
+      }
+      Result = M->computeRaw(Op.Output.Name, std::move(Axes), Body,
+                             Op.Output.Type);
+    } else if (Ty == "Add" || Ty == "Sub" || Ty == "Mul" || Ty == "Div" ||
+               Ty == "Maximum" || Ty == "Minimum" || Ty == "Less" ||
+               Ty == "LessEqual" || Ty == "Equal") {
+      Result = M->compute(
+          Op.Output.Name, OS,
+          [&](const std::vector<ir::Expr> &Ix) {
+            ir::Expr A = In(0, Ix), B = In(1, Ix);
+            if (Ty == "Add")
+              return ir::add(A, B);
+            if (Ty == "Sub")
+              return ir::sub(A, B);
+            if (Ty == "Mul")
+              return ir::mul(A, B);
+            if (Ty == "Div")
+              return ir::binary(ir::ExprKind::Div, A, B);
+            if (Ty == "Maximum")
+              return ir::maxE(A, B);
+            if (Ty == "Minimum")
+              return ir::minE(A, B);
+            if (Ty == "Less")
+              return ir::cmp(ir::ExprKind::CmpLT, A, B);
+            if (Ty == "LessEqual")
+              return ir::cmp(ir::ExprKind::CmpLE, A, B);
+            return ir::cmp(ir::ExprKind::CmpEQ, A, B);
+          },
+          Op.Output.Type);
+    } else if (Ty == "Select") {
+      Result = M->compute(
+          Op.Output.Name, OS,
+          [&](const std::vector<ir::Expr> &Ix) {
+            return ir::select(In(0, Ix), In(1, Ix), In(2, Ix));
+          },
+          Op.Output.Type);
+    } else if (Ty == "Neg") {
+      Result = M->compute(
+          Op.Output.Name, OS,
+          [&](const std::vector<ir::Expr> &Ix) {
+            return ir::sub(zeroOf(Op.Output.Type), In(0, Ix));
+          },
+          Op.Output.Type);
+    } else if (Ty == "Exp" || Ty == "Log" || Ty == "Sqrt" || Ty == "Rsqrt" ||
+               Ty == "Abs" || Ty == "Relu" || Ty == "Sigmoid" ||
+               Ty == "Tanh") {
+      std::string Fn = Ty;
+      for (char &C : Fn)
+        C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+      Result = M->compute(
+          Op.Output.Name, OS,
+          [&](const std::vector<ir::Expr> &Ix) {
+            return ir::call(Fn, {In(0, Ix)}, Op.Output.Type);
+          },
+          Op.Output.Type);
+    } else if (Ty == "Gelu") {
+      Result = M->compute(
+          Op.Output.Name, OS,
+          [&](const std::vector<ir::Expr> &Ix) {
+            return geluExpand(In(0, Ix), Op.Output.Type);
+          },
+          Op.Output.Type);
+    } else if (Ty == "Cast") {
+      Result = M->compute(
+          Op.Output.Name, OS,
+          [&](const std::vector<ir::Expr> &Ix) {
+            return ir::cast(Op.Output.Type, In(0, Ix));
+          },
+          Op.Output.Type);
+    } else if (Ty == "Transpose") {
+      std::vector<int64_t> Perm;
+      for (const Json &V : Op.attr("perm")->items())
+        Perm.push_back(V.intValue());
+      // out[I] = in[J] with J[perm[d]] = I[d]: index k of the input uses
+      // the output axis inv[k].
+      std::vector<size_t> Inv(Perm.size());
+      for (size_t Dd = 0; Dd < Perm.size(); ++Dd)
+        Inv[Perm[Dd]] = Dd;
+      const ir::Tensor &Src = T.at(Op.Inputs[0].Desc.Name);
+      Result = M->compute(
+          Op.Output.Name, OS,
+          [&](const std::vector<ir::Expr> &Ix) {
+            std::vector<ir::Expr> Idx;
+            for (size_t K = 0; K < Inv.size(); ++K)
+              Idx.push_back(Ix[Inv[K]]);
+            return ir::tensorRead(Src, std::move(Idx));
+          },
+          Op.Output.Type);
+    } else if (Ty == "Reshape") {
+      const std::vector<int64_t> &IS = Op.Inputs[0].Desc.Shape;
+      std::vector<std::pair<size_t, size_t>> Runs;
+      if (!splitRuns(IS, OS, Runs)) {
+        fail(Path, ErrCode::Unsupported,
+             "dimension-merging Reshape " + std::string("(") +
+                 std::to_string(IS.size()) + "d -> " +
+                 std::to_string(OS.size()) +
+                 "d) has non-affine accesses; it must cancel during "
+                 "normalization to be compilable");
+        return;
+      }
+      const ir::Tensor &Src = T.at(Op.Inputs[0].Desc.Name);
+      Result = M->compute(
+          Op.Output.Name, OS,
+          [&](const std::vector<ir::Expr> &Ix) {
+            std::vector<ir::Expr> Idx;
+            for (size_t Dd = 0; Dd < Runs.size(); ++Dd) {
+              auto [B, E] = Runs[Dd];
+              if (B == E) {
+                Idx.push_back(ir::intImm(0));
+                continue;
+              }
+              ir::Expr Lin;
+              int64_t Stride = 1;
+              for (size_t J = E; J-- > B;) {
+                ir::Expr Term =
+                    Stride == 1 ? Ix[J]
+                                : ir::mul(Ix[J], ir::intImm(Stride));
+                Lin = Lin ? ir::add(Term, Lin) : Term;
+                Stride *= OS[J];
+              }
+              Idx.push_back(Lin);
+            }
+            return ir::tensorRead(Src, std::move(Idx));
+          },
+          Op.Output.Type);
+    } else if (Ty == "BroadcastTo") {
+      Result = M->compute(
+          Op.Output.Name, OS,
+          [&](const std::vector<ir::Expr> &Ix) { return In(0, Ix); },
+          Op.Output.Type);
+    } else if (Ty == "BiasAdd") {
+      const ir::Tensor &Bias = T.at(Op.Inputs[1].Desc.Name);
+      Result = M->compute(
+          Op.Output.Name, OS,
+          [&](const std::vector<ir::Expr> &Ix) {
+            return ir::add(In(0, Ix), ir::tensorRead(Bias, {Ix.back()}));
+          },
+          Op.Output.Type);
+    } else if (Ty == "MatMul") {
+      bool TA = Op.attr("transpose_a") && Op.attr("transpose_a")->boolValue();
+      bool TB = Op.attr("transpose_b") && Op.attr("transpose_b")->boolValue();
+      const TensorDesc &AD = Op.Inputs[0].Desc;
+      int64_t KExt = TA ? AD.Shape[0] : AD.Shape[1];
+      ir::IterVar KV = M->reduceAxis(KExt, Op.Output.Name + "_k");
+      const ir::Tensor &A = T.at(Op.Inputs[0].Desc.Name);
+      const ir::Tensor &B = T.at(Op.Inputs[1].Desc.Name);
+      bool Widen = Op.Output.Type == ir::DType::F32 &&
+                   AD.Type == ir::DType::F16;
+      Result = M->compute(
+          Op.Output.Name, OS,
+          [&](const std::vector<ir::Expr> &Ix) {
+            ir::Expr KX = ir::var(KV.Name);
+            ir::Expr AR = TA ? ir::tensorRead(A, {KX, Ix[0]})
+                             : ir::tensorRead(A, {Ix[0], KX});
+            ir::Expr BR = TB ? ir::tensorRead(B, {Ix[1], KX})
+                             : ir::tensorRead(B, {KX, Ix[1]});
+            ir::Expr Prod = ir::mul(AR, BR);
+            if (Widen)
+              Prod = ir::cast(ir::DType::F32, Prod);
+            return ir::reduce(ir::ReduceKind::Sum, Prod, {KV});
+          },
+          Op.Output.Type);
+    } else if (Ty == "ReduceSum" || Ty == "ReduceMax" || Ty == "ReduceMin") {
+      const std::vector<int64_t> &IS = Op.Inputs[0].Desc.Shape;
+      const Json *AJ = Op.attr("axis");
+      std::vector<int64_t> Axes;
+      if (AJ->isInt())
+        Axes.push_back(AJ->intValue());
+      else
+        for (const Json &V : AJ->items())
+          Axes.push_back(V.intValue());
+      bool KeepDims =
+          Op.attr("keep_dims") && Op.attr("keep_dims")->boolValue();
+      std::vector<bool> Red(IS.size(), false);
+      for (int64_t A : Axes)
+        Red[A < 0 ? A + static_cast<int64_t>(IS.size()) : A] = true;
+      ir::ReduceKind RK = Ty == "ReduceSum"   ? ir::ReduceKind::Sum
+                          : Ty == "ReduceMax" ? ir::ReduceKind::Max
+                                              : ir::ReduceKind::Min;
+      std::vector<ir::IterVar> RVs;
+      for (size_t Dd = 0; Dd < IS.size(); ++Dd)
+        if (Red[Dd])
+          RVs.push_back(M->reduceAxis(
+              IS[Dd], Op.Output.Name + "_r" + std::to_string(Dd)));
+      const ir::Tensor &Src = T.at(Op.Inputs[0].Desc.Name);
+      Result = M->compute(
+          Op.Output.Name, OS,
+          [&](const std::vector<ir::Expr> &Ix) {
+            std::vector<ir::Expr> Idx;
+            size_t OutPos = 0, RPos = 0;
+            for (size_t Dd = 0; Dd < IS.size(); ++Dd) {
+              if (Red[Dd]) {
+                Idx.push_back(ir::var(RVs[RPos++].Name));
+                if (KeepDims)
+                  ++OutPos; // skip the unit output axis
+              } else {
+                Idx.push_back(Ix[OutPos++]);
+              }
+            }
+            return ir::reduce(RK, ir::tensorRead(Src, std::move(Idx)), RVs);
+          },
+          Op.Output.Type);
+    } else {
+      fail(Path, ErrCode::Unsupported, "no lowering for op '" + Ty + "'");
+      return;
+    }
+    T[Result->Name] = Result;
+  }
+};
+
+} // namespace
+
+LowerResult lowerToModule(const CompositeGraph &GIn) {
+  LowerResult R;
+  CompositeGraph G = GIn; // validateGraph canonicalizes (topo sort) in place
+  Status S = validateGraph(G, R.Diags);
+  if (!S.isOk()) {
+    R.Outcome = S;
+    return R;
+  }
+  Lowerer L(G, R.Diags);
+  for (const TensorDesc &TD : G.Inputs)
+    L.T[TD.Name] = L.M->placeholder(TD.Name, TD.Shape, TD.Type);
+  for (size_t I = 0; I < G.Ops.size(); ++I) {
+    L.lowerOp(G.Ops[I], "$.op_desc[" + std::to_string(I) + "]");
+    if (!L.Err.isOk()) {
+      R.Outcome = L.Err;
+      return R;
+    }
+  }
+  // Post-lowering safety net: a frontend bug must never smuggle an
+  // out-of-bounds access into the polyhedral core.
+  std::string Bounds = ir::checkModuleBounds(*L.M);
+  if (!Bounds.empty()) {
+    R.Diags.push_back(Diag{"$", "lowering produced unsafe reads: " + Bounds});
+    R.Outcome = Status::error(ErrCode::Internal, Bounds);
+    return R;
+  }
+  R.Mod = L.M;
+  R.KernelName = G.Name;
+  R.Outcome = Status::ok();
+  return R;
+}
+
+FrontendResult loadComposite(const std::string &JsonText) {
+  FrontendResult F;
+  ParseResult P = parseComposite(JsonText);
+  F.Diags = std::move(P.Diags);
+  if (!P.ok()) {
+    F.Outcome = P.Outcome;
+    return F;
+  }
+  F.Normalized = std::move(P.Graph);
+  F.TransformOpsEliminated = eliminateTransformOps(F.Normalized);
+  LowerResult L = lowerToModule(F.Normalized);
+  F.Diags.insert(F.Diags.end(), L.Diags.begin(), L.Diags.end());
+  F.Outcome = L.Outcome;
+  F.Mod = L.Mod;
+  F.KernelName = L.KernelName;
+  return F;
+}
+
+} // namespace composite
+} // namespace akg

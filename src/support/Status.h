@@ -31,6 +31,7 @@ enum class ErrCode {
   Overloaded,        // admission control shed the request (queue full)
   Quarantined,       // poison-pill fingerprint failing fast (negative cache)
   Unavailable,       // transient service fault; safe to retry with backoff
+  InvalidArgument,   // malformed request payload (composite JSON ingress)
 };
 
 inline const char *errCodeName(ErrCode C) {
@@ -61,6 +62,8 @@ inline const char *errCodeName(ErrCode C) {
     return "quarantined";
   case ErrCode::Unavailable:
     return "unavailable";
+  case ErrCode::InvalidArgument:
+    return "invalid_argument";
   }
   return "?";
 }

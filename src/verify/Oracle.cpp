@@ -4,6 +4,7 @@
 
 #include "akg/CompileService.h"
 #include "akg/KernelCache.h"
+#include "composite/Composite.h"
 #include "ir/PolyExtract.h"
 #include "target/Codegen.h"
 
@@ -130,8 +131,52 @@ OracleReport runOracle(const ir::Module &M, const OracleOptions &Opts) {
   };
 
   // --- Functional matrix: every config vs the reference evaluator -------
-  for (const auto &[Name, O] : oracleConfigs(M, Opts.Level))
-    Check(Name, compileWithAkg(M, O, "oracle_" + Name));
+  // Kernel text is captured pre-MutateKernel so the round-trip below
+  // diffs against the real compiler output, not an injected miscompile.
+  std::vector<std::pair<std::string, std::string>> BaseKernels;
+  for (const auto &[Name, O] : oracleConfigs(M, Opts.Level)) {
+    CompileResult R = compileWithAkg(M, O, "oracle_" + Name);
+    BaseKernels.emplace_back(Name, cce::printKernel(R.Kernel));
+    Check(Name, std::move(R));
+  }
+
+  // --- Composite JSON round-trip differential ---------------------------
+  // parse(serialize(M)) must rebuild a structurally identical module:
+  // same kernel-cache fingerprint, and byte-identical kernel text under
+  // every functional config above.
+  if (Opts.JsonRoundTrip) {
+    ConfigOutcome Out;
+    Out.Config = "json_roundtrip";
+    Out.Pass = true;
+    std::string Payload = composite::moduleToCompositeJson(M, "oracle_rt");
+    composite::FrontendResult F = composite::loadComposite(Payload);
+    if (!F.ok()) {
+      Out.Pass = false;
+      Out.Detail =
+          "frontend rejected serialized module: " + F.Outcome.str();
+    } else if (!(makeCacheKey(M, AkgOptions{}) ==
+                 makeCacheKey(*F.Mod, AkgOptions{}))) {
+      Out.Pass = false;
+      Out.Detail = "cache fingerprint differs after JSON round-trip";
+    } else {
+      for (const auto &[Name, O] : oracleConfigs(*F.Mod, Opts.Level)) {
+        CompileResult R = compileWithAkg(*F.Mod, O, "oracle_" + Name);
+        const std::string *Base = nullptr;
+        for (const auto &[BN, Text] : BaseKernels)
+          if (BN == Name)
+            Base = &Text;
+        if (Base && cce::printKernel(R.Kernel) != *Base) {
+          Out.Pass = false;
+          Out.Detail =
+              "kernel text differs after JSON round-trip (config " + Name +
+              ")";
+          break;
+        }
+      }
+    }
+    Rep.Pass &= Out.Pass;
+    Rep.Outcomes.push_back(Out);
+  }
 
   // --- Determinism sweep: 1 vs N threads, cold vs warm cache ------------
   // The three passes must produce byte-identical kernel text and

@@ -37,6 +37,11 @@ struct OracleOptions {
   double Tolerance = 2e-2; // F16-grade functional tolerance
   unsigned Threads = 4;    // the N of the 1-vs-N determinism sweep
   uint32_t DataSeed = 1;
+  /// Composite-JSON round-trip differential: serialize the module with
+  /// composite::moduleToCompositeJson, re-ingest it through the frontend
+  /// (parse -> normalize -> lower), and require parse(serialize(M)) to
+  /// compile to byte-identical kernel text under every functional config.
+  bool JsonRoundTrip = true;
   /// Machine model; null selects ascend910.
   const sim::MachineSpec *Machine = nullptr;
   /// Post-compile hook applied to each functional config's kernel before

@@ -1,0 +1,547 @@
+//===- tests/CompositeTest.cpp - Composite JSON frontend tests ------------===//
+//
+// The differential battery for the composite-subgraph frontend
+// (src/composite): a negative-parse matrix proving malformed payloads
+// produce structured Diags and never crash, golden-file normalization
+// tests pinning the exact canonical output of transform-op elimination,
+// round-trip differentials (parse(serialize(m)) compiles bit-identically
+// and lands on the same kernel-cache fingerprint), and serving-layer
+// ingress through CompileService::submitJson.
+//
+//===----------------------------------------------------------------------===//
+
+#include "akg/CompileService.h"
+#include "akg/Compiler.h"
+#include "akg/KernelCache.h"
+#include "composite/Composite.h"
+#include "composite/ElimTransform.h"
+#include "composite/Json.h"
+#include "ir/PolyExtract.h"
+#include "support/Stats.h"
+#include "target/Codegen.h"
+#include "verify/Generator.h"
+#include "verify/Oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace akg;
+using namespace akg::composite;
+
+namespace {
+
+std::string dataPath(const std::string &Name) {
+  return std::string(AKG_TEST_DATA_DIR) + "/composite/" + Name;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::string rstrip(std::string S) {
+  while (!S.empty() && (S.back() == '\n' || S.back() == ' '))
+    S.pop_back();
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON layer
+//===----------------------------------------------------------------------===//
+
+TEST(CompositeJson, ParseDumpRoundTrip) {
+  Json V;
+  JsonError E;
+  ASSERT_TRUE(parseJson(
+      R"({"a": [1, 2.5, true, null, "s\n"], "b": {"c": -7}})", V, E))
+      << E.str();
+  EXPECT_EQ(dumpJson(V), R"({"a":[1,2.5,true,null,"s\n"],"b":{"c":-7}})");
+  Json V2;
+  ASSERT_TRUE(parseJson(dumpJson(V, true), V2, E));
+  EXPECT_EQ(dumpJson(V2), dumpJson(V));
+}
+
+TEST(CompositeJson, DepthCapRejected) {
+  std::string Deep(200, '[');
+  Json V;
+  JsonError E;
+  EXPECT_FALSE(parseJson(Deep, V, E));
+  EXPECT_NE(E.Message.find("depth"), std::string::npos) << E.str();
+}
+
+TEST(CompositeJson, ErrorCarriesLineAndColumn) {
+  Json V;
+  JsonError E;
+  EXPECT_FALSE(parseJson("{\n  \"a\": 1,\n  oops\n}", V, E));
+  EXPECT_EQ(E.Line, 3);
+}
+
+//===----------------------------------------------------------------------===//
+// Negative-parse matrix: every malformed payload yields clean Diags
+//===----------------------------------------------------------------------===//
+
+// A well-formed single-op payload the negative cases mutate.
+std::string basePayload() {
+  return R"({
+    "composite": true, "op": "neg_base", "platform": "AKG",
+    "input_desc": [{"tensor_name": "x", "shape": [4, 8], "data_type": "float16"}],
+    "op_desc": [{
+      "name": "Relu", "attr": null,
+      "input_desc": [[{"tensor_name": "x", "shape": [4, 8], "data_type": "float16"}]],
+      "output_desc": [{"tensor_name": "y", "shape": [4, 8], "data_type": "float16"}]}],
+    "output_desc": [{"tensor_name": "y", "shape": [4, 8], "data_type": "float16"}]})";
+}
+
+struct NegativeCase {
+  const char *Name;
+  std::string Payload;
+  const char *ExpectSubstring; // must appear in some diag
+};
+
+std::vector<NegativeCase> negativeCases() {
+  std::vector<NegativeCase> C;
+  C.push_back({"truncated", basePayload().substr(0, 90), "malformed JSON"});
+  C.push_back({"top_level_array", "[1, 2, 3]", "object"});
+  C.push_back({"missing_op_name",
+               R"({"composite": true, "input_desc": [], "op_desc": [],
+                   "output_desc": []})",
+               "op"});
+  {
+    std::string P = basePayload();
+    auto At = P.find("[4, 8]");
+    P.replace(At, 6, "\"4x8\"");
+    C.push_back({"wrong_typed_shape", P, "shape"});
+  }
+  {
+    std::string P = basePayload();
+    auto At = P.find("\"Relu\"");
+    P.replace(At, 6, "\"Conv9000\"");
+    C.push_back({"unknown_op", P, "Conv9000"});
+  }
+  {
+    std::string P = basePayload();
+    auto At = P.find("\"tensor_name\": \"x\", \"shape\": [4, 8]",
+                     P.find("op_desc"));
+    P.replace(At + 15, 3, "\"nope\"");
+    C.push_back({"undefined_tensor", P, "nope"});
+  }
+  {
+    std::string P = basePayload();
+    // Consumer disagrees with the producer about x's shape.
+    auto At = P.find("[4, 8]", P.find("op_desc"));
+    P.replace(At, 6, "[8, 4]");
+    C.push_back({"edge_shape_mismatch", P, "shape"});
+  }
+  C.push_back(
+      {"cyclic_graph",
+       R"({"composite": true, "op": "cyc", "platform": "AKG",
+           "input_desc": [{"tensor_name": "x", "shape": [4], "data_type": "float16"}],
+           "op_desc": [
+             {"name": "Add", "attr": null,
+              "input_desc": [[{"tensor_name": "x", "shape": [4], "data_type": "float16"}],
+                             [{"tensor_name": "b", "shape": [4], "data_type": "float16"}]],
+              "output_desc": [{"tensor_name": "a", "shape": [4], "data_type": "float16"}]},
+             {"name": "Relu", "attr": null,
+              "input_desc": [[{"tensor_name": "a", "shape": [4], "data_type": "float16"}]],
+              "output_desc": [{"tensor_name": "b", "shape": [4], "data_type": "float16"}]}],
+           "output_desc": [{"tensor_name": "b", "shape": [4], "data_type": "float16"}]})",
+       "cycle"});
+  {
+    std::string P = basePayload();
+    auto At = P.find("\"tensor_name\": \"y\"");
+    P.replace(At + 15, 3, "\"x\"");
+    C.push_back({"duplicate_tensor_name", P, "x"});
+  }
+  C.push_back(
+      {"bad_transpose_perm",
+       R"({"composite": true, "op": "perm", "platform": "AKG",
+           "input_desc": [{"tensor_name": "x", "shape": [4, 8], "data_type": "float16"}],
+           "op_desc": [{"name": "Transpose",
+              "attr": [{"name": "perm", "value": [0, 0]}],
+              "input_desc": [[{"tensor_name": "x", "shape": [4, 8], "data_type": "float16"}]],
+              "output_desc": [{"tensor_name": "y", "shape": [4, 4], "data_type": "float16"}]}],
+           "output_desc": [{"tensor_name": "y", "shape": [4, 4], "data_type": "float16"}]})",
+       "perm"});
+  {
+    std::string P = basePayload();
+    auto At = P.find("\"float16\"");
+    P.replace(At, 9, "\"float13\"");
+    C.push_back({"bad_dtype", P, "data_type"});
+  }
+  C.push_back(
+      {"reshape_element_mismatch",
+       R"({"composite": true, "op": "rs", "platform": "AKG",
+           "input_desc": [{"tensor_name": "x", "shape": [4, 8], "data_type": "float16"}],
+           "op_desc": [{"name": "Reshape",
+              "attr": [{"name": "shape", "value": [31]}],
+              "input_desc": [[{"tensor_name": "x", "shape": [4, 8], "data_type": "float16"}]],
+              "output_desc": [{"tensor_name": "y", "shape": [31], "data_type": "float16"}]}],
+           "output_desc": [{"tensor_name": "y", "shape": [31], "data_type": "float16"}]})",
+       "element"});
+  {
+    std::string P = basePayload();
+    auto At = P.find("[4, 8]");
+    P.replace(At, 6, "[0, 8]");
+    C.push_back({"zero_dim", P, "shape"});
+  }
+  {
+    std::string P = basePayload();
+    auto At = P.find("[4, 8]");
+    P.replace(At, 6, "[-4, 8]");
+    C.push_back({"negative_dim", P, "shape"});
+  }
+  {
+    std::string P = basePayload();
+    // Declared graph output names a tensor nothing produces.
+    auto At = P.rfind("\"tensor_name\": \"y\"");
+    P.replace(At + 15, 3, "\"ghost\"");
+    C.push_back({"output_not_produced", P, "ghost"});
+  }
+  {
+    std::string P = basePayload();
+    // Two entries in one op's output_desc.
+    auto Marker = std::string(
+        R"("output_desc": [{"tensor_name": "y", "shape": [4, 8], "data_type": "float16"}]}])");
+    auto At = P.find(Marker);
+    P.replace(At, Marker.size(),
+              R"("output_desc": [{"tensor_name": "y", "shape": [4, 8], "data_type": "float16"},
+                                 {"tensor_name": "y2", "shape": [4, 8], "data_type": "float16"}]}])");
+    C.push_back({"multi_output_op", P, "output_desc"});
+  }
+  return C;
+}
+
+TEST(CompositeNegative, MatrixYieldsDiagsNeverThrows) {
+  for (const NegativeCase &N : negativeCases()) {
+    SCOPED_TRACE(N.Name);
+    ParseResult R = parseComposite(N.Payload);
+    EXPECT_FALSE(R.ok()) << "payload unexpectedly accepted";
+    ASSERT_FALSE(R.Diags.empty());
+    bool Found = false;
+    for (const Diag &D : R.Diags)
+      Found |= D.str().find(N.ExpectSubstring) != std::string::npos;
+    EXPECT_TRUE(Found) << "no diag mentions '" << N.ExpectSubstring
+                       << "'; first: " << R.Diags.front().str();
+    // The full frontend path is equally calm about it.
+    FrontendResult F = loadComposite(N.Payload);
+    EXPECT_FALSE(F.ok());
+    EXPECT_FALSE(F.Diags.empty());
+  }
+}
+
+TEST(CompositeNegative, MergingReshapeThatSurvivesIsUnsupported) {
+  // [8,16] -> [128] merges dimensions; it only compiles when the
+  // normalizer cancels it, and here it is the declared output.
+  FrontendResult F = loadComposite(
+      R"({"composite": true, "op": "merge", "platform": "AKG",
+          "input_desc": [{"tensor_name": "x", "shape": [8, 16], "data_type": "float16"}],
+          "op_desc": [{"name": "Reshape",
+             "attr": [{"name": "shape", "value": [128]}],
+             "input_desc": [[{"tensor_name": "x", "shape": [8, 16], "data_type": "float16"}]],
+             "output_desc": [{"tensor_name": "y", "shape": [128], "data_type": "float16"}]}],
+          "output_desc": [{"tensor_name": "y", "shape": [128], "data_type": "float16"}]})");
+  EXPECT_FALSE(F.ok());
+  EXPECT_EQ(F.Outcome.code(), ErrCode::Unsupported) << F.Outcome.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Golden-file normalization
+//===----------------------------------------------------------------------===//
+
+struct GoldenCase {
+  const char *File;
+  size_t SurvivingOps;
+  unsigned Eliminated;
+};
+
+const GoldenCase Goldens[] = {
+    {"fused_cast_biasadd_gelu", 2, 2},
+    {"transpose_cancel", 1, 2},
+    {"transpose_fold", 1, 1},
+    {"reshape_chain", 1, 2},
+};
+
+TEST(CompositeGolden, NormalizationMatchesCheckedInPayloads) {
+  for (const GoldenCase &G : Goldens) {
+    SCOPED_TRACE(G.File);
+    std::string Before = readFile(dataPath(std::string(G.File) + ".json"));
+    std::string After =
+        readFile(dataPath(std::string(G.File) + ".norm.json"));
+    int64_t C0 = Stats::get().counter("composite.transform_ops_eliminated");
+    FrontendResult F = loadComposite(Before);
+    ASSERT_TRUE(F.ok()) << F.Outcome.str();
+    EXPECT_EQ(F.Normalized.Ops.size(), G.SurvivingOps);
+    EXPECT_EQ(F.TransformOpsEliminated, G.Eliminated);
+    // The Stats counter moves by exactly the ops eliminated.
+    EXPECT_EQ(Stats::get().counter("composite.transform_ops_eliminated") - C0,
+              static_cast<int64_t>(G.Eliminated));
+    // Canonical serialization is byte-exact against the checked-in golden.
+    EXPECT_EQ(rstrip(serializeComposite(F.Normalized, true)), rstrip(After));
+    // Eliminated transform ops never reach the polyhedral core: the
+    // lowered module has exactly one statement per surviving op.
+    ir::PolyProgram P = ir::extractPolyProgram(*F.Mod);
+    EXPECT_EQ(P.Stmts.size(), G.SurvivingOps);
+    // And the surviving module compiles cleanly.
+    CompileResult R = compileWithAkg(*F.Mod, AkgOptions{}, F.KernelName);
+    EXPECT_TRUE(R.Outcome.isOk()) << R.Outcome.str();
+  }
+}
+
+TEST(CompositeGolden, NormalizedPayloadIsAFixpoint) {
+  for (const GoldenCase &G : Goldens) {
+    SCOPED_TRACE(G.File);
+    std::string After =
+        readFile(dataPath(std::string(G.File) + ".norm.json"));
+    FrontendResult F = loadComposite(After);
+    ASSERT_TRUE(F.ok()) << F.Outcome.str();
+    EXPECT_EQ(F.TransformOpsEliminated, 0u);
+    EXPECT_EQ(rstrip(serializeComposite(F.Normalized, true)), rstrip(After));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Transform-elimination unit tests
+//===----------------------------------------------------------------------===//
+
+TEST(CompositeElim, IdentityTransformsEliminated) {
+  // Identity perm, same-dtype Cast, same-shape Reshape all drop.
+  ParseResult R = parseComposite(
+      R"({"composite": true, "op": "ident", "platform": "AKG",
+          "input_desc": [{"tensor_name": "x", "shape": [4, 8], "data_type": "float16"}],
+          "op_desc": [
+            {"name": "Transpose", "attr": [{"name": "perm", "value": [0, 1]}],
+             "input_desc": [[{"tensor_name": "x", "shape": [4, 8], "data_type": "float16"}]],
+             "output_desc": [{"tensor_name": "t0", "shape": [4, 8], "data_type": "float16"}]},
+            {"name": "Cast", "attr": [{"name": "dst_type", "value": "float16"}],
+             "input_desc": [[{"tensor_name": "t0", "shape": [4, 8], "data_type": "float16"}]],
+             "output_desc": [{"tensor_name": "t1", "shape": [4, 8], "data_type": "float16"}]},
+            {"name": "Reshape", "attr": [{"name": "shape", "value": [4, 8]}],
+             "input_desc": [[{"tensor_name": "t1", "shape": [4, 8], "data_type": "float16"}]],
+             "output_desc": [{"tensor_name": "t2", "shape": [4, 8], "data_type": "float16"}]},
+            {"name": "Relu", "attr": null,
+             "input_desc": [[{"tensor_name": "t2", "shape": [4, 8], "data_type": "float16"}]],
+             "output_desc": [{"tensor_name": "y", "shape": [4, 8], "data_type": "float16"}]}],
+          "output_desc": [{"tensor_name": "y", "shape": [4, 8], "data_type": "float16"}]})");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(eliminateTransformOps(R.Graph), 3u);
+  ASSERT_EQ(R.Graph.Ops.size(), 1u);
+  EXPECT_EQ(R.Graph.Ops[0].Type, "Relu");
+  EXPECT_EQ(R.Graph.Ops[0].Inputs[0].Desc.Name, "x");
+}
+
+TEST(CompositeElim, WideningThenNarrowingCastCollapses) {
+  // f16 -> f32 -> f16 is exact, so the pair composes away; the inverse
+  // order (f32 -> f16 -> f32) loses bits and must survive.
+  ParseResult Exact = parseComposite(readFile(
+      dataPath("fused_cast_biasadd_gelu.json")));
+  ASSERT_TRUE(Exact.ok());
+  EXPECT_EQ(eliminateTransformOps(Exact.Graph), 2u);
+
+  ParseResult Lossy = parseComposite(
+      R"({"composite": true, "op": "lossy", "platform": "AKG",
+          "input_desc": [{"tensor_name": "x", "shape": [4], "data_type": "float32"}],
+          "op_desc": [
+            {"name": "Cast", "attr": [{"name": "dst_type", "value": "float16"}],
+             "input_desc": [[{"tensor_name": "x", "shape": [4], "data_type": "float32"}]],
+             "output_desc": [{"tensor_name": "t", "shape": [4], "data_type": "float16"}]},
+            {"name": "Cast", "attr": [{"name": "dst_type", "value": "float32"}],
+             "input_desc": [[{"tensor_name": "t", "shape": [4], "data_type": "float16"}]],
+             "output_desc": [{"tensor_name": "y", "shape": [4], "data_type": "float32"}]}],
+          "output_desc": [{"tensor_name": "y", "shape": [4], "data_type": "float32"}]})");
+  ASSERT_TRUE(Lossy.ok());
+  EXPECT_EQ(eliminateTransformOps(Lossy.Graph), 0u);
+  EXPECT_EQ(Lossy.Graph.Ops.size(), 2u);
+}
+
+TEST(CompositeElim, DeclaredOutputTransposeIsNotFolded) {
+  // A Transpose whose result is a declared graph output must survive
+  // (folding it into consumers would change the output layout).
+  ParseResult R = parseComposite(
+      R"({"composite": true, "op": "outp", "platform": "AKG",
+          "input_desc": [{"tensor_name": "x", "shape": [4, 8], "data_type": "float16"}],
+          "op_desc": [
+            {"name": "Transpose", "attr": [{"name": "perm", "value": [1, 0]}],
+             "input_desc": [[{"tensor_name": "x", "shape": [4, 8], "data_type": "float16"}]],
+             "output_desc": [{"tensor_name": "y", "shape": [8, 4], "data_type": "float16"}]}],
+          "output_desc": [{"tensor_name": "y", "shape": [8, 4], "data_type": "float16"}]})");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(eliminateTransformOps(R.Graph), 0u);
+  ASSERT_EQ(R.Graph.Ops.size(), 1u);
+  EXPECT_EQ(R.Graph.Ops[0].Type, "Transpose");
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trip differential: parse(serialize(m)) is bit-identical
+//===----------------------------------------------------------------------===//
+
+TEST(CompositeRoundTrip, GeneratorSeedsCompileBitIdentical) {
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    ir::Module M = verify::generateModule(Seed);
+    std::string Payload = moduleToCompositeJson(M, "rt");
+    FrontendResult F = loadComposite(Payload);
+    ASSERT_TRUE(F.ok()) << F.Outcome.str();
+    EXPECT_TRUE(makeCacheKey(M, AkgOptions{}) ==
+                makeCacheKey(*F.Mod, AkgOptions{}));
+    CompileResult A = compileWithAkg(M, AkgOptions{}, "rt");
+    CompileResult B = compileWithAkg(*F.Mod, AkgOptions{}, "rt");
+    EXPECT_EQ(cce::printKernel(A.Kernel), cce::printKernel(B.Kernel));
+  }
+}
+
+TEST(CompositeRoundTrip, OracleReportsJsonRoundTripOutcome) {
+  ir::Module M = verify::generateModule(7);
+  verify::OracleOptions O;
+  O.Level = verify::MatrixLevel::Quick;
+  verify::OracleReport Rep = verify::runOracle(M, O);
+  EXPECT_TRUE(Rep.Pass) << Rep.str();
+  bool Found = false;
+  for (const verify::ConfigOutcome &Out : Rep.Outcomes)
+    if (Out.Config == "json_roundtrip")
+      Found = Out.Pass;
+  EXPECT_TRUE(Found) << Rep.str();
+}
+
+TEST(CompositeRoundTrip, TextualVariantsShareOneFingerprint) {
+  // Same subgraph, different whitespace / field order / attr order:
+  // lowering canonicalizes, so the cache fingerprints collide.
+  std::string A = readFile(dataPath("transpose_fold.json"));
+  std::string B =
+      R"({"platform": "AKG", "output_desc": [{"data_type": "float16",
+            "shape": [24, 16], "tensor_name": "z"}],
+          "op_desc": [
+            {"output_desc": [{"tensor_name": "t0", "shape": [24, 16], "data_type": "float16"}],
+             "input_desc": [[{"tensor_name": "x", "shape": [16, 24], "data_type": "float16"}]],
+             "attr": [{"name": "perm", "value": [1, 0]}], "name": "Transpose"},
+            {"name": "Add", "attr": null,
+             "input_desc": [[{"tensor_name": "t0", "shape": [24, 16], "data_type": "float16"}],
+                            [{"tensor_name": "y0", "shape": [24, 16], "data_type": "float16"}]],
+             "output_desc": [{"tensor_name": "z", "shape": [24, 16], "data_type": "float16"}]}],
+          "input_desc": [
+            {"tensor_name": "x", "shape": [16, 24], "data_type": "float16"},
+            {"tensor_name": "y0", "shape": [24, 16], "data_type": "float16"}],
+          "op": "Fused_Transpose_Add", "composite": true})";
+  FrontendResult FA = loadComposite(A), FB = loadComposite(B);
+  ASSERT_TRUE(FA.ok()) << FA.Outcome.str();
+  ASSERT_TRUE(FB.ok()) << FB.Outcome.str();
+  EXPECT_EQ(serializeComposite(FA.Normalized), serializeComposite(FB.Normalized));
+  EXPECT_TRUE(makeCacheKey(*FA.Mod, AkgOptions{}) ==
+              makeCacheKey(*FB.Mod, AkgOptions{}));
+}
+
+//===----------------------------------------------------------------------===//
+// Serving-layer ingress: CompileService::submitJson
+//===----------------------------------------------------------------------===//
+
+TEST(CompositeService, SubmitJsonCompilesAndCaches) {
+  KernelCache Cache;
+  CompileService::Options O;
+  O.Threads = 2;
+  O.Cache = &Cache;
+  CompileService Svc(O);
+  std::string Payload = readFile(dataPath("fused_cast_biasadd_gelu.json"));
+
+  CompileResult R1 = Svc.submitJson(Payload, AkgOptions{}).get();
+  ASSERT_TRUE(R1.Outcome.isOk()) << R1.Outcome.str();
+  EXPECT_FALSE(R1.Trace.CacheHit);
+
+  // Identical payload: second request is a cache hit with identical text.
+  CompileResult R2 = Svc.submitJson(Payload, AkgOptions{}).get();
+  ASSERT_TRUE(R2.Outcome.isOk());
+  EXPECT_TRUE(R2.Trace.CacheHit);
+  EXPECT_EQ(cce::printKernel(R1.Kernel), cce::printKernel(R2.Kernel));
+
+  // A textual variant (re-serialized canonical form) also hits.
+  FrontendResult F = loadComposite(Payload);
+  ASSERT_TRUE(F.ok());
+  CompileResult R3 =
+      Svc.submitJson(serializeComposite(F.Normalized), AkgOptions{}).get();
+  ASSERT_TRUE(R3.Outcome.isOk());
+  EXPECT_TRUE(R3.Trace.CacheHit);
+  EXPECT_EQ(Svc.stats().Submitted, 3);
+}
+
+TEST(CompositeService, SubmitJsonRejectsBadPayloadWithReadyFuture) {
+  CompileService Svc;
+  std::future<CompileResult> Fut =
+      Svc.submitJson("{\"composite\": tru", AkgOptions{});
+  ASSERT_EQ(Fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  CompileResult R = Fut.get();
+  EXPECT_FALSE(R.Outcome.isOk());
+  EXPECT_EQ(R.Outcome.code(), ErrCode::InvalidArgument) << R.Outcome.str();
+  EXPECT_NE(R.Outcome.str().find("malformed JSON"), std::string::npos)
+      << R.Outcome.str();
+  EXPECT_EQ(Svc.stats().Submitted, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering specifics
+//===----------------------------------------------------------------------===//
+
+TEST(CompositeLower, SplitReshapeCompiles) {
+  // [128] -> [8,16] splits a dimension: affine, lowerable directly.
+  FrontendResult F = loadComposite(
+      R"({"composite": true, "op": "split", "platform": "AKG",
+          "input_desc": [{"tensor_name": "x", "shape": [128], "data_type": "float16"}],
+          "op_desc": [
+            {"name": "Reshape", "attr": [{"name": "shape", "value": [8, 16]}],
+             "input_desc": [[{"tensor_name": "x", "shape": [128], "data_type": "float16"}]],
+             "output_desc": [{"tensor_name": "t", "shape": [8, 16], "data_type": "float16"}]},
+            {"name": "Abs", "attr": null,
+             "input_desc": [[{"tensor_name": "t", "shape": [8, 16], "data_type": "float16"}]],
+             "output_desc": [{"tensor_name": "y", "shape": [8, 16], "data_type": "float16"}]}],
+          "output_desc": [{"tensor_name": "y", "shape": [8, 16], "data_type": "float16"}]})");
+  ASSERT_TRUE(F.ok()) << F.Outcome.str();
+  CompileResult R = compileWithAkg(*F.Mod, AkgOptions{}, F.KernelName);
+  EXPECT_TRUE(R.Outcome.isOk()) << R.Outcome.str();
+}
+
+TEST(CompositeLower, ScalarOperandAndBroadcast) {
+  FrontendResult F = loadComposite(
+      R"({"composite": true, "op": "scl", "platform": "AKG",
+          "input_desc": [
+            {"tensor_name": "x", "shape": [4, 8], "data_type": "float16"},
+            {"tensor_name": "r", "shape": [8], "data_type": "float16"}],
+          "op_desc": [
+            {"name": "Mul", "attr": null,
+             "input_desc": [[{"tensor_name": "x", "shape": [4, 8], "data_type": "float16"}],
+                            [{"value": 0.5, "data_type": "float16"}]],
+             "output_desc": [{"tensor_name": "h", "shape": [4, 8], "data_type": "float16"}]},
+            {"name": "Add", "attr": null,
+             "input_desc": [[{"tensor_name": "h", "shape": [4, 8], "data_type": "float16"}],
+                            [{"tensor_name": "r", "shape": [8], "data_type": "float16"}]],
+             "output_desc": [{"tensor_name": "y", "shape": [4, 8], "data_type": "float16"}]}],
+          "output_desc": [{"tensor_name": "y", "shape": [4, 8], "data_type": "float16"}]})");
+  ASSERT_TRUE(F.ok()) << F.Outcome.str();
+  CompileResult R = compileWithAkg(*F.Mod, AkgOptions{}, F.KernelName);
+  EXPECT_TRUE(R.Outcome.isOk()) << R.Outcome.str();
+}
+
+TEST(CompositeLower, MatMulAndReduceLower) {
+  FrontendResult F = loadComposite(
+      R"({"composite": true, "op": "mm", "platform": "AKG",
+          "input_desc": [
+            {"tensor_name": "a", "shape": [32, 48], "data_type": "float16"},
+            {"tensor_name": "b", "shape": [48, 16], "data_type": "float16"}],
+          "op_desc": [
+            {"name": "MatMul", "attr": null,
+             "input_desc": [[{"tensor_name": "a", "shape": [32, 48], "data_type": "float16"}],
+                            [{"tensor_name": "b", "shape": [48, 16], "data_type": "float16"}]],
+             "output_desc": [{"tensor_name": "c", "shape": [32, 16], "data_type": "float32"}]},
+            {"name": "ReduceSum",
+             "attr": [{"name": "axis", "value": [1]}, {"name": "keep_dims", "value": true}],
+             "input_desc": [[{"tensor_name": "c", "shape": [32, 16], "data_type": "float32"}]],
+             "output_desc": [{"tensor_name": "y", "shape": [32, 1], "data_type": "float32"}]}],
+          "output_desc": [{"tensor_name": "y", "shape": [32, 1], "data_type": "float32"}]})");
+  ASSERT_TRUE(F.ok()) << F.Outcome.str();
+  CompileResult R = compileWithAkg(*F.Mod, AkgOptions{}, F.KernelName);
+  EXPECT_TRUE(R.Outcome.isOk()) << R.Outcome.str();
+}
+
+} // namespace
