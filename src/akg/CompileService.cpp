@@ -109,9 +109,38 @@ std::future<CompileResult> CompileService::submit(const ir::Module &M,
       Name);
 }
 
+namespace {
+
+/// An already-ready error future for a request rejected before admission.
+std::future<CompileResult> readyError(ErrCode Code, const std::string &Msg) {
+  CompileResult R;
+  R.Outcome = Status::error(Code, Msg);
+  std::promise<CompileResult> P;
+  P.set_value(std::move(R));
+  return P.get_future();
+}
+
+/// First non-whitespace byte of \p S, or '\0' when all whitespace.
+char firstPayloadByte(const std::string &S) {
+  for (char C : S)
+    if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+      return C;
+  return '\0';
+}
+
+} // namespace
+
 std::future<CompileResult>
 CompileService::submitJson(const std::string &JsonText,
                            const AkgOptions &Opts) {
+  if (firstPayloadByte(JsonText) == '[') {
+    ++NSubmitted;
+    if (Stats::enabled())
+      Stats::get().add("service.invalid_json");
+    return readyError(ErrCode::InvalidArgument,
+                      "$: top-level value is an array (a batch of "
+                      "subgraphs); use submitJsonBatch");
+  }
   composite::FrontendResult F = composite::loadComposite(JsonText);
   if (!F.ok()) {
     ++NSubmitted;
@@ -132,6 +161,36 @@ CompileService::submitJson(const std::string &JsonText,
     return P.get_future();
   }
   return submitShared(F.Mod, Opts, F.KernelName);
+}
+
+std::vector<std::future<CompileResult>>
+CompileService::submitJsonBatch(const std::string &JsonText,
+                                const AkgOptions &Opts) {
+  std::vector<std::future<CompileResult>> Futures;
+  composite::BatchSplit B = composite::splitBatchPayload(JsonText);
+  if (!B.ok()) {
+    ++NSubmitted;
+    if (Stats::enabled())
+      Stats::get().add("service.invalid_json");
+    std::string Msg = B.Outcome.message();
+    for (size_t I = 1; I < B.Diags.size() && I < 3; ++I)
+      Msg += "; " + B.Diags[I].str();
+    Futures.push_back(readyError(B.Outcome.code(), Msg));
+    return Futures;
+  }
+  if (!B.IsBatch) {
+    // A batch of one: the ordinary single-payload path (which also
+    // reports malformed JSON with the full diagnostics).
+    Futures.push_back(submitJson(JsonText, Opts));
+    return Futures;
+  }
+  if (Stats::enabled())
+    Stats::get().add("service.batch_entries",
+                     static_cast<int64_t>(B.Entries.size()));
+  Futures.reserve(B.Entries.size());
+  for (const std::string &Entry : B.Entries)
+    Futures.push_back(submitJson(Entry, Opts));
+  return Futures;
 }
 
 std::future<CompileResult>

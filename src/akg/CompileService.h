@@ -147,8 +147,25 @@ public:
   /// in the message; nothing is compiled and no trace is dumped. Because
   /// lowering canonicalizes the payload, textual variants of the same
   /// subgraph land on the same kernel-cache fingerprint triple.
+  /// A payload whose top-level value is an ARRAY is a batch request and
+  /// is rejected here with a diagnostic pointing at submitJsonBatch, so a
+  /// graph engine that picked the wrong entry point finds out immediately
+  /// instead of getting a confusing per-payload schema error.
   std::future<CompileResult> submitJson(const std::string &JsonText,
                                         const AkgOptions &Opts);
+
+  /// The batched front door: a top-level JSON array of composite-subgraph
+  /// payloads (one network's fused subgraphs in one request) fans out to
+  /// one future per entry, in payload order. Each entry is admitted
+  /// independently: a malformed entry yields an already-ready
+  /// InvalidArgument future carrying that entry's diagnostics while its
+  /// siblings compile normally, and structurally identical entries
+  /// coalesce in the kernel cache. A non-array payload is treated as a
+  /// batch of one (the submitJson path). A payload unusable as a whole
+  /// (unparseable, or over composite::kMaxBatchEntries) returns a single
+  /// ready error future.
+  std::vector<std::future<CompileResult>>
+  submitJsonBatch(const std::string &JsonText, const AkgOptions &Opts);
 
   /// Submits every job and waits; results in job order.
   std::vector<CompileResult> compileAll(const std::vector<CompileJob> &Jobs);

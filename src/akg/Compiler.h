@@ -59,6 +59,25 @@ struct AkgOptions {
   std::shared_ptr<CancelToken> Cancel;
 };
 
+/// Late-bound shape metadata attached to a CompileResult served from a
+/// bucketed skeleton (DESIGN.md 4k). The kernel itself is the skeleton
+/// compiled at the bucket representatives; executing a concrete request
+/// pads each dynamic input dim with zeros up to the representative extent,
+/// runs the skeleton, and slices every output back to the concrete extents
+/// (sound for the pointwise-in-dynamic-axes class the admission analysis
+/// enforces). Immutable after construction -- shared across cache hits.
+struct ShapeBinding {
+  /// Shape symbol -> concrete extent of this request.
+  std::map<std::string, int64_t> Concrete;
+  /// Shape symbol -> bucket-representative extent the skeleton compiled at.
+  std::map<std::string, int64_t> Representative;
+  /// Shape symbol -> bucket id ("b64", ...) that entered the cache key.
+  std::map<std::string, std::string> BucketIds;
+  /// Per-tensor dynamic-dim symbols: tensor name -> (dim -> symbol), for
+  /// inputs and outputs with at least one marked dim.
+  std::map<std::string, std::map<unsigned, std::string>> TensorSyms;
+};
+
 struct CompileResult {
   cce::Kernel Kernel;
   /// The module actually compiled (after preparation passes).
@@ -85,6 +104,11 @@ struct CompileResult {
   /// completion: queue wait + chaos sleeps + retries + compile). Zero for
   /// compiles that did not go through the service.
   double ServiceSeconds = 0;
+  /// Set when this result was served from a bucketed dynamic-shape
+  /// skeleton: Kernel computes at the bucket-representative extents and
+  /// sim::runBound pads/slices to the concrete request shape. Null for
+  /// ordinary per-shape compiles. Shared (immutable) across cache hits.
+  std::shared_ptr<const ShapeBinding> DynShape;
 };
 
 /// Compiles one fused operator with the full AKG pipeline.

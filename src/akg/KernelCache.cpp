@@ -2,6 +2,7 @@
 
 #include "akg/KernelCache.h"
 
+#include "akg/DynShape.h"
 #include "akg/KernelStore.h"
 #include "support/Stats.h"
 
@@ -242,6 +243,13 @@ CacheKey makeCacheKey(const Module &M, const AkgOptions &O) {
                   bindingFingerprint(M)};
 }
 
+CacheKey makeBucketedCacheKey(const Module &Skeleton, const AkgOptions &O,
+                              const std::string &BucketKey) {
+  CacheKey K = makeCacheKey(Skeleton, O);
+  mixString(K.ModuleFp, BucketKey);
+  return K;
+}
+
 //===----------------------------------------------------------------------===//
 // KernelCache
 //===----------------------------------------------------------------------===//
@@ -309,7 +317,51 @@ CompileResult KernelCache::compileOrGet(const Module &M,
                                         const AkgOptions &Opts,
                                         const std::string &Name,
                                         const CompileFn &Fn) {
-  CacheKey K = makeCacheKey(M, Opts);
+  // Dynamic-shape path: canonicalize to the bucket skeleton, serve under
+  // the bucketed key, and attach the late-binding metadata. Any
+  // admission failure - or a failed skeleton compile - drops to the
+  // plain per-shape path below, so bucketing can only add reuse, never
+  // change what a request is allowed to compute.
+  if (dynshape::eligible(M)) {
+    if (Stats::enabled())
+      Stats::get().add("dynshape.request");
+    dynshape::Plan P = dynshape::plan(M, BucketScheme::fromEnv());
+    if (P.Usable) {
+      CacheKey BK = makeBucketedCacheKey(*P.Skeleton, Opts, P.BucketKey);
+      CompileResult R = compileOrGetKeyed(BK, *P.Skeleton, Opts, Name, Fn);
+      if (R.Outcome.isOk()) {
+        R.DynShape = P.Binding;
+        cce::stampExtentRegs(R.Kernel, *P.Skeleton);
+        {
+          std::lock_guard<std::mutex> G(Lock);
+          ++Counts.DynBinds;
+        }
+        if (Stats::enabled())
+          Stats::get().add("dynshape.bind");
+        TraceEvent E;
+        E.Pass = "dynshape_bind";
+        E.Note = "bound to bucket skeleton (" + P.BucketKey + ")";
+        R.Trace.Events.insert(R.Trace.Events.begin(), std::move(E));
+        return R;
+      }
+      trace::debugEcho("dynshape: skeleton compile failed (" +
+                       R.Outcome.str() + ") for '" + Name +
+                       "'; retrying per-shape");
+    } else {
+      trace::debugEcho("dynshape: fallback for '" + Name + "': " +
+                       P.FallbackReason);
+    }
+    std::lock_guard<std::mutex> G(Lock);
+    ++Counts.DynFallbacks;
+  }
+  return compileOrGetKeyed(makeCacheKey(M, Opts), M, Opts, Name, Fn);
+}
+
+CompileResult KernelCache::compileOrGetKeyed(const CacheKey &K,
+                                             const Module &M,
+                                             const AkgOptions &Opts,
+                                             const std::string &Name,
+                                             const CompileFn &Fn) {
   // The retry loop only repeats after a failed leader: waiters woken
   // with Failed re-enter the lookup under their own deadline/token and
   // may find a completed entry, coalesce onto a new leader, or become

@@ -80,6 +80,15 @@ struct CacheKey {
 
 CacheKey makeCacheKey(const ir::Module &M, const AkgOptions &O);
 
+/// Bucketed key of a dynamic-shape skeleton (DESIGN.md 4k): the ordinary
+/// content address of the skeleton module salted with \p BucketKey (the
+/// bucket-scheme bounds + per-symbol bucket ids from dynshape::plan), so
+/// bucketed entries never alias plain concrete compiles at the same
+/// shapes or entries produced under a different AKG_SHAPE_BUCKETS.
+CacheKey makeBucketedCacheKey(const ir::Module &Skeleton,
+                              const AkgOptions &O,
+                              const std::string &BucketKey);
+
 /// Hash for CacheKey-keyed maps (the cache itself, the quarantine).
 struct CacheKeyHash {
   size_t operator()(const CacheKey &K) const {
@@ -99,6 +108,13 @@ struct KernelCacheStats {
   /// result is not cached and coalesced waiters retried under their own
   /// deadlines instead of inheriting the failure ("cache.leader_failed").
   int64_t LeaderFailed = 0;
+  /// Dynamic-shape requests served through a bucket skeleton (concrete
+  /// extents late-bound onto a shared cached kernel, "dynshape.bind").
+  int64_t DynBinds = 0;
+  /// Dynamic-shape requests that fell back to per-shape compilation
+  /// (unsupported structure, out-of-range extent, shape-dependent
+  /// dependence structure, or a failed skeleton compile).
+  int64_t DynFallbacks = 0;
 
   double hitRate() const {
     int64_t Total = Hits + Coalesced + Misses;
@@ -132,6 +148,13 @@ public:
   /// (possibly becoming the next leader) instead of inheriting the
   /// leader's failure or timing out. A waiter whose own cancel context
   /// trips while coalesced throws CancelledError.
+  ///
+  /// Dynamic shapes (DESIGN.md 4k): when \p M carries shape-symbol marks
+  /// and AKG_DYNSHAPE is not 0, the request is canonicalized to its
+  /// bucket skeleton and served under the bucketed key; the returned
+  /// result then carries a ShapeBinding (DynShape) for late-bound
+  /// execution. Every admission failure falls back to the plain
+  /// per-shape path below, so correctness never depends on bucketing.
   CompileResult compileOrGet(const ir::Module &M, const AkgOptions &Opts,
                              const std::string &Name);
   CompileResult compileOrGet(const ir::Module &M, const AkgOptions &Opts,
@@ -172,6 +195,12 @@ private:
   std::shared_ptr<const CompileResult> lookupLocked(const CacheKey &K);
   void insertLocked(const CacheKey &K,
                     std::shared_ptr<const CompileResult> R);
+  /// The single-flight cache-through compile under an explicit key (the
+  /// plain content address, or the bucketed skeleton key).
+  CompileResult compileOrGetKeyed(const CacheKey &K, const ir::Module &M,
+                                  const AkgOptions &Opts,
+                                  const std::string &Name,
+                                  const CompileFn &Fn);
 
   size_t MaxEntries;
   mutable std::mutex Lock;

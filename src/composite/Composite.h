@@ -162,6 +162,24 @@ struct LowerResult {
 /// Reshape that survived normalization) is a clean Unsupported Diag.
 LowerResult lowerToModule(const CompositeGraph &G);
 
+/// --- Batched ingress ---------------------------------------------------
+/// A graph engine compiles a whole network at once: a top-level JSON
+/// *array* of composite payloads is one batch request. splitBatchPayload
+/// classifies a payload and re-serializes each array element compactly so
+/// the per-entry frontend (loadComposite) reports diagnostics scoped to
+/// exactly one subgraph. Non-array payloads come back with IsBatch=false
+/// and no Entries: the caller runs the ordinary single-payload path.
+constexpr size_t kMaxBatchEntries = 256;
+
+struct BatchSplit {
+  Status Outcome; // ok unless the payload is unusable as a whole
+  std::vector<Diag> Diags;
+  bool IsBatch = false;
+  std::vector<std::string> Entries; // compact per-entry payload texts
+  bool ok() const { return Outcome.isOk(); }
+};
+BatchSplit splitBatchPayload(const std::string &JsonText);
+
 /// The one-call front door: parse -> validate -> eliminate transform ops
 /// -> lower. This is what CompileService::submitJson and the akg-compile
 /// --json mode run.

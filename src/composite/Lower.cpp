@@ -376,6 +376,34 @@ LowerResult lowerToModule(const CompositeGraph &GIn) {
   return R;
 }
 
+BatchSplit splitBatchPayload(const std::string &JsonText) {
+  BatchSplit B;
+  B.Outcome = Status::ok();
+  Json Root;
+  JsonError JE;
+  if (!parseJson(JsonText, Root, JE)) {
+    // Leave malformed text to the single-payload path so its diagnostics
+    // stay in one place (parseComposite reports the same JsonError).
+    return B;
+  }
+  if (!Root.isArray())
+    return B;
+  B.IsBatch = true;
+  if (Root.items().size() > kMaxBatchEntries) {
+    B.Diags.push_back(Diag{"$", "batch has " +
+                                    std::to_string(Root.items().size()) +
+                                    " entries (max " +
+                                    std::to_string(kMaxBatchEntries) + ")"});
+    B.Outcome =
+        Status::error(ErrCode::InvalidArgument, B.Diags.front().str());
+    return B;
+  }
+  B.Entries.reserve(Root.items().size());
+  for (const Json &Item : Root.items())
+    B.Entries.push_back(dumpJson(Item, /*Pretty=*/false));
+  return B;
+}
+
 FrontendResult loadComposite(const std::string &JsonText) {
   FrontendResult F;
   ParseResult P = parseComposite(JsonText);

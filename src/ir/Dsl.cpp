@@ -91,6 +91,32 @@ std::vector<Tensor> Module::allTensors() const {
   return All;
 }
 
+void Module::declareShapeSymbol(const std::string &Name, int64_t Min,
+                                int64_t Max) {
+  assert(!Name.empty() && Min >= 1 && Max >= Min &&
+         "shape symbol needs a name and a sane range");
+  ShapeSyms[Name] = SymRange{Min, Max};
+}
+
+void Module::markDynamicDim(const Tensor &T, unsigned Dim,
+                            const std::string &Sym, int64_t Min, int64_t Max) {
+  assert(T && Dim < T->Shape.size() && "dynamic dim out of range");
+  assert(!Sym.empty() && "dynamic dim needs a symbol name");
+  if (!ShapeSyms.count(Sym))
+    declareShapeSymbol(Sym, Min, Max);
+  if (T->SymShape.size() != T->Shape.size())
+    T->SymShape.assign(T->Shape.size(), "");
+  T->SymShape[Dim] = Sym;
+}
+
+bool hasDynamicDims(const Module &M) {
+  for (const Tensor &In : M.inputs())
+    for (const std::string &S : In->SymShape)
+      if (!S.empty())
+        return true;
+  return false;
+}
+
 std::string Module::str() const {
   std::ostringstream OS;
   for (const Tensor &T : Inputs) {

@@ -29,9 +29,24 @@ struct TensorDecl {
   std::string Name;
   std::vector<int64_t> Shape;
   DType Type = DType::F32;
+  /// Symbolic-extent markers, parallel to Shape (empty = fully static;
+  /// "" entries = static dim). A non-empty entry names a shape symbol in
+  /// the owning Module's registry: Shape[d] then holds the extent this
+  /// symbol is *currently bound to* (the concrete request extent, or a
+  /// bucket representative in a canonicalized skeleton module). The
+  /// compile pipeline itself never reads these marks - it always
+  /// compiles the bound extents - so marked and unmarked modules with
+  /// equal shapes compile to identical kernels by construction.
+  std::vector<std::string> SymShape;
   /// Producing operation; null for placeholders. Non-owning (the Module
   /// owns all operations).
   ComputeOp *Source = nullptr;
+
+  /// Symbol of dim \p D ("" when static or unmarked).
+  const std::string &symOf(unsigned D) const {
+    static const std::string Empty;
+    return D < SymShape.size() ? SymShape[D] : Empty;
+  }
 
   int64_t numElements() const {
     int64_t N = 1;
@@ -54,6 +69,14 @@ struct ComputeOp {
   bool isReduction() const {
     return Body && Body->Kind == ExprKind::Reduce;
   }
+};
+
+/// Declared range of one shape symbol: the extents a dynamic dimension
+/// may take at runtime. Buckets subdivide this range; requests outside it
+/// fall back to per-shape compilation.
+struct SymRange {
+  int64_t Min = 1;
+  int64_t Max = 4096;
 };
 
 /// A fused operator: the unit AKG compiles to one NPU kernel.
@@ -84,13 +107,34 @@ public:
   /// All tensors (inputs + op outputs) in creation order.
   std::vector<Tensor> allTensors() const;
 
+  /// Registers (or re-ranges) shape symbol \p Name. Symbols are the
+  /// dynamic-shape handles of DESIGN.md 4k: a request module marks tensor
+  /// dims with a symbol while Shape holds the concrete extent.
+  void declareShapeSymbol(const std::string &Name, int64_t Min, int64_t Max);
+
+  /// Marks dim \p Dim of \p T as dynamic under symbol \p Sym (declares the
+  /// symbol with \p Min/\p Max if it is new). T->Shape[Dim] keeps the
+  /// currently bound extent.
+  void markDynamicDim(const Tensor &T, unsigned Dim, const std::string &Sym,
+                      int64_t Min = 1, int64_t Max = 4096);
+
+  const std::map<std::string, SymRange> &shapeSymbols() const {
+    return ShapeSyms;
+  }
+
   std::string str() const;
 
 private:
   std::vector<std::unique_ptr<ComputeOp>> Ops;
   std::vector<Tensor> Inputs;
+  std::map<std::string, SymRange> ShapeSyms;
   unsigned NextAxisId = 0;
 };
+
+/// True when any input tensor carries a symbolic-extent marker (the
+/// dynamic-shape entry condition; op outputs derive their marks from the
+/// inputs via ir::propagateShapeSymbols).
+bool hasDynamicDims(const Module &M);
 
 /// Named buffers of float values (all dtypes are evaluated in float; this is
 /// the shared semantics of the oracle and the functional simulator).

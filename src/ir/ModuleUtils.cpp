@@ -30,12 +30,18 @@ Expr mapExpr(const Expr &E, const std::map<const TensorDecl *, Tensor> &Remap,
 
 Module cloneModule(const Module &M) {
   Module C;
+  for (const auto &[Sym, R] : M.shapeSymbols())
+    C.declareShapeSymbol(Sym, R.Min, R.Max);
   std::map<const TensorDecl *, Tensor> Remap;
-  for (const Tensor &In : M.inputs())
-    Remap[In.get()] = C.placeholder(In->Name, In->Shape, In->Type);
+  for (const Tensor &In : M.inputs()) {
+    Tensor P = C.placeholder(In->Name, In->Shape, In->Type);
+    P->SymShape = In->SymShape;
+    Remap[In.get()] = P;
+  }
   for (const auto &Op : M.ops()) {
     Tensor T = C.computeRaw(Op->Name, Op->Axis, mapExpr(Op->Body, Remap),
                             Op->Output->Type);
+    T->SymShape = Op->Output->SymShape;
     Remap[Op->Output.get()] = T;
   }
   return C;

@@ -50,16 +50,19 @@ bool exprToAffine(const Expr &E, const std::vector<IterVar> &Iters,
 }
 
 /// Builds the access relation {Iters -> TensorDims : out_d == Idx_d(Iters)}.
+/// \p Params (possibly empty) are shared shape parameters; accesses carry
+/// zero parameter coefficients, the params exist only for space alignment.
 static BasicMap buildAccessMap(const std::vector<IterVar> &Iters,
                                const Tensor &T,
                                const std::vector<Expr> &Indices,
-                               const std::string &StmtName) {
+                               const std::string &StmtName,
+                               const std::vector<std::string> &Params) {
   std::vector<std::string> InNames, OutNames;
   for (const IterVar &IV : Iters)
     InNames.push_back(IV.Name);
   for (unsigned I = 0; I < T->Shape.size(); ++I)
     OutNames.push_back("d" + std::to_string(I));
-  BasicMap M(Space::forMap(InNames, OutNames, StmtName, T->Name));
+  BasicMap M(Space::forMap(InNames, OutNames, StmtName, T->Name, Params));
   for (unsigned D = 0; D < Indices.size(); ++D) {
     std::vector<int64_t> Coeffs;
     int64_t Const;
@@ -86,26 +89,62 @@ static void collectReadAccesses(const Expr &E,
     collectReadAccesses(Op, Out);
 }
 
+/// Builds the iteration domain 0 <= i < extent per iterator. When an
+/// iterator's position appears in \p ParamOfIter (>= 0), its upper bound
+/// uses the parameter column (i <= p - 1) instead of the concrete extent,
+/// and the bucket context Lo <= p <= Hi from \p SymRanges is added for
+/// every parameter.
 static BasicSet buildDomain(const std::vector<IterVar> &Iters,
-                            const std::string &Name) {
+                            const std::string &Name,
+                            const std::vector<std::string> &Params,
+                            const std::vector<int> &ParamOfIter,
+                            const std::vector<SymExtentRange> &ParamRanges) {
   std::vector<std::string> Names;
   for (const IterVar &IV : Iters)
     Names.push_back(IV.Name);
-  BasicSet D(Space::forSet(Names, Name));
+  BasicSet D(Space::forSet(Names, Name, Params));
+  unsigned NC = D.numCols();
   for (unsigned I = 0; I < Iters.size(); ++I) {
-    std::vector<int64_t> Lo(Iters.size(), 0);
-    Lo[I] = 1;
+    std::vector<int64_t> Lo(NC, 0);
+    Lo[D.inCol(I)] = 1;
     D.addIneq(Lo, 0);
-    std::vector<int64_t> Hi(Iters.size(), 0);
-    Hi[I] = -1;
-    D.addIneq(Hi, Iters[I].Extent - 1);
+    std::vector<int64_t> Hi(NC, 0);
+    Hi[D.inCol(I)] = -1;
+    int Par = I < ParamOfIter.size() ? ParamOfIter[I] : -1;
+    if (Par >= 0) {
+      Hi[D.paramCol(Par)] = 1; // p - 1 - i >= 0
+      D.addIneq(Hi, -1);
+    } else {
+      D.addIneq(Hi, Iters[I].Extent - 1);
+    }
+  }
+  for (unsigned P = 0; P < Params.size(); ++P) {
+    std::vector<int64_t> Lo(NC, 0);
+    Lo[D.paramCol(P)] = 1;
+    D.addIneq(Lo, -ParamRanges[P].Lo); // p >= Lo
+    std::vector<int64_t> Hi(NC, 0);
+    Hi[D.paramCol(P)] = -1;
+    D.addIneq(Hi, ParamRanges[P].Hi); // p <= Hi
   }
   return D;
 }
 
-PolyProgram extractPolyProgram(const Module &M) {
+/// Shared worker behind the concrete and parametric extractions. With a
+/// null \p SymRanges the program is fully concrete (no parameters).
+static PolyProgram
+extractImpl(const Module &M,
+            const std::map<std::string, SymExtentRange> *SymRanges) {
   PolyProgram P;
   P.Mod = &M;
+  std::vector<std::string> Params;
+  std::vector<SymExtentRange> ParamRanges;
+  std::map<std::string, int> ParamIdx;
+  if (SymRanges)
+    for (const auto &[Sym, R] : *SymRanges) {
+      ParamIdx[Sym] = static_cast<int>(Params.size());
+      Params.push_back(Sym);
+      ParamRanges.push_back(R);
+    }
   unsigned Id = 0;
   auto AddStmt = [&](const ComputeOp *Op, PolyStmt::Role Role,
                      std::vector<IterVar> Iters, Expr Rhs,
@@ -117,18 +156,29 @@ PolyProgram extractPolyProgram(const Module &M) {
     S.Op = Op;
     S.StmtRole = Role;
     S.Iters = std::move(Iters);
-    S.Domain = buildDomain(S.Iters, S.Name);
+    // Output axes (positions < Op->Axis.size()) are dynamic when the
+    // op-output dim carries a registered symbol; reduce axes never are
+    // (the supported class rejects dynamic reduce extents).
+    std::vector<int> ParamOfIter(S.Iters.size(), -1);
+    if (SymRanges)
+      for (unsigned I = 0; I < S.Iters.size() && I < Op->Axis.size(); ++I) {
+        auto It = ParamIdx.find(Op->Output->symOf(I));
+        if (It != ParamIdx.end())
+          ParamOfIter[I] = It->second;
+      }
+    S.Domain = buildDomain(S.Iters, S.Name, Params, ParamOfIter, ParamRanges);
     S.Rhs = std::move(Rhs);
     S.Write.Ref = Op->Output;
     S.Write.Indices = WriteIdx;
-    S.Write.Rel = buildAccessMap(S.Iters, Op->Output, WriteIdx, S.Name);
+    S.Write.Rel = buildAccessMap(S.Iters, Op->Output, WriteIdx, S.Name,
+                                 Params);
     std::vector<const ExprNode *> ReadNodes;
     collectReadAccesses(S.Rhs, ReadNodes);
     for (const ExprNode *R : ReadNodes) {
       PolyAccess A;
       A.Ref = R->Ref;
       A.Indices = R->Operands;
-      A.Rel = buildAccessMap(S.Iters, R->Ref, R->Operands, S.Name);
+      A.Rel = buildAccessMap(S.Iters, R->Ref, R->Operands, S.Name, Params);
       S.Reads.push_back(std::move(A));
     }
     P.Stmts.push_back(std::move(S));
@@ -166,6 +216,15 @@ PolyProgram extractPolyProgram(const Module &M) {
     AddStmt(Op.get(), PolyStmt::Role::Update, UpdIters, Combined, OutIdx);
   }
   return P;
+}
+
+PolyProgram extractPolyProgram(const Module &M) {
+  return extractImpl(M, nullptr);
+}
+
+PolyProgram extractPolyProgramParametric(
+    const Module &M, const std::map<std::string, SymExtentRange> &SymRanges) {
+  return extractImpl(M, &SymRanges);
 }
 
 } // namespace ir

@@ -64,6 +64,24 @@ bool exprToAffine(const Expr &E, const std::vector<IterVar> &Iters,
 /// accesses (the preparation passes must have established affine form).
 PolyProgram extractPolyProgram(const Module &M);
 
+/// Closed extent range one shape symbol may take within a bucket.
+struct SymExtentRange {
+  int64_t Lo = 1;
+  int64_t Hi = 1;
+};
+
+/// Parametric variant for dynamic-shape modules (DESIGN.md 4k): every
+/// shape symbol in \p SymRanges becomes a set parameter shared by all
+/// statement domains and access relations. A dynamic output axis (one
+/// whose op-output dim carries the symbol, per ir::propagateShapeSymbols /
+/// analyzeDynamicShapes) is bounded by 0 <= i < p instead of its concrete
+/// extent, and every domain carries the bucket context Lo <= p <= Hi.
+/// Access relations keep zero parameter coefficients (identity indexing in
+/// the supported class). The shape-dependence probe specializes this one
+/// program at both bucket boundaries via BasicSet::fixParam.
+PolyProgram extractPolyProgramParametric(
+    const Module &M, const std::map<std::string, SymExtentRange> &SymRanges);
+
 } // namespace ir
 } // namespace akg
 

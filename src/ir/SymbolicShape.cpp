@@ -1,0 +1,201 @@
+//===- ir/SymbolicShape.cpp - Dynamic-shape analysis and rebinding --------===//
+
+#include "ir/SymbolicShape.h"
+
+#include "ir/ModuleUtils.h"
+
+#include <sstream>
+
+namespace akg {
+namespace ir {
+
+namespace {
+
+/// Formats "op 'X': reason" fallback diagnostics.
+std::string diag(const ComputeOp &Op, const std::string &What) {
+  return "op '" + Op.Name + "': " + What;
+}
+
+} // namespace
+
+DynShapeAnalysis analyzeDynamicShapes(Module &M) {
+  DynShapeAnalysis A;
+  const auto &Syms = M.shapeSymbols();
+
+  // Bind each symbol to the concrete extent the request carries, checking
+  // declaration, declared range, and cross-dim consistency.
+  for (const Tensor &In : M.inputs()) {
+    for (unsigned D = 0; D < In->Shape.size(); ++D) {
+      const std::string &Sym = In->symOf(D);
+      if (Sym.empty())
+        continue;
+      auto SIt = Syms.find(Sym);
+      if (SIt == Syms.end()) {
+        A.Reason = "input '" + In->Name + "' marks dim " + std::to_string(D) +
+                   " with undeclared symbol '" + Sym + "'";
+        return A;
+      }
+      int64_t Ext = In->Shape[D];
+      if (Ext < SIt->second.Min || Ext > SIt->second.Max) {
+        std::ostringstream OS;
+        OS << "symbol '" << Sym << "' bound to " << Ext
+           << " outside its declared range [" << SIt->second.Min << ", "
+           << SIt->second.Max << "]";
+        A.Reason = OS.str();
+        return A;
+      }
+      auto [BIt, New] = A.Bound.emplace(Sym, Ext);
+      if (!New && BIt->second != Ext) {
+        std::ostringstream OS;
+        OS << "symbol '" << Sym << "' bound inconsistently (" << BIt->second
+           << " vs " << Ext << " at input '" << In->Name << "')";
+        A.Reason = OS.str();
+        return A;
+      }
+    }
+  }
+  if (A.Bound.empty()) {
+    A.Reason = "module has no dynamic dims";
+    return A;
+  }
+
+  // Propagate marks op by op. For each op: pass 1 discovers which output
+  // axes carry a symbol (an axis var used as the identity index of a
+  // dynamic tensor dim); pass 2 rejects every other appearance of those
+  // axis vars (arithmetic indices of static dims, value positions, reduce
+  // axes were already rejected in pass 1 as non-output-axis indices).
+  for (const auto &Op : M.ops()) {
+    Tensor Out = Op->Output;
+    Out->SymShape.assign(Out->Shape.size(), "");
+    std::map<std::string, unsigned> AxisDim;
+    for (unsigned I = 0; I < Op->Axis.size(); ++I)
+      AxisDim[Op->Axis[I].Name] = I;
+
+    std::map<std::string, std::string> AxisSym; // axis var -> symbol
+    std::string Fail;
+
+    // Pass 1: every read's dynamic dims must be identity-indexed by an
+    // output axis; bind that axis to the dim's symbol.
+    std::function<void(const Expr &)> Walk1 = [&](const Expr &E) {
+      if (!E || !Fail.empty())
+        return;
+      if (E->Kind == ExprKind::TensorRead) {
+        for (unsigned D = 0; D < E->Operands.size(); ++D) {
+          const std::string &Sym = E->Ref->symOf(D);
+          if (Sym.empty())
+            continue;
+          const Expr &Idx = E->Operands[D];
+          if (Idx->Kind != ExprKind::Var) {
+            Fail = diag(*Op, "dynamic dim " + std::to_string(D) + " of '" +
+                                 E->Ref->Name +
+                                 "' indexed by non-identity expression '" +
+                                 exprToString(Idx) + "'");
+            return;
+          }
+          auto AIt = AxisDim.find(Idx->Name);
+          if (AIt == AxisDim.end()) {
+            Fail = diag(*Op, "dynamic dim of '" + E->Ref->Name +
+                                 "' indexed by non-output axis '" + Idx->Name +
+                                 "' (reduce axis or free var)");
+            return;
+          }
+          if (Op->Axis[AIt->second].Extent != E->Ref->Shape[D] ||
+              E->Ref->Shape[D] != A.Bound[Sym]) {
+            Fail = diag(*Op, "axis '" + Idx->Name +
+                                 "' extent disagrees with dynamic dim of '" +
+                                 E->Ref->Name + "'");
+            return;
+          }
+          auto [It, New] = AxisSym.emplace(Idx->Name, Sym);
+          if (!New && It->second != Sym) {
+            Fail = diag(*Op, "axis '" + Idx->Name +
+                                 "' indexes two different symbols ('" +
+                                 It->second + "' and '" + Sym + "')");
+            return;
+          }
+        }
+      }
+      for (const Expr &Child : E->Operands)
+        Walk1(Child);
+    };
+    Walk1(Op->Body);
+    if (!Fail.empty()) {
+      A.Reason = Fail;
+      return A;
+    }
+
+    // Pass 2: dynamic axis vars appear nowhere else. Skip the (already
+    // validated) identity index at each dynamic dim; any other Var node
+    // naming a dynamic axis is a violation.
+    std::function<void(const Expr &)> Walk2 = [&](const Expr &E) {
+      if (!E || !Fail.empty())
+        return;
+      if (E->Kind == ExprKind::Var) {
+        if (AxisSym.count(E->Name))
+          Fail = diag(*Op, "dynamic axis '" + E->Name +
+                               "' used outside identity indexing");
+        return;
+      }
+      if (E->Kind == ExprKind::TensorRead) {
+        for (unsigned D = 0; D < E->Operands.size(); ++D) {
+          if (!E->Ref->symOf(D).empty())
+            continue; // identity Var, validated in pass 1
+          Walk2(E->Operands[D]);
+        }
+        return;
+      }
+      for (const Expr &Child : E->Operands)
+        Walk2(Child);
+    };
+    Walk2(Op->Body);
+    if (!Fail.empty()) {
+      A.Reason = Fail;
+      return A;
+    }
+
+    // Derive output marks from the bound axes.
+    for (unsigned I = 0; I < Op->Axis.size(); ++I) {
+      auto It = AxisSym.find(Op->Axis[I].Name);
+      if (It != AxisSym.end())
+        Out->SymShape[I] = It->second;
+    }
+  }
+
+  A.Supported = true;
+  return A;
+}
+
+Module rebindShapes(const Module &M,
+                    const std::map<std::string, int64_t> &NewExtents) {
+  auto ExtOf = [&](const std::string &Sym, int64_t Cur) {
+    auto It = NewExtents.find(Sym);
+    return It == NewExtents.end() ? Cur : It->second;
+  };
+  Module C;
+  for (const auto &[Sym, R] : M.shapeSymbols())
+    C.declareShapeSymbol(Sym, R.Min, R.Max);
+  std::map<const TensorDecl *, Tensor> Remap;
+  for (const Tensor &In : M.inputs()) {
+    std::vector<int64_t> Shape = In->Shape;
+    for (unsigned D = 0; D < Shape.size(); ++D)
+      if (!In->symOf(D).empty())
+        Shape[D] = ExtOf(In->symOf(D), Shape[D]);
+    Tensor P = C.placeholder(In->Name, Shape, In->Type);
+    P->SymShape = In->SymShape;
+    Remap[In.get()] = P;
+  }
+  for (const auto &Op : M.ops()) {
+    std::vector<IterVar> Axis = Op->Axis;
+    for (unsigned I = 0; I < Axis.size(); ++I)
+      if (!Op->Output->symOf(I).empty())
+        Axis[I].Extent = ExtOf(Op->Output->symOf(I), Axis[I].Extent);
+    Tensor T = C.computeRaw(Op->Name, std::move(Axis),
+                            mapExpr(Op->Body, Remap), Op->Output->Type);
+    T->SymShape = Op->Output->SymShape;
+    Remap[Op->Output.get()] = T;
+  }
+  return C;
+}
+
+} // namespace ir
+} // namespace akg

@@ -1,0 +1,67 @@
+//===- ir/SymbolicShape.h - Dynamic-shape analysis and rebinding *- C++ -*-===//
+//
+// Dynamic-shape support (DESIGN.md 4k). A request module marks input tensor
+// dims with named shape symbols while Shape holds the concrete extent. This
+// file provides the structural analysis that decides whether the module is
+// in the *pointwise-in-dynamic-axes* class -- the class for which one tiled
+// skeleton compiled at a bucket-representative extent is provably reusable
+// for every extent in the bucket (execute at the representative, slice the
+// result) -- and the rebinder that produces the skeleton module.
+//
+// Supported class: every dynamic dimension is a non-reduce output axis with
+// identity indexing. Concretely, after propagating symbols from inputs to
+// op outputs, (a) a read's index at a dynamic tensor dim must be exactly
+// the Var of an output axis carrying the same symbol, (b) dynamic axis vars
+// appear nowhere else (not in arithmetic indices of static dims, not in
+// value-position expressions such as select conditions, not as reduce
+// axes). Zero-padding the inputs up to the representative extent then
+// leaves every in-range output element bit-identical, because each output
+// element at an in-range point depends only on in-range input elements.
+// Anything outside this class falls back to per-shape compilation --
+// correctness never depends on bucketing.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_IR_SYMBOLICSHAPE_H
+#define AKG_IR_SYMBOLICSHAPE_H
+
+#include "ir/Dsl.h"
+
+#include <map>
+#include <string>
+
+namespace akg {
+namespace ir {
+
+/// Outcome of the dynamic-shape structural analysis.
+struct DynShapeAnalysis {
+  /// True when the module is in the pointwise-in-dynamic-axes class and
+  /// the skeleton/bind path is sound for it.
+  bool Supported = false;
+  /// Human-readable fallback reason when !Supported (trace + stats).
+  std::string Reason;
+  /// Concrete extent currently bound to each shape symbol. Filled even on
+  /// some unsupported outcomes; complete when Supported.
+  std::map<std::string, int64_t> Bound;
+};
+
+/// Propagates input SymShape marks to op outputs and classifies the module.
+/// On success op-output tensors carry derived marks (mutates \p M's tensors
+/// in place); on failure marks may be partially written but the module's
+/// compiled semantics are unchanged (the pipeline never reads marks).
+DynShapeAnalysis analyzeDynamicShapes(Module &M);
+
+/// Rebuilds \p M with every shape symbol rebound to NewExtents[sym]: marked
+/// tensor dims, marked op axes, and the symbol registry binding all move to
+/// the new extents. Symbols absent from \p NewExtents keep their current
+/// binding. Call only after analyzeDynamicShapes reported Supported (the
+/// rebind assumes identity indexing); callers should still run
+/// checkModuleBounds on the result as a safety net and fall back when it
+/// reports a violation.
+Module rebindShapes(const Module &M,
+                    const std::map<std::string, int64_t> &NewExtents);
+
+} // namespace ir
+} // namespace akg
+
+#endif // AKG_IR_SYMBOLICSHAPE_H

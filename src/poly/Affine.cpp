@@ -131,6 +131,13 @@ void BasicSet::addEq(std::vector<int64_t> Coeffs, int64_t Const) {
   addConstraint({std::move(Coeffs), Const, /*IsEq=*/true});
 }
 
+void BasicSet::fixParam(unsigned P, int64_t V) {
+  assert(P < Sp.numParams() && "fixParam: no such parameter");
+  std::vector<int64_t> Eq(numCols(), 0);
+  Eq[paramCol(P)] = 1;
+  addConstraint({std::move(Eq), -V, /*IsEq=*/true});
+}
+
 unsigned BasicSet::appendInDim(const std::string &Name) {
   unsigned Pos = Sp.numParams() + Sp.numIn();
   Sp.In.push_back(Name);

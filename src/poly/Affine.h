@@ -116,6 +116,11 @@ public:
   /// coefficient.
   unsigned appendInDim(const std::string &Name);
 
+  /// Pins parameter \p P to the constant \p V (adds the equality p == V).
+  /// The dynamic-shape probe uses this to specialize a parametric domain
+  /// at a bucket boundary without rebuilding the space.
+  void fixParam(unsigned P, int64_t V);
+
   /// Adds a div column q = floor((Coeffs . x + Const) / Denom) together with
   /// its defining constraints; returns the new column index.
   unsigned addDiv(std::vector<int64_t> Coeffs, int64_t Const, int64_t Denom);

@@ -1,0 +1,88 @@
+//===- scheduler/ShapeDep.cpp - Shape-dependence probe --------------------===//
+
+#include "scheduler/ShapeDep.h"
+
+#include "scheduler/Dependence.h"
+#include "support/Stats.h"
+
+#include <sstream>
+
+namespace akg {
+namespace sched {
+
+namespace {
+
+/// One entry of the structural dependence signature.
+struct SigEntry {
+  unsigned Src = 0;
+  unsigned Dst = 0;
+  DepKind Kind = DepKind::RAW;
+  bool IsSelf = false;
+
+  bool operator==(const SigEntry &O) const {
+    return Src == O.Src && Dst == O.Dst && Kind == O.Kind &&
+           IsSelf == O.IsSelf;
+  }
+};
+
+std::string entryStr(const SigEntry &E) {
+  std::ostringstream OS;
+  OS << "S" << E.Src << "->S" << E.Dst << " "
+     << Dependence{E.Src, E.Dst, E.Kind}.kindName()
+     << (E.IsSelf ? " (self)" : "");
+  return OS.str();
+}
+
+/// Dependence signature of the parametric program with every parameter
+/// fixed at either its bucket Lo (\p AtLo) or its bucket Hi. Specializes
+/// copies of the statement domains; access relations carry zero parameter
+/// coefficients, so only the domains need pinning.
+std::vector<SigEntry> signatureAt(const ir::PolyProgram &P,
+                                  const std::vector<ir::SymExtentRange> &R,
+                                  bool AtLo) {
+  ir::PolyProgram Spec = P;
+  for (ir::PolyStmt &S : Spec.Stmts)
+    for (unsigned I = 0; I < R.size(); ++I)
+      S.Domain.fixParam(I, AtLo ? R[I].Lo : R[I].Hi);
+  std::vector<Dependence> Deps = computeDependences(Spec, /*Threads=*/1);
+  std::vector<SigEntry> Sig;
+  for (const Dependence &D : Deps)
+    Sig.push_back({D.Src, D.Dst, D.Kind, D.IsSelf});
+  return Sig;
+}
+
+} // namespace
+
+std::string probeShapeDependence(
+    const ir::Module &M,
+    const std::map<std::string, ir::SymExtentRange> &SymRanges) {
+  ir::PolyProgram P = ir::extractPolyProgramParametric(M, SymRanges);
+  // Param order matches extractPolyProgramParametric (sorted map order).
+  std::vector<ir::SymExtentRange> Ranges;
+  std::vector<std::string> Names;
+  for (const auto &[Sym, R] : SymRanges) {
+    Names.push_back(Sym);
+    Ranges.push_back(R);
+  }
+  std::vector<SigEntry> AtLo = signatureAt(P, Ranges, /*AtLo=*/true);
+  std::vector<SigEntry> AtHi = signatureAt(P, Ranges, /*AtLo=*/false);
+  if (AtLo == AtHi) {
+    Stats::get().add("dynshape.probe_invariant");
+    return "";
+  }
+  Stats::get().add("dynshape.probe_divergent");
+  // Name the first divergence for the fallback trace.
+  unsigned N = std::min(AtLo.size(), AtHi.size());
+  for (unsigned I = 0; I < N; ++I)
+    if (!(AtLo[I] == AtHi[I]))
+      return "dependence structure diverges across bucket: " +
+             entryStr(AtLo[I]) + " at min vs " + entryStr(AtHi[I]) +
+             " at max";
+  std::ostringstream OS;
+  OS << "dependence count diverges across bucket: " << AtLo.size()
+     << " at min vs " << AtHi.size() << " at max";
+  return OS.str();
+}
+
+} // namespace sched
+} // namespace akg

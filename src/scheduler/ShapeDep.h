@@ -1,0 +1,42 @@
+//===- scheduler/ShapeDep.h - Shape-dependence probe ------------*- C++ -*-===//
+//
+// Decides whether a dynamic-shaped module's dependence structure is
+// invariant across a shape bucket (DESIGN.md 4k). The probe extracts ONE
+// parametric polyhedral program (shape symbols as parameter columns in
+// every domain), specializes it at both bucket boundaries with
+// BasicSet::fixParam, and compares the dependence signatures. If the
+// structure differs anywhere in the bucket's corner extents, the skeleton
+// compiled at the bucket representative may have a schedule that is only
+// legal for some extents -- the caller must fall back to per-shape
+// compilation. Invariance at both corners is what makes the one-skeleton-
+// per-bucket reuse sound for the pointwise-in-dynamic-axes class, whose
+// dependence existence is monotone in each extent.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_SCHEDULER_SHAPEDEP_H
+#define AKG_SCHEDULER_SHAPEDEP_H
+
+#include "ir/PolyExtract.h"
+
+#include <map>
+#include <string>
+
+namespace akg {
+namespace sched {
+
+/// Probes dependence-structure invariance of \p M over the per-symbol
+/// extent ranges \p SymRanges (the bucket each bound symbol landed in).
+/// Returns "" when the dependence signature -- the ordered list of
+/// (Src, Dst, Kind, IsSelf) entries -- is identical with every symbol
+/// fixed at its bucket minimum and at its bucket maximum; otherwise a
+/// diagnostic naming the first divergence. Runs single-threaded (the
+/// probe is a warm-path admission check, not a compile).
+std::string
+probeShapeDependence(const ir::Module &M,
+                     const std::map<std::string, ir::SymExtentRange> &SymRanges);
+
+} // namespace sched
+} // namespace akg
+
+#endif // AKG_SCHEDULER_SHAPEDEP_H

@@ -149,12 +149,35 @@ void printInstr(std::ostringstream &OS, const Instr &I, unsigned Ind) {
 
 } // namespace
 
+void stampExtentRegs(Kernel &K, const ir::Module &SkeletonM) {
+  std::map<std::string, ExtentReg> Regs;
+  for (const ir::Tensor &T : SkeletonM.allTensors())
+    for (unsigned D = 0; D < T->Shape.size(); ++D) {
+      const std::string &Sym = T->symOf(D);
+      if (Sym.empty())
+        continue;
+      ExtentReg &R = Regs[Sym];
+      R.Symbol = Sym;
+      R.Value = T->Shape[D];
+      R.Dims.emplace_back(T->Name, D);
+    }
+  K.ExtentRegs.clear();
+  for (auto &[Sym, R] : Regs)
+    K.ExtentRegs.push_back(std::move(R));
+}
+
 std::string printKernel(const Kernel &K) {
   std::ostringstream OS;
   OS << "__aicore__ " << K.Name << "(";
   for (unsigned I = 0; I < K.GmTensors.size(); ++I)
     OS << (I ? ", " : "") << "__gm__ " << K.GmTensors[I]->Name;
   OS << ") {\n";
+  for (const ExtentReg &R : K.ExtentRegs) {
+    OS << "  .extent_reg " << R.Symbol << " = " << R.Value << " /*";
+    for (const auto &[T, D] : R.Dims)
+      OS << " " << T << "[" << D << "]";
+    OS << " */\n";
+  }
   for (const BufferAlloc &B : K.Buffers)
     OS << "  alloc " << B.Name << " : " << sim::bufferName(B.Location)
        << " " << B.bytes() << "B" << (B.DoubleBuffered ? " x2 /*db*/" : "")

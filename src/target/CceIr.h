@@ -86,6 +86,19 @@ struct BufferAlloc {
   int64_t bytes() const { return Decl ? Decl->sizeBytes() : 0; }
 };
 
+/// A late-bound extent register of a dynamic-shape skeleton kernel: one
+/// per shape symbol, loaded with the bucket-representative extent the
+/// skeleton was compiled at. The launcher (sim::runBound) binds concrete
+/// request extents against these registers by padding inputs to Value and
+/// slicing outputs back; the register records which GM tensor dims the
+/// extent governs so the binding is self-describing.
+struct ExtentReg {
+  std::string Symbol;    // shape symbol name ("n", "m", ...)
+  int64_t Value = 0;     // representative extent baked into the skeleton
+  /// GM tensor dims governed by this register: (tensor name, dim).
+  std::vector<std::pair<std::string, unsigned>> Dims;
+};
+
 struct Kernel {
   std::string Name;
   std::vector<BufferAlloc> Buffers;
@@ -93,7 +106,15 @@ struct Kernel {
   std::vector<InstrPtr> Body;
   /// Library kernels hand-tune prefetching; halves MTE2 warm-up latency.
   bool HandPrefetched = false;
+  /// Non-empty exactly for dynamic-shape skeleton kernels (DESIGN.md 4k);
+  /// printKernel renders them as a .extent_reg header.
+  std::vector<ExtentReg> ExtentRegs;
 };
+
+/// Stamps the extent registers of a skeleton kernel from the symbol marks
+/// of the (skeleton) module it was compiled from; no-op for modules
+/// without dynamic marks.
+void stampExtentRegs(Kernel &K, const ir::Module &SkeletonM);
 
 InstrPtr makeLoop(std::string Var, ir::Expr Min, ir::Expr Extent);
 InstrPtr makeDma(sim::Pipe P, ir::Stmt Sem, int64_t Bytes, int64_t Bursts,

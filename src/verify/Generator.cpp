@@ -392,6 +392,61 @@ void seedMultiOutput(Builder &B) {
   });
 }
 
+/// Dynamic-shape seeds (DESIGN.md 4k): a small module whose leading
+/// extent carries a shape-symbol mark, biased toward bucket boundaries
+/// (1/15/16/17/63/64/65/255/256) so admission, rebinding, and both sides
+/// of every bucket edge get exercised. The random filler ops appended
+/// afterwards read the marked tensors with arbitrary patterns, so some
+/// seeds stay in the supported pointwise class (bucketed serving) while
+/// others are rejected into the per-shape fallback - the oracle's
+/// dynshape configs must pass either way.
+void seedDynShape(Builder &B) {
+  static const int64_t Edges[] = {1, 15, 16, 17, 63, 64, 65, 255, 256};
+  int64_t N = B.R.chance(60) ? Edges[B.R.range(0, 8)] : B.R.range(1, 256);
+  int64_t C = B.R.range(8, 16);
+  switch (B.R.range(0, 2)) {
+  case 0: { // elementwise chain, two marked inputs sharing one symbol
+    Tensor A = B.input({N, C});
+    Tensor Bt = B.input({N, C});
+    B.M.markDynamicDim(A, 0, "n");
+    B.M.markDynamicDim(Bt, 0, "n");
+    Tensor S = B.emit(B.opName(), {N, C}, [&](const std::vector<Expr> &Ix) {
+      return add(tensorRead(A, Ix), tensorRead(Bt, Ix));
+    });
+    B.emit(B.opName(), {N, C}, [&](const std::vector<Expr> &Ix) {
+      return call("relu", {tensorRead(S, Ix)}, DType::F16);
+    });
+    break;
+  }
+  case 1: { // reduction over the static trailing axis
+    Tensor A = B.input({N, C}, DType::F32);
+    B.M.markDynamicDim(A, 0, "n");
+    IterVar K = B.M.reduceAxis(C, "dk");
+    B.emit(
+        B.opName(), {N},
+        [&](const std::vector<Expr> &Ix) {
+          return reduce(ReduceKind::Sum,
+                        tensorRead(A, {Ix[0], var("dk")}), {K});
+        },
+        DType::F32);
+    break;
+  }
+  default: { // matmul with dynamic rows (cube path skeleton)
+    Tensor A = B.input({N, 16});
+    Tensor W = B.input({16, 16});
+    B.M.markDynamicDim(A, 0, "m");
+    IterVar K = B.M.reduceAxis(16, "mk");
+    B.emit(B.opName(), {N, 16}, [&](const std::vector<Expr> &Ix) {
+      return reduce(ReduceKind::Sum,
+                    mul(tensorRead(A, {Ix[0], var("mk")}),
+                        tensorRead(W, {var("mk"), Ix[1]})),
+                    {K});
+    });
+    break;
+  }
+  }
+}
+
 } // namespace
 
 const char *themeName(Theme T) {
@@ -412,6 +467,8 @@ const char *themeName(Theme T) {
     return "chain1d";
   case Theme::MultiOutput:
     return "multioutput";
+  case Theme::DynShape:
+    return "dynshape";
   }
   return "?";
 }
@@ -450,6 +507,9 @@ ir::Module generateModule(uint64_t Seed, const GenOptions &Opts) {
   case Theme::MultiOutput:
     seedMultiOutput(B);
     break;
+  case Theme::DynShape:
+    seedDynShape(B);
+    break;
   }
   unsigned Extra =
       unsigned(B.R.range(int64_t(Opts.MinOps), int64_t(Opts.MaxOps)));
@@ -469,8 +529,11 @@ std::string describeModule(uint64_t Seed, const ir::Module &M) {
   int64_t Elems = 0;
   for (const Tensor &T : M.allTensors())
     Elems += T->numElements();
-  return "seed " + std::to_string(Seed) +
-         ": theme=" + themeName(themeForSeed(Seed)) +
+  // Shape marks identify a module generated under the explicit DynShape
+  // theme (it is not in the Auto cycle, so themeForSeed cannot name it).
+  const char *Name = ir::hasDynamicDims(M) ? themeName(Theme::DynShape)
+                                           : themeName(themeForSeed(Seed));
+  return "seed " + std::to_string(Seed) + ": theme=" + Name +
          " ops=" + std::to_string(M.ops().size()) +
          " elems=" + std::to_string(Elems);
 }

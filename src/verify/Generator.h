@@ -33,6 +33,7 @@ enum class Theme {
   Elementwise4D, // rank-4 chains with broadcasts
   Chain1D,       // rank-1 long chains
   MultiOutput,   // several unconsumed leaves -> multi-output module
+  DynShape,      // dynamic-shape marks on a bucket-edge-biased extent
 };
 
 const char *themeName(Theme T);
@@ -48,7 +49,11 @@ struct GenOptions {
   int64_t MaxTotalElems = 16384;
 };
 
-/// The theme seed \p Seed expands under Theme::Auto.
+/// The theme seed \p Seed expands under Theme::Auto. DynShape is
+/// deliberately NOT part of the Auto cycle: adding it would remap every
+/// existing seed's module (the 100-seed corpus must stay bit-stable), so
+/// dynamic-shape fuzzing opts in explicitly via GenOptions::ThemeSel
+/// (akg-fuzz --dynshape).
 Theme themeForSeed(uint64_t Seed);
 
 /// Deterministically generates one module for \p Seed. Same seed + same

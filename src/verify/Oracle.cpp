@@ -6,6 +6,8 @@
 #include "akg/KernelCache.h"
 #include "composite/Composite.h"
 #include "ir/PolyExtract.h"
+#include "sim/DynRun.h"
+#include "support/Env.h"
 #include "target/Codegen.h"
 
 #include <cstdio>
@@ -109,11 +111,13 @@ OracleReport runOracle(const ir::Module &M, const OracleOptions &Opts) {
     if (Opts.MutateKernel)
       Opts.MutateKernel(M, Name, R.Kernel);
     std::string Cap = cce::checkBufferCapacities(R.Kernel, Spec);
+    // diffBoundAgainstReference pads/slices when R was served from a
+    // dynamic-shape bucket skeleton (determinism sweep below) and is a
+    // plain kernel-vs-evaluator diff otherwise.
     sim::FunctionalDiff D = [&] {
       sim::SimResult SR;
-      return sim::diffKernelAgainstReference(R.Kernel, M, Spec,
-                                             Opts.DataSeed, &SR,
-                                             &Out.OutputBits);
+      return sim::diffBoundAgainstReference(R, M, Spec, Opts.DataSeed, &SR,
+                                            &Out.OutputBits);
     }();
     Out.MaxErr = D.MaxAbsErr;
     if (!Cap.empty()) {
@@ -178,6 +182,64 @@ OracleReport runOracle(const ir::Module &M, const OracleOptions &Opts) {
     Rep.Outcomes.push_back(Out);
   }
 
+  // --- Dynamic-shape differential (DESIGN.md 4k) ------------------------
+  // For a module carrying shape-symbol marks: the bucketed serving path
+  // (cache canonicalizes to the bucket skeleton, late-bound execution)
+  // must match the reference evaluator, and the AKG_DYNSHAPE=0 kill
+  // switch must reproduce the plain per-shape compile byte-identically.
+  // A module the admission analysis rejects passes trivially: the
+  // fallback IS the plain compile, which the functional matrix covers.
+  if (ir::hasDynamicDims(M)) {
+    std::optional<std::string> Saved = env::get("AKG_DYNSHAPE");
+    {
+      ConfigOutcome Out;
+      Out.Config = "dynshape_bucketed";
+      Out.Pass = true;
+      env::set("AKG_DYNSHAPE", "1");
+      KernelCache Cache;
+      CompileResult R = Cache.compileOrGet(M, AkgOptions{}, "oracle_dyn");
+      if (!R.Outcome.isOk()) {
+        Out.Pass = false;
+        Out.Detail = "bucketed compile failed: " + R.Outcome.str();
+      } else if (!R.DynShape) {
+        Out.Detail = "fallback: per-shape compile (functional matrix)";
+      } else {
+        sim::FunctionalDiff D = sim::diffBoundAgainstReference(
+            R, M, Spec, Opts.DataSeed, nullptr, &Out.OutputBits);
+        Out.MaxErr = D.MaxAbsErr;
+        if (!D.within(Opts.Tolerance)) {
+          Out.Pass = false;
+          Out.Detail = "bound kernel vs reference: " + D.str();
+        }
+      }
+      Rep.Pass &= Out.Pass;
+      Rep.Outcomes.push_back(Out);
+    }
+    {
+      ConfigOutcome Out;
+      Out.Config = "dynshape_killswitch";
+      Out.Pass = true;
+      env::set("AKG_DYNSHAPE", "0");
+      KernelCache Cache;
+      CompileResult R0 = Cache.compileOrGet(M, AkgOptions{}, "oracle_dyn");
+      CompileResult Plain = compileWithAkg(M, AkgOptions{}, "oracle_dyn");
+      if (R0.DynShape) {
+        Out.Pass = false;
+        Out.Detail = "kill switch did not disable bucketing";
+      } else if (cce::printKernel(R0.Kernel) !=
+                 cce::printKernel(Plain.Kernel)) {
+        Out.Pass = false;
+        Out.Detail = "AKG_DYNSHAPE=0 kernel differs from plain compile";
+      }
+      Rep.Pass &= Out.Pass;
+      Rep.Outcomes.push_back(Out);
+    }
+    if (Saved)
+      env::set("AKG_DYNSHAPE", *Saved);
+    else
+      env::unset("AKG_DYNSHAPE");
+  }
+
   // --- Determinism sweep: 1 vs N threads, cold vs warm cache ------------
   // The three passes must produce byte-identical kernel text and
   // bit-identical functional outputs.
@@ -209,8 +271,8 @@ OracleReport runOracle(const ir::Module &M, const OracleOptions &Opts) {
       }
     }
     if (Out.Pass) {
-      sim::FunctionalDiff D = sim::diffKernelAgainstReference(
-          P.Results->front().Kernel, M, Spec, Opts.DataSeed, nullptr,
+      sim::FunctionalDiff D = sim::diffBoundAgainstReference(
+          P.Results->front(), M, Spec, Opts.DataSeed, nullptr,
           &Out.OutputBits);
       Out.MaxErr = D.MaxAbsErr;
       if (Out.OutputBits != RefBits) {

@@ -480,6 +480,75 @@ TEST(CompositeService, SubmitJsonRejectsBadPayloadWithReadyFuture) {
   EXPECT_EQ(Svc.stats().Submitted, 1);
 }
 
+TEST(CompositeService, SubmitJsonRejectsTopLevelArray) {
+  CompileService Svc;
+  std::future<CompileResult> Fut = Svc.submitJson(
+      "  [" + readFile(dataPath("fused_cast_biasadd_gelu.json")) + "]",
+      AkgOptions{});
+  ASSERT_EQ(Fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  CompileResult R = Fut.get();
+  EXPECT_EQ(R.Outcome.code(), ErrCode::InvalidArgument) << R.Outcome.str();
+  EXPECT_NE(R.Outcome.str().find("submitJsonBatch"), std::string::npos)
+      << R.Outcome.str();
+}
+
+TEST(CompositeService, SubmitJsonBatchFansOutPerEntry) {
+  KernelCache Cache;
+  CompileService::Options O;
+  O.Threads = 2;
+  O.Cache = &Cache;
+  CompileService Svc(O);
+  std::string Payload = readFile(dataPath("fused_cast_biasadd_gelu.json"));
+  // Two good entries (structurally identical: the second coalesces onto
+  // the first in the cache), one non-object entry, one schema-invalid
+  // entry. Each gets its own future; the bad ones fail independently.
+  std::string Batch =
+      "[" + Payload + ", " + Payload + ", 42, {\"op\": 7}]";
+  std::vector<std::future<CompileResult>> Futs =
+      Svc.submitJsonBatch(Batch, AkgOptions{});
+  ASSERT_EQ(Futs.size(), 4u);
+  CompileResult R0 = Futs[0].get(), R1 = Futs[1].get(), R2 = Futs[2].get(),
+                R3 = Futs[3].get();
+  ASSERT_TRUE(R0.Outcome.isOk()) << R0.Outcome.str();
+  ASSERT_TRUE(R1.Outcome.isOk()) << R1.Outcome.str();
+  EXPECT_EQ(cce::printKernel(R0.Kernel), cce::printKernel(R1.Kernel));
+  KernelCacheStats CS = Cache.stats();
+  EXPECT_EQ(CS.Misses, 1);
+  EXPECT_EQ(CS.Hits + CS.Coalesced, 1);
+  EXPECT_EQ(R2.Outcome.code(), ErrCode::InvalidArgument) << R2.Outcome.str();
+  EXPECT_EQ(R3.Outcome.code(), ErrCode::InvalidArgument) << R3.Outcome.str();
+  EXPECT_NE(R2.Outcome.str().find("must be an object"), std::string::npos);
+}
+
+TEST(CompositeService, SubmitJsonBatchNonArrayIsBatchOfOne) {
+  KernelCache Cache;
+  CompileService::Options O;
+  O.Cache = &Cache;
+  CompileService Svc(O);
+  std::vector<std::future<CompileResult>> Futs = Svc.submitJsonBatch(
+      readFile(dataPath("fused_cast_biasadd_gelu.json")), AkgOptions{});
+  ASSERT_EQ(Futs.size(), 1u);
+  EXPECT_TRUE(Futs[0].get().Outcome.isOk());
+  // An empty batch is zero futures, not an error.
+  EXPECT_TRUE(Svc.submitJsonBatch("[]", AkgOptions{}).empty());
+}
+
+TEST(CompositeService, SubmitJsonBatchCapsEntryCount) {
+  CompileService Svc;
+  std::string Batch = "[";
+  for (size_t I = 0; I <= kMaxBatchEntries; ++I)
+    Batch += (I ? ",1" : "1");
+  Batch += "]";
+  std::vector<std::future<CompileResult>> Futs =
+      Svc.submitJsonBatch(Batch, AkgOptions{});
+  ASSERT_EQ(Futs.size(), 1u);
+  CompileResult R = Futs[0].get();
+  EXPECT_EQ(R.Outcome.code(), ErrCode::InvalidArgument) << R.Outcome.str();
+  EXPECT_NE(R.Outcome.str().find("batch has"), std::string::npos)
+      << R.Outcome.str();
+}
+
 //===----------------------------------------------------------------------===//
 // Lowering specifics
 //===----------------------------------------------------------------------===//

@@ -134,6 +134,64 @@ TEST(Oracle, FullMatrixSweepsDegradationRungs) {
     EXPECT_TRUE(Names.count(Want)) << Want;
 }
 
+// --- Dynamic-shape differential configs ---------------------------------
+
+TEST(Oracle, DynShapeThemeRunsDifferentialConfigs) {
+  // The explicit DynShape theme (not in the Auto cycle) must trigger both
+  // dynshape oracle configs, and over a handful of seeds at least one
+  // module must actually take the bucketed path (empty Detail) rather
+  // than all falling back to per-shape compiles.
+  verify::GenOptions G;
+  G.ThemeSel = verify::Theme::DynShape;
+  verify::OracleOptions OO;
+  OO.Level = verify::MatrixLevel::Quick;
+  unsigned Bucketed = 0;
+  for (uint64_t Seed = 0; Seed < 6; ++Seed) {
+    Module M = verify::generateModule(Seed, G);
+    ASSERT_TRUE(hasDynamicDims(M)) << "seed " << Seed;
+    EXPECT_NE(verify::describeModule(Seed, M).find("theme=dynshape"),
+              std::string::npos);
+    verify::OracleReport Rep = verify::runOracle(M, OO);
+    EXPECT_TRUE(Rep.Pass) << "seed " << Seed << "\n" << Rep.str();
+    bool SawBucketed = false, SawKill = false;
+    for (const verify::ConfigOutcome &O : Rep.Outcomes) {
+      if (O.Config == "dynshape_bucketed") {
+        SawBucketed = true;
+        if (O.Detail.empty())
+          ++Bucketed;
+      } else if (O.Config == "dynshape_killswitch") {
+        SawKill = true;
+      }
+    }
+    EXPECT_TRUE(SawBucketed) << "seed " << Seed;
+    EXPECT_TRUE(SawKill) << "seed " << Seed;
+  }
+  EXPECT_GT(Bucketed, 0u) << "no dynshape seed took the bucketed path";
+}
+
+TEST(Oracle, StaticModuleSkipsDynShapeConfigs) {
+  Module M = verify::generateModule(0);
+  verify::OracleOptions OO;
+  OO.Level = verify::MatrixLevel::Quick;
+  verify::OracleReport Rep = verify::runOracle(M, OO);
+  EXPECT_TRUE(Rep.Pass) << Rep.str();
+  for (const verify::ConfigOutcome &O : Rep.Outcomes)
+    EXPECT_EQ(O.Config.find("dynshape"), std::string::npos) << O.Config;
+}
+
+TEST(Generator, DynShapeThemeIsDeterministicAndBudgeted) {
+  verify::GenOptions G;
+  G.ThemeSel = verify::Theme::DynShape;
+  for (uint64_t Seed : {0ull, 11ull, 42ull}) {
+    Module A = verify::generateModule(Seed, G);
+    Module B = verify::generateModule(Seed, G);
+    EXPECT_EQ(emitModuleBuilder(A), emitModuleBuilder(B)) << "seed " << Seed;
+    for (const Tensor &T : A.allTensors())
+      EXPECT_LE(T->numElements(), G.MaxTensorElems) << T->Name;
+    EXPECT_EQ(checkModuleBounds(A), "") << verify::describeModule(Seed, A);
+  }
+}
+
 // --- The injected-bug end-to-end test -----------------------------------
 
 /// Deliberate miscompile: drop the last compute instruction carrying a

@@ -45,7 +45,9 @@ void usage() {
       "\n"
       "Compiles one Fig 9 operator (--op) or a composite-subgraph JSON\n"
       "payload (--json, '-' reads stdin) with the AKG pipeline and prints\n"
-      "the degradation report and compile trace. --dump-normalized prints\n"
+      "the degradation report and compile trace. A top-level JSON array\n"
+      "is a batch: every entry compiles, any failure exits 1.\n"
+      "--dump-normalized prints\n"
       "the canonical payload after transform-op elimination. Environment:\n"
       "  AKG_TRACE=<path|->   dump the trace (JSONL / stderr text)\n"
       "  AKG_FAIL_STAGE=<s>   force stage <s> onto its fallback\n");
@@ -123,23 +125,47 @@ int main(int Argc, char **Argv) {
                    JsonPath.c_str());
       return 2;
     }
-    composite::FrontendResult F = composite::loadComposite(Text);
-    if (!F.ok()) {
-      std::fprintf(stderr, "akg-compile: composite payload rejected (%s)\n",
-                   errCodeName(F.Outcome.code()));
-      for (const composite::Diag &D : F.Diags)
+    // A top-level array is a batch: compile every entry, report each one,
+    // and fail the run if any entry fails.
+    composite::BatchSplit B = composite::splitBatchPayload(Text);
+    if (!B.ok()) {
+      std::fprintf(stderr, "akg-compile: batch payload rejected (%s)\n",
+                   errCodeName(B.Outcome.code()));
+      for (const composite::Diag &D : B.Diags)
         std::fprintf(stderr, "  %s\n", D.str().c_str());
       return 1;
     }
-    std::printf("composite: kernel=%s ops=%zu transform_ops_eliminated=%u\n",
-                F.KernelName.c_str(), F.Normalized.Ops.size(),
-                F.TransformOpsEliminated);
-    if (DumpNormalized)
-      std::printf("%s\n",
-                  composite::serializeComposite(F.Normalized, true).c_str());
-    CompileResult R = compileWithAkg(*F.Mod, AkgOptions(), F.KernelName);
-    printResult(R, F.KernelName, DumpKernel);
-    return R.Outcome.isOk() ? 0 : 1;
+    std::vector<std::string> Entries =
+        B.IsBatch ? std::move(B.Entries) : std::vector<std::string>{Text};
+    if (B.IsBatch)
+      std::printf("batch: %zu entries\n", Entries.size());
+    int Failed = 0;
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      composite::FrontendResult F = composite::loadComposite(Entries[I]);
+      if (!F.ok()) {
+        std::fprintf(stderr,
+                     "akg-compile: composite payload%s rejected (%s)\n",
+                     B.IsBatch ? (" [" + std::to_string(I) + "]").c_str()
+                               : "",
+                     errCodeName(F.Outcome.code()));
+        for (const composite::Diag &D : F.Diags)
+          std::fprintf(stderr, "  %s\n", D.str().c_str());
+        ++Failed;
+        continue;
+      }
+      std::printf(
+          "composite: kernel=%s ops=%zu transform_ops_eliminated=%u\n",
+          F.KernelName.c_str(), F.Normalized.Ops.size(),
+          F.TransformOpsEliminated);
+      if (DumpNormalized)
+        std::printf(
+            "%s\n", composite::serializeComposite(F.Normalized, true).c_str());
+      CompileResult R = compileWithAkg(*F.Mod, AkgOptions(), F.KernelName);
+      printResult(R, F.KernelName, DumpKernel);
+      if (!R.Outcome.isOk())
+        ++Failed;
+    }
+    return Failed ? 1 : 0;
   }
 
   graph::ModulePtr M = makeOp(Op);

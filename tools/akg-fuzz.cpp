@@ -10,9 +10,11 @@
 //   akg-fuzz --start 1000 --seeds 50     # seeds 1000..1049
 //   akg-fuzz --seed 42 --dump            # one seed, print module + report
 //   akg-fuzz --seeds 20 --matrix quick   # PR-smoke subset
+//   akg-fuzz --seeds 30 --dynshape       # dynamic-shape theme only
 //
-// Environment: AKG_FUZZ_SEEDS / AKG_FUZZ_START / AKG_FUZZ_MATRIX provide
-// defaults for CI wrappers; AKG_THREADS sizes the determinism sweep.
+// Environment: AKG_FUZZ_SEEDS / AKG_FUZZ_START / AKG_FUZZ_MATRIX /
+// AKG_FUZZ_DYNSHAPE provide defaults for CI wrappers; AKG_THREADS sizes
+// the determinism sweep.
 //
 //===----------------------------------------------------------------------===//
 
@@ -41,6 +43,9 @@ struct Args {
   std::string CorpusFile; // append corpus lines here when set
   bool Dump = false;
   bool KeepGoing = false; // continue after the first failing seed
+  /// Generate every seed under Theme::DynShape (not part of the Auto
+  /// cycle) so the dynshape_bucketed/killswitch oracle configs fire.
+  bool DynShape = false;
 };
 
 void usage() {
@@ -49,7 +54,8 @@ void usage() {
       "usage: akg-fuzz [--seeds N] [--start S] [--seed S] "
       "[--matrix full|quick]\n"
       "                [--repro-dir DIR] [--corpus FILE] [--dump] "
-      "[--keep-going]\n");
+      "[--keep-going]\n"
+      "                [--dynshape]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, Args &A) {
@@ -58,6 +64,7 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
   if (auto M = env::get("AKG_FUZZ_MATRIX"))
     A.Level = (*M == "quick") ? verify::MatrixLevel::Quick
                               : verify::MatrixLevel::Full;
+  A.DynShape = env::getInt("AKG_FUZZ_DYNSHAPE", 0) != 0;
   for (int I = 1; I < Argc; ++I) {
     std::string S = Argv[I];
     auto Next = [&]() -> const char * {
@@ -98,6 +105,8 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       if (!V)
         return false;
       A.CorpusFile = V;
+    } else if (S == "--dynshape") {
+      A.DynShape = true;
     } else if (S == "--dump") {
       A.Dump = true;
     } else if (S == "--keep-going") {
@@ -176,15 +185,19 @@ int main(int Argc, char **Argv) {
   if (OO.Threads < 2)
     OO.Threads = 4; // the determinism sweep needs a real N
 
-  std::printf("akg-fuzz: seeds [%llu, %llu), matrix=%s, N=%u threads\n",
+  verify::GenOptions GO;
+  if (A.DynShape)
+    GO.ThemeSel = verify::Theme::DynShape;
+
+  std::printf("akg-fuzz: seeds [%llu, %llu), matrix=%s, N=%u threads%s\n",
               static_cast<unsigned long long>(First),
               static_cast<unsigned long long>(First + Count),
               A.Level == verify::MatrixLevel::Full ? "full" : "quick",
-              OO.Threads);
+              OO.Threads, A.DynShape ? ", theme=dynshape" : "");
 
   unsigned Failures = 0;
   for (uint64_t Seed = First; Seed < First + Count; ++Seed) {
-    ir::Module M = verify::generateModule(Seed);
+    ir::Module M = verify::generateModule(Seed, GO);
     if (A.Dump)
       std::printf("--- %s\n%s",
                   verify::describeModule(Seed, M).c_str(), M.str().c_str());

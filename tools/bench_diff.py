@@ -19,6 +19,17 @@ that regresses cycles on purpose should refresh bench/baselines/ in the
 same commit and say so. The wall gate exists so a compile-time optimization
 cannot silently rot: refresh the baselines whenever compile time moves on
 purpose (in either direction).
+
+Latency percentiles (totals keys containing "_p50", "_p99", or "_p999",
+in seconds or milliseconds) are reported as deltas but never gate: they
+are wall-clock and CI machines are noisy.
+
+Serving-quality metrics gate as LOWER bounds: a totals key in
+MIN_GATED_KEYS (bucketed effective hit rate, bucketed/exact hit-rate
+ratio, and the shape-stream determinism/gates flags) may not drop below
+--min-metric-slack (default 0.9) times its baseline. These are
+deterministic for a seeded request stream, so a drop means the bucketing
+or caching logic regressed, not that the machine was slow.
 """
 
 import argparse
@@ -42,6 +53,16 @@ def cycle_keys(rec):
 
 WALL_KEY = "compile_wall_seconds"
 
+# Totals keys that gate as lower bounds (higher = better, deterministic
+# for a seeded stream): effective cache reuse and the shape-stream
+# correctness/determinism flags.
+MIN_GATED_KEYS = {"bucketed_hit_rate", "hit_rate_ratio", "determinism_ok",
+                  "gates_ok"}
+
+
+def is_percentile_key(key):
+    return "_p50" in key or "_p99" in key or "_p999" in key
+
 
 def main():
     ap = argparse.ArgumentParser()
@@ -52,6 +73,9 @@ def main():
     ap.add_argument("--wall-tolerance", type=float, default=1.5,
                     help="max allowed compile_wall_seconds as a multiple "
                          "of baseline (noise allowance)")
+    ap.add_argument("--min-metric-slack", type=float, default=0.9,
+                    help="lower-bounded metrics (hit rates) may not drop "
+                         "below this fraction of baseline")
     args = ap.parse_args()
 
     baselines = sorted(
@@ -154,6 +178,41 @@ def main():
             if abs(ratio - 1.0) >= 0.05 or marker.endswith("FAIL"):
                 print(f"{name} totals.{key}: {bval:.3f}s -> {cval:.3f}s "
                       f"({ratio:.2f}x){marker}")
+        # Latency percentiles: informational deltas only.
+        for key in sorted(btotals):
+            if not is_percentile_key(key):
+                continue
+            bval, cval = btotals[key], ctotals.get(key)
+            if not isinstance(bval, (int, float)) or bval <= 0:
+                continue
+            if not isinstance(cval, (int, float)):
+                print(f"{name} totals.{key}: {bval:.4g} -> (missing)")
+                continue
+            ratio = cval / bval
+            if abs(ratio - 1.0) >= 0.05:
+                print(f"{name} totals.{key}: {bval:.4g} -> {cval:.4g} "
+                      f"({ratio:.2f}x) [informational]")
+        # Lower-bounded serving metrics: a hit-rate (or determinism flag)
+        # that drops below slack * baseline is a regression.
+        for key in sorted(btotals):
+            if key not in MIN_GATED_KEYS:
+                continue
+            bval, cval = btotals[key], ctotals.get(key)
+            if not isinstance(bval, (int, float)) or bval <= 0:
+                continue
+            if not isinstance(cval, (int, float)):
+                failures.append(f"{name}: totals.{key} vanished")
+                continue
+            floor = bval * args.min_metric_slack
+            marker = ""
+            if cval < floor:
+                failures.append(
+                    f"{name}: totals.{key} dropped {bval:.4g} -> {cval:.4g} "
+                    f"(floor {floor:.4g})")
+                marker = "  <-- FAIL"
+            if abs(cval / bval - 1.0) >= 0.02 or marker:
+                print(f"{name} totals.{key}: {bval:.4g} -> {cval:.4g}"
+                      f"{marker}")
 
     if failures:
         print(f"\nbench_diff: {len(failures)} failure(s)", file=sys.stderr)
