@@ -160,6 +160,14 @@ CompileService::submitJson(const std::string &JsonText,
     P.set_value(std::move(R));
     return P.get_future();
   }
+  // A payload-level "target" overrides the caller's option default (but
+  // not AKG_TARGET, which resolveTarget applies last, mirroring
+  // AKG_FAIL_STAGE). The name was validated at parse time.
+  if (!F.Normalized.Target.empty()) {
+    AkgOptions O = Opts;
+    sim::parseTargetName(F.Normalized.Target, O.Target);
+    return submitShared(F.Mod, O, F.KernelName);
+  }
   return submitShared(F.Mod, Opts, F.KernelName);
 }
 

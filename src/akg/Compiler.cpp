@@ -4,7 +4,9 @@
 
 #include "akg/Pipeline.h"
 #include "sim/Compare.h"
+#include "sim/SimtRun.h"
 #include "sim/Simulator.h"
+#include "target/TargetBackend.h"
 #include "support/Env.h"
 #include "support/Rational.h"
 #include "support/Stats.h"
@@ -21,6 +23,16 @@ Stage resolveFailStage(const AkgOptions &Opts) {
       Fail = S;
   }
   return Fail;
+}
+
+sim::TargetKind resolveTarget(const AkgOptions &Opts) {
+  sim::TargetKind T = Opts.Target;
+  if (std::optional<std::string> Env = env::get("AKG_TARGET")) {
+    sim::TargetKind E;
+    if (sim::parseTargetName(*Env, E))
+      T = E;
+  }
+  return T;
 }
 
 CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
@@ -49,9 +61,9 @@ CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
   }
   CompileResult Res;
   Res.Degradation.record(Where, Reason, "scalar fallback kernel");
-  Res.Kernel = cce::lowerScalarFallback(MIn, Name);
-  Res.Sync =
-      cce::insertSynchronization(Res.Kernel, cce::SyncStrategy::FullSerial);
+  const TargetBackend &TB = targetBackend(resolveTarget(Opts));
+  Res.Kernel = TB.scalarFallback(MIn, Name);
+  Res.Sync = TB.insertSync(Res.Kernel, cce::SyncStrategy::FullSerial);
   Res.Trace.Kernel = Name;
   TraceEvent E;
   E.Pass = "exception_fallback";
@@ -65,6 +77,9 @@ CompileResult compileWithAkg(const Module &MIn, const AkgOptions &Opts,
 
 double verifyKernel(const cce::Kernel &K, const Module &M,
                     const sim::MachineSpec &Spec, uint32_t Seed) {
+  if (K.Target == sim::TargetKind::Simt)
+    return sim::diffSimtAgainstReference(K, M, sim::SimtSpec::sm80(), Seed)
+        .MaxAbsErr;
   return sim::diffKernelAgainstReference(K, M, Spec, Seed).MaxAbsErr;
 }
 

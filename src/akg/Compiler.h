@@ -30,6 +30,11 @@
 namespace akg {
 
 struct AkgOptions {
+  /// Which simulated machine to compile for (sim/Target.h). The whole
+  /// polyhedral frontend is shared; lowering, storage checks, sync and
+  /// simulation dispatch through target/TargetBackend.h. The AKG_TARGET
+  /// environment variable (cce|simt) overrides this when it parses.
+  sim::TargetKind Target = sim::TargetKind::Cce;
   sched::SchedulerOptions Scheduler;
   cce::CodegenOptions Codegen;
   cce::SyncStrategy Sync = cce::SyncStrategy::AkgDp;
@@ -121,8 +126,17 @@ CompileResult compileWithAkg(const ir::Module &M, const AkgOptions &Opts,
 /// key must reflect the stage that would actually fail).
 Stage resolveFailStage(const AkgOptions &Opts);
 
+/// The target a compile with these options lowers for: the AKG_TARGET
+/// environment override when it names a known target, else Opts.Target.
+/// Shared by the driver and the kernel cache (the key must reflect the
+/// backend that would actually run), mirroring resolveFailStage.
+sim::TargetKind resolveTarget(const AkgOptions &Opts);
+
 /// Convenience: compile + simulate functionally + compare against the
 /// reference evaluator; returns the max abs error over all outputs.
+/// Dispatches on K.Target: SIMT kernels run under sim::simulateSimt
+/// (functional results are launch-shape- and spec-independent, so the
+/// default SIMT machine is used); \p Spec drives CCE kernels as before.
 double verifyKernel(const cce::Kernel &K, const ir::Module &M,
                     const sim::MachineSpec &Spec, uint32_t Seed = 1);
 

@@ -182,6 +182,18 @@ uint64_t fingerprintMachine(const sim::MachineSpec &S) {
   return H;
 }
 
+uint64_t fingerprintSimt(const sim::SimtSpec &S) {
+  uint64_t H = 0x616b672d736d74ull; // "akg-smt"
+  for (int64_t V :
+       {S.NumSMs, S.MaxBlocksPerSM, S.MaxThreadsPerBlock, S.WarpSize,
+        S.SharedMemBytes, S.RegisterBytes, S.GlobalBandwidth,
+        S.GlobalLatency, S.CoalesceBytes, S.TransactionCost,
+        S.SharedLatency, S.SharedBandwidth, S.IssueCost, S.ScalarCost,
+        S.BarrierCost, S.LaunchLatency})
+    mix(H, static_cast<uint64_t>(V));
+  return H;
+}
+
 uint64_t fingerprintOptions(const AkgOptions &O) {
   uint64_t H = 0x616b672d6f7074ull; // "akg-opt"
   const sched::SchedulerOptions &S = O.Scheduler;
@@ -224,6 +236,12 @@ uint64_t fingerprintOptions(const AkgOptions &O) {
   // applied: two compiles with the same options but different
   // AKG_FAIL_STAGE must not share a cache line.
   mix(H, static_cast<uint64_t>(resolveFailStage(O)));
+  // The target that will actually lower, with the AKG_TARGET override
+  // applied: cce and simt kernels must never alias, and any SIMT
+  // machine-model change invalidates simt entries (mirroring how
+  // fingerprintMachine covers the CCE spec above).
+  mix(H, static_cast<uint64_t>(resolveTarget(O)));
+  mix(H, fingerprintSimt(O.Codegen.Simt));
   // Deliberately NOT mixed: RequestDeadlineMs and Cancel. They change
   // only whether a compile finishes, never what kernel a finished compile
   // emits - and results with a non-ok Outcome are never inserted - so

@@ -239,6 +239,7 @@ void writeInstr(ByteWriter &W, TensorWriteTable &T, const cce::InstrPtr &I) {
   W.u32(I->EventId);
   W.u8(static_cast<uint8_t>(I->WaitSrc));
   W.u32(I->Depth);
+  W.str(I->MapDim);
 }
 
 cce::InstrPtr readInstr(ByteReader &R, TensorReadTable &T, unsigned Depth) {
@@ -281,6 +282,7 @@ cce::InstrPtr readInstr(ByteReader &R, TensorReadTable &T, unsigned Depth) {
   I->EventId = R.u32();
   I->WaitSrc = R.enumOf<sim::Pipe>(static_cast<uint8_t>(sim::Pipe::MTE3));
   I->Depth = R.u32();
+  I->MapDim = R.str();
   return I;
 }
 
@@ -343,6 +345,9 @@ std::string serializeCompileResult(const CompileResult &R) {
   const cce::Kernel &K = R.Kernel;
   W.str(K.Name);
   W.b(K.HandPrefetched);
+  W.u8(static_cast<uint8_t>(K.Target));
+  W.i64(K.BlockThreads);
+  W.i64(K.GridBlocks);
   W.u64(K.GmTensors.size());
   for (const Tensor &G : K.GmTensors)
     writeTensor(W, T, G);
@@ -375,6 +380,7 @@ std::string serializeCompileResult(const CompileResult &R) {
   // Trace: kept so a disk-served request still dumps the original
   // compile's events under AKG_TRACE, exactly like a memory hit.
   W.str(R.Trace.Kernel);
+  W.str(R.Trace.Target);
   W.f64(R.Trace.TotalSeconds);
   W.str(R.Trace.Outcome);
   W.u64(R.Trace.Events.size());
@@ -393,6 +399,10 @@ bool deserializeCompileResult(const std::string &Bytes, CompileResult &Out) {
   cce::Kernel &K = Out.Kernel;
   K.Name = R.str();
   K.HandPrefetched = R.b();
+  K.Target = R.enumOf<sim::TargetKind>(
+      static_cast<uint8_t>(sim::TargetKind::Simt));
+  K.BlockThreads = R.i64();
+  K.GridBlocks = R.i64();
   uint64_t N = R.u64();
   if (!R.fits(N, 4))
     return false;
@@ -404,7 +414,7 @@ bool deserializeCompileResult(const std::string &Bytes, CompileResult &Out) {
   for (uint64_t I = 0; I < N; ++I) {
     cce::BufferAlloc B;
     B.Name = R.str();
-    B.Location = R.enumOf<sim::Buffer>(static_cast<uint8_t>(sim::Buffer::L0C));
+    B.Location = R.enumOf<sim::Buffer>(static_cast<uint8_t>(sim::Buffer::Reg));
     B.Decl = readTensor(R, T);
     B.DoubleBuffered = R.b();
     K.Buffers.push_back(std::move(B));
@@ -437,6 +447,7 @@ bool deserializeCompileResult(const std::string &Bytes, CompileResult &Out) {
     Out.Degradation.Steps.push_back(std::move(D));
   }
   Out.Trace.Kernel = R.str();
+  Out.Trace.Target = R.str();
   Out.Trace.TotalSeconds = R.f64();
   Out.Trace.Outcome = R.str();
   N = R.u64();

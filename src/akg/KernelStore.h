@@ -46,7 +46,9 @@ namespace akg {
 /// Format-version salt baked into every entry header and the index
 /// header. Bump whenever the serialized format OR the code generator
 /// changes in a way that should invalidate persisted kernels.
-constexpr uint64_t kKernelStoreVersion = 1;
+/// v2: target layer — cache keys mix the resolved target + SIMT spec,
+/// kernels carry Target/BlockThreads/GridBlocks/MapDim fields.
+constexpr uint64_t kKernelStoreVersion = 2;
 
 /// Serializes the cache-worthy parts of a CompileResult (kernel,
 /// reports, trace; not Mod, which is reconstructed lazily and unused by

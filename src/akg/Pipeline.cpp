@@ -6,6 +6,7 @@
 #include "schedule/AstGen.h"
 #include "support/Env.h"
 #include "support/Stats.h"
+#include "target/TargetBackend.h"
 #include "transforms/Conv.h"
 #include "transforms/Fusion.h"
 #include "transforms/IntraTile.h"
@@ -161,20 +162,22 @@ void runTiling(CompileState &S) {
   // the band level (the cube pipeline chunks K internally). Positions are
   // derived from the statement's axis list so the rules hold whether the
   // band covers the output axes only or, on the no-fusion fallback, the
-  // full iterator vector.
-  for (unsigned St : Live.Stmts)
-    if (auto D = matchCubeOp(S.Poly.Stmts[St])) {
-      unsigned NOut =
-          static_cast<unsigned>(S.Poly.Stmts[St].Op->Axis.size());
-      if (D->IsConv && NOut >= 1 && NOut - 1 < S.W)
-        S.ATOpts.FullDims.push_back(NOut - 1); // wo
-      if (((D->IsConv && NOut == 4) ||
-           (!D->IsConv && D->Batch > 1 && NOut == 3)) &&
-          S.W >= 1)
-        S.ATOpts.UnitDims.push_back(0); // batch
-      for (unsigned K = NOut; K < S.W; ++K)
-        S.ATOpts.FullDims.push_back(K); // reduction dims stay whole
-    }
+  // full iterator vector. SIMT has no cube pipeline, so no dimension is
+  // pinned there and the retry ladder may halve any of them.
+  if (S.Target == sim::TargetKind::Cce)
+    for (unsigned St : Live.Stmts)
+      if (auto D = matchCubeOp(S.Poly.Stmts[St])) {
+        unsigned NOut =
+            static_cast<unsigned>(S.Poly.Stmts[St].Op->Axis.size());
+        if (D->IsConv && NOut >= 1 && NOut - 1 < S.W)
+          S.ATOpts.FullDims.push_back(NOut - 1); // wo
+        if (((D->IsConv && NOut == 4) ||
+             (!D->IsConv && D->Batch > 1 && NOut == 3)) &&
+            S.W >= 1)
+          S.ATOpts.UnitDims.push_back(0); // batch
+        for (unsigned K = NOut; K < S.W; ++K)
+          S.ATOpts.FullDims.push_back(K); // reduction dims stay whole
+      }
 
   if (S.Opts->ManualTiles) {
     // The policy may name any statement of the live-out cluster (users
@@ -196,7 +199,15 @@ void runTiling(CompileState &S) {
         S.Sizes[D] = 1;
     S.Res.TilingPolicyText = printTilingPolicy(*S.Opts->ManualTiles);
   } else {
-    AutoTilingResult AT = autoTile(S.Poly, S.SR, S.CG.Machine, S.ATOpts);
+    // Capacities and the data-movement model come from the active target
+    // (UB/L1 + DMA bursts on CCE, shared memory + coalesced transactions
+    // on SIMT); the search itself is shared.
+    AutoTilingResult AT =
+        autoTile(S.Poly, S.SR,
+                 S.Target == sim::TargetKind::Simt
+                     ? sim::TargetSpec::simt(S.CG.Simt)
+                     : sim::TargetSpec::cce(S.CG.Machine),
+                 S.ATOpts);
     S.Sizes = AT.Sizes;
     S.Res.TilingPolicyText = printTilingPolicy(AT.Policy);
   }
@@ -286,12 +297,12 @@ void runIntraTile(CompileState &S) {
 
 void runAstGen(CompileState &S) { S.Ast = generateAst(S.Tree, S.Poly); }
 
-void runLowerCce(CompileState &S) {
-  S.Kernel = cce::lowerToCce(S.Ast, *S.M, S.Poly, S.CG, S.Name);
+void runLower(CompileState &S) {
+  S.Kernel = S.Backend->lower(S.Ast, *S.M, S.Poly, S.CG, S.Name);
 }
 
 void runStorageCheck(CompileState &S) {
-  S.CapErr = cce::checkBufferCapacities(S.Kernel, S.CG.Machine);
+  S.CapErr = S.Backend->checkStorage(S.Kernel, S.CG);
   if (S.InjectStorage) {
     // One simulated capacity failure; subsequent retries see the real
     // checker so the halving ladder converges normally.
@@ -307,7 +318,7 @@ void runStorageCheck(CompileState &S) {
 }
 
 void runSync(CompileState &S) {
-  S.Res.Sync = cce::insertSynchronization(S.Kernel, S.SyncS);
+  S.Res.Sync = S.Backend->insertSync(S.Kernel, S.SyncS);
   S.Res.Kernel = std::move(S.Kernel);
   S.Res.TileSizes = S.Sizes;
 }
@@ -320,13 +331,13 @@ void runScalarFallback(CompileState &S) {
       S.TimedOut ? "compile deadline expired"
                  : "minimal tiles exceed buffer capacity on every attempt",
       "scalar fallback kernel over global memory");
-  S.Res.Kernel = cce::lowerScalarFallback(*S.M, S.Name);
+  S.Res.Kernel = S.Backend->scalarFallback(*S.M, S.Name);
   S.Res.Sync =
-      cce::insertSynchronization(S.Res.Kernel, cce::SyncStrategy::FullSerial);
+      S.Backend->insertSync(S.Res.Kernel, cce::SyncStrategy::FullSerial);
   S.Res.TileSizes.clear();
 }
 
-Pipeline buildAkgPipeline() {
+Pipeline buildAkgPipeline(const TargetBackend &B) {
   Pipeline PL;
   PL.add({"prepare", Stage::None, runPrepare, nullptr,
           [](const CompileState &S) { return S.M->str(); }});
@@ -358,7 +369,7 @@ Pipeline buildAkgPipeline() {
           },
           [](const CompileState &S) { return S.Res.ScheduleTreeDump; }});
   PL.add({"ast_gen", Stage::None, runAstGen, nullptr, nullptr});
-  PL.add({"lower_cce", Stage::None, runLowerCce, nullptr, nullptr});
+  PL.add({B.lowerPassName(), Stage::None, runLower, nullptr, nullptr});
   PL.add({"storage_check", Stage::Storage, runStorageCheck,
           [](CompileState &S) { S.InjectStorage = true; }, nullptr});
   // Knob passes: vectorize and double_buffer parameterize the CCE
@@ -392,10 +403,17 @@ Pipeline buildAkgPipeline() {
 
 } // namespace
 
-const Pipeline &akgPipeline() {
-  static const Pipeline *PL = new Pipeline(buildAkgPipeline());
-  return *PL;
+const Pipeline &akgPipeline(sim::TargetKind T) {
+  // One shared, stateless pipeline per target; they differ only in the
+  // lowering pass (name + backend dispatch).
+  static const Pipeline *Cce =
+      new Pipeline(buildAkgPipeline(targetBackend(sim::TargetKind::Cce)));
+  static const Pipeline *Simt =
+      new Pipeline(buildAkgPipeline(targetBackend(sim::TargetKind::Simt)));
+  return T == sim::TargetKind::Simt ? *Simt : *Cce;
 }
+
+const Pipeline &akgPipeline() { return akgPipeline(sim::TargetKind::Cce); }
 
 //===----------------------------------------------------------------------===//
 // Controllers
@@ -490,7 +508,10 @@ CompileResult runPassPipeline(const Module &M, const AkgOptions &Opts,
   S.Opts = &Opts;
   S.Name = Name;
   S.Fail = Fail;
+  S.Target = resolveTarget(Opts);
+  S.Backend = &targetBackend(S.Target);
   S.Res.Trace.Kernel = Name;
+  S.Res.Trace.Target = sim::targetName(S.Target);
 
   // Budgets + per-stage fault injection resolve into concrete knobs once,
   // up front; each injected failure is itself a rung of the ladder and is
@@ -505,7 +526,7 @@ CompileResult runPassPipeline(const Module &M, const AkgOptions &Opts,
   S.PostFusion = Opts.EnablePostTilingFusion;
   S.SinkDims = Opts.EnableIntraTile;
 
-  const Pipeline &PL = akgPipeline();
+  const Pipeline &PL = akgPipeline(S.Target);
 
   // Hard request deadline + cooperative cancellation (DESIGN.md 4h).
   // Unlike the soft Budget.DeadlineSeconds (stages degrade and continue),
@@ -551,9 +572,9 @@ CompileResult runPassPipeline(const Module &M, const AkgOptions &Opts,
     T.Degradations.push_back(S.Res.Degradation.Steps.back());
     S.Res.Trace.Events.push_back(std::move(T));
     const Module *FM = S.M ? S.M : S.Input;
-    S.Res.Kernel = cce::lowerScalarFallback(*FM, S.Name);
-    S.Res.Sync = cce::insertSynchronization(S.Res.Kernel,
-                                            cce::SyncStrategy::FullSerial);
+    S.Res.Kernel = S.Backend->scalarFallback(*FM, S.Name);
+    S.Res.Sync =
+        S.Backend->insertSync(S.Res.Kernel, cce::SyncStrategy::FullSerial);
     S.Res.TileSizes.clear();
   }
 

@@ -48,6 +48,8 @@
 
 namespace akg {
 
+class TargetBackend;
+
 /// Everything a pass may read or write: the module under compilation, the
 /// polyhedral program, the resolved option knobs (fault injection folds
 /// into these), the per-attempt/per-retry working set, and the
@@ -58,6 +60,10 @@ struct CompileState {
   const AkgOptions *Opts = nullptr;
   std::string Name;
   Stage Fail = Stage::None; // resolved fault-injection stage
+  /// Resolved compile target (resolveTarget) and its backend; every
+  /// hardware-specific pass body dispatches through Backend.
+  sim::TargetKind Target = sim::TargetKind::Cce;
+  const TargetBackend *Backend = nullptr;
 
   // -- prepared module -----------------------------------------------------
   /// Owns the prepared module; tensor declarations are shared into the
@@ -155,6 +161,12 @@ private:
 /// The standard AKG pass list in stage order. Shared, stateless (all
 /// state lives in CompileState), safe for concurrent compiles.
 const Pipeline &akgPipeline();
+
+/// The pass list for \p T. The shared frontend (prepare .. ast_gen) and
+/// the controllers are identical across targets; only the lowering pass
+/// differs by name and body ("lower_cce" vs "lower_simt" — storage_check
+/// and sync keep their names and dispatch through CompileState::Backend).
+const Pipeline &akgPipeline(sim::TargetKind T);
 
 /// Pipeline controller: drives the tile-and-lower section (build_tree ..
 /// storage_check) until the storage check passes, the retry budget or

@@ -3,6 +3,7 @@
 #include "composite/Composite.h"
 
 #include "ir/ModuleUtils.h"
+#include "sim/Target.h"
 
 #include <algorithm>
 #include <cctype>
@@ -1204,6 +1205,20 @@ ParseResult parseComposite(const std::string &JsonText) {
     G.Name = Name->stringValue();
   }
 
+  if (const Json *Tgt = Root.find("target")) {
+    if (!Tgt->isString()) {
+      diag(D, "$.target", "'target' must be a string");
+      return finish();
+    }
+    sim::TargetKind TK;
+    if (!sim::parseTargetName(Tgt->stringValue(), TK)) {
+      diag(D, "$.target",
+           "unknown target '" + Tgt->stringValue() + "' (expected cce|simt)");
+      return finish();
+    }
+    G.Target = sim::targetName(TK); // canonical spelling
+  }
+
   if (const Json *In = Root.find("input_desc")) {
     if (!In->isArray()) {
       diag(D, "$.input_desc", "'input_desc' must be an array");
@@ -1342,6 +1357,10 @@ std::string serializeComposite(const CompositeGraph &G, bool Pretty) {
   Root.set("composite", Json::boolean(true));
   Root.set("op", Json::str(G.Name));
   Root.set("platform", Json::str("AKG"));
+  // Only emitted when the source payload carried one, so pre-target
+  // payloads round-trip byte-identically.
+  if (!G.Target.empty())
+    Root.set("target", Json::str(G.Target));
 
   Json Ins = Json::array();
   for (const TensorDesc &TD : G.Inputs)

@@ -97,6 +97,11 @@ struct CompositeOp {
 /// unconsumed op outputs.
 struct CompositeGraph {
   std::string Name = "composite_kernel";
+  /// Optional compile target requested by the payload's top-level
+  /// "target" key ("cce", "simt"); canonical spelling, empty when the
+  /// payload left it out (the service then uses its AkgOptions default /
+  /// AKG_TARGET). Unknown names are a $.target Diag at parse time.
+  std::string Target;
   std::vector<TensorDesc> Inputs;
   std::vector<std::string> Outputs; // names of escaping op outputs
   std::vector<CompositeOp> Ops;

@@ -19,6 +19,10 @@ const char *bufferName(Buffer B) {
     return "L0B";
   case Buffer::L0C:
     return "L0C";
+  case Buffer::Shared:
+    return "SHARED";
+  case Buffer::Reg:
+    return "REG";
   }
   return "?";
 }
@@ -41,8 +45,8 @@ const char *pipeName(Pipe P) {
   return "?";
 }
 
-const MachineSpec &MachineSpec::ascend910() {
-  static MachineSpec S;
+const CceSpec &CceSpec::ascend910() {
+  static CceSpec S;
   return S;
 }
 

@@ -19,8 +19,11 @@
 namespace akg {
 namespace sim {
 
-/// On-chip memories (plus GM = off-chip global memory).
-enum class Buffer { GM, L1, UB, L0A, L0B, L0C };
+/// On-chip memories (plus GM = off-chip global memory). L1..L0C are the
+/// CCE/DaVinci buffers; Shared and Reg are the per-block memories of the
+/// SIMT target (sim/Target.h). Each backend's capacity check sweeps only
+/// the memories its machine actually has.
+enum class Buffer { GM, L1, UB, L0A, L0B, L0C, Shared, Reg };
 
 const char *bufferName(Buffer B);
 
@@ -37,7 +40,10 @@ constexpr unsigned NumPipes = 6;
 
 const char *pipeName(Pipe P);
 
-struct MachineSpec {
+/// The CCE/DaVinci machine model. The historical name MachineSpec is
+/// kept as an alias: this is one of two machines behind sim::TargetSpec
+/// (sim/Target.h), which is what target-agnostic layers should consume.
+struct CceSpec {
   // Buffer capacities (bytes).
   int64_t L1Bytes = 1 << 20;        // 1 MiB
   int64_t UBBytes = 256 << 10;      // 256 KiB
@@ -82,13 +88,16 @@ struct MachineSpec {
       return L0BBytes;
     case Buffer::L0C:
       return L0CBytes;
+    default:
+      return 0; // SIMT-only memories do not exist on a CCE machine
     }
-    return 0;
   }
 
   /// The configuration used throughout the evaluation.
-  static const MachineSpec &ascend910();
+  static const CceSpec &ascend910();
 };
+
+using MachineSpec = CceSpec;
 
 } // namespace sim
 } // namespace akg

@@ -1,0 +1,190 @@
+//===- sim/SimtRun.cpp - SIMT machine simulator ---------------------------===//
+
+#include "sim/SimtRun.h"
+
+#include <limits>
+#include <map>
+
+namespace akg {
+namespace sim {
+
+namespace {
+
+int64_t ceilDiv(int64_t A, int64_t B) { return B ? (A + B - 1) / B : 0; }
+
+class SimtEngine {
+public:
+  SimtEngine(const cce::Kernel &K, const SimtSpec &S, ir::BufferMap *Gm,
+             const SimOptions &Opts)
+      : K(K), S(S), Gm(Gm), Opts(Opts) {}
+
+  SimtResult run() {
+    if (Gm && Opts.Functional) {
+      for (const cce::BufferAlloc &B : K.Buffers)
+        (*Gm)[B.Name].assign(B.Decl->numElements(), 0.0f);
+      for (const ir::Tensor &T : K.GmTensors)
+        if (!Gm->count(T->Name))
+          (*Gm)[T->Name].assign(T->numElements(), 0.0f);
+    }
+    for (const cce::BufferAlloc &B : K.Buffers)
+      if (B.Location == Buffer::Shared)
+        R.SharedBytesPeak += B.bytes() * (B.DoubleBuffered ? 2 : 1);
+
+    std::map<std::string, int64_t> Env;
+    execList(K.Body, Env);
+
+    // Wave model: SerialCycles is the whole grid's work run back to back;
+    // ConcurrentBlocks of it proceed at once, so the grid completes in
+    // ceil(SerialCycles / ConcurrentBlocks) plus the launch overhead.
+    R.Blocks = std::max<int64_t>(K.GridBlocks, 1);
+    R.ThreadsPerBlock = std::max<int64_t>(K.BlockThreads, 1);
+    int64_t Occupancy = S.MaxBlocksPerSM;
+    if (R.SharedBytesPeak > 0)
+      Occupancy = std::min<int64_t>(
+          Occupancy,
+          std::max<int64_t>(1, S.SharedMemBytes / R.SharedBytesPeak));
+    int64_t Concurrent =
+        std::min(R.Blocks, std::max<int64_t>(1, S.NumSMs * Occupancy));
+    R.Waves = ceilDiv(R.Blocks, Concurrent);
+    R.Cycles = S.LaunchLatency + ceilDiv(SerialCycles, Concurrent);
+    return R;
+  }
+
+private:
+  const cce::Kernel &K;
+  const SimtSpec &S;
+  ir::BufferMap *Gm;
+  SimOptions Opts;
+  SimtResult R;
+  int64_t SerialCycles = 0;
+  ir::BufferMap EmptyBufs;
+
+  ir::BufferMap &bufs() { return Gm ? *Gm : EmptyBufs; }
+
+  int64_t evalInt(const ir::Expr &E, std::map<std::string, int64_t> &Env) {
+    return static_cast<int64_t>(ir::evalExpr(E, Env, bufs()));
+  }
+
+  /// Cycle cost of one execution of a non-loop instruction on one block.
+  int64_t cost(const cce::Instr &I) {
+    switch (I.Kind) {
+    case cce::InstrKind::Dma: {
+      // Coalescing model: a transfer issues one transaction per
+      // CoalesceBytes segment, but discontiguous bursts can never merge,
+      // so the transaction count is at least the burst count.
+      int64_t Tx = std::max(I.Bursts, ceilDiv(I.Bytes, S.CoalesceBytes));
+      Tx = std::max<int64_t>(Tx, 1);
+      R.Transactions += Tx;
+      return S.GlobalLatency + Tx * S.TransactionCost +
+             ceilDiv(I.Bytes, S.GlobalBandwidth);
+    }
+    case cce::InstrKind::Img2Col:
+    case cce::InstrKind::LoadFractal:
+      // No MTE pipes on SIMT; treat as a shared-memory shuffle.
+      return S.SharedLatency + ceilDiv(I.Bytes, S.SharedBandwidth);
+    case cce::InstrKind::Mmad:
+      // No cube unit: the lowering thread-maps these, but cost any that
+      // slip through as thread-parallel FMA work.
+      return S.IssueCost +
+             ceilDiv(I.FractalOps, std::max<int64_t>(K.BlockThreads, 1));
+    case cce::InstrKind::VectorOp: {
+      // Thread-parallel: the block sweeps the unit in element steps of
+      // BlockThreads lanes; f32 costs double issue like the CCE model.
+      int64_t Threads = std::max<int64_t>(K.BlockThreads, 1);
+      return S.IssueCost + ceilDiv(I.Elems, Threads) * (I.Fp32 ? 2 : 1);
+    }
+    case cce::InstrKind::ScalarOp:
+      return S.ScalarCost * std::max<int64_t>(I.Elems, 1);
+    case cce::InstrKind::Barrier:
+      ++R.Barriers;
+      return S.BarrierCost;
+    default:
+      // set/wait flags never appear in SIMT kernels; cost nothing.
+      return 0;
+    }
+  }
+
+  void execList(const std::vector<cce::InstrPtr> &L,
+                std::map<std::string, int64_t> &Env) {
+    for (const cce::InstrPtr &I : L) {
+      if (R.Truncated)
+        return;
+      exec(*I, Env);
+    }
+  }
+
+  void exec(const cce::Instr &I, std::map<std::string, int64_t> &Env) {
+    if (++R.DynamicInstrs >= Opts.MaxDynamicInstrs) {
+      R.Truncated = true;
+      return;
+    }
+    if (I.Kind == cce::InstrKind::Loop) {
+      int64_t Min = evalInt(I.Min, Env);
+      int64_t Ext = evalInt(I.Extent, Env);
+      // Grid-mapped loops still execute every iteration serially here
+      // (functional order is the program order); the wave division at
+      // the end of run() is what models their block-parallel execution,
+      // keeping results independent of the launch shape.
+      int64_t Pipelined = I.DoubleBuffered ? 1 : 0;
+      for (int64_t V = Min; V < Min + Ext && !R.Truncated; ++V) {
+        Env[I.Var] = V;
+        PipelineDepth += Pipelined;
+        execList(I.Body, Env);
+        PipelineDepth -= Pipelined;
+      }
+      Env.erase(I.Var);
+      return;
+    }
+    int64_t C = cost(I);
+    // cp.async staging inside a pipelined loop overlaps with compute of
+    // the previous iteration: charge half the transfer, mirroring how
+    // double buffering halves exposed DMA time on the CCE model.
+    if (PipelineDepth > 0 && I.Kind == cce::InstrKind::Dma &&
+        I.Pipe == Pipe::MTE2)
+      C /= 2;
+    SerialCycles += C;
+    if (I.Kind == cce::InstrKind::Dma)
+      R.GmTrafficBytes += I.Bytes;
+    if (Gm && Opts.Functional && I.Sem)
+      ir::execStmtWithEnv(I.Sem, *Gm, Env);
+  }
+
+  int64_t PipelineDepth = 0;
+};
+
+} // namespace
+
+SimtResult simulateSimt(const cce::Kernel &K, const SimtSpec &S,
+                        ir::BufferMap *Gm, const SimOptions &Opts) {
+  SimtEngine E(K, S, Gm, Opts);
+  return E.run();
+}
+
+FunctionalDiff diffSimtAgainstReference(const cce::Kernel &K,
+                                        const ir::Module &M,
+                                        const SimtSpec &Spec, uint32_t Seed,
+                                        SimtResult *SimOut,
+                                        uint64_t *BitsOut) {
+  ir::BufferMap In = makeModuleInputs(M, Seed);
+  ir::BufferMap Ref = ir::evaluateModule(M, In);
+  ir::BufferMap Got = In;
+  SimOptions SO;
+  SO.Functional = true;
+  SimtResult SR = simulateSimt(K, Spec, &Got, SO);
+  if (SimOut)
+    *SimOut = SR;
+  if (BitsOut)
+    *BitsOut = hashOutputBits(M, Got);
+  if (SR.Truncated) {
+    FunctionalDiff D;
+    D.MissingOutput = true;
+    D.Missing = "<truncated at " + std::to_string(SR.DynamicInstrs) +
+                " dynamic instrs>";
+    D.MaxAbsErr = std::numeric_limits<double>::infinity();
+    return D;
+  }
+  return compareOutputs(M, Got, Ref);
+}
+
+} // namespace sim
+} // namespace akg

@@ -1,0 +1,36 @@
+//===- sim/Target.cpp - Target abstraction over machine models ------------===//
+
+#include "sim/Target.h"
+
+namespace akg {
+namespace sim {
+
+const char *targetName(TargetKind K) {
+  switch (K) {
+  case TargetKind::Cce:
+    return "cce";
+  case TargetKind::Simt:
+    return "simt";
+  }
+  return "?";
+}
+
+bool parseTargetName(const std::string &Name, TargetKind &Out) {
+  if (Name == "cce") {
+    Out = TargetKind::Cce;
+    return true;
+  }
+  if (Name == "simt") {
+    Out = TargetKind::Simt;
+    return true;
+  }
+  return false;
+}
+
+const SimtSpec &SimtSpec::sm80() {
+  static SimtSpec S;
+  return S;
+}
+
+} // namespace sim
+} // namespace akg

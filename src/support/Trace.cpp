@@ -61,6 +61,8 @@ std::string CompileTrace::json() const {
   std::string Out = "{\"kernel\": " + quoted(Kernel) +
                     ", \"total_seconds\": " + numText(TotalSeconds) +
                     ", \"cache_hit\": " + (CacheHit ? "true" : "false");
+  if (!Target.empty())
+    Out += ", \"target\": " + quoted(Target);
   if (!Outcome.empty())
     Out += ", \"outcome\": " + quoted(Outcome);
   Out += ", \"events\": [";
@@ -96,11 +98,12 @@ std::string CompileTrace::json() const {
 }
 
 std::string CompileTrace::str() const {
-  char Buf[160];
+  char Buf[192];
   std::snprintf(Buf, sizeof Buf,
-                "compile trace: kernel=%s total=%.3fms events=%zu%s%s%s\n",
-                Kernel.c_str(), TotalSeconds * 1e3, Events.size(),
-                CacheHit ? " (cache hit)" : "",
+                "compile trace: kernel=%s%s%s total=%.3fms events=%zu%s%s%s\n",
+                Kernel.c_str(), Target.empty() ? "" : " target=",
+                Target.empty() ? "" : Target.c_str(), TotalSeconds * 1e3,
+                Events.size(), CacheHit ? " (cache hit)" : "",
                 Outcome.empty() ? "" : " outcome=",
                 Outcome.empty() ? "" : Outcome.c_str());
   std::string Out = Buf;

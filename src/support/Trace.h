@@ -50,6 +50,10 @@ struct TraceEvent {
 /// The full trace of one compile request.
 struct CompileTrace {
   std::string Kernel;  // kernel name the compile ran under
+  /// Target the compile lowered for ("cce", "simt"); emitted as the
+  /// "target" key of the JSONL line. Empty on traces predating the
+  /// target layer (readers treat that as "cce").
+  std::string Target;
   double TotalSeconds = 0;
   bool CacheHit = false;  // served from the kernel cache
   /// Terminal outcome code ("ok" implied when empty): "deadline_exceeded",

@@ -89,20 +89,29 @@ void joinNames(std::ostringstream &OS, const std::vector<std::string> &V) {
     OS << (I ? "," : "") << V[I];
 }
 
-void printInstr(std::ostringstream &OS, const Instr &I, unsigned Ind) {
+void printInstr(std::ostringstream &OS, const Instr &I, unsigned Ind,
+                bool Simt = false) {
   std::string Pad(Ind * 2, ' ');
   OS << Pad;
   switch (I.Kind) {
   case InstrKind::Loop:
     OS << "for " << I.Var << " in [" << ir::exprToString(I.Min) << ", +"
-       << ir::exprToString(I.Extent) << ")"
-       << (I.DoubleBuffered ? " /*double_buffer*/" : "") << " {\n";
+       << ir::exprToString(I.Extent) << ")";
+    if (!I.MapDim.empty())
+      OS << " @" << I.MapDim;
+    OS << (I.DoubleBuffered ? (Simt ? " /*cp.async*/" : " /*double_buffer*/")
+                            : "")
+       << " {\n";
     for (const InstrPtr &C : I.Body)
-      printInstr(OS, *C, Ind + 1);
+      printInstr(OS, *C, Ind + 1, Simt);
     OS << Pad << "}\n";
     return;
   case InstrKind::Dma:
-    OS << "copy<" << sim::pipeName(I.Pipe) << "> ";
+    if (Simt)
+      OS << (I.Pipe == sim::Pipe::MTE3 ? "cp.shared.global "
+                                       : "cp.global.shared ");
+    else
+      OS << "copy<" << sim::pipeName(I.Pipe) << "> ";
     break;
   case InstrKind::Img2Col:
     OS << "img2col<" << sim::pipeName(I.Pipe) << "> ";
@@ -114,10 +123,16 @@ void printInstr(std::ostringstream &OS, const Instr &I, unsigned Ind) {
     OS << "mmad<" << sim::pipeName(I.Pipe) << "> ";
     break;
   case InstrKind::VectorOp:
-    OS << "vintr<" << sim::pipeName(I.Pipe) << "> ";
+    if (Simt)
+      OS << "simt.threads ";
+    else
+      OS << "vintr<" << sim::pipeName(I.Pipe) << "> ";
     break;
   case InstrKind::ScalarOp:
-    OS << "scalar<" << sim::pipeName(I.Pipe) << "> ";
+    if (Simt)
+      OS << "thread.scalar ";
+    else
+      OS << "scalar<" << sim::pipeName(I.Pipe) << "> ";
     break;
   case InstrKind::SetFlag:
     OS << "set_flag(" << sim::pipeName(I.Pipe) << ", ev" << I.EventId
@@ -129,13 +144,13 @@ void printInstr(std::ostringstream &OS, const Instr &I, unsigned Ind) {
        << (I.Depth >= 2 ? ", depth=2" : "") << ")\n";
     return;
   case InstrKind::Barrier:
-    OS << "pipe_barrier()\n";
+    OS << (Simt ? "__syncthreads()\n" : "pipe_barrier()\n");
     return;
   }
   if (!I.Label.empty())
     OS << "\"" << I.Label << "\" ";
   if (I.Bytes)
-    OS << I.Bytes << "B/" << I.Bursts << "bursts ";
+    OS << I.Bytes << "B/" << I.Bursts << (Simt ? "tx " : "bursts ");
   if (I.Elems)
     OS << I.Elems << (I.Fp32 ? " f32" : "") << " elems ";
   if (I.FractalOps)
@@ -167,10 +182,18 @@ void stampExtentRegs(Kernel &K, const ir::Module &SkeletonM) {
 }
 
 std::string printKernel(const Kernel &K) {
+  bool Simt = K.Target == sim::TargetKind::Simt;
   std::ostringstream OS;
-  OS << "__aicore__ " << K.Name << "(";
-  for (unsigned I = 0; I < K.GmTensors.size(); ++I)
-    OS << (I ? ", " : "") << "__gm__ " << K.GmTensors[I]->Name;
+  if (Simt) {
+    OS << "__simt__ " << K.Name << "<<<" << K.GridBlocks << ", "
+       << K.BlockThreads << ">>>(";
+    for (unsigned I = 0; I < K.GmTensors.size(); ++I)
+      OS << (I ? ", " : "") << "__global__ " << K.GmTensors[I]->Name;
+  } else {
+    OS << "__aicore__ " << K.Name << "(";
+    for (unsigned I = 0; I < K.GmTensors.size(); ++I)
+      OS << (I ? ", " : "") << "__gm__ " << K.GmTensors[I]->Name;
+  }
   OS << ") {\n";
   for (const ExtentReg &R : K.ExtentRegs) {
     OS << "  .extent_reg " << R.Symbol << " = " << R.Value << " /*";
@@ -183,13 +206,17 @@ std::string printKernel(const Kernel &K) {
        << " " << B.bytes() << "B" << (B.DoubleBuffered ? " x2 /*db*/" : "")
        << "\n";
   for (const InstrPtr &I : K.Body)
-    printInstr(OS, *I, 1);
+    printInstr(OS, *I, 1, Simt);
   OS << "}\n";
   return OS.str();
 }
 
-std::string checkBufferCapacities(const Kernel &K,
-                                  const sim::MachineSpec &M) {
+namespace {
+
+/// Peak simultaneously-live bytes for memory \p Mem, over program order
+/// with loop bodies inlined once (shared by the CCE and SIMT capacity
+/// checks below).
+int64_t peakLiveBytes(const Kernel &K, sim::Buffer Mem) {
   std::map<std::string, const BufferAlloc *> ByName;
   for (const BufferAlloc &B : K.Buffers)
     ByName[B.Name] = &B;
@@ -235,32 +262,62 @@ std::string checkBufferCapacities(const Kernel &K,
     Touch(Flat[Idx]->WriteBufs);
   }
 
-  // Peak of simultaneously-live bytes per memory.
-  static const sim::Buffer Mems[] = {sim::Buffer::L1, sim::Buffer::UB,
-                                     sim::Buffer::L0A, sim::Buffer::L0B,
-                                     sim::Buffer::L0C};
+  std::vector<int64_t> Delta(Flat.size() + 1, 0);
+  for (const auto &[B, Iv] : Live) {
+    if (B->Location != Mem)
+      continue;
+    int64_t W = B->bytes() * (B->DoubleBuffered ? 2 : 1);
+    Delta[Iv.First] += W;
+    Delta[Iv.Last + 1] -= W;
+  }
+  int64_t Cur = 0, Peak = 0;
+  for (int64_t D : Delta) {
+    Cur += D;
+    Peak = std::max(Peak, Cur);
+  }
+  return Peak;
+}
+
+/// Sweeps each memory in \p Mems; "" when everything fits.
+template <size_t N>
+std::string checkCapacities(const Kernel &K, const sim::Buffer (&Mems)[N],
+                            int64_t (*Capacity)(const void *, sim::Buffer),
+                            const void *Spec) {
   for (sim::Buffer Mem : Mems) {
-    std::vector<int64_t> Delta(Flat.size() + 1, 0);
-    for (const auto &[B, Iv] : Live) {
-      if (B->Location != Mem)
-        continue;
-      int64_t W = B->bytes() * (B->DoubleBuffered ? 2 : 1);
-      Delta[Iv.First] += W;
-      Delta[Iv.Last + 1] -= W;
-    }
-    int64_t Cur = 0, Peak = 0;
-    for (int64_t D : Delta) {
-      Cur += D;
-      Peak = std::max(Peak, Cur);
-    }
-    if (Peak > M.bufferBytes(Mem)) {
+    int64_t Peak = peakLiveBytes(K, Mem);
+    if (Peak > Capacity(Spec, Mem)) {
       std::ostringstream OS;
       OS << sim::bufferName(Mem) << " capacity exceeded: peak live "
-         << Peak << " bytes > " << M.bufferBytes(Mem);
+         << Peak << " bytes > " << Capacity(Spec, Mem);
       return OS.str();
     }
   }
   return "";
+}
+
+} // namespace
+
+std::string checkBufferCapacities(const Kernel &K,
+                                  const sim::MachineSpec &M) {
+  static const sim::Buffer Mems[] = {sim::Buffer::L1, sim::Buffer::UB,
+                                     sim::Buffer::L0A, sim::Buffer::L0B,
+                                     sim::Buffer::L0C};
+  return checkCapacities(
+      K, Mems,
+      [](const void *S, sim::Buffer B) {
+        return static_cast<const sim::MachineSpec *>(S)->bufferBytes(B);
+      },
+      &M);
+}
+
+std::string checkSimtCapacities(const Kernel &K, const sim::SimtSpec &S) {
+  static const sim::Buffer Mems[] = {sim::Buffer::Shared, sim::Buffer::Reg};
+  return checkCapacities(
+      K, Mems,
+      [](const void *Sp, sim::Buffer B) {
+        return static_cast<const sim::SimtSpec *>(Sp)->bufferBytes(B);
+      },
+      &S);
 }
 
 } // namespace cce

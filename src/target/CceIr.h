@@ -15,7 +15,7 @@
 
 #include "ir/Dsl.h"
 #include "ir/Stmt.h"
-#include "sim/Machine.h"
+#include "sim/Target.h"
 
 #include <memory>
 #include <string>
@@ -69,6 +69,11 @@ struct Instr {
   ir::Expr Min, Extent;
   std::vector<InstrPtr> Body;
   bool DoubleBuffered = false;
+  /// SIMT grid binding of a loop ("blockIdx.x", "blockIdx.y", ...);
+  /// empty for serial loops and for every CCE instruction. Mapped loops
+  /// run one iteration per thread block (sim/SimtRun.cpp divides their
+  /// trip count across SMs).
+  std::string MapDim;
 
   // Flag payload.
   unsigned EventId = 0;
@@ -104,6 +109,13 @@ struct Kernel {
   std::vector<BufferAlloc> Buffers;
   std::vector<ir::Tensor> GmTensors;
   std::vector<InstrPtr> Body;
+  /// Which backend lowered this kernel. CCE kernels render and simulate
+  /// exactly as before; SIMT kernels reuse the same instruction list with
+  /// Shared-memory allocations, grid-mapped loops and block barriers.
+  sim::TargetKind Target = sim::TargetKind::Cce;
+  /// SIMT launch shape (first-tile estimate; 0 on CCE kernels).
+  int64_t BlockThreads = 0;
+  int64_t GridBlocks = 0;
   /// Library kernels hand-tune prefetching; halves MTE2 warm-up latency.
   bool HandPrefetched = false;
   /// Non-empty exactly for dynamic-shape skeleton kernels (DESIGN.md 4k);
@@ -140,6 +152,10 @@ std::string printKernel(const Kernel &K);
 /// Returns "" when everything fits, else a diagnostic naming the memory.
 std::string checkBufferCapacities(const Kernel &K,
                                   const sim::MachineSpec &M);
+
+/// The same liveness-aware check for a SIMT kernel's per-block memories
+/// (shared memory, registers) against the SIMT machine model.
+std::string checkSimtCapacities(const Kernel &K, const sim::SimtSpec &S);
 
 } // namespace cce
 } // namespace akg

@@ -20,7 +20,7 @@
 
 #include "ir/Dsl.h"
 #include "ir/PolyExtract.h"
-#include "sim/Machine.h"
+#include "sim/Target.h"
 #include "target/CceIr.h"
 
 #include <string>
@@ -30,9 +30,15 @@ namespace cce {
 
 struct CodegenOptions {
   sim::MachineSpec Machine = sim::MachineSpec::ascend910();
+  /// SIMT machine model, consumed when the compile targets
+  /// sim::TargetKind::Simt (target/SimtLower.h). Part of the kernel-cache
+  /// option fingerprint alongside Machine.
+  sim::SimtSpec Simt = sim::SimtSpec::sm80();
   /// Map vectorizable innermost loops to V-pipe intrinsics (off: scalar).
+  /// On the SIMT target this gates thread-parallel unit mapping.
   bool EnableVectorize = true;
-  /// Ping-pong buffers for DMA-fed boxes in tile/chunk loops.
+  /// Ping-pong buffers for DMA-fed boxes in tile/chunk loops. On the SIMT
+  /// target this gates cp.async-style pipelined shared-memory staging.
   bool EnableDoubleBuffer = true;
 };
 

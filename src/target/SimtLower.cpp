@@ -1,0 +1,847 @@
+//===- target/SimtLower.cpp - AST -> SIMT kernel lowering -----------------===//
+
+#include "target/SimtLower.h"
+
+#include "support/Stats.h"
+#include "target/Vectorize.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+namespace akg {
+namespace simt {
+
+using namespace ir;
+using cce::Instr;
+using cce::InstrKind;
+using cce::InstrPtr;
+using cce::Kernel;
+
+namespace {
+
+int64_t ceilDiv(int64_t A, int64_t B) { return B ? (A + B - 1) / B : 0; }
+int64_t roundUpTo(int64_t A, int64_t B) { return ceilDiv(A, B) * B; }
+
+//===----------------------------------------------------------------------===//
+// First-tile static evaluation and affine analysis (mirrors Codegen.cpp:
+// the lowering sizes boxes from the first = largest tile).
+//===----------------------------------------------------------------------===//
+
+int64_t evalFirstTile(const Expr &E) {
+  if (!E)
+    return 0;
+  switch (E->Kind) {
+  case ExprKind::IntImm:
+    return E->IntVal;
+  case ExprKind::FloatImm:
+    return static_cast<int64_t>(E->FloatVal);
+  case ExprKind::Var:
+    return 0;
+  case ExprKind::Add:
+    return evalFirstTile(E->Operands[0]) + evalFirstTile(E->Operands[1]);
+  case ExprKind::Sub:
+    return evalFirstTile(E->Operands[0]) - evalFirstTile(E->Operands[1]);
+  case ExprKind::Mul:
+    return evalFirstTile(E->Operands[0]) * evalFirstTile(E->Operands[1]);
+  case ExprKind::Div:
+  case ExprKind::FloorDiv: {
+    int64_t A = evalFirstTile(E->Operands[0]);
+    int64_t B = evalFirstTile(E->Operands[1]);
+    if (!B)
+      return 0;
+    int64_t Q = A / B;
+    if ((A % B) && ((A < 0) != (B < 0)) && E->Kind == ExprKind::FloorDiv)
+      --Q;
+    return Q;
+  }
+  case ExprKind::Mod: {
+    int64_t A = evalFirstTile(E->Operands[0]);
+    int64_t B = evalFirstTile(E->Operands[1]);
+    return B ? ((A % B) + B) % B : 0;
+  }
+  case ExprKind::Min:
+    return std::min(evalFirstTile(E->Operands[0]),
+                    evalFirstTile(E->Operands[1]));
+  case ExprKind::Max:
+    return std::max(evalFirstTile(E->Operands[0]),
+                    evalFirstTile(E->Operands[1]));
+  case ExprKind::Select:
+    return std::max(evalFirstTile(E->Operands[1]),
+                    evalFirstTile(E->Operands[2]));
+  case ExprKind::Cast:
+    return evalFirstTile(E->Operands[0]);
+  default:
+    return 0;
+  }
+}
+
+struct LoopInfo {
+  Expr MinE;
+  int64_t Ext = 0;
+};
+using LoopMap = std::map<std::string, LoopInfo>;
+
+void collectLoops(const Stmt &S, LoopMap &L) {
+  if (!S)
+    return;
+  if (S->Kind == StmtKind::For) {
+    LoopInfo &LI = L[S->Var];
+    if (!LI.MinE)
+      LI.MinE = S->Min;
+    LI.Ext = std::max<int64_t>({LI.Ext, 1, evalFirstTile(S->Extent)});
+  }
+  for (const Stmt &C : S->Children)
+    collectLoops(C, L);
+}
+
+bool containsLoopVar(const Expr &E, const LoopMap &L) {
+  if (!E)
+    return false;
+  if (E->Kind == ExprKind::Var)
+    return L.count(E->Name) != 0;
+  for (const Expr &O : E->Operands)
+    if (containsLoopVar(O, L))
+      return true;
+  return false;
+}
+
+using CoeffMap = std::map<std::string, int64_t>;
+
+std::optional<CoeffMap> affineCoeffs(const Expr &E, const LoopMap &L) {
+  if (!E)
+    return CoeffMap{};
+  switch (E->Kind) {
+  case ExprKind::IntImm:
+  case ExprKind::FloatImm:
+    return CoeffMap{};
+  case ExprKind::Var: {
+    CoeffMap C;
+    if (L.count(E->Name))
+      C[E->Name] = 1;
+    return C;
+  }
+  case ExprKind::Add:
+  case ExprKind::Sub: {
+    auto A = affineCoeffs(E->Operands[0], L);
+    auto B = affineCoeffs(E->Operands[1], L);
+    if (!A || !B)
+      return std::nullopt;
+    int64_t Sign = E->Kind == ExprKind::Sub ? -1 : 1;
+    for (const auto &[V, C] : *B)
+      (*A)[V] += Sign * C;
+    return A;
+  }
+  case ExprKind::Mul: {
+    int64_t C;
+    if (isConstInt(E->Operands[0], &C)) {
+      auto B = affineCoeffs(E->Operands[1], L);
+      if (!B)
+        return std::nullopt;
+      for (auto &[V, X] : *B)
+        X *= C;
+      return B;
+    }
+    if (isConstInt(E->Operands[1], &C)) {
+      auto A = affineCoeffs(E->Operands[0], L);
+      if (!A)
+        return std::nullopt;
+      for (auto &[V, X] : *A)
+        X *= C;
+      return A;
+    }
+    return containsLoopVar(E, L) ? std::nullopt
+                                 : std::optional<CoeffMap>(CoeffMap{});
+  }
+  case ExprKind::Cast:
+    return affineCoeffs(E->Operands[0], L);
+  default:
+    return containsLoopVar(E, L) ? std::nullopt
+                                 : std::optional<CoeffMap>(CoeffMap{});
+  }
+}
+
+int64_t boxWidth(const Expr &Idx, const LoopMap &L, int64_t Full) {
+  auto C = affineCoeffs(Idx, L);
+  if (!C)
+    return Full;
+  int64_t W = 1;
+  for (const auto &[V, X] : *C) {
+    auto It = L.find(V);
+    if (It != L.end())
+      W += std::abs(X) * (It->second.Ext - 1);
+  }
+  return std::max<int64_t>(1, std::min(W, Full));
+}
+
+/// Coalesced global-memory transaction segments a box transfer needs: one
+/// contiguous run per discontiguous burst, each split into CoalesceBytes
+/// segments (sim/Target.h). Computed at finalize time from the box shape.
+int64_t burstsFor(const std::vector<int64_t> &Box,
+                  const std::vector<int64_t> &Full) {
+  size_t T = Box.size();
+  while (T > 0 && T <= Full.size() && Box[T - 1] >= Full[T - 1])
+    --T;
+  int64_t B = 1;
+  for (size_t I = 0; I + 1 < T; ++I)
+    B *= Box[I];
+  return std::max<int64_t>(B, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Statement walking helpers (mirrors Codegen.cpp)
+//===----------------------------------------------------------------------===//
+
+void collectReadNodes(const Expr &E, std::vector<const ExprNode *> &Out) {
+  if (!E)
+    return;
+  if (E->Kind == ExprKind::TensorRead)
+    Out.push_back(E.get());
+  for (const Expr &O : E->Operands)
+    collectReadNodes(O, Out);
+}
+
+void collectUnitAccesses(const Stmt &S, std::vector<const ExprNode *> &Reads,
+                         std::vector<const StmtNode *> &Writes) {
+  if (!S)
+    return;
+  switch (S->Kind) {
+  case StmtKind::For:
+    collectReadNodes(S->Min, Reads);
+    collectReadNodes(S->Extent, Reads);
+    break;
+  case StmtKind::IfThenElse:
+    collectReadNodes(S->Cond, Reads);
+    break;
+  case StmtKind::Provide:
+    collectReadNodes(S->Value, Reads);
+    for (const Expr &I : S->Indices)
+      collectReadNodes(I, Reads);
+    Writes.push_back(S.get());
+    break;
+  case StmtKind::Evaluate:
+    collectReadNodes(S->Value, Reads);
+    break;
+  default:
+    break;
+  }
+  for (const Stmt &C : S->Children)
+    collectUnitAccesses(C, Reads, Writes);
+}
+
+bool isMark(const Stmt &S, const char *Tag) {
+  return S && S->Kind == StmtKind::Attr && S->Key == "mark" &&
+         S->StrValue == Tag;
+}
+
+bool hasUnitMark(const Stmt &S) {
+  if (!S)
+    return false;
+  if (isMark(S, "local_UB") || isMark(S, "cube_unit"))
+    return true;
+  for (const Stmt &C : S->Children)
+    if (hasUnitMark(C))
+      return true;
+  return false;
+}
+
+int64_t pointsIn(const Stmt &S) {
+  if (!S)
+    return 0;
+  switch (S->Kind) {
+  case StmtKind::For:
+    return std::max<int64_t>(1, evalFirstTile(S->Extent)) *
+           pointsIn(S->Children.empty() ? nullptr : S->Children[0]);
+  case StmtKind::Block:
+  case StmtKind::IfThenElse: {
+    int64_t N = 0;
+    for (const Stmt &C : S->Children)
+      N += pointsIn(C);
+    return N;
+  }
+  case StmtKind::Attr:
+  case StmtKind::Allocate:
+    return pointsIn(S->Children.empty() ? nullptr : S->Children[0]);
+  case StmtKind::Provide:
+  case StmtKind::Evaluate:
+    return 1;
+  }
+  return 0;
+}
+
+/// A unit is thread-mappable when every leaf loop is a plain parallel
+/// point loop the vectorizer would accept: each thread then owns a
+/// contiguous slice of the iteration space. Reductions and irregular
+/// leaves run single-threaded (the scalar degrade), mirroring the CCE
+/// vectorize gate.
+bool containsForStmt(const Stmt &S) {
+  if (!S)
+    return false;
+  if (S->Kind == StmtKind::For)
+    return true;
+  for (const Stmt &C : S->Children)
+    if (containsForStmt(C))
+      return true;
+  return false;
+}
+
+bool leavesThreadMappable(const Stmt &S, bool &Any) {
+  if (!S)
+    return true;
+  switch (S->Kind) {
+  case StmtKind::For: {
+    const Stmt &Body = S->Children.empty() ? nullptr : S->Children[0];
+    if (containsForStmt(Body))
+      return leavesThreadMappable(Body, Any);
+    if (!cce::isVectorizableLoop(S))
+      return false;
+    Any = true;
+    return true;
+  }
+  case StmtKind::Block:
+  case StmtKind::IfThenElse:
+    for (const Stmt &C : S->Children)
+      if (!leavesThreadMappable(C, Any))
+        return false;
+    return true;
+  case StmtKind::Attr:
+  case StmtKind::Allocate:
+    return leavesThreadMappable(
+        S->Children.empty() ? nullptr : S->Children[0], Any);
+  default:
+    return true;
+  }
+}
+
+Tensor makeLocal(std::string Name, std::vector<int64_t> Shape, DType T) {
+  auto D = std::make_shared<TensorDecl>();
+  D->Name = std::move(Name);
+  D->Shape = std::move(Shape);
+  D->Type = T;
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// The SIMT lowering driver
+//===----------------------------------------------------------------------===//
+
+const char *const GridDims[] = {"blockIdx.x", "blockIdx.y", "blockIdx.z"};
+
+class SimtLowering {
+public:
+  SimtLowering(const Module &M, const cce::CodegenOptions &O)
+      : Mod(M), Opts(O) {}
+
+  Kernel run(const Stmt &Ast, const std::string &Name) {
+    K.Name = Name;
+    K.Target = sim::TargetKind::Simt;
+    K.GmTensors = Mod.allTensors();
+    for (const Tensor &T : Mod.outputs())
+      OutputNames.insert(T->Name);
+    int ScanRegion = 0;
+    scanUses(Ast, /*Region=*/0, ScanRegion);
+    lowerTop(Ast, K.Body, /*GridDepth=*/0, /*BlocksOnPath=*/1);
+    // Launch shape: warp-rounded block size covering the widest unit,
+    // capped by the machine's per-block thread limit.
+    int64_t Threads = std::max<int64_t>(MaxUnitElems, 1);
+    Threads = roundUpTo(Threads, Opts.Simt.WarpSize);
+    Threads = std::min(Threads, Opts.Simt.MaxThreadsPerBlock);
+    K.BlockThreads = std::max(Threads, Opts.Simt.WarpSize);
+    K.GridBlocks = std::max<int64_t>(GridEst, 1);
+    return K;
+  }
+
+private:
+  const Module &Mod;
+  cce::CodegenOptions Opts;
+  Kernel K;
+
+  std::set<std::string> OutputNames;
+  std::set<std::string> UsedBufNames;
+  std::set<std::string> DbBoxes; // pipelined (cp.async) shared buffers
+  int RegionCounter = 0;
+  int UnitCounter = 0;
+  int64_t MaxUnitElems = 0;
+  int64_t GridEst = 1;
+
+  // -- escape analysis (mirrors Codegen.cpp so region numbering and
+  // -- store-back decisions match the CCE backend exactly) ---------------
+
+  struct UseInfo {
+    std::set<int> ReadRegions;
+    bool ReadOutside = false;
+  };
+  std::map<std::string, UseInfo> Uses;
+
+  void noteRead(const std::string &Name, int Region) {
+    UseInfo &U = Uses[Name];
+    if (Region == 0)
+      U.ReadOutside = true;
+    else
+      U.ReadRegions.insert(Region);
+  }
+
+  void scanExpr(const Expr &E, int Region) {
+    if (!E)
+      return;
+    if (E->Kind == ExprKind::TensorRead && E->Ref)
+      noteRead(E->Ref->Name, Region);
+    for (const Expr &O : E->Operands)
+      scanExpr(O, Region);
+  }
+
+  void scanUses(const Stmt &S, int Region, int &Counter) {
+    if (!S)
+      return;
+    switch (S->Kind) {
+    case StmtKind::Attr:
+      if (isMark(S, "skipped"))
+        return;
+      if (isMark(S, "on_chip")) {
+        ++Counter;
+        scanUses(S->Children.empty() ? nullptr : S->Children[0], Counter,
+                 Counter);
+        return;
+      }
+      break;
+    case StmtKind::For:
+      scanExpr(S->Min, Region);
+      scanExpr(S->Extent, Region);
+      break;
+    case StmtKind::IfThenElse:
+      scanExpr(S->Cond, Region);
+      break;
+    case StmtKind::Provide:
+      scanExpr(S->Value, Region);
+      for (const Expr &I : S->Indices)
+        scanExpr(I, Region);
+      break;
+    case StmtKind::Evaluate:
+      scanExpr(S->Value, Region);
+      break;
+    default:
+      break;
+    }
+    for (const Stmt &C : S->Children)
+      scanUses(C, Region, Counter);
+  }
+
+  bool escapes(const std::string &Name, int Region) const {
+    if (OutputNames.count(Name))
+      return true;
+    auto It = Uses.find(Name);
+    if (It == Uses.end())
+      return false;
+    if (It->second.ReadOutside)
+      return true;
+    for (int R : It->second.ReadRegions)
+      if (R != Region)
+        return true;
+    return false;
+  }
+
+  // -- region state -------------------------------------------------------
+
+  struct Box {
+    std::string BufName;
+    Tensor Global;
+    std::vector<int64_t> Shape;
+    bool Loaded = false;
+    bool LoadedGlobal = false;
+    std::vector<Instr *> SizedInstrs;
+  };
+
+  struct RegionCtx {
+    int Id = 0;
+    LoopMap Loops;
+    std::map<std::string, Box> Boxes;
+    std::vector<std::string> BoxOrder;
+    std::set<std::string> WrittenHere;
+    std::vector<std::string> WriteOrder;
+  };
+
+  std::string uniqueBufName(const std::string &Base) {
+    std::string N = Base;
+    unsigned I = 0;
+    while (!UsedBufNames.insert(N).second)
+      N = Base + "_" + std::to_string(++I);
+    return N;
+  }
+
+  Box &ensureBox(RegionCtx &RS, const Tensor &T,
+                 const std::vector<Expr> &Idx) {
+    auto It = RS.Boxes.find(T->Name);
+    if (It == RS.Boxes.end()) {
+      Box B;
+      B.BufName = uniqueBufName(T->Name + "_sm_r" + std::to_string(RS.Id));
+      B.Global = T;
+      B.Shape.assign(T->Shape.size(), 1);
+      It = RS.Boxes.emplace(T->Name, std::move(B)).first;
+      RS.BoxOrder.push_back(T->Name);
+    }
+    Box &B = It->second;
+    for (size_t D = 0; D < B.Shape.size(); ++D) {
+      int64_t W = D < Idx.size() ? boxWidth(Idx[D], RS.Loops, T->Shape[D])
+                                 : T->Shape[D];
+      B.Shape[D] = std::min(T->Shape[D], std::max(B.Shape[D], W));
+    }
+    return B;
+  }
+
+  void markWritten(RegionCtx &RS, const Tensor &T) {
+    if (RS.WrittenHere.insert(T->Name).second)
+      RS.WriteOrder.push_back(T->Name);
+    RS.Boxes[T->Name].Loaded = true; // produced in shared, never load
+  }
+
+  // -- top level ----------------------------------------------------------
+
+  void scanStageDmas(const std::vector<InstrPtr> &L, bool &Any, bool &All) {
+    for (const InstrPtr &I : L) {
+      if (I->Kind == InstrKind::Loop) {
+        scanStageDmas(I->Body, Any, All);
+        continue;
+      }
+      if (I->Kind == InstrKind::Dma && I->Pipe == sim::Pipe::MTE2) {
+        Any = true;
+        if (I->WriteBufs.empty() || !DbBoxes.count(I->WriteBufs[0]))
+          All = false;
+      }
+    }
+  }
+
+  void lowerTop(const Stmt &S, std::vector<InstrPtr> &Out, int GridDepth,
+                int64_t BlocksOnPath) {
+    if (!S)
+      return;
+    switch (S->Kind) {
+    case StmtKind::Block:
+      for (const Stmt &C : S->Children)
+        lowerTop(C, Out, GridDepth, BlocksOnPath);
+      return;
+    case StmtKind::For: {
+      InstrPtr L = cce::makeLoop(S->Var, S->Min, S->Extent);
+      int ChildDepth = GridDepth;
+      int64_t ChildBlocks = BlocksOnPath;
+      // Grid mapping: the outermost tile loops (outside any staging
+      // region) bind to blockIdx dims, one tile per thread block.
+      if (GridDepth < 3) {
+        L->MapDim = GridDims[GridDepth];
+        ChildDepth = GridDepth + 1;
+        ChildBlocks =
+            BlocksOnPath * std::max<int64_t>(1, evalFirstTile(S->Extent));
+        GridEst = std::max(GridEst, ChildBlocks);
+      }
+      lowerTop(S->Children.empty() ? nullptr : S->Children[0], L->Body,
+               ChildDepth, ChildBlocks);
+      if (L->Body.empty())
+        return;
+      if (Opts.EnableDoubleBuffer) {
+        bool Any = false, All = true;
+        scanStageDmas(L->Body, Any, All);
+        L->DoubleBuffered = Any && All;
+      }
+      Out.push_back(std::move(L));
+      return;
+    }
+    case StmtKind::Attr:
+      if (isMark(S, "skipped"))
+        return;
+      if (isMark(S, "on_chip")) {
+        ++RegionCounter;
+        lowerRegion(S->Children.empty() ? nullptr : S->Children[0], Out);
+        return;
+      }
+      lowerTop(S->Children.empty() ? nullptr : S->Children[0], Out,
+               GridDepth, BlocksOnPath);
+      return;
+    case StmtKind::Allocate:
+      lowerTop(S->Children.empty() ? nullptr : S->Children[0], Out,
+               GridDepth, BlocksOnPath);
+      return;
+    default: {
+      // A statement outside any staging region: one thread runs it
+      // against global memory (robust catch-all; nothing promoted).
+      std::vector<const ExprNode *> Reads;
+      std::vector<const StmtNode *> Writes;
+      collectUnitAccesses(S, Reads, Writes);
+      InstrPtr I = cce::makeCompute(InstrKind::ScalarOp, sim::Pipe::S, S,
+                                    pointsIn(S), "gm_scalar");
+      for (const ExprNode *R : Reads)
+        if (R->Ref && std::find(I->ReadBufs.begin(), I->ReadBufs.end(),
+                                R->Ref->Name) == I->ReadBufs.end())
+          I->ReadBufs.push_back(R->Ref->Name);
+      for (const StmtNode *W : Writes)
+        if (W->Target && std::find(I->WriteBufs.begin(), I->WriteBufs.end(),
+                                   W->Target->Name) == I->WriteBufs.end())
+          I->WriteBufs.push_back(W->Target->Name);
+      Out.push_back(std::move(I));
+      return;
+    }
+    }
+  }
+
+  // -- regions: shared-memory promotion -----------------------------------
+
+  void lowerRegion(const Stmt &Body, std::vector<InstrPtr> &Out) {
+    RegionCtx RS;
+    RS.Id = RegionCounter;
+    collectLoops(Body, RS.Loops);
+    emitRegionBody(Body, RS, Out);
+
+    // Store escaping results back to global memory.
+    for (const std::string &Name : RS.WriteOrder) {
+      if (!escapes(Name, RS.Id))
+        continue;
+      Box &B = RS.Boxes[Name];
+      InstrPtr D =
+          cce::makeDma(sim::Pipe::MTE3, nullptr, 0, 1, "store." + Name);
+      D->ReadBufs = {B.BufName};
+      D->WriteBufs = {Name};
+      B.SizedInstrs.push_back(D.get());
+      Out.push_back(std::move(D));
+    }
+
+    // Finalize shared boxes: allocations, pipelining, transfer sizes.
+    for (const std::string &Name : RS.BoxOrder) {
+      Box &B = RS.Boxes[Name];
+      Tensor Decl = makeLocal(B.BufName, B.Shape, B.Global->Type);
+      bool Db = Opts.EnableDoubleBuffer && B.LoadedGlobal &&
+                Decl->sizeBytes() <= Opts.Simt.SharedMemBytes / 8;
+      K.Buffers.push_back({B.BufName, sim::Buffer::Shared, Decl, Db});
+      if (Db)
+        DbBoxes.insert(B.BufName);
+      int64_t Bytes = Decl->sizeBytes();
+      int64_t Bursts = burstsFor(B.Shape, B.Global->Shape);
+      for (Instr *I : B.SizedInstrs) {
+        I->Bytes = Bytes;
+        I->Bursts = Bursts;
+      }
+    }
+  }
+
+  void emitRegionBody(const Stmt &S, RegionCtx &RS,
+                      std::vector<InstrPtr> &Out) {
+    if (!S)
+      return;
+    switch (S->Kind) {
+    case StmtKind::Block:
+      for (const Stmt &C : S->Children)
+        emitRegionBody(C, RS, Out);
+      return;
+    case StmtKind::Attr: {
+      if (isMark(S, "skipped"))
+        return;
+      const Stmt &Child = S->Children.empty() ? nullptr : S->Children[0];
+      // SIMT has no cube unit: matmul/conv units thread-map like any
+      // other compute (tensor-core mapping is future work).
+      if (isMark(S, "local_UB") || isMark(S, "cube_unit")) {
+        ++UnitCounter;
+        emitThreadUnit(Child, RS, Out);
+        return;
+      }
+      emitRegionBody(Child, RS, Out);
+      return;
+    }
+    case StmtKind::Allocate:
+      emitRegionBody(S->Children.empty() ? nullptr : S->Children[0], RS,
+                     Out);
+      return;
+    case StmtKind::For:
+      if (hasUnitMark(S)) {
+        InstrPtr L = cce::makeLoop(S->Var, S->Min, S->Extent);
+        emitRegionBody(S->Children.empty() ? nullptr : S->Children[0], RS,
+                       L->Body);
+        if (!L->Body.empty())
+          Out.push_back(std::move(L));
+        return;
+      }
+      ++UnitCounter;
+      emitThreadUnit(S, RS, Out);
+      return;
+    default:
+      ++UnitCounter;
+      emitThreadUnit(S, RS, Out);
+      return;
+    }
+  }
+
+  // -- thread-parallel units ----------------------------------------------
+
+  void emitThreadUnit(const Stmt &U, RegionCtx &RS,
+                      std::vector<InstrPtr> &Out) {
+    if (!U)
+      return;
+    std::vector<const ExprNode *> Reads;
+    std::vector<const StmtNode *> Writes;
+    collectUnitAccesses(U, Reads, Writes);
+    if (Reads.empty() && Writes.empty())
+      return;
+
+    std::set<std::string> WrittenByUnit;
+    for (const StmtNode *W : Writes)
+      if (W->Target)
+        WrittenByUnit.insert(W->Target->Name);
+
+    auto PushName = [](std::vector<std::string> &V, const std::string &N) {
+      if (std::find(V.begin(), V.end(), N) == V.end())
+        V.push_back(N);
+    };
+
+    std::vector<std::string> RB, WB;
+    for (const ExprNode *R : Reads) {
+      if (!R->Ref)
+        continue;
+      std::vector<Expr> Idx(R->Operands.begin(), R->Operands.end());
+      Box &B = ensureBox(RS, R->Ref, Idx);
+      if (!RS.WrittenHere.count(R->Ref->Name) &&
+          !WrittenByUnit.count(R->Ref->Name) && !B.Loaded) {
+        // Cooperative block-wide staging load, global -> shared.
+        InstrPtr L = cce::makeDma(sim::Pipe::MTE2, nullptr, 0, 1,
+                                  "load." + R->Ref->Name);
+        L->ReadBufs = {R->Ref->Name};
+        L->WriteBufs = {B.BufName};
+        B.SizedInstrs.push_back(L.get());
+        B.Loaded = true;
+        B.LoadedGlobal = true;
+        Out.push_back(std::move(L));
+      }
+      PushName(RB, B.BufName);
+    }
+
+    bool AnyF32 = false;
+    for (const StmtNode *W : Writes) {
+      if (!W->Target)
+        continue;
+      Box &B = ensureBox(RS, W->Target, W->Indices);
+      markWritten(RS, W->Target);
+      PushName(WB, B.BufName);
+      AnyF32 |= W->Target->Type == DType::F32;
+    }
+
+    bool Any = false;
+    bool Threaded =
+        Opts.EnableVectorize && leavesThreadMappable(U, Any) && Any;
+    int64_t Elems = pointsIn(U);
+    if (Threaded)
+      MaxUnitElems = std::max(MaxUnitElems, Elems);
+    InstrPtr C = cce::makeCompute(
+        Threaded ? InstrKind::VectorOp : InstrKind::ScalarOp,
+        Threaded ? sim::Pipe::V : sim::Pipe::S, U, Elems,
+        "unit" + std::to_string(UnitCounter));
+    C->Fp32 = AnyF32;
+    C->ReadBufs = std::move(RB);
+    C->WriteBufs = std::move(WB);
+    Out.push_back(std::move(C));
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Barrier insertion
+//===----------------------------------------------------------------------===//
+
+struct BarrierState {
+  std::set<std::string> SharedBufs;
+  unsigned Inserted = 0;
+
+  bool isShared(const std::string &N) const { return SharedBufs.count(N); }
+
+  /// Rewrites \p L, inserting a barrier before any instruction whose
+  /// shared reads conflict with writes since the last barrier (RAW) or
+  /// whose shared writes conflict with prior reads/writes (WAR/WAW).
+  /// \p Serial places a barrier after every instruction instead.
+  void rewrite(std::vector<InstrPtr> &L, bool Serial) {
+    std::set<std::string> WrittenSince, ReadSince;
+    std::vector<InstrPtr> Out;
+    auto Flush = [&]() {
+      Out.push_back(cce::makeBarrier());
+      ++Inserted;
+      WrittenSince.clear();
+      ReadSince.clear();
+    };
+    for (InstrPtr &I : L) {
+      if (I->Kind == InstrKind::Loop) {
+        // Conservative: synchronize around loops that touch shared
+        // memory so loop-carried reuse of a staging buffer is ordered
+        // across iterations.
+        bool Touches = touchesShared(I->Body);
+        if (Touches && (!WrittenSince.empty() || !ReadSince.empty()))
+          Flush();
+        rewrite(I->Body, Serial);
+        if (Touches && !I->Body.empty() &&
+            I->Body.back()->Kind != InstrKind::Barrier) {
+          I->Body.push_back(cce::makeBarrier());
+          ++Inserted;
+        }
+        Out.push_back(std::move(I));
+        continue;
+      }
+      bool Conflict = false;
+      for (const std::string &R : I->ReadBufs)
+        if (isShared(R) && WrittenSince.count(R))
+          Conflict = true;
+      for (const std::string &W : I->WriteBufs)
+        if (isShared(W) && (WrittenSince.count(W) || ReadSince.count(W)))
+          Conflict = true;
+      if (Conflict)
+        Flush();
+      for (const std::string &R : I->ReadBufs)
+        if (isShared(R))
+          ReadSince.insert(R);
+      for (const std::string &W : I->WriteBufs)
+        if (isShared(W))
+          WrittenSince.insert(W);
+      bool IsWork = I->Kind != InstrKind::Barrier;
+      Out.push_back(std::move(I));
+      if (Serial && IsWork)
+        Flush();
+    }
+    L = std::move(Out);
+  }
+
+  bool touchesShared(const std::vector<InstrPtr> &L) const {
+    for (const InstrPtr &I : L) {
+      for (const std::string &R : I->ReadBufs)
+        if (isShared(R))
+          return true;
+      for (const std::string &W : I->WriteBufs)
+        if (isShared(W))
+          return true;
+      if (I->Kind == InstrKind::Loop && touchesShared(I->Body))
+        return true;
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+Kernel lowerToSimt(const Stmt &Ast, const Module &M,
+                   const cce::CodegenOptions &Opts, const std::string &Name) {
+  SimtLowering L(M, Opts);
+  Kernel K = L.run(Ast, Name);
+  // Unconditional counters for the compile trace's per-pass deltas.
+  Stats::get().add("simt.lowered_kernels");
+  if (!K.Buffers.empty())
+    Stats::get().add("simt.buffers", static_cast<int64_t>(K.Buffers.size()));
+  return K;
+}
+
+cce::SyncReport insertSimtBarriers(Kernel &K, cce::SyncStrategy Strategy) {
+  BarrierState B;
+  for (const cce::BufferAlloc &A : K.Buffers)
+    if (A.Location == sim::Buffer::Shared)
+      B.SharedBufs.insert(A.Name);
+  B.rewrite(K.Body, Strategy == cce::SyncStrategy::FullSerial);
+  cce::SyncReport R;
+  R.BarriersInserted = B.Inserted;
+  if (B.Inserted)
+    Stats::get().add("simt.barriers", static_cast<int64_t>(B.Inserted));
+  return R;
+}
+
+} // namespace simt
+} // namespace akg

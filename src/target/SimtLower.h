@@ -1,0 +1,57 @@
+//===- target/SimtLower.h - AST -> SIMT kernel lowering ---------*- C++ -*-===//
+//
+// The SIMT/GPU-like backend behind the target abstraction (sim/Target.h):
+// lowers the same scheduled AST the CCE code generator consumes into a
+// kernel for a grid-of-thread-blocks machine. The shared frontend (Pluto
+// scheduling, auto-tiling, post-tiling fusion, AST generation) runs
+// unchanged; only the lowering differs:
+//
+//   - outer tile loops are bound to the grid (blockIdx.x/y/z), one tile
+//     per thread block, with block sizes warp-rounded and capped by
+//     MaxThreadsPerBlock (occupancy-style cap);
+//   - the "on_chip" staging regions the tiling pass marks become
+//     shared-memory promotion: reused tile boxes are staged into
+//     per-block shared memory (capacity-checked against SharedMemBytes
+//     through the same retry ladder as the CCE UB check);
+//   - compute units execute thread-parallel across the block; block-wide
+//     __syncthreads barriers (insertSimtBarriers) order shared-memory
+//     producers and consumers in place of CCE's set/wait flag pairs.
+//
+// The emitted kernel reuses the cce::Kernel instruction IR with
+// Kernel::Target = Simt, Shared-memory allocations and grid-mapped
+// loops; sim/SimtRun.h executes it deterministically under the
+// coalescing cost model.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AKG_TARGET_SIMTLOWER_H
+#define AKG_TARGET_SIMTLOWER_H
+
+#include "target/Codegen.h"
+#include "target/Sync.h"
+
+namespace akg {
+namespace simt {
+
+/// Lowers the scheduled AST of module \p M to a SIMT kernel. Never fails
+/// structurally: units the thread mapper cannot express degrade to
+/// single-thread scalar code, exactly like the CCE scalar fallback.
+/// Opts.EnableVectorize gates thread-parallel mapping (off: one thread
+/// runs the unit serially); Opts.EnableDoubleBuffer gates cp.async-style
+/// pipelined staging (double-counted in the capacity check).
+cce::Kernel lowerToSimt(const ir::Stmt &Ast, const ir::Module &M,
+                        const cce::CodegenOptions &Opts,
+                        const std::string &Name);
+
+/// Inserts block-wide __syncthreads barriers so shared-memory writers
+/// complete before readers start (RAW) and readers finish before the
+/// buffer is overwritten (WAR/WAW) — the SIMT replacement for CCE's
+/// set/wait flag pairs. FullSerial places a barrier after every
+/// instruction; the other strategies insert the minimal conflict cover.
+cce::SyncReport insertSimtBarriers(cce::Kernel &K,
+                                   cce::SyncStrategy Strategy);
+
+} // namespace simt
+} // namespace akg
+
+#endif // AKG_TARGET_SIMTLOWER_H

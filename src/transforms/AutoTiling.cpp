@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cassert>
 #include <functional>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -40,12 +41,26 @@ struct TensorFootprint {
 
 };
 
-} // namespace
+/// The target-specific numbers the tile search consults: working-set
+/// capacities and the per-tile data-movement cost coefficients. The CCE
+/// values reproduce the original hard-coded expressions bit for bit; the
+/// SIMT values gate against per-block shared memory and charge coalesced
+/// transactions instead of DMA bursts.
+struct TileCostModel {
+  double VecCapBytes = 0;    // UB (CCE) / shared memory (SIMT) gate
+  double CubeCapBytes = 0;   // L1 half-capacity gate; +inf when no cube path
+  double StreamLatency = 0;  // warm-up cycles per tensor stream
+  double BurstCost = 0;      // cycles per discontiguous burst / transaction
+  double BytesPerCycle = 1;  // memory bandwidth
+  bool CubeAware = true;     // model the fractal pipeline's L1 streaming
+  const char *VecBufName = "UB";  // Fig 4 policy rendering
+  const char *CubeBufName = "L1";
+};
 
-AutoTilingResult autoTile(const ir::PolyProgram &P,
-                          const sched::ScheduleResult &R,
-                          const sim::MachineSpec &M,
-                          const AutoTilingOptions &Opts) {
+AutoTilingResult autoTileImpl(const ir::PolyProgram &P,
+                              const sched::ScheduleResult &R,
+                              const TileCostModel &M,
+                              const AutoTilingOptions &Opts) {
   AutoTilingResult Res;
   assert(!R.Clusters.empty() && "nothing to tile");
   const sched::ClusterSchedule &Live = R.Clusters.back();
@@ -70,11 +85,12 @@ AutoTilingResult autoTile(const ir::PolyProgram &P,
   // first W iterators; producer statements' footprints are approximated by
   // the consumer-side accesses of the tensors they exchange.
   std::set<const ir::TensorDecl *> CubeOperands;
-  for (const ir::PolyStmt &St : P.Stmts)
-    if (auto D = matchCubeOp(St)) {
-      CubeOperands.insert(D->A.get());
-      CubeOperands.insert(D->B.get());
-    }
+  if (M.CubeAware)
+    for (const ir::PolyStmt &St : P.Stmts)
+      if (auto D = matchCubeOp(St)) {
+        CubeOperands.insert(D->A.get());
+        CubeOperands.insert(D->B.get());
+      }
 
   std::map<const ir::TensorDecl *, TensorFootprint> Foot;
   // Liveness over the statement chain (first/last statement touching each
@@ -222,7 +238,7 @@ AutoTilingResult autoTile(const ir::PolyProgram &P,
       // factor absorbs. L1 keeps the half-capacity margin for the cube
       // pipeline's ping-pong operand buffers.
       double Ub = UbBytes * Opts.Slack, L1 = L1Bytes * Opts.Slack;
-      if (Ub > double(M.UBBytes) || L1 > M.L1Bytes / 2.0)
+      if (Ub > M.VecCapBytes || L1 > M.CubeCapBytes)
         return;
       int64_t Points = 1;
       for (unsigned DD = 0; DD < W; ++DD)
@@ -230,9 +246,9 @@ AutoTilingResult autoTile(const ir::PolyProgram &P,
       // Data movement per point: warm-up latency per stream amortized over
       // the tile plus bytes over bandwidth per point.
       double Cost =
-          (double(Streams) * M.GmLatency +
-           double(Bursts) * M.BurstLatency +
-           double(TrafficBytes) / double(M.GmBandwidth)) /
+          (double(Streams) * M.StreamLatency +
+           double(Bursts) * M.BurstCost +
+           double(TrafficBytes) / M.BytesPerCycle) /
           double(Points);
       if (BestCost < 0 || Cost < BestCost ||
           (Cost == BestCost && Points > 0)) {
@@ -265,14 +281,52 @@ AutoTilingResult autoTile(const ir::PolyProgram &P,
   // its outer dims, placed in UB (or L1 for cube statements).
   for (unsigned S : Live.Stmts) {
     StmtTileSpec Spec;
-    bool Cube = isCubeStatement(P.Stmts[S]);
+    bool Cube = M.CubeAware && isCubeStatement(P.Stmts[S]);
     for (unsigned D = 0; D < W; ++D)
-      Spec.Entries.push_back(TileSpecEntry{Best[D], Cube ? "L1" : "UB"});
+      Spec.Entries.push_back(
+          TileSpecEntry{Best[D], Cube ? M.CubeBufName : M.VecBufName});
     Res.Policy.PerStmt[S] = std::move(Spec);
   }
   // Unconditional counter for the compile trace's per-pass deltas.
   Stats::get().add("autotile.runs");
   return Res;
+}
+
+} // namespace
+
+AutoTilingResult autoTile(const ir::PolyProgram &P,
+                          const sched::ScheduleResult &R,
+                          const sim::MachineSpec &M,
+                          const AutoTilingOptions &Opts) {
+  TileCostModel C;
+  C.VecCapBytes = double(M.UBBytes);
+  C.CubeCapBytes = M.L1Bytes / 2.0;
+  C.StreamLatency = double(M.GmLatency);
+  C.BurstCost = double(M.BurstLatency);
+  C.BytesPerCycle = double(M.GmBandwidth);
+  return autoTileImpl(P, R, C, Opts);
+}
+
+AutoTilingResult autoTile(const ir::PolyProgram &P,
+                          const sched::ScheduleResult &R,
+                          const sim::TargetSpec &T,
+                          const AutoTilingOptions &Opts) {
+  if (T.Kind == sim::TargetKind::Cce)
+    return autoTile(P, R, T.Cce, Opts);
+  const sim::SimtSpec &S = T.Simt;
+  TileCostModel C;
+  // One tile = one thread block: the working set must fit the block's
+  // shared memory; there is no cube/L1 path, so every tensor gates
+  // against the same capacity and streams as coalesced transactions.
+  C.VecCapBytes = double(S.SharedMemBytes);
+  C.CubeCapBytes = std::numeric_limits<double>::infinity();
+  C.StreamLatency = double(S.GlobalLatency);
+  C.BurstCost = double(S.TransactionCost);
+  C.BytesPerCycle = double(S.GlobalBandwidth);
+  C.CubeAware = false;
+  C.VecBufName = "shared";
+  C.CubeBufName = "shared";
+  return autoTileImpl(P, R, C, Opts);
 }
 
 } // namespace transforms

@@ -15,7 +15,7 @@
 
 #include "ir/PolyExtract.h"
 #include "scheduler/Pluto.h"
-#include "sim/Machine.h"
+#include "sim/Target.h"
 #include "transforms/Tiling.h"
 
 namespace akg {
@@ -44,10 +44,21 @@ struct AutoTilingResult {
   TilingPolicy Policy;       // Fig 4 rendering
 };
 
-/// Chooses tile sizes for the live-out cluster (the last one in \p R).
+/// Chooses tile sizes for the live-out cluster (the last one in \p R)
+/// against the CCE machine model (UB/L1 capacities, burst DMA cost).
 AutoTilingResult autoTile(const ir::PolyProgram &P,
                           const sched::ScheduleResult &R,
                           const sim::MachineSpec &M,
+                          const AutoTilingOptions &Opts = AutoTilingOptions());
+
+/// Target-routed tile selection: capacities and the data-movement cost
+/// model come from the active machine of \p T. On the CCE target this is
+/// exactly the MachineSpec overload; on SIMT the working set is gated by
+/// per-block shared memory and the cost model charges coalesced-
+/// transaction overheads instead of DMA bursts.
+AutoTilingResult autoTile(const ir::PolyProgram &P,
+                          const sched::ScheduleResult &R,
+                          const sim::TargetSpec &T,
                           const AutoTilingOptions &Opts = AutoTilingOptions());
 
 } // namespace transforms

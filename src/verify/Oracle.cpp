@@ -7,6 +7,7 @@
 #include "composite/Composite.h"
 #include "ir/PolyExtract.h"
 #include "sim/DynRun.h"
+#include "sim/SimtRun.h"
 #include "support/Env.h"
 #include "target/Codegen.h"
 
@@ -178,6 +179,53 @@ OracleReport runOracle(const ir::Module &M, const OracleOptions &Opts) {
         }
       }
     }
+    Rep.Pass &= Out.Pass;
+    Rep.Outcomes.push_back(Out);
+  }
+
+  // --- SIMT cross-target differential (DESIGN.md 4l) --------------------
+  // The same module compiled for the SIMT backend must agree with the
+  // reference evaluator within tolerance, fit the SIMT capacities (the
+  // retry ladder owns any degradation), and relower deterministically.
+  // AKG_TARGET is saved/unset around the block so an ambient override
+  // cannot silently turn this into a CCE-vs-CCE diff.
+  if (Opts.SimtDifferential) {
+    std::optional<std::string> Saved = env::get("AKG_TARGET");
+    env::unset("AKG_TARGET");
+    ConfigOutcome Out;
+    Out.Config = "simt_differential";
+    Out.Pass = true;
+    AkgOptions O;
+    O.Target = sim::TargetKind::Simt;
+    CompileResult R = compileWithAkg(M, O, "oracle_simt");
+    sim::SimtSpec SSpec = sim::SimtSpec::sm80();
+    std::string Cap = cce::checkSimtCapacities(R.Kernel, SSpec);
+    if (!R.Outcome.isOk()) {
+      Out.Pass = false;
+      Out.Detail = "simt compile failed: " + R.Outcome.str();
+    } else if (R.Kernel.Target != sim::TargetKind::Simt) {
+      Out.Pass = false;
+      Out.Detail = "kernel did not lower for the simt target";
+    } else if (!Cap.empty()) {
+      Out.Pass = false;
+      Out.Detail = "shared-memory capacity: " + Cap;
+    } else {
+      sim::FunctionalDiff D = sim::diffSimtAgainstReference(
+          R.Kernel, M, SSpec, Opts.DataSeed, nullptr, &Out.OutputBits);
+      Out.MaxErr = D.MaxAbsErr;
+      if (!D.within(Opts.Tolerance)) {
+        Out.Pass = false;
+        Out.Detail = "simt kernel vs reference: " + D.str();
+      } else {
+        CompileResult R2 = compileWithAkg(M, O, "oracle_simt");
+        if (cce::printKernel(R2.Kernel) != cce::printKernel(R.Kernel)) {
+          Out.Pass = false;
+          Out.Detail = "simt kernel text differs across recompiles";
+        }
+      }
+    }
+    if (Saved)
+      env::set("AKG_TARGET", *Saved);
     Rep.Pass &= Out.Pass;
     Rep.Outcomes.push_back(Out);
   }

@@ -42,6 +42,12 @@ struct OracleOptions {
   /// (parse -> normalize -> lower), and require parse(serialize(M)) to
   /// compile to byte-identical kernel text under every functional config.
   bool JsonRoundTrip = true;
+  /// SIMT cross-target differential: compile the module once more with
+  /// AkgOptions::Target = Simt, simulate the mapped kernel on the SIMT
+  /// machine model, and require the functional result to match
+  /// ir::evaluateModule within Tolerance, plus a byte-identical recompile
+  /// (SIMT lowering determinism).
+  bool SimtDifferential = true;
   /// Machine model; null selects ascend910.
   const sim::MachineSpec *Machine = nullptr;
   /// Post-compile hook applied to each functional config's kernel before

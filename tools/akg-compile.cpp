@@ -41,16 +41,19 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: akg-compile [--op matmul|conv|add|bn] [--json <file|->]\n"
-      "                   [--dump-kernel] [--dump-normalized]\n"
+      "                   [--target cce|simt] [--dump-kernel]\n"
+      "                   [--dump-normalized] [--help]\n"
       "\n"
       "Compiles one Fig 9 operator (--op) or a composite-subgraph JSON\n"
       "payload (--json, '-' reads stdin) with the AKG pipeline and prints\n"
       "the degradation report and compile trace. A top-level JSON array\n"
       "is a batch: every entry compiles, any failure exits 1.\n"
-      "--dump-normalized prints\n"
+      "--target selects the backend (default cce; a JSON payload's own\n"
+      "\"target\" key overrides it per entry). --dump-normalized prints\n"
       "the canonical payload after transform-op elimination. Environment:\n"
       "  AKG_TRACE=<path|->   dump the trace (JSONL / stderr text)\n"
-      "  AKG_FAIL_STAGE=<s>   force stage <s> onto its fallback\n");
+      "  AKG_FAIL_STAGE=<s>   force stage <s> onto its fallback\n"
+      "  AKG_TARGET=<t>       override the compile target (cce|simt)\n");
 }
 
 graph::ModulePtr makeOp(const std::string &Op) {
@@ -103,15 +106,25 @@ int main(int Argc, char **Argv) {
   std::string Op = "matmul";
   std::string JsonPath;
   bool DumpKernel = false, DumpNormalized = false;
+  AkgOptions Opts;
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--op") && I + 1 < Argc) {
       Op = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc) {
       JsonPath = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--target") && I + 1 < Argc) {
+      if (!sim::parseTargetName(Argv[++I], Opts.Target)) {
+        std::fprintf(stderr, "akg-compile: unknown target '%s'\n", Argv[I]);
+        usage();
+        return 2;
+      }
     } else if (!std::strcmp(Argv[I], "--dump-kernel")) {
       DumpKernel = true;
     } else if (!std::strcmp(Argv[I], "--dump-normalized")) {
       DumpNormalized = true;
+    } else if (!std::strcmp(Argv[I], "--help") || !std::strcmp(Argv[I], "-h")) {
+      usage();
+      return 0;
     } else {
       usage();
       return 2;
@@ -160,7 +173,12 @@ int main(int Argc, char **Argv) {
       if (DumpNormalized)
         std::printf(
             "%s\n", composite::serializeComposite(F.Normalized, true).c_str());
-      CompileResult R = compileWithAkg(*F.Mod, AkgOptions(), F.KernelName);
+      // The payload's own "target" key wins over --target, mirroring the
+      // compile service's submitJson.
+      AkgOptions EntryOpts = Opts;
+      if (!F.Normalized.Target.empty())
+        sim::parseTargetName(F.Normalized.Target, EntryOpts.Target);
+      CompileResult R = compileWithAkg(*F.Mod, EntryOpts, F.KernelName);
       printResult(R, F.KernelName, DumpKernel);
       if (!R.Outcome.isOk())
         ++Failed;
@@ -175,7 +193,7 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  CompileResult R = compileWithAkg(*M, AkgOptions(), Op);
+  CompileResult R = compileWithAkg(*M, Opts, Op);
   printResult(R, Op, DumpKernel);
   return 0;
 }

@@ -39,12 +39,20 @@ STAGES = {
     "storage", "vectorize", "double_buffer", "sync",
 }
 
-# Executed passes of a full clean compile, in pipeline order.
-CLEAN_PASSES = [
-    "prepare", "extract_poly", "dependences", "schedule", "tiling",
-    "build_tree", "fusion", "intra_tile", "ast_gen", "lower_cce",
-    "storage_check", "sync",
-]
+# Compile targets a trace line may declare (the "target" key; absent on
+# traces predating the target layer, which read as "cce").
+TARGETS = {"cce", "simt"}
+
+
+# Executed passes of a full clean compile, in pipeline order. Only the
+# lowering pass differs per target; storage_check and sync keep their
+# names and dispatch through the target backend.
+def clean_passes(target):
+    return [
+        "prepare", "extract_poly", "dependences", "schedule", "tiling",
+        "build_tree", "fusion", "intra_tile", "ast_gen",
+        f"lower_{target}", "storage_check", "sync",
+    ]
 
 # Non-ok terminal outcomes the service / pipeline can stamp (DESIGN.md 4h).
 OUTCOMES = {
@@ -100,6 +108,11 @@ def check_trace(where, tr):
              f"{where}: 'outcome' must be a string")
         want(tr["outcome"] in OUTCOMES,
              f"{where}: unknown outcome '{tr['outcome']}'")
+    if "target" in tr:
+        want(isinstance(tr["target"], str),
+             f"{where}: 'target' must be a string")
+        want(tr["target"] in TARGETS,
+             f"{where}: unknown target '{tr['target']}'")
     for i, ev in enumerate(tr["events"]):
         check_event(f"{where} event {i}", ev)
 
@@ -140,9 +153,10 @@ def main():
         ok = False
         for _, tr in traces:
             degraded = any(ev["degradations"] for ev in tr["events"])
+            expected = clean_passes(tr.get("target", "cce"))
             executed = [ev["pass"] for ev in tr["events"]
-                        if ev["pass"] in CLEAN_PASSES]
-            if not degraded and executed == CLEAN_PASSES:
+                        if ev["pass"] in expected]
+            if not degraded and executed == expected:
                 ok = True
         want(ok, "--expect-clean: no line shows a clean full-pipeline compile")
 
